@@ -1,0 +1,102 @@
+"""Ablation — single-pass Fig. 4 vs. fixed-point iteration.
+
+The paper runs its algorithm once, deriving blocking probabilities from
+*isolation* periods.  A natural "improvement" is iterating to a fixed
+point: re-derive P from the estimated contended periods and repeat.
+
+The ablation shows why the paper does not do that: contended periods
+are longer, so re-derived utilizations (and with them the predicted
+waiting) collapse, and the fixed point lands far *below* simulation —
+a strongly optimistic estimate (signed bias around -25% on the
+benchmark suite versus +2% for the single pass).  Isolation-period
+probabilities are the right operating point: while an actor waits it
+still *occupies the queue*, so its pressure on the node does not drop
+the way the post-contention utilization suggests.
+
+Assertions encode that finding: the single pass has the lowest absolute
+inaccuracy and a small positive (conservative) bias, while every
+iterated variant is biased optimistic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import pytest
+
+from conftest import report
+from repro.core.estimator import ProbabilisticEstimator
+from repro.experiments.accuracy import mean_absolute_percentage_error
+from repro.experiments.reporting import render_table
+
+_PASSES = (1, 2, 5, 10)
+
+
+def _inaccuracy(suite, sweep, iterations: int) -> Dict[str, float]:
+    estimator = ProbabilisticEstimator(
+        list(suite.graphs),
+        mapping=suite.mapping,
+        waiting_model="second_order",
+    )
+    pairs = []
+    signed_total = 0.0
+    count = 0
+    for record in sweep.records:
+        estimate = estimator.estimate(
+            record.use_case, iterations=iterations
+        )
+        for name, simulated in record.simulated.items():
+            estimated = estimate.periods[name]
+            pairs.append((estimated, simulated))
+            signed_total += (estimated - simulated) / simulated
+            count += 1
+    return {
+        "absolute": mean_absolute_percentage_error(pairs),
+        "signed": 100.0 * signed_total / count,
+    }
+
+
+def test_ablation_fixed_point(benchmark, suite, sweep):
+    def run():
+        return {
+            passes: _inaccuracy(suite, sweep, passes) for passes in _PASSES
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        [
+            str(passes),
+            f"{values['absolute']:.2f}",
+            f"{values['signed']:+.2f}",
+        ]
+        for passes, values in results.items()
+    ]
+    report(
+        "ablation_fixpoint",
+        render_table(
+            ["Fig.-4 passes", "abs inaccuracy %", "signed bias %"],
+            rows,
+            title=(
+                "Ablation - single-pass vs. fixed-point estimation "
+                "(single pass wins: iterating collapses utilizations "
+                "and turns the estimate optimistic)"
+            ),
+        ),
+    )
+
+    single = results[1]
+    # The paper's single pass is the best-calibrated variant...
+    for passes in _PASSES[1:]:
+        assert single["absolute"] <= results[passes]["absolute"] + 1e-6
+        # ...and the iterated variants under-estimate (optimistic bias).
+        assert results[passes]["signed"] < 0.0
+    # The single pass errs on the conservative side, mildly.
+    assert -5.0 < single["signed"] < 15.0
+    for passes, values in results.items():
+        benchmark.extra_info[f"pass{passes}_abs_pct"] = round(
+            values["absolute"], 2
+        )
+        benchmark.extra_info[f"pass{passes}_signed_pct"] = round(
+            values["signed"], 2
+        )

@@ -1,0 +1,93 @@
+"""Ablation — incremental composability vs. full recomputation.
+
+Section 4.2's complexity argument: with the inverse operators (Eq. 8/9)
+an application entering the system costs O(n) aggregate updates instead
+of the O(n^2) full re-analysis the second-order approach needs.  This
+bench measures both workflows doing the same job — admit the ten
+applications one by one, re-estimating all resident periods after each
+admission — and checks they agree on the result.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import report
+from repro.admission.controller import AdmissionController
+from repro.core.estimator import ProbabilisticEstimator
+from repro.experiments.reporting import render_table
+from repro.platform.usecase import UseCase
+
+
+def _admit_incrementally(suite):
+    controller = AdmissionController(suite.mapping)
+    periods = {}
+    for graph in suite.graphs:
+        decision = controller.request_admission(graph)
+        assert decision.admitted
+        periods = decision.estimated_periods
+    return periods
+
+
+def _recompute_from_scratch(suite):
+    estimator = ProbabilisticEstimator(
+        list(suite.graphs),
+        mapping=suite.mapping,
+        waiting_model="composability",
+    )
+    periods = {}
+    names = []
+    for graph in suite.graphs:
+        names.append(graph.name)
+        periods = estimator.estimate(UseCase(tuple(names))).periods
+    return periods
+
+
+def test_incremental_admission(benchmark, suite):
+    periods = benchmark(lambda: _admit_incrementally(suite))
+    assert set(periods) == set(suite.application_names)
+    benchmark.extra_info["mean_period"] = round(
+        sum(periods.values()) / len(periods), 1
+    )
+
+
+def test_full_recompute_admission(benchmark, suite):
+    periods = benchmark(lambda: _recompute_from_scratch(suite))
+    assert set(periods) == set(suite.application_names)
+
+
+def test_incremental_matches_batch(benchmark, suite):
+    """The two workflows must agree (up to the (x)-operator's
+    second-order associativity error)."""
+    def run():
+        incremental = _admit_incrementally(suite)
+        batch = ProbabilisticEstimator(
+            list(suite.graphs),
+            mapping=suite.mapping,
+            waiting_model="composability",
+        ).estimate(UseCase(suite.application_names)).periods
+        return incremental, batch
+
+    incremental, batch = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for name in suite.application_names:
+        difference = 100 * abs(
+            incremental[name] - batch[name]
+        ) / batch[name]
+        rows.append(
+            [name, f"{incremental[name]:.1f}", f"{batch[name]:.1f}",
+             f"{difference:.3f}"]
+        )
+        assert difference < 2.0, name
+    report(
+        "ablation_incremental",
+        render_table(
+            ["App", "Incremental (Eq. 8/9)", "Batch (Eq. 6/7)", "diff %"],
+            rows,
+            title=(
+                "Ablation - incremental admission vs. batch "
+                "composability estimate"
+            ),
+        ),
+    )

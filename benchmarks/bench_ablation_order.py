@@ -1,0 +1,73 @@
+"""Ablation — approximation order of Eq. 5.
+
+The paper evaluates m = 2 and m = 4 and argues higher orders trade
+complexity for accuracy.  This bench sweeps m = 1..6 plus the exact
+formula over the shared sweep's use-cases (estimation only; simulation
+references are reused) and reports the accuracy/latency frontier.
+
+Expected shape: period inaccuracy decreases (weakly) from m=1 to the
+exact formula and saturates quickly — m=2 already captures most of the
+benefit, which is the paper's justification for shipping the cheap
+variants.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import pytest
+
+from conftest import report
+from repro.core.estimator import ProbabilisticEstimator
+from repro.experiments.accuracy import mean_absolute_percentage_error
+from repro.experiments.reporting import render_table
+
+_ORDERS = ["order:1", "order:2", "order:3", "order:4", "order:6", "exact"]
+
+
+def _inaccuracy_of_model(suite, sweep, model: str) -> float:
+    estimator = ProbabilisticEstimator(
+        list(suite.graphs), mapping=suite.mapping, waiting_model=model
+    )
+    pairs = []
+    for record in sweep.records:
+        estimate = estimator.estimate(record.use_case)
+        for name, simulated in record.simulated.items():
+            pairs.append((estimate.periods[name], simulated))
+    return mean_absolute_percentage_error(pairs)
+
+
+def test_ablation_approximation_order(benchmark, suite, sweep):
+    def run() -> Dict[str, float]:
+        return {
+            model: _inaccuracy_of_model(suite, sweep, model)
+            for model in _ORDERS
+        }
+
+    inaccuracies = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows: List[List[object]] = [
+        [model, f"{value:.2f}"] for model, value in inaccuracies.items()
+    ]
+    report(
+        "ablation_order",
+        render_table(
+            ["Waiting model", "Period inaccuracy %"],
+            rows,
+            title="Ablation - Eq. 5 truncation order (vs. simulation)",
+        ),
+    )
+
+    # Order 1 ignores queueing entirely and must be the worst of the
+    # family; the exact formula must not lose to order 2 by more than
+    # noise; everything past order 2 sits within a tight band.
+    assert inaccuracies["order:1"] >= inaccuracies["order:2"] - 0.5
+    assert inaccuracies["exact"] <= inaccuracies["order:2"] + 1.0
+    spread = max(
+        inaccuracies[m] for m in ("order:2", "order:3", "order:4", "order:6")
+    ) - min(
+        inaccuracies[m] for m in ("order:2", "order:3", "order:4", "order:6")
+    )
+    assert spread < 10.0
+    for model, value in inaccuracies.items():
+        benchmark.extra_info[f"{model}_period_pct"] = round(value, 2)

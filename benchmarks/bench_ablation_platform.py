@@ -1,0 +1,90 @@
+"""Ablation — platform width (contention density).
+
+The paper's setup gives every application's i-th actor its own
+processor (ten processors for 8-10-actor applications).  Narrowing the
+platform with a modulo mapping stacks more actors per node, raising
+blocking probabilities and testing the estimator deeper into
+saturation.  This bench sweeps the processor count and reports the
+simulated period inflation and the estimation error at each width.
+
+Expected shape: inflation grows as the platform narrows; the estimator
+degrades gracefully (errors grow with saturation but stay bounded).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import report
+from repro.core.estimator import ProbabilisticEstimator
+from repro.experiments.reporting import render_table
+from repro.experiments.setup import paper_benchmark_suite
+from repro.platform.mapping import modulo_mapping
+from repro.platform.platform import Platform
+from repro.platform.usecase import UseCase
+from repro.simulation.engine import SimulationConfig, Simulator
+
+_WIDTHS = (10, 8, 6, 5)
+_APPLICATIONS = 5
+
+
+def _run_width(graphs, width: int):
+    platform = Platform.homogeneous(width)
+    mapping = modulo_mapping(graphs, platform)
+    use_case = UseCase(tuple(g.name for g in graphs))
+    simulation = Simulator(
+        graphs,
+        mapping=mapping,
+        config=SimulationConfig(target_iterations=100),
+    ).run()
+    estimate = ProbabilisticEstimator(
+        graphs, mapping=mapping, waiting_model="second_order"
+    ).estimate(use_case)
+    errors = []
+    inflations = []
+    for graph in graphs:
+        simulated = simulation.period_of(graph.name)
+        estimated = estimate.periods[graph.name]
+        errors.append(100 * abs(estimated - simulated) / simulated)
+        inflations.append(
+            simulated / estimate.isolation_periods[graph.name]
+        )
+    return (
+        sum(errors) / len(errors),
+        sum(inflations) / len(inflations),
+    )
+
+
+def test_ablation_platform_width(benchmark):
+    suite = paper_benchmark_suite(application_count=_APPLICATIONS)
+    graphs = list(suite.graphs)
+
+    def run():
+        return {width: _run_width(graphs, width) for width in _WIDTHS}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        [str(width), f"{inflation:.2f}", f"{error:.1f}"]
+        for width, (error, inflation) in results.items()
+    ]
+    report(
+        "ablation_platform",
+        render_table(
+            ["Processors", "Mean period inflation", "Mean est. error %"],
+            rows,
+            title=(
+                "Ablation - platform width (5 applications, modulo "
+                "mapping, maximum contention)"
+            ),
+        ),
+    )
+
+    # Narrower platforms contend more: inflation at the narrowest width
+    # exceeds the paper-style ten-processor configuration.
+    assert results[_WIDTHS[-1]][1] > results[_WIDTHS[0]][1]
+    for width, (error, inflation) in results.items():
+        benchmark.extra_info[f"width{width}_error_pct"] = round(error, 1)
+        benchmark.extra_info[f"width{width}_inflation"] = round(
+            inflation, 2
+        )

@@ -1,0 +1,91 @@
+"""Micro-benchmarks of the analysis building blocks.
+
+Backs the complexity claims of Sections 3.2 and 4 with wall-clock data:
+
+* waiting-time formula cost as the number of co-mapped actors grows
+  (exact vs. second order vs. fourth order vs. composability);
+* maximum-cycle-ratio engines on a paper-scale HSDF (Howard vs. Lawler);
+* one self-timed state-space period extraction;
+* the composability operators themselves (the O(1) claim).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.approximation import waiting_time_order_m
+from repro.core.blocking import build_profile
+from repro.core.composability import (
+    Composite,
+    compose,
+    compose_all,
+    decompose,
+    CompositionWaitingModel,
+)
+from repro.core.exact import waiting_time_exact
+from repro.experiments.setup import paper_benchmark_suite
+from repro.sdf.hsdf import to_hsdf
+from repro.sdf.mcm import max_cycle_ratio
+from repro.sdf.statespace import self_timed_period
+
+
+def _profiles(count: int):
+    return [
+        build_profile(
+            "A",
+            f"x{i}",
+            tau=10.0 + 7 * (i % 5),
+            repetitions=1 + (i % 3),
+            period=400.0 + 13 * i,
+        )
+        for i in range(count)
+    ]
+
+
+@pytest.mark.parametrize("actors", [5, 10, 20])
+def test_waiting_exact(benchmark, actors):
+    others = _profiles(actors)
+    benchmark(lambda: waiting_time_exact(others))
+
+
+@pytest.mark.parametrize("actors", [5, 10, 20])
+def test_waiting_second_order(benchmark, actors):
+    others = _profiles(actors)
+    benchmark(lambda: waiting_time_order_m(others, 2))
+
+
+@pytest.mark.parametrize("actors", [5, 10, 20])
+def test_waiting_fourth_order(benchmark, actors):
+    others = _profiles(actors)
+    benchmark(lambda: waiting_time_order_m(others, 4))
+
+
+@pytest.mark.parametrize("actors", [5, 10, 20])
+def test_waiting_composability(benchmark, actors):
+    others = _profiles(actors)
+    model = CompositionWaitingModel()
+    own = _profiles(1)[0]
+    benchmark(lambda: model.waiting_time(own, others))
+
+
+def test_compose_decompose_roundtrip(benchmark):
+    a = Composite.of_profile(_profiles(1)[0])
+    total = compose_all(_profiles(12))
+    benchmark(lambda: decompose(compose(total, a), a))
+
+
+def test_mcr_howard_paper_scale(benchmark, suite=None):
+    graph = paper_benchmark_suite(application_count=1).graphs[0]
+    hsdf = to_hsdf(graph)
+    benchmark(lambda: max_cycle_ratio(hsdf, method="howard"))
+
+
+def test_mcr_lawler_paper_scale(benchmark):
+    graph = paper_benchmark_suite(application_count=1).graphs[0]
+    hsdf = to_hsdf(graph)
+    benchmark(lambda: max_cycle_ratio(hsdf, method="lawler"))
+
+
+def test_statespace_period_paper_scale(benchmark):
+    graph = paper_benchmark_suite(application_count=1).graphs[0]
+    benchmark(lambda: self_timed_period(graph))

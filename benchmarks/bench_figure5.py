@@ -1,0 +1,52 @@
+"""Figure 5 — per-application normalized periods under maximum contention.
+
+Regenerates the paper's Figure 5: all ten applications concurrent, period
+normalized to isolation, one series per technique plus simulation
+(mean and worst) and the original period.
+
+Shape assertions (the reproduction contract):
+* the worst-case bound towers over simulation for every application;
+* all probabilistic estimates stay within 50% of simulation while the
+  worst case is multiples above it;
+* the second order is at least as conservative as the fourth order.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import report
+from repro.experiments.figure5 import run_figure5
+
+
+def test_figure5(benchmark, suite):
+    result = benchmark.pedantic(
+        lambda: run_figure5(suite, target_iterations=150),
+        rounds=1,
+        iterations=1,
+    )
+    report("figure5", result.render())
+
+    worst = result.series["Analyzed Worst Case"]
+    simulated = result.series["Simulated"]
+    simulated_worst = result.series["Simulated Worst Case"]
+    second = result.series["Probabilistic Second Order"]
+    fourth = result.series["Probabilistic Fourth Order"]
+    composed = result.series["Composability-based"]
+
+    for i, application in enumerate(result.applications):
+        assert worst[i] > 2.0 * simulated[i], application
+        assert simulated_worst[i] >= simulated[i] * 0.999, application
+        for series in (second, fourth, composed):
+            assert abs(series[i] - simulated[i]) / simulated[i] < 0.5, (
+                application
+            )
+        assert second[i] >= fourth[i] - 1e-9, application
+
+    mean_sim = sum(simulated) / len(simulated)
+    benchmark.extra_info["mean_simulated_normalized_period"] = round(
+        mean_sim, 3
+    )
+    benchmark.extra_info["mean_worst_case_normalized_period"] = round(
+        sum(worst) / len(worst), 3
+    )

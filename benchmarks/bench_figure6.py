@@ -1,0 +1,59 @@
+"""Figure 6 — period inaccuracy vs. number of concurrent applications.
+
+Regenerates the paper's Figure 6 from the shared sweep: mean absolute
+period inaccuracy per use-case cardinality (1..10), one series per
+technique.
+
+Shape assertions:
+* every technique is exact with one application (no contention);
+* the worst-case curve deteriorates with application count and ends far
+  above every probabilistic curve (paper: ~160% vs ~14%);
+* composability tracks second order closely (the paper observes they
+  are "almost exactly equal").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import report
+from repro.experiments.figure6 import run_figure6
+
+
+def test_figure6(benchmark, suite, sweep):
+    result = benchmark.pedantic(
+        lambda: run_figure6(suite, sweep=sweep),
+        rounds=1,
+        iterations=1,
+    )
+    report("figure6", result.render())
+
+    assert result.sizes[0] == 1
+    for method, series in result.series.items():
+        assert series[0] == pytest.approx(0.0, abs=1e-6), method
+
+    worst = result.series["worst_case"]
+    second = result.series["second_order"]
+    fourth = result.series["fourth_order"]
+    composed = result.series["composability"]
+
+    # Worst case deteriorates: the final point dominates its start and
+    # every probabilistic technique's final point by a wide margin.
+    assert worst[-1] > 3.0 * max(second[-1], fourth[-1], composed[-1])
+    assert worst[-1] > worst[1]
+    # Composability hugs second order.  The paper calls them "almost
+    # exactly equal"; they differ only in +P^2/4 cross terms, which at
+    # our (hotter) operating point open up a few percentage points.
+    for a, b in zip(composed, second):
+        assert abs(a - b) < 10.0
+    # Probabilistic techniques stay in the low tens of percent.
+    for series in (second, fourth, composed):
+        assert max(series) < 40.0
+
+    benchmark.extra_info["worst_case_at_10_apps_pct"] = round(worst[-1], 1)
+    benchmark.extra_info["second_order_at_10_apps_pct"] = round(
+        second[-1], 1
+    )
+    benchmark.extra_info["fourth_order_at_10_apps_pct"] = round(
+        fourth[-1], 1
+    )

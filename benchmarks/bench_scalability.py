@@ -1,0 +1,47 @@
+"""Scalability — the paper's headline claim.
+
+Abstract: "The approach scales very well with increasing number of
+applications, and can also be applied at run-time for admission
+control."  Section 1 motivates it with future platforms running 20
+applications (2^20 use-cases).
+
+This bench grows the suite from 2 to 20 applications and measures the
+cost of one maximum-contention estimate against one reference
+simulation.  Assertions: the estimate stays in the low-millisecond
+range even at 20 applications (where exhaustive simulation of 2^20
+use-cases would be hopeless), and analysis cost grows far slower than
+simulation cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import report
+from repro.experiments.scalability import run_scalability
+
+
+def test_scalability(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_scalability(), rounds=1, iterations=1
+    )
+    report("scalability", result.render())
+
+    first, last = result.points[0], result.points[-1]
+    assert last.applications == 20
+    # One analysis of a 20-application use-case stays interactive.
+    for method in result.methods:
+        assert last.estimation_ms[method] < 500.0, method
+    # Analysis cost grows slower than simulation cost as apps pile up.
+    for method in result.methods:
+        analysis_growth = (
+            last.estimation_ms[method] / first.estimation_ms[method]
+        )
+        simulation_growth = last.simulation_ms / first.simulation_ms
+        assert analysis_growth < simulation_growth * 2.0
+        benchmark.extra_info[f"{method}_ms_at_20_apps"] = round(
+            last.estimation_ms[method], 1
+        )
+    benchmark.extra_info["simulation_ms_at_20_apps"] = round(
+        last.simulation_ms, 1
+    )

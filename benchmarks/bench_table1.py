@@ -1,0 +1,54 @@
+"""Table 1 — mean absolute inaccuracy of each technique vs. simulation.
+
+Regenerates the paper's Table 1 from the shared use-case sweep.  The
+benchmarked quantity is the summarization itself (the sweep is shared
+session state); the reproduced numbers are attached as extra_info and
+rendered side by side with the paper's values.
+
+Shape assertions:
+* the worst-case approach is the clear loser on both metrics (the paper
+  reports 49%/112% against <5%/<14% for the probabilistic family);
+* every probabilistic technique keeps throughput inaccuracy under 25%
+  and period inaccuracy under 35%;
+* throughput and period inaccuracies are positive (estimates are not
+  magically exact).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import report
+from repro.experiments.table1 import run_table1
+
+
+def test_table1(benchmark, suite, sweep):
+    result = benchmark.pedantic(
+        lambda: run_table1(suite, sweep=sweep),
+        rounds=1,
+        iterations=1,
+    )
+    report("table1", result.render())
+
+    worst = result.summary_of("worst_case")
+    probabilistic = [
+        result.summary_of(m)
+        for m in ("composability", "fourth_order", "second_order")
+    ]
+
+    for summary in probabilistic:
+        assert worst.period_percent > 2.0 * summary.period_percent, (
+            summary.method
+        )
+        assert worst.throughput_percent > 2.0 * summary.throughput_percent
+        assert summary.throughput_percent < 25.0
+        assert summary.period_percent < 35.0
+
+    for summary in (worst, *probabilistic):
+        benchmark.extra_info[f"{summary.method}_period_pct"] = round(
+            summary.period_percent, 2
+        )
+        benchmark.extra_info[f"{summary.method}_throughput_pct"] = round(
+            summary.throughput_percent, 2
+        )
+    benchmark.extra_info["use_cases"] = result.use_case_count

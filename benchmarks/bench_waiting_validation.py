@@ -1,0 +1,96 @@
+"""Waiting-time validation — estimated vs. observed queueing delay.
+
+The paper validates *periods*; the library's simulator additionally
+records every actor's actual queueing delay, so the intermediate
+quantity — the expected waiting time the whole method revolves around —
+can be validated directly.  This bench compares, for the
+maximum-contention use-case, each actor's estimated waiting (exact
+Eq. 4) with its observed mean waiting, and reports the most contended
+actors.
+
+The per-actor agreement is *not* expected to be tight: resource
+contention couples the supposedly independent arrivals (the paper's own
+Section 3.1 caveat), and FCFS service correlates queue states across
+actors.  The assertions therefore target aggregate mass and rank
+correlation rather than pointwise errors.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import report
+from repro.core.estimator import ProbabilisticEstimator
+from repro.experiments.reporting import render_table
+from repro.platform.usecase import UseCase
+from repro.simulation.engine import SimulationConfig, Simulator
+
+
+def test_waiting_validation(benchmark, suite):
+    use_case = UseCase(suite.application_names)
+
+    def run():
+        simulation = Simulator(
+            list(suite.graphs),
+            mapping=suite.mapping,
+            config=SimulationConfig(target_iterations=150),
+        ).run()
+        estimate = ProbabilisticEstimator(
+            list(suite.graphs),
+            mapping=suite.mapping,
+            waiting_model="exact",
+        ).estimate(use_case)
+        return simulation, estimate
+
+    simulation, estimate = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    records = []
+    for key, statistics in simulation.waiting.items():
+        records.append(
+            (
+                key,
+                estimate.waiting_times[key],
+                statistics.mean,
+                statistics.maximum,
+            )
+        )
+    records.sort(key=lambda r: -r[2])
+
+    rows = [
+        [
+            f"{app}.{actor}",
+            f"{estimated:.1f}",
+            f"{observed_mean:.1f}",
+            f"{observed_max:.1f}",
+        ]
+        for (app, actor), estimated, observed_mean, observed_max in records[
+            :12
+        ]
+    ]
+    report(
+        "waiting_validation",
+        render_table(
+            ["actor", "estimated E[wait]", "observed mean", "observed max"],
+            rows,
+            title=(
+                "Waiting-time validation - twelve most contended actors "
+                "(all 10 applications)"
+            ),
+        ),
+    )
+
+    estimated_total = sum(r[1] for r in records)
+    observed_total = sum(r[2] for r in records)
+    ratio = estimated_total / observed_total
+    assert 1 / 3 < ratio < 3, (estimated_total, observed_total)
+
+    # Rank agreement: of the ten actors with the highest observed
+    # waiting, a clear majority must also rank in the estimated top 15.
+    top_observed = {r[0] for r in records[:10]}
+    by_estimate = sorted(records, key=lambda r: -r[1])
+    top_estimated = {r[0] for r in by_estimate[:15]}
+    overlap = len(top_observed & top_estimated)
+    assert overlap >= 6, overlap
+
+    benchmark.extra_info["estimated_over_observed"] = round(ratio, 2)
+    benchmark.extra_info["top10_overlap"] = overlap

@@ -1,0 +1,73 @@
+"""Shared infrastructure for the reproduction benches.
+
+* One session-scoped use-case sweep feeds Table 1, Figure 6 and the
+  timing comparison (the paper derives all three from the same runs).
+* Every bench registers its rendered table through ``report``; a
+  ``pytest_terminal_summary`` hook prints them after the benchmark
+  results (so ``pytest benchmarks/ --benchmark-only`` output contains
+  the reproduced artefacts verbatim) and persists them under
+  ``benchmarks/results/``.
+* Set ``REPRO_BENCH_EXHAUSTIVE=1`` to sweep all 2^10 use-cases like the
+  paper (minutes instead of seconds).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro.experiments.runner import SweepConfig, SweepResult, run_sweep
+from repro.experiments.setup import BenchmarkSuite, paper_benchmark_suite
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_REPORTS: List[Tuple[str, str]] = []
+
+
+def report(name: str, text: str) -> None:
+    """Register a rendered artefact for terminal summary + persistence."""
+    _REPORTS.append((name, text))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def suite() -> BenchmarkSuite:
+    """The paper-scale ten-application benchmark suite."""
+    return paper_benchmark_suite()
+
+
+@pytest.fixture(scope="session")
+def sweep_config() -> SweepConfig:
+    exhaustive = os.environ.get("REPRO_BENCH_EXHAUSTIVE", "") == "1"
+    return SweepConfig(
+        methods=(
+            "worst_case",
+            "composability",
+            "fourth_order",
+            "second_order",
+        ),
+        target_iterations=100,
+        samples_per_size=None if exhaustive else 20,
+        seed=1,
+    )
+
+
+@pytest.fixture(scope="session")
+def sweep(suite: BenchmarkSuite, sweep_config: SweepConfig) -> SweepResult:
+    """The shared simulate-and-estimate sweep (runs once per session)."""
+    return run_sweep(suite, config=sweep_config)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.section("reproduced paper artefacts")
+    for name, text in _REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"--- {name} ---")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

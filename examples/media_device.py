@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""A multi-featured media device — the paper's title scenario.
+
+Five media applications (H.263 video, MP3 audio, JPEG viewer, data
+modem, sample-rate converter) can run in any combination on a shared
+five-processor SoC.  Verifying all 2^5 - 1 = 31 use-cases by simulation
+is what the paper calls infeasible at scale; this example does both on
+the small scale — estimates every use-case probabilistically *and*
+simulates it — and prints the worst-case-vs-probabilistic accuracy per
+use-case size, i.e. a miniature Figure 6 on realistic application
+graphs.
+
+Run with::
+
+    python examples/media_device.py
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro import (
+    ProbabilisticEstimator,
+    SimulationConfig,
+    all_use_cases,
+    index_mapping,
+    simulate,
+)
+from repro.generation.gallery import media_device_suite
+
+
+def main() -> None:
+    graphs = media_device_suite()
+    mapping = index_mapping(graphs)
+    names = tuple(g.name for g in graphs)
+
+    print("Applications on the device:")
+    for graph in graphs:
+        print(
+            f"  {graph.name:>6s}: {len(graph)} actors, "
+            f"{len(graph.channels)} channels"
+        )
+
+    estimators = {
+        model: ProbabilisticEstimator(
+            graphs, mapping=mapping, waiting_model=model
+        )
+        for model in ("second_order", "worst_case")
+    }
+
+    errors = {model: defaultdict(list) for model in estimators}
+    use_cases = all_use_cases(names)
+    print(f"\nSweeping all {len(use_cases)} use-cases ...")
+    for use_case in use_cases:
+        active = use_case.select(graphs)
+        reference = simulate(
+            active,
+            mapping=mapping,
+            config=SimulationConfig(target_iterations=60),
+        )
+        for model, estimator in estimators.items():
+            estimate = estimator.estimate(use_case)
+            for name in use_case:
+                simulated = reference.period_of(name)
+                estimated = estimate.periods[name]
+                errors[model][use_case.size].append(
+                    100 * abs(estimated - simulated) / simulated
+                )
+
+    print("\nMean period inaccuracy vs. simulation (percent):")
+    print(f"  {'apps':>6s} {'probabilistic':>14s} {'worst case':>11s}")
+    for size in sorted(errors["second_order"]):
+        probabilistic = errors["second_order"][size]
+        worst = errors["worst_case"][size]
+        print(
+            f"  {size:>6d} "
+            f"{sum(probabilistic) / len(probabilistic):>14.1f} "
+            f"{sum(worst) / len(worst):>11.1f}"
+        )
+
+    print(
+        "\nEven on real application structures the probabilistic estimate"
+        "\nstays within a few tens of percent while the worst-case bound"
+        "\nexplodes with the number of concurrent features."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Quickstart: estimate contention for two applications sharing a CPU.
+
+Builds the two SDF applications from the paper's Figure 2, maps actor i
+of each application onto processor i (so a_i and b_i contend), and
+compares:
+
+* the isolation period of each application (no contention),
+* the probabilistic estimates (exact formula, second/fourth order,
+  composability),
+* the worst-case response-time bound, and
+* the period measured by the cycle-accurate reference simulator.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    GraphBuilder,
+    ProbabilisticEstimator,
+    SimulationConfig,
+    index_mapping,
+    period,
+    simulate,
+)
+
+
+def build_applications():
+    """The paper's Figure 2: two three-actor ring applications."""
+    app_a = (
+        GraphBuilder("A")
+        .actor("a0", 100)
+        .actor("a1", 50)
+        .actor("a2", 100)
+        .channel("a0", "a1", production=2, consumption=1)
+        .channel("a1", "a2", production=1, consumption=2)
+        .channel("a2", "a0", initial_tokens=1)
+        .build()
+    )
+    app_b = (
+        GraphBuilder("B")
+        .actor("b0", 50)
+        .actor("b1", 100)
+        .actor("b2", 100)
+        .channel("b0", "b1", production=1, consumption=2)
+        .channel("b1", "b2", production=1, consumption=1)
+        .channel("b2", "b0", production=2, consumption=1, initial_tokens=2)
+        .build()
+    )
+    return app_a, app_b
+
+
+def main() -> None:
+    app_a, app_b = build_applications()
+    graphs = [app_a, app_b]
+    mapping = index_mapping(graphs)
+
+    print("Isolation periods (Definition 3):")
+    for graph in graphs:
+        print(f"  Per({graph.name}) = {period(graph):.1f}")
+
+    print("\nEstimated periods under contention (a_i, b_i share proc_i):")
+    for model in ("exact", "second_order", "fourth_order",
+                  "composability", "worst_case"):
+        estimator = ProbabilisticEstimator(
+            graphs, mapping=mapping, waiting_model=model
+        )
+        result = estimator.estimate()
+        periods = ", ".join(
+            f"Per({name}) = {value:.1f}"
+            for name, value in result.periods.items()
+        )
+        print(f"  {model:>15s}: {periods}")
+
+    print("\nReference simulation (non-preemptive FCFS):")
+    reference = simulate(
+        graphs,
+        mapping=mapping,
+        config=SimulationConfig(target_iterations=200),
+    )
+    for graph in graphs:
+        metrics = reference.metrics[graph.name]
+        print(
+            f"  Per({graph.name}) = {metrics.average_period:.1f} "
+            f"(worst iteration {metrics.worst_period:.1f})"
+        )
+
+    print(
+        "\nThe probabilistic estimate (~358) is a conservative ~20% above"
+        "\nthe simulated 300 here; the worst-case bound (650) is more than"
+        "\ndouble it.  Section 3.1 of the paper walks through these exact"
+        "\nnumbers."
+    )
+
+
+if __name__ == "__main__":
+    main()

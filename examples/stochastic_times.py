@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Varying execution times — the paper's future-work extension, working.
+
+Media workloads are data dependent: an I-frame decodes slower than a
+B-frame.  This example gives every actor of the paper's Figure-2
+applications a distribution instead of a constant:
+
+* ``mu(a)`` generalizes from ``tau/2`` to the mean residual life
+  ``E[X^2] / (2 E[X])`` (longer executions are likelier to be hit —
+  the inspection paradox), and
+* the reference simulator draws each firing's duration from the same
+  distribution,
+
+so estimate and measurement stay comparable.
+
+Run with::
+
+    python examples/stochastic_times.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ProbabilisticEstimator,
+    SimulationConfig,
+    index_mapping,
+    simulate,
+)
+from repro.core.distributions import (
+    DiscreteTime,
+    DistributionTimeModel,
+    UniformTime,
+)
+from repro.generation.gallery import paper_two_apps
+
+
+def main() -> None:
+    app_a, app_b = paper_two_apps()
+    graphs = [app_a, app_b]
+    mapping = index_mapping(graphs)
+
+    # a0 is frame-type dependent (discrete), everything else jitters
+    # uniformly +/-30% around its nominal time.
+    distributions = {
+        ("A", "a0"): DiscreteTime.of([(140, 0.2), (100, 0.5), (70, 0.3)]),
+    }
+    for graph in graphs:
+        for actor in graph.actors:
+            key = (graph.name, actor.name)
+            if key in distributions:
+                continue
+            nominal = actor.execution_time
+            distributions[key] = UniformTime(0.7 * nominal, 1.3 * nominal)
+    time_model = DistributionTimeModel(distributions)
+
+    print("Per-actor mu: constant-time tau/2 vs. mean residual life:")
+    for (app, actor), dist in sorted(distributions.items()):
+        nominal = next(
+            g.execution_time(actor) for g in graphs if g.name == app
+        )
+        print(
+            f"  {app}.{actor}: tau/2 = {nominal / 2:6.1f}   "
+            f"E[X^2]/2E[X] = {dist.mean_residual():6.1f}"
+        )
+
+    estimator = ProbabilisticEstimator(
+        graphs,
+        mapping=mapping,
+        waiting_model="exact",
+        mus=time_model.mus(),
+    )
+    estimate = estimator.estimate()
+
+    reference = simulate(
+        graphs,
+        mapping=mapping,
+        config=SimulationConfig(
+            target_iterations=400, time_model=time_model, seed=7
+        ),
+    )
+
+    print("\nContended periods (stochastic execution times):")
+    for name in ("A", "B"):
+        estimated = estimate.periods[name]
+        simulated = reference.period_of(name)
+        error = 100 * abs(estimated - simulated) / simulated
+        print(
+            f"  {name}: estimated {estimated:6.1f}   "
+            f"simulated {simulated:6.1f}   error {error:4.1f}%"
+        )
+
+    print(
+        "\nThe same two-moment summary (P, mu) carries the analysis —"
+        "\nno change to the estimator was needed, exactly as the paper"
+        "\nclaims in its conclusions."
+    )
+
+
+if __name__ == "__main__":
+    main()

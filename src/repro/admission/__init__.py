@@ -1,0 +1,20 @@
+"""Run-time admission control (the application the paper's Sections 1 and
+6 motivate: "the approach ... can also be applied at run-time for
+admission control").
+
+:class:`~repro.admission.controller.AdmissionController` keeps one
+composability aggregate (Eq. 6/7) per processor.  Admitting an
+application composes its actors in (O(1) per actor); estimating any
+actor's waiting time removes only that actor with the inverse operators
+(Eq. 8/9); withdrawing an application decomposes its actors out.  An
+application is admitted only when, with it added, every resident
+application (and the newcomer) still meets its registered throughput
+requirement.
+"""
+
+from repro.admission.controller import (
+    AdmissionController,
+    AdmissionDecision,
+)
+
+__all__ = ["AdmissionController", "AdmissionDecision"]

@@ -1,0 +1,254 @@
+"""Incremental admission controller built on the composability algebra.
+
+State per processor: one :class:`~repro.core.composability.Composite`
+aggregating every admitted actor bound to it.  The controller exercises
+exactly the workflow the paper sketches for run-time use:
+
+* **admit** — compose the candidate's actors into their nodes' aggregates
+  (Eq. 6/7): O(1) per actor, no re-analysis of resident applications'
+  aggregates;
+* **estimate** — an actor's expected waiting time is the aggregate of its
+  node *minus itself*, obtained with the inverse operators (Eq. 8/9):
+  O(1) per actor;
+* **withdraw** — decompose the leaving application's actors out of the
+  aggregates: O(1) per actor.
+
+Because the ``(x)`` operator is associative only to second order,
+repeated compose/decompose cycles accumulate a small drift relative to
+recomposing from scratch; :meth:`AdmissionController.rebuild` restores
+the exact aggregates (the test suite bounds the drift).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.blocking import ActorProfile, build_profiles
+from repro.core.composability import (
+    Composite,
+    compose,
+    decompose,
+)
+from repro.exceptions import AdmissionError
+from repro.platform.mapping import Mapping
+from repro.sdf.analysis import (
+    AnalysisMethod,
+    period as analytical_period,
+    period_with_response_times,
+)
+from repro.sdf.graph import SDFGraph
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission request.
+
+    Attributes
+    ----------
+    admitted:
+        Whether the candidate was accepted.
+    reason:
+        Human-readable explanation (which application failed, if any).
+    estimated_periods:
+        Estimated contended period of every application *with the
+        candidate included* — also filled for rejections so the caller
+        can see how close the system was.
+    required_periods:
+        Registered maximum period of each constrained application.
+    """
+
+    admitted: bool
+    reason: str
+    estimated_periods: Dict[str, float]
+    required_periods: Dict[str, float]
+
+
+class AdmissionController:
+    """Admits/evicts applications against throughput requirements.
+
+    Parameters
+    ----------
+    mapping:
+        Actor bindings covering every application that may ever request
+        admission.
+    analysis_method:
+        Period engine used for isolation and contended periods.
+    """
+
+    def __init__(
+        self,
+        mapping: Mapping,
+        analysis_method: AnalysisMethod = AnalysisMethod.MCR,
+    ) -> None:
+        self.mapping = mapping
+        self.analysis_method = analysis_method
+        self._aggregates: Dict[str, Composite] = {
+            name: Composite.empty()
+            for name in mapping.platform.processor_names
+        }
+        self._graphs: Dict[str, SDFGraph] = {}
+        self._profiles: Dict[Tuple[str, str], ActorProfile] = {}
+        self._required_period: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def admitted_applications(self) -> Tuple[str, ...]:
+        return tuple(self._graphs.keys())
+
+    def aggregate_of(self, processor: str) -> Composite:
+        """Current aggregate (P, mu*P) of ``processor``."""
+        try:
+            return self._aggregates[processor]
+        except KeyError:
+            raise AdmissionError(
+                f"unknown processor {processor!r}"
+            ) from None
+
+    def estimated_period(self, application: str) -> float:
+        """Contended period estimate of an admitted application."""
+        if application not in self._graphs:
+            raise AdmissionError(
+                f"application {application!r} is not admitted"
+            )
+        periods = self._estimate_periods(self._aggregates, self._graphs)
+        return periods[application]
+
+    # ------------------------------------------------------------------
+    # Admission / withdrawal
+    # ------------------------------------------------------------------
+    def request_admission(
+        self,
+        graph: SDFGraph,
+        max_period: Optional[float] = None,
+    ) -> AdmissionDecision:
+        """Try to admit ``graph``; commit only when all requirements hold.
+
+        Parameters
+        ----------
+        graph:
+            Candidate application (must be covered by the mapping).
+        max_period:
+            The candidate's own requirement: reject unless its estimated
+            contended period stays at or below this value.  ``None``
+            imposes no requirement on the candidate itself.
+        """
+        if graph.name in self._graphs:
+            raise AdmissionError(
+                f"application {graph.name!r} is already admitted"
+            )
+        self.mapping.validate_against([graph])
+
+        candidate_profiles = build_profiles([graph])
+        tentative = dict(self._aggregates)
+        for (app, actor), profile in candidate_profiles.items():
+            processor = self.mapping.processor_of(app, actor)
+            tentative[processor] = compose(
+                tentative[processor], Composite.of_profile(profile)
+            )
+
+        tentative_graphs = dict(self._graphs)
+        tentative_graphs[graph.name] = graph
+        tentative_all_profiles = dict(self._profiles)
+        tentative_all_profiles.update(candidate_profiles)
+
+        periods = self._estimate_periods(
+            tentative, tentative_graphs, tentative_all_profiles
+        )
+        requirements = dict(self._required_period)
+        if max_period is not None:
+            requirements[graph.name] = max_period
+
+        for app, requirement in requirements.items():
+            if periods[app] > requirement * (1 + 1e-12):
+                return AdmissionDecision(
+                    admitted=False,
+                    reason=(
+                        f"admitting {graph.name!r} would push "
+                        f"{app!r} to period {periods[app]:.2f} beyond its "
+                        f"requirement {requirement:.2f}"
+                    ),
+                    estimated_periods=periods,
+                    required_periods=requirements,
+                )
+
+        # Commit.
+        self._aggregates = tentative
+        self._graphs = tentative_graphs
+        self._profiles = tentative_all_profiles
+        if max_period is not None:
+            self._required_period[graph.name] = max_period
+        return AdmissionDecision(
+            admitted=True,
+            reason=f"{graph.name!r} admitted",
+            estimated_periods=periods,
+            required_periods=requirements,
+        )
+
+    def withdraw(self, application: str) -> None:
+        """Remove an admitted application (Eq. 8/9 decomposition)."""
+        if application not in self._graphs:
+            raise AdmissionError(
+                f"application {application!r} is not admitted"
+            )
+        graph = self._graphs.pop(application)
+        self._required_period.pop(application, None)
+        for actor in graph.actor_names:
+            profile = self._profiles.pop((application, actor))
+            processor = self.mapping.processor_of(application, actor)
+            self._aggregates[processor] = decompose(
+                self._aggregates[processor], Composite.of_profile(profile)
+            )
+
+    def rebuild(self) -> None:
+        """Recompose every aggregate from the stored profiles.
+
+        Clears the numerical drift that compose/decompose cycles
+        accumulate (the ``(x)`` operator is associative only to second
+        order).  Cost: O(total actors).
+        """
+        aggregates = {
+            name: Composite.empty()
+            for name in self.mapping.platform.processor_names
+        }
+        for (app, actor), profile in self._profiles.items():
+            processor = self.mapping.processor_of(app, actor)
+            aggregates[processor] = compose(
+                aggregates[processor], Composite.of_profile(profile)
+            )
+        self._aggregates = aggregates
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _estimate_periods(
+        self,
+        aggregates: Dict[str, Composite],
+        graphs: Dict[str, SDFGraph],
+        profiles: Optional[Dict[Tuple[str, str], ActorProfile]] = None,
+    ) -> Dict[str, float]:
+        """Estimated contended period of each application.
+
+        Every actor's waiting time is its node's aggregate with the actor
+        itself removed (the paper's "only the inverse operation with
+        their own parameters has to be performed").
+        """
+        if profiles is None:
+            profiles = self._profiles
+        periods: Dict[str, float] = {}
+        for app, graph in graphs.items():
+            response_times: Dict[str, float] = {}
+            for actor in graph.actor_names:
+                profile = profiles[(app, actor)]
+                processor = self.mapping.processor_of(app, actor)
+                rest = decompose(
+                    aggregates[processor], Composite.of_profile(profile)
+                )
+                waiting = max(0.0, rest.waiting_product)
+                response_times[actor] = profile.tau + waiting
+            periods[app] = period_with_response_times(
+                graph, response_times, method=self.analysis_method
+            )
+        return periods

@@ -1,0 +1,363 @@
+"""Command-line interface.
+
+Five subcommands mirror the library's workflow::
+
+    python -m repro generate --seed 7 --json         # make a graph
+    python -m repro info graph.json                  # analyze one graph
+    python -m repro estimate --suite 5 --model exact # Fig.-4 estimate
+    python -m repro simulate --suite 5               # reference DES run
+    python -m repro sweep --suite 5 --samples 4      # mini Table 1/Fig 6
+
+Application sets come from the deterministic paper suite (``--suite N``
+= first N of the ten seeded applications), the media gallery
+(``--media``) or graph JSON files (``--file``, repeatable).  All output
+is plain text.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.estimator import ProbabilisticEstimator
+from repro.experiments.accuracy import summarize_by_size, summarize_sweep
+from repro.experiments.reporting import render_series, render_table
+from repro.experiments.runner import SweepConfig, run_sweep
+from repro.experiments.setup import BenchmarkSuite, paper_benchmark_suite
+from repro.generation.gallery import media_device_suite
+from repro.generation.random_sdf import GeneratorConfig, random_sdf_graph
+from repro.platform.mapping import index_mapping
+from repro.platform.usecase import UseCase
+from repro.sdf.analysis import period as analytical_period
+from repro.sdf.graph import SDFGraph
+from repro.sdf.liveness import is_live
+from repro.sdf.repetition import repetition_vector
+from repro.sdf.serialization import graph_from_json, graph_to_json
+from repro.sdf.visualization import to_dot
+from repro.simulation.engine import SimulationConfig, Simulator
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = _build_parser()
+    arguments = parser.parse_args(argv)
+    try:
+        arguments.handler(arguments)
+    except Exception as error:  # surface library errors as CLI errors
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Probabilistic resource-contention performance estimation "
+            "(reproduction of Kumar et al., DAC 2007)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="generate a random SDF graph"
+    )
+    generate.add_argument("--seed", type=int, required=True)
+    generate.add_argument("--name", default="G")
+    generate.add_argument(
+        "--actors", type=int, nargs=2, metavar=("LO", "HI"),
+        default=(8, 10),
+    )
+    generate.add_argument("--pipeline-depth", type=int, default=1)
+    output = generate.add_mutually_exclusive_group()
+    output.add_argument("--json", action="store_true", default=True)
+    output.add_argument("--dot", action="store_true")
+    generate.set_defaults(handler=_cmd_generate)
+
+    info = commands.add_parser("info", help="analyze one graph JSON file")
+    info.add_argument("file", help="graph JSON (see 'generate --json')")
+    info.set_defaults(handler=_cmd_info)
+
+    for name, helptext in (
+        ("estimate", "probabilistic period estimation for a use-case"),
+        ("simulate", "reference discrete-event simulation of a use-case"),
+    ):
+        sub = commands.add_parser(name, help=helptext)
+        _add_application_selection(sub)
+        sub.add_argument(
+            "--apps",
+            help="comma-separated active applications (default: all)",
+        )
+        if name == "estimate":
+            sub.add_argument("--model", default="second_order")
+            sub.add_argument("--iterations", type=int, default=1)
+            sub.set_defaults(handler=_cmd_estimate)
+        else:
+            sub.add_argument("--iterations", type=int, default=100)
+            sub.set_defaults(handler=_cmd_simulate)
+
+    sweep = commands.add_parser(
+        "sweep", help="mini Table-1 / Figure-6 sweep"
+    )
+    _add_application_selection(sweep)
+    sweep.add_argument("--samples", type=int, default=4)
+    sweep.add_argument("--sim-iterations", type=int, default=40)
+    sweep.set_defaults(handler=_cmd_sweep)
+
+    reproduce = commands.add_parser(
+        "reproduce",
+        help="regenerate the paper's Table 1, Figures 5-6 and timing",
+    )
+    reproduce.add_argument(
+        "--scale",
+        choices=("quick", "paper"),
+        default="quick",
+        help=(
+            "quick: sampled use-cases, short simulations (seconds); "
+            "paper: all 2^N use-cases, longer simulations (minutes)"
+        ),
+    )
+    reproduce.add_argument(
+        "--applications", type=int, default=10, metavar="N"
+    )
+    reproduce.set_defaults(handler=_cmd_reproduce)
+
+    return parser
+
+
+def _add_application_selection(sub: argparse.ArgumentParser) -> None:
+    selection = sub.add_mutually_exclusive_group(required=True)
+    selection.add_argument(
+        "--suite",
+        type=int,
+        metavar="N",
+        help="first N applications of the deterministic paper suite",
+    )
+    selection.add_argument(
+        "--media",
+        action="store_true",
+        help="the five media-device gallery applications",
+    )
+    selection.add_argument(
+        "--file",
+        action="append",
+        metavar="GRAPH.json",
+        help="graph JSON file (repeatable)",
+    )
+
+
+def _selected_suite(arguments) -> BenchmarkSuite:
+    if arguments.suite is not None:
+        return paper_benchmark_suite(application_count=arguments.suite)
+    if arguments.media:
+        graphs = media_device_suite()
+    else:
+        graphs = []
+        for path in arguments.file:
+            with open(path) as handle:
+                graphs.append(graph_from_json(handle.read()))
+    mapping = index_mapping(graphs)
+    return BenchmarkSuite(
+        graphs=tuple(graphs),
+        platform=mapping.platform,
+        mapping=mapping,
+        seed=0,
+    )
+
+
+def _selected_use_case(arguments, suite: BenchmarkSuite) -> UseCase:
+    if getattr(arguments, "apps", None):
+        return UseCase(tuple(arguments.apps.split(",")))
+    return UseCase(suite.application_names)
+
+
+# ----------------------------------------------------------------------
+# Handlers
+# ----------------------------------------------------------------------
+def _cmd_generate(arguments) -> None:
+    graph = random_sdf_graph(
+        arguments.name,
+        seed=arguments.seed,
+        config=GeneratorConfig(
+            actor_count_range=tuple(arguments.actors),
+            pipeline_depth=arguments.pipeline_depth,
+        ),
+    )
+    if arguments.dot:
+        print(to_dot(graph))
+    else:
+        print(graph_to_json(graph))
+
+
+def _cmd_info(arguments) -> None:
+    with open(arguments.file) as handle:
+        graph = graph_from_json(handle.read())
+    vector = repetition_vector(graph)
+    rows = [
+        ["actors", len(graph)],
+        ["channels", len(graph.channels)],
+        ["strongly connected", graph.is_strongly_connected()],
+        ["live", is_live(graph)],
+        ["repetition vector", " ".join(
+            f"{k}:{v}" for k, v in vector.items()
+        )],
+        ["period (isolation)", f"{analytical_period(graph):.2f}"],
+        ["workload / iteration", f"{sum(vector[a.name] * a.execution_time for a in graph.actors):.0f}"],
+    ]
+    print(render_table(["property", "value"], rows, title=graph.name))
+
+
+def _cmd_estimate(arguments) -> None:
+    suite = _selected_suite(arguments)
+    use_case = _selected_use_case(arguments, suite)
+    estimator = ProbabilisticEstimator(
+        list(suite.graphs),
+        mapping=suite.mapping,
+        waiting_model=arguments.model,
+    )
+    result = estimator.estimate(
+        use_case, iterations=arguments.iterations
+    )
+    rows = [
+        [
+            name,
+            f"{result.isolation_periods[name]:.1f}",
+            f"{result.periods[name]:.1f}",
+            f"{result.normalized_period_of(name):.2f}",
+        ]
+        for name in use_case
+    ]
+    print(
+        render_table(
+            ["app", "isolation", "estimated", "inflation"],
+            rows,
+            title=(
+                f"Estimate ({result.model_name}) for use-case "
+                f"{use_case.label()}"
+            ),
+        )
+    )
+
+
+def _cmd_simulate(arguments) -> None:
+    suite = _selected_suite(arguments)
+    use_case = _selected_use_case(arguments, suite)
+    active = use_case.select(list(suite.graphs))
+    result = Simulator(
+        active,
+        mapping=suite.mapping,
+        config=SimulationConfig(
+            target_iterations=arguments.iterations
+        ),
+    ).run()
+    rows = [
+        [
+            name,
+            f"{result.period_of(name):.1f}",
+            f"{result.worst_period_of(name):.1f}",
+            result.metrics[name].iterations,
+        ]
+        for name in use_case
+    ]
+    print(
+        render_table(
+            ["app", "period", "worst iteration", "iterations"],
+            rows,
+            title=f"Simulation of use-case {use_case.label()}",
+        )
+    )
+    busiest = sorted(
+        result.processor_utilization.items(),
+        key=lambda item: -item[1],
+    )[:5]
+    print(
+        "busiest processors: "
+        + ", ".join(f"{name}={value:.2f}" for name, value in busiest)
+    )
+
+
+def _cmd_sweep(arguments) -> None:
+    suite = _selected_suite(arguments)
+    sweep = run_sweep(
+        suite,
+        config=SweepConfig(
+            target_iterations=arguments.sim_iterations,
+            samples_per_size=arguments.samples,
+        ),
+    )
+    rows = [
+        [
+            summary.method,
+            f"{summary.throughput_percent:.1f}",
+            f"{summary.period_percent:.1f}",
+        ]
+        for summary in summarize_sweep(sweep)
+    ]
+    print(
+        render_table(
+            ["method", "throughput %", "period %"],
+            rows,
+            title=(
+                f"Mean absolute inaccuracy over "
+                f"{sweep.use_case_count} use-cases"
+            ),
+        )
+    )
+    by_size = summarize_by_size(sweep)
+    sizes = sorted(by_size)
+    series = {
+        method: [
+            next(
+                s.period_percent
+                for s in by_size[size]
+                if s.method == method
+            )
+            for size in sizes
+        ]
+        for method in sweep.methods
+    }
+    print()
+    print(
+        render_series(
+            "#apps",
+            sizes,
+            series,
+            title="Period inaccuracy (%) by number of concurrent apps",
+        )
+    )
+
+
+def _cmd_reproduce(arguments) -> None:
+    from repro.experiments.figure5 import run_figure5
+    from repro.experiments.figure6 import run_figure6
+    from repro.experiments.table1 import run_table1
+    from repro.experiments.timing import run_timing
+
+    suite = paper_benchmark_suite(
+        application_count=arguments.applications
+    )
+    if arguments.scale == "paper":
+        config = SweepConfig(
+            target_iterations=200, samples_per_size=None
+        )
+        figure5_iterations = 300
+    else:
+        config = SweepConfig(target_iterations=60, samples_per_size=8)
+        figure5_iterations = 100
+
+    print(run_figure5(suite, target_iterations=figure5_iterations).render())
+    print()
+    sweep = run_sweep(suite, config=config)
+    print(run_table1(suite, sweep=sweep).render())
+    print()
+    print(run_figure6(suite, sweep=sweep).render())
+    print()
+    print(run_timing(suite, sweep=sweep).render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,88 @@
+"""The paper's contribution: probabilistic resource-contention estimation.
+
+Modules
+-------
+* :mod:`repro.core.blocking` — per-actor blocking probability ``P(a)`` and
+  average blocking time ``mu(a)`` (Definitions 4 and 5).
+* :mod:`repro.core.symmetric` — elementary symmetric polynomials, the
+  combinatorial backbone of the exact formula.
+* :mod:`repro.core.exact` — the exact n-actor waiting-time formula (Eq. 4).
+* :mod:`repro.core.approximation` — m-th order truncations (Eq. 5).
+* :mod:`repro.core.composability` — the ⊕/⊗ composition algebra and its
+  inverses (Eq. 6–9).
+* :mod:`repro.core.waiting` — uniform :class:`WaitingModel` interface over
+  all of the above (plus the worst-case baselines in :mod:`repro.wcrt`).
+* :mod:`repro.core.estimator` — the Fig.-4 estimation algorithm, producing
+  per-application period/throughput estimates for a use-case.
+* :mod:`repro.core.distributions` — stochastic execution times (the
+  paper's "varying execution times" extension).
+"""
+
+from repro.core.approximation import OrderMWaitingModel, waiting_time_order_m
+from repro.core.blocking import (
+    ActorProfile,
+    average_blocking_time,
+    blocking_probability,
+    build_profiles,
+)
+from repro.core.composability import (
+    Composite,
+    CompositionWaitingModel,
+    compose,
+    compose_all,
+    decompose,
+    prob_compose,
+    prob_decompose,
+)
+from repro.core.distributions import (
+    DiscreteTime,
+    DistributionTimeModel,
+    ExecutionTimeDistribution,
+    FixedTime,
+    NormalTime,
+    UniformTime,
+)
+from repro.core.estimator import (
+    EstimationResult,
+    ProbabilisticEstimator,
+    estimate_use_case,
+)
+from repro.core.exact import ExactWaitingModel, waiting_time_exact
+from repro.core.symmetric import (
+    elementary_symmetric,
+    elementary_symmetric_all,
+    leave_one_out,
+)
+from repro.core.waiting import WaitingModel, make_waiting_model
+
+__all__ = [
+    "ActorProfile",
+    "Composite",
+    "CompositionWaitingModel",
+    "DiscreteTime",
+    "DistributionTimeModel",
+    "EstimationResult",
+    "ExactWaitingModel",
+    "ExecutionTimeDistribution",
+    "FixedTime",
+    "NormalTime",
+    "OrderMWaitingModel",
+    "ProbabilisticEstimator",
+    "UniformTime",
+    "WaitingModel",
+    "average_blocking_time",
+    "blocking_probability",
+    "build_profiles",
+    "compose",
+    "compose_all",
+    "decompose",
+    "elementary_symmetric",
+    "elementary_symmetric_all",
+    "estimate_use_case",
+    "leave_one_out",
+    "make_waiting_model",
+    "prob_compose",
+    "prob_decompose",
+    "waiting_time_exact",
+    "waiting_time_order_m",
+]

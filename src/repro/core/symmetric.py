@@ -1,0 +1,92 @@
+"""Elementary symmetric polynomials.
+
+The exact waiting-time formula (Eq. 4 of the paper) weighs each actor's
+contribution with elementary symmetric polynomials ``e_j`` of the *other*
+actors' blocking probabilities (reference [17] of the paper)::
+
+    e_0(x1..xn) = 1
+    e_1(x1..xn) = x1 + x2 + ... + xn
+    e_2(x1..xn) = sum_{i<j} xi xj
+    ...
+    e_n(x1..xn) = x1 x2 ... xn
+
+Evaluating all ``e_j`` naively costs ``O(2^n)``; the product recurrence
+
+    E_k(x1..xi) = E_k(x1..x{i-1}) + xi * E_{k-1}(x1..x{i-1})
+
+computes the first ``m`` of them in ``O(n*m)``.  The leave-one-out values
+needed by Eq. 4 (symmetric polynomials of all probabilities *except*
+``x_i``) follow from the synthetic-division recurrence
+
+    e_j^{(-i)} = e_j - x_i * e_{j-1}^{(-i)}
+
+in ``O(m)`` per excluded element — this is the "clever implementation"
+that brings the m-th order approximation to ``O(n*m)`` per actor and
+``O(n^m)`` overall complexity quoted in Section 4.1.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.exceptions import AnalysisError
+
+
+def elementary_symmetric_all(
+    values: Sequence[float], max_order: int | None = None
+) -> List[float]:
+    """``[e_0, e_1, ..., e_m]`` of ``values`` via the product recurrence.
+
+    ``max_order`` defaults to ``len(values)``; orders above ``len(values)``
+    are identically zero and not returned.
+    """
+    n = len(values)
+    m = n if max_order is None else min(max_order, n)
+    if m < 0:
+        raise AnalysisError(f"max_order must be >= 0, got {max_order}")
+    coefficients = [0.0] * (m + 1)
+    coefficients[0] = 1.0
+    filled = 0
+    for value in values:
+        filled = min(filled + 1, m)
+        for k in range(filled, 0, -1):
+            coefficients[k] += value * coefficients[k - 1]
+    return coefficients
+
+
+def elementary_symmetric(values: Sequence[float], order: int) -> float:
+    """``e_order(values)``; zero when ``order`` exceeds ``len(values)``."""
+    if order < 0:
+        raise AnalysisError(f"order must be >= 0, got {order}")
+    if order > len(values):
+        return 0.0
+    return elementary_symmetric_all(values, max_order=order)[order]
+
+
+def leave_one_out(
+    coefficients: Sequence[float],
+    excluded: float,
+    max_order: int | None = None,
+) -> List[float]:
+    """Symmetric polynomials of the multiset with ``excluded`` removed.
+
+    ``coefficients`` must be ``[e_0..e_m]`` of the *full* multiset (from
+    :func:`elementary_symmetric_all`).  Uses the synthetic-division
+    recurrence ``e_j' = e_j - excluded * e_{j-1}'``, which is numerically
+    benign for probabilities in ``[0, 1)``.
+
+    Only sound when ``excluded`` is genuinely one of the roots used to
+    build ``coefficients`` — callers (the approximation models) guarantee
+    this by construction.
+    """
+    m = len(coefficients) - 1 if max_order is None else max_order
+    if m >= len(coefficients):
+        raise AnalysisError(
+            "cannot derive leave-one-out values beyond the order of the "
+            "full polynomial"
+        )
+    result = [0.0] * (m + 1)
+    result[0] = 1.0
+    for j in range(1, m + 1):
+        result[j] = coefficients[j] - excluded * result[j - 1]
+    return result

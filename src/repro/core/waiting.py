@@ -1,0 +1,85 @@
+"""Uniform interface over waiting-time models.
+
+Every estimation technique the paper evaluates — exact Eq. 4, the m-th
+order approximations, the composability algebra, and the worst-case
+baselines — answers the same question: *given the other actors bound to my
+processor, how long do I expect to wait per firing?*  A
+:class:`WaitingModel` is anything with a ``waiting_time(own, others)``
+method (plus ``name``/``complexity`` attributes for reporting);
+:func:`make_waiting_model` builds one from a configuration string so the
+experiment harness and CLI examples can select techniques by name.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence, runtime_checkable
+
+from repro.core.approximation import OrderMWaitingModel
+from repro.core.blocking import ActorProfile
+from repro.core.composability import CompositionWaitingModel
+from repro.core.exact import ExactWaitingModel
+from repro.exceptions import AnalysisError
+
+
+@runtime_checkable
+class WaitingModel(Protocol):
+    """Protocol implemented by all estimation techniques."""
+
+    name: str
+    complexity: str
+
+    def waiting_time(
+        self, own: ActorProfile, others: Sequence[ActorProfile]
+    ) -> float:
+        """Expected waiting time of ``own`` per firing, given that
+        ``others`` are bound to the same processor."""
+
+
+def make_waiting_model(specification: str) -> WaitingModel:
+    """Build a waiting model from a name.
+
+    Accepted specifications:
+
+    * ``"exact"`` — Eq. 4;
+    * ``"second_order"`` / ``"fourth_order"`` — Eq. 5 at m=2 / m=4;
+    * ``"order:M"`` — Eq. 5 at any order M >= 1;
+    * ``"composability"`` — Eq. 6/7 (direct composition);
+    * ``"composability_incremental"`` — Eq. 6–9 (inverse-based);
+    * ``"worst_case"`` — the non-preemptive round-robin WCRT baseline
+      (reference [6] of the paper);
+    * ``"tdma"`` — the TDMA WCRT baseline (reference [3]).
+    """
+    spec = specification.strip().lower()
+    if spec == "exact":
+        return ExactWaitingModel()
+    if spec == "second_order":
+        return OrderMWaitingModel(2)
+    if spec == "fourth_order":
+        return OrderMWaitingModel(4)
+    if spec.startswith("order:"):
+        try:
+            order = int(spec.split(":", 1)[1])
+        except ValueError:
+            raise AnalysisError(
+                f"bad order specification {specification!r}; expected "
+                "'order:M' with integer M"
+            ) from None
+        return OrderMWaitingModel(order)
+    if spec == "composability":
+        return CompositionWaitingModel(incremental=False)
+    if spec == "composability_incremental":
+        return CompositionWaitingModel(incremental=True)
+    if spec == "worst_case":
+        # Imported lazily: repro.wcrt depends on repro.core for the
+        # profile type, so a module-level import would be circular.
+        from repro.wcrt.round_robin import WorstCaseRRWaitingModel
+
+        return WorstCaseRRWaitingModel()
+    if spec == "tdma":
+        from repro.wcrt.tdma import TDMAWaitingModel
+
+        return TDMAWaitingModel()
+    raise AnalysisError(
+        f"unknown waiting model {specification!r}; see "
+        "make_waiting_model.__doc__ for valid names"
+    )

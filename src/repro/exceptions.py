@@ -1,0 +1,49 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Subclasses mark the subsystem that raised them, which
+keeps error handling in the experiment harness explicit.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every error raised by the library."""
+
+
+class GraphError(ReproError):
+    """Malformed SDF graph: dangling channel, duplicate actor, bad rate."""
+
+
+class InconsistentGraphError(GraphError):
+    """The balance equations of the graph admit only the zero solution.
+
+    An inconsistent SDF graph cannot execute periodically within bounded
+    memory, so no repetition vector (and hence no period) exists.
+    """
+
+
+class DeadlockError(GraphError):
+    """The graph (or a use-case execution) cannot make progress.
+
+    Raised when a zero-token cycle prevents any actor from ever firing, or
+    when the discrete-event simulator detects that no event can be
+    scheduled before the horizon while iterations are still outstanding.
+    """
+
+
+class MappingError(ReproError):
+    """Invalid actor-to-processor binding (unknown actor or processor)."""
+
+
+class AnalysisError(ReproError):
+    """A timing analysis could not produce a result."""
+
+
+class AdmissionError(ReproError):
+    """Invalid operation on the run-time admission controller."""
+
+
+class ExperimentError(ReproError):
+    """The experiment harness was configured inconsistently."""

@@ -1,0 +1,58 @@
+"""Reproduction harness for the paper's evaluation (Section 5).
+
+One module per published artefact:
+
+* :mod:`repro.experiments.setup` — the ten-application benchmark suite
+  and platform/mapping (SDF3-generated in the paper, seeded here).
+* :mod:`repro.experiments.runner` — the use-case sweep: simulate and
+  estimate every (sampled) use-case with every technique.
+* :mod:`repro.experiments.accuracy` — inaccuracy metrics (mean absolute
+  percentage difference vs. simulation).
+* :mod:`repro.experiments.figure5` — normalized periods under maximum
+  contention (Figure 5).
+* :mod:`repro.experiments.table1` — inaccuracy summary (Table 1).
+* :mod:`repro.experiments.figure6` — inaccuracy vs. number of concurrent
+  applications (Figure 6).
+* :mod:`repro.experiments.timing` — analysis vs. simulation wall-clock
+  (the 23-hours-vs-10-minutes claim).
+* :mod:`repro.experiments.reporting` — ASCII rendering shared by the
+  benches.
+"""
+
+from repro.experiments.accuracy import (
+    InaccuracySummary,
+    mean_absolute_percentage_error,
+)
+from repro.experiments.figure5 import Figure5Result, run_figure5
+from repro.experiments.figure6 import Figure6Result, run_figure6
+from repro.experiments.runner import (
+    SweepConfig,
+    SweepResult,
+    UseCaseRecord,
+    run_sweep,
+)
+from repro.experiments.setup import (
+    BenchmarkSuite,
+    paper_benchmark_suite,
+)
+from repro.experiments.table1 import Table1Result, run_table1
+from repro.experiments.timing import TimingResult, run_timing
+
+__all__ = [
+    "BenchmarkSuite",
+    "Figure5Result",
+    "Figure6Result",
+    "InaccuracySummary",
+    "SweepConfig",
+    "SweepResult",
+    "Table1Result",
+    "TimingResult",
+    "UseCaseRecord",
+    "mean_absolute_percentage_error",
+    "paper_benchmark_suite",
+    "run_figure5",
+    "run_figure6",
+    "run_sweep",
+    "run_table1",
+    "run_timing",
+]

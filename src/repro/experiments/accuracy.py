@@ -1,0 +1,93 @@
+"""Inaccuracy metrics.
+
+Table 1 of the paper reports, per estimation technique, "the mean
+absolute difference between the estimated and measured results ...
+averaged over all the use-cases", in percent, for both throughput and
+period.  :func:`summarize` computes exactly that from a sweep; Figure 6
+uses the same metric restricted to use-cases of one cardinality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.exceptions import ExperimentError
+from repro.experiments.runner import SweepResult, UseCaseRecord
+
+
+@dataclass(frozen=True)
+class InaccuracySummary:
+    """Mean absolute percentage inaccuracy of one method over a record set.
+
+    ``samples`` counts (use-case, application) pairs contributing to the
+    means.
+    """
+
+    method: str
+    period_percent: float
+    throughput_percent: float
+    samples: int
+
+
+def mean_absolute_percentage_error(
+    pairs: Iterable[Tuple[float, float]],
+) -> float:
+    """``mean(|estimated - reference| / reference) * 100``.
+
+    ``pairs`` yields ``(estimated, reference)``; an empty input is an
+    error (a silent 0.0 would read as "perfectly accurate").
+    """
+    total = 0.0
+    count = 0
+    for estimated, reference in pairs:
+        if reference <= 0:
+            raise ExperimentError(
+                f"reference value must be positive, got {reference}"
+            )
+        total += abs(estimated - reference) / reference
+        count += 1
+    if count == 0:
+        raise ExperimentError("no samples to average")
+    return 100.0 * total / count
+
+
+def summarize(
+    records: Sequence[UseCaseRecord], method: str
+) -> InaccuracySummary:
+    """Inaccuracy of ``method`` over ``records`` (period and throughput)."""
+    period_pairs: List[Tuple[float, float]] = []
+    throughput_pairs: List[Tuple[float, float]] = []
+    for record in records:
+        estimates = record.estimates[method]
+        for application, simulated_period in record.simulated.items():
+            estimated_period = estimates[application]
+            period_pairs.append((estimated_period, simulated_period))
+            throughput_pairs.append(
+                (1.0 / estimated_period, 1.0 / simulated_period)
+            )
+    return InaccuracySummary(
+        method=method,
+        period_percent=mean_absolute_percentage_error(period_pairs),
+        throughput_percent=mean_absolute_percentage_error(throughput_pairs),
+        samples=len(period_pairs),
+    )
+
+
+def summarize_sweep(result: SweepResult) -> List[InaccuracySummary]:
+    """One :class:`InaccuracySummary` per method, over the whole sweep."""
+    return [summarize(result.records, method) for method in result.methods]
+
+
+def summarize_by_size(
+    result: SweepResult,
+) -> Dict[int, List[InaccuracySummary]]:
+    """Per-cardinality inaccuracies (the series of Figure 6)."""
+    sizes = sorted({r.use_case.size for r in result.records})
+    return {
+        size: [
+            summarize(result.records_of_size(size), method)
+            for method in result.methods
+        ]
+        for size in sizes
+    }

@@ -1,0 +1,80 @@
+"""Figure 6: inaccuracy vs. number of concurrent applications.
+
+The paper's Figure 6 plots the mean absolute period inaccuracy (percent,
+vs. simulation) against the number of concurrently executing
+applications (1..10) for the four analysis techniques.  Expected shape:
+
+* all curves start at 0 for one application (no contention, estimates
+  are exact);
+* the worst-case curve climbs steeply (the paper reaches ~160% at ten
+  applications);
+* the probabilistic curves stay low (paper: usually within 20%), with
+  second order tracking composability almost exactly and fourth order
+  the least conservative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.accuracy import summarize_by_size
+from repro.experiments.reporting import render_series
+from repro.experiments.runner import SweepConfig, SweepResult, run_sweep
+from repro.experiments.setup import BenchmarkSuite
+
+_DISPLAY_NAMES = {
+    "worst_case": "Analyzed Worst Case",
+    "composability": "Composability-based",
+    "fourth_order": "Probabilistic Fourth Order",
+    "second_order": "Probabilistic Second Order",
+    "exact": "Exact (Eq. 4)",
+}
+
+
+@dataclass(frozen=True)
+class Figure6Result:
+    """Per-size period inaccuracies, one series per method."""
+
+    sizes: Tuple[int, ...]
+    series: Dict[str, Tuple[float, ...]]
+    samples_per_size: Dict[int, int]
+
+    def render(self) -> str:
+        display = {
+            _DISPLAY_NAMES.get(method, method): list(values)
+            for method, values in self.series.items()
+        }
+        return render_series(
+            "#Apps",
+            self.sizes,
+            display,
+            title=(
+                "Figure 6 - Mean absolute period inaccuracy (%) vs. "
+                "number of concurrent applications"
+            ),
+        )
+
+
+def run_figure6(
+    suite: BenchmarkSuite,
+    config: Optional[SweepConfig] = None,
+    sweep: Optional[SweepResult] = None,
+) -> Figure6Result:
+    """Reproduce Figure 6 (reusing ``sweep`` when the caller has one)."""
+    if sweep is None:
+        sweep = run_sweep(suite, config=config)
+    by_size = summarize_by_size(sweep)
+    sizes = tuple(sorted(by_size))
+    series: Dict[str, List[float]] = {m: [] for m in sweep.methods}
+    samples: Dict[int, int] = {}
+    for size in sizes:
+        summaries = {s.method: s for s in by_size[size]}
+        for method in sweep.methods:
+            series[method].append(summaries[method].period_percent)
+        samples[size] = summaries[sweep.methods[0]].samples
+    return Figure6Result(
+        sizes=sizes,
+        series={m: tuple(v) for m, v in series.items()},
+        samples_per_size=samples,
+    )

@@ -1,0 +1,97 @@
+"""ASCII rendering of the reproduced tables and figures.
+
+Benches print these renderings into the pytest terminal summary and save
+them under ``benchmarks/results/``; EXPERIMENTS.md embeds them.  Only
+plain text — the reproduction is judged on the *numbers*, so no plotting
+dependency is pulled in.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Monospace table with right-aligned numeric columns."""
+    formatted_rows = [
+        [_format_cell(cell) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in formatted_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(
+        h.ljust(widths[i]) for i, h in enumerate(headers)
+    )
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in formatted_rows:
+        lines.append(
+            " | ".join(
+                cell.rjust(widths[i]) if _is_numeric(cell) else cell.ljust(widths[i])
+                for i, cell in enumerate(row)
+            )
+        )
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Dict[str, Sequence[float]],
+    title: str = "",
+    value_format: str = "{:.1f}",
+) -> str:
+    """A figure as a table: one row per x value, one column per series."""
+    headers = [x_label, *series.keys()]
+    rows = []
+    for i, x in enumerate(x_values):
+        row: List[object] = [x]
+        for values in series.values():
+            row.append(value_format.format(values[i]))
+        rows.append(row)
+    return render_table(headers, rows, title=title)
+
+
+def render_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    title: str = "",
+    value_format: str = "{:.1f}",
+) -> str:
+    """Horizontal ASCII bars, for quick visual shape checks."""
+    if not values:
+        return title
+    peak = max(values)
+    scale = width / peak if peak > 0 else 0.0
+    label_width = max(len(label) for label in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, int(round(value * scale))) if value > 0 else ""
+        lines.append(
+            f"{label.rjust(label_width)} | "
+            f"{value_format.format(value).rjust(8)} {bar}"
+        )
+    return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.1f}"
+    return str(cell)
+
+
+def _is_numeric(cell: str) -> bool:
+    try:
+        float(cell)
+    except ValueError:
+        return False
+    return True

@@ -1,0 +1,133 @@
+"""The scalability claim (abstract and Section 5 of the paper).
+
+"The approach scales very well with increasing number of applications"
+— the analysis needs only *limited information from the other
+applications* (their co-mapped actors' P and mu), so its per-use-case
+cost grows polynomially in the number of co-mapped actors while
+simulation cost grows with the amount of work simulated, and exhaustive
+verification grows as 2^N in the number of applications.
+
+:func:`run_scalability` measures, for growing application counts,
+
+* the wall-clock of one maximum-contention estimate (per technique),
+* the wall-clock of one maximum-contention reference simulation, and
+* the number of use-cases an exhaustive sweep would have to cover,
+
+giving the quantitative backing for the paper's "2^20 use-cases are
+impossible to verify by simulation; the estimate handles each in
+milliseconds" argument.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.estimator import ProbabilisticEstimator
+from repro.experiments.reporting import render_table
+from repro.experiments.setup import paper_benchmark_suite
+from repro.generation.random_sdf import GeneratorConfig
+from repro.platform.usecase import UseCase
+from repro.simulation.engine import SimulationConfig, Simulator
+
+
+@dataclass(frozen=True)
+class ScalabilityPoint:
+    """Measured costs at one application count."""
+
+    applications: int
+    use_case_count: int
+    estimation_ms: Dict[str, float]
+    simulation_ms: float
+
+
+@dataclass(frozen=True)
+class ScalabilityResult:
+    """One point per application count."""
+
+    points: Tuple[ScalabilityPoint, ...]
+    methods: Tuple[str, ...]
+
+    def render(self) -> str:
+        rows: List[List[object]] = []
+        for point in self.points:
+            row: List[object] = [
+                point.applications,
+                f"2^{point.applications}",
+            ]
+            for method in self.methods:
+                row.append(f"{point.estimation_ms[method]:.1f}")
+            row.append(f"{point.simulation_ms:.0f}")
+            rows.append(row)
+        headers = [
+            "apps",
+            "use-cases",
+            *[f"{m} ms" for m in self.methods],
+            "simulation ms",
+        ]
+        return render_table(
+            headers,
+            rows,
+            title=(
+                "Scalability - cost of ONE maximum-contention analysis "
+                "vs. ONE reference simulation, by application count"
+            ),
+        )
+
+
+def run_scalability(
+    application_counts: Sequence[int] = (2, 5, 10, 15, 20),
+    methods: Sequence[str] = ("second_order", "composability"),
+    simulation_iterations: int = 40,
+    repeats: int = 3,
+    seed: int = 2007,
+) -> ScalabilityResult:
+    """Measure analysis and simulation cost as applications are added.
+
+    All suites share one master seed, so the N-application suite is a
+    prefix-extension of the (N-1)-application one.  ``repeats`` runs of
+    each estimate are averaged (they are sub-millisecond at small N).
+    """
+    largest = max(application_counts)
+    suite = paper_benchmark_suite(
+        seed=seed, application_count=largest
+    )
+    points: List[ScalabilityPoint] = []
+    for count in application_counts:
+        graphs = list(suite.graphs[:count])
+        use_case = UseCase(tuple(g.name for g in graphs))
+
+        estimation_ms: Dict[str, float] = {}
+        for method in methods:
+            estimator = ProbabilisticEstimator(
+                graphs, mapping=suite.mapping, waiting_model=method
+            )
+            started = _time.perf_counter()
+            for _ in range(repeats):
+                estimator.estimate(use_case)
+            estimation_ms[method] = (
+                (_time.perf_counter() - started) / repeats * 1e3
+            )
+
+        started = _time.perf_counter()
+        Simulator(
+            graphs,
+            mapping=suite.mapping,
+            config=SimulationConfig(
+                target_iterations=simulation_iterations
+            ),
+        ).run()
+        simulation_ms = (_time.perf_counter() - started) * 1e3
+
+        points.append(
+            ScalabilityPoint(
+                applications=count,
+                use_case_count=2**count,
+                estimation_ms=estimation_ms,
+                simulation_ms=simulation_ms,
+            )
+        )
+    return ScalabilityResult(
+        points=tuple(points), methods=tuple(methods)
+    )

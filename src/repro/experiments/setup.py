@@ -1,0 +1,100 @@
+"""The benchmark suite of the paper's evaluation.
+
+Section 5: "ten random SDFGs were generated with eight to ten actors each
+using the SDF3 tool, mimicking DSP or a multimedia application, and [each]
+was a strongly connected component.  The execution time and the rates of
+actors were also set randomly."  Applications are named A through J
+(Figure 5's x-axis); actor *i* of each application is bound to processor
+*i* of a homogeneous ten-processor platform, generalizing the paper's
+Section 3 example where ``a_i`` and ``b_i`` share ``Proc_i``.
+
+Everything is derived deterministically from one master seed so each
+bench regenerates the identical suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.generation.random_sdf import GeneratorConfig, random_sdf_graph
+from repro.platform.mapping import Mapping, index_mapping
+from repro.platform.platform import Platform
+from repro.sdf.analysis import period as analytical_period
+from repro.sdf.graph import SDFGraph
+
+#: Application names as used in the paper's Figure 5.
+APPLICATION_NAMES: Tuple[str, ...] = tuple("ABCDEFGHIJ")
+
+#: Master seed of the reproduction suite (the publication year).
+DEFAULT_SEED = 2007
+
+#: Generator settings calibrated so the all-applications use-case lands in
+#: the paper's regime: simulated periods 3-6x the isolation period
+#: (Figure 5) while the worst-case analysis reaches ~8-15x.  The paper's
+#: SDF3 graphs are pipelined (period below the sequential workload), which
+#: ``pipeline_depth=2`` reproduces; depth 1 would cap node utilization
+#: near 1 and halve the observed contention.
+DEFAULT_GENERATOR_CONFIG = GeneratorConfig(pipeline_depth=2)
+
+
+@dataclass(frozen=True)
+class BenchmarkSuite:
+    """The full experimental setup: applications, platform, mapping."""
+
+    graphs: Tuple[SDFGraph, ...]
+    platform: Platform
+    mapping: Mapping
+    seed: int
+
+    @property
+    def application_names(self) -> Tuple[str, ...]:
+        return tuple(g.name for g in self.graphs)
+
+    def graph(self, name: str) -> SDFGraph:
+        for graph in self.graphs:
+            if graph.name == name:
+                return graph
+        raise KeyError(name)
+
+    def isolation_periods(self) -> Dict[str, float]:
+        """Analytical periods of every application in isolation."""
+        return {g.name: analytical_period(g) for g in self.graphs}
+
+
+def paper_benchmark_suite(
+    seed: int = DEFAULT_SEED,
+    application_count: int = 10,
+    config: GeneratorConfig | None = None,
+) -> BenchmarkSuite:
+    """Generate the paper-style benchmark suite deterministically.
+
+    Parameters
+    ----------
+    seed:
+        Master seed; each application gets a derived sub-seed.
+    application_count:
+        Number of applications (the paper uses 10; smaller counts are
+        handy in tests and scaled-down benches).
+    config:
+        Generator knobs; the default matches the paper (8-10 actors,
+        random times and rates).
+    """
+    cfg = config if config is not None else DEFAULT_GENERATOR_CONFIG
+    names = (
+        APPLICATION_NAMES[:application_count]
+        if application_count <= len(APPLICATION_NAMES)
+        else tuple(
+            f"A{i}" for i in range(application_count)
+        )
+    )
+    graphs = tuple(
+        random_sdf_graph(name, seed=seed * 1000 + index, config=cfg)
+        for index, name in enumerate(names)
+    )
+    width = max(len(g) for g in graphs)
+    platform = Platform.homogeneous(width)
+    mapping = index_mapping(graphs, platform)
+    return BenchmarkSuite(
+        graphs=graphs, platform=platform, mapping=mapping, seed=seed
+    )

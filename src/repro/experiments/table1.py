@@ -1,0 +1,104 @@
+"""Table 1: measured inaccuracy of each technique vs. simulation.
+
+The paper's Table 1 (over all use-cases)::
+
+    Method         Throughput%   Period%   Complexity
+    Worst Case         49.0       112.1       O(n)
+    Composability       4.0        13.8       O(n)
+    Fourth Order        0.7        13.1       O(n^4)
+    Second Order        2.8        11.2       O(n^2)
+
+The reproduction targets the *ordering*: worst-case an order of magnitude
+off, the three probabilistic techniques in the low percent (throughput)
+to ~10-20 percent (period) range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.waiting import make_waiting_model
+from repro.experiments.accuracy import InaccuracySummary, summarize_sweep
+from repro.experiments.reporting import render_table
+from repro.experiments.runner import SweepConfig, SweepResult, run_sweep
+from repro.experiments.setup import BenchmarkSuite
+
+#: Paper's Table 1 values, for side-by-side display in reports.
+PAPER_TABLE1: Dict[str, Tuple[float, float, str]] = {
+    "worst_case": (49.0, 112.1, "O(n)"),
+    "composability": (4.0, 13.8, "O(n)"),
+    "fourth_order": (0.7, 13.1, "O(n^4)"),
+    "second_order": (2.8, 11.2, "O(n^2)"),
+}
+
+_DISPLAY_NAMES = {
+    "worst_case": "Worst Case",
+    "composability": "Composability",
+    "fourth_order": "Fourth Order",
+    "second_order": "Second Order",
+    "exact": "Exact (Eq. 4)",
+}
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    """Measured inaccuracies plus the sweep they came from."""
+
+    summaries: Tuple[InaccuracySummary, ...]
+    use_case_count: int
+
+    def summary_of(self, method: str) -> InaccuracySummary:
+        for summary in self.summaries:
+            if summary.method == method:
+                return summary
+        raise KeyError(method)
+
+    def render(self) -> str:
+        rows: List[List[object]] = []
+        for summary in self.summaries:
+            paper = PAPER_TABLE1.get(summary.method)
+            complexity = (
+                paper[2]
+                if paper is not None
+                else make_waiting_model(summary.method).complexity
+            )
+            rows.append(
+                [
+                    _DISPLAY_NAMES.get(summary.method, summary.method),
+                    f"{summary.throughput_percent:.1f}",
+                    f"{summary.period_percent:.1f}",
+                    f"{paper[0]:.1f}" if paper else "-",
+                    f"{paper[1]:.1f}" if paper else "-",
+                    complexity,
+                ]
+            )
+        return render_table(
+            [
+                "Method",
+                "Thr.% (ours)",
+                "Per.% (ours)",
+                "Thr.% (paper)",
+                "Per.% (paper)",
+                "Complexity",
+            ],
+            rows,
+            title=(
+                f"Table 1 - Mean absolute inaccuracy vs. simulation over "
+                f"{self.use_case_count} use-cases"
+            ),
+        )
+
+
+def run_table1(
+    suite: BenchmarkSuite,
+    config: Optional[SweepConfig] = None,
+    sweep: Optional[SweepResult] = None,
+) -> Table1Result:
+    """Reproduce Table 1 (reusing ``sweep`` when the caller has one)."""
+    if sweep is None:
+        sweep = run_sweep(suite, config=config)
+    return Table1Result(
+        summaries=tuple(summarize_sweep(sweep)),
+        use_case_count=sweep.use_case_count,
+    )

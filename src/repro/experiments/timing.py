@@ -1,0 +1,93 @@
+"""The timing claim of Section 5.
+
+The paper: simulating all 1024 use-cases for 500 000 cycles took 23 hours
+(Pentium 4, POOSL); all four analysis techniques together took about
+10 minutes, dominated by per-use-case throughput computation (~30 seconds
+per technique for ~5000 throughput computations).
+
+Absolute numbers are machine- and scale-specific; the reproduction target
+is the *ratio*: analysis must be orders of magnitude faster than
+simulation per use-case.  :func:`run_timing` measures both on the same
+sweep and reports per-use-case means and the speedup factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.exceptions import ExperimentError
+from repro.experiments.reporting import render_table
+from repro.experiments.runner import SweepConfig, SweepResult, run_sweep
+from repro.experiments.setup import BenchmarkSuite
+
+
+@dataclass(frozen=True)
+class TimingResult:
+    """Wall-clock comparison of simulation vs. analysis."""
+
+    use_case_count: int
+    simulation_seconds_total: float
+    estimation_seconds_total: Dict[str, float]
+
+    @property
+    def simulation_seconds_per_use_case(self) -> float:
+        return self.simulation_seconds_total / self.use_case_count
+
+    def estimation_seconds_per_use_case(self, method: str) -> float:
+        return self.estimation_seconds_total[method] / self.use_case_count
+
+    def speedup(self, method: str) -> float:
+        """Simulation time over analysis time (bigger = analysis wins)."""
+        analysis = self.estimation_seconds_total[method]
+        if analysis <= 0:
+            raise ExperimentError(
+                f"method {method!r} recorded no analysis time"
+            )
+        return self.simulation_seconds_total / analysis
+
+    def render(self) -> str:
+        rows = [
+            [
+                "simulation (reference)",
+                f"{self.simulation_seconds_total:.2f}",
+                f"{self.simulation_seconds_per_use_case * 1e3:.1f}",
+                "1x",
+            ]
+        ]
+        for method, total in self.estimation_seconds_total.items():
+            rows.append(
+                [
+                    method,
+                    f"{total:.2f}",
+                    f"{total / self.use_case_count * 1e3:.1f}",
+                    f"{self.speedup(method):.0f}x",
+                ]
+            )
+        return render_table(
+            ["Technique", "total s", "ms/use-case", "speedup"],
+            rows,
+            title=(
+                f"Timing - simulation vs. analysis over "
+                f"{self.use_case_count} use-cases (paper: 23 h vs. "
+                f"~10 min => ~140x)"
+            ),
+        )
+
+
+def run_timing(
+    suite: BenchmarkSuite,
+    config: Optional[SweepConfig] = None,
+    sweep: Optional[SweepResult] = None,
+) -> TimingResult:
+    """Measure the simulation-vs-analysis cost ratio on a sweep."""
+    if sweep is None:
+        sweep = run_sweep(suite, config=config)
+    return TimingResult(
+        use_case_count=sweep.use_case_count,
+        simulation_seconds_total=sweep.total_simulation_seconds(),
+        estimation_seconds_total={
+            method: sweep.total_estimation_seconds(method)
+            for method in sweep.methods
+        },
+    )

@@ -1,0 +1,31 @@
+"""Benchmark graph generation.
+
+:mod:`repro.generation.random_sdf` replaces the SDF3 ``sdf3generate`` tool
+the paper used: seeded random SDFGs that are strongly connected,
+consistent and live by construction.  :mod:`repro.generation.gallery`
+collects hand-built graphs: the paper's own examples plus media-style
+application graphs for the examples and docs.
+"""
+
+from repro.generation.gallery import (
+    h263_decoder,
+    jpeg_decoder,
+    modem,
+    mp3_decoder,
+    paper_figure1,
+    paper_two_apps,
+    sample_rate_converter,
+)
+from repro.generation.random_sdf import GeneratorConfig, random_sdf_graph
+
+__all__ = [
+    "GeneratorConfig",
+    "h263_decoder",
+    "jpeg_decoder",
+    "modem",
+    "mp3_decoder",
+    "paper_figure1",
+    "paper_two_apps",
+    "random_sdf_graph",
+    "sample_rate_converter",
+]

@@ -1,0 +1,203 @@
+"""Hand-built benchmark graphs.
+
+Contains the paper's own illustrative graphs (Figures 1 and 2) plus a set
+of media-application SDFGs in the style of the classic embedded-
+multiprocessor benchmarks (H.263, MP3, JPEG, modem, sample-rate
+converter).  The media graphs are *modelled after* the well-known
+published graph shapes with representative execution times; they drive
+the examples and the "multi-featured media device" scenario the paper's
+title refers to.
+
+All graphs are verified consistent, strongly connected and live at import
+time in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.sdf.builder import GraphBuilder
+from repro.sdf.graph import SDFGraph
+
+
+def paper_figure1() -> SDFGraph:
+    """A multi-rate SDFG in the spirit of the paper's Figure 1.
+
+    Four actors A-D with non-trivial rates and initial tokens.  The exact
+    figure cannot be transcribed unambiguously from the paper text, so
+    this graph keeps its headline features: four actors, multi-rate
+    channels, cyclic dependencies, enough initial tokens to be live.
+    """
+    return (
+        GraphBuilder("fig1")
+        .actor("A", 5)
+        .actor("B", 7)
+        .actor("C", 6)
+        .actor("D", 10)
+        # Repetition vector [A B C D] = [1 2 4 2].
+        .channel("A", "B", production=2, consumption=1, initial_tokens=0)
+        .channel("B", "C", production=2, consumption=1, initial_tokens=0)
+        .channel("C", "D", production=1, consumption=2, initial_tokens=0)
+        .channel("D", "A", production=1, consumption=2, initial_tokens=2)
+        .channel("C", "A", production=1, consumption=4, initial_tokens=4)
+        .build()
+    )
+
+
+def paper_two_apps() -> Tuple[SDFGraph, SDFGraph]:
+    """The two applications of the paper's Figure 2 — exactly.
+
+    Application A: ``a0 (tau=100, q=1) -> a1 (tau=50, q=2) ->
+    a2 (tau=100, q=1) -> a0``; application B mirrors it with
+    ``q[b0 b1 b2] = [2 1 1]``.  Both have ``Per = 300`` in isolation.
+    The worked example of Section 3 (P = 1/3 everywhere, waiting times
+    25/3 and 50/3, contended period ~359) is checked against these graphs
+    in the golden tests.
+    """
+    a = (
+        GraphBuilder("A")
+        .actor("a0", 100)
+        .actor("a1", 50)
+        .actor("a2", 100)
+        .channel("a0", "a1", production=2, consumption=1)
+        .channel("a1", "a2", production=1, consumption=2)
+        .channel("a2", "a0", initial_tokens=1)
+        .build()
+    )
+    b = (
+        GraphBuilder("B")
+        .actor("b0", 50)
+        .actor("b1", 100)
+        .actor("b2", 100)
+        .channel("b0", "b1", production=1, consumption=2)
+        .channel("b1", "b2", production=1, consumption=1)
+        .channel("b2", "b0", production=2, consumption=1, initial_tokens=2)
+        .build()
+    )
+    return a, b
+
+
+def h263_decoder() -> SDFGraph:
+    """H.263 video decoder (QCIF-style, scaled macroblock count).
+
+    Classic shape: variable-length decoding fans out per-macroblock work
+    (dequantization, IDCT, motion compensation) which a reconstruction
+    actor collects.  The published QCIF graph processes 99 macroblocks
+    per frame; we scale to 9 to keep the HSDF expansion small while
+    preserving the multi-rate structure.
+    """
+    macroblocks = 9
+    return (
+        GraphBuilder("h263")
+        .actor("vld", 120)
+        .actor("iq", 40)
+        .actor("idct", 60)
+        .actor("mc", 50)
+        .actor("rec", 90)
+        .channel("vld", "iq", production=macroblocks, consumption=1)
+        .channel("iq", "idct")
+        .channel("idct", "mc")
+        .channel("mc", "rec", production=1, consumption=macroblocks)
+        .channel("rec", "vld", initial_tokens=1)
+        .build()
+    )
+
+
+def mp3_decoder() -> SDFGraph:
+    """MP3 audio decoder: per-granule pipeline with two filterbank passes."""
+    return (
+        GraphBuilder("mp3")
+        .actor("huffman", 30)
+        .actor("requant", 20)
+        .actor("reorder", 15)
+        .actor("stereo", 25)
+        .actor("antialias", 15)
+        .actor("imdct", 70)
+        .actor("synth", 80)
+        .channel("huffman", "requant", production=2, consumption=1)
+        .channel("requant", "reorder")
+        .channel("reorder", "stereo", production=1, consumption=2)
+        .channel("stereo", "antialias", production=2, consumption=1)
+        .channel("antialias", "imdct")
+        .channel("imdct", "synth", production=1, consumption=2)
+        .channel("synth", "huffman", production=1, consumption=1, initial_tokens=1)
+        .build()
+    )
+
+
+def jpeg_decoder() -> SDFGraph:
+    """JPEG still-image decoder over 6 blocks per restart interval."""
+    blocks = 6
+    return (
+        GraphBuilder("jpeg")
+        .actor("parse", 55)
+        .actor("huff", 35)
+        .actor("dequant", 25)
+        .actor("idct", 65)
+        .actor("color", 45)
+        .channel("parse", "huff", production=blocks, consumption=1)
+        .channel("huff", "dequant")
+        .channel("dequant", "idct")
+        .channel("idct", "color", production=1, consumption=blocks)
+        .channel("color", "parse", initial_tokens=1)
+        .build()
+    )
+
+
+def modem() -> SDFGraph:
+    """V.32-style modem kernel (after the classic Bhattacharyya set)."""
+    return (
+        GraphBuilder("modem")
+        .actor("filt", 22)
+        .actor("demod", 38)
+        .actor("equal", 45)
+        .actor("decode", 30)
+        .actor("sync", 18)
+        # Repetition vector [filt demod equal decode sync] = [2 4 2 1 1].
+        .channel("filt", "demod", production=2, consumption=1)
+        .channel("demod", "equal", production=1, consumption=2)
+        .channel("equal", "decode", production=1, consumption=2)
+        .channel("decode", "sync")
+        .channel("sync", "filt", production=2, consumption=1, initial_tokens=2)
+        .build()
+    )
+
+
+def sample_rate_converter() -> SDFGraph:
+    """Multi-stage sample-rate converter (small-ratio CD->DAT style).
+
+    The classic 147:160 converter has a huge repetition vector; this
+    scaled variant keeps the chained up/down-sampling structure with a
+    compact vector so analyses stay fast.
+    """
+    return (
+        GraphBuilder("src")
+        .actor("in", 12)
+        .actor("up2", 10)
+        .actor("fir", 35)
+        .actor("down3", 10)
+        .actor("out", 14)
+        # Repetition vector [in up2 fir down3 out] = [1 2 3 2 1].
+        .channel("in", "up2", production=2, consumption=1)
+        .channel("up2", "fir", production=3, consumption=2)
+        .channel("fir", "down3", production=2, consumption=3)
+        .channel("down3", "out", production=1, consumption=2)
+        .channel("out", "in", initial_tokens=1)
+        .build()
+    )
+
+
+def media_device_suite() -> List[SDFGraph]:
+    """The application mix of a multi-featured media device.
+
+    Five media applications that may run concurrently — the scenario the
+    paper's title describes (video call + music + photo viewing + data
+    modem + audio conversion).
+    """
+    return [
+        h263_decoder(),
+        mp3_decoder(),
+        jpeg_decoder(),
+        modem(),
+        sample_rate_converter(),
+    ]

@@ -1,0 +1,180 @@
+"""Seeded random SDF graphs (the SDF3 ``sdf3generate`` substitute).
+
+The paper's evaluation (Section 5) uses "ten random SDFGs ... with eight
+to ten actors each ... mimicking DSP or a multimedia application, and
+[each] was a strongly connected component"; execution times and rates are
+random.  This generator reproduces those invariants *by construction*:
+
+* **Strong connectivity** — the actors are arranged on a Hamiltonian
+  backbone cycle ``v0 -> v1 -> ... -> v_{n-1} -> v0``; extra chord edges
+  only add connectivity.
+* **Consistency** — a repetition vector ``q`` is drawn first; each channel
+  ``u -> v`` then gets the minimal balanced rates
+  ``production = q(v)/g, consumption = q(u)/g`` with
+  ``g = gcd(q(u), q(v))``, so the balance equations hold by construction.
+* **Liveness** — the backbone's wrap-around edge carries
+  ``pipeline_depth`` iterations worth of tokens; *backward* chords (from a
+  later to an earlier backbone position) carry one iteration worth.
+  Forward chords need none: in the sequential schedule implied by the
+  backbone, the producer completes all its firings first.  A final
+  :func:`~repro.sdf.liveness.assert_live` guards the construction.
+
+With ``pipeline_depth=1`` the backbone is the critical cycle and the
+period equals the sequential workload ``sum_a q(a) tau(a)`` — the same
+shape as the paper's Fig. 2 examples; deeper pipelining shifts the
+critical cycle onto the chords.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from math import gcd
+from typing import List, Optional, Tuple
+
+from repro.exceptions import GraphError
+from repro.sdf.actor import Actor
+from repro.sdf.channel import Channel
+from repro.sdf.graph import SDFGraph
+from repro.sdf.liveness import assert_live
+from repro.sdf.repetition import repetition_vector
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Knobs of the random graph generator.
+
+    Attributes
+    ----------
+    actor_count_range:
+        Inclusive range for the number of actors (paper: 8..10).
+    execution_time_range:
+        Inclusive integer range for ``tau`` (time units).
+    repetition_range:
+        Inclusive range for the repetition-vector entries; keep small
+        (1..3) so HSDF expansions stay compact.
+    extra_edge_fraction:
+        Number of chord edges as a fraction of the actor count.
+    pipeline_depth:
+        Iterations worth of tokens on the backbone wrap-around edge.
+    actor_prefix:
+        Actor names are ``f"{prefix}{i}"``.
+    """
+
+    actor_count_range: Tuple[int, int] = (8, 10)
+    execution_time_range: Tuple[int, int] = (10, 100)
+    repetition_range: Tuple[int, int] = (1, 3)
+    extra_edge_fraction: float = 0.5
+    pipeline_depth: int = 1
+    actor_prefix: str = "t"
+
+    def __post_init__(self) -> None:
+        low, high = self.actor_count_range
+        if not 2 <= low <= high:
+            raise GraphError(
+                f"invalid actor count range {self.actor_count_range}"
+            )
+        if self.pipeline_depth < 1:
+            raise GraphError("pipeline_depth must be >= 1")
+        if self.extra_edge_fraction < 0:
+            raise GraphError("extra_edge_fraction must be >= 0")
+
+
+def random_sdf_graph(
+    name: str,
+    seed: int,
+    config: Optional[GeneratorConfig] = None,
+) -> SDFGraph:
+    """Generate one strongly-connected, consistent, live SDF graph.
+
+    Deterministic for a given ``(seed, config)`` pair.
+    """
+    cfg = config if config is not None else GeneratorConfig()
+    rng = random.Random(seed)
+
+    n = rng.randint(*cfg.actor_count_range)
+    repetitions = [
+        rng.randint(*cfg.repetition_range) for _ in range(n)
+    ]
+    # Normalize to the *minimal* vector (a common factor would make the
+    # drawn vector differ from the graph's computed repetition vector).
+    common = 0
+    for value in repetitions:
+        common = gcd(common, value)
+    if common > 1:
+        repetitions = [value // common for value in repetitions]
+    actors = [
+        Actor(
+            name=f"{cfg.actor_prefix}{i}",
+            execution_time=rng.randint(*cfg.execution_time_range),
+        )
+        for i in range(n)
+    ]
+
+    def balanced_rates(u: int, v: int) -> Tuple[int, int]:
+        """Minimal (production, consumption) balancing q[u], q[v]."""
+        g = gcd(repetitions[u], repetitions[v])
+        return repetitions[v] // g, repetitions[u] // g
+
+    channels: List[Channel] = []
+    # Backbone Hamiltonian cycle.
+    for i in range(n):
+        j = (i + 1) % n
+        production, consumption = balanced_rates(i, j)
+        initial = 0
+        if j == 0:
+            # Wrap-around edge: enough tokens for pipeline_depth
+            # iterations of the consumer.
+            initial = cfg.pipeline_depth * repetitions[0] * consumption
+        channels.append(
+            Channel(
+                source=actors[i].name,
+                target=actors[j].name,
+                production_rate=production,
+                consumption_rate=consumption,
+                initial_tokens=initial,
+            )
+        )
+
+    # Chord edges for structural variety.
+    existing = {(i, (i + 1) % n) for i in range(n)}
+    chord_count = int(round(cfg.extra_edge_fraction * n))
+    attempts = 0
+    added = 0
+    while added < chord_count and attempts < 20 * chord_count:
+        attempts += 1
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u == v or (u, v) in existing:
+            continue
+        existing.add((u, v))
+        production, consumption = balanced_rates(u, v)
+        # Backward chords (producer later in backbone order) need one
+        # iteration worth of tokens to keep the sequential schedule
+        # feasible; forward chords are fed in time without any.
+        initial = repetitions[v] * consumption if u > v else 0
+        channels.append(
+            Channel(
+                source=actors[u].name,
+                target=actors[v].name,
+                production_rate=production,
+                consumption_rate=consumption,
+                initial_tokens=initial,
+            )
+        )
+        added += 1
+
+    graph = SDFGraph(name, actors, channels)
+    # Construction invariants — cheap, and they turn generator bugs into
+    # loud failures instead of corrupt experiments.
+    vector = repetition_vector(graph)
+    for i, actor in enumerate(actors):
+        if vector[actor.name] != repetitions[i]:
+            raise GraphError(
+                f"generator bug: repetition vector mismatch on "
+                f"{actor.name} ({vector[actor.name]} != {repetitions[i]})"
+            )
+    if not graph.is_strongly_connected():
+        raise GraphError("generator bug: graph not strongly connected")
+    assert_live(graph)
+    return graph

@@ -1,0 +1,29 @@
+"""Multiprocessor platform model: processors, mappings, use-cases.
+
+The paper's setting (Section 3): each application is an SDFG whose actors
+are *bound* to processing nodes of a heterogeneous MPSoC; several
+applications may bind actors to the same node, which is where contention
+arises.  A *use-case* (Section 1) is a set of concurrently active
+applications.
+"""
+
+from repro.platform.mapping import (
+    Mapping,
+    index_mapping,
+    modulo_mapping,
+    spread_mapping,
+)
+from repro.platform.platform import Platform, Processor
+from repro.platform.usecase import UseCase, all_use_cases, use_cases_of_size
+
+__all__ = [
+    "Mapping",
+    "Platform",
+    "Processor",
+    "UseCase",
+    "all_use_cases",
+    "index_mapping",
+    "modulo_mapping",
+    "spread_mapping",
+    "use_cases_of_size",
+]

@@ -1,0 +1,66 @@
+"""Analytical processor-load queries.
+
+A node's *load* is the sum of the blocking probabilities of the actors
+bound to it — the analytical counterpart of the utilization the
+simulator measures.  Loads above 1 flag processors that cannot sustain
+the applications' isolation rates: periods will stretch there, and the
+probabilistic estimate degrades the further past saturation the node
+sits.  The admission-control and design-space examples use these queries
+to explain *why* a configuration fails.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.blocking import ActorProfile, build_profiles
+from repro.platform.mapping import Mapping
+from repro.platform.usecase import UseCase
+from repro.sdf.graph import SDFGraph
+
+
+def processor_loads(
+    graphs: Sequence[SDFGraph],
+    mapping: Mapping,
+    use_case: Optional[UseCase] = None,
+) -> Dict[str, float]:
+    """Sum of blocking probabilities per processor.
+
+    Uses isolation periods (Definition 4), matching the estimator's
+    single-pass operating point.
+    """
+    if use_case is None:
+        use_case = UseCase(tuple(g.name for g in graphs))
+    active = use_case.select(list(graphs))
+    profiles = build_profiles(active)
+    loads: Dict[str, float] = {
+        name: 0.0 for name in mapping.platform.processor_names
+    }
+    for (app, actor), profile in profiles.items():
+        processor = mapping.processor_of(app, actor)
+        loads[processor] += profile.probability
+    return loads
+
+
+def bottleneck_processor(
+    graphs: Sequence[SDFGraph],
+    mapping: Mapping,
+    use_case: Optional[UseCase] = None,
+) -> Tuple[str, float]:
+    """The most loaded processor and its load."""
+    loads = processor_loads(graphs, mapping, use_case)
+    processor = max(loads, key=loads.get)  # type: ignore[arg-type]
+    return processor, loads[processor]
+
+
+def saturated_processors(
+    graphs: Sequence[SDFGraph],
+    mapping: Mapping,
+    use_case: Optional[UseCase] = None,
+    threshold: float = 1.0,
+) -> List[str]:
+    """Processors whose load meets or exceeds ``threshold``."""
+    loads = processor_loads(graphs, mapping, use_case)
+    return sorted(
+        name for name, load in loads.items() if load >= threshold
+    )

@@ -1,0 +1,196 @@
+"""Actor-to-processor bindings.
+
+A :class:`Mapping` binds every actor of every application in a use-case to
+one processor of a :class:`~repro.platform.platform.Platform`.  The paper's
+evaluation binds actor *j* of every application to processor *j* (its
+Section 3 example: ``a_i`` and ``b_i`` share ``Proc_i``), which
+:func:`index_mapping` reproduces; custom mappings are plain dictionaries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping as TMapping, Tuple
+
+from repro.exceptions import MappingError
+from repro.platform.platform import Platform
+from repro.sdf.graph import SDFGraph
+
+
+class Mapping:
+    """Binding of ``(application, actor) -> processor``.
+
+    Parameters
+    ----------
+    platform:
+        The target platform.
+    bindings:
+        ``{application_name: {actor_name: processor_name}}``.
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        bindings: TMapping[str, TMapping[str, str]],
+    ) -> None:
+        self.platform = platform
+        self._bindings: Dict[str, Dict[str, str]] = {
+            app: dict(actor_map) for app, actor_map in bindings.items()
+        }
+        for app, actor_map in self._bindings.items():
+            for actor, processor in actor_map.items():
+                if processor not in platform:
+                    raise MappingError(
+                        f"application {app!r} binds actor {actor!r} to "
+                        f"unknown processor {processor!r}"
+                    )
+
+    def processor_of(self, application: str, actor: str) -> str:
+        """Processor hosting ``actor`` of ``application``."""
+        try:
+            return self._bindings[application][actor]
+        except KeyError:
+            raise MappingError(
+                f"no binding for actor {actor!r} of application "
+                f"{application!r}"
+            ) from None
+
+    def applications(self) -> Tuple[str, ...]:
+        return tuple(self._bindings.keys())
+
+    def actors_on(
+        self, processor: str, applications: Iterable[str] | None = None
+    ) -> List[Tuple[str, str]]:
+        """All ``(application, actor)`` pairs bound to ``processor``.
+
+        Restricted to ``applications`` when given — this is how analyses
+        scope contention to the applications active in a use-case.
+        """
+        if processor not in self.platform:
+            raise MappingError(f"unknown processor {processor!r}")
+        selected = (
+            set(applications)
+            if applications is not None
+            else set(self._bindings)
+        )
+        result: List[Tuple[str, str]] = []
+        for app, actor_map in self._bindings.items():
+            if app not in selected:
+                continue
+            for actor, proc in actor_map.items():
+                if proc == processor:
+                    result.append((app, actor))
+        return result
+
+    def validate_against(self, graphs: Iterable[SDFGraph]) -> None:
+        """Check that every actor of every graph is bound and type-compatible.
+
+        Raises
+        ------
+        MappingError
+            On an unbound actor, an unknown application, or a processor
+            type mismatch.
+        """
+        for graph in graphs:
+            if graph.name not in self._bindings:
+                raise MappingError(
+                    f"application {graph.name!r} has no bindings"
+                )
+            bound = self._bindings[graph.name]
+            for actor in graph.actors:
+                if actor.name not in bound:
+                    raise MappingError(
+                        f"actor {actor.name!r} of application "
+                        f"{graph.name!r} is not bound to any processor"
+                    )
+                processor = self.platform.processor(bound[actor.name])
+                if processor.processor_type != actor.processor_type:
+                    raise MappingError(
+                        f"actor {actor.name!r} (type "
+                        f"{actor.processor_type!r}) cannot run on processor "
+                        f"{processor.name!r} (type "
+                        f"{processor.processor_type!r})"
+                    )
+
+
+def modulo_mapping(
+    graphs: Iterable[SDFGraph],
+    platform: Platform,
+) -> Mapping:
+    """Bind actor *i* to processor ``i mod width`` — any platform width.
+
+    Unlike :func:`index_mapping` this accepts platforms *narrower* than
+    the widest application, stacking several actors of one application
+    (and of every concurrent application) on the same node.  Used by the
+    contention-density ablation.
+    """
+    graph_list = list(graphs)
+    if not graph_list:
+        raise MappingError("modulo_mapping needs at least one application")
+    processor_names = platform.processor_names
+    bindings: Dict[str, Dict[str, str]] = {}
+    for graph in graph_list:
+        bindings[graph.name] = {
+            actor.name: processor_names[i % len(processor_names)]
+            for i, actor in enumerate(graph.actors)
+        }
+    return Mapping(platform, bindings)
+
+
+def spread_mapping(
+    graphs: Iterable[SDFGraph],
+    platform: Platform,
+) -> Mapping:
+    """Bind actor *i* of the *k*-th application to processor
+    ``(i + k) mod width``.
+
+    The per-application offset spreads load over platforms *wider* than
+    a single application, lowering the number of co-mapped actors per
+    node — the low-contention end of the density ablation.
+    """
+    graph_list = list(graphs)
+    if not graph_list:
+        raise MappingError("spread_mapping needs at least one application")
+    processor_names = platform.processor_names
+    bindings: Dict[str, Dict[str, str]] = {}
+    for app_index, graph in enumerate(graph_list):
+        bindings[graph.name] = {
+            actor.name: processor_names[
+                (i + app_index) % len(processor_names)
+            ]
+            for i, actor in enumerate(graph.actors)
+        }
+    return Mapping(platform, bindings)
+
+
+def index_mapping(
+    graphs: Iterable[SDFGraph],
+    platform: Platform | None = None,
+) -> Mapping:
+    """Bind the *i*-th actor of every application to the *i*-th processor.
+
+    This reproduces the paper's evaluation setup: applications with eight
+    to ten actors on a ten-processor platform put at most one actor per
+    application on each node, so a node hosts up to one actor from each
+    concurrently running application.  When ``platform`` is omitted, a
+    homogeneous platform just wide enough for the largest application is
+    created.
+    """
+    graph_list = list(graphs)
+    if not graph_list:
+        raise MappingError("index_mapping needs at least one application")
+    width = max(len(g) for g in graph_list)
+    if platform is None:
+        platform = Platform.homogeneous(width)
+    elif len(platform) < width:
+        raise MappingError(
+            f"platform has {len(platform)} processors but the widest "
+            f"application needs {width}"
+        )
+    processor_names = platform.processor_names
+    bindings: Dict[str, Dict[str, str]] = {}
+    for graph in graph_list:
+        bindings[graph.name] = {
+            actor.name: processor_names[i % len(processor_names)]
+            for i, actor in enumerate(graph.actors)
+        }
+    return Mapping(platform, bindings)

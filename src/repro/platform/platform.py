@@ -1,0 +1,70 @@
+"""Processors and platforms.
+
+A :class:`Processor` is a non-preemptive processing node; a
+:class:`Platform` is a fixed set of processors.  Heterogeneity is modeled
+through ``processor_type`` labels that must match the ``processor_type`` of
+the actors mapped onto the node (an IP block only hosts its own kind of
+actor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Tuple
+
+from repro.exceptions import MappingError
+
+
+@dataclass(frozen=True)
+class Processor:
+    """One non-preemptive processing node."""
+
+    name: str
+    processor_type: str = "proc"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise MappingError("processor name must be non-empty")
+
+
+class Platform:
+    """An immutable collection of named processors."""
+
+    def __init__(self, processors: Iterable[Processor]) -> None:
+        self._processors: Dict[str, Processor] = {}
+        for processor in processors:
+            if processor.name in self._processors:
+                raise MappingError(
+                    f"duplicate processor name {processor.name!r}"
+                )
+            self._processors[processor.name] = processor
+
+    @classmethod
+    def homogeneous(cls, count: int, prefix: str = "proc") -> "Platform":
+        """A platform of ``count`` identical processors ``proc0..``."""
+        if count < 1:
+            raise MappingError("a platform needs at least one processor")
+        return cls(Processor(f"{prefix}{i}") for i in range(count))
+
+    @property
+    def processors(self) -> Tuple[Processor, ...]:
+        return tuple(self._processors.values())
+
+    @property
+    def processor_names(self) -> Tuple[str, ...]:
+        return tuple(self._processors.keys())
+
+    def processor(self, name: str) -> Processor:
+        try:
+            return self._processors[name]
+        except KeyError:
+            raise MappingError(f"platform has no processor {name!r}") from None
+
+    def __len__(self) -> int:
+        return len(self._processors)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._processors
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Platform({list(self._processors)!r})"

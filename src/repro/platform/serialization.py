@@ -1,0 +1,73 @@
+"""Platform/mapping (de)serialization.
+
+Mirrors :mod:`repro.sdf.serialization` for the platform side so whole
+experimental setups (graphs + platform + bindings) can be stored as one
+JSON document and reloaded bit-identically — useful for pinning a
+generated benchmark suite in version control or sharing a repro case.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.exceptions import MappingError
+from repro.platform.mapping import Mapping
+from repro.platform.platform import Platform, Processor
+
+
+def platform_to_dict(platform: Platform) -> Dict[str, Any]:
+    """Plain-dict form of a platform."""
+    return {
+        "processors": [
+            {"name": p.name, "processor_type": p.processor_type}
+            for p in platform.processors
+        ]
+    }
+
+
+def platform_from_dict(data: Dict[str, Any]) -> Platform:
+    """Rebuild a platform from :func:`platform_to_dict` output."""
+    try:
+        return Platform(
+            Processor(
+                name=p["name"],
+                processor_type=p.get("processor_type", "proc"),
+            )
+            for p in data["processors"]
+        )
+    except KeyError as missing:
+        raise MappingError(
+            f"platform dict is missing key {missing}"
+        ) from None
+
+
+def mapping_to_dict(mapping: Mapping) -> Dict[str, Any]:
+    """Plain-dict form of a mapping (platform included)."""
+    bindings: Dict[str, Dict[str, str]] = {}
+    for processor in mapping.platform.processor_names:
+        for app, actor in mapping.actors_on(processor):
+            bindings.setdefault(app, {})[actor] = processor
+    return {
+        "platform": platform_to_dict(mapping.platform),
+        "bindings": bindings,
+    }
+
+
+def mapping_from_dict(data: Dict[str, Any]) -> Mapping:
+    """Rebuild a mapping from :func:`mapping_to_dict` output."""
+    try:
+        platform = platform_from_dict(data["platform"])
+        return Mapping(platform, data["bindings"])
+    except KeyError as missing:
+        raise MappingError(
+            f"mapping dict is missing key {missing}"
+        ) from None
+
+
+def mapping_to_json(mapping: Mapping, indent: int = 2) -> str:
+    return json.dumps(mapping_to_dict(mapping), indent=indent)
+
+
+def mapping_from_json(text: str) -> Mapping:
+    return mapping_from_dict(json.loads(text))

@@ -1,0 +1,99 @@
+"""Use-cases: sets of concurrently active applications.
+
+The paper (Section 1) defines a use-case as "a possible set of concurrently
+running applications" and evaluates all 2^10 combinations of its ten
+benchmark applications.  :class:`UseCase` is an ordered, hashable subset of
+application names; helpers enumerate the full power set or fixed-size
+slices of it (Figure 6 groups use-cases by cardinality).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.exceptions import ExperimentError
+from repro.sdf.graph import SDFGraph
+
+
+@dataclass(frozen=True)
+class UseCase:
+    """An ordered set of active application names."""
+
+    applications: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(set(self.applications)) != len(self.applications):
+            raise ExperimentError(
+                f"use-case contains duplicate applications: "
+                f"{self.applications!r}"
+            )
+
+    @classmethod
+    def of(cls, *names: str) -> "UseCase":
+        return cls(tuple(names))
+
+    @property
+    def size(self) -> int:
+        return len(self.applications)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self.applications
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.applications)
+
+    def __len__(self) -> int:
+        return len(self.applications)
+
+    def select(self, graphs: Sequence[SDFGraph]) -> List[SDFGraph]:
+        """The graphs active in this use-case, in use-case order."""
+        by_name: Dict[str, SDFGraph] = {g.name: g for g in graphs}
+        missing = [n for n in self.applications if n not in by_name]
+        if missing:
+            raise ExperimentError(
+                f"use-case references unknown applications: {missing!r}"
+            )
+        return [by_name[n] for n in self.applications]
+
+    def label(self) -> str:
+        """Compact display label, e.g. ``"A+B+C"``."""
+        return "+".join(self.applications)
+
+
+def all_use_cases(
+    application_names: Sequence[str],
+    include_empty: bool = False,
+) -> List[UseCase]:
+    """Every subset of ``application_names`` (the 2^N sweep of the paper)."""
+    use_cases: List[UseCase] = []
+    for size in range(0 if include_empty else 1, len(application_names) + 1):
+        for combo in itertools.combinations(application_names, size):
+            use_cases.append(UseCase(combo))
+    return use_cases
+
+
+def use_cases_of_size(
+    application_names: Sequence[str],
+    size: int,
+    sample: int | None = None,
+    seed: int = 0,
+) -> List[UseCase]:
+    """All (or ``sample`` random) use-cases with exactly ``size`` apps.
+
+    Sampling is deterministic for a given ``seed`` — Figure 6 buckets
+    use-cases by size, and C(10, 5) = 252 is more simulation than a CI run
+    wants, so the harness samples each bucket.
+    """
+    if not 0 < size <= len(application_names):
+        raise ExperimentError(
+            f"use-case size {size} out of range 1..{len(application_names)}"
+        )
+    combos = list(itertools.combinations(application_names, size))
+    if sample is not None and sample < len(combos):
+        rng = random.Random(seed)
+        combos = rng.sample(combos, sample)
+        combos.sort()
+    return [UseCase(c) for c in combos]

@@ -1,0 +1,71 @@
+"""Synchronous Data-Flow (SDF) graphs and their timing analysis.
+
+This subpackage is the substrate the paper builds on (its role is played by
+SDF3 in the original work):
+
+* :mod:`repro.sdf.actor`, :mod:`repro.sdf.channel`, :mod:`repro.sdf.graph`
+  — immutable-ish graph model with multi-rate channels and initial tokens.
+* :mod:`repro.sdf.builder` — fluent construction helper.
+* :mod:`repro.sdf.repetition` — repetition vector / consistency
+  (Definition 2 of the paper).
+* :mod:`repro.sdf.liveness` — deadlock detection.
+* :mod:`repro.sdf.hsdf` — SDF to homogeneous-SDF expansion.
+* :mod:`repro.sdf.mcm` — maximum cycle ratio (period) algorithms.
+* :mod:`repro.sdf.statespace` — exact self-timed execution oracle.
+* :mod:`repro.sdf.analysis` — high-level `period()` / `throughput()`
+  façade (Definition 3).
+"""
+
+from repro.sdf.actor import Actor
+from repro.sdf.analysis import (
+    AnalysisMethod,
+    period,
+    period_with_response_times,
+    throughput,
+)
+from repro.sdf.buffers import (
+    buffer_reservation_footprint,
+    max_channel_occupancy,
+    minimal_capacities_preserving_period,
+    with_buffer_capacities,
+)
+from repro.sdf.builder import GraphBuilder
+from repro.sdf.channel import Channel
+from repro.sdf.graph import SDFGraph
+from repro.sdf.hsdf import HSDFGraph, to_hsdf
+from repro.sdf.latency import (
+    iteration_makespan,
+    source_to_sink_latency,
+)
+from repro.sdf.liveness import assert_live, is_live
+from repro.sdf.mcm import max_cycle_ratio
+from repro.sdf.repetition import consistency_report, repetition_vector
+from repro.sdf.statespace import self_timed_period
+from repro.sdf.visualization import hsdf_to_dot, to_dot
+
+__all__ = [
+    "Actor",
+    "AnalysisMethod",
+    "Channel",
+    "GraphBuilder",
+    "HSDFGraph",
+    "SDFGraph",
+    "assert_live",
+    "buffer_reservation_footprint",
+    "consistency_report",
+    "hsdf_to_dot",
+    "is_live",
+    "iteration_makespan",
+    "max_channel_occupancy",
+    "max_cycle_ratio",
+    "minimal_capacities_preserving_period",
+    "period",
+    "period_with_response_times",
+    "repetition_vector",
+    "self_timed_period",
+    "source_to_sink_latency",
+    "throughput",
+    "to_dot",
+    "to_hsdf",
+    "with_buffer_capacities",
+]

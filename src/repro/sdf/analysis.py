@@ -1,0 +1,118 @@
+"""High-level period/throughput analysis (Definition 3 of the paper).
+
+``period(graph)`` is the time one *iteration* of the graph takes on
+average in self-timed execution on dedicated resources; ``throughput`` is
+its inverse.  Two engines are available:
+
+* ``AnalysisMethod.MCR`` (default) — expand to HSDF and compute the
+  maximum cycle ratio with Howard's algorithm.  Fast and exact.
+* ``AnalysisMethod.STATE_SPACE`` — execute self-timed until the state
+  recurs.  Exact, independent implementation; the test suite insists both
+  agree, which is the library's main defence against analysis bugs.
+
+``period_with_response_times`` is the hook the probabilistic estimator
+uses: it computes the period of the graph whose actor execution times have
+been inflated to response times (execution + expected waiting), i.e. step
+11 of the paper's Fig. 4 algorithm.  ``critical_cycle`` exposes *which*
+actors bound the period — the diagnostic a designer reaches for when an
+estimate misses its budget.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+from repro.exceptions import AnalysisError
+from repro.sdf.graph import SDFGraph
+from repro.sdf.hsdf import to_hsdf
+from repro.sdf.mcm import max_cycle_ratio
+from repro.sdf.statespace import self_timed_period
+
+
+class AnalysisMethod(enum.Enum):
+    """Which period engine to use."""
+
+    MCR = "mcr"
+    STATE_SPACE = "state_space"
+
+
+def period(
+    graph: SDFGraph,
+    method: AnalysisMethod = AnalysisMethod.MCR,
+    mcr_algorithm: str = "howard",
+) -> float:
+    """Average time per iteration of ``graph`` in isolation.
+
+    Parameters
+    ----------
+    graph:
+        Consistent, live SDF graph.
+    method:
+        Analysis engine (see :class:`AnalysisMethod`).
+    mcr_algorithm:
+        Algorithm for the MCR engine: ``"howard"``, ``"lawler"`` or
+        ``"brute"``.
+    """
+    if method is AnalysisMethod.MCR:
+        return max_cycle_ratio(to_hsdf(graph), method=mcr_algorithm).ratio
+    if method is AnalysisMethod.STATE_SPACE:
+        return self_timed_period(graph)
+    raise AnalysisError(f"unknown analysis method {method!r}")
+
+
+def throughput(
+    graph: SDFGraph,
+    method: AnalysisMethod = AnalysisMethod.MCR,
+) -> float:
+    """Iterations per time unit: ``1 / period`` (Definition 3)."""
+    return 1.0 / period(graph, method=method)
+
+
+def period_with_response_times(
+    graph: SDFGraph,
+    response_times: Mapping[str, float],
+    method: AnalysisMethod = AnalysisMethod.MCR,
+) -> float:
+    """Period of ``graph`` when actors take ``response_times`` to complete.
+
+    Actors missing from the mapping keep their original execution time.
+    The original graph is not modified.
+    """
+    inflated = graph.with_execution_times(dict(response_times))
+    return period(inflated, method=method)
+
+
+@dataclass(frozen=True)
+class CriticalCycle:
+    """The cycle of firings that binds a graph's period.
+
+    ``firings`` lists ``(actor, copy)`` pairs in cycle order; ``actors``
+    collapses them to distinct actor names (insertion-ordered).  The
+    cycle's ratio *is* the period.
+    """
+
+    ratio: float
+    firings: Tuple[Tuple[str, int], ...]
+
+    @property
+    def actors(self) -> Tuple[str, ...]:
+        seen: Dict[str, None] = {}
+        for actor, _ in self.firings:
+            seen.setdefault(actor)
+        return tuple(seen)
+
+
+def critical_cycle(graph: SDFGraph) -> CriticalCycle:
+    """Which firings bound the period of ``graph`` (MCR diagnostics).
+
+    A single-actor cycle means the actor itself is the bottleneck (its
+    sequential firings fill the whole period); a multi-actor cycle names
+    the dependency chain a designer would have to shorten or re-token.
+    """
+    hsdf = to_hsdf(graph)
+    result = max_cycle_ratio(hsdf)
+    keys = [v.key for v in hsdf.vertices]
+    firings = tuple(keys[index] for index in result.cycle)
+    return CriticalCycle(ratio=result.ratio, firings=firings)

@@ -1,0 +1,101 @@
+"""Fluent builder for SDF graphs.
+
+Writing graphs by listing :class:`Actor` and :class:`Channel` objects is
+verbose; the builder reads like the figures in SDF papers::
+
+    graph = (
+        GraphBuilder("A")
+        .actor("a0", 100)
+        .actor("a1", 50)
+        .actor("a2", 100)
+        .channel("a0", "a1", production=2, consumption=1)
+        .channel("a1", "a2", production=1, consumption=2)
+        .channel("a2", "a0", initial_tokens=1)
+        .build()
+    )
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.exceptions import GraphError
+from repro.sdf.actor import Actor
+from repro.sdf.channel import Channel
+from repro.sdf.graph import SDFGraph
+
+
+class GraphBuilder:
+    """Accumulates actors and channels, then builds an :class:`SDFGraph`."""
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+        self._actors: List[Actor] = []
+        self._channels: List[Channel] = []
+        self._built = False
+
+    def actor(
+        self,
+        name: str,
+        execution_time: float,
+        processor_type: str = "proc",
+    ) -> "GraphBuilder":
+        """Add one actor; returns self for chaining."""
+        self._actors.append(Actor(name, execution_time, processor_type))
+        return self
+
+    def actors(self, *specs: tuple) -> "GraphBuilder":
+        """Add several actors from ``(name, execution_time)`` tuples."""
+        for spec in specs:
+            self.actor(*spec)
+        return self
+
+    def channel(
+        self,
+        source: str,
+        target: str,
+        production: int = 1,
+        consumption: int = 1,
+        initial_tokens: int = 0,
+        name: str = "",
+    ) -> "GraphBuilder":
+        """Add one channel; returns self for chaining."""
+        self._channels.append(
+            Channel(
+                source=source,
+                target=target,
+                production_rate=production,
+                consumption_rate=consumption,
+                initial_tokens=initial_tokens,
+                name=name,
+            )
+        )
+        return self
+
+    def cycle(
+        self,
+        *actor_names: str,
+        initial_tokens_on_back_edge: int = 1,
+    ) -> "GraphBuilder":
+        """Connect the named actors in a single-rate ring.
+
+        The final edge (back to the first actor) carries
+        ``initial_tokens_on_back_edge`` tokens so the ring is live.
+        """
+        if len(actor_names) < 2:
+            raise GraphError("a cycle needs at least two actors")
+        for src, dst in zip(actor_names, actor_names[1:]):
+            self.channel(src, dst)
+        self.channel(
+            actor_names[-1],
+            actor_names[0],
+            initial_tokens=initial_tokens_on_back_edge,
+        )
+        return self
+
+    def build(self) -> SDFGraph:
+        """Construct the graph.  The builder can only build once."""
+        if self._built:
+            raise GraphError("GraphBuilder.build() may only be called once")
+        self._built = True
+        return SDFGraph(self._name, self._actors, self._channels)

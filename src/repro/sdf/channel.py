@@ -1,0 +1,62 @@
+"""Channel (edge) model for SDF graphs.
+
+A channel carries tokens from a producer actor to a consumer actor.  Every
+firing of the producer appends ``production_rate`` tokens; a firing of the
+consumer requires (and removes) ``consumption_rate`` tokens.  Channels may
+hold ``initial_tokens`` before execution starts; initial tokens are what
+break cyclic waits and pipeline the execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import GraphError
+
+
+@dataclass(frozen=True)
+class Channel:
+    """A directed, rate-annotated FIFO edge of an SDF graph."""
+
+    source: str
+    target: str
+    production_rate: int = 1
+    consumption_rate: int = 1
+    initial_tokens: int = 0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.source or not self.target:
+            raise GraphError("channel endpoints must be non-empty actor names")
+        if self.production_rate < 1:
+            raise GraphError(
+                f"channel {self.source}->{self.target}: production rate must "
+                f"be >= 1, got {self.production_rate}"
+            )
+        if self.consumption_rate < 1:
+            raise GraphError(
+                f"channel {self.source}->{self.target}: consumption rate must "
+                f"be >= 1, got {self.consumption_rate}"
+            )
+        if self.initial_tokens < 0:
+            raise GraphError(
+                f"channel {self.source}->{self.target}: initial tokens must "
+                f"be >= 0, got {self.initial_tokens}"
+            )
+        if not self.name:
+            # Frozen dataclass: assign through object.__setattr__ once.
+            object.__setattr__(
+                self, "name", f"{self.source}->{self.target}"
+            )
+
+    @property
+    def is_self_loop(self) -> bool:
+        """True when source and target are the same actor."""
+        return self.source == self.target
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.source}[{self.production_rate}] -> "
+            f"[{self.consumption_rate}]{self.target} "
+            f"(d={self.initial_tokens})"
+        )

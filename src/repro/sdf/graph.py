@@ -1,0 +1,204 @@
+"""SDF graph container.
+
+:class:`SDFGraph` owns a set of :class:`~repro.sdf.actor.Actor` vertices and
+:class:`~repro.sdf.channel.Channel` edges and offers the structural queries
+every analysis in the library needs (adjacency, strong connectivity,
+execution-time overlays).  The container is *structurally immutable once
+analysed*: all mutators return new graphs, which keeps cached repetition
+vectors and periods trustworthy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import GraphError
+from repro.sdf.actor import Actor
+from repro.sdf.channel import Channel
+
+
+class SDFGraph:
+    """A named synchronous data-flow graph.
+
+    Parameters
+    ----------
+    name:
+        Application name (``"A"`` ... in the paper).
+    actors:
+        Iterable of actors; names must be unique.
+    channels:
+        Iterable of channels; endpoints must name existing actors.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        actors: Iterable[Actor],
+        channels: Iterable[Channel],
+    ) -> None:
+        self.name = name
+        self._actors: Dict[str, Actor] = {}
+        for actor in actors:
+            if actor.name in self._actors:
+                raise GraphError(
+                    f"graph {name!r}: duplicate actor {actor.name!r}"
+                )
+            self._actors[actor.name] = actor
+        self._channels: List[Channel] = list(channels)
+        for channel in self._channels:
+            for endpoint in (channel.source, channel.target):
+                if endpoint not in self._actors:
+                    raise GraphError(
+                        f"graph {name!r}: channel {channel.name!r} references "
+                        f"unknown actor {endpoint!r}"
+                    )
+        self._out_edges: Dict[str, List[Channel]] = {a: [] for a in self._actors}
+        self._in_edges: Dict[str, List[Channel]] = {a: [] for a in self._actors}
+        for channel in self._channels:
+            self._out_edges[channel.source].append(channel)
+            self._in_edges[channel.target].append(channel)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def actors(self) -> Tuple[Actor, ...]:
+        """All actors in insertion order."""
+        return tuple(self._actors.values())
+
+    @property
+    def actor_names(self) -> Tuple[str, ...]:
+        return tuple(self._actors.keys())
+
+    @property
+    def channels(self) -> Tuple[Channel, ...]:
+        return tuple(self._channels)
+
+    def actor(self, name: str) -> Actor:
+        """Return the actor called ``name`` or raise :class:`GraphError`."""
+        try:
+            return self._actors[name]
+        except KeyError:
+            raise GraphError(
+                f"graph {self.name!r} has no actor named {name!r}"
+            ) from None
+
+    def has_actor(self, name: str) -> bool:
+        return name in self._actors
+
+    def out_edges(self, actor_name: str) -> Tuple[Channel, ...]:
+        """Channels produced by ``actor_name``."""
+        self.actor(actor_name)
+        return tuple(self._out_edges[actor_name])
+
+    def in_edges(self, actor_name: str) -> Tuple[Channel, ...]:
+        """Channels consumed by ``actor_name``."""
+        self.actor(actor_name)
+        return tuple(self._in_edges[actor_name])
+
+    def execution_time(self, actor_name: str) -> float:
+        """``tau(a)`` — Definition 1 of the paper."""
+        return self.actor(actor_name).execution_time
+
+    def execution_times(self) -> Dict[str, float]:
+        """Mapping of actor name to execution time."""
+        return {a.name: a.execution_time for a in self.actors}
+
+    def __len__(self) -> int:
+        return len(self._actors)
+
+    def __iter__(self) -> Iterator[Actor]:
+        return iter(self.actors)
+
+    def __contains__(self, actor_name: object) -> bool:
+        return actor_name in self._actors
+
+    # ------------------------------------------------------------------
+    # Structural queries
+    # ------------------------------------------------------------------
+    def successors(self, actor_name: str) -> Tuple[str, ...]:
+        """Distinct names of actors fed by ``actor_name`` (dedup, ordered)."""
+        seen: Dict[str, None] = {}
+        for channel in self.out_edges(actor_name):
+            seen.setdefault(channel.target)
+        return tuple(seen)
+
+    def predecessors(self, actor_name: str) -> Tuple[str, ...]:
+        """Distinct names of actors feeding ``actor_name``."""
+        seen: Dict[str, None] = {}
+        for channel in self.in_edges(actor_name):
+            seen.setdefault(channel.source)
+        return tuple(seen)
+
+    def is_strongly_connected(self) -> bool:
+        """True when every actor can reach every other actor.
+
+        Strong connectivity is what makes the period finite and well
+        defined: the paper's benchmark graphs are all strongly connected
+        components.  Implemented as a forward and a backward reachability
+        sweep from an arbitrary root (two BFS passes).
+        """
+        if not self._actors:
+            return False
+        root = next(iter(self._actors))
+        return (
+            len(self._reachable(root, self._out_edges)) == len(self)
+            and len(self._reachable(root, self._in_edges)) == len(self)
+        )
+
+    def _reachable(
+        self, root: str, adjacency: Mapping[str, List[Channel]]
+    ) -> set:
+        seen = {root}
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            for channel in adjacency[node]:
+                other = (
+                    channel.target
+                    if channel.source == node
+                    else channel.source
+                )
+                # adjacency is either out-edges (follow target) or
+                # in-edges (follow source); the expression above picks the
+                # far endpoint for both orientations.
+                if other not in seen:
+                    seen.add(other)
+                    stack.append(other)
+        return seen
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def with_execution_times(self, times: Mapping[str, float]) -> "SDFGraph":
+        """Return a copy whose actors run with the given execution times.
+
+        This is how the Fig.-4 estimator applies *response times*: waiting
+        time is added to each actor's execution time and the period of the
+        resulting graph is recomputed (steps 9–11 of the paper's
+        algorithm).  Actors absent from ``times`` keep their original
+        execution time.
+        """
+        new_actors = []
+        for actor in self.actors:
+            if actor.name in times:
+                new_actors.append(actor.with_execution_time(times[actor.name]))
+            else:
+                new_actors.append(actor)
+        return SDFGraph(self.name, new_actors, self._channels)
+
+    def renamed(self, name: str) -> "SDFGraph":
+        """Return a copy of the graph under a different application name."""
+        return SDFGraph(name, self.actors, self._channels)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def total_initial_tokens(self) -> int:
+        return sum(c.initial_tokens for c in self._channels)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SDFGraph({self.name!r}, actors={len(self._actors)}, "
+            f"channels={len(self._channels)})"
+        )

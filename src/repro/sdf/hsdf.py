@@ -1,0 +1,161 @@
+"""SDF to homogeneous-SDF (HSDF) expansion.
+
+An HSDF graph has unit production/consumption rates everywhere; every actor
+``a`` of the SDF graph becomes ``q(a)`` vertices (one per firing within an
+iteration) and every channel becomes precedence edges annotated with
+*delays* (the number of iterations a dependency spans — the HSDF analogue
+of initial tokens).  The period of the SDF graph equals the maximum cycle
+ratio of its HSDF expansion, which is how :func:`repro.sdf.analysis.period`
+computes Definition 3 analytically.
+
+The construction follows Sriram & Bhattacharyya (reference [14] of the
+paper).  For a channel ``a -(p,c,d)-> b``, the ``n``-th firing of ``b``
+(0-based, within an iteration) consumes tokens ``n*c .. n*c + c - 1`` in
+FIFO order.  Token ``t`` is an initial token when ``t < d``; otherwise it
+is the ``(t-d)``-th token produced, i.e. produced by the *absolute* firing
+``J = (t - d) // p`` of ``a``.  Absolute firing ``J`` lives in iteration
+``J // q(a)`` and maps to vertex copy ``J % q(a)``; the edge delay is the
+number of iterations the dependency crosses, ``-(J // q(a))``.
+
+Because actors model software tasks bound to one processor, each actor also
+receives a *sequencing cycle* through its copies (copy k -> copy k+1, with
+one delay token on the wrap-around edge).  This disables auto-concurrency:
+the two firings of ``a1`` in the paper's Fig. 2 example execute back to
+back, which is what makes ``Per(A) = 300``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from repro.exceptions import GraphError
+from repro.sdf.graph import SDFGraph
+from repro.sdf.repetition import repetition_vector
+
+
+@dataclass(frozen=True)
+class HSDFVertex:
+    """One firing of an SDF actor within an iteration."""
+
+    actor: str
+    copy: int
+    execution_time: float
+
+    @property
+    def key(self) -> Tuple[str, int]:
+        return (self.actor, self.copy)
+
+
+@dataclass(frozen=True)
+class HSDFEdge:
+    """A unit-rate precedence edge with an iteration-crossing delay."""
+
+    source: Tuple[str, int]
+    target: Tuple[str, int]
+    delay: int
+
+
+@dataclass
+class HSDFGraph:
+    """Homogeneous SDF graph produced by :func:`to_hsdf`."""
+
+    name: str
+    vertices: List[HSDFVertex] = field(default_factory=list)
+    edges: List[HSDFEdge] = field(default_factory=list)
+
+    def vertex_index(self) -> Dict[Tuple[str, int], int]:
+        """Dense integer ids for the vertices, in insertion order."""
+        return {v.key: i for i, v in enumerate(self.vertices)}
+
+    def execution_time_of(self, key: Tuple[str, int]) -> float:
+        for vertex in self.vertices:
+            if vertex.key == key:
+                return vertex.execution_time
+        raise GraphError(f"HSDF graph {self.name!r} has no vertex {key!r}")
+
+    @property
+    def vertex_count(self) -> int:
+        return len(self.vertices)
+
+    @property
+    def edge_count(self) -> int:
+        return len(self.edges)
+
+
+def to_hsdf(
+    graph: SDFGraph,
+    auto_concurrency: bool = False,
+) -> HSDFGraph:
+    """Expand ``graph`` into its homogeneous equivalent.
+
+    Parameters
+    ----------
+    graph:
+        A consistent SDF graph.
+    auto_concurrency:
+        When False (default, and what the paper assumes) an actor's
+        firings are serialized with a sequencing cycle through its copies.
+        When True, distinct firings of one actor may overlap in time.
+
+    Notes
+    -----
+    Parallel edges between the same pair of vertices are deduplicated
+    keeping only the *minimum* delay: for maximum-cycle-ratio analysis a
+    higher-delay parallel edge can never be the binding constraint.
+    """
+    q = repetition_vector(graph)
+    vertices = [
+        HSDFVertex(actor.name, k, actor.execution_time)
+        for actor in graph.actors
+        for k in range(q[actor.name])
+    ]
+
+    # (source_key, target_key) -> minimal delay seen so far
+    best_delay: Dict[Tuple[Tuple[str, int], Tuple[str, int]], int] = {}
+
+    def add_edge(src: Tuple[str, int], dst: Tuple[str, int], delay: int) -> None:
+        if delay < 0:
+            raise GraphError(
+                f"HSDF expansion of {graph.name!r} produced negative delay "
+                f"{delay} on {src}->{dst}; this indicates a construction bug"
+            )
+        key = (src, dst)
+        if key not in best_delay or delay < best_delay[key]:
+            best_delay[key] = delay
+
+    for channel in graph.channels:
+        p = channel.production_rate
+        c = channel.consumption_rate
+        d = channel.initial_tokens
+        q_src = q[channel.source]
+        q_dst = q[channel.target]
+        for n in range(q_dst):
+            for l in range(c):
+                token = n * c + l
+                # Absolute producer firing index (may be negative when the
+                # token is an initial token produced "before time zero").
+                producer = (token - d) // p
+                copy = producer % q_src
+                delay = -(producer // q_src)
+                add_edge((channel.source, copy), (channel.target, n), delay)
+
+    if not auto_concurrency:
+        for actor in graph.actors:
+            copies = q[actor.name]
+            if copies == 1:
+                add_edge((actor.name, 0), (actor.name, 0), 1)
+            else:
+                for k in range(copies):
+                    nxt = (k + 1) % copies
+                    add_edge(
+                        (actor.name, k),
+                        (actor.name, nxt),
+                        1 if nxt == 0 else 0,
+                    )
+
+    edges = [
+        HSDFEdge(src, dst, delay)
+        for (src, dst), delay in best_delay.items()
+    ]
+    return HSDFGraph(name=graph.name, vertices=vertices, edges=edges)

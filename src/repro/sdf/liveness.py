@@ -1,0 +1,81 @@
+"""Liveness (deadlock-freedom) analysis.
+
+A consistent SDF graph is *live* when it can execute forever, which — by
+the classic result of Lee & Messerschmitt (reference [10] of the paper) —
+holds exactly when one complete iteration (every actor ``a`` firing
+``q(a)`` times) can be executed from the initial token distribution.
+Token counts return to their initial values after a full iteration, so
+success of one iteration implies success of all.
+
+The check below executes one iteration *untimed*: it repeatedly fires any
+enabled actor that still owes firings.  For SDF this greedy strategy is
+safe — firing an enabled actor can never disable another actor's eventual
+firing (the model is deterministic and monotonic).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.exceptions import DeadlockError
+from repro.sdf.graph import SDFGraph
+from repro.sdf.repetition import repetition_vector
+
+
+def is_live(graph: SDFGraph) -> bool:
+    """True when the graph can execute one complete iteration."""
+    return _stuck_actor(graph) is None
+
+
+def assert_live(graph: SDFGraph) -> None:
+    """Raise :class:`DeadlockError` when the graph deadlocks."""
+    stuck = _stuck_actor(graph)
+    if stuck is not None:
+        raise DeadlockError(
+            f"graph {graph.name!r} deadlocks: actor {stuck!r} can never "
+            "complete its firings for one iteration (insufficient initial "
+            "tokens on some cycle)"
+        )
+
+
+def _stuck_actor(graph: SDFGraph) -> str | None:
+    """Name of an actor that cannot finish its iteration, or None."""
+    q = repetition_vector(graph)
+    remaining: Dict[str, int] = dict(q)
+    tokens: Dict[int, int] = {
+        i: c.initial_tokens for i, c in enumerate(graph.channels)
+    }
+    in_edges: Dict[str, List[int]] = {a: [] for a in graph.actor_names}
+    out_edges: Dict[str, List[int]] = {a: [] for a in graph.actor_names}
+    for i, channel in enumerate(graph.channels):
+        in_edges[channel.target].append(i)
+        out_edges[channel.source].append(i)
+
+    def enabled(actor: str) -> bool:
+        if remaining[actor] == 0:
+            return False
+        return all(
+            tokens[i] >= graph.channels[i].consumption_rate
+            for i in in_edges[actor]
+        )
+
+    # Worklist of candidate actors; greedy firing until the iteration
+    # completes or no candidate is enabled.
+    pending = [a for a in graph.actor_names if remaining[a] > 0]
+    progress = True
+    while progress:
+        progress = False
+        for actor in list(pending):
+            while enabled(actor):
+                for i in in_edges[actor]:
+                    tokens[i] -= graph.channels[i].consumption_rate
+                for i in out_edges[actor]:
+                    tokens[i] += graph.channels[i].production_rate
+                remaining[actor] -= 1
+                progress = True
+            if remaining[actor] == 0 and actor in pending:
+                pending.remove(actor)
+    for actor in graph.actor_names:
+        if remaining[actor] > 0:
+            return actor
+    return None

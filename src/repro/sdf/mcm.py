@@ -1,0 +1,540 @@
+"""Maximum cycle ratio (MCR) analysis.
+
+The period of a consistent, live SDF graph equals the maximum over all
+cycles ``C`` of its HSDF expansion of::
+
+    ratio(C) = sum of execution times of vertices on C
+             / sum of edge delays on C
+
+(reference [4] of the paper — Dasdan's survey of optimum cycle ratio/mean
+algorithms).  A cycle with zero total delay cannot execute — it is a
+deadlock — and makes the ratio infinite.
+
+Three algorithms are provided and cross-checked in the test suite:
+
+* ``howard`` — policy iteration, the practical default (fast; linear
+  number of iterations in practice, as observed by Dasdan).
+* ``lawler`` — binary search on the ratio with a Bellman–Ford positive
+  cycle test per probe; simple, robust, slower.
+* ``brute`` — enumerate all simple cycles (Johnson's algorithm); only
+  viable for small graphs, used as ground truth in tests.
+
+All operate on a generic edge list so they are reusable beyond HSDF
+graphs; :func:`max_cycle_ratio` adapts an :class:`~repro.sdf.hsdf.HSDFGraph`
+(vertex weights become weights of outgoing edges).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import AnalysisError, DeadlockError
+from repro.sdf.hsdf import HSDFGraph
+
+
+@dataclass(frozen=True)
+class RatioEdge:
+    """Generic MCR problem edge: weight gained, transit (delay) spent."""
+
+    source: int
+    target: int
+    weight: float
+    transit: int
+
+
+@dataclass(frozen=True)
+class CycleRatioResult:
+    """Maximum cycle ratio plus one cycle that attains it.
+
+    ``cycle`` lists vertex ids in order (first vertex repeated at the end
+    is omitted).  ``ratio`` is ``-inf`` for an acyclic graph.
+    """
+
+    ratio: float
+    cycle: Tuple[int, ...]
+
+
+# ----------------------------------------------------------------------
+# Public entry points
+# ----------------------------------------------------------------------
+def max_cycle_ratio(
+    hsdf: HSDFGraph,
+    method: str = "howard",
+) -> CycleRatioResult:
+    """Maximum cycle ratio of an HSDF graph (its iteration period).
+
+    Raises
+    ------
+    DeadlockError
+        If the graph contains a zero-delay cycle.
+    AnalysisError
+        If the graph has no cycle at all (period undefined: a DAG
+        executes in finite time and has no steady-state period).
+    """
+    index = hsdf.vertex_index()
+    weights = {index[v.key]: v.execution_time for v in hsdf.vertices}
+    edges = [
+        RatioEdge(
+            source=index[e.source],
+            target=index[e.target],
+            weight=weights[index[e.source]],
+            transit=e.delay,
+        )
+        for e in hsdf.edges
+    ]
+    return max_cycle_ratio_edges(len(hsdf.vertices), edges, method=method)
+
+
+def max_cycle_ratio_edges(
+    vertex_count: int,
+    edges: Sequence[RatioEdge],
+    method: str = "howard",
+) -> CycleRatioResult:
+    """Maximum cycle ratio of a generic edge-weighted graph."""
+    _assert_no_zero_delay_cycle(vertex_count, edges)
+    if method == "howard":
+        solver = _solve_howard
+    elif method == "lawler":
+        solver = _solve_lawler
+    elif method == "brute":
+        solver = _solve_brute
+    else:
+        raise AnalysisError(f"unknown MCR method {method!r}")
+
+    best: Optional[CycleRatioResult] = None
+    for component in _strongly_connected_components(vertex_count, edges):
+        if len(component) == 0:
+            continue
+        component_set = set(component)
+        inner = [
+            e
+            for e in edges
+            if e.source in component_set and e.target in component_set
+        ]
+        if not inner:
+            continue
+        result = solver(component, inner)
+        if result is not None and (best is None or result.ratio > best.ratio):
+            best = result
+    if best is None:
+        raise AnalysisError(
+            "graph has no cycle: the maximum cycle ratio (and hence the "
+            "period) is undefined"
+        )
+    return best
+
+
+# ----------------------------------------------------------------------
+# Deadlock (zero-delay cycle) detection
+# ----------------------------------------------------------------------
+def _assert_no_zero_delay_cycle(
+    vertex_count: int, edges: Sequence[RatioEdge]
+) -> None:
+    """A cycle of total delay zero must consist of delay-0 edges only."""
+    adjacency: Dict[int, List[int]] = {}
+    for edge in edges:
+        if edge.transit == 0:
+            adjacency.setdefault(edge.source, []).append(edge.target)
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = [WHITE] * vertex_count
+    for root in adjacency:
+        if color[root] != WHITE:
+            continue
+        stack: List[Tuple[int, int]] = [(root, 0)]
+        color[root] = GRAY
+        while stack:
+            node, child_idx = stack[-1]
+            children = adjacency.get(node, [])
+            if child_idx < len(children):
+                stack[-1] = (node, child_idx + 1)
+                child = children[child_idx]
+                if color[child] == GRAY:
+                    raise DeadlockError(
+                        "zero-delay cycle detected: the graph deadlocks "
+                        f"(cycle passes through vertex {child})"
+                    )
+                if color[child] == WHITE:
+                    color[child] = GRAY
+                    stack.append((child, 0))
+            else:
+                color[node] = BLACK
+                stack.pop()
+
+
+# ----------------------------------------------------------------------
+# Strongly connected components (Tarjan, iterative)
+# ----------------------------------------------------------------------
+def _strongly_connected_components(
+    vertex_count: int, edges: Sequence[RatioEdge]
+) -> List[List[int]]:
+    adjacency: List[List[int]] = [[] for _ in range(vertex_count)]
+    for edge in edges:
+        adjacency[edge.source].append(edge.target)
+
+    index_counter = 0
+    indices = [-1] * vertex_count
+    lowlink = [0] * vertex_count
+    on_stack = [False] * vertex_count
+    stack: List[int] = []
+    components: List[List[int]] = []
+
+    for root in range(vertex_count):
+        if indices[root] != -1:
+            continue
+        work: List[Tuple[int, int]] = [(root, 0)]
+        while work:
+            node, child_idx = work[-1]
+            if child_idx == 0:
+                indices[node] = index_counter
+                lowlink[node] = index_counter
+                index_counter += 1
+                stack.append(node)
+                on_stack[node] = True
+            advanced = False
+            while child_idx < len(adjacency[node]):
+                child = adjacency[node][child_idx]
+                child_idx += 1
+                if indices[child] == -1:
+                    work[-1] = (node, child_idx)
+                    work.append((child, 0))
+                    advanced = True
+                    break
+                if on_stack[child]:
+                    lowlink[node] = min(lowlink[node], indices[child])
+            if advanced:
+                continue
+            work.pop()
+            if lowlink[node] == indices[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return components
+
+
+# ----------------------------------------------------------------------
+# Howard's policy iteration (per SCC)
+# ----------------------------------------------------------------------
+_EPS = 1e-10
+_MAX_HOWARD_ITERATIONS = 10_000
+
+
+def _solve_howard(
+    component: Sequence[int], edges: Sequence[RatioEdge]
+) -> Optional[CycleRatioResult]:
+    """Max cycle ratio of one strongly-connected component.
+
+    Classic two-phase policy iteration: every vertex selects one outgoing
+    edge (the *policy*); the single cycle of the policy graph yields a
+    candidate ratio and vertex potentials; edges that would improve the
+    potential switch the policy.  Terminates when no edge improves.
+    """
+    nodes = list(component)
+    if len(nodes) == 1 and not edges:
+        return None
+    local = {node: i for i, node in enumerate(nodes)}
+    n = len(nodes)
+    out_edges: List[List[RatioEdge]] = [[] for _ in range(n)]
+    for edge in edges:
+        out_edges[local[edge.source]].append(edge)
+    for i in range(n):
+        if not out_edges[i]:
+            # Strong connectivity with >1 node guarantees out-degree >= 1;
+            # a single node without self-loop carries no cycle.
+            return None
+
+    # Initial policy: the highest-weight edge out of every vertex.
+    policy: List[RatioEdge] = [
+        max(out, key=lambda e: e.weight) for out in out_edges
+    ]
+
+    ratio = [0.0] * n
+    value = [0.0] * n
+
+    for _ in range(_MAX_HOWARD_ITERATIONS):
+        _evaluate_policy(n, local, policy, ratio, value)
+        improved = False
+        for i in range(n):
+            for edge in out_edges[i]:
+                j = local[edge.target]
+                if ratio[j] > ratio[i] + _EPS:
+                    policy[i] = edge
+                    improved = True
+                elif abs(ratio[j] - ratio[i]) <= _EPS:
+                    candidate = (
+                        edge.weight - ratio[i] * edge.transit + value[j]
+                    )
+                    if candidate > value[i] + _EPS:
+                        policy[i] = edge
+                        improved = True
+        if not improved:
+            break
+    else:  # pragma: no cover - safety net
+        raise AnalysisError("Howard's algorithm failed to converge")
+
+    best_i = max(range(n), key=lambda i: ratio[i])
+    cycle = _policy_cycle(n, local, policy, best_i)
+    return CycleRatioResult(ratio=ratio[best_i], cycle=tuple(cycle))
+
+
+def _evaluate_policy(
+    n: int,
+    local: Dict[int, int],
+    policy: List[RatioEdge],
+    ratio: List[float],
+    value: List[float],
+) -> None:
+    """Compute per-vertex cycle ratio and potentials under ``policy``.
+
+    The policy graph is functional (out-degree one), so every vertex leads
+    into exactly one cycle.  Each cycle's ratio is computed exactly from
+    its members; potentials propagate backwards from an anchor on the
+    cycle.
+    """
+    state = [0] * n  # 0 unvisited, 1 in progress, 2 done
+    for start in range(n):
+        if state[start] != 0:
+            continue
+        path: List[int] = []
+        node = start
+        while state[node] == 0:
+            state[node] = 1
+            path.append(node)
+            node = local[policy[node].target]
+        if state[node] == 1:
+            # Found a new cycle: path[k:] where path[k] == node.
+            k = path.index(node)
+            cycle_nodes = path[k:]
+            total_weight = sum(policy[i].weight for i in cycle_nodes)
+            total_transit = sum(policy[i].transit for i in cycle_nodes)
+            if total_transit == 0:
+                # Guarded earlier by the zero-delay cycle check, but a
+                # policy cycle is an actual graph cycle, so be safe.
+                raise DeadlockError(
+                    "policy cycle with zero total delay: graph deadlocks"
+                )
+            cycle_ratio = total_weight / total_transit
+            anchor = node
+            ratio[anchor] = cycle_ratio
+            value[anchor] = 0.0
+            # Walk the cycle backwards to set potentials consistently:
+            # v(u) = w(u,pi(u)) - ratio * t(u,pi(u)) + v(pi(u)).
+            ordered = cycle_nodes[cycle_nodes.index(anchor):] + cycle_nodes[
+                : cycle_nodes.index(anchor)
+            ]
+            for u in reversed(ordered[1:]):
+                succ = local[policy[u].target]
+                ratio[u] = cycle_ratio
+                value[u] = (
+                    policy[u].weight
+                    - cycle_ratio * policy[u].transit
+                    + value[succ]
+                )
+            for u in cycle_nodes:
+                state[u] = 2
+        # Tree vertices hanging off the (now solved) cycle/path suffix.
+        for u in reversed(path):
+            if state[u] == 2:
+                continue
+            succ = local[policy[u].target]
+            ratio[u] = ratio[succ]
+            value[u] = (
+                policy[u].weight - ratio[u] * policy[u].transit + value[succ]
+            )
+            state[u] = 2
+
+
+def _policy_cycle(
+    n: int,
+    local: Dict[int, int],
+    policy: List[RatioEdge],
+    start_local: int,
+) -> List[int]:
+    """Extract the (global-id) cycle reached from ``start_local``."""
+    seen: Dict[int, int] = {}
+    order: List[int] = []
+    node = start_local
+    while node not in seen:
+        seen[node] = len(order)
+        order.append(node)
+        node = local[policy[node].target]
+    cycle_local = order[seen[node]:]
+    globals_by_local = {i: e.source for i, e in enumerate(policy)}
+    return [globals_by_local[i] for i in cycle_local]
+
+
+# ----------------------------------------------------------------------
+# Lawler's binary search
+# ----------------------------------------------------------------------
+def _solve_lawler(
+    component: Sequence[int], edges: Sequence[RatioEdge]
+) -> Optional[CycleRatioResult]:
+    """Binary search on the ratio; Bellman–Ford tests each probe.
+
+    A probe ``lam`` asks: is there a cycle with
+    ``sum(w) - lam * sum(t) > 0``?  If yes the true ratio exceeds
+    ``lam``.  The search narrows until the interval is tight, then the
+    critical cycle is recovered from the final positive-cycle detection.
+    """
+    nodes = list(component)
+    if len(nodes) == 1 and not edges:
+        return None
+    total_weight = sum(abs(e.weight) for e in edges) + 1.0
+    low, high = 0.0, total_weight
+    # A valid upper bound: any cycle ratio <= sum of all weights (transit
+    # of a cycle is >= 1 after the zero-delay check).
+    cycle: Tuple[int, ...] = ()
+    found_any = False
+    for _ in range(200):
+        mid = 0.5 * (low + high)
+        probe = _positive_cycle(nodes, edges, mid)
+        if probe is not None:
+            low = mid
+            cycle = probe
+            found_any = True
+        else:
+            high = mid
+        if high - low <= 1e-12 * max(1.0, high):
+            break
+    if not found_any:
+        probe = _positive_cycle(nodes, edges, -1.0)
+        if probe is None:
+            return None
+        cycle = probe
+    ratio = _ratio_of_cycle(cycle, edges)
+    return CycleRatioResult(ratio=ratio, cycle=cycle)
+
+
+def _positive_cycle(
+    nodes: Sequence[int], edges: Sequence[RatioEdge], lam: float
+) -> Optional[Tuple[int, ...]]:
+    """Bellman–Ford positive-cycle detection on w' = w - lam*t."""
+    local = {node: i for i, node in enumerate(nodes)}
+    n = len(nodes)
+    dist = [0.0] * n
+    parent_edge: List[Optional[RatioEdge]] = [None] * n
+    updated_vertex = -1
+    for _ in range(n):
+        updated_vertex = -1
+        for edge in edges:
+            u, v = local[edge.source], local[edge.target]
+            candidate = dist[u] + edge.weight - lam * edge.transit
+            if candidate > dist[v] + 1e-15:
+                dist[v] = candidate
+                parent_edge[v] = edge
+                updated_vertex = v
+        if updated_vertex == -1:
+            return None
+    # A vertex still updated after n rounds lies on / is reachable from a
+    # positive cycle; walk parents n times to land inside the cycle.
+    node = updated_vertex
+    for _ in range(n):
+        node = local[parent_edge[node].source]  # type: ignore[union-attr]
+    cycle = []
+    walk = node
+    while True:
+        cycle.append(nodes[walk])
+        walk = local[parent_edge[walk].source]  # type: ignore[union-attr]
+        if walk == node:
+            break
+    cycle.reverse()
+    return tuple(cycle)
+
+
+def _ratio_of_cycle(
+    cycle: Sequence[int], edges: Sequence[RatioEdge]
+) -> float:
+    """Exact ratio of a specific vertex cycle (max over parallel edges
+    is not needed: the cycle was produced edge-by-edge, so recover the
+    best parallel edge between consecutive vertices)."""
+    by_pair: Dict[Tuple[int, int], List[RatioEdge]] = {}
+    for edge in edges:
+        by_pair.setdefault((edge.source, edge.target), []).append(edge)
+    weight = 0.0
+    transit = 0
+    m = len(cycle)
+    for i in range(m):
+        u, v = cycle[i], cycle[(i + 1) % m]
+        candidates = by_pair.get((u, v))
+        if not candidates:
+            raise AnalysisError(f"cycle edge {u}->{v} not present in graph")
+        # The binding parallel edge for a maximal cycle is the one with
+        # the lowest transit (ties: highest weight).
+        chosen = min(candidates, key=lambda e: (e.transit, -e.weight))
+        weight += chosen.weight
+        transit += chosen.transit
+    if transit == 0:
+        raise DeadlockError("cycle with zero total delay: graph deadlocks")
+    return weight / transit
+
+
+# ----------------------------------------------------------------------
+# Brute force (Johnson's simple cycle enumeration)
+# ----------------------------------------------------------------------
+_BRUTE_FORCE_LIMIT = 200_000
+
+
+def _solve_brute(
+    component: Sequence[int], edges: Sequence[RatioEdge]
+) -> Optional[CycleRatioResult]:
+    """Enumerate every simple cycle and take the maximum ratio.
+
+    Exponential; guarded by ``_BRUTE_FORCE_LIMIT`` enumerated cycles.
+    Only intended as a test oracle for small graphs.
+    """
+    nodes = sorted(component)
+    adjacency: Dict[int, List[RatioEdge]] = {node: [] for node in nodes}
+    for edge in edges:
+        adjacency[edge.source].append(edge)
+
+    best_ratio = float("-inf")
+    best_cycle: Tuple[int, ...] = ()
+    count = 0
+
+    # Simple DFS-based enumeration rooted at each vertex; cycles are only
+    # reported when they return to the root and the root is the smallest
+    # vertex on the cycle (canonical form, avoids duplicates).
+    for root in nodes:
+        stack: List[Tuple[int, float, int, Tuple[int, ...]]] = [
+            (root, 0.0, 0, (root,))
+        ]
+        while stack:
+            node, weight, transit, path = stack.pop()
+            for edge in adjacency[node]:
+                count += 1
+                if count > _BRUTE_FORCE_LIMIT:
+                    raise AnalysisError(
+                        "brute-force cycle enumeration exceeded limit; "
+                        "use method='howard' for graphs of this size"
+                    )
+                target = edge.target
+                if target == root:
+                    total_transit = transit + edge.transit
+                    if total_transit == 0:
+                        raise DeadlockError(
+                            "cycle with zero total delay: graph deadlocks"
+                        )
+                    ratio = (weight + edge.weight) / total_transit
+                    if ratio > best_ratio:
+                        best_ratio = ratio
+                        best_cycle = path
+                elif target > root and target not in path:
+                    stack.append(
+                        (
+                            target,
+                            weight + edge.weight,
+                            transit + edge.transit,
+                            path + (target,),
+                        )
+                    )
+    if best_cycle == () and best_ratio == float("-inf"):
+        return None
+    return CycleRatioResult(ratio=best_ratio, cycle=best_cycle)

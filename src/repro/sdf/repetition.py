@@ -1,0 +1,138 @@
+"""Repetition vector and consistency analysis (Definition 2).
+
+The repetition vector ``q`` of an SDF graph is the smallest positive integer
+vector such that for every channel ``(a -> b, p, c)``::
+
+    q[a] * p == q[b] * c          (the balance equation)
+
+A graph whose balance equations admit only the zero solution is
+*inconsistent*: it cannot run forever in bounded memory.  The solver
+propagates exact rational firing ratios over the (undirected) channel
+structure, scales each weakly-connected component to its smallest integer
+vector, and then verifies every balance equation — including equations made
+redundant by cycles, which is where inconsistencies hide.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import gcd
+from typing import Dict, List, NamedTuple
+
+from repro.exceptions import InconsistentGraphError
+from repro.sdf.graph import SDFGraph
+
+
+class ConsistencyReport(NamedTuple):
+    """Outcome of consistency analysis.
+
+    Attributes
+    ----------
+    consistent:
+        True when a repetition vector exists.
+    repetition_vector:
+        The minimal integer vector (empty when inconsistent).
+    violated_channel:
+        Name of a channel whose balance equation fails (``""`` when
+        consistent), useful in error messages and tests.
+    """
+
+    consistent: bool
+    repetition_vector: Dict[str, int]
+    violated_channel: str
+
+
+def consistency_report(graph: SDFGraph) -> ConsistencyReport:
+    """Check the balance equations of ``graph`` and solve them if possible."""
+    if len(graph) == 0:
+        return ConsistencyReport(True, {}, "")
+
+    vector: Dict[str, int] = {}
+    solved: set = set()
+    for component_root in graph.actor_names:
+        if component_root in solved:
+            continue
+        # Solve one weakly-connected component, anchored at ratio 1.
+        ratios: Dict[str, Fraction] = {component_root: Fraction(1)}
+        stack = [component_root]
+        while stack:
+            node = stack.pop()
+            for channel in graph.out_edges(node):
+                implied = ratios[node] * Fraction(
+                    channel.production_rate, channel.consumption_rate
+                )
+                if channel.target not in ratios:
+                    ratios[channel.target] = implied
+                    stack.append(channel.target)
+                elif ratios[channel.target] != implied:
+                    return ConsistencyReport(False, {}, channel.name)
+            for channel in graph.in_edges(node):
+                implied = ratios[node] * Fraction(
+                    channel.consumption_rate, channel.production_rate
+                )
+                if channel.source not in ratios:
+                    ratios[channel.source] = implied
+                    stack.append(channel.source)
+                elif ratios[channel.source] != implied:
+                    return ConsistencyReport(False, {}, channel.name)
+        vector.update(_scale_to_integers(ratios))
+        solved.update(ratios)
+
+    # Defensive re-check of every balance equation; cheap and catches any
+    # solver bug outright.
+    for channel in graph.channels:
+        if (
+            vector[channel.source] * channel.production_rate
+            != vector[channel.target] * channel.consumption_rate
+        ):
+            return ConsistencyReport(False, {}, channel.name)
+    return ConsistencyReport(True, vector, "")
+
+
+def repetition_vector(graph: SDFGraph) -> Dict[str, int]:
+    """Return the minimal repetition vector ``q`` of ``graph``.
+
+    Raises
+    ------
+    InconsistentGraphError
+        If the graph has no repetition vector.
+    """
+    report = consistency_report(graph)
+    if not report.consistent:
+        raise InconsistentGraphError(
+            f"graph {graph.name!r} is inconsistent: balance equation of "
+            f"channel {report.violated_channel!r} cannot be satisfied"
+        )
+    return report.repetition_vector
+
+
+def iteration_workload(graph: SDFGraph) -> float:
+    """Total busy time of one graph iteration: ``sum_a q(a) * tau(a)``.
+
+    For a graph whose minimal-token schedule is fully sequential (like the
+    paper's Fig. 2 applications) this equals the period; in general it is a
+    lower bound on the *processor time* consumed per iteration and is used
+    by the generator to budget execution times.
+    """
+    q = repetition_vector(graph)
+    return sum(q[a.name] * a.execution_time for a in graph.actors)
+
+
+def _scale_to_integers(ratios: Dict[str, Fraction]) -> Dict[str, int]:
+    """Scale positive rationals to the smallest positive integer vector."""
+    denominator_lcm = 1
+    for value in ratios.values():
+        denominator_lcm = _lcm(denominator_lcm, value.denominator)
+    scaled = {
+        name: int(value * denominator_lcm) for name, value in ratios.items()
+    }
+    overall_gcd = 0
+    for value in scaled.values():
+        overall_gcd = gcd(overall_gcd, value)
+    if overall_gcd > 1:
+        scaled = {name: value // overall_gcd for name, value in scaled.items()}
+    return scaled
+
+
+def _lcm(a: int, b: int) -> int:
+    return a // gcd(a, b) * b

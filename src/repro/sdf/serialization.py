@@ -1,0 +1,97 @@
+"""Graph (de)serialization.
+
+Graphs round-trip through plain dictionaries (JSON-compatible), which the
+experiment harness uses to persist the deterministic benchmark set and
+which makes graphs easy to diff in golden tests.  The format is a direct
+transcription of the graph structure::
+
+    {
+      "name": "A",
+      "actors": [{"name": "a0", "execution_time": 100,
+                  "processor_type": "proc"}, ...],
+      "channels": [{"source": "a0", "target": "a1",
+                    "production_rate": 2, "consumption_rate": 1,
+                    "initial_tokens": 0}, ...]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.exceptions import GraphError
+from repro.sdf.actor import Actor
+from repro.sdf.channel import Channel
+from repro.sdf.graph import SDFGraph
+
+
+def graph_to_dict(graph: SDFGraph) -> Dict[str, Any]:
+    """Plain-dict representation of ``graph`` (JSON compatible)."""
+    return {
+        "name": graph.name,
+        "actors": [
+            {
+                "name": actor.name,
+                "execution_time": actor.execution_time,
+                "processor_type": actor.processor_type,
+            }
+            for actor in graph.actors
+        ],
+        "channels": [
+            {
+                "source": channel.source,
+                "target": channel.target,
+                "production_rate": channel.production_rate,
+                "consumption_rate": channel.consumption_rate,
+                "initial_tokens": channel.initial_tokens,
+            }
+            for channel in graph.channels
+        ],
+    }
+
+
+def graph_from_dict(data: Dict[str, Any]) -> SDFGraph:
+    """Rebuild a graph from :func:`graph_to_dict` output."""
+    try:
+        actors = [
+            Actor(
+                name=a["name"],
+                execution_time=a["execution_time"],
+                processor_type=a.get("processor_type", "proc"),
+            )
+            for a in data["actors"]
+        ]
+        channels = [
+            Channel(
+                source=c["source"],
+                target=c["target"],
+                production_rate=c.get("production_rate", 1),
+                consumption_rate=c.get("consumption_rate", 1),
+                initial_tokens=c.get("initial_tokens", 0),
+            )
+            for c in data["channels"]
+        ]
+        return SDFGraph(data["name"], actors, channels)
+    except KeyError as missing:
+        raise GraphError(f"graph dict is missing key {missing}") from None
+
+
+def graph_to_json(graph: SDFGraph, indent: int = 2) -> str:
+    """JSON text for ``graph``."""
+    return json.dumps(graph_to_dict(graph), indent=indent)
+
+
+def graph_from_json(text: str) -> SDFGraph:
+    """Parse a graph from :func:`graph_to_json` output."""
+    return graph_from_dict(json.loads(text))
+
+
+def graphs_to_json(graphs: List[SDFGraph], indent: int = 2) -> str:
+    """Serialize several graphs (a benchmark set) into one JSON document."""
+    return json.dumps([graph_to_dict(g) for g in graphs], indent=indent)
+
+
+def graphs_from_json(text: str) -> List[SDFGraph]:
+    """Parse a list of graphs from :func:`graphs_to_json` output."""
+    return [graph_from_dict(d) for d in json.loads(text)]

@@ -1,0 +1,256 @@
+"""Self-timed state-space execution (exact period oracle).
+
+This implements the state-space throughput analysis of Ghamarian et al.
+(reference [5] of the paper): execute the SDF graph *self-timed* — every
+actor fires as soon as its input tokens are available and the actor is not
+already busy (auto-concurrency is disabled; actors model tasks bound to one
+processor).  Self-timed execution of a consistent, live SDF graph is
+eventually periodic, so recording the full execution state at event
+boundaries and waiting for a state to recur yields the *exact* period:
+
+    period = (time of recurrence - time of first visit)
+           / (iterations completed in between)
+
+The engine optionally runs on :class:`fractions.Fraction` time, which makes
+recurrence detection exact even for rational execution times such as the
+response times produced by the probabilistic estimator (e.g. 108 + 1/3).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.exceptions import AnalysisError, DeadlockError
+from repro.sdf.graph import SDFGraph
+from repro.sdf.repetition import repetition_vector
+
+Number = Union[int, float, Fraction]
+
+_DEFAULT_MAX_FIRINGS = 2_000_000
+
+
+def self_timed_period(
+    graph: SDFGraph,
+    exact: bool = True,
+    max_firings: int = _DEFAULT_MAX_FIRINGS,
+) -> float:
+    """Exact average period of one graph iteration (Definition 3).
+
+    Parameters
+    ----------
+    graph:
+        Consistent, live SDF graph.
+    exact:
+        When True (default) execution times are converted to
+        :class:`~fractions.Fraction`, making state recurrence detection
+        exact for rational inputs.  When False, raw floats are used and
+        remaining times are rounded to 1e-9 in the state key.
+    max_firings:
+        Safety bound on the number of actor firings explored before the
+        analysis gives up (prevents unbounded transients from hanging).
+
+    Raises
+    ------
+    DeadlockError
+        When execution reaches a state where no actor is busy and none
+        can fire.
+    AnalysisError
+        When no recurrence is found within ``max_firings``.
+    """
+    q = repetition_vector(graph)
+    names = graph.actor_names
+    channel_list = graph.channels
+
+    if exact:
+        times: Dict[str, Number] = {
+            a.name: _to_fraction(a.execution_time) for a in graph.actors
+        }
+    else:
+        times = {a.name: a.execution_time for a in graph.actors}
+
+    in_edges: Dict[str, List[int]] = {a: [] for a in names}
+    out_edges: Dict[str, List[int]] = {a: [] for a in names}
+    for i, channel in enumerate(channel_list):
+        in_edges[channel.target].append(i)
+        out_edges[channel.source].append(i)
+
+    tokens: List[int] = [c.initial_tokens for c in channel_list]
+    busy_until: Dict[str, Optional[Number]] = {a: None for a in names}
+    fire_counts: Dict[str, int] = {a: 0 for a in names}
+    reference = names[0]
+    reference_quota = q[reference]
+
+    now: Number = 0 if exact else 0.0
+    total_firings = 0
+    seen_states: Dict[Tuple, Tuple[Number, int]] = {}
+
+    def enabled(actor: str) -> bool:
+        if busy_until[actor] is not None:
+            return False
+        return all(
+            tokens[i] >= channel_list[i].consumption_rate
+            for i in in_edges[actor]
+        )
+
+    def start_enabled() -> None:
+        nonlocal total_firings
+        started = True
+        while started:
+            started = False
+            for actor in names:
+                if enabled(actor):
+                    for i in in_edges[actor]:
+                        tokens[i] -= channel_list[i].consumption_rate
+                    busy_until[actor] = now + times[actor]
+                    total_firings += 1
+                    started = True
+
+    def state_key() -> Tuple:
+        remaining = []
+        for actor in names:
+            until = busy_until[actor]
+            if until is None:
+                remaining.append(None)
+            else:
+                rem = until - now
+                if not exact:
+                    rem = round(rem, 9)
+                remaining.append(rem)
+        return (tuple(tokens), tuple(remaining))
+
+    start_enabled()
+    while total_firings <= max_firings:
+        busy = [
+            (until, actor)
+            for actor, until in busy_until.items()
+            if until is not None
+        ]
+        if not busy:
+            raise DeadlockError(
+                f"graph {graph.name!r} deadlocks during self-timed "
+                "execution: no actor busy and none enabled"
+            )
+        now = min(until for until, _ in busy)
+        for until, actor in busy:
+            if until == now:
+                busy_until[actor] = None
+                fire_counts[actor] += 1
+                for i in out_edges[actor]:
+                    tokens[i] += channel_list[i].production_rate
+        start_enabled()
+
+        iterations = fire_counts[reference] // reference_quota
+        key = state_key()
+        if key in seen_states:
+            first_time, first_iterations = seen_states[key]
+            if iterations > first_iterations:
+                period = (now - first_time) / (iterations - first_iterations)
+                return float(period)
+            # Same state revisited within one iteration (can happen while
+            # the iteration counter has not advanced); keep going.
+        else:
+            seen_states[key] = (now, iterations)
+
+    raise AnalysisError(
+        f"graph {graph.name!r}: no periodic phase found within "
+        f"{max_firings} firings"
+    )
+
+
+def self_timed_schedule(
+    graph: SDFGraph,
+    iterations: int,
+    exact: bool = False,
+) -> List[Tuple[float, float, str]]:
+    """Gantt chart of self-timed execution on dedicated resources.
+
+    Returns a list of ``(start, end, actor_name)`` triples covering
+    ``iterations`` complete iterations of the graph.  Useful for examples
+    and for validating the multi-processor simulator against the
+    contention-free case.
+    """
+    q = repetition_vector(graph)
+    names = graph.actor_names
+    channel_list = graph.channels
+    if exact:
+        times: Dict[str, Number] = {
+            a.name: _to_fraction(a.execution_time) for a in graph.actors
+        }
+    else:
+        times = {a.name: a.execution_time for a in graph.actors}
+
+    in_edges: Dict[str, List[int]] = {a: [] for a in names}
+    out_edges: Dict[str, List[int]] = {a: [] for a in names}
+    for i, channel in enumerate(channel_list):
+        in_edges[channel.target].append(i)
+        out_edges[channel.source].append(i)
+
+    tokens: List[int] = [c.initial_tokens for c in channel_list]
+    busy_until: Dict[str, Optional[Number]] = {a: None for a in names}
+    fire_counts: Dict[str, int] = {a: 0 for a in names}
+    target_counts = {a: q[a] * iterations for a in names}
+    schedule: List[Tuple[float, float, str]] = []
+    now: Number = 0 if exact else 0.0
+
+    def enabled(actor: str) -> bool:
+        if busy_until[actor] is not None:
+            return False
+        if fire_counts[actor] + _busy_count(busy_until, actor) >= target_counts[actor]:
+            return False
+        return all(
+            tokens[i] >= channel_list[i].consumption_rate
+            for i in in_edges[actor]
+        )
+
+    def _busy_count(busy: Dict[str, Optional[Number]], actor: str) -> int:
+        return 1 if busy[actor] is not None else 0
+
+    def start_enabled() -> None:
+        started = True
+        while started:
+            started = False
+            for actor in names:
+                if enabled(actor):
+                    for i in in_edges[actor]:
+                        tokens[i] -= channel_list[i].consumption_rate
+                    busy_until[actor] = now + times[actor]
+                    schedule.append(
+                        (float(now), float(now + times[actor]), actor)
+                    )
+                    started = True
+
+    start_enabled()
+    while any(fire_counts[a] < target_counts[a] for a in names):
+        busy = [
+            (until, actor)
+            for actor, until in busy_until.items()
+            if until is not None
+        ]
+        if not busy:
+            raise DeadlockError(
+                f"graph {graph.name!r} deadlocks during scheduled execution"
+            )
+        now = min(until for until, _ in busy)
+        for until, actor in busy:
+            if until == now:
+                busy_until[actor] = None
+                fire_counts[actor] += 1
+                for i in out_edges[actor]:
+                    tokens[i] += channel_list[i].production_rate
+        start_enabled()
+    return schedule
+
+
+def _to_fraction(value: Number) -> Fraction:
+    """Convert a time to an exact fraction.
+
+    Floats are snapped to a rational with denominator <= 10^9, which is
+    lossless for the rational response times the estimator produces
+    (denominators there are small products of repetition-vector entries).
+    """
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, int):
+        return Fraction(value)
+    return Fraction(value).limit_denominator(10**9)

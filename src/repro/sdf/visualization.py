@@ -1,0 +1,114 @@
+"""Graphviz DOT export for SDF and HSDF graphs.
+
+Text-only (no graphviz dependency): the functions return DOT source that
+renders with any graphviz installation.  Channels are annotated
+``production/consumption`` with initial tokens as bullet marks, matching
+the visual language of the paper's figures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.sdf.graph import SDFGraph
+from repro.sdf.hsdf import HSDFGraph
+
+
+def to_dot(
+    graph: SDFGraph,
+    include_execution_times: bool = True,
+    rankdir: str = "LR",
+) -> str:
+    """DOT source for an SDF graph."""
+    lines: List[str] = [
+        f'digraph "{graph.name}" {{',
+        f"  rankdir={rankdir};",
+        '  node [shape=circle, fontsize=11];',
+        '  edge [fontsize=9];',
+    ]
+    for actor in graph.actors:
+        if include_execution_times:
+            label = f"{actor.name}\\n{actor.execution_time:g}"
+        else:
+            label = actor.name
+        lines.append(f'  "{actor.name}" [label="{label}"];')
+    for channel in graph.channels:
+        tokens = (
+            " " + "&bull;" * min(channel.initial_tokens, 5)
+            if channel.initial_tokens
+            else ""
+        )
+        extra = (
+            f"({channel.initial_tokens})"
+            if channel.initial_tokens > 5
+            else ""
+        )
+        label = (
+            f"{channel.production_rate}/{channel.consumption_rate}"
+            f"{tokens}{extra}"
+        )
+        lines.append(
+            f'  "{channel.source}" -> "{channel.target}" '
+            f'[label="{label}"];'
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def hsdf_to_dot(hsdf: HSDFGraph, rankdir: str = "LR") -> str:
+    """DOT source for an HSDF expansion (delays shown on edges)."""
+    lines: List[str] = [
+        f'digraph "{hsdf.name}_hsdf" {{',
+        f"  rankdir={rankdir};",
+        '  node [shape=box, fontsize=10];',
+        '  edge [fontsize=9];',
+    ]
+    for vertex in hsdf.vertices:
+        name = f"{vertex.actor}_{vertex.copy}"
+        lines.append(
+            f'  "{name}" [label="{vertex.actor}#{vertex.copy}\\n'
+            f'{vertex.execution_time:g}"];'
+        )
+    for edge in hsdf.edges:
+        src = f"{edge.source[0]}_{edge.source[1]}"
+        dst = f"{edge.target[0]}_{edge.target[1]}"
+        attributes = f'label="{edge.delay}"' if edge.delay else ""
+        style = ' style=dashed' if edge.source[0] == edge.target[0] else ""
+        lines.append(f'  "{src}" -> "{dst}" [{attributes}{style}];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def mapping_to_dot(
+    graphs: List[SDFGraph],
+    mapping,
+    use_case: Optional[List[str]] = None,
+) -> str:
+    """DOT source showing actor-to-processor bindings as clusters."""
+    active = (
+        [g for g in graphs if g.name in set(use_case)]
+        if use_case is not None
+        else list(graphs)
+    )
+    lines = [
+        "digraph mapping {",
+        "  rankdir=TB;",
+        "  node [shape=circle, fontsize=10];",
+    ]
+    by_processor: Dict[str, List[str]] = {}
+    for graph in active:
+        for actor in graph.actors:
+            processor = mapping.processor_of(graph.name, actor.name)
+            by_processor.setdefault(processor, []).append(
+                f"{graph.name}.{actor.name}"
+            )
+    for i, (processor, residents) in enumerate(
+        sorted(by_processor.items())
+    ):
+        lines.append(f"  subgraph cluster_{i} {{")
+        lines.append(f'    label="{processor}";')
+        for resident in residents:
+            lines.append(f'    "{resident}";')
+        lines.append("  }")
+    lines.append("}")
+    return "\n".join(lines)

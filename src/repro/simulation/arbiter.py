@@ -1,0 +1,159 @@
+"""Processor arbitration policies.
+
+An arbiter owns the request queue of one processor.  Actors *request* the
+processor when their tokens arrive; the arbiter picks which queued request
+runs when the processor is free.  The paper's analysis assumes
+arrival-order service (its waiting-time derivation queues actors behind
+whoever arrived first), which is :class:`FCFSArbiter`; the
+worst-case baseline of reference [6] assumes round-robin
+(:class:`RoundRobinArbiter`); :class:`PriorityArbiter` (static order) is
+included for the ablation on arbitration policy.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import MappingError
+
+# A request is the integer id of the requesting actor instance; ids are
+# assigned by the engine in deterministic (use-case order, actor order).
+Request = int
+
+
+class Arbiter:
+    """Interface: one instance per processor per simulation."""
+
+    def __init__(self, members: Sequence[Request]) -> None:
+        """``members`` lists every actor id that may ever request this
+        processor, in deterministic order (used by order-sensitive
+        policies)."""
+        self.members = tuple(members)
+
+    def enqueue(self, actor_id: Request, time: float) -> None:
+        """Record that ``actor_id`` requested the processor at ``time``."""
+        raise NotImplementedError
+
+    def pick(self) -> Optional[Request]:
+        """Remove and return the next actor to run, or None if idle."""
+        raise NotImplementedError
+
+    def pending(self) -> int:
+        """Number of queued requests."""
+        raise NotImplementedError
+
+
+class FCFSArbiter(Arbiter):
+    """First-come first-served; ties broken by actor id (deterministic).
+
+    Requests arriving at the same instant are ordered by the engine's
+    deterministic processing order, then by id, so repeated runs are
+    bit-identical.
+    """
+
+    def __init__(self, members: Sequence[Request]) -> None:
+        super().__init__(members)
+        self._queue: List[Tuple[float, Request]] = []
+
+    def enqueue(self, actor_id: Request, time: float) -> None:
+        # Insertion keeps (time, id) order; queues are short (one request
+        # per co-mapped actor at most), so linear insertion is fine and
+        # avoids heap bookkeeping.
+        entry = (time, actor_id)
+        position = len(self._queue)
+        while position > 0 and self._queue[position - 1] > entry:
+            position -= 1
+        self._queue.insert(position, entry)
+
+    def pick(self) -> Optional[Request]:
+        if not self._queue:
+            return None
+        return self._queue.pop(0)[1]
+
+    def pending(self) -> int:
+        return len(self._queue)
+
+
+class RoundRobinArbiter(Arbiter):
+    """Serve requesters in a fixed circular order, skipping absentees.
+
+    This is the arbitration the worst-case baseline (reference [6])
+    analyses: between two firings of an actor, every other member can run
+    at most once.
+    """
+
+    def __init__(self, members: Sequence[Request]) -> None:
+        super().__init__(members)
+        self._queued: set = set()
+        self._position = 0
+
+    def enqueue(self, actor_id: Request, time: float) -> None:
+        if actor_id not in self.members:
+            raise MappingError(
+                f"actor {actor_id} is not a member of this processor"
+            )
+        self._queued.add(actor_id)
+
+    def pick(self) -> Optional[Request]:
+        if not self._queued:
+            return None
+        n = len(self.members)
+        for offset in range(n):
+            candidate = self.members[(self._position + offset) % n]
+            if candidate in self._queued:
+                self._queued.discard(candidate)
+                self._position = (
+                    self.members.index(candidate) + 1
+                ) % n
+                return candidate
+        return None  # pragma: no cover - unreachable, _queued subset members
+
+    def pending(self) -> int:
+        return len(self._queued)
+
+
+class PriorityArbiter(Arbiter):
+    """Static priority: the earliest member in the member list wins."""
+
+    def __init__(self, members: Sequence[Request]) -> None:
+        super().__init__(members)
+        self._rank: Dict[Request, int] = {
+            actor_id: rank for rank, actor_id in enumerate(members)
+        }
+        self._queued: List[Request] = []
+
+    def enqueue(self, actor_id: Request, time: float) -> None:
+        self._queued.append(actor_id)
+
+    def pick(self) -> Optional[Request]:
+        if not self._queued:
+            return None
+        best = min(self._queued, key=lambda a: self._rank.get(a, len(self._rank)))
+        self._queued.remove(best)
+        return best
+
+    def pending(self) -> int:
+        return len(self._queued)
+
+
+_ARBITERS = {
+    "fcfs": FCFSArbiter,
+    "round_robin": RoundRobinArbiter,
+    "priority": PriorityArbiter,
+}
+
+
+def make_arbiter(policy: str, members: Sequence[Request]) -> Arbiter:
+    """Instantiate an arbiter by policy name.
+
+    Valid names: ``"fcfs"``, ``"round_robin"``, ``"priority"``.
+    """
+    try:
+        factory = _ARBITERS[policy]
+    except KeyError:
+        raise MappingError(
+            f"unknown arbitration policy {policy!r}; expected one of "
+            f"{sorted(_ARBITERS)}"
+        ) from None
+    return factory(members)

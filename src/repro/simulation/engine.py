@@ -1,0 +1,383 @@
+"""Discrete-event engine: concurrent SDF applications on shared processors.
+
+Semantics (matching the paper's system model, Section 3):
+
+* Every actor of every active application is bound to one processor of
+  the platform (the :class:`~repro.platform.mapping.Mapping`).
+* An actor *requests* its processor as soon as (a) the tokens for one
+  firing are present on all its input channels and (b) it is not already
+  executing or queued — software tasks issue one request at a time.
+* Processors are **non-preemptive**: once granted, the actor holds the
+  processor for its whole execution time.
+* The processor's arbiter (FCFS by default) picks among queued requests
+  whenever the processor becomes free.
+* Tokens are consumed when execution *starts* and produced when it
+  *completes*.
+
+The engine is deterministic: equal-time events are processed in insertion
+order and queue ties break on actor id, so repeated runs give identical
+traces.  Execution times may be randomized through a
+:class:`TimeModel` (the paper's stochastic extension); the RNG is seeded.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import AnalysisError, DeadlockError, MappingError
+from repro.platform.mapping import Mapping, index_mapping
+from repro.sdf.graph import SDFGraph
+from repro.sdf.liveness import assert_live
+from repro.sdf.repetition import repetition_vector
+from repro.simulation.arbiter import make_arbiter
+from repro.simulation.metrics import (
+    ApplicationMetrics,
+    IterationTracker,
+    SimulationResult,
+    WaitingStatistics,
+    metrics_from_completions,
+)
+from repro.simulation.trace import TraceEntry
+
+
+class TimeModel:
+    """Execution-time model: returns the duration of each firing.
+
+    The default implementation returns the actor's fixed execution time;
+    subclasses (see :mod:`repro.core.distributions`) may draw from a
+    distribution, enabling the paper's "varying execution times"
+    extension.
+    """
+
+    def sample(
+        self, application: str, actor: str, nominal: float, rng: random.Random
+    ) -> float:
+        return nominal
+
+
+@dataclass
+class SimulationConfig:
+    """Tunable parameters of a simulation run.
+
+    Attributes
+    ----------
+    arbitration:
+        Processor arbitration policy: ``"fcfs"`` (paper), ``"round_robin"``
+        or ``"priority"``.
+    target_iterations:
+        Stop once every application completed this many iterations
+        (``None``: run until ``horizon``).
+    horizon:
+        Optional time limit; events beyond it are not processed.
+    warmup_fraction:
+        Fraction of iterations discarded before measuring periods.
+    record_trace:
+        Keep a Gantt trace of all firings (memory-heavy; for examples
+        and invariants tests).
+    seed:
+        Seed for the execution-time RNG (only relevant with a stochastic
+        :class:`TimeModel`).
+    time_model:
+        Execution-time model; default is the deterministic one.
+    max_events:
+        Hard bound on processed events, a guard against misconfiguration.
+    """
+
+    arbitration: str = "fcfs"
+    target_iterations: Optional[int] = 100
+    horizon: Optional[float] = None
+    warmup_fraction: float = 0.25
+    record_trace: bool = False
+    seed: int = 0
+    time_model: Optional[TimeModel] = None
+    max_events: int = 50_000_000
+
+    def __post_init__(self) -> None:
+        if self.target_iterations is None and self.horizon is None:
+            raise AnalysisError(
+                "simulation needs a target_iterations or a horizon"
+            )
+        if self.target_iterations is not None and self.target_iterations < 5:
+            raise AnalysisError(
+                "target_iterations must be at least 5 to measure a period"
+            )
+
+
+class Simulator:
+    """One configured simulation of a use-case.
+
+    Parameters
+    ----------
+    graphs:
+        The active applications (each consistent and live).
+    mapping:
+        Actor bindings; defaults to the paper's index mapping.
+    config:
+        See :class:`SimulationConfig`.
+    """
+
+    def __init__(
+        self,
+        graphs: Sequence[SDFGraph],
+        mapping: Optional[Mapping] = None,
+        config: Optional[SimulationConfig] = None,
+    ) -> None:
+        if not graphs:
+            raise AnalysisError("simulation needs at least one application")
+        names = [g.name for g in graphs]
+        if len(set(names)) != len(names):
+            raise AnalysisError(f"duplicate application names: {names!r}")
+        self.graphs = list(graphs)
+        self.mapping = mapping if mapping is not None else index_mapping(graphs)
+        self.config = config if config is not None else SimulationConfig()
+        for graph in self.graphs:
+            assert_live(graph)
+        self.mapping.validate_against(self.graphs)
+        self._build()
+
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        """Flatten (application, actor) pairs into integer ids."""
+        self._app_of: List[str] = []
+        self._name_of: List[str] = []
+        self._tau: List[float] = []
+        self._proc_of: List[int] = []
+        self._id_of: Dict[Tuple[str, str], int] = {}
+
+        processor_names = self.mapping.platform.processor_names
+        proc_index = {name: i for i, name in enumerate(processor_names)}
+
+        for graph in self.graphs:
+            for actor in graph.actors:
+                actor_id = len(self._app_of)
+                self._id_of[(graph.name, actor.name)] = actor_id
+                self._app_of.append(graph.name)
+                self._name_of.append(actor.name)
+                self._tau.append(actor.execution_time)
+                processor = self.mapping.processor_of(graph.name, actor.name)
+                self._proc_of.append(proc_index[processor])
+        self._processor_names = processor_names
+
+        # Channels, flattened across applications.
+        self._chan_src: List[int] = []
+        self._chan_dst: List[int] = []
+        self._chan_prod: List[int] = []
+        self._chan_cons: List[int] = []
+        self._chan_tokens: List[int] = []
+        self._in_channels: List[List[int]] = [[] for _ in self._app_of]
+        self._out_channels: List[List[int]] = [[] for _ in self._app_of]
+        for graph in self.graphs:
+            for channel in graph.channels:
+                cid = len(self._chan_src)
+                src = self._id_of[(graph.name, channel.source)]
+                dst = self._id_of[(graph.name, channel.target)]
+                self._chan_src.append(src)
+                self._chan_dst.append(dst)
+                self._chan_prod.append(channel.production_rate)
+                self._chan_cons.append(channel.consumption_rate)
+                self._chan_tokens.append(channel.initial_tokens)
+                self._out_channels[src].append(cid)
+                self._in_channels[dst].append(cid)
+
+        # Per-processor membership (deterministic order = id order).
+        members: List[List[int]] = [[] for _ in processor_names]
+        for actor_id, proc in enumerate(self._proc_of):
+            members[proc].append(actor_id)
+        self._members = members
+
+        self._trackers: Dict[str, IterationTracker] = {
+            graph.name: IterationTracker(repetition_vector(graph))
+            for graph in self.graphs
+        }
+
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        """Execute the simulation and return measured metrics."""
+        config = self.config
+        rng = random.Random(config.seed)
+        time_model = config.time_model or TimeModel()
+
+        tokens = list(self._chan_tokens)
+        executing = [False] * len(self._app_of)
+        queued = [False] * len(self._app_of)
+        busy = [False] * len(self._members)
+        arbiters = [
+            make_arbiter(config.arbitration, member_list)
+            for member_list in self._members
+        ]
+
+        heap: List[Tuple[float, int, int]] = []
+        sequence = 0
+        busy_time = [0.0] * len(self._members)
+        request_time = [0.0] * len(self._app_of)
+        waiting_total = [0.0] * len(self._app_of)
+        waiting_max = [0.0] * len(self._app_of)
+        waiting_count = [0] * len(self._app_of)
+        trace: Optional[List[TraceEntry]] = (
+            [] if config.record_trace else None
+        )
+        iterations_done: Dict[str, bool] = {
+            g.name: False for g in self.graphs
+        }
+        target = config.target_iterations
+
+        def ready(actor_id: int) -> bool:
+            if executing[actor_id] or queued[actor_id]:
+                return False
+            in_list = self._in_channels[actor_id]
+            for cid in in_list:
+                if tokens[cid] < self._chan_cons[cid]:
+                    return False
+            return True
+
+        def try_enqueue(actor_id: int, now: float, touched: set) -> None:
+            if ready(actor_id):
+                queued[actor_id] = True
+                request_time[actor_id] = now
+                proc = self._proc_of[actor_id]
+                arbiters[proc].enqueue(actor_id, now)
+                touched.add(proc)
+
+        def start_next(proc: int, now: float) -> None:
+            nonlocal sequence
+            if busy[proc]:
+                return
+            actor_id = arbiters[proc].pick()
+            if actor_id is None:
+                return
+            queued[actor_id] = False
+            executing[actor_id] = True
+            busy[proc] = True
+            waited = now - request_time[actor_id]
+            waiting_total[actor_id] += waited
+            waiting_count[actor_id] += 1
+            if waited > waiting_max[actor_id]:
+                waiting_max[actor_id] = waited
+            for cid in self._in_channels[actor_id]:
+                tokens[cid] -= self._chan_cons[cid]
+            duration = time_model.sample(
+                self._app_of[actor_id],
+                self._name_of[actor_id],
+                self._tau[actor_id],
+                rng,
+            )
+            if duration <= 0:
+                raise AnalysisError(
+                    "time model produced a non-positive execution time "
+                    f"({duration}) for {self._app_of[actor_id]}."
+                    f"{self._name_of[actor_id]}"
+                )
+            sequence += 1
+            busy_time[proc] += duration
+            heapq.heappush(heap, (now + duration, sequence, actor_id))
+            if trace is not None:
+                trace.append(
+                    TraceEntry(
+                        processor=self._processor_names[proc],
+                        application=self._app_of[actor_id],
+                        actor=self._name_of[actor_id],
+                        start=now,
+                        end=now + duration,
+                    )
+                )
+
+        # Prime the system at time zero.
+        touched: set = set()
+        for actor_id in range(len(self._app_of)):
+            try_enqueue(actor_id, 0.0, touched)
+        for proc in touched:
+            start_next(proc, 0.0)
+
+        events = 0
+        end_time = 0.0
+        while heap:
+            now, _, actor_id = heapq.heappop(heap)
+            if config.horizon is not None and now > config.horizon:
+                break
+            events += 1
+            if events > config.max_events:
+                raise AnalysisError(
+                    f"simulation exceeded {config.max_events} events; "
+                    "lower target_iterations or set a horizon"
+                )
+            end_time = now
+            # Complete the firing.
+            executing[actor_id] = False
+            proc = self._proc_of[actor_id]
+            busy[proc] = False
+            app = self._app_of[actor_id]
+            tracker = self._trackers[app]
+            tracker.record_firing(self._name_of[actor_id], now)
+            if (
+                target is not None
+                and not iterations_done[app]
+                and tracker.iterations_completed >= target
+            ):
+                iterations_done[app] = True
+                if all(iterations_done.values()):
+                    break
+
+            touched = set()
+            for cid in self._out_channels[actor_id]:
+                tokens[cid] += self._chan_prod[cid]
+                try_enqueue(self._chan_dst[cid], now, touched)
+            try_enqueue(actor_id, now, touched)
+            touched.add(proc)
+            for touched_proc in touched:
+                start_next(touched_proc, now)
+        else:
+            if target is not None and not all(iterations_done.values()):
+                stuck = [a for a, done in iterations_done.items() if not done]
+                raise DeadlockError(
+                    f"simulation ran out of events before applications "
+                    f"{stuck!r} reached {target} iterations"
+                )
+
+        metrics = {
+            graph.name: metrics_from_completions(
+                graph.name,
+                self._trackers[graph.name].completion_times,
+                warmup_fraction=config.warmup_fraction,
+            )
+            for graph in self.graphs
+        }
+        utilization = {}
+        if end_time > 0:
+            for proc, name in enumerate(self._processor_names):
+                # Busy time of firings still in flight past end_time is
+                # clipped so utilization never exceeds 1.
+                utilization[name] = min(
+                    1.0, busy_time[proc] / end_time
+                )
+        else:  # pragma: no cover - zero-length run
+            utilization = {name: 0.0 for name in self._processor_names}
+        waiting = {}
+        for actor_id in range(len(self._app_of)):
+            if waiting_count[actor_id] == 0:
+                continue
+            key = (self._app_of[actor_id], self._name_of[actor_id])
+            waiting[key] = WaitingStatistics(
+                mean=waiting_total[actor_id] / waiting_count[actor_id],
+                maximum=waiting_max[actor_id],
+                samples=waiting_count[actor_id],
+            )
+        return SimulationResult(
+            metrics=metrics,
+            end_time=end_time,
+            events_processed=events,
+            trace=trace,
+            processor_utilization=utilization,
+            waiting=waiting,
+        )
+
+
+def simulate(
+    graphs: Sequence[SDFGraph],
+    mapping: Optional[Mapping] = None,
+    config: Optional[SimulationConfig] = None,
+) -> SimulationResult:
+    """Convenience wrapper: build a :class:`Simulator` and run it."""
+    return Simulator(graphs, mapping, config).run()

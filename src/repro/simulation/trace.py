@@ -1,0 +1,86 @@
+"""Execution traces (Gantt charts) for debugging and examples.
+
+The engine optionally records every firing as a :class:`TraceEntry`;
+:func:`format_gantt` renders a compact textual Gantt chart per processor,
+which the examples print and the tests use to assert mutual exclusion on
+processors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One firing: who ran where, and when."""
+
+    processor: str
+    application: str
+    actor: str
+    start: float
+    end: float
+
+    @property
+    def label(self) -> str:
+        return f"{self.application}.{self.actor}"
+
+
+def assert_mutual_exclusion(trace: Iterable[TraceEntry]) -> None:
+    """Raise AssertionError when two firings overlap on one processor.
+
+    Used by the test suite as a structural invariant of the engine: a
+    non-preemptive processor executes at most one actor at a time.
+    """
+    by_processor: Dict[str, List[TraceEntry]] = {}
+    for entry in trace:
+        by_processor.setdefault(entry.processor, []).append(entry)
+    for processor, entries in by_processor.items():
+        entries.sort(key=lambda e: (e.start, e.end))
+        for previous, current in zip(entries, entries[1:]):
+            if current.start < previous.end - 1e-9:
+                raise AssertionError(
+                    f"processor {processor}: {current.label} starts at "
+                    f"{current.start} before {previous.label} ends at "
+                    f"{previous.end}"
+                )
+
+
+def format_gantt(
+    trace: Iterable[TraceEntry],
+    time_limit: float | None = None,
+    width: int = 72,
+) -> str:
+    """Render the trace as one text lane per processor.
+
+    Each lane shows firings as ``[label)`` segments scaled to ``width``
+    characters.  Only intended for small examples; long traces should be
+    truncated with ``time_limit``.
+    """
+    entries = [
+        e for e in trace if time_limit is None or e.start < time_limit
+    ]
+    if not entries:
+        return "(empty trace)"
+    horizon = time_limit if time_limit is not None else max(
+        e.end for e in entries
+    )
+    scale = width / horizon
+    lanes: Dict[str, List[TraceEntry]] = {}
+    for entry in entries:
+        lanes.setdefault(entry.processor, []).append(entry)
+    lines = []
+    for processor in sorted(lanes):
+        lane = [" "] * width
+        for entry in sorted(lanes[processor], key=lambda e: e.start):
+            start_col = min(width - 1, int(entry.start * scale))
+            end_col = min(width, max(start_col + 1, int(entry.end * scale)))
+            label = entry.label[: end_col - start_col]
+            for i in range(start_col, end_col):
+                lane[i] = "#"
+            for i, ch in enumerate(label):
+                lane[start_col + i] = ch
+        lines.append(f"{processor:>8} |{''.join(lane)}|")
+    lines.append(f"{'time':>8} |0{' ' * (width - 2)}{horizon:g}|")
+    return "\n".join(lines)

@@ -1,0 +1,21 @@
+"""Worst-case response-time baselines the paper compares against.
+
+* :mod:`repro.wcrt.round_robin` — non-preemptive round-robin WCRT
+  (reference [6], Hoes' master thesis), the "Analyzed Worst Case" series
+  of the paper's evaluation.
+* :mod:`repro.wcrt.tdma` — TDMA WCRT (reference [3], Bekooij et al.),
+  included as an extension baseline; requires preemption.
+"""
+
+from repro.wcrt.round_robin import (
+    WorstCaseRRWaitingModel,
+    worst_case_response_time,
+)
+from repro.wcrt.tdma import TDMAWaitingModel, tdma_response_time
+
+__all__ = [
+    "TDMAWaitingModel",
+    "WorstCaseRRWaitingModel",
+    "tdma_response_time",
+    "worst_case_response_time",
+]

@@ -1,0 +1,47 @@
+"""Worst-case response time under non-preemptive round-robin arbitration.
+
+Reference [6] of the paper (Hoes, "Predictable Dynamic Behavior in
+NoC-based MPSoC").  Under round-robin, between any two consecutive grants
+to actor ``a`` every other actor sharing the processor is served at most
+once; in the worst case actor ``a``'s request arrives just as its slot
+passed, so it waits the *full* execution time of every other actor::
+
+    t_wait(a)     = sum_{b != a on node} tau(b)
+    t_response(a) = tau(a) + t_wait(a)
+
+The bound is safe for non-preemptive systems and needs only the same
+limited information as the probabilistic approach (the co-mapped actors'
+execution times) — but it grows linearly with the number of co-mapped
+actors regardless of how rarely they actually run, which is exactly the
+pessimism the paper's Figures 5 and 6 exhibit.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.blocking import ActorProfile
+
+
+def worst_case_response_time(
+    own_tau: float, other_taus: Sequence[float]
+) -> float:
+    """``tau(a) + sum of all co-mapped execution times``."""
+    return own_tau + sum(other_taus)
+
+
+class WorstCaseRRWaitingModel:
+    """Reference-[6] bound as a waiting model (for the shared pipeline).
+
+    Note the model ignores blocking probabilities entirely: the
+    worst case assumes every other actor requests just before ``own``
+    every single time.
+    """
+
+    name = "worst-case"
+    complexity = "O(n)"
+
+    def waiting_time(
+        self, own: ActorProfile, others: Sequence[ActorProfile]
+    ) -> float:
+        return float(sum(other.tau for other in others))

@@ -1,0 +1,83 @@
+"""Worst-case response time under TDMA arbitration.
+
+Reference [3] of the paper (Bekooij et al.) analyses dataflow graphs on
+processors shared through a TDMA wheel: each co-mapped actor owns a fixed
+slice of a repeating frame, so an actor only progresses during its own
+slice and execution is effectively preemptive at slice boundaries.
+
+For an actor with execution time ``tau`` and slice ``s`` in a wheel of
+total length ``W`` (one slice per resident actor here), the worst case
+arrival just misses its slice::
+
+    full_slices   = ceil(tau / s)
+    t_response    = tau + full_slices * (W - s)
+
+i.e. the actor pays the foreign part of the wheel once per slice it
+needs.  This is even more conservative than the round-robin bound when
+utilizations are low, and it *requires preemption* — the paper uses this
+to argue its probabilistic technique fits non-preemptive platforms where
+TDMA analysis does not apply.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.core.blocking import ActorProfile
+from repro.exceptions import AnalysisError
+
+
+def tdma_response_time(
+    own_tau: float,
+    resident_count: int,
+    slice_length: float,
+) -> float:
+    """Worst-case response time on a TDMA wheel.
+
+    Parameters
+    ----------
+    own_tau:
+        Execution time needing to be served.
+    resident_count:
+        Number of actors sharing the wheel (including the owner); each
+        owns one slice.
+    slice_length:
+        Length of each slice.
+    """
+    if resident_count < 1:
+        raise AnalysisError("TDMA wheel needs at least one resident")
+    if slice_length <= 0:
+        raise AnalysisError("TDMA slice length must be positive")
+    if resident_count == 1:
+        return own_tau
+    wheel = resident_count * slice_length
+    full_slices = math.ceil(own_tau / slice_length)
+    return own_tau + full_slices * (wheel - slice_length)
+
+
+class TDMAWaitingModel:
+    """Reference-[3] TDMA bound as a waiting model.
+
+    ``slice_length`` defaults to the owner's execution time, which is the
+    most favourable wheel for the owner (a single foreign rotation).
+    """
+
+    name = "tdma"
+    complexity = "O(n)"
+
+    def __init__(self, slice_length: float | None = None) -> None:
+        self.slice_length = slice_length
+
+    def waiting_time(
+        self, own: ActorProfile, others: Sequence[ActorProfile]
+    ) -> float:
+        if not others:
+            return 0.0
+        slice_length = (
+            self.slice_length if self.slice_length is not None else own.tau
+        )
+        response = tdma_response_time(
+            own.tau, len(others) + 1, slice_length
+        )
+        return response - own.tau

@@ -1,0 +1,52 @@
+"""Shared fixtures: the paper's graphs and small benchmark suites."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.setup import BenchmarkSuite, paper_benchmark_suite
+from repro.generation.gallery import paper_two_apps
+from repro.sdf.builder import GraphBuilder
+from repro.sdf.graph import SDFGraph
+
+
+@pytest.fixture
+def app_a() -> SDFGraph:
+    """Application A of the paper's Figure 2 (Per = 300 in isolation)."""
+    return paper_two_apps()[0]
+
+
+@pytest.fixture
+def app_b() -> SDFGraph:
+    """Application B of the paper's Figure 2 (Per = 300 in isolation)."""
+    return paper_two_apps()[1]
+
+
+@pytest.fixture
+def two_apps(app_a: SDFGraph, app_b: SDFGraph) -> tuple:
+    return app_a, app_b
+
+
+@pytest.fixture
+def simple_chain() -> SDFGraph:
+    """Minimal two-actor ring: src(10) -> dst(20) -> src, one token."""
+    return (
+        GraphBuilder("chain")
+        .actor("src", 10)
+        .actor("dst", 20)
+        .channel("src", "dst")
+        .channel("dst", "src", initial_tokens=1)
+        .build()
+    )
+
+
+@pytest.fixture(scope="session")
+def small_suite() -> BenchmarkSuite:
+    """Four-application suite for integration tests (fast)."""
+    return paper_benchmark_suite(application_count=4)
+
+
+@pytest.fixture(scope="session")
+def full_suite() -> BenchmarkSuite:
+    """The paper-scale ten-application suite (session-cached)."""
+    return paper_benchmark_suite()

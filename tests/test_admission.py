@@ -1,0 +1,152 @@
+"""Run-time admission controller tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.admission.controller import AdmissionController
+from repro.core.composability import Composite
+from repro.exceptions import AdmissionError
+from repro.platform.mapping import index_mapping
+from repro.sdf.analysis import period
+
+
+@pytest.fixture
+def controller(two_apps):
+    return AdmissionController(index_mapping(list(two_apps)))
+
+
+class TestAdmission:
+    def test_first_app_admitted_at_isolation_period(
+        self, controller, app_a
+    ):
+        decision = controller.request_admission(app_a, max_period=350)
+        assert decision.admitted
+        assert decision.estimated_periods["A"] == pytest.approx(300.0)
+        assert controller.admitted_applications == ("A",)
+
+    def test_second_app_sees_contention(self, controller, two_apps):
+        a, b = two_apps
+        controller.request_admission(a)
+        decision = controller.request_admission(b)
+        assert decision.admitted
+        # Both apps now estimated at the paper's contended ~358.33.
+        assert decision.estimated_periods["A"] == pytest.approx(1075 / 3)
+        assert decision.estimated_periods["B"] == pytest.approx(1075 / 3)
+
+    def test_rejection_when_candidate_requirement_too_tight(
+        self, controller, two_apps
+    ):
+        a, b = two_apps
+        controller.request_admission(a)
+        decision = controller.request_admission(b, max_period=310)
+        assert not decision.admitted
+        assert "B" in decision.reason
+        # Rejection rolls back: B is not admitted.
+        assert controller.admitted_applications == ("A",)
+
+    def test_rejection_protects_resident_app(self, controller, two_apps):
+        a, b = two_apps
+        controller.request_admission(a, max_period=320)
+        decision = controller.request_admission(b)
+        assert not decision.admitted
+        assert "A" in decision.reason
+
+    def test_double_admission_rejected(self, controller, app_a):
+        controller.request_admission(app_a)
+        with pytest.raises(AdmissionError):
+            controller.request_admission(app_a)
+
+    def test_estimated_period_query(self, controller, two_apps):
+        a, b = two_apps
+        controller.request_admission(a)
+        controller.request_admission(b)
+        assert controller.estimated_period("A") == pytest.approx(1075 / 3)
+
+    def test_unknown_app_queries_raise(self, controller):
+        with pytest.raises(AdmissionError):
+            controller.estimated_period("A")
+        with pytest.raises(AdmissionError):
+            controller.withdraw("A")
+
+
+class TestWithdrawal:
+    def test_withdraw_restores_isolation(self, controller, two_apps):
+        a, b = two_apps
+        controller.request_admission(a)
+        controller.request_admission(b)
+        controller.withdraw("B")
+        assert controller.admitted_applications == ("A",)
+        assert controller.estimated_period("A") == pytest.approx(
+            300.0, rel=1e-6
+        )
+
+    def test_withdraw_then_readmit(self, controller, two_apps):
+        a, b = two_apps
+        controller.request_admission(a)
+        controller.request_admission(b)
+        controller.withdraw("B")
+        decision = controller.request_admission(b)
+        assert decision.admitted
+
+    def test_aggregates_return_to_empty(self, controller, two_apps):
+        a, b = two_apps
+        controller.request_admission(a)
+        controller.request_admission(b)
+        controller.withdraw("A")
+        controller.withdraw("B")
+        for processor in ("proc0", "proc1", "proc2"):
+            aggregate = controller.aggregate_of(processor)
+            assert aggregate.probability == pytest.approx(0.0, abs=1e-9)
+            assert aggregate.waiting_product == pytest.approx(
+                0.0, abs=1e-9
+            )
+
+
+class TestDriftAndRebuild:
+    def test_rebuild_matches_fresh_composition(self, two_apps):
+        a, b = two_apps
+        controller = AdmissionController(index_mapping([a, b]))
+        # Churn: admit/withdraw cycles accumulate (x)-operator drift.
+        for _ in range(5):
+            controller.request_admission(a)
+            controller.request_admission(b)
+            controller.withdraw("A")
+            controller.withdraw("B")
+        controller.request_admission(a)
+        controller.request_admission(b)
+        drifted = {
+            p: controller.aggregate_of(p) for p in ("proc0", "proc1")
+        }
+        controller.rebuild()
+        for processor, aggregate in drifted.items():
+            rebuilt = controller.aggregate_of(processor)
+            assert aggregate.probability == pytest.approx(
+                rebuilt.probability, abs=1e-6
+            )
+            assert aggregate.waiting_product == pytest.approx(
+                rebuilt.waiting_product, abs=1e-4
+            )
+
+    def test_admission_matches_batch_estimator(self, two_apps):
+        """Incremental admission = the batch composability estimator."""
+        from repro.core.estimator import ProbabilisticEstimator
+
+        a, b = two_apps
+        controller = AdmissionController(index_mapping([a, b]))
+        controller.request_admission(a)
+        controller.request_admission(b)
+        batch = ProbabilisticEstimator(
+            [a, b], waiting_model="composability"
+        ).estimate()
+        assert controller.estimated_period("A") == pytest.approx(
+            batch.periods["A"], rel=1e-6
+        )
+        assert controller.estimated_period("B") == pytest.approx(
+            batch.periods["B"], rel=1e-6
+        )
+
+    def test_mapping_validation(self, two_apps, app_a):
+        controller = AdmissionController(index_mapping([two_apps[1]]))
+        with pytest.raises(Exception):
+            controller.request_admission(app_a)

@@ -1,0 +1,95 @@
+"""Property-based tests of the admission controller under churn.
+
+Random admit/withdraw sequences must keep the controller's incremental
+aggregates consistent with a from-scratch recomposition — the paper's
+claim that Eq. 8/9 make entering/leaving applications an incremental
+update rather than a re-analysis.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.admission.controller import AdmissionController
+from repro.experiments.setup import paper_benchmark_suite
+from repro.platform.mapping import index_mapping
+
+_SUITE = paper_benchmark_suite(application_count=4)
+_GRAPHS = {g.name: g for g in _SUITE.graphs}
+
+
+@given(
+    actions=st.lists(
+        st.tuples(
+            st.sampled_from(sorted(_GRAPHS)),
+            st.booleans(),  # True = try to admit, False = try to withdraw
+        ),
+        min_size=1,
+        max_size=24,
+    )
+)
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_churn_keeps_aggregates_consistent(actions):
+    controller = AdmissionController(_SUITE.mapping)
+    admitted = set()
+    for name, admit in actions:
+        if admit and name not in admitted:
+            decision = controller.request_admission(_GRAPHS[name])
+            assert decision.admitted  # no requirements registered
+            admitted.add(name)
+        elif not admit and name in admitted:
+            controller.withdraw(name)
+            admitted.remove(name)
+
+    assert set(controller.admitted_applications) == admitted
+
+    # Aggregates after arbitrary churn stay close to a clean rebuild
+    # (the (x) operator drifts only in higher-order terms).
+    drifted = {
+        name: controller.aggregate_of(name)
+        for name in _SUITE.platform.processor_names
+    }
+    controller.rebuild()
+    for name, aggregate in drifted.items():
+        rebuilt = controller.aggregate_of(name)
+        assert aggregate.probability == pytest.approx(
+            rebuilt.probability, abs=1e-6
+        )
+        assert aggregate.waiting_product == pytest.approx(
+            rebuilt.waiting_product, rel=0.15, abs=1e-6
+        )
+
+    # And the estimated periods of whoever remains are sane: at or
+    # above isolation.
+    isolation = _SUITE.isolation_periods()
+    for name in admitted:
+        assert controller.estimated_period(name) >= (
+            isolation[name] - 1e-6
+        )
+
+
+@given(order=st.permutations(sorted(_GRAPHS)))
+@settings(max_examples=20, deadline=None)
+def test_admission_order_does_not_change_membership_estimates_much(order):
+    """Admitting the same set in any order lands on nearly the same
+    estimates (fold-order drift only)."""
+    reference = None
+    controller = AdmissionController(_SUITE.mapping)
+    for name in order:
+        controller.request_admission(_GRAPHS[name])
+    estimates = {
+        name: controller.estimated_period(name) for name in _GRAPHS
+    }
+    baseline_controller = AdmissionController(_SUITE.mapping)
+    for name in sorted(_GRAPHS):
+        baseline_controller.request_admission(_GRAPHS[name])
+    for name in _GRAPHS:
+        assert estimates[name] == pytest.approx(
+            baseline_controller.estimated_period(name), rel=0.05
+        )

@@ -1,0 +1,120 @@
+"""Command-line interface tests."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv: str) -> str:
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    assert code == 0, captured.err
+    return captured.out
+
+
+class TestGenerate:
+    def test_json_output_is_valid_graph(self, capsys, tmp_path):
+        out = run_cli(capsys, "generate", "--seed", "7")
+        data = json.loads(out)
+        assert data["name"] == "G"
+        assert len(data["actors"]) >= 8
+
+    def test_dot_output(self, capsys):
+        out = run_cli(capsys, "generate", "--seed", "7", "--dot")
+        assert out.startswith('digraph "G"')
+
+    def test_deterministic(self, capsys):
+        first = run_cli(capsys, "generate", "--seed", "3")
+        second = run_cli(capsys, "generate", "--seed", "3")
+        assert first == second
+
+    def test_actor_range(self, capsys):
+        out = run_cli(
+            capsys, "generate", "--seed", "1", "--actors", "4", "4"
+        )
+        assert len(json.loads(out)["actors"]) == 4
+
+
+class TestInfo:
+    def test_info_reports_analysis(self, capsys, tmp_path):
+        out = run_cli(capsys, "generate", "--seed", "7")
+        path = tmp_path / "g.json"
+        path.write_text(out)
+        info = run_cli(capsys, "info", str(path))
+        assert "period (isolation)" in info
+        assert "strongly connected" in info
+        assert "True" in info
+
+    def test_missing_file_fails(self, capsys):
+        assert main(["info", "/nonexistent/g.json"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestEstimate:
+    def test_suite_estimate(self, capsys):
+        out = run_cli(
+            capsys, "estimate", "--suite", "3", "--model", "exact"
+        )
+        assert "Estimate (exact)" in out
+        assert "A+B+C" in out
+
+    def test_use_case_restriction(self, capsys):
+        out = run_cli(
+            capsys, "estimate", "--suite", "3", "--apps", "A,B"
+        )
+        assert "A+B" in out
+        assert "C" not in out.splitlines()[0].replace("use-case", "")
+
+    def test_media_selection(self, capsys):
+        out = run_cli(capsys, "estimate", "--media")
+        assert "h263" in out
+
+    def test_bad_model_fails(self, capsys):
+        assert main(
+            ["estimate", "--suite", "2", "--model", "psychic"]
+        ) == 1
+
+    def test_file_selection(self, capsys, tmp_path):
+        graph_json = run_cli(capsys, "generate", "--seed", "5")
+        path = tmp_path / "g.json"
+        path.write_text(graph_json)
+        out = run_cli(capsys, "estimate", "--file", str(path))
+        assert "G" in out
+
+
+class TestSimulate:
+    def test_suite_simulation(self, capsys):
+        out = run_cli(
+            capsys,
+            "simulate", "--suite", "2", "--iterations", "30",
+        )
+        assert "Simulation of use-case" in out
+        assert "busiest processors" in out
+
+
+class TestReproduce:
+    def test_quick_reproduction_small_suite(self, capsys):
+        out = run_cli(
+            capsys, "reproduce", "--applications", "2"
+        )
+        assert "Figure 5" in out
+        assert "Table 1" in out
+        assert "Figure 6" in out
+        assert "Timing" in out
+
+
+class TestSweep:
+    def test_mini_sweep(self, capsys):
+        out = run_cli(
+            capsys,
+            "sweep", "--suite", "2", "--samples", "2",
+            "--sim-iterations", "20",
+        )
+        assert "Mean absolute inaccuracy" in out
+        assert "worst_case" in out
+        assert "second_order" in out
+        assert "#apps" in out

@@ -1,0 +1,127 @@
+"""m-th order approximation tests (Eq. 5)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.approximation import (
+    OrderMWaitingModel,
+    waiting_time_order_m,
+)
+from repro.core.exact import waiting_time_exact
+from repro.exceptions import AnalysisError
+from tests.test_core_exact import profile
+
+
+class TestSecondOrder:
+    def test_matches_eq5_expansion(self):
+        actors = [
+            profile(100, 0.3, "a"),
+            profile(50, 0.2, "b"),
+            profile(80, 0.5, "c"),
+        ]
+        expected = sum(
+            x.mu
+            * x.probability
+            * (
+                1
+                + 0.5
+                * sum(
+                    y.probability for y in actors if y is not x
+                )
+            )
+            for x in actors
+        )
+        assert waiting_time_order_m(actors, 2) == pytest.approx(expected)
+
+    def test_two_actors_second_order_is_exact(self):
+        # With two actors the series stops at e_1, so m=2 is exact.
+        actors = [profile(100, 0.3, "a"), profile(50, 0.6, "b")]
+        assert waiting_time_order_m(actors, 2) == pytest.approx(
+            waiting_time_exact(actors)
+        )
+
+    def test_second_order_overestimates_for_three_plus(self):
+        # Eq. 5 drops the negative e_2 correction, so it is conservative
+        # (the paper: "the second order estimate is always more
+        # conservative than the fourth order estimate").
+        actors = [
+            profile(100, 0.3, "a"),
+            profile(50, 0.4, "b"),
+            profile(80, 0.5, "c"),
+            profile(20, 0.25, "d"),
+        ]
+        second = waiting_time_order_m(actors, 2)
+        fourth = waiting_time_order_m(actors, 4)
+        exact = waiting_time_exact(actors)
+        assert second >= fourth - 1e-12
+        assert second >= exact - 1e-12
+
+
+class TestConvergenceToExact:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(1.0, 150.0, allow_nan=False),
+                st.floats(0.01, 0.95, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_order_at_least_n_equals_exact(self, specs):
+        actors = [
+            profile(tau, p, f"x{i}") for i, (tau, p) in enumerate(specs)
+        ]
+        exact = waiting_time_exact(actors)
+        for order in (len(actors), len(actors) + 1, len(actors) + 3):
+            assert waiting_time_order_m(actors, order) == pytest.approx(
+                exact, rel=1e-9, abs=1e-9
+            )
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(1.0, 150.0, allow_nan=False),
+                st.floats(0.01, 0.6, allow_nan=False),
+            ),
+            min_size=3,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_even_orders_sandwich_exact(self, specs):
+        """Truncating after a positive term overshoots, after a negative
+        term undershoots: order 2 >= exact, and order 3 <= exact."""
+        actors = [
+            profile(tau, p, f"x{i}") for i, (tau, p) in enumerate(specs)
+        ]
+        exact = waiting_time_exact(actors)
+        second = waiting_time_order_m(actors, 2)
+        third = waiting_time_order_m(actors, 3)
+        assert second >= exact - 1e-9
+        assert third <= exact + 1e-9
+
+
+class TestInterface:
+    def test_order_one_ignores_others_probabilities(self):
+        actors = [profile(100, 0.3, "a"), profile(50, 0.6, "b")]
+        # Order 1 keeps only sum of mu_i P_i.
+        expected = sum(x.mu * x.probability for x in actors)
+        assert waiting_time_order_m(actors, 1) == pytest.approx(expected)
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(AnalysisError):
+            waiting_time_order_m([], 0)
+        with pytest.raises(AnalysisError):
+            OrderMWaitingModel(0)
+
+    def test_model_names(self):
+        assert OrderMWaitingModel(2).name == "order-2"
+        assert OrderMWaitingModel(4).complexity == "O(n^4)"
+
+    def test_empty_set(self):
+        assert waiting_time_order_m([], 2) == 0.0

@@ -1,0 +1,83 @@
+"""Blocking probability / average blocking time tests (Definitions 4-5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.blocking import (
+    ActorProfile,
+    average_blocking_time,
+    blocking_probability,
+    build_profile,
+    build_profiles,
+)
+from repro.exceptions import AnalysisError
+
+
+class TestBlockingProbability:
+    def test_paper_value(self):
+        # P(a0) = 100 * 1 / 300 = 1/3 (Definition 4).
+        assert blocking_probability(100, 1, 300) == pytest.approx(1 / 3)
+
+    def test_repetitions_multiply(self):
+        # a1: tau=50, q=2, Per=300 -> P = 1/3.
+        assert blocking_probability(50, 2, 300) == pytest.approx(1 / 3)
+
+    def test_full_utilization_capped_at_one(self):
+        assert blocking_probability(300, 1, 300) == 1.0
+
+    def test_rejects_overloaded_actor(self):
+        with pytest.raises(AnalysisError):
+            blocking_probability(301, 1, 300)
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(AnalysisError):
+            blocking_probability(10, 1, 0)
+
+    def test_rejects_bad_repetitions(self):
+        with pytest.raises(AnalysisError):
+            blocking_probability(10, 0, 100)
+
+
+class TestAverageBlockingTime:
+    def test_half_of_execution_time(self):
+        # mu = tau / 2 (Eq. 2, uniform arrival over the execution).
+        assert average_blocking_time(100) == 50.0
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(AnalysisError):
+            average_blocking_time(0)
+
+
+class TestProfiles:
+    def test_paper_profiles(self, two_apps):
+        profiles = build_profiles(list(two_apps))
+        # All six actors have P = 1/3 (Section 3.1).
+        for profile in profiles.values():
+            assert profile.probability == pytest.approx(1 / 3)
+        # mu values: [50 25 50] for A and [25 50 50] for B.
+        assert profiles[("A", "a0")].mu == 50
+        assert profiles[("A", "a1")].mu == 25
+        assert profiles[("A", "a2")].mu == 50
+        assert profiles[("B", "b0")].mu == 25
+        assert profiles[("B", "b1")].mu == 50
+        assert profiles[("B", "b2")].mu == 50
+
+    def test_waiting_product(self):
+        profile = build_profile("A", "a0", tau=100, repetitions=1, period=300)
+        assert profile.waiting_product == pytest.approx(50 / 3)
+
+    def test_periods_override(self, app_a):
+        profiles = build_profiles([app_a], periods={"A": 600.0})
+        assert profiles[("A", "a0")].probability == pytest.approx(1 / 6)
+
+    def test_mu_override(self, app_a):
+        profiles = build_profiles([app_a], mus={("A", "a0"): 77.0})
+        assert profiles[("A", "a0")].mu == 77.0
+        assert profiles[("A", "a1")].mu == 25.0
+
+    def test_with_period_rederives_probability(self):
+        profile = build_profile("A", "x", tau=100, repetitions=1, period=300)
+        rescaled = profile.with_period(600.0)
+        assert rescaled.probability == pytest.approx(1 / 6)
+        assert rescaled.mu == profile.mu

@@ -1,0 +1,177 @@
+"""Composability algebra tests (Eq. 6-9)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.composability import (
+    Composite,
+    CompositionWaitingModel,
+    compose,
+    compose_all,
+    decompose,
+    prob_compose,
+    prob_decompose,
+)
+from repro.core.approximation import waiting_time_order_m
+from repro.exceptions import AnalysisError
+from tests.test_core_exact import profile
+
+_prob = st.floats(0.0, 0.95, allow_nan=False)
+_tau = st.floats(1.0, 200.0, allow_nan=False)
+
+
+class TestProbabilityOperator:
+    def test_eq6(self):
+        assert prob_compose(1 / 3, 1 / 3) == pytest.approx(5 / 9)
+
+    def test_identity_element(self):
+        assert prob_compose(0.0, 0.4) == pytest.approx(0.4)
+
+    def test_saturation(self):
+        assert prob_compose(1.0, 0.4) == pytest.approx(1.0)
+
+    @given(_prob, _prob, _prob)
+    @settings(max_examples=100, deadline=None)
+    def test_associative_exactly(self, pa, pb, pc):
+        left = prob_compose(prob_compose(pa, pb), pc)
+        right = prob_compose(pa, prob_compose(pb, pc))
+        assert left == pytest.approx(right, abs=1e-12)
+
+    @given(_prob, _prob)
+    @settings(max_examples=100, deadline=None)
+    def test_commutative(self, pa, pb):
+        assert prob_compose(pa, pb) == pytest.approx(prob_compose(pb, pa))
+
+    @given(_prob, _prob)
+    @settings(max_examples=100, deadline=None)
+    def test_inverse_round_trip(self, pa, pb):
+        assert prob_decompose(
+            prob_compose(pa, pb), pb
+        ) == pytest.approx(pa, abs=1e-9)
+
+    def test_decompose_probability_one_rejected(self):
+        with pytest.raises(AnalysisError):
+            prob_decompose(1.0, 1.0)
+
+
+class TestWaitingOperator:
+    def test_eq7_two_actors(self):
+        a = profile(100, 1 / 3, "a")
+        b = profile(50, 1 / 3, "b")
+        combined = compose(
+            Composite.of_profile(a), Composite.of_profile(b)
+        )
+        expected = a.mu * a.probability * (1 + b.probability / 2) + (
+            b.mu * b.probability * (1 + a.probability / 2)
+        )
+        assert combined.waiting_product == pytest.approx(expected)
+        assert combined.probability == pytest.approx(5 / 9)
+
+    def test_two_actor_composition_equals_second_order(self):
+        a = profile(100, 0.3, "a")
+        b = profile(40, 0.5, "b")
+        combined = compose_all([a, b])
+        assert combined.waiting_product == pytest.approx(
+            waiting_time_order_m([a, b], 2)
+        )
+
+    @given(_tau, _prob, _tau, _prob)
+    @settings(max_examples=100, deadline=None)
+    def test_decompose_inverts_last_compose(self, ta, pa, tb, pb):
+        a = Composite.of_profile(profile(ta, max(pa, 1e-6), "a"))
+        b = Composite.of_profile(profile(tb, max(pb, 1e-6), "b"))
+        restored = decompose(compose(a, b), b)
+        assert restored.probability == pytest.approx(
+            a.probability, abs=1e-9
+        )
+        assert restored.waiting_product == pytest.approx(
+            a.waiting_product, abs=1e-7
+        )
+
+    @given(_tau, _prob, _tau, _prob, _tau, _prob)
+    @settings(max_examples=100, deadline=None)
+    def test_associativity_error_is_second_order_small(
+        self, ta, pa, tb, pb, tc, pc
+    ):
+        """(a x b) x c vs a x (b x c): differ only in P^2 cross terms."""
+        a = profile(ta, max(pa, 1e-6), "a")
+        b = profile(tb, max(pb, 1e-6), "b")
+        c = profile(tc, max(pc, 1e-6), "c")
+        left = compose(
+            compose(Composite.of_profile(a), Composite.of_profile(b)),
+            Composite.of_profile(c),
+        )
+        right = compose(
+            Composite.of_profile(a),
+            compose(Composite.of_profile(b), Composite.of_profile(c)),
+        )
+        assert left.probability == pytest.approx(
+            right.probability, abs=1e-9
+        )
+        # Waiting products agree to the second-order magnitude: bound the
+        # discrepancy by the size of third-order terms.
+        scale = (ta + tb + tc) * (pa + pb + pc + 0.1) ** 2
+        assert abs(left.waiting_product - right.waiting_product) <= (
+            0.5 * scale + 1e-6
+        )
+
+    def test_empty_composition(self):
+        empty = compose_all([])
+        assert empty.probability == 0.0
+        assert empty.waiting_product == 0.0
+
+    def test_mu_property(self):
+        a = profile(100, 1 / 3, "a")
+        composite = Composite.of_profile(a)
+        assert composite.mu == pytest.approx(50.0)
+        assert Composite.empty().mu == 0.0
+
+
+class TestCompositionWaitingModel:
+    def test_direct_matches_incremental(self, two_apps):
+        from repro.core.blocking import build_profiles
+
+        profiles = build_profiles(list(two_apps))
+        own = profiles[("A", "a0")]
+        others = [profiles[("B", "b0")]]
+        direct = CompositionWaitingModel(incremental=False)
+        incremental = CompositionWaitingModel(incremental=True)
+        assert direct.waiting_time(own, others) == pytest.approx(
+            incremental.waiting_time(own, others)
+        )
+
+    def test_direct_matches_incremental_many_actors(self):
+        own = profile(60, 0.2, "own")
+        others = [
+            profile(10.0 * (i + 1), 0.08 * (i + 1), f"o{i}")
+            for i in range(6)
+        ]
+        direct = CompositionWaitingModel(incremental=False)
+        incremental = CompositionWaitingModel(incremental=True)
+        assert direct.waiting_time(own, others) == pytest.approx(
+            incremental.waiting_time(own, others), rel=1e-9
+        )
+
+    def test_paper_example_waiting(self, two_apps):
+        from repro.core.blocking import build_profiles
+
+        profiles = build_profiles(list(two_apps))
+        model = CompositionWaitingModel()
+        # b0 waits for a0 only: mu * P = 50/3.
+        assert model.waiting_time(
+            profiles[("B", "b0")], [profiles[("A", "a0")]]
+        ) == pytest.approx(50 / 3)
+
+    def test_empty_others(self):
+        model = CompositionWaitingModel()
+        assert model.waiting_time(profile(10, 0.5), []) == 0.0
+
+    def test_names(self):
+        assert CompositionWaitingModel().name == "composability"
+        assert (
+            CompositionWaitingModel(incremental=True).name
+            == "composability-incremental"
+        )

@@ -1,0 +1,133 @@
+"""Stochastic execution-time extension tests."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.distributions import (
+    DiscreteTime,
+    DistributionTimeModel,
+    FixedTime,
+    NormalTime,
+    UniformTime,
+)
+from repro.exceptions import AnalysisError
+
+
+class TestFixedTime:
+    def test_reduces_to_paper_mu(self):
+        dist = FixedTime(100)
+        assert dist.mean() == 100
+        # mu = E[X^2]/(2E[X]) = tau/2 for constant tau (Eq. 2).
+        assert dist.mean_residual() == pytest.approx(50.0)
+
+    def test_sample_is_constant(self):
+        dist = FixedTime(42)
+        rng = random.Random(0)
+        assert all(dist.sample(rng) == 42 for _ in range(5))
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(AnalysisError):
+            FixedTime(0)
+
+
+class TestUniformTime:
+    def test_moments(self):
+        dist = UniformTime(60, 140)
+        assert dist.mean() == pytest.approx(100.0)
+        # Var = 80^2/12; E[X^2] = Var + 100^2.
+        assert dist.second_moment() == pytest.approx(
+            80 * 80 / 12 + 10_000
+        )
+
+    def test_mean_residual_exceeds_half_mean(self):
+        # Inspection paradox: variability raises the residual above
+        # mean/2.
+        dist = UniformTime(60, 140)
+        assert dist.mean_residual() > dist.mean() / 2
+
+    def test_sample_range(self):
+        dist = UniformTime(10, 20)
+        rng = random.Random(1)
+        for _ in range(100):
+            assert 10 <= dist.sample(rng) <= 20
+
+    def test_empirical_moments_match(self):
+        dist = UniformTime(50, 150)
+        rng = random.Random(7)
+        samples = [dist.sample(rng) for _ in range(20_000)]
+        mean = sum(samples) / len(samples)
+        second = sum(s * s for s in samples) / len(samples)
+        assert mean == pytest.approx(dist.mean(), rel=0.02)
+        assert second == pytest.approx(dist.second_moment(), rel=0.03)
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(AnalysisError):
+            UniformTime(20, 10)
+        with pytest.raises(AnalysisError):
+            UniformTime(0, 10)
+
+
+class TestNormalTime:
+    def test_moments(self):
+        dist = NormalTime(100, 10)
+        assert dist.mean() == 100
+        assert dist.second_moment() == pytest.approx(100 * 100 + 100)
+
+    def test_rejects_heavy_truncation(self):
+        with pytest.raises(AnalysisError):
+            NormalTime(10, 10)
+
+    def test_samples_positive(self):
+        dist = NormalTime(100, 20)
+        rng = random.Random(3)
+        assert all(dist.sample(rng) > 0 for _ in range(200))
+
+
+class TestDiscreteTime:
+    def test_moments(self):
+        # I/P/B-frame style: 120 (10%), 80 (30%), 40 (60%).
+        dist = DiscreteTime.of([(120, 0.1), (80, 0.3), (40, 0.6)])
+        expected_mean = 120 * 0.1 + 80 * 0.3 + 40 * 0.6
+        assert dist.mean() == pytest.approx(expected_mean)
+        assert dist.mean_residual() == pytest.approx(
+            (120**2 * 0.1 + 80**2 * 0.3 + 40**2 * 0.6)
+            / (2 * expected_mean)
+        )
+
+    def test_sampling_respects_support(self):
+        dist = DiscreteTime.of([(10, 1), (20, 1)])
+        rng = random.Random(5)
+        assert {dist.sample(rng) for _ in range(100)} == {10, 20}
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            DiscreteTime.of([])
+        with pytest.raises(AnalysisError):
+            DiscreteTime.of([(0, 1)])
+        with pytest.raises(AnalysisError):
+            DiscreteTime(values=(1.0,), weights=(1.0, 2.0))
+
+
+class TestDistributionTimeModel:
+    def test_assigned_actor_uses_distribution(self):
+        model = DistributionTimeModel({("A", "x"): FixedTime(33)})
+        rng = random.Random(0)
+        assert model.sample("A", "x", 100, rng) == 33
+
+    def test_unassigned_actor_uses_nominal(self):
+        model = DistributionTimeModel({})
+        rng = random.Random(0)
+        assert model.sample("A", "x", 100, rng) == 100
+
+    def test_mu_overrides(self):
+        model = DistributionTimeModel(
+            {("A", "x"): UniformTime(60, 140)}
+        )
+        mus = model.mus()
+        assert mus[("A", "x")] == pytest.approx(
+            UniformTime(60, 140).mean_residual()
+        )
+        assert model.mean_times()[("A", "x")] == pytest.approx(100.0)

@@ -1,0 +1,145 @@
+"""Fig.-4 estimator tests beyond the golden paper example."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.estimator import (
+    ProbabilisticEstimator,
+    estimate_use_case,
+)
+from repro.exceptions import AnalysisError
+from repro.platform.mapping import Mapping
+from repro.platform.platform import Platform
+from repro.platform.usecase import UseCase
+from repro.sdf.analysis import period
+
+
+class TestBasics:
+    def test_isolated_use_case_equals_isolation_period(self, two_apps):
+        estimator = ProbabilisticEstimator(list(two_apps))
+        result = estimator.estimate(UseCase.of("A"))
+        assert result.periods["A"] == pytest.approx(period(two_apps[0]))
+        assert all(w == 0 for w in result.waiting_times.values())
+
+    def test_estimate_only_covers_active_apps(self, two_apps):
+        estimator = ProbabilisticEstimator(list(two_apps))
+        result = estimator.estimate(UseCase.of("A"))
+        assert set(result.periods) == {"A"}
+
+    def test_waiting_grows_with_contention(self, two_apps):
+        estimator = ProbabilisticEstimator(list(two_apps))
+        alone = estimator.estimate(UseCase.of("A")).periods["A"]
+        together = estimator.estimate(UseCase.of("A", "B")).periods["A"]
+        assert together > alone
+
+    def test_normalized_period(self, two_apps):
+        result = estimate_use_case(list(two_apps))
+        assert result.normalized_period_of("A") == pytest.approx(
+            (1075 / 3) / 300
+        )
+
+    def test_throughput_inverse(self, two_apps):
+        result = estimate_use_case(list(two_apps))
+        assert result.throughput_of("A") == pytest.approx(
+            1.0 / result.periods["A"]
+        )
+
+    def test_unknown_app_raises(self, two_apps):
+        result = estimate_use_case(list(two_apps))
+        with pytest.raises(AnalysisError):
+            result.period_of("Z")
+
+    def test_model_accepts_instances(self, two_apps):
+        from repro.core.exact import ExactWaitingModel
+
+        estimator = ProbabilisticEstimator(
+            list(two_apps), waiting_model=ExactWaitingModel()
+        )
+        assert estimator.estimate().model_name == "exact"
+
+    def test_duplicate_names_rejected(self, app_a):
+        with pytest.raises(AnalysisError):
+            ProbabilisticEstimator([app_a, app_a.renamed("A")])
+
+    def test_empty_graphs_rejected(self):
+        with pytest.raises(AnalysisError):
+            ProbabilisticEstimator([])
+
+
+class TestSameApplicationContention:
+    def _stacked_mapping(self, graphs):
+        """All actors of all apps on one processor."""
+        platform = Platform.homogeneous(1)
+        bindings = {
+            g.name: {a: "proc0" for a in g.actor_names} for g in graphs
+        }
+        return Mapping(platform, bindings)
+
+    def test_same_app_actors_counted_by_default(self, app_a):
+        mapping = self._stacked_mapping([app_a])
+        estimator = ProbabilisticEstimator([app_a], mapping=mapping)
+        result = estimator.estimate()
+        # a0's waiting includes a1 and a2 of its own application.
+        assert result.waiting_times[("A", "a0")] > 0
+
+    def test_same_app_exclusion_flag(self, app_a):
+        mapping = self._stacked_mapping([app_a])
+        estimator = ProbabilisticEstimator(
+            [app_a], mapping=mapping, include_same_application=False
+        )
+        result = estimator.estimate()
+        assert all(w == 0 for w in result.waiting_times.values())
+        assert result.periods["A"] == pytest.approx(300.0)
+
+
+class TestFixedPointIterations:
+    def test_multiple_iterations_reduce_probabilities(self, two_apps):
+        estimator = ProbabilisticEstimator(list(two_apps))
+        single = estimator.estimate(iterations=1)
+        refined = estimator.estimate(iterations=10)
+        # Second pass derives P from the *contended* (longer) periods,
+        # so estimated contention and thus the period shrink.
+        assert refined.periods["A"] <= single.periods["A"] + 1e-9
+        assert refined.iterations_used >= 2
+
+    def test_converges(self, two_apps):
+        estimator = ProbabilisticEstimator(list(two_apps))
+        r10 = estimator.estimate(iterations=10)
+        r11 = estimator.estimate(iterations=11)
+        assert r10.periods["A"] == pytest.approx(
+            r11.periods["A"], rel=1e-4
+        )
+
+    def test_invalid_iterations(self, two_apps):
+        estimator = ProbabilisticEstimator(list(two_apps))
+        with pytest.raises(AnalysisError):
+            estimator.estimate(iterations=0)
+
+
+class TestAllModelsRunEndToEnd:
+    @pytest.mark.parametrize(
+        "model",
+        [
+            "exact",
+            "second_order",
+            "fourth_order",
+            "order:3",
+            "composability",
+            "composability_incremental",
+            "worst_case",
+            "tdma",
+        ],
+    )
+    def test_model(self, two_apps, model):
+        result = estimate_use_case(list(two_apps), waiting_model=model)
+        for name in ("A", "B"):
+            assert result.periods[name] >= 300.0 - 1e-9
+
+    def test_worst_case_dominates_probabilistic(self, two_apps):
+        worst = estimate_use_case(list(two_apps), waiting_model="worst_case")
+        second = estimate_use_case(
+            list(two_apps), waiting_model="second_order"
+        )
+        for name in ("A", "B"):
+            assert worst.periods[name] > second.periods[name]

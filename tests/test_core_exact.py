@@ -1,0 +1,152 @@
+"""Exact waiting-time formula tests (Eq. 3 / Eq. 4).
+
+The closed form is validated three ways: against the paper's printed 2-
+and 3-actor expansions, against the direct queue-scenario enumeration
+(the model Eq. 4 is derived from), and on the paper's worked example.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.blocking import ActorProfile, build_profile
+from repro.core.exact import (
+    ExactWaitingModel,
+    waiting_time_enumeration,
+    waiting_time_exact,
+)
+
+
+def profile(tau: float, probability: float, name: str = "x") -> ActorProfile:
+    """Profile with given tau and P (period chosen to produce that P)."""
+    return build_profile(
+        application="T",
+        actor=name,
+        tau=tau,
+        repetitions=1,
+        period=tau / probability,
+    )
+
+
+def paper_two_actor_formula(a: ActorProfile, b: ActorProfile) -> float:
+    """twait(c) = mu_a P_a (1 + P_b/2) + mu_b P_b (1 + P_a/2)."""
+    return a.mu * a.probability * (1 + b.probability / 2) + (
+        b.mu * b.probability * (1 + a.probability / 2)
+    )
+
+
+def paper_three_actor_formula(a, b, c) -> float:
+    """Eq. 3 of the paper."""
+    def term(x, y, z):
+        return (
+            x.mu
+            * x.probability
+            * (
+                1
+                + 0.5 * (y.probability + z.probability)
+                - (1 / 3) * y.probability * z.probability
+            )
+        )
+
+    return term(a, b, c) + term(b, a, c) + term(c, a, b)
+
+
+class TestAgainstPaperFormulas:
+    def test_single_actor(self):
+        a = profile(100, 1 / 3)
+        # twait = mu_a * P_a = 50/3 (the introduction's example).
+        assert waiting_time_exact([a]) == pytest.approx(50 / 3)
+
+    def test_two_actors_match_printed_expansion(self):
+        a = profile(100, 1 / 3, "a")
+        b = profile(60, 1 / 4, "b")
+        assert waiting_time_exact([a, b]) == pytest.approx(
+            paper_two_actor_formula(a, b)
+        )
+
+    def test_three_actors_match_eq3(self):
+        a = profile(100, 1 / 3, "a")
+        b = profile(60, 1 / 4, "b")
+        c = profile(80, 1 / 2, "c")
+        assert waiting_time_exact([a, b, c]) == pytest.approx(
+            paper_three_actor_formula(a, b, c)
+        )
+
+    def test_empty_set_waits_nothing(self):
+        assert waiting_time_exact([]) == 0.0
+
+
+class TestAgainstEnumeration:
+    def test_two_actors(self):
+        a = profile(100, 0.3, "a")
+        b = profile(40, 0.6, "b")
+        assert waiting_time_exact([a, b]) == pytest.approx(
+            waiting_time_enumeration([a, b])
+        )
+
+    def test_five_actors(self):
+        actors = [
+            profile(10 * (i + 1), 0.1 * (i + 1), f"x{i}") for i in range(5)
+        ]
+        assert waiting_time_exact(actors) == pytest.approx(
+            waiting_time_enumeration(actors)
+        )
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(1.0, 200.0, allow_nan=False),
+                st.floats(0.0, 1.0, allow_nan=False),
+            ),
+            min_size=0,
+            max_size=7,
+        )
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_property_closed_form_equals_model(self, specs):
+        actors = [
+            profile(tau, max(p, 1e-9), f"x{i}")
+            for i, (tau, p) in enumerate(specs)
+        ]
+        closed = waiting_time_exact(actors)
+        enumerated = waiting_time_enumeration(actors)
+        assert closed == pytest.approx(enumerated, abs=1e-6, rel=1e-9)
+
+
+class TestStructuralProperties:
+    def test_permutation_invariant(self):
+        actors = [
+            profile(30, 0.2, "a"),
+            profile(70, 0.5, "b"),
+            profile(50, 0.4, "c"),
+        ]
+        base = waiting_time_exact(actors)
+        assert waiting_time_exact(actors[::-1]) == pytest.approx(base)
+        assert waiting_time_exact(
+            [actors[1], actors[2], actors[0]]
+        ) == pytest.approx(base)
+
+    def test_monotone_in_probability(self):
+        low = [profile(100, 0.2, "a"), profile(50, 0.3, "b")]
+        high = [profile(100, 0.4, "a"), profile(50, 0.3, "b")]
+        assert waiting_time_exact(high) > waiting_time_exact(low)
+
+    def test_zero_probability_actor_is_invisible(self):
+        a = profile(100, 0.3, "a")
+        ghost = profile(500, 1e-15, "ghost")
+        assert waiting_time_exact([a, ghost]) == pytest.approx(
+            waiting_time_exact([a]), rel=1e-6
+        )
+
+    def test_model_interface(self, two_apps):
+        from repro.core.blocking import build_profiles
+
+        profiles = build_profiles(list(two_apps))
+        model = ExactWaitingModel()
+        own = profiles[("B", "b0")]
+        others = [profiles[("A", "a0")]]
+        # Section 3: b0 waits mu(a0) * P(a0) = 50/3 on average.
+        assert model.waiting_time(own, others) == pytest.approx(50 / 3)
+        assert model.name == "exact"

@@ -1,0 +1,124 @@
+"""Elementary symmetric polynomial tests."""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.symmetric import (
+    elementary_symmetric,
+    elementary_symmetric_all,
+    leave_one_out,
+)
+from repro.exceptions import AnalysisError
+
+
+def naive_elementary(values, order):
+    if order == 0:
+        return 1.0
+    return sum(
+        math.prod(combo)
+        for combo in itertools.combinations(values, order)
+    )
+
+
+class TestElementarySymmetric:
+    def test_small_case(self):
+        values = [0.5, 0.25, 0.2]
+        assert elementary_symmetric(values, 0) == 1.0
+        assert elementary_symmetric(values, 1) == pytest.approx(0.95)
+        assert elementary_symmetric(values, 2) == pytest.approx(
+            0.5 * 0.25 + 0.5 * 0.2 + 0.25 * 0.2
+        )
+        assert elementary_symmetric(values, 3) == pytest.approx(
+            0.5 * 0.25 * 0.2
+        )
+
+    def test_order_above_length_is_zero(self):
+        assert elementary_symmetric([0.1, 0.2], 3) == 0.0
+
+    def test_empty_values(self):
+        assert elementary_symmetric_all([]) == [1.0]
+
+    def test_truncation(self):
+        values = [0.1, 0.2, 0.3, 0.4]
+        truncated = elementary_symmetric_all(values, max_order=2)
+        assert len(truncated) == 3
+        full = elementary_symmetric_all(values)
+        assert truncated == pytest.approx(full[:3])
+
+    def test_negative_order_rejected(self):
+        with pytest.raises(AnalysisError):
+            elementary_symmetric([0.1], -1)
+
+    @given(
+        st.lists(
+            st.floats(0.0, 1.0, allow_nan=False), min_size=0, max_size=8
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_matches_naive_enumeration(self, values):
+        coefficients = elementary_symmetric_all(values)
+        for order, coefficient in enumerate(coefficients):
+            assert coefficient == pytest.approx(
+                naive_elementary(values, order), abs=1e-9
+            )
+
+    @given(
+        st.lists(
+            st.floats(0.01, 1.0, allow_nan=False), min_size=1, max_size=8
+        ),
+        st.permutations(range(8)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_permutation_invariance(self, values, permutation):
+        shuffled = [
+            values[i % len(values)] for i in permutation[: len(values)]
+        ]
+        # Same multiset (possibly reordered with duplicates trimmed to
+        # same length) must give identical polynomials.
+        shuffled = sorted(values)
+        assert elementary_symmetric_all(shuffled) == pytest.approx(
+            elementary_symmetric_all(values)
+        )
+
+
+class TestLeaveOneOut:
+    def test_matches_direct_computation(self):
+        values = [0.5, 0.25, 0.2, 0.35]
+        full = elementary_symmetric_all(values)
+        for i, excluded in enumerate(values):
+            rest = values[:i] + values[i + 1:]
+            expected = elementary_symmetric_all(rest)
+            derived = leave_one_out(full, excluded, max_order=len(rest))
+            assert derived == pytest.approx(expected, abs=1e-9)
+
+    def test_truncated_leave_one_out(self):
+        values = [0.1, 0.4, 0.3, 0.6, 0.2]
+        full = elementary_symmetric_all(values, max_order=3)
+        rest = values[1:]
+        derived = leave_one_out(full, values[0], max_order=3)
+        expected = elementary_symmetric_all(rest, max_order=3)
+        assert derived == pytest.approx(expected, abs=1e-9)
+
+    def test_beyond_available_order_rejected(self):
+        full = elementary_symmetric_all([0.1, 0.2], max_order=1)
+        with pytest.raises(AnalysisError):
+            leave_one_out(full, 0.1, max_order=2)
+
+    @given(
+        st.lists(
+            st.floats(0.01, 0.95, allow_nan=False), min_size=2, max_size=8
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_leave_one_out(self, values):
+        full = elementary_symmetric_all(values)
+        rest = values[1:]
+        derived = leave_one_out(full, values[0], max_order=len(rest))
+        expected = elementary_symmetric_all(rest)
+        assert derived == pytest.approx(expected, abs=1e-7)

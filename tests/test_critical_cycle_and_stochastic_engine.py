@@ -1,0 +1,144 @@
+"""Critical-cycle diagnostics and stochastic-engine behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.distributions import (
+    DistributionTimeModel,
+    FixedTime,
+    UniformTime,
+)
+from repro.sdf.analysis import critical_cycle, period
+from repro.sdf.builder import GraphBuilder
+from repro.simulation.engine import SimulationConfig, simulate
+
+
+class TestCriticalCycle:
+    def test_paper_graph_cycle_is_the_ring(self, app_a):
+        cycle = critical_cycle(app_a)
+        assert cycle.ratio == pytest.approx(300.0)
+        assert set(cycle.actors) == {"a0", "a1", "a2"}
+
+    def test_bottleneck_actor_cycle(self):
+        graph = (
+            GraphBuilder("g")
+            .actor("fast", 1)
+            .actor("slow", 50)
+            .cycle("fast", "slow", initial_tokens_on_back_edge=3)
+            .build()
+        )
+        # Three tokens pipeline the ring; the slow actor's sequencing
+        # self-cycle binds the period at 50.
+        cycle = critical_cycle(graph)
+        assert cycle.ratio == pytest.approx(50.0)
+        assert cycle.actors == ("slow",)
+
+    def test_ratio_equals_period(self):
+        from repro.generation.random_sdf import random_sdf_graph
+
+        for seed in (2, 7):
+            graph = random_sdf_graph("G", seed=seed)
+            assert critical_cycle(graph).ratio == pytest.approx(
+                period(graph)
+            )
+
+    def test_firings_are_valid_actor_copies(self, app_a):
+        from repro.sdf.repetition import repetition_vector
+
+        q = repetition_vector(app_a)
+        for actor, copy in critical_cycle(app_a).firings:
+            assert actor in app_a
+            assert 0 <= copy < q[actor]
+
+
+class TestStochasticEngine:
+    def _model(self, graphs, spread=0.3):
+        distributions = {}
+        for graph in graphs:
+            for actor in graph.actors:
+                nominal = actor.execution_time
+                distributions[(graph.name, actor.name)] = UniformTime(
+                    (1 - spread) * nominal, (1 + spread) * nominal
+                )
+        return DistributionTimeModel(distributions)
+
+    def test_same_seed_reproduces(self, two_apps):
+        model = self._model(list(two_apps))
+        results = [
+            simulate(
+                list(two_apps),
+                config=SimulationConfig(
+                    target_iterations=40, time_model=model, seed=11
+                ),
+            )
+            for _ in range(2)
+        ]
+        assert results[0].period_of("A") == results[1].period_of("A")
+        assert results[0].events_processed == results[1].events_processed
+
+    def test_different_seeds_differ(self, two_apps):
+        model = self._model(list(two_apps))
+        a = simulate(
+            list(two_apps),
+            config=SimulationConfig(
+                target_iterations=40, time_model=model, seed=1
+            ),
+        )
+        b = simulate(
+            list(two_apps),
+            config=SimulationConfig(
+                target_iterations=40, time_model=model, seed=2
+            ),
+        )
+        assert a.period_of("A") != b.period_of("A")
+
+    def test_fixed_distributions_match_deterministic_run(self, two_apps):
+        model = DistributionTimeModel(
+            {
+                (g.name, a.name): FixedTime(a.execution_time)
+                for g in two_apps
+                for a in g.actors
+            }
+        )
+        stochastic = simulate(
+            list(two_apps),
+            config=SimulationConfig(
+                target_iterations=40, time_model=model
+            ),
+        )
+        deterministic = simulate(
+            list(two_apps),
+            config=SimulationConfig(target_iterations=40),
+        )
+        assert stochastic.period_of("A") == pytest.approx(
+            deterministic.period_of("A")
+        )
+
+    def test_mean_period_tracks_deterministic_period(self, two_apps):
+        """With modest jitter the mean contended period stays near the
+        deterministic one (the system averages over phases)."""
+        model = self._model(list(two_apps), spread=0.2)
+        stochastic = simulate(
+            list(two_apps),
+            config=SimulationConfig(
+                target_iterations=300, time_model=model, seed=5
+            ),
+        )
+        assert stochastic.period_of("A") == pytest.approx(300.0, rel=0.1)
+
+    def test_bad_time_model_rejected(self, two_apps):
+        from repro.exceptions import AnalysisError
+        from repro.simulation.engine import TimeModel
+
+        class NegativeTime(TimeModel):
+            def sample(self, application, actor, nominal, rng):
+                return -1.0
+
+        with pytest.raises(AnalysisError):
+            simulate(
+                list(two_apps),
+                config=SimulationConfig(
+                    target_iterations=10, time_model=NegativeTime()
+                ),
+            )

@@ -1,0 +1,207 @@
+"""Experiment harness tests on a scaled-down suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.accuracy import (
+    mean_absolute_percentage_error,
+    summarize_by_size,
+    summarize_sweep,
+)
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.reporting import (
+    render_bar_chart,
+    render_series,
+    render_table,
+)
+from repro.experiments.runner import SweepConfig, run_sweep, select_use_cases
+from repro.experiments.setup import paper_benchmark_suite
+from repro.experiments.table1 import run_table1
+from repro.experiments.timing import run_timing
+
+
+@pytest.fixture(scope="module")
+def small_sweep(request):
+    suite = paper_benchmark_suite(application_count=3)
+    config = SweepConfig(
+        target_iterations=30, samples_per_size=3, seed=5
+    )
+    return suite, run_sweep(suite, config=config)
+
+
+class TestSetup:
+    def test_suite_is_deterministic(self):
+        first = paper_benchmark_suite(application_count=3)
+        second = paper_benchmark_suite(application_count=3)
+        assert first.application_names == second.application_names
+        for a, b in zip(first.graphs, second.graphs):
+            assert a.execution_times() == b.execution_times()
+
+    def test_full_suite_shape(self, full_suite):
+        assert full_suite.application_names == tuple("ABCDEFGHIJ")
+        for graph in full_suite.graphs:
+            assert 8 <= len(graph) <= 10
+            assert graph.is_strongly_connected()
+        assert len(full_suite.platform) == 10
+
+    def test_mapping_colocates_by_index(self, full_suite):
+        mapping = full_suite.mapping
+        for graph in full_suite.graphs:
+            for i, actor in enumerate(graph.actors):
+                assert (
+                    mapping.processor_of(graph.name, actor.name)
+                    == f"proc{i}"
+                )
+
+    def test_isolation_periods_positive(self, full_suite):
+        for name, value in full_suite.isolation_periods().items():
+            assert value > 0, name
+
+
+class TestAccuracyMetrics:
+    def test_mape_basics(self):
+        assert mean_absolute_percentage_error(
+            [(110, 100), (90, 100)]
+        ) == pytest.approx(10.0)
+
+    def test_mape_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            mean_absolute_percentage_error([])
+
+    def test_mape_bad_reference_rejected(self):
+        with pytest.raises(ExperimentError):
+            mean_absolute_percentage_error([(1.0, 0.0)])
+
+
+class TestSweep:
+    def test_use_case_selection_counts(self):
+        names = tuple("ABCDE")
+        cases = select_use_cases(names, samples_per_size=2, seed=0)
+        sizes = [c.size for c in cases]
+        # sizes 1..5 with at most 2 samples each (size 5 has only 1).
+        assert sizes.count(1) == 2
+        assert sizes.count(5) == 1
+
+    def test_exhaustive_selection(self):
+        names = tuple("ABC")
+        cases = select_use_cases(names, samples_per_size=None, seed=0)
+        assert len(cases) == 7
+
+    def test_sweep_records(self, small_sweep):
+        suite, sweep = small_sweep
+        assert sweep.use_case_count >= 4
+        for record in sweep.records:
+            for name in record.use_case:
+                assert record.simulated[name] > 0
+                assert record.simulated_worst[name] >= record.simulated[
+                    name
+                ] * 0.999
+                for method in sweep.methods:
+                    assert record.estimates[method][name] > 0
+
+    def test_estimates_exact_for_singleton_use_cases(self, small_sweep):
+        suite, sweep = small_sweep
+        for record in sweep.records_of_size(1):
+            name = record.use_case.applications[0]
+            for method in sweep.methods:
+                assert record.estimates[method][name] == pytest.approx(
+                    record.isolation[name]
+                )
+
+    def test_summaries_per_method(self, small_sweep):
+        _, sweep = small_sweep
+        summaries = summarize_sweep(sweep)
+        assert {s.method for s in summaries} == set(sweep.methods)
+        for summary in summaries:
+            assert summary.period_percent >= 0
+            assert summary.samples > 0
+
+    def test_by_size_starts_at_zero(self, small_sweep):
+        _, sweep = small_sweep
+        by_size = summarize_by_size(sweep)
+        for summary in by_size[1]:
+            assert summary.period_percent == pytest.approx(0.0, abs=1e-6)
+
+    def test_needs_methods(self):
+        suite = paper_benchmark_suite(application_count=2)
+        with pytest.raises(ExperimentError):
+            run_sweep(suite, config=SweepConfig(methods=()))
+
+
+class TestArtefacts:
+    def test_table1(self, small_sweep):
+        suite, sweep = small_sweep
+        table = run_table1(suite, sweep=sweep)
+        worst = table.summary_of("worst_case")
+        second = table.summary_of("second_order")
+        # The paper's headline: worst case is the clear loser.
+        assert worst.period_percent > second.period_percent
+        text = table.render()
+        assert "Worst Case" in text
+        assert "Second Order" in text
+
+    def test_figure6(self, small_sweep):
+        suite, sweep = small_sweep
+        figure = run_figure6(suite, sweep=sweep)
+        assert figure.sizes[0] == 1
+        for method, series in figure.series.items():
+            assert series[0] == pytest.approx(0.0, abs=1e-6), method
+        # Worst case deteriorates faster than second order at max size.
+        assert figure.series["worst_case"][-1] > figure.series[
+            "second_order"
+        ][-1]
+        assert "Figure 6" in figure.render()
+
+    def test_figure5_on_small_suite(self):
+        suite = paper_benchmark_suite(application_count=3)
+        figure = run_figure5(suite, target_iterations=40)
+        assert figure.applications == ("A", "B", "C")
+        for name in (
+            "Analyzed Worst Case",
+            "Simulated",
+            "Original",
+        ):
+            assert name in figure.series
+        assert all(v == 1.0 for v in figure.series["Original"])
+        for wc, sim in zip(
+            figure.series["Analyzed Worst Case"],
+            figure.series["Simulated"],
+        ):
+            assert wc > sim
+        assert "Figure 5" in figure.render()
+
+    def test_timing(self, small_sweep):
+        suite, sweep = small_sweep
+        timing = run_timing(suite, sweep=sweep)
+        assert timing.use_case_count == sweep.use_case_count
+        assert timing.simulation_seconds_total > 0
+        for method in sweep.methods:
+            assert timing.speedup(method) > 0
+        assert "Timing" in timing.render()
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        text = render_table(
+            ["name", "value"], [["a", 1.0], ["bb", 22.5]]
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "22.5" in lines[-1]
+
+    def test_render_series(self):
+        text = render_series(
+            "x", [1, 2], {"s": [0.5, 1.5]}, title="T"
+        )
+        assert text.startswith("T")
+        assert "1.5" in text
+
+    def test_render_bar_chart(self):
+        text = render_bar_chart(["a", "b"], [1.0, 2.0])
+        assert "#" in text
+
+    def test_render_bar_chart_empty(self):
+        assert render_bar_chart([], [], title="t") == "t"

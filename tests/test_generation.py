@@ -1,0 +1,112 @@
+"""Random generator and gallery tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.generation.gallery import (
+    h263_decoder,
+    jpeg_decoder,
+    media_device_suite,
+    modem,
+    mp3_decoder,
+    paper_figure1,
+    paper_two_apps,
+    sample_rate_converter,
+)
+from repro.generation.random_sdf import GeneratorConfig, random_sdf_graph
+from repro.sdf.analysis import period
+from repro.sdf.liveness import is_live
+from repro.sdf.repetition import repetition_vector
+
+
+class TestRandomGenerator:
+    def test_deterministic_for_seed(self):
+        first = random_sdf_graph("G", seed=11)
+        second = random_sdf_graph("G", seed=11)
+        assert [a.name for a in first] == [a.name for a in second]
+        assert first.execution_times() == second.execution_times()
+        assert len(first.channels) == len(second.channels)
+        assert period(first) == period(second)
+
+    def test_different_seeds_differ(self):
+        graphs = [random_sdf_graph("G", seed=s) for s in range(6)]
+        periods = {period(g) for g in graphs}
+        assert len(periods) > 1
+
+    def test_actor_count_range_respected(self):
+        config = GeneratorConfig(actor_count_range=(4, 4))
+        for seed in range(5):
+            assert len(random_sdf_graph("G", seed=seed, config=config)) == 4
+
+    def test_execution_time_range_respected(self):
+        config = GeneratorConfig(execution_time_range=(7, 9))
+        graph = random_sdf_graph("G", seed=0, config=config)
+        for actor in graph:
+            assert 7 <= actor.execution_time <= 9
+
+    def test_repetition_entries_in_range(self):
+        config = GeneratorConfig(repetition_range=(1, 3))
+        for seed in range(5):
+            graph = random_sdf_graph("G", seed=seed, config=config)
+            q = repetition_vector(graph)
+            assert all(1 <= v <= 3 for v in q.values())
+
+    def test_pipeline_depth_speeds_up_period(self):
+        shallow = random_sdf_graph(
+            "G", seed=5, config=GeneratorConfig(pipeline_depth=1)
+        )
+        deep = random_sdf_graph(
+            "G", seed=5, config=GeneratorConfig(pipeline_depth=3)
+        )
+        assert period(deep) <= period(shallow)
+
+    def test_no_extra_edges_option(self):
+        config = GeneratorConfig(
+            actor_count_range=(5, 5), extra_edge_fraction=0.0
+        )
+        graph = random_sdf_graph("G", seed=0, config=config)
+        assert len(graph.channels) == 5  # backbone only
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(GraphError):
+            GeneratorConfig(actor_count_range=(1, 1))
+        with pytest.raises(GraphError):
+            GeneratorConfig(pipeline_depth=0)
+        with pytest.raises(GraphError):
+            GeneratorConfig(extra_edge_fraction=-1)
+
+
+class TestGallery:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            paper_figure1,
+            h263_decoder,
+            mp3_decoder,
+            jpeg_decoder,
+            modem,
+            sample_rate_converter,
+        ],
+    )
+    def test_graph_is_wellformed(self, factory):
+        graph = factory()
+        assert graph.is_strongly_connected()
+        assert is_live(graph)
+        assert period(graph) > 0
+
+    def test_paper_two_apps_periods(self):
+        a, b = paper_two_apps()
+        assert period(a) == pytest.approx(300.0)
+        assert period(b) == pytest.approx(300.0)
+
+    def test_media_suite_names_unique(self):
+        suite = media_device_suite()
+        names = [g.name for g in suite]
+        assert len(set(names)) == len(names) == 5
+
+    def test_h263_rates(self):
+        graph = h263_decoder()
+        q = repetition_vector(graph)
+        assert q["iq"] == 9 * q["vld"]

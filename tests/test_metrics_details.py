@@ -1,0 +1,95 @@
+"""Detailed tests of the measurement layer (pattern detection etc.)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import AnalysisError
+from repro.simulation.metrics import (
+    IterationTracker,
+    _steady_pattern,
+    metrics_from_completions,
+)
+
+
+class TestSteadyPattern:
+    def test_constant_gaps(self):
+        assert _steady_pattern([10.0] * 8) == [10.0]
+
+    def test_period_two_cycle(self):
+        gaps = [244.0, 594.0] * 6
+        pattern = _steady_pattern(gaps)
+        assert sorted(pattern) == [244.0, 594.0]
+
+    def test_transient_then_cycle(self):
+        gaps = [999.0, 123.0] + [10.0, 20.0, 30.0] * 4
+        pattern = _steady_pattern(gaps)
+        assert pattern is not None
+        assert sum(pattern) / len(pattern) == pytest.approx(20.0)
+
+    def test_no_pattern_in_noise(self):
+        gaps = [float(x) for x in (3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8)]
+        assert _steady_pattern(gaps) is None
+
+    def test_two_repetitions_suffice_when_window_is_small(self):
+        gaps = [7.0, 9.0, 7.0, 9.0]
+        pattern = _steady_pattern(gaps)
+        assert pattern is not None
+        assert sum(pattern) / len(pattern) == pytest.approx(8.0)
+
+    def test_tolerance_rejects_drifting_gaps(self):
+        gaps = [10.0, 10.001, 10.002, 10.003, 10.004, 10.005]
+        assert _steady_pattern(gaps) is None
+
+
+class TestMetricsFromCompletions:
+    def test_pattern_average_beats_endpoint_bias(self):
+        # 2-cycle of 100/300 over an odd window: the pattern-aware
+        # average must return exactly 200.
+        times = []
+        t = 0.0
+        for i in range(13):
+            t += 100.0 if i % 2 == 0 else 300.0
+            times.append(t)
+        metrics = metrics_from_completions("X", times)
+        assert metrics.average_period == pytest.approx(200.0)
+        assert metrics.worst_period == pytest.approx(300.0)
+        assert metrics.best_period == pytest.approx(100.0)
+
+    def test_warmup_excluded_from_worst(self):
+        # A giant cold-start iteration must not poison the worst-case
+        # statistic once the warmup removes it.
+        times = [1000.0] + [1000.0 + 10.0 * i for i in range(1, 16)]
+        metrics = metrics_from_completions(
+            "X", times, warmup_fraction=0.25
+        )
+        assert metrics.worst_period == pytest.approx(10.0)
+
+    def test_warmup_floor_keeps_minimum_samples(self):
+        times = [float(10 * i) for i in range(1, 7)]
+        metrics = metrics_from_completions(
+            "X", times, warmup_fraction=0.9
+        )
+        assert metrics.average_period == pytest.approx(10.0)
+
+
+class TestIterationTracker:
+    def test_minimum_over_actors(self):
+        tracker = IterationTracker({"a": 1, "b": 2})
+        tracker.record_firing("a", 10.0)
+        assert tracker.iterations_completed == 0
+        tracker.record_firing("b", 20.0)
+        assert tracker.iterations_completed == 0
+        tracker.record_firing("b", 30.0)
+        assert tracker.iterations_completed == 1
+        assert tracker.completion_times == [30.0]
+
+    def test_completion_time_is_binding_firing(self):
+        tracker = IterationTracker({"a": 1, "b": 1})
+        tracker.record_firing("b", 5.0)
+        tracker.record_firing("a", 8.0)
+        assert tracker.completion_times == [8.0]
+
+    def test_empty_quotas_rejected(self):
+        with pytest.raises(AnalysisError):
+            IterationTracker({})

@@ -1,0 +1,155 @@
+"""Platform, mapping and use-case tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ExperimentError, MappingError
+from repro.platform.mapping import Mapping, index_mapping
+from repro.platform.platform import Platform, Processor
+from repro.platform.usecase import (
+    UseCase,
+    all_use_cases,
+    use_cases_of_size,
+)
+
+
+class TestPlatform:
+    def test_homogeneous(self):
+        platform = Platform.homogeneous(3)
+        assert platform.processor_names == ("proc0", "proc1", "proc2")
+        assert len(platform) == 3
+
+    def test_processor_lookup(self):
+        platform = Platform.homogeneous(2)
+        assert platform.processor("proc1").name == "proc1"
+        with pytest.raises(MappingError):
+            platform.processor("nope")
+
+    def test_duplicate_processor_rejected(self):
+        with pytest.raises(MappingError):
+            Platform([Processor("p"), Processor("p")])
+
+    def test_empty_platform_rejected(self):
+        with pytest.raises(MappingError):
+            Platform.homogeneous(0)
+
+    def test_heterogeneous_types(self):
+        platform = Platform(
+            [Processor("risc0", "risc"), Processor("dsp0", "dsp")]
+        )
+        assert platform.processor("dsp0").processor_type == "dsp"
+
+
+class TestMapping:
+    def test_index_mapping_binds_ith_actor_to_ith_processor(self, two_apps):
+        mapping = index_mapping(list(two_apps))
+        assert mapping.processor_of("A", "a0") == "proc0"
+        assert mapping.processor_of("A", "a1") == "proc1"
+        assert mapping.processor_of("B", "b2") == "proc2"
+
+    def test_index_mapping_coloc_paper_example(self, two_apps):
+        # The Section 3 example: a_i and b_i share Proc_i.
+        mapping = index_mapping(list(two_apps))
+        for i in range(3):
+            assert mapping.processor_of("A", f"a{i}") == mapping.processor_of(
+                "B", f"b{i}"
+            )
+
+    def test_actors_on_filters_by_application(self, two_apps):
+        mapping = index_mapping(list(two_apps))
+        residents = mapping.actors_on("proc0")
+        assert set(residents) == {("A", "a0"), ("B", "b0")}
+        only_a = mapping.actors_on("proc0", applications=["A"])
+        assert only_a == [("A", "a0")]
+
+    def test_unknown_binding_raises(self, two_apps):
+        mapping = index_mapping(list(two_apps))
+        with pytest.raises(MappingError):
+            mapping.processor_of("A", "ghost")
+        with pytest.raises(MappingError):
+            mapping.processor_of("Z", "a0")
+
+    def test_unknown_processor_in_bindings_rejected(self, app_a):
+        platform = Platform.homogeneous(1)
+        with pytest.raises(MappingError):
+            Mapping(platform, {"A": {"a0": "procX"}})
+
+    def test_validate_against_catches_unbound_actor(self, app_a):
+        platform = Platform.homogeneous(3)
+        mapping = Mapping(platform, {"A": {"a0": "proc0"}})
+        with pytest.raises(MappingError):
+            mapping.validate_against([app_a])
+
+    def test_validate_against_catches_type_mismatch(self):
+        from repro.sdf.actor import Actor
+        from repro.sdf.channel import Channel
+        from repro.sdf.graph import SDFGraph
+
+        graph = SDFGraph(
+            "G",
+            [Actor("a", 1, processor_type="dsp")],
+            [Channel("a", "a", initial_tokens=1)],
+        )
+        platform = Platform([Processor("proc0", "risc")])
+        mapping = Mapping(platform, {"G": {"a": "proc0"}})
+        with pytest.raises(MappingError):
+            mapping.validate_against([graph])
+
+    def test_platform_too_narrow_rejected(self, two_apps):
+        with pytest.raises(MappingError):
+            index_mapping(list(two_apps), Platform.homogeneous(2))
+
+    def test_index_mapping_requires_graphs(self):
+        with pytest.raises(MappingError):
+            index_mapping([])
+
+
+class TestUseCase:
+    def test_basic(self):
+        use_case = UseCase.of("A", "B")
+        assert use_case.size == 2
+        assert "A" in use_case
+        assert list(use_case) == ["A", "B"]
+        assert use_case.label() == "A+B"
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ExperimentError):
+            UseCase.of("A", "A")
+
+    def test_select_preserves_order(self, two_apps):
+        use_case = UseCase.of("B", "A")
+        selected = use_case.select(list(two_apps))
+        assert [g.name for g in selected] == ["B", "A"]
+
+    def test_select_unknown_app_raises(self, two_apps):
+        with pytest.raises(ExperimentError):
+            UseCase.of("Z").select(list(two_apps))
+
+    def test_all_use_cases_power_set(self):
+        names = ("A", "B", "C")
+        cases = all_use_cases(names)
+        assert len(cases) == 7  # 2^3 - 1
+        assert len(all_use_cases(names, include_empty=True)) == 8
+
+    def test_use_cases_of_size(self):
+        cases = use_cases_of_size(tuple("ABCDE"), 2)
+        assert len(cases) == 10
+        assert all(c.size == 2 for c in cases)
+
+    def test_sampling_is_deterministic(self):
+        names = tuple("ABCDEFGHIJ")
+        first = use_cases_of_size(names, 5, sample=7, seed=3)
+        second = use_cases_of_size(names, 5, sample=7, seed=3)
+        assert first == second
+        assert len(first) == 7
+
+    def test_sampling_differs_across_seeds(self):
+        names = tuple("ABCDEFGHIJ")
+        first = use_cases_of_size(names, 5, sample=7, seed=3)
+        second = use_cases_of_size(names, 5, sample=7, seed=4)
+        assert first != second
+
+    def test_size_out_of_range(self):
+        with pytest.raises(ExperimentError):
+            use_cases_of_size(("A",), 2)

@@ -1,0 +1,64 @@
+"""Platform/mapping serialization round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import MappingError
+from repro.platform.mapping import index_mapping
+from repro.platform.platform import Platform, Processor
+from repro.platform.serialization import (
+    mapping_from_dict,
+    mapping_from_json,
+    mapping_to_dict,
+    mapping_to_json,
+    platform_from_dict,
+    platform_to_dict,
+)
+
+
+class TestPlatformRoundTrip:
+    def test_homogeneous(self):
+        platform = Platform.homogeneous(3)
+        rebuilt = platform_from_dict(platform_to_dict(platform))
+        assert rebuilt.processor_names == platform.processor_names
+
+    def test_heterogeneous_types_survive(self):
+        platform = Platform(
+            [Processor("risc0", "risc"), Processor("dsp0", "dsp")]
+        )
+        rebuilt = platform_from_dict(platform_to_dict(platform))
+        assert rebuilt.processor("dsp0").processor_type == "dsp"
+
+    def test_missing_key(self):
+        with pytest.raises(MappingError):
+            platform_from_dict({})
+
+
+class TestMappingRoundTrip:
+    def test_bindings_survive(self, two_apps):
+        mapping = index_mapping(list(two_apps))
+        rebuilt = mapping_from_json(mapping_to_json(mapping))
+        for graph in two_apps:
+            for actor in graph.actor_names:
+                assert rebuilt.processor_of(
+                    graph.name, actor
+                ) == mapping.processor_of(graph.name, actor)
+
+    def test_rebuilt_mapping_validates(self, two_apps):
+        mapping = index_mapping(list(two_apps))
+        rebuilt = mapping_from_dict(mapping_to_dict(mapping))
+        rebuilt.validate_against(list(two_apps))
+
+    def test_rebuilt_mapping_drives_estimation(self, two_apps):
+        from repro.core.estimator import estimate_use_case
+
+        mapping = index_mapping(list(two_apps))
+        rebuilt = mapping_from_json(mapping_to_json(mapping))
+        original = estimate_use_case(list(two_apps), mapping=mapping)
+        replayed = estimate_use_case(list(two_apps), mapping=rebuilt)
+        assert original.periods == pytest.approx(replayed.periods)
+
+    def test_missing_key(self):
+        with pytest.raises(MappingError):
+            mapping_from_dict({"bindings": {}})

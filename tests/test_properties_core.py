@@ -1,0 +1,201 @@
+"""Property-based tests of the contention formulas and estimator.
+
+Pins the structural behaviour the paper's argument depends on:
+monotonicity of waiting in load, scale invariance of the whole pipeline,
+insensitivity to actor ordering, and equality between independent
+implementations of the same quantity.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.approximation import waiting_time_order_m
+from repro.core.blocking import build_profile
+from repro.core.composability import compose_all
+from repro.core.estimator import ProbabilisticEstimator
+from repro.core.exact import waiting_time_exact
+from repro.generation.random_sdf import GeneratorConfig, random_sdf_graph
+from repro.platform.mapping import index_mapping
+from repro.platform.usecase import UseCase
+
+_spec = st.tuples(
+    st.floats(1.0, 150.0, allow_nan=False),
+    st.floats(0.01, 0.9, allow_nan=False),
+)
+
+
+def _profiles(specs):
+    return [
+        build_profile("T", f"x{i}", tau=tau, repetitions=1,
+                      period=tau / p)
+        for i, (tau, p) in enumerate(specs)
+    ]
+
+
+class TestWaitingMonotonicity:
+    @given(st.lists(_spec, min_size=1, max_size=6), _spec)
+    @settings(max_examples=120, deadline=None)
+    def test_adding_an_actor_never_reduces_exact_waiting(
+        self, specs, extra
+    ):
+        base = _profiles(specs)
+        extended = _profiles(specs + [extra])
+        assert waiting_time_exact(extended) >= (
+            waiting_time_exact(base) - 1e-9
+        )
+
+    @given(st.lists(_spec, min_size=1, max_size=6), _spec)
+    @settings(max_examples=120, deadline=None)
+    def test_adding_an_actor_never_reduces_second_order(
+        self, specs, extra
+    ):
+        base = _profiles(specs)
+        extended = _profiles(specs + [extra])
+        assert waiting_time_order_m(extended, 2) >= (
+            waiting_time_order_m(base, 2) - 1e-9
+        )
+
+    @given(
+        st.lists(_spec, min_size=2, max_size=6),
+        st.floats(1.05, 3.0, allow_nan=False),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_raising_one_probability_raises_exact_waiting(
+        self, specs, factor
+    ):
+        base = _profiles(specs)
+        tau, p = specs[0]
+        raised = [
+            build_profile(
+                "T", "x0", tau=tau, repetitions=1,
+                period=tau / min(p * factor, 1.0),
+            ),
+            *base[1:],
+        ]
+        assert waiting_time_exact(raised) >= (
+            waiting_time_exact(base) - 1e-9
+        )
+
+
+class TestOrderingInsensitivity:
+    @given(st.lists(_spec, min_size=2, max_size=6))
+    @settings(max_examples=100, deadline=None)
+    def test_exact_and_orders_permutation_invariant(self, specs):
+        profiles = _profiles(specs)
+        reversed_profiles = profiles[::-1]
+        assert waiting_time_exact(profiles) == pytest.approx(
+            waiting_time_exact(reversed_profiles), rel=1e-9, abs=1e-9
+        )
+        assert waiting_time_order_m(profiles, 2) == pytest.approx(
+            waiting_time_order_m(reversed_profiles, 2),
+            rel=1e-9,
+            abs=1e-9,
+        )
+
+    @given(st.lists(_spec, min_size=2, max_size=6))
+    @settings(max_examples=100, deadline=None)
+    def test_compose_all_probability_permutation_invariant(self, specs):
+        """(+) is exactly order-free; (x) drifts within a provable band.
+
+        Folding n actors multiplies each mu_i P_i term by between 0 and
+        n-1 factors of the form (1 + P/2) with P <= max probability, so
+        any two fold orders agree within the compounded factor
+        ``(1 + p_max/2)^(n-1)`` — the quantitative version of the
+        paper's "associative only to second order".
+        """
+        profiles = _profiles(specs)
+        forward = compose_all(profiles)
+        backward = compose_all(profiles[::-1])
+        # (+) is fully associative/commutative: exact equality expected.
+        assert forward.probability == pytest.approx(
+            backward.probability, abs=1e-12
+        )
+        p_max = max(p.probability for p in profiles)
+        band = (1.0 + p_max / 2.0) ** (len(profiles) - 1)
+        low, high = sorted(
+            [forward.waiting_product, backward.waiting_product]
+        )
+        assert high <= low * band + 1e-9
+
+
+class TestEstimatorInvariants:
+    @given(seed=st.integers(0, 500), scale=st.integers(2, 4))
+    @settings(max_examples=15, deadline=None)
+    def test_pipeline_scale_invariance(self, seed, scale):
+        """Scaling every execution time by k scales every estimated
+        period by exactly k (P and the schedule are scale-free)."""
+        config = GeneratorConfig(actor_count_range=(3, 5))
+        graphs = [
+            random_sdf_graph("X", seed=seed, config=config),
+            random_sdf_graph("Y", seed=seed + 1000, config=config),
+        ]
+        scaled = [
+            g.with_execution_times(
+                {a.name: a.execution_time * scale for a in g.actors}
+            )
+            for g in graphs
+        ]
+        mapping = index_mapping(graphs)
+        scaled_mapping = index_mapping(scaled)
+        base = ProbabilisticEstimator(graphs, mapping=mapping).estimate()
+        inflated = ProbabilisticEstimator(
+            scaled, mapping=scaled_mapping
+        ).estimate()
+        for name in ("X", "Y"):
+            assert inflated.periods[name] == pytest.approx(
+                base.periods[name] * scale, rel=1e-9
+            )
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=15, deadline=None)
+    def test_estimates_deterministic(self, seed):
+        config = GeneratorConfig(actor_count_range=(3, 5))
+        graphs = [
+            random_sdf_graph("X", seed=seed, config=config),
+            random_sdf_graph("Y", seed=seed + 1, config=config),
+        ]
+        mapping = index_mapping(graphs)
+        first = ProbabilisticEstimator(graphs, mapping=mapping).estimate()
+        second = ProbabilisticEstimator(
+            graphs, mapping=mapping
+        ).estimate()
+        assert first.periods == second.periods
+        assert first.waiting_times == second.waiting_times
+
+    @given(seed=st.integers(0, 300))
+    @settings(max_examples=10, deadline=None)
+    def test_inactive_applications_do_not_disturb_estimates(self, seed):
+        """Estimating use-case {X} must not depend on whether the
+        estimator also knows about Y and Z."""
+        config = GeneratorConfig(actor_count_range=(3, 5))
+        graphs = [
+            random_sdf_graph(name, seed=seed + offset, config=config)
+            for offset, name in enumerate(("X", "Y", "Z"))
+        ]
+        mapping = index_mapping(graphs)
+        wide = ProbabilisticEstimator(graphs, mapping=mapping)
+        narrow = ProbabilisticEstimator([graphs[0]], mapping=mapping)
+        use_case = UseCase.of("X")
+        assert wide.estimate(use_case).periods == pytest.approx(
+            narrow.estimate(use_case).periods
+        )
+
+    @given(seed=st.integers(0, 300))
+    @settings(max_examples=10, deadline=None)
+    def test_growing_use_case_is_monotone(self, seed):
+        config = GeneratorConfig(actor_count_range=(3, 5))
+        graphs = [
+            random_sdf_graph(name, seed=seed + offset, config=config)
+            for offset, name in enumerate(("X", "Y", "Z"))
+        ]
+        estimator = ProbabilisticEstimator(
+            graphs, mapping=index_mapping(graphs)
+        )
+        alone = estimator.estimate(UseCase.of("X")).periods["X"]
+        pair = estimator.estimate(UseCase.of("X", "Y")).periods["X"]
+        trio = estimator.estimate(UseCase.of("X", "Y", "Z")).periods["X"]
+        assert alone <= pair + 1e-9
+        assert pair <= trio + 1e-9

@@ -1,0 +1,129 @@
+"""Property-based tests of the SDF substrate (hypothesis).
+
+These pin the structural invariants the rest of the library leans on:
+generated graphs are consistent/live/strongly-connected, both period
+engines agree, HSDF expansion respects the repetition vector, and the
+period scales linearly with execution times.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.generation.random_sdf import GeneratorConfig, random_sdf_graph
+from repro.sdf.analysis import AnalysisMethod, period
+from repro.sdf.hsdf import to_hsdf
+from repro.sdf.liveness import is_live
+from repro.sdf.mcm import max_cycle_ratio
+from repro.sdf.repetition import repetition_vector
+from repro.sdf.statespace import self_timed_period
+
+_CONFIGS = st.sampled_from(
+    [
+        GeneratorConfig(actor_count_range=(3, 6)),
+        GeneratorConfig(actor_count_range=(3, 6), pipeline_depth=2),
+        GeneratorConfig(
+            actor_count_range=(4, 8),
+            repetition_range=(1, 2),
+            extra_edge_fraction=1.0,
+        ),
+        GeneratorConfig(actor_count_range=(2, 4), repetition_range=(1, 4)),
+    ]
+)
+
+_slow_settings = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@given(seed=st.integers(0, 10_000), config=_CONFIGS)
+@_slow_settings
+def test_generated_graphs_are_wellformed(seed, config):
+    graph = random_sdf_graph("G", seed=seed, config=config)
+    assert graph.is_strongly_connected()
+    assert is_live(graph)
+    vector = repetition_vector(graph)
+    assert all(v >= 1 for v in vector.values())
+    for channel in graph.channels:
+        assert (
+            vector[channel.source] * channel.production_rate
+            == vector[channel.target] * channel.consumption_rate
+        )
+
+
+@given(seed=st.integers(0, 3_000), config=_CONFIGS)
+@_slow_settings
+def test_period_engines_agree(seed, config):
+    graph = random_sdf_graph("G", seed=seed, config=config)
+    analytical = period(graph, AnalysisMethod.MCR)
+    executed = self_timed_period(graph)
+    assert abs(analytical - executed) <= 1e-6 * max(1.0, analytical)
+
+
+@given(seed=st.integers(0, 3_000))
+@_slow_settings
+def test_howard_matches_lawler(seed):
+    graph = random_sdf_graph(
+        "G", seed=seed, config=GeneratorConfig(actor_count_range=(3, 6))
+    )
+    hsdf = to_hsdf(graph)
+    howard = max_cycle_ratio(hsdf, method="howard").ratio
+    lawler = max_cycle_ratio(hsdf, method="lawler").ratio
+    assert abs(howard - lawler) <= 1e-6 * max(1.0, howard)
+
+
+@given(seed=st.integers(0, 3_000), config=_CONFIGS)
+@_slow_settings
+def test_hsdf_expansion_respects_repetition_vector(seed, config):
+    graph = random_sdf_graph("G", seed=seed, config=config)
+    vector = repetition_vector(graph)
+    hsdf = to_hsdf(graph)
+    assert hsdf.vertex_count == sum(vector.values())
+    for edge in hsdf.edges:
+        assert edge.delay >= 0
+
+
+@given(seed=st.integers(0, 2_000), scale=st.integers(2, 5))
+@_slow_settings
+def test_period_scales_linearly_with_execution_times(seed, scale):
+    graph = random_sdf_graph(
+        "G", seed=seed, config=GeneratorConfig(actor_count_range=(3, 5))
+    )
+    scaled = graph.with_execution_times(
+        {a.name: a.execution_time * scale for a in graph.actors}
+    )
+    assert period(scaled) == _approx(period(graph) * scale)
+
+
+@given(seed=st.integers(0, 2_000))
+@_slow_settings
+def test_period_bounded_by_workload_and_bottleneck(seed):
+    """Slowest-actor busy time <= period <= sequential workload.
+
+    With pipeline_depth=1 the backbone serializes one iteration, so the
+    sequential workload is exact; any actor's total busy time per
+    iteration is a lower bound for any schedule.
+    """
+    graph = random_sdf_graph(
+        "G",
+        seed=seed,
+        config=GeneratorConfig(actor_count_range=(3, 6), pipeline_depth=1),
+    )
+    vector = repetition_vector(graph)
+    workload = sum(
+        vector[a.name] * a.execution_time for a in graph.actors
+    )
+    bottleneck = max(
+        vector[a.name] * a.execution_time for a in graph.actors
+    )
+    value = period(graph)
+    assert bottleneck - 1e-9 <= value <= workload + 1e-9
+
+
+def _approx(value: float):
+    import pytest
+
+    return pytest.approx(value, rel=1e-9)

@@ -1,0 +1,109 @@
+"""Scalability experiment module and structural odds-and-ends."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.scalability import run_scalability
+from repro.sdf.analysis import period
+from repro.sdf.builder import GraphBuilder
+from repro.sdf.hsdf import to_hsdf
+from repro.sdf.mcm import max_cycle_ratio
+
+
+class TestScalabilityExperiment:
+    def test_points_and_rendering(self):
+        result = run_scalability(
+            application_counts=(2, 3),
+            simulation_iterations=20,
+            repeats=1,
+        )
+        assert [p.applications for p in result.points] == [2, 3]
+        assert result.points[0].use_case_count == 4
+        assert result.points[1].use_case_count == 8
+        for point in result.points:
+            assert point.simulation_ms > 0
+            for method in result.methods:
+                assert point.estimation_ms[method] > 0
+        text = result.render()
+        assert "Scalability" in text
+        assert "2^3" in text
+
+    def test_suites_are_prefix_consistent(self):
+        from repro.experiments.setup import paper_benchmark_suite
+
+        small = paper_benchmark_suite(application_count=3)
+        large = paper_benchmark_suite(application_count=5)
+        for a, b in zip(small.graphs, large.graphs[:3]):
+            assert a.name == b.name
+            assert a.execution_times() == b.execution_times()
+
+
+class TestParallelChannels:
+    """Two channels between the same actor pair are legal SDF."""
+
+    def _graph(self, tokens_fast=1, tokens_slow=3):
+        return (
+            GraphBuilder("par")
+            .actor("a", 10)
+            .actor("b", 20)
+            .channel("a", "b", name="data")
+            .channel("b", "a", initial_tokens=tokens_fast, name="credit1")
+            .channel("b", "a", initial_tokens=tokens_slow, name="credit2")
+            .build()
+        )
+
+    def test_period_bound_by_tightest_parallel_channel(self):
+        graph = self._graph(tokens_fast=1, tokens_slow=3)
+        # credit1 (1 token) forces full serialization: 30 per iteration.
+        assert period(graph) == pytest.approx(30.0)
+
+    def test_loosening_the_tight_channel_pipelines(self):
+        graph = self._graph(tokens_fast=2, tokens_slow=3)
+        # Both credit channels now allow 2 in flight; b (20) binds.
+        assert period(graph) == pytest.approx(20.0)
+
+    def test_hsdf_keeps_min_delay_edge(self):
+        graph = self._graph(tokens_fast=1, tokens_slow=3)
+        hsdf = to_hsdf(graph)
+        back_edges = [
+            e
+            for e in hsdf.edges
+            if e.source == ("b", 0) and e.target == ("a", 0)
+        ]
+        assert len(back_edges) == 1
+        assert back_edges[0].delay == 1
+
+    def test_statespace_agrees(self):
+        from repro.sdf.statespace import self_timed_period
+
+        for fast, slow in ((1, 3), (2, 3), (2, 2)):
+            graph = self._graph(fast, slow)
+            assert self_timed_period(graph) == pytest.approx(
+                period(graph)
+            )
+
+
+class TestPublicAPI:
+    def test_top_level_all_importable(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_sdf_all_importable(self):
+        import repro.sdf as sdf
+
+        for name in sdf.__all__:
+            assert hasattr(sdf, name), name
+
+    def test_core_all_importable(self):
+        import repro.core as core
+
+        for name in core.__all__:
+            assert hasattr(core, name), name
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"

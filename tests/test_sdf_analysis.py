@@ -1,0 +1,56 @@
+"""Period/throughput façade tests (Definition 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sdf.analysis import (
+    AnalysisMethod,
+    period,
+    period_with_response_times,
+    throughput,
+)
+
+
+class TestPeriod:
+    def test_both_engines_agree(self, app_a, app_b):
+        for graph in (app_a, app_b):
+            assert period(graph, AnalysisMethod.MCR) == pytest.approx(
+                period(graph, AnalysisMethod.STATE_SPACE)
+            )
+
+    def test_mcr_algorithms_agree(self, app_a):
+        for algorithm in ("howard", "lawler", "brute"):
+            assert period(
+                app_a, mcr_algorithm=algorithm
+            ) == pytest.approx(300.0, rel=1e-6)
+
+    def test_throughput_is_inverse_period(self, app_a):
+        assert throughput(app_a) == pytest.approx(1.0 / 300.0)
+
+
+class TestPeriodWithResponseTimes:
+    def test_paper_inflation(self, app_a):
+        # Section 3.1: response times {108.33, 66.67, 116.67} -> ~358.33
+        # (the paper rounds to 359).
+        new_period = period_with_response_times(
+            app_a,
+            {"a0": 100 + 25 / 3, "a1": 50 + 50 / 3, "a2": 100 + 50 / 3},
+        )
+        assert new_period == pytest.approx(1075 / 3)
+
+    def test_partial_override_keeps_other_times(self, app_a):
+        unchanged = period_with_response_times(app_a, {})
+        assert unchanged == pytest.approx(300.0)
+
+    def test_original_graph_not_mutated(self, app_a):
+        period_with_response_times(app_a, {"a0": 500.0})
+        assert app_a.execution_time("a0") == 100
+
+    def test_state_space_engine_supported(self, app_a):
+        new_period = period_with_response_times(
+            app_a,
+            {"a0": 100 + 25 / 3, "a1": 50 + 50 / 3, "a2": 100 + 50 / 3},
+            method=AnalysisMethod.STATE_SPACE,
+        )
+        assert new_period == pytest.approx(1075 / 3)

@@ -1,0 +1,106 @@
+"""Buffer capacity analysis tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import AnalysisError
+from repro.sdf.analysis import period
+from repro.sdf.buffers import (
+    SPACE_PREFIX,
+    max_channel_occupancy,
+    minimal_capacities_preserving_period,
+    with_buffer_capacities,
+)
+from repro.sdf.builder import GraphBuilder
+from repro.sdf.liveness import is_live
+
+
+class TestMaxOccupancy:
+    def test_paper_graph(self, app_a):
+        peaks = max_channel_occupancy(app_a)
+        # a0 produces 2 tokens at once on a0->a1; consumed one per a1
+        # firing: peak 2.  a1->a2 collects 2 before a2 fires: peak 2.
+        assert peaks["a0->a1"] == 2
+        assert peaks["a1->a2"] == 2
+        assert peaks["a2->a0"] == 1
+
+    def test_peak_never_below_initial_tokens(self, two_apps):
+        for graph in two_apps:
+            peaks = max_channel_occupancy(graph)
+            for channel in graph.channels:
+                assert peaks[channel.name] >= channel.initial_tokens
+
+    def test_random_graphs_have_positive_peaks(self):
+        from repro.generation.random_sdf import random_sdf_graph
+
+        for seed in range(4):
+            graph = random_sdf_graph("G", seed=seed)
+            peaks = max_channel_occupancy(graph)
+            assert all(p >= 1 for p in peaks.values())
+
+
+class TestBoundedGraphs:
+    def test_reverse_channels_added(self, app_a):
+        bounded = with_buffer_capacities(app_a, {"a0->a1": 2})
+        names = [c.name for c in bounded.channels]
+        assert f"{SPACE_PREFIX}a0->a1" in names
+        reverse = next(
+            c for c in bounded.channels
+            if c.name == f"{SPACE_PREFIX}a0->a1"
+        )
+        assert reverse.source == "a1"
+        assert reverse.target == "a0"
+        assert reverse.production_rate == 1
+        assert reverse.consumption_rate == 2
+        assert reverse.initial_tokens == 2
+
+    def test_sufficient_capacities_preserve_period(self, app_a):
+        capacities = max_channel_occupancy(app_a)
+        bounded = with_buffer_capacities(app_a, capacities)
+        assert is_live(bounded)
+        assert period(bounded) == pytest.approx(period(app_a))
+
+    def test_tight_capacity_can_slow_the_graph(self):
+        graph = (
+            GraphBuilder("pipe")
+            .actor("a", 10)
+            .actor("b", 10)
+            .cycle("a", "b", initial_tokens_on_back_edge=3)
+            .build()
+        )
+        # Unbounded (well, 3-deep) pipeline: period 10 per iteration.
+        assert period(graph) == pytest.approx(10.0)
+        # Permitting only one in-flight token serializes the ring.
+        bounded = with_buffer_capacities(graph, {"a->b": 1})
+        assert period(bounded) > 10.0
+
+    def test_capacity_below_initial_tokens_rejected(self, app_a):
+        with pytest.raises(AnalysisError):
+            with_buffer_capacities(app_a, {"a2->a0": 0})
+
+    def test_unknown_channel_rejected(self, app_a):
+        with pytest.raises(AnalysisError):
+            with_buffer_capacities(app_a, {"ghost": 3})
+
+
+class TestMinimalCapacities:
+    def test_minimal_capacities_still_feasible(self, app_a):
+        capacities = minimal_capacities_preserving_period(app_a)
+        bounded = with_buffer_capacities(app_a, capacities)
+        assert is_live(bounded)
+        assert period(bounded) == pytest.approx(period(app_a))
+
+    def test_minimal_not_above_occupancy(self, app_a):
+        minimal = minimal_capacities_preserving_period(app_a)
+        occupancy = max_channel_occupancy(app_a)
+        for name, capacity in minimal.items():
+            assert capacity <= occupancy[name]
+
+    def test_on_random_graph(self):
+        from repro.generation.random_sdf import random_sdf_graph
+
+        graph = random_sdf_graph("G", seed=3)
+        minimal = minimal_capacities_preserving_period(graph)
+        bounded = with_buffer_capacities(graph, minimal)
+        assert period(bounded) == pytest.approx(period(graph))

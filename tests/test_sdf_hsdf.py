@@ -1,0 +1,126 @@
+"""SDF -> HSDF expansion tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sdf.builder import GraphBuilder
+from repro.sdf.hsdf import to_hsdf
+from repro.sdf.repetition import repetition_vector
+
+
+class TestExpansionStructure:
+    def test_copy_counts_match_repetition_vector(self, app_a):
+        hsdf = to_hsdf(app_a)
+        q = repetition_vector(app_a)
+        for actor, quota in q.items():
+            copies = [v for v in hsdf.vertices if v.actor == actor]
+            assert len(copies) == quota
+            assert {v.copy for v in copies} == set(range(quota))
+
+    def test_vertex_count_is_sum_of_repetitions(self, app_a):
+        hsdf = to_hsdf(app_a)
+        assert hsdf.vertex_count == sum(repetition_vector(app_a).values())
+
+    def test_execution_times_carried_over(self, app_a):
+        hsdf = to_hsdf(app_a)
+        for vertex in hsdf.vertices:
+            assert (
+                vertex.execution_time == app_a.execution_time(vertex.actor)
+            )
+
+    def test_delays_are_non_negative(self, app_a, app_b):
+        for graph in (app_a, app_b):
+            for edge in to_hsdf(graph).edges:
+                assert edge.delay >= 0
+
+    def test_no_duplicate_edges(self, app_a):
+        hsdf = to_hsdf(app_a)
+        seen = set()
+        for edge in hsdf.edges:
+            key = (edge.source, edge.target)
+            assert key not in seen, f"parallel edge {key} not deduplicated"
+            seen.add(key)
+
+
+class TestSequencingCycle:
+    def test_single_copy_actor_gets_self_loop(self, app_a):
+        hsdf = to_hsdf(app_a)
+        self_loops = [
+            e
+            for e in hsdf.edges
+            if e.source == e.target and e.source[0] == "a0"
+        ]
+        assert len(self_loops) == 1
+        assert self_loops[0].delay == 1
+
+    def test_multi_copy_actor_gets_ring(self, app_a):
+        # a1 has q = 2: copy0 -> copy1 (delay 0), copy1 -> copy0 (delay 1).
+        hsdf = to_hsdf(app_a)
+        forward = [
+            e
+            for e in hsdf.edges
+            if e.source == ("a1", 0) and e.target == ("a1", 1)
+        ]
+        backward = [
+            e
+            for e in hsdf.edges
+            if e.source == ("a1", 1) and e.target == ("a1", 0)
+        ]
+        assert forward and forward[0].delay == 0
+        assert backward and backward[0].delay == 1
+
+    def test_auto_concurrency_drops_sequencing_edges(self, app_a):
+        hsdf = to_hsdf(app_a, auto_concurrency=True)
+        a1_edges = [
+            e
+            for e in hsdf.edges
+            if e.source[0] == "a1" and e.target[0] == "a1"
+        ]
+        assert a1_edges == []
+
+
+class TestTokenRouting:
+    def test_initial_tokens_become_delay(self, simple_chain):
+        hsdf = to_hsdf(simple_chain)
+        back = [
+            e
+            for e in hsdf.edges
+            if e.source == ("dst", 0) and e.target == ("src", 0)
+        ]
+        assert back and back[0].delay == 1
+        forward = [
+            e
+            for e in hsdf.edges
+            if e.source == ("src", 0) and e.target == ("dst", 0)
+        ]
+        assert forward and forward[0].delay == 0
+
+    def test_multirate_producer_feeds_correct_copies(self, app_a):
+        # a0 produces 2 tokens consumed one each by a1 copy0 and copy1.
+        hsdf = to_hsdf(app_a)
+        targets = {
+            e.target
+            for e in hsdf.edges
+            if e.source == ("a0", 0) and e.target[0] == "a1"
+        }
+        assert targets == {("a1", 0), ("a1", 1)}
+
+    def test_many_initial_tokens_span_iterations(self):
+        graph = (
+            GraphBuilder("G")
+            .actor("a", 1)
+            .actor("b", 1)
+            .channel("a", "b", initial_tokens=3)
+            .channel("b", "a", initial_tokens=0)
+            .build()
+        )
+        hsdf = to_hsdf(graph)
+        ab = [
+            e
+            for e in hsdf.edges
+            if e.source == ("a", 0) and e.target == ("b", 0)
+        ]
+        # b's first firing consumes an initial token produced three
+        # iterations "before time zero".
+        assert ab and ab[0].delay == 3

@@ -1,0 +1,78 @@
+"""Latency analysis tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import AnalysisError
+from repro.sdf.builder import GraphBuilder
+from repro.sdf.latency import (
+    actor_start_times,
+    iteration_makespan,
+    source_to_sink_latency,
+)
+
+
+class TestIterationMakespan:
+    def test_paper_graph_cold_start(self, app_a):
+        # One iteration of the sequential ring: 100 + 2*50 + 100 = 300.
+        assert iteration_makespan(app_a) == pytest.approx(300.0)
+
+    def test_multiple_iterations_respect_period(self, app_a):
+        # Steady state adds one period (300) per extra iteration.
+        three = iteration_makespan(app_a, iterations=3)
+        one = iteration_makespan(app_a, iterations=1)
+        assert three - one == pytest.approx(2 * 300.0)
+
+    def test_pipelined_graph_makespan_below_sum(self):
+        graph = (
+            GraphBuilder("pipe")
+            .actor("a", 10)
+            .actor("b", 10)
+            .cycle("a", "b", initial_tokens_on_back_edge=2)
+            .build()
+        )
+        # a and b overlap: two iterations in 30, not 40.
+        assert iteration_makespan(graph, iterations=2) == pytest.approx(
+            30.0
+        )
+
+    def test_invalid_iterations(self, app_a):
+        with pytest.raises(AnalysisError):
+            iteration_makespan(app_a, iterations=0)
+
+
+class TestSourceToSinkLatency:
+    def test_chain_latency(self, app_a):
+        # a0 starts an iteration; a2 ends it 300 later (sequential ring).
+        latency = source_to_sink_latency(app_a, "a0", "a2")
+        assert latency == pytest.approx(300.0)
+
+    def test_same_actor_latency_is_busy_time(self, app_a):
+        # a0 to itself: its single firing of 100 per iteration.
+        latency = source_to_sink_latency(app_a, "a0", "a0")
+        assert latency == pytest.approx(100.0)
+
+    def test_unknown_actor_rejected(self, app_a):
+        with pytest.raises(AnalysisError):
+            source_to_sink_latency(app_a, "a0", "ghost")
+
+    def test_invalid_window_rejected(self, app_a):
+        with pytest.raises(AnalysisError):
+            source_to_sink_latency(
+                app_a, "a0", "a2", measure_iterations=0
+            )
+
+
+class TestActorStartTimes:
+    def test_counts_match_repetition_vector(self, app_a):
+        starts = actor_start_times(app_a, iterations=2)
+        assert len(starts["a0"]) == 2
+        assert len(starts["a1"]) == 4
+        assert len(starts["a2"]) == 2
+
+    def test_paper_schedule_structure(self, app_a):
+        starts = actor_start_times(app_a, iterations=1)
+        assert starts["a0"] == [0.0]
+        assert starts["a1"] == [100.0, 150.0]
+        assert starts["a2"] == [200.0]

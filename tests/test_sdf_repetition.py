@@ -1,0 +1,118 @@
+"""Repetition vector / consistency tests (Definition 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InconsistentGraphError
+from repro.sdf.builder import GraphBuilder
+from repro.sdf.repetition import (
+    consistency_report,
+    iteration_workload,
+    repetition_vector,
+)
+
+
+class TestRepetitionVector:
+    def test_paper_application_a(self, app_a):
+        assert repetition_vector(app_a) == {"a0": 1, "a1": 2, "a2": 1}
+
+    def test_paper_application_b(self, app_b):
+        assert repetition_vector(app_b) == {"b0": 2, "b1": 1, "b2": 1}
+
+    def test_single_rate_ring_is_all_ones(self, simple_chain):
+        assert repetition_vector(simple_chain) == {"src": 1, "dst": 1}
+
+    def test_multirate_chain(self):
+        graph = (
+            GraphBuilder("G")
+            .actor("a", 1)
+            .actor("b", 1)
+            .actor("c", 1)
+            .channel("a", "b", production=3, consumption=2)
+            .channel("b", "c", production=4, consumption=6)
+            .build()
+        )
+        # q[a]*3 = q[b]*2 and q[b]*4 = q[c]*6 -> minimal [2, 3, 2].
+        assert repetition_vector(graph) == {"a": 2, "b": 3, "c": 2}
+
+    def test_balance_equations_hold(self, app_a):
+        q = repetition_vector(app_a)
+        for channel in app_a.channels:
+            assert (
+                q[channel.source] * channel.production_rate
+                == q[channel.target] * channel.consumption_rate
+            )
+
+    def test_minimality(self):
+        graph = (
+            GraphBuilder("G")
+            .actor("a", 1)
+            .actor("b", 1)
+            .channel("a", "b", production=2, consumption=2)
+            .channel("b", "a", production=2, consumption=2, initial_tokens=2)
+            .build()
+        )
+        # Rates share a factor but the minimal vector is still [1, 1].
+        assert repetition_vector(graph) == {"a": 1, "b": 1}
+
+    def test_disconnected_components_solved_independently(self):
+        graph = (
+            GraphBuilder("G")
+            .actor("a", 1)
+            .actor("b", 1)
+            .actor("x", 1)
+            .actor("y", 1)
+            .channel("a", "b", production=2, consumption=1)
+            .channel("b", "a", production=1, consumption=2, initial_tokens=2)
+            .channel("x", "y", production=1, consumption=3)
+            .channel("y", "x", production=3, consumption=1, initial_tokens=1)
+            .build()
+        )
+        q = repetition_vector(graph)
+        assert q == {"a": 1, "b": 2, "x": 3, "y": 1}
+
+    def test_inconsistent_graph_raises(self):
+        graph = (
+            GraphBuilder("G")
+            .actor("a", 1)
+            .actor("b", 1)
+            .channel("a", "b", production=2, consumption=1)
+            .channel("b", "a", production=2, consumption=1)
+            .build()
+        )
+        with pytest.raises(InconsistentGraphError):
+            repetition_vector(graph)
+
+    def test_consistency_report_names_violated_channel(self):
+        graph = (
+            GraphBuilder("G")
+            .actor("a", 1)
+            .actor("b", 1)
+            .channel("a", "b", production=2, consumption=1)
+            .channel("b", "a", production=2, consumption=1)
+            .build()
+        )
+        report = consistency_report(graph)
+        assert not report.consistent
+        assert report.violated_channel in {"a->b", "b->a"}
+        assert report.repetition_vector == {}
+
+    def test_empty_graph_is_consistent(self):
+        from repro.sdf.graph import SDFGraph
+
+        report = consistency_report(SDFGraph("empty", [], []))
+        assert report.consistent
+        assert report.repetition_vector == {}
+
+
+class TestIterationWorkload:
+    def test_paper_application_a(self, app_a):
+        # 1*100 + 2*50 + 1*100 = 300.
+        assert iteration_workload(app_a) == 300
+
+    def test_scales_with_execution_time(self, app_a):
+        doubled = app_a.with_execution_times(
+            {a.name: 2 * a.execution_time for a in app_a.actors}
+        )
+        assert iteration_workload(doubled) == 600

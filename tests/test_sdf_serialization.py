@@ -1,0 +1,62 @@
+"""Graph serialization round-trip tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.sdf.serialization import (
+    graph_from_dict,
+    graph_from_json,
+    graph_to_dict,
+    graph_to_json,
+    graphs_from_json,
+    graphs_to_json,
+)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, app_a):
+        rebuilt = graph_from_dict(graph_to_dict(app_a))
+        assert rebuilt.name == app_a.name
+        assert rebuilt.actor_names == app_a.actor_names
+        assert len(rebuilt.channels) == len(app_a.channels)
+        for original, copy in zip(app_a.channels, rebuilt.channels):
+            assert original.production_rate == copy.production_rate
+            assert original.consumption_rate == copy.consumption_rate
+            assert original.initial_tokens == copy.initial_tokens
+
+    def test_json_round_trip_preserves_analysis(self, app_a):
+        from repro.sdf.analysis import period
+
+        rebuilt = graph_from_json(graph_to_json(app_a))
+        assert period(rebuilt) == pytest.approx(period(app_a))
+
+    def test_multi_graph_round_trip(self, two_apps):
+        rebuilt = graphs_from_json(graphs_to_json(list(two_apps)))
+        assert [g.name for g in rebuilt] == ["A", "B"]
+
+    def test_defaults_fill_in(self):
+        graph = graph_from_dict(
+            {
+                "name": "G",
+                "actors": [{"name": "a", "execution_time": 5}],
+                "channels": [{"source": "a", "target": "a",
+                              "initial_tokens": 1}],
+            }
+        )
+        channel = graph.channels[0]
+        assert channel.production_rate == 1
+        assert channel.consumption_rate == 1
+
+    def test_missing_key_raises_graph_error(self):
+        with pytest.raises(GraphError):
+            graph_from_dict({"name": "G", "actors": []})
+
+    def test_random_graph_round_trip(self):
+        from repro.generation.random_sdf import random_sdf_graph
+        from repro.sdf.analysis import period
+
+        graph = random_sdf_graph("R", seed=42)
+        rebuilt = graph_from_json(graph_to_json(graph))
+        assert period(rebuilt) == pytest.approx(period(graph))

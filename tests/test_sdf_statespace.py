@@ -1,0 +1,103 @@
+"""Self-timed state-space execution tests."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import DeadlockError
+from repro.sdf.builder import GraphBuilder
+from repro.sdf.statespace import (
+    self_timed_period,
+    self_timed_schedule,
+)
+
+
+class TestSelfTimedPeriod:
+    def test_paper_graph(self, app_a):
+        assert self_timed_period(app_a) == pytest.approx(300.0)
+
+    def test_simple_ring(self, simple_chain):
+        assert self_timed_period(simple_chain) == pytest.approx(30.0)
+
+    def test_pipelined_ring_bound_by_slowest_actor(self):
+        graph = (
+            GraphBuilder("ring")
+            .actor("a", 10)
+            .actor("b", 25)
+            .cycle("a", "b", initial_tokens_on_back_edge=2)
+            .build()
+        )
+        # Two tokens let both actors run concurrently; b binds at 25.
+        assert self_timed_period(graph) == pytest.approx(25.0)
+
+    def test_rational_execution_times_exact(self, app_a):
+        inflated = app_a.with_execution_times(
+            {
+                "a0": 100 + 25 / 3,
+                "a1": 50 + 50 / 3,
+                "a2": 100 + 50 / 3,
+            }
+        )
+        period = self_timed_period(inflated, exact=True)
+        assert period == pytest.approx(1075 / 3, rel=1e-12)
+
+    def test_float_mode_agrees_with_exact(self, app_a):
+        assert self_timed_period(app_a, exact=False) == pytest.approx(
+            self_timed_period(app_a, exact=True)
+        )
+
+    def test_deadlocked_graph_raises(self):
+        graph = (
+            GraphBuilder("dead")
+            .actor("a", 1)
+            .actor("b", 1)
+            .channel("a", "b")
+            .channel("b", "a")
+            .build()
+        )
+        with pytest.raises(DeadlockError):
+            self_timed_period(graph)
+
+    def test_agrees_with_mcr_on_random_graphs(self):
+        from repro.generation.random_sdf import random_sdf_graph
+        from repro.sdf.analysis import period
+
+        for seed in range(8):
+            graph = random_sdf_graph(f"G{seed}", seed=seed)
+            assert self_timed_period(graph) == pytest.approx(
+                period(graph), rel=1e-9
+            ), f"seed {seed}"
+
+
+class TestSelfTimedSchedule:
+    def test_schedule_covers_requested_iterations(self, app_a):
+        schedule = self_timed_schedule(app_a, iterations=3)
+        fires = {}
+        for _, __, actor in schedule:
+            fires[actor] = fires.get(actor, 0) + 1
+        assert fires == {"a0": 3, "a1": 6, "a2": 3}
+
+    def test_firings_do_not_overlap_per_actor(self, app_a):
+        schedule = self_timed_schedule(app_a, iterations=4)
+        by_actor = {}
+        for start, end, actor in schedule:
+            by_actor.setdefault(actor, []).append((start, end))
+        for actor, intervals in by_actor.items():
+            intervals.sort()
+            for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+                assert s2 >= e1 - 1e-9, f"{actor} overlaps itself"
+
+    def test_durations_match_execution_times(self, app_a):
+        for start, end, actor in self_timed_schedule(app_a, iterations=2):
+            assert end - start == pytest.approx(
+                app_a.execution_time(actor)
+            )
+
+    def test_first_iteration_of_paper_graph_is_sequential(self, app_a):
+        schedule = self_timed_schedule(app_a, iterations=1)
+        ordered = sorted(schedule)
+        names = [actor for _, __, actor in ordered]
+        assert names == ["a0", "a1", "a1", "a2"]
+        assert ordered[-1][1] == pytest.approx(300.0)

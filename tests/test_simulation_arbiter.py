@@ -1,0 +1,91 @@
+"""Arbitration policy unit tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import MappingError
+from repro.simulation.arbiter import (
+    FCFSArbiter,
+    PriorityArbiter,
+    RoundRobinArbiter,
+    make_arbiter,
+)
+
+
+class TestFCFS:
+    def test_serves_in_arrival_order(self):
+        arbiter = FCFSArbiter([1, 2, 3])
+        arbiter.enqueue(3, 10.0)
+        arbiter.enqueue(1, 5.0)
+        arbiter.enqueue(2, 7.0)
+        assert [arbiter.pick() for _ in range(3)] == [1, 2, 3]
+
+    def test_ties_break_on_actor_id(self):
+        arbiter = FCFSArbiter([1, 2, 3])
+        arbiter.enqueue(3, 5.0)
+        arbiter.enqueue(1, 5.0)
+        assert arbiter.pick() == 1
+        assert arbiter.pick() == 3
+
+    def test_empty_returns_none(self):
+        assert FCFSArbiter([1]).pick() is None
+
+    def test_pending_counts(self):
+        arbiter = FCFSArbiter([1, 2])
+        assert arbiter.pending() == 0
+        arbiter.enqueue(1, 0.0)
+        arbiter.enqueue(2, 0.0)
+        assert arbiter.pending() == 2
+        arbiter.pick()
+        assert arbiter.pending() == 1
+
+
+class TestRoundRobin:
+    def test_serves_in_member_order(self):
+        arbiter = RoundRobinArbiter([10, 20, 30])
+        for actor in (30, 10, 20):
+            arbiter.enqueue(actor, 0.0)
+        assert [arbiter.pick() for _ in range(3)] == [10, 20, 30]
+
+    def test_skips_absent_members(self):
+        arbiter = RoundRobinArbiter([10, 20, 30])
+        arbiter.enqueue(30, 0.0)
+        assert arbiter.pick() == 30
+
+    def test_position_advances(self):
+        arbiter = RoundRobinArbiter([10, 20])
+        arbiter.enqueue(10, 0.0)
+        assert arbiter.pick() == 10
+        arbiter.enqueue(10, 1.0)
+        arbiter.enqueue(20, 1.0)
+        # Pointer sits after 10, so 20 is served first.
+        assert arbiter.pick() == 20
+        assert arbiter.pick() == 10
+
+    def test_non_member_rejected(self):
+        arbiter = RoundRobinArbiter([10])
+        with pytest.raises(MappingError):
+            arbiter.enqueue(99, 0.0)
+
+
+class TestPriority:
+    def test_member_order_is_priority(self):
+        arbiter = PriorityArbiter([7, 8, 9])
+        arbiter.enqueue(9, 0.0)
+        arbiter.enqueue(7, 1.0)
+        assert arbiter.pick() == 7
+        assert arbiter.pick() == 9
+
+
+class TestFactory:
+    def test_known_policies(self):
+        assert isinstance(make_arbiter("fcfs", [1]), FCFSArbiter)
+        assert isinstance(
+            make_arbiter("round_robin", [1]), RoundRobinArbiter
+        )
+        assert isinstance(make_arbiter("priority", [1]), PriorityArbiter)
+
+    def test_unknown_policy(self):
+        with pytest.raises(MappingError):
+            make_arbiter("random", [1])

@@ -1,0 +1,246 @@
+"""Discrete-event engine tests: semantics, metrics, invariants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import AnalysisError, DeadlockError
+from repro.platform.mapping import Mapping, index_mapping
+from repro.platform.platform import Platform
+from repro.sdf.analysis import period
+from repro.sdf.builder import GraphBuilder
+from repro.simulation.engine import SimulationConfig, Simulator, simulate
+from repro.simulation.metrics import metrics_from_completions
+from repro.simulation.trace import assert_mutual_exclusion, format_gantt
+
+
+class TestSingleApplication:
+    def test_isolated_app_measures_analytical_period(self, app_a):
+        result = simulate(
+            [app_a], config=SimulationConfig(target_iterations=30)
+        )
+        assert result.period_of("A") == pytest.approx(period(app_a))
+
+    def test_random_graphs_match_analysis(self):
+        from repro.generation.random_sdf import random_sdf_graph
+
+        for seed in (1, 5, 9):
+            graph = random_sdf_graph("G", seed=seed)
+            result = simulate(
+                [graph], config=SimulationConfig(target_iterations=40)
+            )
+            assert result.period_of("G") == pytest.approx(
+                period(graph), rel=1e-9
+            )
+
+    def test_worst_equals_average_in_steady_isolation(self, app_a):
+        result = simulate(
+            [app_a], config=SimulationConfig(target_iterations=30)
+        )
+        metrics = result.metrics["A"]
+        assert metrics.worst_period == pytest.approx(
+            metrics.average_period
+        )
+
+
+class TestTwoApplications:
+    def test_paper_pair_achieves_300_in_practice(self, two_apps):
+        # Section 3.1: "the period that these application graphs would
+        # achieve in practice is only 300 time units".
+        result = simulate(
+            list(two_apps),
+            config=SimulationConfig(target_iterations=100),
+        )
+        assert result.period_of("A") == pytest.approx(300.0)
+        assert result.period_of("B") == pytest.approx(300.0)
+
+    def test_dedicated_processors_remove_interference(self, two_apps):
+        graphs = list(two_apps)
+        platform = Platform.homogeneous(6)
+        bindings = {
+            "A": {"a0": "proc0", "a1": "proc1", "a2": "proc2"},
+            "B": {"b0": "proc3", "b1": "proc4", "b2": "proc5"},
+        }
+        result = simulate(
+            graphs,
+            mapping=Mapping(platform, bindings),
+            config=SimulationConfig(target_iterations=30),
+        )
+        assert result.period_of("A") == pytest.approx(300.0)
+        assert result.period_of("B") == pytest.approx(300.0)
+
+    def test_contention_never_beats_isolation(self, two_apps):
+        result = simulate(
+            list(two_apps),
+            config=SimulationConfig(target_iterations=60),
+        )
+        for name in ("A", "B"):
+            assert result.period_of(name) >= 300.0 - 1e-9
+
+
+class TestDeterminism:
+    def test_repeated_runs_identical(self, two_apps):
+        def run():
+            return simulate(
+                list(two_apps),
+                config=SimulationConfig(
+                    target_iterations=50, record_trace=True
+                ),
+            )
+
+        first, second = run(), run()
+        assert first.period_of("A") == second.period_of("A")
+        assert first.trace == second.trace
+
+    def test_application_order_changes_nothing_measurable(self, two_apps):
+        a, b = two_apps
+        config = SimulationConfig(target_iterations=60)
+        mapping = index_mapping([a, b])
+        forward = simulate([a, b], mapping=mapping, config=config)
+        backward = simulate([b, a], mapping=mapping, config=config)
+        assert forward.period_of("A") == pytest.approx(
+            backward.period_of("A"), rel=5e-2
+        )
+
+
+class TestInvariants:
+    def test_mutual_exclusion_on_processors(self, two_apps):
+        result = simulate(
+            list(two_apps),
+            config=SimulationConfig(
+                target_iterations=40, record_trace=True
+            ),
+        )
+        assert_mutual_exclusion(result.trace)
+
+    def test_trace_durations_match_execution_times(self, two_apps):
+        graphs = {g.name: g for g in two_apps}
+        result = simulate(
+            list(two_apps),
+            config=SimulationConfig(
+                target_iterations=20, record_trace=True
+            ),
+        )
+        for entry in result.trace:
+            expected = graphs[entry.application].execution_time(entry.actor)
+            assert entry.end - entry.start == pytest.approx(expected)
+
+    def test_firing_counts_respect_repetition_ratio(self, two_apps):
+        from repro.sdf.repetition import repetition_vector
+
+        result = simulate(
+            list(two_apps),
+            config=SimulationConfig(
+                target_iterations=30, record_trace=True
+            ),
+        )
+        fires = {}
+        for entry in result.trace:
+            key = (entry.application, entry.actor)
+            fires[key] = fires.get(key, 0) + 1
+        q = repetition_vector(two_apps[0])
+        # a1 fires twice per a0 firing (+/- one in-flight iteration).
+        assert abs(fires[("A", "a1")] - 2 * fires[("A", "a0")]) <= 2
+
+
+class TestArbitrationPolicies:
+    @pytest.mark.parametrize(
+        "policy", ["fcfs", "round_robin", "priority"]
+    )
+    def test_all_policies_complete(self, two_apps, policy):
+        result = simulate(
+            list(two_apps),
+            config=SimulationConfig(
+                target_iterations=30, arbitration=policy
+            ),
+        )
+        assert result.period_of("A") > 0
+        assert result.period_of("B") > 0
+
+
+class TestStopConditions:
+    def test_horizon_stop(self, app_a):
+        result = simulate(
+            [app_a],
+            config=SimulationConfig(
+                target_iterations=None, horizon=300.0 * 50
+            ),
+        )
+        assert result.metrics["A"].iterations >= 40
+
+    def test_config_requires_some_stop(self):
+        with pytest.raises(AnalysisError):
+            SimulationConfig(target_iterations=None, horizon=None)
+
+    def test_too_few_iterations_rejected(self):
+        with pytest.raises(AnalysisError):
+            SimulationConfig(target_iterations=2)
+
+    def test_horizon_too_short_raises(self, app_a):
+        with pytest.raises(AnalysisError):
+            simulate(
+                [app_a],
+                config=SimulationConfig(
+                    target_iterations=None, horizon=500.0
+                ),
+            )
+
+
+class TestValidation:
+    def test_duplicate_app_names_rejected(self, app_a):
+        with pytest.raises(AnalysisError):
+            Simulator([app_a, app_a.renamed("A")])
+
+    def test_needs_at_least_one_app(self):
+        with pytest.raises(AnalysisError):
+            Simulator([])
+
+    def test_dead_graph_rejected_up_front(self):
+        dead = (
+            GraphBuilder("dead")
+            .actor("a", 1)
+            .actor("b", 1)
+            .channel("a", "b")
+            .channel("b", "a")
+            .build()
+        )
+        with pytest.raises(DeadlockError):
+            Simulator([dead])
+
+
+class TestMetricsHelpers:
+    def test_average_and_worst(self):
+        completions = [10.0, 20.0, 35.0, 45.0, 60.0, 70.0, 80.0, 90.0]
+        metrics = metrics_from_completions(
+            "X", completions, warmup_fraction=0.25
+        )
+        assert metrics.application == "X"
+        assert metrics.worst_period >= metrics.average_period
+        assert metrics.best_period <= metrics.average_period
+
+    def test_too_few_iterations_raises(self):
+        with pytest.raises(AnalysisError):
+            metrics_from_completions("X", [1.0, 2.0])
+
+    def test_throughput_inverse(self):
+        completions = [float(10 * i) for i in range(1, 12)]
+        metrics = metrics_from_completions("X", completions)
+        assert metrics.average_throughput == pytest.approx(
+            1.0 / metrics.average_period
+        )
+
+
+class TestGantt:
+    def test_format_contains_processors(self, two_apps):
+        result = simulate(
+            list(two_apps),
+            config=SimulationConfig(
+                target_iterations=5, record_trace=True
+            ),
+        )
+        text = format_gantt(result.trace, time_limit=600)
+        assert "proc0" in text
+        assert "proc1" in text
+
+    def test_empty_trace(self):
+        assert format_gantt([]) == "(empty trace)"

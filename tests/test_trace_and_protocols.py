@@ -1,0 +1,106 @@
+"""Trace invariant checker and waiting-model protocol conformance."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.approximation import OrderMWaitingModel
+from repro.core.composability import CompositionWaitingModel
+from repro.core.exact import ExactWaitingModel
+from repro.core.waiting import WaitingModel, make_waiting_model
+from repro.simulation.trace import (
+    TraceEntry,
+    assert_mutual_exclusion,
+    format_gantt,
+)
+from repro.wcrt.round_robin import WorstCaseRRWaitingModel
+from repro.wcrt.tdma import TDMAWaitingModel
+
+
+class TestMutualExclusionChecker:
+    def test_accepts_sequential_firings(self):
+        trace = [
+            TraceEntry("p0", "A", "a", 0.0, 10.0),
+            TraceEntry("p0", "B", "b", 10.0, 20.0),
+        ]
+        assert_mutual_exclusion(trace)
+
+    def test_accepts_parallel_on_distinct_processors(self):
+        trace = [
+            TraceEntry("p0", "A", "a", 0.0, 10.0),
+            TraceEntry("p1", "B", "b", 5.0, 15.0),
+        ]
+        assert_mutual_exclusion(trace)
+
+    def test_rejects_overlap_on_one_processor(self):
+        trace = [
+            TraceEntry("p0", "A", "a", 0.0, 10.0),
+            TraceEntry("p0", "B", "b", 9.0, 15.0),
+        ]
+        with pytest.raises(AssertionError):
+            assert_mutual_exclusion(trace)
+
+    def test_label(self):
+        entry = TraceEntry("p0", "A", "a0", 0.0, 1.0)
+        assert entry.label == "A.a0"
+
+
+class TestGanttRendering:
+    def test_respects_time_limit(self):
+        trace = [
+            TraceEntry("p0", "A", "a", 0.0, 10.0),
+            TraceEntry("p0", "B", "b", 500.0, 510.0),
+        ]
+        text = format_gantt(trace, time_limit=100.0)
+        assert "A.a"[0] in text
+        assert "B.b" not in text
+
+    def test_lane_per_processor(self):
+        trace = [
+            TraceEntry("p0", "A", "a", 0.0, 10.0),
+            TraceEntry("p1", "A", "b", 0.0, 10.0),
+        ]
+        text = format_gantt(trace)
+        assert text.count("|") >= 6  # three rows with two bars each
+
+
+class TestProtocolConformance:
+    @pytest.mark.parametrize(
+        "model",
+        [
+            ExactWaitingModel(),
+            OrderMWaitingModel(2),
+            OrderMWaitingModel(4),
+            CompositionWaitingModel(),
+            CompositionWaitingModel(incremental=True),
+            WorstCaseRRWaitingModel(),
+            TDMAWaitingModel(),
+        ],
+    )
+    def test_runtime_checkable_protocol(self, model):
+        assert isinstance(model, WaitingModel)
+        assert isinstance(model.name, str)
+        assert isinstance(model.complexity, str)
+
+    def test_factory_spec_names_are_case_insensitive(self):
+        assert make_waiting_model("EXACT").name == "exact"
+        assert make_waiting_model(" Second_Order ").name == "order-2"
+
+    @pytest.mark.parametrize(
+        "spec,expected_zero",
+        [
+            ("exact", True),
+            ("second_order", True),
+            ("composability", True),
+            ("worst_case", True),
+            ("tdma", True),
+        ],
+    )
+    def test_all_models_agree_waiting_is_zero_without_others(
+        self, spec, expected_zero
+    ):
+        from repro.core.blocking import build_profile
+
+        model = make_waiting_model(spec)
+        own = build_profile("A", "x", tau=10, repetitions=1, period=100)
+        assert model.waiting_time(own, []) == 0.0

@@ -1,0 +1,137 @@
+"""DOT export and processor-load query tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.platform.load import (
+    bottleneck_processor,
+    processor_loads,
+    saturated_processors,
+)
+from repro.platform.mapping import index_mapping, modulo_mapping, spread_mapping
+from repro.platform.platform import Platform
+from repro.platform.usecase import UseCase
+from repro.sdf.hsdf import to_hsdf
+from repro.sdf.visualization import hsdf_to_dot, mapping_to_dot, to_dot
+
+
+class TestDotExport:
+    def test_sdf_dot_structure(self, app_a):
+        dot = to_dot(app_a)
+        assert dot.startswith('digraph "A"')
+        assert '"a0" -> "a1"' in dot
+        assert "2/1" in dot  # production/consumption annotation
+        assert dot.rstrip().endswith("}")
+
+    def test_initial_tokens_annotated(self, app_a):
+        dot = to_dot(app_a)
+        assert "&bull;" in dot  # the a2->a0 token
+
+    def test_execution_times_toggle(self, app_a):
+        with_times = to_dot(app_a, include_execution_times=True)
+        without = to_dot(app_a, include_execution_times=False)
+        assert "100" in with_times
+        assert "\\n100" not in without
+
+    def test_hsdf_dot(self, app_a):
+        dot = hsdf_to_dot(to_hsdf(app_a))
+        assert "a1_0" in dot and "a1_1" in dot
+        assert "style=dashed" in dot  # sequencing edges dashed
+
+    def test_mapping_dot_clusters(self, two_apps):
+        mapping = index_mapping(list(two_apps))
+        dot = mapping_to_dot(list(two_apps), mapping)
+        assert "cluster_0" in dot
+        assert '"A.a0"' in dot
+        assert '"B.b0"' in dot
+
+    def test_mapping_dot_use_case_filter(self, two_apps):
+        mapping = index_mapping(list(two_apps))
+        dot = mapping_to_dot(list(two_apps), mapping, use_case=["A"])
+        assert '"A.a0"' in dot
+        assert '"B.b0"' not in dot
+
+
+class TestProcessorLoads:
+    def test_paper_example_loads(self, two_apps):
+        mapping = index_mapping(list(two_apps))
+        loads = processor_loads(list(two_apps), mapping)
+        # Each node hosts one actor of each app, each with P = 1/3.
+        for processor in ("proc0", "proc1", "proc2"):
+            assert loads[processor] == pytest.approx(2 / 3)
+
+    def test_use_case_restriction(self, two_apps):
+        mapping = index_mapping(list(two_apps))
+        loads = processor_loads(
+            list(two_apps), mapping, UseCase.of("A")
+        )
+        for processor in ("proc0", "proc1", "proc2"):
+            assert loads[processor] == pytest.approx(1 / 3)
+
+    def test_bottleneck(self, two_apps):
+        mapping = index_mapping(list(two_apps))
+        processor, load = bottleneck_processor(list(two_apps), mapping)
+        assert processor in ("proc0", "proc1", "proc2")
+        assert load == pytest.approx(2 / 3)
+
+    def test_saturation_thresholds(self, two_apps):
+        mapping = index_mapping(list(two_apps))
+        assert saturated_processors(
+            list(two_apps), mapping, threshold=0.5
+        ) == ["proc0", "proc1", "proc2"]
+        assert saturated_processors(
+            list(two_apps), mapping, threshold=0.9
+        ) == []
+
+    def test_loads_match_simulated_utilization_when_unsaturated(
+        self, two_apps
+    ):
+        """Analytical load = simulated busy fraction for feasible nodes.
+
+        The paper pair achieves its isolation periods when run together,
+        so every node's busy fraction equals the sum of its actors'
+        blocking probabilities.
+        """
+        from repro.simulation.engine import SimulationConfig, simulate
+
+        mapping = index_mapping(list(two_apps))
+        loads = processor_loads(list(two_apps), mapping)
+        result = simulate(
+            list(two_apps),
+            mapping=mapping,
+            config=SimulationConfig(target_iterations=200),
+        )
+        for processor, load in loads.items():
+            measured = result.processor_utilization[processor]
+            assert measured == pytest.approx(load, rel=0.05), processor
+
+
+class TestDensityMappings:
+    def test_modulo_mapping_allows_narrow_platforms(self, app_a):
+        platform = Platform.homogeneous(2)
+        mapping = modulo_mapping([app_a], platform)
+        assert mapping.processor_of("A", "a0") == "proc0"
+        assert mapping.processor_of("A", "a2") == "proc0"
+        assert mapping.processor_of("A", "a1") == "proc1"
+
+    def test_spread_mapping_offsets_applications(self, two_apps):
+        platform = Platform.homogeneous(4)
+        mapping = spread_mapping(list(two_apps), platform)
+        assert mapping.processor_of("A", "a0") == "proc0"
+        assert mapping.processor_of("B", "b0") == "proc1"
+
+    def test_narrower_platform_raises_load(self, app_a):
+        wide = modulo_mapping([app_a], Platform.homogeneous(3))
+        narrow = modulo_mapping([app_a], Platform.homogeneous(1))
+        wide_peak = max(processor_loads([app_a], wide).values())
+        narrow_peak = max(processor_loads([app_a], narrow).values())
+        assert narrow_peak > wide_peak
+
+    def test_empty_graphs_rejected(self):
+        from repro.exceptions import MappingError
+
+        with pytest.raises(MappingError):
+            modulo_mapping([], Platform.homogeneous(2))
+        with pytest.raises(MappingError):
+            spread_mapping([], Platform.homogeneous(2))
