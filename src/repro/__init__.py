@@ -25,6 +25,9 @@ Subpackages
 -----------
 ``repro.sdf``
     SDF graphs, repetition vectors, HSDF expansion, period analysis.
+``repro.analysis_engine``
+    Incremental per-application analysis engine: cached HSDF expansion,
+    warm-started MCR, response-time memoization (the sweep hot path).
 ``repro.generation``
     Random benchmark graphs and the hand-built gallery.
 ``repro.platform``
@@ -43,6 +46,7 @@ Subpackages
 """
 
 from repro.admission import AdmissionController, AdmissionDecision
+from repro.analysis_engine import AnalysisEngine, EngineStats, build_engines
 from repro.core import (
     ActorProfile,
     Composite,
@@ -95,11 +99,13 @@ __all__ = [
     "AdmissionController",
     "AdmissionDecision",
     "AdmissionError",
+    "AnalysisEngine",
     "AnalysisError",
     "AnalysisMethod",
     "Channel",
     "Composite",
     "DeadlockError",
+    "EngineStats",
     "EstimationResult",
     "ExperimentError",
     "GeneratorConfig",
@@ -117,6 +123,7 @@ __all__ = [
     "Simulator",
     "UseCase",
     "all_use_cases",
+    "build_engines",
     "build_profiles",
     "compose",
     "compose_all",

@@ -1,0 +1,30 @@
+"""Incremental analysis engine — structure once, weights per solve.
+
+This layer sits between ``repro.sdf`` (graph analysis primitives) and
+``repro.core`` (the paper's estimation algorithm).  It owns, per
+application graph, everything that survives between period queries: the
+HSDF expansion, the generic ratio problem built from it, the SCC
+decomposition, the last converged Howard policy, and a memo cache keyed
+on response-time vectors.  See :mod:`repro.analysis_engine.engine` for
+the full story.
+
+Typical use::
+
+    from repro.analysis_engine import build_engines
+    from repro import ProbabilisticEstimator
+
+    engines = build_engines(graphs)          # expansion happens here
+    for model in ("second_order", "composability"):
+        estimator = ProbabilisticEstimator(
+            graphs, waiting_model=model, engines=engines
+        )
+        results = estimator.estimate_many(use_cases)
+"""
+
+from repro.analysis_engine.engine import (
+    AnalysisEngine,
+    EngineStats,
+    build_engines,
+)
+
+__all__ = ["AnalysisEngine", "EngineStats", "build_engines"]

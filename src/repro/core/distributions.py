@@ -146,8 +146,26 @@ class DiscreteTime(ExecutionTimeDistribution):
             )
         if any(v <= 0 for v in self.values):
             raise AnalysisError("all execution times must be positive")
-        if any(w < 0 for w in self.weights) or sum(self.weights) <= 0:
+        total = sum(self.weights)
+        if any(w < 0 for w in self.weights) or total <= 0:
             raise AnalysisError("weights must be non-negative, sum > 0")
+        # The distribution is frozen, so normalization and the moments
+        # are computed once here instead of on every mean() /
+        # second_moment() call (the estimator queries them per actor per
+        # estimate).  object.__setattr__ is the sanctioned backdoor for
+        # frozen-dataclass caches.
+        normalized = tuple(w / total for w in self.weights)
+        object.__setattr__(self, "_normalized_weights", normalized)
+        object.__setattr__(
+            self,
+            "_mean",
+            sum(v * w for v, w in zip(self.values, normalized)),
+        )
+        object.__setattr__(
+            self,
+            "_second_moment",
+            sum(v * v * w for v, w in zip(self.values, normalized)),
+        )
 
     @classmethod
     def of(cls, pairs: Sequence[Tuple[float, float]]) -> "DiscreteTime":
@@ -158,18 +176,13 @@ class DiscreteTime(ExecutionTimeDistribution):
         )
 
     def _normalized(self) -> Tuple[float, ...]:
-        total = sum(self.weights)
-        return tuple(w / total for w in self.weights)
+        return self._normalized_weights  # type: ignore[attr-defined]
 
     def mean(self) -> float:
-        return sum(
-            v * w for v, w in zip(self.values, self._normalized())
-        )
+        return self._mean  # type: ignore[attr-defined]
 
     def second_moment(self) -> float:
-        return sum(
-            v * v * w for v, w in zip(self.values, self._normalized())
-        )
+        return self._second_moment  # type: ignore[attr-defined]
 
     def sample(self, rng: random.Random) -> float:
         return rng.choices(self.values, weights=self.weights, k=1)[0]

@@ -17,6 +17,17 @@ a waiting model, the estimator:
 The paper runs this once.  ``iterations > 1`` enables the fixed-point
 variant explored in the ablation benches: recompute ``P`` from the new
 periods (contention lowers utilization, which lowers ``P``) and repeat.
+
+Period analysis runs on one :class:`~repro.analysis_engine.AnalysisEngine`
+per application: the HSDF expansion, SCC decomposition and converged
+Howard policy are computed once at construction and every subsequent
+period query — across fixed-point iterations *and* across the use-cases
+of :meth:`ProbabilisticEstimator.estimate_many` /
+:meth:`~ProbabilisticEstimator.sweep_all_sizes` — is a weight-only,
+warm-started solve (memoized on the response-time vector).  Pass
+``incremental=False`` to fall back to the stateless cold path; the two
+paths agree to <= 1e-9 relative (equal floats in practice), which the
+parity tests assert.
 """
 
 from __future__ import annotations
@@ -25,11 +36,16 @@ import time as _time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping as TMapping, Optional, Sequence, Tuple
 
+from repro.analysis_engine import AnalysisEngine, build_engines
 from repro.core.blocking import ActorProfile, build_profiles
 from repro.core.waiting import WaitingModel, make_waiting_model
 from repro.exceptions import AnalysisError
 from repro.platform.mapping import Mapping, index_mapping
-from repro.platform.usecase import UseCase
+from repro.platform.usecase import (
+    DEFAULT_SWEEP_SEED,
+    UseCase,
+    sampled_use_cases_by_size,
+)
 from repro.sdf.analysis import (
     AnalysisMethod,
     period as analytical_period,
@@ -80,11 +96,19 @@ class EstimationResult:
     def throughput_of(self, application: str) -> float:
         return 1.0 / self.period_of(application)
 
+    def isolation_period_of(self, application: str) -> float:
+        try:
+            return self.isolation_periods[application]
+        except KeyError:
+            raise AnalysisError(
+                f"no isolation period for application {application!r}"
+            ) from None
+
     def normalized_period_of(self, application: str) -> float:
         """Estimated period over isolation period (Figure 5's y-axis)."""
-        return self.period_of(application) / self.isolation_periods[
+        return self.period_of(application) / self.isolation_period_of(
             application
-        ]
+        )
 
 
 class ProbabilisticEstimator:
@@ -108,6 +132,19 @@ class ProbabilisticEstimator:
     mus:
         Optional ``(application, actor) -> mu`` overrides for the
         stochastic execution-time extension.
+    engines:
+        Pre-built ``{application: AnalysisEngine}`` to share structural
+        work (HSDF expansions, warm Howard policies, period memo caches)
+        with other estimators, e.g. one per waiting model in a sweep.
+        Must cover every graph and use ``analysis_method``.  The
+        engines' ``mcr_algorithm`` is deliberately not constrained:
+        Lawler/brute engines are correct, just slower (no warm start).
+    incremental:
+        When True (default) period analysis runs on the per-application
+        engines; when False the estimator replicates the stateless cold
+        path (re-expansion + cold solve per query).  Both produce
+        identical results; the flag exists for parity tests and the
+        ablation benches.
     """
 
     def __init__(
@@ -118,6 +155,8 @@ class ProbabilisticEstimator:
         analysis_method: AnalysisMethod = AnalysisMethod.MCR,
         include_same_application: bool = True,
         mus: Optional[TMapping[Tuple[str, str], float]] = None,
+        engines: Optional[Dict[str, AnalysisEngine]] = None,
+        incremental: bool = True,
     ) -> None:
         if not graphs:
             raise AnalysisError("estimator needs at least one application")
@@ -134,11 +173,65 @@ class ProbabilisticEstimator:
         self.analysis_method = analysis_method
         self.include_same_application = include_same_application
         self.mus = dict(mus) if mus is not None else None
-        # Isolation periods are use-case independent; compute once.
-        self.isolation_periods: Dict[str, float] = {
-            name: analytical_period(graph, method=analysis_method)
-            for name, graph in self.graphs.items()
-        }
+        self.incremental = incremental
+        if incremental:
+            if engines is None:
+                engines = build_engines(graphs, method=analysis_method)
+            else:
+                missing = [n for n in self.graphs if n not in engines]
+                if missing:
+                    raise AnalysisError(
+                        f"shared engines missing applications: {missing!r}"
+                    )
+                mismatched = [
+                    name
+                    for name in self.graphs
+                    if engines[name].method is not analysis_method
+                ]
+                if mismatched:
+                    raise AnalysisError(
+                        f"shared engines for {mismatched!r} use a "
+                        f"different analysis method than "
+                        f"{analysis_method!r}"
+                    )
+                for name, graph in self.graphs.items():
+                    if not _same_analysis_graph(
+                        engines[name].graph, graph
+                    ):
+                        raise AnalysisError(
+                            f"shared engine for {name!r} was built "
+                            "from a different graph (actor timings or "
+                            "topology differ); rebuild the engines for "
+                            "this application set"
+                        )
+            self.engines: Dict[str, AnalysisEngine] = engines
+            # Isolation periods are use-case independent; compute once.
+            self.isolation_periods: Dict[str, float] = {
+                name: self.engines[name].period() for name in self.graphs
+            }
+            # P and mu depend only on tau, q and the period; with the
+            # paper's single-pass algorithm the period is always the
+            # isolation period, so these profiles serve every estimate.
+            self._base_profiles: Dict[Tuple[str, str], ActorProfile] = (
+                build_profiles(
+                    list(self.graphs.values()),
+                    periods=self.isolation_periods,
+                    mus=self.mus,
+                )
+            )
+        else:
+            if engines is not None:
+                raise AnalysisError(
+                    "engines were supplied together with "
+                    "incremental=False; the cold path would silently "
+                    "ignore them"
+                )
+            self.engines = {}
+            self._base_profiles = {}
+            self.isolation_periods = {
+                name: analytical_period(graph, method=analysis_method)
+                for name, graph in self.graphs.items()
+            }
 
     # ------------------------------------------------------------------
     def estimate(
@@ -169,9 +262,7 @@ class ProbabilisticEstimator:
 
         for _ in range(iterations):
             iterations_used += 1
-            profiles = build_profiles(
-                active, periods=current_periods, mus=self.mus
-            )
+            profiles = self._profiles_for(active, current_periods)
             waiting, response = self._waiting_and_response(
                 use_case, profiles
             )
@@ -181,9 +272,16 @@ class ProbabilisticEstimator:
                     actor: response[(graph.name, actor)]
                     for actor in graph.actor_names
                 }
-                new_periods[graph.name] = period_with_response_times(
-                    graph, responses_of_app, method=self.analysis_method
-                )
+                if self.incremental:
+                    new_periods[graph.name] = self.engines[
+                        graph.name
+                    ].period(responses_of_app)
+                else:
+                    new_periods[graph.name] = period_with_response_times(
+                        graph,
+                        responses_of_app,
+                        method=self.analysis_method,
+                    )
             converged = all(
                 abs(new_periods[name] - current_periods[name])
                 <= tolerance * max(1.0, abs(new_periods[name]))
@@ -209,6 +307,85 @@ class ProbabilisticEstimator:
             iterations_used=iterations_used,
             analysis_seconds=elapsed,
         )
+
+    # ------------------------------------------------------------------
+    def estimate_many(
+        self,
+        use_cases: Sequence[UseCase],
+        iterations: int = 1,
+        tolerance: float = 1e-6,
+    ) -> List[EstimationResult]:
+        """Batched Fig. 4 over many use-cases of one application set.
+
+        All estimates share the per-application engines, so the HSDF
+        expansions and solver structures are paid once for the whole
+        batch, Howard warm-starts from the previous use-case's policy,
+        and identical per-application response-time vectors (recurring
+        whenever an application faces the same co-mapped contenders in
+        several use-cases) are answered from the engine memo without
+        solving.  This is the API behind the experiment runner's sweep
+        and the ``repro sweep`` CLI.
+        """
+        return [
+            self.estimate(
+                use_case, iterations=iterations, tolerance=tolerance
+            )
+            for use_case in use_cases
+        ]
+
+    def sweep_all_sizes(
+        self,
+        samples_per_size: Optional[int] = None,
+        seed: int = DEFAULT_SWEEP_SEED,
+        iterations: int = 1,
+        tolerance: float = 1e-6,
+    ) -> List[EstimationResult]:
+        """Estimate use-cases of every size 1..N (the paper's 2^N sweep).
+
+        ``samples_per_size=None`` is exhaustive; otherwise each
+        cardinality contributes a deterministic sample (the shared
+        :func:`repro.platform.usecase.sampled_use_cases_by_size`
+        convention, identical to the experiment runner's selection).
+        """
+        selected = sampled_use_cases_by_size(
+            tuple(self.graphs.keys()),
+            samples_per_size=samples_per_size,
+            seed=seed,
+        )
+        return self.estimate_many(
+            selected, iterations=iterations, tolerance=tolerance
+        )
+
+    # ------------------------------------------------------------------
+    def _profiles_for(
+        self,
+        active: Sequence[SDFGraph],
+        current_periods: TMapping[str, float],
+    ) -> Dict[Tuple[str, str], ActorProfile]:
+        """Steps 2–4 of Fig. 4: per-actor ``P`` and ``mu`` profiles.
+
+        The incremental path reuses the profiles built at construction —
+        ``tau``, ``q`` and ``mu`` never change, and with the paper's
+        single-pass algorithm the period is always the isolation period;
+        fixed-point iterations re-derive only the period-dependent
+        fields.  The cold path rebuilds everything (repetition vectors
+        included) exactly like the stateless implementation.
+        """
+        if not self.incremental:
+            return build_profiles(
+                active, periods=current_periods, mus=self.mus
+            )
+        profiles: Dict[Tuple[str, str], ActorProfile] = {}
+        for graph in active:
+            period = current_periods[graph.name]
+            for actor in graph.actor_names:
+                base = self._base_profiles[(graph.name, actor)]
+                profiles[(graph.name, actor)] = (
+                    base
+                    if base.period == period
+                    else base.with_period(period)
+                )
+        return profiles
 
     # ------------------------------------------------------------------
     def _waiting_and_response(
@@ -242,6 +419,35 @@ class ProbabilisticEstimator:
                 waiting[(app, actor)] = t_wait
                 response[(app, actor)] = own.tau + t_wait
         return waiting, response
+
+
+def _same_analysis_graph(first: SDFGraph, second: SDFGraph) -> bool:
+    """Whether two graphs are interchangeable for period analysis.
+
+    A shared engine built from a *different* design variant (same
+    application name, scaled timings or re-wired channels) would
+    silently answer for the wrong graph — compare the analysis-relevant
+    content, not object identity, so re-deserialized but equal graphs
+    stay accepted.
+    """
+    if first is second:
+        return True
+    if first.actor_names != second.actor_names:
+        return False
+    if first.execution_times() != second.execution_times():
+        return False
+    def channel_signature(graph: SDFGraph):
+        return sorted(
+            (
+                c.source,
+                c.target,
+                c.production_rate,
+                c.consumption_rate,
+                c.initial_tokens,
+            )
+            for c in graph.channels
+        )
+    return channel_signature(first) == channel_signature(second)
 
 
 def estimate_use_case(

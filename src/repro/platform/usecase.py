@@ -97,3 +97,35 @@ def use_cases_of_size(
         combos = rng.sample(combos, sample)
         combos.sort()
     return [UseCase(c) for c in combos]
+
+
+#: Default selection seed shared by every sweep entry point (the
+#: experiment runner's SweepConfig, the estimator's sweep_all_sizes and
+#: the CLI), so their sampled use-case sets coincide by default.
+DEFAULT_SWEEP_SEED = 1
+
+
+def sampled_use_cases_by_size(
+    application_names: Sequence[str],
+    samples_per_size: int | None = None,
+    seed: int = DEFAULT_SWEEP_SEED,
+) -> List[UseCase]:
+    """Use-cases of every size 1..N, optionally sampled per size.
+
+    The selection convention shared by the experiment runner's sweep and
+    :meth:`ProbabilisticEstimator.sweep_all_sizes`: each cardinality
+    draws its sample with a size-derived seed (``seed + size``), so the
+    same arguments always pick the same use-cases.
+    ``samples_per_size=None`` is the exhaustive ``2^N - 1`` sweep.
+    """
+    selected: List[UseCase] = []
+    for size in range(1, len(application_names) + 1):
+        selected.extend(
+            use_cases_of_size(
+                application_names,
+                size,
+                sample=samples_per_size,
+                seed=seed + size,
+            )
+        )
+    return selected

@@ -16,6 +16,13 @@ been inflated to response times (execution + expected waiting), i.e. step
 11 of the paper's Fig. 4 algorithm.  ``critical_cycle`` exposes *which*
 actors bound the period — the diagnostic a designer reaches for when an
 estimate misses its budget.
+
+All functions here are *stateless* conveniences implemented on top of
+:class:`repro.analysis_engine.AnalysisEngine` (constructed one-shot per
+call).  Callers that analyse the same graph repeatedly — the estimator,
+sweeps, admission control — should hold an engine instead: it caches the
+HSDF expansion, the SCC decomposition and the converged Howard policy,
+turning each repeat solve into a weight-only update.
 """
 
 from __future__ import annotations
@@ -26,9 +33,6 @@ from typing import Dict, List, Mapping, Tuple
 
 from repro.exceptions import AnalysisError
 from repro.sdf.graph import SDFGraph
-from repro.sdf.hsdf import to_hsdf
-from repro.sdf.mcm import max_cycle_ratio
-from repro.sdf.statespace import self_timed_period
 
 
 class AnalysisMethod(enum.Enum):
@@ -55,11 +59,7 @@ def period(
         Algorithm for the MCR engine: ``"howard"``, ``"lawler"`` or
         ``"brute"``.
     """
-    if method is AnalysisMethod.MCR:
-        return max_cycle_ratio(to_hsdf(graph), method=mcr_algorithm).ratio
-    if method is AnalysisMethod.STATE_SPACE:
-        return self_timed_period(graph)
-    raise AnalysisError(f"unknown analysis method {method!r}")
+    return _one_shot_engine(graph, method, mcr_algorithm).period()
 
 
 def throughput(
@@ -80,8 +80,7 @@ def period_with_response_times(
     Actors missing from the mapping keep their original execution time.
     The original graph is not modified.
     """
-    inflated = graph.with_execution_times(dict(response_times))
-    return period(inflated, method=method)
+    return _one_shot_engine(graph, method).period(response_times)
 
 
 @dataclass(frozen=True)
@@ -111,8 +110,20 @@ def critical_cycle(graph: SDFGraph) -> CriticalCycle:
     sequential firings fill the whole period); a multi-actor cycle names
     the dependency chain a designer would have to shorten or re-token.
     """
-    hsdf = to_hsdf(graph)
-    result = max_cycle_ratio(hsdf)
-    keys = [v.key for v in hsdf.vertices]
-    firings = tuple(keys[index] for index in result.cycle)
-    return CriticalCycle(ratio=result.ratio, firings=firings)
+    return _one_shot_engine(graph, AnalysisMethod.MCR).critical_cycle()
+
+
+def _one_shot_engine(
+    graph: SDFGraph,
+    method: AnalysisMethod,
+    mcr_algorithm: str = "howard",
+):
+    """A throw-away engine for the stateless wrappers above.
+
+    Imported lazily: ``repro.analysis_engine`` layers *above* this
+    module (it imports :class:`AnalysisMethod` from here), so a
+    module-level import would be circular.
+    """
+    from repro.analysis_engine.engine import AnalysisEngine
+
+    return AnalysisEngine(graph, method=method, mcr_algorithm=mcr_algorithm)

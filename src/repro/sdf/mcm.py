@@ -22,6 +22,25 @@ Three algorithms are provided and cross-checked in the test suite:
 All operate on a generic edge list so they are reusable beyond HSDF
 graphs; :func:`max_cycle_ratio` adapts an :class:`~repro.sdf.hsdf.HSDFGraph`
 (vertex weights become weights of outgoing edges).
+
+Two features support *incremental* analysis, where the same graph
+structure is solved many times with different weights (the probabilistic
+estimator inflates execution times to response times once per
+application, per fixed-point iteration, per use-case):
+
+* Howard's algorithm accepts an ``initial_policy`` — the converged
+  policy of a previous solve (exposed as
+  :attr:`CycleRatioResult.policy`).  Policy iteration converges from any
+  valid policy, and from a near-optimal one it typically terminates in
+  one or two improvement rounds (Dasdan's survey observes the iteration
+  count is small in practice and shrinks further with a good start).
+  Potentials are re-derived from the policy on the first evaluation, so
+  the policy alone carries the whole warm-start state.
+* :class:`IncrementalMCRSolver` goes further and caches everything that
+  depends only on *structure* — the zero-delay-cycle (deadlock) check,
+  the SCC decomposition, and the per-component edge lists — so repeated
+  :meth:`~IncrementalMCRSolver.solve` calls with fresh weights pay only
+  for the (warm-started) policy iteration itself.
 """
 
 from __future__ import annotations
@@ -49,10 +68,17 @@ class CycleRatioResult:
 
     ``cycle`` lists vertex ids in order (first vertex repeated at the end
     is omitted).  ``ratio`` is ``-inf`` for an acyclic graph.
+
+    ``policy`` (Howard only, ``None`` otherwise) records the converged
+    policy: entry ``v`` is the index into the solved edge sequence of the
+    outgoing edge vertex ``v`` selected, or ``-1`` for vertices outside
+    every cyclic component.  Feed it back as ``initial_policy`` to
+    warm-start the next solve of the same structure.
     """
 
     ratio: float
     cycle: Tuple[int, ...]
+    policy: Optional[Tuple[int, ...]] = None
 
 
 # ----------------------------------------------------------------------
@@ -61,8 +87,13 @@ class CycleRatioResult:
 def max_cycle_ratio(
     hsdf: HSDFGraph,
     method: str = "howard",
+    initial_policy: Optional[Sequence[int]] = None,
 ) -> CycleRatioResult:
     """Maximum cycle ratio of an HSDF graph (its iteration period).
+
+    ``initial_policy`` (Howard only) warm-starts policy iteration from a
+    previously converged :attr:`CycleRatioResult.policy` — useful when
+    the same expansion is re-solved with updated execution times.
 
     Raises
     ------
@@ -71,6 +102,21 @@ def max_cycle_ratio(
     AnalysisError
         If the graph has no cycle at all (period undefined: a DAG
         executes in finite time and has no steady-state period).
+    """
+    vertex_count, edges = hsdf_ratio_edges(hsdf)
+    return max_cycle_ratio_edges(
+        vertex_count, edges, method=method, initial_policy=initial_policy
+    )
+
+
+def hsdf_ratio_edges(hsdf: HSDFGraph) -> Tuple[int, List[RatioEdge]]:
+    """Adapt an HSDF graph to the generic ratio problem.
+
+    Vertex execution times become the weights of the vertex's *outgoing*
+    edges; HSDF delays become transits.  Edge order follows
+    ``hsdf.edges``, which is the weight/policy index space of
+    :class:`IncrementalMCRSolver` built on the result — the single
+    adapter shared by :func:`max_cycle_ratio` and the analysis engine.
     """
     index = hsdf.vertex_index()
     weights = {index[v.key]: v.execution_time for v in hsdf.vertices}
@@ -83,46 +129,171 @@ def max_cycle_ratio(
         )
         for e in hsdf.edges
     ]
-    return max_cycle_ratio_edges(len(hsdf.vertices), edges, method=method)
+    return len(hsdf.vertices), edges
 
 
 def max_cycle_ratio_edges(
     vertex_count: int,
     edges: Sequence[RatioEdge],
     method: str = "howard",
+    initial_policy: Optional[Sequence[int]] = None,
 ) -> CycleRatioResult:
-    """Maximum cycle ratio of a generic edge-weighted graph."""
-    _assert_no_zero_delay_cycle(vertex_count, edges)
-    if method == "howard":
-        solver = _solve_howard
-    elif method == "lawler":
-        solver = _solve_lawler
-    elif method == "brute":
-        solver = _solve_brute
-    else:
-        raise AnalysisError(f"unknown MCR method {method!r}")
+    """Maximum cycle ratio of a generic edge-weighted graph.
 
-    best: Optional[CycleRatioResult] = None
-    for component in _strongly_connected_components(vertex_count, edges):
-        if len(component) == 0:
-            continue
-        component_set = set(component)
-        inner = [
-            e
-            for e in edges
-            if e.source in component_set and e.target in component_set
-        ]
-        if not inner:
-            continue
-        result = solver(component, inner)
-        if result is not None and (best is None or result.ratio > best.ratio):
-            best = result
-    if best is None:
-        raise AnalysisError(
-            "graph has no cycle: the maximum cycle ratio (and hence the "
-            "period) is undefined"
-        )
-    return best
+    ``initial_policy`` warm-starts Howard's algorithm (ignored by the
+    other methods): entry ``v`` names the edge index vertex ``v`` should
+    initially select, as produced by a previous solve's
+    :attr:`CycleRatioResult.policy`.
+    """
+    solver = IncrementalMCRSolver(vertex_count, edges, method=method)
+    return solver.solve(initial_policy=initial_policy)
+
+
+class IncrementalMCRSolver:
+    """Re-solvable MCR problem over one fixed graph structure.
+
+    The constructor performs every computation that depends only on the
+    *structure* — transit values, adjacency, SCC decomposition, and the
+    zero-delay-cycle (deadlock) check.  :meth:`solve` then accepts fresh
+    per-edge weights and, for Howard's method, warm-starts policy
+    iteration from the previously converged policy, so a sequence of
+    solves over the same graph with drifting weights costs a fraction of
+    repeated cold solves.
+
+    Parameters
+    ----------
+    vertex_count / edges:
+        The MCR problem; the edge *order* is the weight order of
+        :meth:`solve` and the index space of policies.
+    method:
+        ``"howard"`` (warm-startable), ``"lawler"`` or ``"brute"``.
+    """
+
+    def __init__(
+        self,
+        vertex_count: int,
+        edges: Sequence[RatioEdge],
+        method: str = "howard",
+    ) -> None:
+        self.vertex_count = vertex_count
+        self.edges: Tuple[RatioEdge, ...] = tuple(edges)
+        _assert_no_zero_delay_cycle(vertex_count, self.edges)
+        if method not in ("howard", "lawler", "brute"):
+            raise AnalysisError(f"unknown MCR method {method!r}")
+        self.method = method
+        self._base_weights: List[float] = [e.weight for e in self.edges]
+        # Components and their member edge ids never change; compute once.
+        self._components: List[Tuple[List[int], List[int]]] = []
+        for component in _strongly_connected_components(
+            vertex_count, self.edges
+        ):
+            component_set = set(component)
+            inner_ids = [
+                i
+                for i, e in enumerate(self.edges)
+                if e.source in component_set and e.target in component_set
+            ]
+            if inner_ids:
+                self._components.append((component, inner_ids))
+        # Howard additionally pre-factors each component into local
+        # adjacency arrays so a solve touches no edge objects at all:
+        # every out-entry is (edge id, local target, transit), with the
+        # weight looked up by edge id in the solve's weight vector.
+        self._howard_components: List[
+            Tuple[List[int], List[List[Tuple[int, int, int]]]]
+        ] = []
+        if method == "howard":
+            for component, inner_ids in self._components:
+                nodes = list(component)
+                local = {node: i for i, node in enumerate(nodes)}
+                out: List[List[Tuple[int, int, int]]] = [
+                    [] for _ in nodes
+                ]
+                for gid in inner_ids:
+                    edge = self.edges[gid]
+                    out[local[edge.source]].append(
+                        (gid, local[edge.target], edge.transit)
+                    )
+                # Strong connectivity with >1 node guarantees out-degree
+                # >= 1; a single node appears here only with a self-loop
+                # (inner_ids is non-empty), so every row is populated.
+                self._howard_components.append((nodes, out))
+        self._policy: Optional[Tuple[int, ...]] = None
+        self.solve_count = 0
+
+    @property
+    def policy(self) -> Optional[Tuple[int, ...]]:
+        """Converged policy of the last Howard solve (``None`` before)."""
+        return self._policy
+
+    def solve(
+        self,
+        weights: Optional[Sequence[float]] = None,
+        initial_policy: Optional[Sequence[int]] = None,
+    ) -> CycleRatioResult:
+        """Solve with fresh ``weights`` (one per edge, constructor order).
+
+        ``weights=None`` keeps the constructor's weights.  Howard starts
+        from ``initial_policy`` when given, else from the policy of the
+        previous solve, else from the classic highest-weight policy.
+        """
+        if weights is None:
+            weight_vector: Sequence[float] = self._base_weights
+        elif len(weights) != len(self.edges):
+            raise AnalysisError(
+                f"expected {len(self.edges)} weights, got {len(weights)}"
+            )
+        else:
+            weight_vector = weights
+        start = initial_policy if initial_policy is not None else self._policy
+
+        best: Optional[CycleRatioResult] = None
+        merged_policy = [-1] * self.vertex_count
+        have_policy = False
+        if self.method == "howard":
+            for nodes, out in self._howard_components:
+                result, fragment = _solve_howard(
+                    nodes, out, weight_vector, start
+                )
+                have_policy = True
+                for vertex, edge_id in fragment.items():
+                    merged_policy[vertex] = edge_id
+                if best is None or result.ratio > best.ratio:
+                    best = result
+        else:
+            solver = (
+                _solve_lawler if self.method == "lawler" else _solve_brute
+            )
+            for component, inner_ids in self._components:
+                if weights is None:
+                    inner = [self.edges[i] for i in inner_ids]
+                else:
+                    inner = [
+                        RatioEdge(
+                            self.edges[i].source,
+                            self.edges[i].target,
+                            weight_vector[i],
+                            self.edges[i].transit,
+                        )
+                        for i in inner_ids
+                    ]
+                result = solver(component, inner)
+                if result is not None and (
+                    best is None or result.ratio > best.ratio
+                ):
+                    best = result
+        if best is None:
+            raise AnalysisError(
+                "graph has no cycle: the maximum cycle ratio (and hence "
+                "the period) is undefined"
+            )
+        self.solve_count += 1
+        if have_policy:
+            self._policy = tuple(merged_policy)
+            best = CycleRatioResult(
+                ratio=best.ratio, cycle=best.cycle, policy=self._policy
+            )
+        return best
 
 
 # ----------------------------------------------------------------------
@@ -228,52 +399,66 @@ _MAX_HOWARD_ITERATIONS = 10_000
 
 
 def _solve_howard(
-    component: Sequence[int], edges: Sequence[RatioEdge]
-) -> Optional[CycleRatioResult]:
+    nodes: Sequence[int],
+    out: Sequence[Sequence[Tuple[int, int, int]]],
+    weights: Sequence[float],
+    initial_policy: Optional[Sequence[int]] = None,
+) -> Tuple[CycleRatioResult, Dict[int, int]]:
     """Max cycle ratio of one strongly-connected component.
 
     Classic two-phase policy iteration: every vertex selects one outgoing
     edge (the *policy*); the single cycle of the policy graph yields a
     candidate ratio and vertex potentials; edges that would improve the
     potential switch the policy.  Terminates when no edge improves.
-    """
-    nodes = list(component)
-    if len(nodes) == 1 and not edges:
-        return None
-    local = {node: i for i, node in enumerate(nodes)}
-    n = len(nodes)
-    out_edges: List[List[RatioEdge]] = [[] for _ in range(n)]
-    for edge in edges:
-        out_edges[local[edge.source]].append(edge)
-    for i in range(n):
-        if not out_edges[i]:
-            # Strong connectivity with >1 node guarantees out-degree >= 1;
-            # a single node without self-loop carries no cycle.
-            return None
 
-    # Initial policy: the highest-weight edge out of every vertex.
-    policy: List[RatioEdge] = [
-        max(out, key=lambda e: e.weight) for out in out_edges
-    ]
+    Operates on the pre-factored component representation of
+    :class:`IncrementalMCRSolver` (which only registers components that
+    carry at least one inner edge, so every vertex here has an outgoing
+    edge): ``out[i]`` lists the outgoing edges of
+    the ``i``-th component vertex as ``(edge id, local target, transit)``
+    and ``weights`` maps edge id to the current weight, so a solve
+    allocates no edge objects.  ``initial_policy`` (entry per *global*
+    vertex id, ``-1`` = no preference) seeds each vertex's selected edge
+    when it names a valid outgoing edge of that vertex, falling back to
+    the classic highest-weight initialization otherwise.  Returns the
+    result plus the converged ``{global vertex id: edge id}`` policy.
+    """
+    n = len(nodes)
+
+    # Initial policy: the warm-start edge where one is given and still
+    # valid, else the highest-weight edge out of every vertex.
+    policy: List[Tuple[int, int, int]] = []
+    for i, node in enumerate(nodes):
+        chosen: Optional[Tuple[int, int, int]] = None
+        if initial_policy is not None and 0 <= node < len(initial_policy):
+            wanted = initial_policy[node]
+            if wanted >= 0:
+                for entry in out[i]:
+                    if entry[0] == wanted:
+                        chosen = entry
+                        break
+        if chosen is None:
+            chosen = max(out[i], key=lambda entry: weights[entry[0]])
+        policy.append(chosen)
 
     ratio = [0.0] * n
     value = [0.0] * n
 
     for _ in range(_MAX_HOWARD_ITERATIONS):
-        _evaluate_policy(n, local, policy, ratio, value)
+        _evaluate_policy(n, policy, weights, ratio, value)
         improved = False
         for i in range(n):
-            for edge in out_edges[i]:
-                j = local[edge.target]
+            for entry in out[i]:
+                gid, j, transit = entry
                 if ratio[j] > ratio[i] + _EPS:
-                    policy[i] = edge
+                    policy[i] = entry
                     improved = True
                 elif abs(ratio[j] - ratio[i]) <= _EPS:
                     candidate = (
-                        edge.weight - ratio[i] * edge.transit + value[j]
+                        weights[gid] - ratio[i] * transit + value[j]
                     )
                     if candidate > value[i] + _EPS:
-                        policy[i] = edge
+                        policy[i] = entry
                         improved = True
         if not improved:
             break
@@ -281,14 +466,15 @@ def _solve_howard(
         raise AnalysisError("Howard's algorithm failed to converge")
 
     best_i = max(range(n), key=lambda i: ratio[i])
-    cycle = _policy_cycle(n, local, policy, best_i)
-    return CycleRatioResult(ratio=ratio[best_i], cycle=tuple(cycle))
+    cycle = _policy_cycle(nodes, policy, best_i)
+    converged = {node: policy[i][0] for i, node in enumerate(nodes)}
+    return CycleRatioResult(ratio=ratio[best_i], cycle=tuple(cycle)), converged
 
 
 def _evaluate_policy(
     n: int,
-    local: Dict[int, int],
-    policy: List[RatioEdge],
+    policy: List[Tuple[int, int, int]],
+    weights: Sequence[float],
     ratio: List[float],
     value: List[float],
 ) -> None:
@@ -308,13 +494,13 @@ def _evaluate_policy(
         while state[node] == 0:
             state[node] = 1
             path.append(node)
-            node = local[policy[node].target]
+            node = policy[node][1]
         if state[node] == 1:
             # Found a new cycle: path[k:] where path[k] == node.
             k = path.index(node)
             cycle_nodes = path[k:]
-            total_weight = sum(policy[i].weight for i in cycle_nodes)
-            total_transit = sum(policy[i].transit for i in cycle_nodes)
+            total_weight = sum(weights[policy[i][0]] for i in cycle_nodes)
+            total_transit = sum(policy[i][2] for i in cycle_nodes)
             if total_transit == 0:
                 # Guarded earlier by the zero-delay cycle check, but a
                 # policy cycle is an actual graph cycle, so be safe.
@@ -331,12 +517,10 @@ def _evaluate_policy(
                 : cycle_nodes.index(anchor)
             ]
             for u in reversed(ordered[1:]):
-                succ = local[policy[u].target]
+                gid, succ, transit = policy[u]
                 ratio[u] = cycle_ratio
                 value[u] = (
-                    policy[u].weight
-                    - cycle_ratio * policy[u].transit
-                    + value[succ]
+                    weights[gid] - cycle_ratio * transit + value[succ]
                 )
             for u in cycle_nodes:
                 state[u] = 2
@@ -344,18 +528,17 @@ def _evaluate_policy(
         for u in reversed(path):
             if state[u] == 2:
                 continue
-            succ = local[policy[u].target]
+            gid, succ, transit = policy[u]
             ratio[u] = ratio[succ]
             value[u] = (
-                policy[u].weight - ratio[u] * policy[u].transit + value[succ]
+                weights[gid] - ratio[u] * transit + value[succ]
             )
             state[u] = 2
 
 
 def _policy_cycle(
-    n: int,
-    local: Dict[int, int],
-    policy: List[RatioEdge],
+    nodes: Sequence[int],
+    policy: List[Tuple[int, int, int]],
     start_local: int,
 ) -> List[int]:
     """Extract the (global-id) cycle reached from ``start_local``."""
@@ -365,10 +548,9 @@ def _policy_cycle(
     while node not in seen:
         seen[node] = len(order)
         order.append(node)
-        node = local[policy[node].target]
+        node = policy[node][1]
     cycle_local = order[seen[node]:]
-    globals_by_local = {i: e.source for i, e in enumerate(policy)}
-    return [globals_by_local[i] for i in cycle_local]
+    return [nodes[i] for i in cycle_local]
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,362 @@
+"""Incremental analysis engine: parity with the cold path + behaviour.
+
+The acceptance bar of the engine layer is numerical parity: for every
+waiting model and both analysis methods, an estimator running on cached
+engines (shared HSDF expansion, warm-started Howard, response-time memo)
+must reproduce the stateless cold path to <= 1e-9 relative over all
+use-case sizes of a four-application gallery.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis_engine import AnalysisEngine, build_engines
+from repro.core.estimator import ProbabilisticEstimator
+from repro.exceptions import AnalysisError
+from repro.generation.gallery import media_device_suite
+from repro.platform.mapping import index_mapping
+from repro.platform.usecase import UseCase, all_use_cases
+from repro.sdf.analysis import (
+    AnalysisMethod,
+    critical_cycle,
+    period,
+    period_with_response_times,
+)
+
+WAITING_MODELS = (
+    "worst_case",
+    "composability",
+    "composability_incremental",
+    "fourth_order",
+    "second_order",
+    "exact",
+    "tdma",
+)
+
+
+@pytest.fixture(scope="module")
+def gallery():
+    """Four media applications + index mapping + every use-case."""
+    graphs = media_device_suite()[:4]
+    mapping = index_mapping(graphs)
+    use_cases = all_use_cases(tuple(g.name for g in graphs))
+    return graphs, mapping, use_cases
+
+
+def _sweep_periods(graphs, mapping, use_cases, model, method, incremental):
+    estimator = ProbabilisticEstimator(
+        graphs,
+        mapping=mapping,
+        waiting_model=model,
+        analysis_method=method,
+        incremental=incremental,
+    )
+    results = estimator.estimate_many(use_cases)
+    return {
+        (result.use_case, name): result.periods[name]
+        for result in results
+        for name in result.periods
+    }
+
+
+class TestColdParity:
+    """Engine sweep == cold sweep over all use-case sizes (4-app gallery)."""
+
+    @pytest.mark.parametrize("model", WAITING_MODELS)
+    def test_mcr_parity_all_sizes(self, gallery, model):
+        graphs, mapping, use_cases = gallery
+        cold = _sweep_periods(
+            graphs, mapping, use_cases, model, AnalysisMethod.MCR, False
+        )
+        warm = _sweep_periods(
+            graphs, mapping, use_cases, model, AnalysisMethod.MCR, True
+        )
+        assert cold.keys() == warm.keys()
+        assert len({uc for uc, _ in cold}) == 15  # 2^4 - 1 use-cases
+        for key, value in cold.items():
+            assert warm[key] == pytest.approx(value, rel=1e-9), key
+
+    @pytest.mark.parametrize("model", WAITING_MODELS)
+    def test_state_space_parity_all_sizes(self, gallery, model):
+        graphs, mapping, use_cases = gallery
+        cold = _sweep_periods(
+            graphs,
+            mapping,
+            use_cases,
+            model,
+            AnalysisMethod.STATE_SPACE,
+            False,
+        )
+        warm = _sweep_periods(
+            graphs,
+            mapping,
+            use_cases,
+            model,
+            AnalysisMethod.STATE_SPACE,
+            True,
+        )
+        for key, value in cold.items():
+            assert warm[key] == pytest.approx(value, rel=1e-9), key
+
+    def test_mcr_lawler_engine_matches_cold(self, gallery):
+        graphs, _, _ = gallery
+        for graph in graphs:
+            engine = AnalysisEngine(graph, mcr_algorithm="lawler")
+            assert engine.period() == pytest.approx(
+                period(graph, mcr_algorithm="lawler"), rel=1e-9
+            )
+
+
+class TestEngineBehaviour:
+    def test_isolation_period_matches_stateless(self, gallery):
+        graphs, _, _ = gallery
+        for graph in graphs:
+            engine = AnalysisEngine(graph)
+            assert engine.isolation_period == pytest.approx(
+                period(graph), rel=1e-12
+            )
+
+    def test_weight_only_update_matches_stateless(self, gallery):
+        graphs, _, _ = gallery
+        graph = graphs[0]
+        engine = AnalysisEngine(graph)
+        inflated = {
+            name: time * 1.7
+            for name, time in graph.execution_times().items()
+        }
+        assert engine.period(inflated) == pytest.approx(
+            period_with_response_times(graph, inflated), rel=1e-12
+        )
+
+    def test_repeated_vector_hits_cache(self, gallery):
+        graphs, _, _ = gallery
+        engine = AnalysisEngine(graphs[0])
+        inflated = {
+            name: time + 5.0
+            for name, time in graphs[0].execution_times().items()
+        }
+        first = engine.period(inflated)
+        solves = engine.stats.solves
+        second = engine.period(dict(inflated))
+        assert second == first
+        assert engine.stats.solves == solves  # no new solve
+        assert engine.stats.cache_hits >= 1
+
+    def test_partial_and_full_vectors_share_cache_key(self, gallery):
+        """A mapping that omits actors at their base time must hit the
+        same memo entry as the explicit full vector."""
+        graphs, _, _ = gallery
+        graph = graphs[0]
+        engine = AnalysisEngine(graph)
+        first_actor = graph.actor_names[0]
+        partial = {first_actor: graph.execution_time(first_actor) + 3.0}
+        full = dict(graph.execution_times())
+        full[first_actor] = full[first_actor] + 3.0
+        engine.period(partial)
+        solves = engine.stats.solves
+        engine.period(full)
+        assert engine.stats.solves == solves
+
+    def test_non_positive_response_times_rejected(self, gallery):
+        """The engine keeps the cold path's Actor validation contract:
+        non-positive times raise GraphError for both analysis methods."""
+        from repro.exceptions import GraphError
+
+        graphs, _, _ = gallery
+        graph = graphs[0]
+        first_actor = graph.actor_names[0]
+        for method in (AnalysisMethod.MCR, AnalysisMethod.STATE_SPACE):
+            engine = AnalysisEngine(graph, method=method)
+            with pytest.raises(GraphError):
+                engine.period({first_actor: -5.0})
+            with pytest.raises(GraphError):
+                engine.period({first_actor: 0.0})
+        with pytest.raises(GraphError):
+            AnalysisEngine(graph).critical_cycle({first_actor: -5.0})
+
+    def test_warm_policy_is_kept_between_solves(self, gallery):
+        graphs, _, _ = gallery
+        engine = AnalysisEngine(graphs[0])
+        assert engine.last_policy is None
+        engine.period()
+        assert engine.last_policy is not None
+
+    def test_critical_cycle_matches_stateless(self, gallery):
+        graphs, _, _ = gallery
+        for graph in graphs:
+            engine = AnalysisEngine(graph)
+            stateless = critical_cycle(graph)
+            from_engine = engine.critical_cycle()
+            assert from_engine.ratio == pytest.approx(
+                stateless.ratio, rel=1e-12
+            )
+            assert from_engine.firings == stateless.firings
+
+    def test_state_space_engine_rejects_critical_cycle(self, gallery):
+        graphs, _, _ = gallery
+        engine = AnalysisEngine(
+            graphs[0], method=AnalysisMethod.STATE_SPACE
+        )
+        with pytest.raises(AnalysisError):
+            engine.critical_cycle()
+        with pytest.raises(AnalysisError):
+            engine.hsdf
+
+    def test_cache_clear_keeps_structure(self, gallery):
+        graphs, _, _ = gallery
+        engine = AnalysisEngine(graphs[0])
+        value = engine.period()
+        engine.cache_clear()
+        assert engine.period() == value
+        assert engine.stats.solves == 2  # re-solved, not re-expanded
+
+
+class TestEstimatorIntegration:
+    def test_shared_engines_across_waiting_models(self, gallery):
+        graphs, mapping, use_cases = gallery
+        engines = build_engines(graphs)
+        periods = {}
+        for model in ("second_order", "composability"):
+            estimator = ProbabilisticEstimator(
+                graphs,
+                mapping=mapping,
+                waiting_model=model,
+                engines=engines,
+            )
+            assert estimator.engines is engines
+            periods[model] = _sweep_periods(
+                graphs, mapping, use_cases, model, AnalysisMethod.MCR, False
+            )
+            for result in estimator.estimate_many(use_cases):
+                for name, value in result.periods.items():
+                    assert value == pytest.approx(
+                        periods[model][(result.use_case, name)], rel=1e-9
+                    )
+        # One expansion per app served both models.
+        assert all(e.stats.solves > 0 for e in engines.values())
+
+    def test_estimate_many_equals_individual_estimates(self, gallery):
+        graphs, mapping, use_cases = gallery
+        estimator = ProbabilisticEstimator(graphs, mapping=mapping)
+        batched = estimator.estimate_many(use_cases)
+        for use_case, batch in zip(use_cases, batched):
+            single = estimator.estimate(use_case)
+            assert single.periods == batch.periods
+
+    def test_sweep_all_sizes_exhaustive_counts(self, gallery):
+        graphs, mapping, _ = gallery
+        estimator = ProbabilisticEstimator(graphs, mapping=mapping)
+        results = estimator.sweep_all_sizes()
+        assert len(results) == 15
+        sizes = sorted(r.use_case.size for r in results)
+        assert sizes == [1, 1, 1, 1, 2, 2, 2, 2, 2, 2, 3, 3, 3, 3, 4]
+
+    def test_sweep_all_sizes_sampling_is_deterministic(self, gallery):
+        graphs, mapping, _ = gallery
+        estimator = ProbabilisticEstimator(graphs, mapping=mapping)
+        first = estimator.sweep_all_sizes(samples_per_size=2, seed=3)
+        second = estimator.sweep_all_sizes(samples_per_size=2, seed=3)
+        assert [r.use_case for r in first] == [r.use_case for r in second]
+        assert all(
+            len([r for r in first if r.use_case.size == s]) <= 2
+            for s in (1, 2, 3, 4)
+        )
+
+    def test_engines_must_cover_every_application(self, gallery):
+        graphs, mapping, _ = gallery
+        engines = build_engines(graphs[:2])
+        with pytest.raises(AnalysisError):
+            ProbabilisticEstimator(
+                graphs, mapping=mapping, engines=engines
+            )
+
+    def test_engines_must_match_graph_contents(self, gallery):
+        """Engines built from a different design variant (same names,
+        scaled timings) are rejected instead of answering silently for
+        the wrong graph."""
+        graphs, mapping, _ = gallery
+        engines = build_engines(graphs)
+        variants = [
+            g.with_execution_times(
+                {a.name: a.execution_time * 2.0 for a in g.actors}
+            )
+            for g in graphs
+        ]
+        with pytest.raises(AnalysisError):
+            ProbabilisticEstimator(
+                variants, mapping=mapping, engines=engines
+            )
+
+    def test_equal_content_graphs_are_accepted(self, gallery):
+        """Re-built (non-identical) graphs with the same content share
+        engines fine — the guard compares content, not identity."""
+        graphs, mapping, use_cases = gallery
+        engines = build_engines(graphs)
+        rebuilt = [g.renamed(g.name) for g in graphs]  # fresh objects
+        estimator = ProbabilisticEstimator(
+            rebuilt, mapping=mapping, engines=engines
+        )
+        assert estimator.estimate(use_cases[-1]).periods
+
+    def test_engines_with_cold_path_is_rejected(self, gallery):
+        """Supplying engines while forcing the cold path is a
+        contradiction; it raises instead of silently ignoring them."""
+        graphs, mapping, _ = gallery
+        with pytest.raises(AnalysisError):
+            ProbabilisticEstimator(
+                graphs,
+                mapping=mapping,
+                engines=build_engines(graphs),
+                incremental=False,
+            )
+
+    def test_engines_must_match_analysis_method(self, gallery):
+        graphs, mapping, _ = gallery
+        engines = build_engines(graphs)
+        with pytest.raises(AnalysisError):
+            ProbabilisticEstimator(
+                graphs,
+                mapping=mapping,
+                engines=engines,
+                analysis_method=AnalysisMethod.STATE_SPACE,
+            )
+
+    def test_fixed_point_iterations_parity(self, gallery):
+        graphs, mapping, use_cases = gallery
+        for incremental in (True, False):
+            estimator = ProbabilisticEstimator(
+                graphs, mapping=mapping, incremental=incremental
+            )
+            result = estimator.estimate(use_cases[-1], iterations=4)
+            if incremental:
+                warm_periods = result.periods
+            else:
+                cold_periods = result.periods
+        for name, value in cold_periods.items():
+            assert warm_periods[name] == pytest.approx(value, rel=1e-9)
+
+
+class TestEstimationResultLookups:
+    """Satellite: unknown applications raise AnalysisError, not KeyError."""
+
+    def test_normalized_period_of_unknown_app(self, gallery):
+        graphs, mapping, _ = gallery
+        result = ProbabilisticEstimator(graphs, mapping=mapping).estimate()
+        with pytest.raises(AnalysisError):
+            result.normalized_period_of("nope")
+
+    def test_isolation_period_of_unknown_app(self, gallery):
+        graphs, mapping, _ = gallery
+        result = ProbabilisticEstimator(graphs, mapping=mapping).estimate()
+        with pytest.raises(AnalysisError):
+            result.isolation_period_of("nope")
+
+    def test_known_app_lookups_still_work(self, gallery):
+        graphs, mapping, _ = gallery
+        result = ProbabilisticEstimator(graphs, mapping=mapping).estimate()
+        name = graphs[0].name
+        assert result.isolation_period_of(name) == pytest.approx(
+            result.isolation_periods[name]
+        )
+        assert result.normalized_period_of(name) >= 1.0

@@ -1,14 +1,19 @@
-"""Maximum cycle ratio tests: Howard vs Lawler vs brute force."""
+"""Maximum cycle ratio tests: Howard vs Lawler vs brute force,
+plus warm-start / incremental-solver parity."""
 
 from __future__ import annotations
+
+import random
 
 import pytest
 
 from repro.exceptions import AnalysisError, DeadlockError
+from repro.generation.random_sdf import GeneratorConfig, random_sdf_graph
 from repro.sdf.builder import GraphBuilder
 from repro.sdf.hsdf import to_hsdf
 from repro.sdf.mcm import (
     CycleRatioResult,
+    IncrementalMCRSolver,
     RatioEdge,
     max_cycle_ratio,
     max_cycle_ratio_edges,
@@ -150,3 +155,173 @@ class TestOnRawEdges:
         brute = max_cycle_ratio_edges(n, edges, method="brute").ratio
         assert howard == pytest.approx(brute, rel=1e-9)
         assert lawler == pytest.approx(brute, rel=1e-6)
+
+
+def _random_hsdf_problem(rng, n):
+    """A random strongly-cyclic RatioEdge problem (ring + chords)."""
+    edges = [
+        RatioEdge(
+            i,
+            (i + 1) % n,
+            float(rng.randint(1, 60)),
+            1 if (i + 1) % n == 0 else rng.randint(0, 1),
+        )
+        for i in range(n)
+    ]
+    for _ in range(rng.randint(1, 2 * n)):
+        u, v = rng.randrange(n), rng.randrange(n)
+        edges.append(
+            RatioEdge(
+                u, v, float(rng.randint(1, 60)), rng.randint(1, 3)
+            )
+        )
+    return edges
+
+
+class TestWarmStart:
+    """Warm-started Howard must match cold Howard, Lawler and brute."""
+
+    def test_result_carries_policy_for_howard_only(self):
+        edges = [RatioEdge(0, 1, 10.0, 1), RatioEdge(1, 0, 20.0, 1)]
+        howard = max_cycle_ratio_edges(2, edges, method="howard")
+        assert howard.policy is not None
+        assert len(howard.policy) == 2
+        assert all(index >= 0 for index in howard.policy)
+        for method in ("lawler", "brute"):
+            assert max_cycle_ratio_edges(2, edges, method=method).policy is None
+
+    def test_policy_entries_are_valid_out_edges(self):
+        rng = random.Random(11)
+        edges = _random_hsdf_problem(rng, 7)
+        result = max_cycle_ratio_edges(7, edges, method="howard")
+        for vertex, edge_id in enumerate(result.policy):
+            if edge_id >= 0:
+                assert edges[edge_id].source == vertex
+
+    def test_warm_start_is_identical_on_same_weights(self):
+        rng = random.Random(23)
+        for _ in range(20):
+            n = rng.randint(2, 7)
+            edges = _random_hsdf_problem(rng, n)
+            cold = max_cycle_ratio_edges(n, edges, method="howard")
+            warm = max_cycle_ratio_edges(
+                n, edges, method="howard", initial_policy=cold.policy
+            )
+            assert warm.ratio == cold.ratio
+
+    def test_warm_start_matches_all_methods_after_weight_drift(self):
+        """Property: reusing the previous policy under perturbed weights
+        converges to the same maximum as cold Howard, Lawler and brute."""
+        rng = random.Random(5)
+        for trial in range(25):
+            n = rng.randint(2, 6)
+            edges = _random_hsdf_problem(rng, n)
+            previous = max_cycle_ratio_edges(n, edges, method="howard")
+            drifted = [
+                RatioEdge(
+                    e.source,
+                    e.target,
+                    e.weight * rng.uniform(0.3, 3.0),
+                    e.transit,
+                )
+                for e in edges
+            ]
+            warm = max_cycle_ratio_edges(
+                n,
+                drifted,
+                method="howard",
+                initial_policy=previous.policy,
+            )
+            cold = max_cycle_ratio_edges(n, drifted, method="howard")
+            lawler = max_cycle_ratio_edges(n, drifted, method="lawler")
+            brute = max_cycle_ratio_edges(n, drifted, method="brute")
+            assert warm.ratio == pytest.approx(cold.ratio, rel=1e-9), trial
+            assert warm.ratio == pytest.approx(brute.ratio, rel=1e-9), trial
+            assert warm.ratio == pytest.approx(lawler.ratio, rel=1e-6), trial
+
+    def test_warm_start_on_randomized_sdf_expansions(self):
+        """Warm policy from the base expansion, re-solved with inflated
+        execution times, agrees with cold Howard and brute on real HSDF
+        expansions of randomized SDF graphs."""
+        config = GeneratorConfig(
+            actor_count_range=(3, 5), repetition_range=(1, 2)
+        )
+        for seed in range(12):
+            graph = random_sdf_graph(f"G{seed}", seed=seed, config=config)
+            hsdf = to_hsdf(graph)
+            base = max_cycle_ratio(hsdf)
+            rng = random.Random(1000 + seed)
+            inflated = graph.with_execution_times(
+                {
+                    actor.name: actor.execution_time
+                    * rng.uniform(1.0, 2.5)
+                    for actor in graph.actors
+                }
+            )
+            inflated_hsdf = to_hsdf(inflated)
+            warm = max_cycle_ratio(
+                inflated_hsdf, initial_policy=base.policy
+            )
+            cold = max_cycle_ratio(inflated_hsdf)
+            brute = max_cycle_ratio(inflated_hsdf, method="brute")
+            assert warm.ratio == pytest.approx(cold.ratio, rel=1e-9)
+            assert warm.ratio == pytest.approx(brute.ratio, rel=1e-9)
+
+
+class TestIncrementalSolver:
+    def test_solver_matches_cold_over_weight_sequences(self):
+        """Property: a solver reused across randomized weight updates
+        (warm-starting itself) stays identical to cold solves."""
+        rng = random.Random(97)
+        for trial in range(10):
+            n = rng.randint(2, 6)
+            edges = _random_hsdf_problem(rng, n)
+            solver = IncrementalMCRSolver(n, edges, method="howard")
+            for _ in range(8):
+                weights = [
+                    e.weight * rng.uniform(0.2, 4.0) for e in edges
+                ]
+                reweighted = [
+                    RatioEdge(e.source, e.target, w, e.transit)
+                    for e, w in zip(edges, weights)
+                ]
+                incremental = solver.solve(weights)
+                cold = max_cycle_ratio_edges(n, reweighted)
+                brute = max_cycle_ratio_edges(
+                    n, reweighted, method="brute"
+                )
+                assert incremental.ratio == pytest.approx(
+                    cold.ratio, rel=1e-9
+                ), trial
+                assert incremental.ratio == pytest.approx(
+                    brute.ratio, rel=1e-9
+                ), trial
+
+    def test_solver_keeps_last_policy(self):
+        edges = [RatioEdge(0, 1, 10.0, 1), RatioEdge(1, 0, 20.0, 1)]
+        solver = IncrementalMCRSolver(2, edges)
+        assert solver.policy is None
+        solver.solve()
+        assert solver.policy is not None
+        assert solver.solve_count == 1
+
+    def test_solver_rejects_bad_weight_count(self):
+        solver = IncrementalMCRSolver(1, [RatioEdge(0, 0, 5.0, 1)])
+        with pytest.raises(AnalysisError):
+            solver.solve([1.0, 2.0])
+
+    def test_solver_rejects_unknown_method(self):
+        with pytest.raises(AnalysisError):
+            IncrementalMCRSolver(
+                1, [RatioEdge(0, 0, 5.0, 1)], method="magic"
+            )
+
+    def test_solver_detects_deadlock_at_construction(self):
+        edges = [RatioEdge(0, 1, 5.0, 0), RatioEdge(1, 0, 5.0, 0)]
+        with pytest.raises(DeadlockError):
+            IncrementalMCRSolver(2, edges)
+
+    def test_solver_raises_on_acyclic_graph(self):
+        solver = IncrementalMCRSolver(2, [RatioEdge(0, 1, 5.0, 1)])
+        with pytest.raises(AnalysisError):
+            solver.solve()
