@@ -15,8 +15,14 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import report
+from conftest import SMOKE, report
 from repro.experiments.figure5 import run_figure5
+
+#: The contention-calibrated thresholds assume the full ten-application
+#: suite; the CI smoke run (4 applications, REPRO_BENCH_SMOKE=1) keeps
+#: only the structural ordering.
+WORST_CASE_FACTOR = 1.0 if SMOKE else 2.0
+PROBABILISTIC_BAND = 0.8 if SMOKE else 0.5
 
 
 def test_figure5(benchmark, suite):
@@ -35,12 +41,13 @@ def test_figure5(benchmark, suite):
     composed = result.series["Composability-based"]
 
     for i, application in enumerate(result.applications):
-        assert worst[i] > 2.0 * simulated[i], application
+        assert worst[i] > WORST_CASE_FACTOR * simulated[i], application
         assert simulated_worst[i] >= simulated[i] * 0.999, application
         for series in (second, fourth, composed):
-            assert abs(series[i] - simulated[i]) / simulated[i] < 0.5, (
-                application
-            )
+            assert (
+                abs(series[i] - simulated[i]) / simulated[i]
+                < PROBABILISTIC_BAND
+            ), application
         assert second[i] >= fourth[i] - 1e-9, application
 
     mean_sim = sum(simulated) / len(simulated)

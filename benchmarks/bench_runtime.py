@@ -1,0 +1,161 @@
+"""Runtime subsystem benches: decision rate, parallel sweep, store hits.
+
+The run-time story needs numbers: the resource manager must decide
+admissions far faster than scenario events arrive (>= 1000/s even on a
+modest core), the sweep service must actually buy wall-clock with
+worker processes, and a stored sweep must be answered from the result
+store without touching a solver.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from conftest import report
+from repro.experiments.runtime_throughput import run_runtime_throughput
+from repro.experiments.setup import paper_benchmark_suite
+from repro.generation.workload import WorkloadConfig, WorkloadGenerator
+from repro.runtime.manager import ResourceManager, gallery_from_graphs
+from repro.runtime.service import GallerySpec, ResultStore, SweepService
+from repro.sdf.analysis import AnalysisMethod
+
+#: Decisions/sec the resource manager must sustain on the 4-app gallery.
+#: Override via the environment for noisy shared runners.
+MIN_DECISION_RATE = float(
+    os.environ.get("REPRO_BENCH_MIN_DECISION_RATE", "1000")
+)
+
+#: ``jobs=4`` wall-clock must be below ``serial * MAX_RATIO`` (1.0 =
+#: strictly beats serial).  Relaxable on noisy shared runners.
+PARALLEL_MAX_RATIO = float(
+    os.environ.get("REPRO_BENCH_PARALLEL_MAX_RATIO", "1.0")
+)
+
+
+def test_resource_manager_decision_rate(benchmark):
+    """>= 1k decisions/sec over a 10k-event trace on a 4-app gallery."""
+    suite = paper_benchmark_suite(application_count=4)
+    specs = gallery_from_graphs(list(suite.graphs), slack=1.3)
+    generator = WorkloadGenerator(
+        [spec.name for spec in specs],
+        quality_levels={
+            spec.name: spec.ladder.level_names for spec in specs
+        },
+        config=WorkloadConfig(mean_interarrival=40.0),
+    )
+    trace = generator.generate(seed=1, events=10_000)
+
+    def replay():
+        manager = ResourceManager(
+            specs, mapping=suite.mapping, policy="reject"
+        )
+        return manager.replay(trace)
+
+    log = benchmark.pedantic(replay, rounds=1, iterations=1)
+    rate = log.decisions_per_second
+    benchmark.extra_info["decisions_per_second"] = round(rate)
+    benchmark.extra_info["admission_ratio"] = round(
+        log.admission_ratio, 3
+    )
+    assert len(log) == 10_000
+    assert rate >= MIN_DECISION_RATE, (
+        f"resource manager sustained only {rate:.0f} decisions/sec "
+        f"(floor {MIN_DECISION_RATE:.0f})"
+    )
+
+
+def test_runtime_throughput_experiment(benchmark):
+    """Admission-ratio-vs-load curve (the runtime experiment artefact)."""
+    suite = paper_benchmark_suite(application_count=4)
+    specs = gallery_from_graphs(list(suite.graphs), slack=1.3)
+    result = benchmark.pedantic(
+        lambda: run_runtime_throughput(
+            specs,
+            mapping=suite.mapping,
+            loads=(0.5, 1.0, 2.0, 4.0),
+            events=300,
+            policy="downgrade",
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report("runtime_throughput", result.render())
+    ratios = [point.admission_ratio for point in result.points]
+    # More load cannot admit a larger fraction (modulo small-sample
+    # noise): the curve's ends must be ordered.
+    assert ratios[-1] <= ratios[0] + 0.05
+    # The downgrade policy pays an assignment search per refusal, so
+    # its floor is half the plain admission rate.
+    assert result.decisions_per_second >= MIN_DECISION_RATE / 2
+
+
+def test_parallel_sweep_beats_serial(benchmark):
+    """``jobs=4`` under serial wall-clock on the 8-app sweep.
+
+    Uses the state-space method — the expensive engine whose structure
+    cannot be pre-factored — so the pooled workers amortize real
+    per-use-case cost, not just process startup.
+    """
+    if (os.cpu_count() or 1) < 2:
+        pytest.skip("parallel speedup needs at least 2 CPUs")
+    gallery = GallerySpec(kind="paper", application_count=8)
+
+    started = time.perf_counter()
+    serial = SweepService(jobs=1).sweep(
+        gallery, method=AnalysisMethod.STATE_SPACE
+    )
+    serial_seconds = time.perf_counter() - started
+
+    parallel = benchmark.pedantic(
+        lambda: SweepService(jobs=4).sweep(
+            gallery, method=AnalysisMethod.STATE_SPACE
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    parallel_seconds = parallel.elapsed_seconds
+    benchmark.extra_info["serial_seconds"] = round(serial_seconds, 3)
+    benchmark.extra_info["parallel_seconds"] = round(
+        parallel_seconds, 3
+    )
+
+    for a, b in zip(serial.results, parallel.results):
+        assert a.use_case == b.use_case
+        for app in a.use_case:
+            assert abs(a.periods[app] - b.periods[app]) <= 1e-9 * abs(
+                a.periods[app]
+            )
+    assert parallel_seconds < serial_seconds * PARALLEL_MAX_RATIO, (
+        f"jobs=4 took {parallel_seconds:.2f}s vs serial "
+        f"{serial_seconds:.2f}s (must be under "
+        f"{PARALLEL_MAX_RATIO:.2f}x)"
+    )
+
+
+def test_stored_sweep_is_pure_cache_hits(benchmark, tmp_path):
+    """A repeated sweep answers from the store without solving."""
+    gallery = GallerySpec(kind="paper", application_count=8)
+    store_path = tmp_path / "results.jsonl"
+    first = SweepService(store=ResultStore(store_path)).sweep(gallery)
+    assert first.misses == first.use_case_count
+
+    second = benchmark.pedantic(
+        lambda: SweepService(store=ResultStore(store_path)).sweep(
+            gallery
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert second.hits == second.use_case_count
+    assert second.misses == 0
+    benchmark.extra_info["cold_seconds"] = round(
+        first.elapsed_seconds, 4
+    )
+    benchmark.extra_info["hit_seconds"] = round(
+        second.elapsed_seconds, 4
+    )
+    # Store load + lookup must be far cheaper than recomputation.
+    assert second.elapsed_seconds < first.elapsed_seconds

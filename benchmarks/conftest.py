@@ -9,6 +9,10 @@
   ``benchmarks/results/``.
 * Set ``REPRO_BENCH_EXHAUSTIVE=1`` to sweep all 2^10 use-cases like the
   paper (minutes instead of seconds).
+* Set ``REPRO_BENCH_SMOKE=1`` to shrink the shared suite and sweep to
+  CI-smoke size (4 applications, 2 samples per size, short
+  simulations); the ``run_smoke.py`` driver uses this to catch bench
+  bitrot on every PR without paying for full reproductions.
 """
 
 from __future__ import annotations
@@ -30,6 +34,9 @@ RESULTS_DIR = Path(__file__).parent / "results"
 #: runners.
 MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "3.0"))
 
+#: CI smoke mode: one fast case per bench file on a scaled-down setup.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
+
 _REPORTS: List[Tuple[str, str]] = []
 
 
@@ -43,7 +50,9 @@ def report(name: str, text: str) -> None:
 @pytest.fixture(scope="session")
 def suite() -> BenchmarkSuite:
     """The paper-scale ten-application benchmark suite."""
-    return paper_benchmark_suite()
+    return paper_benchmark_suite(
+        application_count=4 if SMOKE else 10
+    )
 
 
 @pytest.fixture(scope="session")
@@ -56,8 +65,8 @@ def sweep_config() -> SweepConfig:
             "fourth_order",
             "second_order",
         ),
-        target_iterations=100,
-        samples_per_size=None if exhaustive else 20,
+        target_iterations=20 if SMOKE else 100,
+        samples_per_size=2 if SMOKE else (None if exhaustive else 20),
         seed=1,
     )
 

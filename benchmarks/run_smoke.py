@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Bench bitrot smoke: collect every bench file, run one fast case each.
+
+CI cannot afford the full reproductions, but bench files rot silently
+when APIs drift — imports break, fixtures disappear, renamed helpers
+linger.  This driver catches that on every PR:
+
+1. ``pytest --collect-only`` on each ``bench_*.py`` (import/fixture
+   bitrot fails the collection);
+2. one fast case per file — the first collected test, unless the file
+   has a designated fast case in :data:`FAST_CASE` — executed with
+   ``--benchmark-disable`` under ``REPRO_BENCH_SMOKE=1`` (the conftest
+   shrinks the shared suite/sweep fixtures accordingly).
+
+Usage::
+
+    REPRO_BENCH_SMOKE=1 python benchmarks/run_smoke.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+BENCH_DIR = pathlib.Path(__file__).parent
+
+#: Files whose *first* collected test is expensive even at smoke scale
+#: (e.g. it builds its own 20-application suite): run this case instead.
+FAST_CASE = {
+    "bench_scalability.py": "test_sweep_speedup",
+    "bench_runtime.py": "test_stored_sweep_is_pure_cache_hits",
+}
+
+
+def main() -> int:
+    files = sorted(BENCH_DIR.glob("bench_*.py"))
+    if not files:
+        print("no bench files found", file=sys.stderr)
+        return 1
+
+    selected: list[str] = []
+    for path in files:
+        collected = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "pytest",
+                str(path),
+                "--collect-only",
+                "-q",
+            ],
+            capture_output=True,
+            text=True,
+            cwd=BENCH_DIR.parent,
+        )
+        if collected.returncode != 0:
+            sys.stdout.write(collected.stdout)
+            sys.stderr.write(collected.stderr)
+            print(f"collection failed for {path.name}", file=sys.stderr)
+            return 1
+        test_ids = [
+            line.strip()
+            for line in collected.stdout.splitlines()
+            if "::" in line
+        ]
+        if not test_ids:
+            print(f"no tests collected in {path.name}", file=sys.stderr)
+            return 1
+        wanted = FAST_CASE.get(path.name)
+        if wanted is not None:
+            matches = [t for t in test_ids if wanted in t]
+            if not matches:
+                print(
+                    f"{path.name}: fast case {wanted!r} not found",
+                    file=sys.stderr,
+                )
+                return 1
+            selected.append(matches[0])
+        else:
+            selected.append(test_ids[0])
+        print(f"{path.name}: collected {len(test_ids)}, "
+              f"running {selected[-1]}")
+
+    return subprocess.call(
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            *selected,
+            "-q",
+            "--benchmark-disable",
+        ],
+        cwd=BENCH_DIR.parent,
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

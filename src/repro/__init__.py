@@ -40,9 +40,13 @@ Subpackages
     Worst-case response-time baselines ([3], [6]).
 ``repro.admission``
     Run-time admission control on the composability algebra.
+``repro.runtime``
+    The event-driven resource manager: scenario traces, quality
+    ladders, QoS policies (reject / evict / downgrade), runtime logs,
+    and the parallel store-backed sweep service.
 ``repro.experiments``
     Reproduction of every evaluation artefact (Table 1, Figures 5-6,
-    timing).
+    timing, runtime throughput).
 """
 
 from repro.admission import AdmissionController, AdmissionDecision
@@ -68,8 +72,14 @@ from repro.exceptions import (
     InconsistentGraphError,
     MappingError,
     ReproError,
+    ResourceManagerError,
 )
-from repro.generation import GeneratorConfig, random_sdf_graph
+from repro.generation import (
+    GeneratorConfig,
+    WorkloadConfig,
+    WorkloadGenerator,
+    random_sdf_graph,
+)
 from repro.platform import (
     Mapping,
     Platform,
@@ -89,6 +99,17 @@ from repro.sdf import (
     repetition_vector,
     throughput,
 )
+from repro.runtime import (
+    AppSpec,
+    QualityLadder,
+    QualityLevel,
+    ResourceManager,
+    RuntimeLog,
+    ScenarioEvent,
+    SweepService,
+    Trace,
+    gallery_from_graphs,
+)
 from repro.simulation import SimulationConfig, Simulator, simulate
 
 __version__ = "1.0.0"
@@ -102,6 +123,7 @@ __all__ = [
     "AnalysisEngine",
     "AnalysisError",
     "AnalysisMethod",
+    "AppSpec",
     "Channel",
     "Composite",
     "DeadlockError",
@@ -117,11 +139,21 @@ __all__ = [
     "Platform",
     "ProbabilisticEstimator",
     "Processor",
+    "QualityLadder",
+    "QualityLevel",
     "ReproError",
+    "ResourceManager",
+    "ResourceManagerError",
+    "RuntimeLog",
     "SDFGraph",
+    "ScenarioEvent",
     "SimulationConfig",
     "Simulator",
+    "SweepService",
+    "Trace",
     "UseCase",
+    "WorkloadConfig",
+    "WorkloadGenerator",
     "all_use_cases",
     "build_engines",
     "build_profiles",
@@ -129,6 +161,7 @@ __all__ = [
     "compose_all",
     "decompose",
     "estimate_use_case",
+    "gallery_from_graphs",
     "index_mapping",
     "period",
     "random_sdf_graph",

@@ -15,6 +15,15 @@ requirement.
 from repro.admission.controller import (
     AdmissionController,
     AdmissionDecision,
+    compose_aggregates,
+    estimate_resident_periods,
+    periods_from_aggregates,
 )
 
-__all__ = ["AdmissionController", "AdmissionDecision"]
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "compose_aggregates",
+    "estimate_resident_periods",
+    "periods_from_aggregates",
+]

@@ -16,14 +16,26 @@ exactly the workflow the paper sketches for run-time use:
 Because the ``(x)`` operator is associative only to second order,
 repeated compose/decompose cycles accumulate a small drift relative to
 recomposing from scratch; :meth:`AdmissionController.rebuild` restores
-the exact aggregates (the test suite bounds the drift).
+the exact aggregates (the test suite bounds the drift).  Long-running
+deployments pass ``rebuild_interval`` so the controller rebuilds itself
+every N compose/decompose cycles instead of relying on the caller to
+remember.
+
+Period analysis can run on shared
+:class:`~repro.analysis_engine.AnalysisEngine` instances (``engines``):
+the engine's cached HSDF expansion and warm-started solver answer each
+contended-period query as a weight-only solve, and quality-level
+*variants* of an application (same topology, scaled execution times —
+see :mod:`repro.runtime.quality`) reuse the base graph's engine because
+every query carries a full per-actor time vector.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping as TMapping, Optional, Tuple
 
+from repro.analysis_engine import AnalysisEngine
 from repro.core.blocking import ActorProfile, build_profiles
 from repro.core.composability import (
     Composite,
@@ -64,6 +76,152 @@ class AdmissionDecision:
     required_periods: Dict[str, float]
 
 
+# ----------------------------------------------------------------------
+# Shared estimation helpers (used by the controller, the runtime
+# resource manager's QoS policy search, and the cold-path parity tests)
+# ----------------------------------------------------------------------
+def compose_aggregates(
+    mapping: Mapping,
+    profiles: TMapping[Tuple[str, str], ActorProfile],
+) -> Dict[str, Composite]:
+    """Fresh per-processor aggregates from ``profiles``.
+
+    Profiles are folded in iteration order — the same left-to-right
+    convention :meth:`AdmissionController.rebuild` uses — so a fresh
+    composition of the controller's own profile dict reproduces its
+    aggregates bit-for-bit.
+    """
+    aggregates: Dict[str, Composite] = {
+        name: Composite.empty()
+        for name in mapping.platform.processor_names
+    }
+    for (app, actor), profile in profiles.items():
+        processor = mapping.processor_of(app, actor)
+        aggregates[processor] = compose(
+            aggregates[processor], Composite.of_profile(profile)
+        )
+    return aggregates
+
+
+def periods_from_aggregates(
+    mapping: Mapping,
+    aggregates: TMapping[str, Composite],
+    graphs: TMapping[str, SDFGraph],
+    profiles: TMapping[Tuple[str, str], ActorProfile],
+    method: AnalysisMethod = AnalysisMethod.MCR,
+    engines: Optional[TMapping[str, AnalysisEngine]] = None,
+) -> Dict[str, float]:
+    """Contended period of each application given node aggregates.
+
+    Every actor's waiting time is its node's aggregate with the actor
+    itself removed (the paper's "only the inverse operation with their
+    own parameters has to be performed").  When an engine with a
+    compatible topology is available for an application, the period is a
+    warm-started weight-only solve; otherwise the cold
+    :func:`period_with_response_times` path runs.
+    """
+    periods: Dict[str, float] = {}
+    for app, graph in graphs.items():
+        response_times: Dict[str, float] = {}
+        for actor in graph.actor_names:
+            profile = profiles[(app, actor)]
+            processor = mapping.processor_of(app, actor)
+            rest = decompose(
+                aggregates[processor], Composite.of_profile(profile)
+            )
+            waiting = max(0.0, rest.waiting_product)
+            response_times[actor] = profile.tau + waiting
+        engine = _usable_engine(engines, app, graph)
+        if engine is not None:
+            periods[app] = engine.period(response_times)
+        else:
+            periods[app] = period_with_response_times(
+                graph, response_times, method=method
+            )
+    return periods
+
+
+def estimate_resident_periods(
+    mapping: Mapping,
+    graphs: TMapping[str, SDFGraph],
+    method: AnalysisMethod = AnalysisMethod.MCR,
+    engines: Optional[TMapping[str, AnalysisEngine]] = None,
+    isolation_periods: Optional[TMapping[str, float]] = None,
+) -> Dict[str, float]:
+    """From-scratch contended periods of a resident set.
+
+    Builds profiles (isolation periods via ``engines`` when available),
+    composes fresh aggregates, and estimates every application.  This is
+    the stateless reference the incremental controller is measured
+    against, and the evaluator behind the downgrade policy's quality-
+    assignment search.
+    """
+    if isolation_periods is None:
+        isolation_periods = {
+            name: _isolation_period(graph, method, engines)
+            for name, graph in graphs.items()
+        }
+    profiles = build_profiles(
+        list(graphs.values()), periods=dict(isolation_periods)
+    )
+    aggregates = compose_aggregates(mapping, profiles)
+    return periods_from_aggregates(
+        mapping, aggregates, graphs, profiles, method=method,
+        engines=engines,
+    )
+
+
+def _isolation_period(
+    graph: SDFGraph,
+    method: AnalysisMethod,
+    engines: Optional[TMapping[str, AnalysisEngine]],
+) -> float:
+    engine = _usable_engine(engines, graph.name, graph)
+    if engine is not None:
+        return engine.period(graph.execution_times())
+    return analytical_period(graph, method=method)
+
+
+def _usable_engine(
+    engines: Optional[TMapping[str, AnalysisEngine]],
+    application: str,
+    graph: SDFGraph,
+) -> Optional[AnalysisEngine]:
+    """The application's engine, if its topology matches ``graph``.
+
+    Execution times are allowed to differ (quality-level variants): the
+    period queries above always pass a complete per-actor time vector,
+    so the engine's base times never leak into the answer.
+    """
+    if engines is None:
+        return None
+    engine = engines.get(application)
+    if engine is None:
+        return None
+    if _same_topology(engine.graph, graph):
+        return engine
+    return None
+
+
+def _same_topology(first: SDFGraph, second: SDFGraph) -> bool:
+    if first is second:
+        return True
+    if first.actor_names != second.actor_names:
+        return False
+    def signature(graph: SDFGraph):
+        return sorted(
+            (
+                c.source,
+                c.target,
+                c.production_rate,
+                c.consumption_rate,
+                c.initial_tokens,
+            )
+            for c in graph.channels
+        )
+    return signature(first) == signature(second)
+
+
 class AdmissionController:
     """Admits/evicts applications against throughput requirements.
 
@@ -74,15 +232,37 @@ class AdmissionController:
         admission.
     analysis_method:
         Period engine used for isolation and contended periods.
+    engines:
+        Optional shared ``{application: AnalysisEngine}``; admission
+        requests then run as warm-started weight-only solves.  Engines
+        whose topology does not match a requesting graph are ignored
+        for that request (cold fallback), so quality variants work.
+    rebuild_interval:
+        Automatically :meth:`rebuild` after this many compose/decompose
+        cycles (an admit or withdraw each count one).  ``None`` keeps
+        the legacy manual-rebuild behaviour; ``1`` rebuilds after every
+        commit, trading O(total actors) work per cycle for exact
+        (drift-free) aggregates.
     """
 
     def __init__(
         self,
         mapping: Mapping,
         analysis_method: AnalysisMethod = AnalysisMethod.MCR,
+        engines: Optional[TMapping[str, AnalysisEngine]] = None,
+        rebuild_interval: Optional[int] = None,
     ) -> None:
+        if rebuild_interval is not None and rebuild_interval < 1:
+            raise AdmissionError(
+                f"rebuild_interval must be >= 1 or None, "
+                f"got {rebuild_interval}"
+            )
         self.mapping = mapping
         self.analysis_method = analysis_method
+        self.rebuild_interval = rebuild_interval
+        self._engines: Dict[str, AnalysisEngine] = (
+            dict(engines) if engines is not None else {}
+        )
         self._aggregates: Dict[str, Composite] = {
             name: Composite.empty()
             for name in mapping.platform.processor_names
@@ -90,6 +270,9 @@ class AdmissionController:
         self._graphs: Dict[str, SDFGraph] = {}
         self._profiles: Dict[Tuple[str, str], ActorProfile] = {}
         self._required_period: Dict[str, float] = {}
+        self._cycles_since_rebuild = 0
+        self._total_cycles = 0
+        self._rebuild_count = 0
 
     # ------------------------------------------------------------------
     # Queries
@@ -97,6 +280,38 @@ class AdmissionController:
     @property
     def admitted_applications(self) -> Tuple[str, ...]:
         return tuple(self._graphs.keys())
+
+    @property
+    def cycles_since_rebuild(self) -> int:
+        """Compose/decompose cycles since the last (or initial) rebuild."""
+        return self._cycles_since_rebuild
+
+    @property
+    def total_cycles(self) -> int:
+        """Compose/decompose cycles over the controller's lifetime."""
+        return self._total_cycles
+
+    @property
+    def rebuild_count(self) -> int:
+        """How many times the aggregates were recomposed from scratch."""
+        return self._rebuild_count
+
+    def graph_of(self, application: str) -> SDFGraph:
+        """The (possibly quality-variant) graph admitted for ``application``."""
+        try:
+            return self._graphs[application]
+        except KeyError:
+            raise AdmissionError(
+                f"application {application!r} is not admitted"
+            ) from None
+
+    def required_period_of(self, application: str) -> Optional[float]:
+        """Registered requirement, or ``None`` for best-effort apps."""
+        if application not in self._graphs:
+            raise AdmissionError(
+                f"application {application!r} is not admitted"
+            )
+        return self._required_period.get(application)
 
     def aggregate_of(self, processor: str) -> Composite:
         """Current aggregate (P, mu*P) of ``processor``."""
@@ -107,6 +322,13 @@ class AdmissionController:
                 f"unknown processor {processor!r}"
             ) from None
 
+    def utilization(self) -> Dict[str, float]:
+        """Blocking probability (busy fraction) per processor."""
+        return {
+            name: aggregate.probability
+            for name, aggregate in self._aggregates.items()
+        }
+
     def estimated_period(self, application: str) -> float:
         """Contended period estimate of an admitted application."""
         if application not in self._graphs:
@@ -115,6 +337,10 @@ class AdmissionController:
             )
         periods = self._estimate_periods(self._aggregates, self._graphs)
         return periods[application]
+
+    def estimated_periods(self) -> Dict[str, float]:
+        """Contended period estimate of every admitted application."""
+        return self._estimate_periods(self._aggregates, self._graphs)
 
     # ------------------------------------------------------------------
     # Admission / withdrawal
@@ -141,7 +367,14 @@ class AdmissionController:
             )
         self.mapping.validate_against([graph])
 
-        candidate_profiles = build_profiles([graph])
+        candidate_profiles = build_profiles(
+            [graph],
+            periods={
+                graph.name: _isolation_period(
+                    graph, self.analysis_method, self._engines
+                )
+            },
+        )
         tentative = dict(self._aggregates)
         for (app, actor), profile in candidate_profiles.items():
             processor = self.mapping.processor_of(app, actor)
@@ -180,12 +413,51 @@ class AdmissionController:
         self._profiles = tentative_all_profiles
         if max_period is not None:
             self._required_period[graph.name] = max_period
+        self._note_cycle()
         return AdmissionDecision(
             admitted=True,
             reason=f"{graph.name!r} admitted",
             estimated_periods=periods,
             required_periods=requirements,
         )
+
+    def admit_unchecked(
+        self,
+        graph: SDFGraph,
+        max_period: Optional[float] = None,
+    ) -> None:
+        """Compose ``graph`` in without the requirement gate.
+
+        The rollback path of the QoS policies: restoring a previously
+        resident application must not fail just because the withdraw/
+        re-admit cycle changed the ``(x)`` fold order and shifted a
+        borderline estimate by its second-order associativity error.
+        ``max_period`` is registered (the application keeps its
+        requirement for *future* decisions) but not enforced now.
+        """
+        if graph.name in self._graphs:
+            raise AdmissionError(
+                f"application {graph.name!r} is already admitted"
+            )
+        self.mapping.validate_against([graph])
+        profiles = build_profiles(
+            [graph],
+            periods={
+                graph.name: _isolation_period(
+                    graph, self.analysis_method, self._engines
+                )
+            },
+        )
+        for (app, actor), profile in profiles.items():
+            processor = self.mapping.processor_of(app, actor)
+            self._aggregates[processor] = compose(
+                self._aggregates[processor], Composite.of_profile(profile)
+            )
+        self._graphs[graph.name] = graph
+        self._profiles.update(profiles)
+        if max_period is not None:
+            self._required_period[graph.name] = max_period
+        self._note_cycle()
 
     def withdraw(self, application: str) -> None:
         """Remove an admitted application (Eq. 8/9 decomposition)."""
@@ -201,6 +473,7 @@ class AdmissionController:
             self._aggregates[processor] = decompose(
                 self._aggregates[processor], Composite.of_profile(profile)
             )
+        self._note_cycle()
 
     def rebuild(self) -> None:
         """Recompose every aggregate from the stored profiles.
@@ -209,46 +482,39 @@ class AdmissionController:
         accumulate (the ``(x)`` operator is associative only to second
         order).  Cost: O(total actors).
         """
-        aggregates = {
-            name: Composite.empty()
-            for name in self.mapping.platform.processor_names
-        }
-        for (app, actor), profile in self._profiles.items():
-            processor = self.mapping.processor_of(app, actor)
-            aggregates[processor] = compose(
-                aggregates[processor], Composite.of_profile(profile)
-            )
-        self._aggregates = aggregates
+        self._aggregates = compose_aggregates(
+            self.mapping, self._profiles
+        )
+        self._cycles_since_rebuild = 0
+        self._rebuild_count += 1
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _note_cycle(self) -> None:
+        """Count one compose/decompose cycle; auto-rebuild when due."""
+        self._total_cycles += 1
+        self._cycles_since_rebuild += 1
+        if (
+            self.rebuild_interval is not None
+            and self._cycles_since_rebuild >= self.rebuild_interval
+        ):
+            self.rebuild()
+
     def _estimate_periods(
         self,
         aggregates: Dict[str, Composite],
         graphs: Dict[str, SDFGraph],
         profiles: Optional[Dict[Tuple[str, str], ActorProfile]] = None,
     ) -> Dict[str, float]:
-        """Estimated contended period of each application.
-
-        Every actor's waiting time is its node's aggregate with the actor
-        itself removed (the paper's "only the inverse operation with
-        their own parameters has to be performed").
-        """
+        """Estimated contended period of each application."""
         if profiles is None:
             profiles = self._profiles
-        periods: Dict[str, float] = {}
-        for app, graph in graphs.items():
-            response_times: Dict[str, float] = {}
-            for actor in graph.actor_names:
-                profile = profiles[(app, actor)]
-                processor = self.mapping.processor_of(app, actor)
-                rest = decompose(
-                    aggregates[processor], Composite.of_profile(profile)
-                )
-                waiting = max(0.0, rest.waiting_product)
-                response_times[actor] = profile.tau + waiting
-            periods[app] = period_with_response_times(
-                graph, response_times, method=self.analysis_method
-            )
-        return periods
+        return periods_from_aggregates(
+            self.mapping,
+            aggregates,
+            graphs,
+            profiles,
+            method=self.analysis_method,
+            engines=self._engines,
+        )

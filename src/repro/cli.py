@@ -1,17 +1,20 @@
 """Command-line interface.
 
-Five subcommands mirror the library's workflow::
+The subcommands mirror the library's workflow::
 
     python -m repro generate --seed 7 --json         # make a graph
     python -m repro info graph.json                  # analyze one graph
     python -m repro estimate --suite 5 --model exact # Fig.-4 estimate
     python -m repro simulate --suite 5               # reference DES run
     python -m repro sweep --suite 5 --samples 4      # mini Table 1/Fig 6
+    python -m repro runtime --suite 4 --events 1000  # resource manager
 
 Application sets come from the deterministic paper suite (``--suite N``
 = first N of the ten seeded applications), the media gallery
-(``--media``) or graph JSON files (``--file``, repeatable).  All output
-is plain text.
+(``--media``) or graph JSON files (``--file``, repeatable).  The
+``sweep --estimates-only`` mode honors a persistent result store
+(``--store results.jsonl``) and fans misses out over worker processes
+(``--jobs 4``).  All output is plain text.
 """
 
 from __future__ import annotations
@@ -126,7 +129,93 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="waiting model for --estimates-only (default second_order)",
     )
+    sweep.add_argument(
+        "--store",
+        metavar="PATH",
+        default=None,
+        help=(
+            "JSON-lines result store for --estimates-only: stored "
+            "use-cases are cache hits, misses are computed and "
+            "appended (hit/miss counts are printed)"
+        ),
+    )
+    sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker processes for --estimates-only misses "
+            "(1 = in-process)"
+        ),
+    )
     sweep.set_defaults(handler=_cmd_sweep)
+
+    runtime = commands.add_parser(
+        "runtime",
+        help=(
+            "replay a generated scenario-event stream through the "
+            "run-time resource manager"
+        ),
+    )
+    _add_application_selection(runtime)
+    runtime.add_argument("--events", type=int, default=500)
+    runtime.add_argument("--seed", type=int, default=7)
+    runtime.add_argument(
+        "--policy",
+        choices=("reject", "evict", "downgrade", "downgrade-greedy"),
+        default="downgrade",
+        help="QoS policy applied when a request does not fit",
+    )
+    runtime.add_argument(
+        "--arrival",
+        choices=("poisson", "bursty", "diurnal"),
+        default="poisson",
+    )
+    runtime.add_argument(
+        "--mean-interarrival",
+        type=float,
+        default=100.0,
+        help="mean time between start requests (the load knob)",
+    )
+    runtime.add_argument(
+        "--mean-holding",
+        type=float,
+        default=400.0,
+        help="mean time an application stays running",
+    )
+    runtime.add_argument(
+        "--slack",
+        type=float,
+        default=1.5,
+        help=(
+            "each application's required period = slack x its "
+            "isolation period"
+        ),
+    )
+    runtime.add_argument(
+        "--validate",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "cross-check up to N resident-set snapshots against the "
+            "discrete-event simulator"
+        ),
+    )
+    runtime.add_argument(
+        "--save-trace",
+        metavar="PATH",
+        default=None,
+        help="write the generated trace as JSON",
+    )
+    runtime.add_argument(
+        "--save-log",
+        metavar="PATH",
+        default=None,
+        help="write the decision log as JSON",
+    )
+    runtime.set_defaults(handler=_cmd_runtime)
 
     reproduce = commands.add_parser(
         "reproduce",
@@ -301,20 +390,22 @@ def _cmd_simulate(arguments) -> None:
 
 
 def _cmd_sweep(arguments) -> None:
-    suite = _selected_suite(arguments)
     if arguments.samples < 0:
         raise ExperimentError(
             f"--samples must be >= 0 (0 = exhaustive 2^N), "
             f"got {arguments.samples}"
         )
     if arguments.estimates_only:
-        _cmd_sweep_estimates_only(arguments, suite)
+        _cmd_sweep_estimates_only(arguments)
         return
-    if arguments.model is not None:
-        raise ExperimentError(
-            "--model only applies with --estimates-only; the "
-            "simulating sweep always compares all four techniques"
-        )
+    suite = _selected_suite(arguments)
+    for flag, default in (("model", None), ("store", None), ("jobs", 1)):
+        if getattr(arguments, flag) != default:
+            raise ExperimentError(
+                f"--{flag} only applies with --estimates-only; the "
+                "simulating sweep always compares all four techniques "
+                "in-process"
+            )
     sweep = run_sweep(
         suite,
         config=SweepConfig(
@@ -366,21 +457,31 @@ def _cmd_sweep(arguments) -> None:
     )
 
 
-def _cmd_sweep_estimates_only(arguments, suite: BenchmarkSuite) -> None:
+def _cmd_sweep_estimates_only(arguments) -> None:
     """Batched estimation sweep on the incremental analysis engine.
 
     Demonstrates the paper's headline workflow — sweeping every
     (sampled) use-case analytically — at engine speed: no simulations,
     one shared set of cached HSDF expansions, warm-started solves.
+    With ``--store`` and/or ``--jobs`` the sweep runs through the
+    :class:`~repro.runtime.service.SweepService`: stored use-cases are
+    cache hits, misses fan out over worker processes.
     """
     import time as _time
 
+    model = arguments.model or "second_order"
+    samples = arguments.samples if arguments.samples > 0 else None
+    if arguments.store is not None or arguments.jobs != 1:
+        # The service path rebuilds the gallery from its recipe (in
+        # workers, when --jobs > 1) — don't build the suite here.
+        _cmd_sweep_service(arguments, model, samples)
+        return
+    suite = _selected_suite(arguments)
     estimator = ProbabilisticEstimator(
         list(suite.graphs),
         mapping=suite.mapping,
-        waiting_model=arguments.model or "second_order",
+        waiting_model=model,
     )
-    samples = arguments.samples if arguments.samples > 0 else None
     started = _time.perf_counter()
     # sweep_all_sizes and SweepConfig share DEFAULT_SWEEP_SEED, so this
     # covers the same use-cases as the simulating sweep and the two
@@ -388,35 +489,211 @@ def _cmd_sweep_estimates_only(arguments, suite: BenchmarkSuite) -> None:
     results = estimator.sweep_all_sizes(samples_per_size=samples)
     elapsed = _time.perf_counter() - started
 
-    by_size: dict = {}
+    inflations_by_size: dict = {}
     for result in results:
-        by_size.setdefault(result.use_case.size, []).append(result)
-    rows = []
-    for size in sorted(by_size):
-        bucket = by_size[size]
-        inflations = [
-            result.normalized_period_of(name)
-            for result in bucket
-            for name in result.use_case
-        ]
-        rows.append(
-            [
-                size,
-                len(bucket),
-                f"{sum(inflations) / len(inflations):.2f}",
-                f"{max(inflations):.2f}",
-            ]
+        inflations_by_size.setdefault(result.use_case.size, []).extend(
+            result.normalized_period_of(name) for name in result.use_case
+        )
+    use_cases_by_size: dict = {}
+    for result in results:
+        use_cases_by_size[result.use_case.size] = (
+            use_cases_by_size.get(result.use_case.size, 0) + 1
         )
     print(
-        render_table(
-            ["#apps", "use-cases", "mean inflation", "worst inflation"],
-            rows,
+        _render_inflation_table(
+            inflations_by_size,
+            use_cases_by_size,
             title=(
                 f"Batched estimate ({estimator.waiting_model.name}) of "
                 f"{len(results)} use-cases in {elapsed * 1e3:.0f} ms"
             ),
         )
     )
+
+
+def _render_inflation_table(
+    inflations_by_size: dict, use_cases_by_size: dict, title: str
+) -> str:
+    rows = []
+    for size in sorted(inflations_by_size):
+        inflations = inflations_by_size[size]
+        rows.append(
+            [
+                size,
+                use_cases_by_size[size],
+                f"{sum(inflations) / len(inflations):.2f}",
+                f"{max(inflations):.2f}",
+            ]
+        )
+    return render_table(
+        ["#apps", "use-cases", "mean inflation", "worst inflation"],
+        rows,
+        title=title,
+    )
+
+
+def _gallery_spec(arguments) -> "GallerySpec":
+    from repro.experiments.setup import DEFAULT_SEED
+    from repro.runtime.service import GallerySpec
+
+    if arguments.suite is not None:
+        return GallerySpec(
+            kind="paper",
+            seed=DEFAULT_SEED,
+            application_count=arguments.suite,
+        )
+    if arguments.media:
+        return GallerySpec(kind="media", application_count=5)
+    raise ExperimentError(
+        "--store/--jobs need a reproducible gallery: use --suite N "
+        "or --media (graph files cannot be rebuilt in workers or "
+        "keyed in the store)"
+    )
+
+
+def _cmd_sweep_service(arguments, model: str, samples) -> None:
+    from repro.runtime.service import ResultStore, SweepService
+
+    store = (
+        ResultStore(arguments.store)
+        if arguments.store is not None
+        else None
+    )
+    service = SweepService(store=store, jobs=arguments.jobs)
+    outcome = service.sweep(
+        _gallery_spec(arguments),
+        model=model,
+        samples_per_size=samples,
+    )
+    inflations_by_size: dict = {}
+    use_cases_by_size: dict = {}
+    for record in outcome.results:
+        size = len(record.use_case)
+        inflations_by_size.setdefault(size, []).extend(
+            record.periods[name] / record.isolation[name]
+            for name in record.use_case
+        )
+        use_cases_by_size[size] = use_cases_by_size.get(size, 0) + 1
+    print(
+        _render_inflation_table(
+            inflations_by_size,
+            use_cases_by_size,
+            title=(
+                f"Sweep service ({model}, jobs={outcome.jobs}) over "
+                f"{outcome.use_case_count} use-cases in "
+                f"{outcome.elapsed_seconds * 1e3:.0f} ms"
+            ),
+        )
+    )
+    if store is not None:
+        print(
+            f"store {arguments.store}: {outcome.hits} hits, "
+            f"{outcome.misses} misses"
+        )
+
+
+def _cmd_runtime(arguments) -> None:
+    from repro.experiments.reporting import render_bar_chart
+    from repro.generation.workload import WorkloadConfig, WorkloadGenerator
+    from repro.runtime.events import trace_to_json
+    from repro.runtime.log import log_to_json
+    from repro.runtime.manager import ResourceManager, gallery_from_graphs
+    from repro.runtime.validation import validate_log
+
+    suite = _selected_suite(arguments)
+    specs = gallery_from_graphs(
+        list(suite.graphs), slack=arguments.slack
+    )
+    generator = WorkloadGenerator(
+        [spec.name for spec in specs],
+        quality_levels={
+            spec.name: spec.ladder.level_names for spec in specs
+        },
+        config=WorkloadConfig(
+            arrival=arguments.arrival,
+            mean_interarrival=arguments.mean_interarrival,
+            mean_holding=arguments.mean_holding,
+        ),
+    )
+    trace = generator.generate(
+        seed=arguments.seed, events=arguments.events
+    )
+    manager = ResourceManager(
+        specs, mapping=suite.mapping, policy=arguments.policy
+    )
+    log = manager.replay(trace)
+
+    counts = log.counts_by_outcome()
+    rows = [
+        ["events", len(log.records)],
+        ["admitted", counts["admitted"]],
+        ["rejected", counts["rejected"]],
+        ["stopped", counts["stopped"]],
+        ["ignored", counts["ignored"]],
+        ["evictions", log.eviction_count],
+        ["downgrades", log.downgrade_count],
+        ["admission ratio", f"{log.admission_ratio:.3f}"],
+        ["decisions/sec", f"{log.decisions_per_second:.0f}"],
+    ]
+    print(
+        render_table(
+            ["metric", "value"],
+            rows,
+            title=(
+                f"Runtime replay ({manager.policy.name} policy, "
+                f"{arguments.arrival} arrivals, seed {arguments.seed})"
+            ),
+        )
+    )
+    utilization = sorted(
+        log.mean_utilization().items(), key=lambda item: -item[1]
+    )[:5]
+    if utilization:
+        print()
+        print(
+            render_bar_chart(
+                [name for name, _ in utilization],
+                [value for _, value in utilization],
+                title="mean utilization (busiest processors)",
+                value_format="{:.2f}",
+            )
+        )
+    if arguments.validate > 0:
+        points = validate_log(
+            specs,
+            suite.mapping,
+            log,
+            max_points=arguments.validate,
+        )
+        print()
+        rows = [
+            [
+                point.record_index,
+                "+".join(app for app, _ in point.residents),
+                app,
+                f"{point.predicted[app]:.1f}",
+                f"{point.simulated[app]:.1f}",
+                f"{point.ratios[app]:.2f}",
+            ]
+            for point in points
+            for app, _ in point.residents
+        ]
+        print(
+            render_table(
+                ["record", "residents", "app", "predicted",
+                 "simulated", "ratio"],
+                rows,
+                title="prediction vs. discrete-event simulation",
+            )
+        )
+    if arguments.save_trace:
+        with open(arguments.save_trace, "w") as handle:
+            handle.write(trace_to_json(trace))
+        print(f"trace written to {arguments.save_trace}")
+    if arguments.save_log:
+        with open(arguments.save_log, "w") as handle:
+            handle.write(log_to_json(log))
+        print(f"log written to {arguments.save_log}")
 
 
 def _cmd_reproduce(arguments) -> None:

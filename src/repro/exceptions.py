@@ -47,3 +47,7 @@ class AdmissionError(ReproError):
 
 class ExperimentError(ReproError):
     """The experiment harness was configured inconsistently."""
+
+
+class ResourceManagerError(ReproError):
+    """Invalid operation on the run-time resource-manager subsystem."""

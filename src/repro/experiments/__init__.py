@@ -15,6 +15,8 @@ One module per published artefact:
   applications (Figure 6).
 * :mod:`repro.experiments.timing` — analysis vs. simulation wall-clock
   (the 23-hours-vs-10-minutes claim).
+* :mod:`repro.experiments.runtime_throughput` — the resource manager's
+  decision rate and admission-ratio-vs-load curves.
 * :mod:`repro.experiments.reporting` — ASCII rendering shared by the
   benches.
 """
@@ -38,11 +40,26 @@ from repro.experiments.setup import (
 from repro.experiments.table1 import Table1Result, run_table1
 from repro.experiments.timing import TimingResult, run_timing
 
+
+def __getattr__(name: str):
+    # Lazy: runtime_throughput sits on top of repro.runtime, which in
+    # turn imports repro.experiments.setup — importing it eagerly here
+    # would close an import cycle through repro.generation.workload.
+    if name in ("RuntimeThroughputResult", "run_runtime_throughput"):
+        from repro.experiments import runtime_throughput
+
+        return getattr(runtime_throughput, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
+
+
 __all__ = [
     "BenchmarkSuite",
     "Figure5Result",
     "Figure6Result",
     "InaccuracySummary",
+    "RuntimeThroughputResult",
     "SweepConfig",
     "SweepResult",
     "Table1Result",
@@ -52,6 +69,7 @@ __all__ = [
     "paper_benchmark_suite",
     "run_figure5",
     "run_figure6",
+    "run_runtime_throughput",
     "run_sweep",
     "run_table1",
     "run_timing",

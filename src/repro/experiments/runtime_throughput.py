@@ -1,0 +1,164 @@
+"""Runtime-throughput experiment: decisions/sec and admission vs. load.
+
+Two questions the run-time story stands on:
+
+1. **Is the resource manager fast enough?**  Decisions per second over a
+   replayed scenario trace — the paper's argument is that the
+   analytical estimate is cheap enough for on-line admission control.
+2. **How does admission degrade with load?**  Sweeping the workload
+   generator's arrival rate produces the admission-ratio-vs-load curve:
+   at light load everything is admitted; as start requests pile up the
+   device saturates and the ratio falls (or, with the downgrade policy,
+   quality falls first).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.exceptions import ExperimentError
+from repro.experiments.reporting import render_series
+from repro.generation.workload import WorkloadConfig, WorkloadGenerator
+from repro.platform.mapping import Mapping
+from repro.runtime.manager import (
+    AppSpec,
+    ResourceManager,
+    make_qos_policy,
+)
+
+
+@dataclass(frozen=True)
+class LoadPoint:
+    """Replay statistics at one load multiplier."""
+
+    load: float
+    mean_interarrival: float
+    events: int
+    admission_ratio: float
+    decisions_per_second: float
+    evictions: int
+    downgrades: int
+    mean_peak_utilization: float
+
+
+@dataclass(frozen=True)
+class RuntimeThroughputResult:
+    """Admission-ratio-vs-load curve plus the headline decision rate."""
+
+    policy: str
+    points: Tuple[LoadPoint, ...]
+
+    @property
+    def decisions_per_second(self) -> float:
+        """Decision rate pooled over every load point."""
+        total_events = sum(p.events for p in self.points)
+        total_seconds = sum(
+            p.events / p.decisions_per_second
+            for p in self.points
+            if p.decisions_per_second > 0
+        )
+        if total_seconds == 0:
+            return 0.0
+        return total_events / total_seconds
+
+    def render(self) -> str:
+        loads = [p.load for p in self.points]
+        series = {
+            "admission ratio": [p.admission_ratio for p in self.points],
+            "decisions/sec": [
+                p.decisions_per_second for p in self.points
+            ],
+            "downgrades": [float(p.downgrades) for p in self.points],
+            "evictions": [float(p.evictions) for p in self.points],
+            "peak util": [
+                p.mean_peak_utilization for p in self.points
+            ],
+        }
+        table = render_series(
+            "load",
+            loads,
+            series,
+            title=(
+                f"Runtime throughput ({self.policy} policy): admission "
+                f"ratio vs. load"
+            ),
+            value_format="{:.2f}",
+        )
+        return (
+            table
+            + f"\noverall decision rate: "
+            f"{self.decisions_per_second:.0f} decisions/sec"
+        )
+
+
+def run_runtime_throughput(
+    specs: Sequence[AppSpec],
+    mapping: Optional[Mapping] = None,
+    loads: Sequence[float] = (0.25, 0.5, 1.0, 2.0, 4.0),
+    events: int = 400,
+    seed: int = 7,
+    policy: str = "reject",
+    base_config: Optional[WorkloadConfig] = None,
+) -> RuntimeThroughputResult:
+    """Replay one generated trace per load multiplier.
+
+    ``loads`` scales the arrival rate: load 2.0 halves the mean
+    inter-arrival time of ``base_config``.  Each point gets a fresh
+    :class:`~repro.runtime.manager.ResourceManager` (same gallery, same
+    policy) and a trace derived from ``seed`` and the load index, so the
+    whole experiment is reproducible.
+    """
+    if not loads:
+        raise ExperimentError("runtime throughput needs at least one load")
+    if any(load <= 0 for load in loads):
+        raise ExperimentError(f"loads must be positive, got {list(loads)!r}")
+    base = base_config if base_config is not None else WorkloadConfig()
+    quality_levels = {
+        spec.name: spec.ladder.level_names for spec in specs
+    }
+    points: List[LoadPoint] = []
+    for index, load in enumerate(loads):
+        config = WorkloadConfig(
+            arrival=base.arrival,
+            mean_interarrival=base.mean_interarrival / load,
+            mean_holding=base.mean_holding,
+            adjust_fraction=base.adjust_fraction,
+            start_quality=base.start_quality,
+            burst_length=base.burst_length,
+            burst_factor=base.burst_factor,
+            diurnal_period=base.diurnal_period,
+            diurnal_amplitude=base.diurnal_amplitude,
+        )
+        generator = WorkloadGenerator(
+            [spec.name for spec in specs],
+            quality_levels=quality_levels,
+            config=config,
+        )
+        trace = generator.generate(seed=seed + index, events=events)
+        manager = ResourceManager(
+            list(specs), mapping=mapping, policy=policy
+        )
+        log = manager.replay(trace)
+        peak = [
+            max(record.utilization.values(), default=0.0)
+            for record in log.records
+        ]
+        points.append(
+            LoadPoint(
+                load=load,
+                mean_interarrival=config.mean_interarrival,
+                events=len(log.records),
+                admission_ratio=log.admission_ratio,
+                decisions_per_second=log.decisions_per_second,
+                evictions=log.eviction_count,
+                downgrades=log.downgrade_count,
+                mean_peak_utilization=(
+                    sum(peak) / len(peak) if peak else 0.0
+                ),
+            )
+        )
+    return RuntimeThroughputResult(
+        policy=make_qos_policy(policy).name,
+        points=tuple(points),
+    )

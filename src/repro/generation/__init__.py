@@ -5,6 +5,9 @@ the paper used: seeded random SDFGs that are strongly connected,
 consistent and live by construction.  :mod:`repro.generation.gallery`
 collects hand-built graphs: the paper's own examples plus media-style
 application graphs for the examples and docs.
+:mod:`repro.generation.workload` generates seeded scenario-event
+streams (start/stop/quality-change requests with Poisson, bursty or
+diurnal arrivals) for the run-time resource manager.
 """
 
 from repro.generation.gallery import (
@@ -17,9 +20,17 @@ from repro.generation.gallery import (
     sample_rate_converter,
 )
 from repro.generation.random_sdf import GeneratorConfig, random_sdf_graph
+from repro.generation.workload import (
+    ARRIVAL_PROCESSES,
+    WorkloadConfig,
+    WorkloadGenerator,
+)
 
 __all__ = [
+    "ARRIVAL_PROCESSES",
     "GeneratorConfig",
+    "WorkloadConfig",
+    "WorkloadGenerator",
     "h263_decoder",
     "jpeg_decoder",
     "modem",

@@ -1,0 +1,89 @@
+"""The run-time resource-manager subsystem.
+
+This layer turns the library's analyses into the *system* the paper's
+title promises: a multi-featured media device whose applications start,
+stop and change quality at unpredictable times, and whose resource
+manager decides each request on the fly from the probabilistic
+contention estimate.
+
+* :mod:`repro.runtime.events` — scenario event streams (traces),
+  JSON-serializable and byte-reproducible.
+* :mod:`repro.runtime.quality` — quality ladders: each level a variant
+  SDF graph with scaled execution times (soft QoS).
+* :mod:`repro.runtime.manager` — :class:`ResourceManager`: drives the
+  incremental admission controller + shared analysis engines over a
+  trace, with pluggable QoS policies (reject / evict / downgrade).
+* :mod:`repro.runtime.log` — per-event decision records and summary
+  statistics.
+* :mod:`repro.runtime.validation` — spot-checks runtime predictions
+  against the discrete-event simulator.
+* :mod:`repro.runtime.service` — :class:`SweepService`: parallel
+  use-case sweeps with a persistent JSON-lines result store.
+"""
+
+from repro.runtime.events import (
+    EventKind,
+    ScenarioEvent,
+    Trace,
+    trace_from_json,
+    trace_to_json,
+)
+from repro.runtime.log import (
+    DecisionRecord,
+    RuntimeLog,
+    log_from_json,
+    log_to_json,
+)
+from repro.runtime.manager import (
+    AppSpec,
+    DowngradePolicy,
+    EvictLowestPriorityPolicy,
+    QoSPolicy,
+    RejectPolicy,
+    ResourceManager,
+    gallery_from_graphs,
+    make_qos_policy,
+)
+from repro.runtime.quality import (
+    DEFAULT_QUALITY_LEVELS,
+    QualityLadder,
+    QualityLevel,
+)
+from repro.runtime.service import (
+    GallerySpec,
+    ResultStore,
+    SweepOutcome,
+    SweepRecord,
+    SweepService,
+)
+from repro.runtime.validation import ValidationPoint, validate_log
+
+__all__ = [
+    "AppSpec",
+    "DEFAULT_QUALITY_LEVELS",
+    "DecisionRecord",
+    "DowngradePolicy",
+    "EventKind",
+    "EvictLowestPriorityPolicy",
+    "GallerySpec",
+    "QoSPolicy",
+    "QualityLadder",
+    "QualityLevel",
+    "RejectPolicy",
+    "ResourceManager",
+    "ResultStore",
+    "RuntimeLog",
+    "ScenarioEvent",
+    "SweepOutcome",
+    "SweepRecord",
+    "SweepService",
+    "Trace",
+    "ValidationPoint",
+    "gallery_from_graphs",
+    "log_from_json",
+    "log_to_json",
+    "make_qos_policy",
+    "trace_from_json",
+    "trace_to_json",
+    "validate_log",
+]

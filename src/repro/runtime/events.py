@@ -1,0 +1,168 @@
+"""Scenario event streams: the input language of the resource manager.
+
+The paper motivates run-time use with a media device where "applications
+are started and stopped by the user at unpredictable times".  A
+:class:`ScenarioEvent` is one such request — start an application at some
+quality level, stop it, or change its quality — and a :class:`Trace` is a
+time-ordered stream of them, typically produced by
+:class:`repro.generation.workload.WorkloadGenerator` and consumed by
+:class:`repro.runtime.manager.ResourceManager`.
+
+Traces are plain data: they serialize to JSON with sorted keys, so the
+same seed and configuration always yield *byte-identical* text (the
+workload-determinism tests assert exactly that).
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, Mapping, Optional, Tuple
+
+from repro.exceptions import ResourceManagerError
+
+
+class EventKind(enum.Enum):
+    """What the user (or scenario) asks the resource manager to do."""
+
+    START = "start"
+    STOP = "stop"
+    ADJUST = "adjust"
+
+
+@dataclass(frozen=True)
+class ScenarioEvent:
+    """One timestamped request against the resource manager.
+
+    Attributes
+    ----------
+    time:
+        Request timestamp (same time base as actor execution times).
+    kind:
+        Start, stop or quality-adjust.
+    application:
+        Target application name.
+    quality:
+        Requested quality level — ``None`` means the application's best
+        level for starts and is invalid for adjusts.
+    """
+
+    time: float
+    kind: EventKind
+    application: str
+    quality: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ResourceManagerError(
+                f"event time must be non-negative, got {self.time}"
+            )
+        if self.kind is EventKind.ADJUST and self.quality is None:
+            raise ResourceManagerError(
+                f"adjust event for {self.application!r} needs a "
+                "target quality level"
+            )
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A time-ordered stream of scenario events plus its provenance.
+
+    ``seed`` and ``metadata`` echo how the trace was generated so a
+    result store can key on them and a reader can regenerate the trace.
+    """
+
+    events: Tuple[ScenarioEvent, ...]
+    seed: Optional[int] = None
+    metadata: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        previous = 0.0
+        for event in self.events:
+            if event.time < previous:
+                raise ResourceManagerError(
+                    f"trace events are not time-ordered at t={event.time}"
+                )
+            previous = event.time
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[ScenarioEvent]:
+        return iter(self.events)
+
+    @property
+    def applications(self) -> Tuple[str, ...]:
+        """Every application referenced, in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for event in self.events:
+            seen.setdefault(event.application, None)
+        return tuple(seen)
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {k.value: 0 for k in EventKind}
+        for event in self.events:
+            counts[event.kind.value] += 1
+        return counts
+
+
+# ----------------------------------------------------------------------
+# Serialization
+# ----------------------------------------------------------------------
+def event_to_dict(event: ScenarioEvent) -> Dict[str, Any]:
+    data: Dict[str, Any] = {
+        "time": event.time,
+        "kind": event.kind.value,
+        "application": event.application,
+    }
+    if event.quality is not None:
+        data["quality"] = event.quality
+    return data
+
+
+def event_from_dict(data: Mapping[str, Any]) -> ScenarioEvent:
+    try:
+        return ScenarioEvent(
+            time=float(data["time"]),
+            kind=EventKind(data["kind"]),
+            application=data["application"],
+            quality=data.get("quality"),
+        )
+    except KeyError as missing:
+        raise ResourceManagerError(
+            f"event dict is missing key {missing}"
+        ) from None
+    except ValueError as error:
+        raise ResourceManagerError(str(error)) from None
+
+
+def trace_to_dict(trace: Trace) -> Dict[str, Any]:
+    return {
+        "seed": trace.seed,
+        "metadata": dict(trace.metadata),
+        "events": [event_to_dict(e) for e in trace.events],
+    }
+
+
+def trace_from_dict(data: Mapping[str, Any]) -> Trace:
+    try:
+        events = tuple(event_from_dict(e) for e in data["events"])
+    except KeyError as missing:
+        raise ResourceManagerError(
+            f"trace dict is missing key {missing}"
+        ) from None
+    return Trace(
+        events=events,
+        seed=data.get("seed"),
+        metadata=dict(data.get("metadata", {})),
+    )
+
+
+def trace_to_json(trace: Trace, indent: int = 2) -> str:
+    """JSON text; sorted keys make equal traces byte-identical."""
+    return json.dumps(trace_to_dict(trace), indent=indent, sort_keys=True)
+
+
+def trace_from_json(text: str) -> Trace:
+    return trace_from_dict(json.loads(text))

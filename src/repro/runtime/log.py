@@ -1,0 +1,240 @@
+"""The runtime log: what the resource manager decided, and why.
+
+One :class:`DecisionRecord` per scenario event — outcome, predicted
+contended periods of the post-event resident set, the resident set
+itself (in the controller's composition order, which the cold-path
+parity tests replay), any evictions/downgrades the QoS policy performed,
+and per-processor utilization.  A :class:`RuntimeLog` aggregates the
+records with summary statistics (admission ratio, decisions/sec) and
+round-trips through JSON like every other artefact of the library.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
+
+from repro.exceptions import ResourceManagerError
+from repro.runtime.events import (
+    ScenarioEvent,
+    event_from_dict,
+    event_to_dict,
+)
+
+#: Possible ``DecisionRecord.outcome`` values.
+OUTCOMES: Tuple[str, ...] = (
+    "admitted",      # start/adjust request satisfied (possibly degraded)
+    "rejected",      # start/adjust request denied, state unchanged
+    "stopped",       # resident application withdrawn
+    "ignored",       # no-op (start of a resident app, stop of a non-resident)
+)
+
+
+@dataclass(frozen=True)
+class DecisionRecord:
+    """Everything recorded about one processed scenario event.
+
+    Attributes
+    ----------
+    index / event:
+        Position in the trace and the event itself.
+    outcome:
+        One of :data:`OUTCOMES`.
+    quality:
+        Quality level the application ended up at (``None`` unless the
+        app is resident after the event).
+    reason:
+        Human-readable explanation from the admission controller or the
+        QoS policy.
+    predicted_periods / required_periods:
+        Contended period estimate of every resident application after
+        the event, and the registered requirements.  For rejections the
+        predictions describe the *tentative* state that was refused
+        (resident set plus candidate), matching the admission
+        controller's decision output.
+    residents:
+        Post-event ``(application, quality)`` pairs in the controller's
+        aggregate composition order.
+    evicted / downgraded:
+        QoS-policy side effects: evicted application names, and
+        ``(application, new_quality)`` pairs for residents that were
+        degraded to fit the newcomer.
+    utilization:
+        Post-event busy probability per processor.
+    decision_seconds:
+        Wall-clock cost of handling the event.
+    """
+
+    index: int
+    event: ScenarioEvent
+    outcome: str
+    quality: Optional[str]
+    reason: str
+    predicted_periods: Dict[str, float]
+    required_periods: Dict[str, float]
+    residents: Tuple[Tuple[str, str], ...]
+    evicted: Tuple[str, ...] = ()
+    downgraded: Tuple[Tuple[str, str], ...] = ()
+    utilization: Dict[str, float] = field(default_factory=dict)
+    decision_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.outcome not in OUTCOMES:
+            raise ResourceManagerError(
+                f"unknown decision outcome {self.outcome!r}"
+            )
+
+
+@dataclass
+class RuntimeLog:
+    """All decision records of one trace replay plus summary statistics."""
+
+    records: List[DecisionRecord] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[DecisionRecord]:
+        return iter(self.records)
+
+    def append(self, record: DecisionRecord) -> None:
+        self.records.append(record)
+
+    # ------------------------------------------------------------------
+    # Summary statistics
+    # ------------------------------------------------------------------
+    def counts_by_outcome(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {outcome: 0 for outcome in OUTCOMES}
+        for record in self.records:
+            counts[record.outcome] += 1
+        return counts
+
+    @property
+    def request_count(self) -> int:
+        """Start/adjust requests that needed an admission decision."""
+        return sum(
+            1
+            for record in self.records
+            if record.outcome in ("admitted", "rejected")
+        )
+
+    @property
+    def admitted_count(self) -> int:
+        return sum(
+            1 for record in self.records if record.outcome == "admitted"
+        )
+
+    @property
+    def admission_ratio(self) -> float:
+        """Admitted fraction of the start/adjust requests (1.0 if none)."""
+        requests = self.request_count
+        if requests == 0:
+            return 1.0
+        return self.admitted_count / requests
+
+    @property
+    def decisions_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return len(self.records) / self.elapsed_seconds
+
+    @property
+    def eviction_count(self) -> int:
+        return sum(len(record.evicted) for record in self.records)
+
+    @property
+    def downgrade_count(self) -> int:
+        return sum(len(record.downgraded) for record in self.records)
+
+    def mean_utilization(self) -> Dict[str, float]:
+        """Per-processor busy probability averaged over all records."""
+        if not self.records:
+            return {}
+        totals: Dict[str, float] = {}
+        for record in self.records:
+            for processor, value in record.utilization.items():
+                totals[processor] = totals.get(processor, 0.0) + value
+        return {
+            processor: total / len(self.records)
+            for processor, total in totals.items()
+        }
+
+
+# ----------------------------------------------------------------------
+# Serialization
+# ----------------------------------------------------------------------
+def record_to_dict(record: DecisionRecord) -> Dict[str, Any]:
+    return {
+        "index": record.index,
+        "event": event_to_dict(record.event),
+        "outcome": record.outcome,
+        "quality": record.quality,
+        "reason": record.reason,
+        "predicted_periods": dict(record.predicted_periods),
+        "required_periods": dict(record.required_periods),
+        "residents": [list(pair) for pair in record.residents],
+        "evicted": list(record.evicted),
+        "downgraded": [list(pair) for pair in record.downgraded],
+        "utilization": dict(record.utilization),
+        "decision_seconds": record.decision_seconds,
+    }
+
+
+def record_from_dict(data: Mapping[str, Any]) -> DecisionRecord:
+    try:
+        return DecisionRecord(
+            index=int(data["index"]),
+            event=event_from_dict(data["event"]),
+            outcome=data["outcome"],
+            quality=data.get("quality"),
+            reason=data.get("reason", ""),
+            predicted_periods=dict(data["predicted_periods"]),
+            required_periods=dict(data["required_periods"]),
+            residents=tuple(
+                (app, quality) for app, quality in data["residents"]
+            ),
+            evicted=tuple(data.get("evicted", ())),
+            downgraded=tuple(
+                (app, quality)
+                for app, quality in data.get("downgraded", ())
+            ),
+            utilization=dict(data.get("utilization", {})),
+            decision_seconds=float(data.get("decision_seconds", 0.0)),
+        )
+    except KeyError as missing:
+        raise ResourceManagerError(
+            f"decision record dict is missing key {missing}"
+        ) from None
+
+
+def log_to_dict(log: RuntimeLog) -> Dict[str, Any]:
+    return {
+        "elapsed_seconds": log.elapsed_seconds,
+        "metadata": dict(log.metadata),
+        "records": [record_to_dict(r) for r in log.records],
+    }
+
+
+def log_from_dict(data: Mapping[str, Any]) -> RuntimeLog:
+    try:
+        records = [record_from_dict(r) for r in data["records"]]
+    except KeyError as missing:
+        raise ResourceManagerError(
+            f"runtime log dict is missing key {missing}"
+        ) from None
+    return RuntimeLog(
+        records=records,
+        elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
+        metadata=dict(data.get("metadata", {})),
+    )
+
+
+def log_to_json(log: RuntimeLog, indent: int = 2) -> str:
+    return json.dumps(log_to_dict(log), indent=indent, sort_keys=True)
+
+
+def log_from_json(text: str) -> RuntimeLog:
+    return log_from_dict(json.loads(text))

@@ -1,0 +1,754 @@
+"""The run-time resource manager: scenario events in, QoS decisions out.
+
+:class:`ResourceManager` is the subsystem the paper's run-time story
+asks for: applications start and stop at unpredictable times, and the
+device must decide *on the fly* — fast enough to be interactive —
+whether a newcomer fits, and what to degrade when it does not.  It
+drives the incremental :class:`~repro.admission.AdmissionController`
+(composability aggregates per processor, auto-rebuilt to stay
+drift-free) over a stream of :class:`~repro.runtime.events.ScenarioEvent`
+requests, with period analysis running on shared
+:class:`~repro.analysis_engine.AnalysisEngine` instances so every
+decision is a warm-started, weight-only solve.
+
+Soft QoS enters through two mechanisms:
+
+* every application is a :class:`~repro.runtime.quality.QualityLadder`
+  — each quality level a variant SDF graph with scaled execution
+  times — so "make it fit" can mean "run it smaller"; and
+* a pluggable :class:`QoSPolicy` decides what happens when a request
+  does not fit as asked: reject it (:class:`RejectPolicy`), evict
+  lower-priority residents (:class:`EvictLowestPriorityPolicy`), or
+  search quality assignments for the cheapest degradation that
+  satisfies every requirement (:class:`DowngradePolicy`).
+
+Every processed event yields a
+:class:`~repro.runtime.log.DecisionRecord`; a full trace replay yields
+a :class:`~repro.runtime.log.RuntimeLog`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time as _time
+from dataclasses import dataclass
+from typing import Dict, List, Mapping as TMapping, Optional, Sequence, Tuple
+
+from repro.admission.controller import (
+    AdmissionController,
+    AdmissionDecision,
+    estimate_resident_periods,
+)
+from repro.analysis_engine import AnalysisEngine, build_engines
+from repro.exceptions import ResourceManagerError
+from repro.platform.mapping import Mapping, index_mapping
+from repro.runtime.events import EventKind, ScenarioEvent, Trace
+from repro.runtime.log import DecisionRecord, RuntimeLog
+from repro.runtime.quality import (
+    DEFAULT_QUALITY_LEVELS,
+    QualityLadder,
+    QualityLevel,
+)
+from repro.sdf.analysis import AnalysisMethod
+from repro.sdf.graph import SDFGraph
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """One application as the resource manager knows it.
+
+    Attributes
+    ----------
+    ladder:
+        Quality levels (best first); level 0 is what a plain start
+        requests.
+    required_period:
+        Maximum acceptable contended period, registered with the
+        admission controller while resident.  ``None`` = best effort.
+    priority:
+        Larger values are more important; the eviction policy only
+        evicts residents of *strictly lower* priority than the
+        newcomer, and the downgrade policy degrades low-priority
+        residents first.
+    """
+
+    ladder: QualityLadder
+    required_period: Optional[float] = None
+    priority: int = 0
+
+    @property
+    def name(self) -> str:
+        return self.ladder.application
+
+
+def gallery_from_graphs(
+    graphs: Sequence[SDFGraph],
+    slack: float = 2.5,
+    levels: Sequence[QualityLevel] = DEFAULT_QUALITY_LEVELS,
+    priorities: Optional[TMapping[str, int]] = None,
+) -> List[AppSpec]:
+    """Wrap plain graphs into runtime specs with derived requirements.
+
+    Each application's requirement is ``slack`` times its isolation
+    period at best quality — tight enough that a loaded device rejects,
+    loose enough that small parties co-exist — and its priority defaults
+    to its position (earlier graphs are more important), mirroring how a
+    device vendor ranks built-in features.
+    """
+    if slack <= 1.0:
+        raise ResourceManagerError(
+            f"slack must exceed 1.0 (isolation is the floor), got {slack}"
+        )
+    from repro.sdf.analysis import period as analytical_period
+
+    specs: List[AppSpec] = []
+    graphs = list(graphs)
+    count = len(graphs)
+    for position, graph in enumerate(graphs):
+        priority = (
+            priorities[graph.name]
+            if priorities is not None and graph.name in priorities
+            else count - position
+        )
+        specs.append(
+            AppSpec(
+                ladder=QualityLadder(graph, levels=levels),
+                required_period=analytical_period(graph) * slack,
+                priority=priority,
+            )
+        )
+    return specs
+
+
+@dataclass(frozen=True)
+class PolicyResolution:
+    """What a QoS policy did about a rejected request."""
+
+    admitted: bool
+    quality: Optional[str]
+    reason: str
+    evicted: Tuple[str, ...] = ()
+    downgraded: Tuple[Tuple[str, str], ...] = ()
+    decision: Optional[AdmissionDecision] = None
+
+
+class QoSPolicy:
+    """Base class: called when a start request is refused as asked."""
+
+    name = "abstract"
+
+    def resolve(
+        self,
+        manager: "ResourceManager",
+        spec: AppSpec,
+        requested_quality: str,
+        decision: AdmissionDecision,
+    ) -> PolicyResolution:
+        raise NotImplementedError
+
+
+class RejectPolicy(QoSPolicy):
+    """Hard admission control: a request that does not fit is refused."""
+
+    name = "reject"
+
+    def resolve(self, manager, spec, requested_quality, decision):
+        return PolicyResolution(
+            admitted=False,
+            quality=None,
+            reason=decision.reason,
+            decision=decision,
+        )
+
+
+class EvictLowestPriorityPolicy(QoSPolicy):
+    """Make room by evicting strictly lower-priority residents.
+
+    Victims leave lowest-priority-first (ties: most recently admitted
+    first) until the newcomer fits; if it never fits, every victim is
+    restored at its previous quality and the request is rejected.
+    """
+
+    name = "evict"
+
+    def resolve(self, manager, spec, requested_quality, decision):
+        order = {
+            app: position
+            for position, app in enumerate(
+                manager.controller.admitted_applications
+            )
+        }
+        victims = sorted(
+            (
+                app
+                for app in order
+                if manager.spec_of(app).priority < spec.priority
+            ),
+            key=lambda app: (manager.spec_of(app).priority, -order[app]),
+        )
+        evicted: List[Tuple[str, str]] = []
+        last_decision = decision
+        for victim in victims:
+            evicted.append((victim, manager.quality_of(victim)))
+            manager._withdraw(victim)
+            last_decision = manager._admit(spec.name, requested_quality)
+            if last_decision.admitted:
+                return PolicyResolution(
+                    admitted=True,
+                    quality=requested_quality,
+                    reason=(
+                        f"{spec.name!r} admitted after evicting "
+                        f"{', '.join(repr(v) for v, _ in evicted)}"
+                    ),
+                    evicted=tuple(v for v, _ in evicted),
+                    decision=last_decision,
+                )
+        # Rollback: the original resident set was feasible, so
+        # re-admission cannot be refused.
+        for victim, quality in reversed(evicted):
+            manager._restore(victim, quality)
+        return PolicyResolution(
+            admitted=False,
+            quality=None,
+            reason=last_decision.reason,
+            decision=last_decision,
+        )
+
+
+class DowngradePolicy(QoSPolicy):
+    """Soft QoS: degrade quality levels until everything fits.
+
+    Searches assignments over the candidate's levels (requested or
+    lower) and every resident's levels (current or lower — residents are
+    never upgraded to make room).  ``search="exhaustive"`` enumerates
+    the whole product in cheapest-first order (fewest total downgrade
+    steps; ties degrade the newcomer and low-priority residents first),
+    so it finds a feasible assignment whenever one exists;
+    ``search="greedy"`` walks a single degradation chain (newcomer
+    first, then lowest-priority residents) and is O(total steps).  The
+    exhaustive search falls back to greedy beyond ``max_combinations``
+    assignments.
+
+    Feasibility of an assignment is checked with the same composability
+    estimate the admission controller uses (fresh composition +
+    warm-started engine solves), so a chosen assignment commits without
+    surprises.
+    """
+
+    def __init__(
+        self, search: str = "exhaustive", max_combinations: int = 4096
+    ) -> None:
+        if search not in ("greedy", "exhaustive"):
+            raise ResourceManagerError(
+                f"search must be 'greedy' or 'exhaustive', got {search!r}"
+            )
+        self.search = search
+        self.max_combinations = max_combinations
+        self.name = f"downgrade-{search}"
+
+    # -- assignment search ------------------------------------------------
+    def resolve(self, manager, spec, requested_quality, decision):
+        residents = list(manager.controller.admitted_applications)
+        assignment = self._find_assignment(
+            manager, spec, requested_quality, residents
+        )
+        if assignment is None:
+            return PolicyResolution(
+                admitted=False,
+                quality=None,
+                reason=(
+                    f"{decision.reason} — no feasible quality "
+                    f"assignment ({self.name})"
+                ),
+                decision=decision,
+            )
+        return manager._apply_assignment(spec, assignment, residents)
+
+    def _find_assignment(
+        self,
+        manager: "ResourceManager",
+        spec: AppSpec,
+        requested_quality: str,
+        residents: List[str],
+    ) -> Optional[Dict[str, str]]:
+        """A feasible ``{app: level}`` covering residents + candidate."""
+        ladders = {app: manager.spec_of(app).ladder for app in residents}
+        ladders[spec.name] = spec.ladder
+        floors = {
+            app: ladders[app].index_of(manager.quality_of(app))
+            for app in residents
+        }
+        floors[spec.name] = spec.ladder.index_of(requested_quality)
+        apps = residents + [spec.name]
+        step_ranges = [
+            range(len(ladders[app].levels) - floors[app]) for app in apps
+        ]
+        combinations = 1
+        for steps in step_ranges:
+            combinations *= len(steps)
+        if self.search == "exhaustive" and combinations <= self.max_combinations:
+            candidates = sorted(
+                itertools.product(*step_ranges),
+                key=lambda steps: (
+                    sum(steps),
+                    # Cheaper to degrade the newcomer ...
+                    -steps[-1],
+                    # ... then low-priority residents first.
+                    tuple(
+                        -steps[i]
+                        for i in sorted(
+                            range(len(residents)),
+                            key=lambda i: manager.spec_of(
+                                residents[i]
+                            ).priority,
+                        )
+                    ),
+                ),
+            )
+            for steps in candidates:
+                assignment = {
+                    app: ladders[app].levels[floors[app] + step].name
+                    for app, step in zip(apps, steps)
+                }
+                if manager.assignment_is_feasible(assignment):
+                    return assignment
+            return None
+        return self._greedy(manager, spec, ladders, floors, apps)
+
+    def _greedy(self, manager, spec, ladders, floors, apps):
+        current = {
+            app: ladders[app].levels[floors[app]].name for app in apps
+        }
+        by_priority = sorted(
+            (app for app in apps if app != spec.name),
+            key=lambda app: manager.spec_of(app).priority,
+        )
+        while True:
+            if manager.assignment_is_feasible(current):
+                return current
+            below = ladders[spec.name].below(current[spec.name])
+            if below is not None:
+                current[spec.name] = below
+                continue
+            for app in by_priority:
+                below = ladders[app].below(current[app])
+                if below is not None:
+                    current[app] = below
+                    break
+            else:
+                return None
+
+
+def make_qos_policy(spec: "QoSPolicy | str") -> QoSPolicy:
+    """Policy factory: ``"reject"``, ``"evict"``, ``"downgrade"``
+    (exhaustive with greedy fallback) or ``"downgrade-greedy"``."""
+    if isinstance(spec, QoSPolicy):
+        return spec
+    policies = {
+        "reject": RejectPolicy,
+        "evict": EvictLowestPriorityPolicy,
+        "downgrade": lambda: DowngradePolicy(search="exhaustive"),
+        "downgrade-greedy": lambda: DowngradePolicy(search="greedy"),
+    }
+    try:
+        return policies[spec]()
+    except KeyError:
+        raise ResourceManagerError(
+            f"unknown QoS policy {spec!r} "
+            f"(choose from {', '.join(sorted(policies))})"
+        ) from None
+
+
+class ResourceManager:
+    """Event-driven admission + QoS adaptation over a gallery.
+
+    Parameters
+    ----------
+    specs:
+        The application gallery (see :func:`gallery_from_graphs`).
+    mapping:
+        Actor bindings covering every base graph (and hence every
+        quality variant — topology is shared); defaults to the paper's
+        index mapping.
+    policy:
+        QoS policy or its name (:func:`make_qos_policy`).
+    analysis_method:
+        Period engine for all estimates.
+    rebuild_interval:
+        Auto-rebuild period of the admission controller.  The default
+        ``1`` recomposes the (cheap) per-processor aggregates after
+        every commit, so every decision is drift-free and matches a
+        cold-path re-estimate of the same resident set to <= 1e-9.
+    engines:
+        Pre-built shared analysis engines (one per base graph);
+        built on demand when omitted.
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[AppSpec],
+        mapping: Optional[Mapping] = None,
+        policy: "QoSPolicy | str" = "reject",
+        analysis_method: AnalysisMethod = AnalysisMethod.MCR,
+        rebuild_interval: Optional[int] = 1,
+        engines: Optional[Dict[str, AnalysisEngine]] = None,
+    ) -> None:
+        if not specs:
+            raise ResourceManagerError(
+                "resource manager needs at least one application spec"
+            )
+        self.specs: Dict[str, AppSpec] = {}
+        for spec in specs:
+            if spec.name in self.specs:
+                raise ResourceManagerError(
+                    f"duplicate application {spec.name!r} in gallery"
+                )
+            self.specs[spec.name] = spec
+        base_graphs = [spec.ladder.graph for spec in specs]
+        self.mapping = (
+            mapping if mapping is not None else index_mapping(base_graphs)
+        )
+        self.mapping.validate_against(base_graphs)
+        self.analysis_method = analysis_method
+        self.engines = (
+            engines
+            if engines is not None
+            else build_engines(base_graphs, method=analysis_method)
+        )
+        self.policy = make_qos_policy(policy)
+        self.controller = AdmissionController(
+            self.mapping,
+            analysis_method=analysis_method,
+            engines=self.engines,
+            rebuild_interval=rebuild_interval,
+        )
+        self._quality: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def residents(self) -> Tuple[Tuple[str, str], ...]:
+        """``(application, quality)`` pairs in composition order."""
+        return tuple(
+            (app, self._quality[app])
+            for app in self.controller.admitted_applications
+        )
+
+    def spec_of(self, application: str) -> AppSpec:
+        try:
+            return self.specs[application]
+        except KeyError:
+            raise ResourceManagerError(
+                f"application {application!r} is not in the gallery"
+            ) from None
+
+    def quality_of(self, application: str) -> str:
+        """Current quality level of a resident application."""
+        try:
+            return self._quality[application]
+        except KeyError:
+            raise ResourceManagerError(
+                f"application {application!r} is not resident"
+            ) from None
+
+    def is_resident(self, application: str) -> bool:
+        return application in self._quality
+
+    def assignment_is_feasible(
+        self, assignment: TMapping[str, str]
+    ) -> bool:
+        """Whether a ``{app: level}`` assignment meets every requirement.
+
+        Pure query: evaluates a fresh composition of the assignment's
+        variant graphs without touching the controller state.
+        """
+        periods = self.assignment_periods(assignment)
+        for app in assignment:
+            requirement = self.spec_of(app).required_period
+            if requirement is None:
+                continue
+            if periods[app] > requirement * (1 + 1e-12):
+                return False
+        return True
+
+    def assignment_periods(
+        self, assignment: TMapping[str, str]
+    ) -> Dict[str, float]:
+        """Predicted contended periods of a quality assignment."""
+        graphs = {
+            app: self.spec_of(app).ladder.graph_at(level)
+            for app, level in assignment.items()
+        }
+        return estimate_resident_periods(
+            self.mapping,
+            graphs,
+            method=self.analysis_method,
+            engines=self.engines,
+        )
+
+    # ------------------------------------------------------------------
+    # Event processing
+    # ------------------------------------------------------------------
+    def replay(self, trace: Trace) -> RuntimeLog:
+        """Process every event of ``trace``; returns the decision log."""
+        log = RuntimeLog(
+            metadata={
+                "trace_seed": trace.seed,
+                "policy": self.policy.name,
+                "analysis_method": self.analysis_method.value,
+                "applications": list(self.specs),
+            }
+        )
+        started = _time.perf_counter()
+        for index, event in enumerate(trace):
+            log.append(self.handle_event(event, index=index))
+        log.elapsed_seconds = _time.perf_counter() - started
+        return log
+
+    def handle_event(
+        self, event: ScenarioEvent, index: int = 0
+    ) -> DecisionRecord:
+        started = _time.perf_counter()
+        if event.application not in self.specs:
+            raise ResourceManagerError(
+                f"event references unknown application "
+                f"{event.application!r}"
+            )
+        if event.kind is EventKind.START:
+            record = self._handle_start(event, index)
+        elif event.kind is EventKind.STOP:
+            record = self._handle_stop(event, index)
+        else:
+            record = self._handle_adjust(event, index)
+        object.__setattr__(
+            record, "decision_seconds", _time.perf_counter() - started
+        )
+        return record
+
+    # -- start ----------------------------------------------------------
+    def _handle_start(
+        self, event: ScenarioEvent, index: int
+    ) -> DecisionRecord:
+        spec = self.spec_of(event.application)
+        if self.is_resident(spec.name):
+            return self._record(
+                index, event, "ignored",
+                quality=self.quality_of(spec.name),
+                reason=f"{spec.name!r} is already resident",
+            )
+        quality = (
+            event.quality if event.quality is not None else spec.ladder.best
+        )
+        spec.ladder.level(quality)  # validate the level name early
+        decision = self._admit(spec.name, quality)
+        if decision.admitted:
+            return self._record(
+                index, event, "admitted",
+                quality=quality,
+                reason=decision.reason,
+                decision=decision,
+            )
+        resolution = self.policy.resolve(self, spec, quality, decision)
+        outcome = "admitted" if resolution.admitted else "rejected"
+        # Rejections keep the *original* decision: its tentative periods
+        # describe the recorded resident set plus the candidate in
+        # composition order (policy attempts may have rolled back
+        # through a different fold order).
+        record_decision = (
+            resolution.decision
+            if resolution.admitted and resolution.decision is not None
+            else decision
+        )
+        return self._record(
+            index, event, outcome,
+            quality=resolution.quality,
+            reason=resolution.reason,
+            decision=record_decision,
+            evicted=resolution.evicted,
+            downgraded=resolution.downgraded,
+        )
+
+    # -- stop -----------------------------------------------------------
+    def _handle_stop(
+        self, event: ScenarioEvent, index: int
+    ) -> DecisionRecord:
+        if not self.is_resident(event.application):
+            return self._record(
+                index, event, "ignored",
+                quality=None,
+                reason=f"{event.application!r} is not resident",
+            )
+        self._withdraw(event.application)
+        return self._record(
+            index, event, "stopped",
+            quality=None,
+            reason=f"{event.application!r} stopped",
+        )
+
+    # -- adjust ---------------------------------------------------------
+    def _handle_adjust(
+        self, event: ScenarioEvent, index: int
+    ) -> DecisionRecord:
+        spec = self.spec_of(event.application)
+        target = event.quality
+        assert target is not None  # enforced by ScenarioEvent
+        spec.ladder.level(target)
+        if not self.is_resident(spec.name):
+            return self._record(
+                index, event, "ignored",
+                quality=None,
+                reason=f"{spec.name!r} is not resident",
+            )
+        current = self.quality_of(spec.name)
+        if target == current:
+            return self._record(
+                index, event, "ignored",
+                quality=current,
+                reason=f"{spec.name!r} already at {current!r}",
+            )
+        self._withdraw(spec.name)
+        decision = self._admit(spec.name, target)
+        if decision.admitted:
+            return self._record(
+                index, event, "admitted",
+                quality=target,
+                reason=(
+                    f"{spec.name!r} adjusted {current!r} -> {target!r}"
+                ),
+                decision=decision,
+            )
+        # Restore: the pre-adjust state was feasible.
+        self._restore(spec.name, current)
+        return self._record(
+            index, event, "rejected",
+            quality=current,
+            reason=(
+                f"adjust {current!r} -> {target!r} refused: "
+                f"{decision.reason}"
+            ),
+            decision=decision,
+        )
+
+    # ------------------------------------------------------------------
+    # Controller plumbing (also used by the QoS policies)
+    # ------------------------------------------------------------------
+    def _admit(self, application: str, quality: str) -> AdmissionDecision:
+        spec = self.spec_of(application)
+        decision = self.controller.request_admission(
+            spec.ladder.graph_at(quality),
+            max_period=spec.required_period,
+        )
+        if decision.admitted:
+            self._quality[application] = quality
+        return decision
+
+    def _withdraw(self, application: str) -> None:
+        self.controller.withdraw(application)
+        del self._quality[application]
+
+    def _restore(self, application: str, quality: str) -> None:
+        """Re-admit a previously resident application, unconditionally.
+
+        Restoring an operating state must not fail: the withdraw/
+        re-admit cycle changes the ``(x)`` fold order, which can shift a
+        borderline estimate past a requirement by the operator's
+        second-order associativity error.  The state being restored was
+        feasible when it was admitted; the unchecked commit keeps it.
+        """
+        spec = self.spec_of(application)
+        self.controller.admit_unchecked(
+            spec.ladder.graph_at(quality),
+            max_period=spec.required_period,
+        )
+        self._quality[application] = quality
+
+    def _apply_assignment(
+        self,
+        spec: AppSpec,
+        assignment: Dict[str, str],
+        residents: List[str],
+    ) -> PolicyResolution:
+        """Commit a feasible quality assignment found by a policy."""
+        downgraded = [
+            (app, assignment[app])
+            for app in residents
+            if assignment[app] != self.quality_of(app)
+        ]
+        previous = {app: self.quality_of(app) for app, _ in downgraded}
+        for app, _ in downgraded:
+            self._withdraw(app)
+        for app, level in downgraded:
+            self._restore(app, level)
+        decision = self._admit(spec.name, assignment[spec.name])
+        if decision.admitted:
+            return PolicyResolution(
+                admitted=True,
+                quality=assignment[spec.name],
+                reason=(
+                    f"{spec.name!r} admitted at "
+                    f"{assignment[spec.name]!r}"
+                    + (
+                        " after downgrading "
+                        + ", ".join(
+                            f"{app}->{level}" for app, level in downgraded
+                        )
+                        if downgraded
+                        else ""
+                    )
+                ),
+                downgraded=tuple(downgraded),
+                decision=decision,
+            )
+        # The feasibility estimate and the committed fold can disagree
+        # only in the last floating-point bits; if a borderline
+        # assignment flips, restore the previous qualities and reject.
+        for app, _ in downgraded:
+            self._withdraw(app)
+        for app, _ in downgraded:
+            self._restore(app, previous[app])
+        return PolicyResolution(
+            admitted=False,
+            quality=None,
+            reason=decision.reason,
+            decision=decision,
+        )
+
+    # ------------------------------------------------------------------
+    def _record(
+        self,
+        index: int,
+        event: ScenarioEvent,
+        outcome: str,
+        quality: Optional[str],
+        reason: str,
+        decision: Optional[AdmissionDecision] = None,
+        evicted: Tuple[str, ...] = (),
+        downgraded: Tuple[Tuple[str, str], ...] = (),
+    ) -> DecisionRecord:
+        if decision is not None:
+            predicted = dict(decision.estimated_periods)
+            required = dict(decision.required_periods)
+        elif self._quality:
+            predicted = self.controller.estimated_periods()
+            required = {}
+            for app in self.controller.admitted_applications:
+                requirement = self.controller.required_period_of(app)
+                if requirement is not None:
+                    required[app] = requirement
+        else:
+            predicted = {}
+            required = {}
+        return DecisionRecord(
+            index=index,
+            event=event,
+            outcome=outcome,
+            quality=quality,
+            reason=reason,
+            predicted_periods=predicted,
+            required_periods=required,
+            residents=self.residents,
+            evicted=evicted,
+            downgraded=downgraded,
+            utilization=self.controller.utilization(),
+        )

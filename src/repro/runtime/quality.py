@@ -1,0 +1,149 @@
+"""Quality levels: soft-QoS variants of an application.
+
+A media application on a multi-featured device usually ships several
+operating points — full frame rate, reduced resolution, audio-only —
+and a resource manager degrades gracefully instead of rejecting
+outright.  Here every quality level is a *variant SDF graph* of the same
+application: identical topology (actors, channels, rates, tokens) with
+execution times scaled by the level's ``scale`` factor.  Lower quality
+means less work per firing, hence shorter execution times, lower node
+utilization, and less contention inflicted on everyone else.
+
+Because the topology is untouched, one
+:class:`~repro.analysis_engine.AnalysisEngine` built from the base graph
+answers period queries for *every* level (the engine only needs a full
+per-actor time vector), and one actor-to-processor mapping covers all
+variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.exceptions import ResourceManagerError
+from repro.sdf.graph import SDFGraph
+
+
+@dataclass(frozen=True)
+class QualityLevel:
+    """One operating point of an application.
+
+    ``scale`` multiplies every actor execution time of the base graph;
+    the best level has scale 1.0 and degraded levels scale < 1.0.
+    """
+
+    name: str
+    scale: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.scale <= 1.0:
+            raise ResourceManagerError(
+                f"quality level {self.name!r}: scale must be in (0, 1], "
+                f"got {self.scale}"
+            )
+
+
+#: Default three-step ladder used by the gallery helpers and the CLI.
+DEFAULT_QUALITY_LEVELS: Tuple[QualityLevel, ...] = (
+    QualityLevel("high", 1.0),
+    QualityLevel("medium", 0.7),
+    QualityLevel("low", 0.45),
+)
+
+
+class QualityLadder:
+    """The ordered quality levels of one application, best first.
+
+    Parameters
+    ----------
+    graph:
+        The application at its best quality (scale 1.0 reproduces it).
+    levels:
+        Strictly decreasing scales, unique names, best level first.
+    """
+
+    def __init__(
+        self,
+        graph: SDFGraph,
+        levels: Sequence[QualityLevel] = DEFAULT_QUALITY_LEVELS,
+    ) -> None:
+        if not levels:
+            raise ResourceManagerError(
+                f"application {graph.name!r} needs at least one "
+                "quality level"
+            )
+        names = [level.name for level in levels]
+        if len(set(names)) != len(names):
+            raise ResourceManagerError(
+                f"application {graph.name!r}: duplicate quality level "
+                f"names {names!r}"
+            )
+        for higher, lower in zip(levels, levels[1:]):
+            if lower.scale >= higher.scale:
+                raise ResourceManagerError(
+                    f"application {graph.name!r}: quality scales must "
+                    f"strictly decrease, got {higher.name}={higher.scale} "
+                    f"then {lower.name}={lower.scale}"
+                )
+        self.graph = graph
+        self.levels: Tuple[QualityLevel, ...] = tuple(levels)
+        self._index: Dict[str, int] = {
+            level.name: i for i, level in enumerate(self.levels)
+        }
+        self._variants: Dict[str, SDFGraph] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def application(self) -> str:
+        return self.graph.name
+
+    @property
+    def level_names(self) -> Tuple[str, ...]:
+        return tuple(level.name for level in self.levels)
+
+    @property
+    def best(self) -> str:
+        return self.levels[0].name
+
+    @property
+    def worst(self) -> str:
+        return self.levels[-1].name
+
+    def level(self, name: str) -> QualityLevel:
+        try:
+            return self.levels[self._index[name]]
+        except KeyError:
+            raise ResourceManagerError(
+                f"application {self.application!r} has no quality level "
+                f"{name!r} (levels: {', '.join(self.level_names)})"
+            ) from None
+
+    def index_of(self, name: str) -> int:
+        """Position of ``name`` in the ladder (0 = best)."""
+        self.level(name)
+        return self._index[name]
+
+    def below(self, name: str) -> Optional[str]:
+        """The next lower level, or ``None`` at the bottom."""
+        index = self.index_of(name)
+        if index + 1 >= len(self.levels):
+            return None
+        return self.levels[index + 1].name
+
+    def graph_at(self, name: str) -> SDFGraph:
+        """The variant SDF graph of quality level ``name`` (cached)."""
+        level = self.level(name)
+        variant = self._variants.get(name)
+        if variant is None:
+            if level.scale == 1.0:
+                variant = self.graph
+            else:
+                variant = self.graph.with_execution_times(
+                    {
+                        actor.name: actor.execution_time * level.scale
+                        for actor in self.graph.actors
+                    }
+                )
+            self._variants[name] = variant
+        return variant

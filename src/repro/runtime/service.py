@@ -1,0 +1,424 @@
+"""The sweep service: parallel use-case sweeps with a persistent store.
+
+The paper's headline workflow — estimate every (sampled) use-case of a
+gallery analytically — is embarrassingly parallel across use-cases and
+perfectly cacheable: the estimate of a use-case depends only on the
+gallery (how the graphs were generated), the use-case itself, the
+waiting model and the analysis method.  :class:`SweepService` exploits
+both:
+
+* **fan-out** — misses are chunked round-robin (interleaving use-case
+  sizes so chunks cost about the same) onto
+  ``concurrent.futures.ProcessPoolExecutor`` workers; each worker
+  rebuilds the gallery and its analysis engines once per chunk and then
+  estimates its use-cases incrementally (warm-started weight-only
+  solves), so the per-worker structural cost is paid once, not per
+  use-case;
+* **memoization** — results land in a :class:`ResultStore`, a JSON-lines
+  file keyed by ``(gallery, seed, application count, use-case, waiting
+  model, analysis method)``; a repeated sweep is pure cache hits and
+  touches no solver at all.
+
+Galleries are described by :class:`GallerySpec` — a *recipe*, not the
+graphs themselves — so a spec pickles cheaply to workers and keys the
+store deterministically.
+"""
+
+from __future__ import annotations
+
+import json
+import time as _time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.estimator import ProbabilisticEstimator
+from repro.exceptions import ResourceManagerError
+from repro.experiments.setup import (
+    BenchmarkSuite,
+    DEFAULT_SEED,
+    paper_benchmark_suite,
+)
+from repro.platform.mapping import index_mapping
+from repro.platform.usecase import (
+    DEFAULT_SWEEP_SEED,
+    UseCase,
+    sampled_use_cases_by_size,
+)
+from repro.sdf.analysis import AnalysisMethod
+
+#: Gallery kinds a :class:`GallerySpec` can rebuild from scratch.
+GALLERY_KINDS: Tuple[str, ...] = ("paper", "media")
+
+#: Application names of the fixed media gallery, in suite order.
+_MEDIA_NAMES: Tuple[str, ...] = ("h263", "mp3", "jpeg", "modem", "src")
+
+
+@dataclass(frozen=True)
+class GallerySpec:
+    """A reproducible application gallery, by recipe.
+
+    ``paper`` regenerates the seeded benchmark suite
+    (:func:`~repro.experiments.setup.paper_benchmark_suite`); ``media``
+    is the fixed hand-built media-device gallery (``seed`` is kept in
+    the key for uniformity but does not influence the graphs).
+    """
+
+    kind: str = "paper"
+    seed: int = DEFAULT_SEED
+    application_count: int = 8
+
+    def __post_init__(self) -> None:
+        if self.kind not in GALLERY_KINDS:
+            raise ResourceManagerError(
+                f"unknown gallery kind {self.kind!r} "
+                f"(choose from {', '.join(GALLERY_KINDS)})"
+            )
+        if self.application_count < 1:
+            raise ResourceManagerError(
+                f"application_count must be >= 1, "
+                f"got {self.application_count}"
+            )
+        if self.kind == "media" and self.application_count > len(
+            _MEDIA_NAMES
+        ):
+            raise ResourceManagerError(
+                f"the media gallery has {len(_MEDIA_NAMES)} "
+                f"applications, got application_count="
+                f"{self.application_count}"
+            )
+
+    def build(self) -> BenchmarkSuite:
+        """Regenerate the gallery (graphs + platform + mapping)."""
+        if self.kind == "paper":
+            return paper_benchmark_suite(
+                seed=self.seed,
+                application_count=self.application_count,
+            )
+        from repro.generation.gallery import media_device_suite
+
+        graphs = media_device_suite()[: self.application_count]
+        mapping = index_mapping(graphs)
+        return BenchmarkSuite(
+            graphs=tuple(graphs),
+            platform=mapping.platform,
+            mapping=mapping,
+            seed=self.seed,
+        )
+
+    def application_names(self) -> Tuple[str, ...]:
+        """Gallery application names without building any graph."""
+        if self.kind == "paper":
+            from repro.experiments.setup import APPLICATION_NAMES
+
+            if self.application_count <= len(APPLICATION_NAMES):
+                return APPLICATION_NAMES[: self.application_count]
+            return tuple(
+                f"A{i}" for i in range(self.application_count)
+            )
+        return _MEDIA_NAMES[: self.application_count]
+
+    def label(self) -> str:
+        return f"{self.kind}:{self.seed}:{self.application_count}"
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """One stored/computed estimate: periods of one use-case."""
+
+    use_case: Tuple[str, ...]
+    model: str
+    method: str
+    periods: Dict[str, float]
+    isolation: Dict[str, float]
+    from_store: bool = False
+
+
+class ResultStore:
+    """JSON-lines store of sweep estimates, loaded once and appended to.
+
+    Each line is ``{"key": {...}, "periods": {...}, "isolation":
+    {...}}``; the key fields are the gallery label, the use-case label,
+    the waiting model and the analysis method.  Corrupt or foreign
+    lines fail loudly — the store is an artefact, not a cache that may
+    silently rot.
+    """
+
+    def __init__(self, path: "str | Path") -> None:
+        self.path = Path(path)
+        self._records: Dict[Tuple[str, str, str, str], SweepRecord] = {}
+        if self.path.exists():
+            for line_number, line in enumerate(
+                self.path.read_text().splitlines(), start=1
+            ):
+                if not line.strip():
+                    continue
+                try:
+                    data = json.loads(line)
+                    key = data["key"]
+                    record = SweepRecord(
+                        use_case=tuple(key["use_case"].split("+")),
+                        model=key["model"],
+                        method=key["method"],
+                        periods=dict(data["periods"]),
+                        isolation=dict(data["isolation"]),
+                        from_store=True,
+                    )
+                    self._records[
+                        (
+                            key["gallery"],
+                            key["use_case"],
+                            key["model"],
+                            key["method"],
+                        )
+                    ] = record
+                except (json.JSONDecodeError, KeyError, TypeError) as error:
+                    raise ResourceManagerError(
+                        f"result store {self.path}: bad line "
+                        f"{line_number}: {error}"
+                    ) from None
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @staticmethod
+    def key(
+        gallery: GallerySpec,
+        use_case: UseCase,
+        model: str,
+        method: AnalysisMethod,
+    ) -> Tuple[str, str, str, str]:
+        return (
+            gallery.label(),
+            use_case.label(),
+            model,
+            method.value,
+        )
+
+    def get(
+        self, key: Tuple[str, str, str, str]
+    ) -> Optional[SweepRecord]:
+        return self._records.get(key)
+
+    def put(
+        self, key: Tuple[str, str, str, str], record: SweepRecord
+    ) -> None:
+        if key in self._records:
+            return
+        self._records[key] = record
+        gallery, use_case, model, method = key
+        line = json.dumps(
+            {
+                "key": {
+                    "gallery": gallery,
+                    "use_case": use_case,
+                    "model": model,
+                    "method": method,
+                },
+                "periods": record.periods,
+                "isolation": record.isolation,
+            },
+            sort_keys=True,
+        )
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as handle:
+            handle.write(line + "\n")
+
+
+@dataclass
+class SweepOutcome:
+    """Everything a sweep produced, in use-case selection order."""
+
+    results: List[SweepRecord]
+    hits: int
+    misses: int
+    jobs: int
+    elapsed_seconds: float
+    gallery: GallerySpec
+    model: str
+    method: str
+
+    @property
+    def use_case_count(self) -> int:
+        return len(self.results)
+
+
+def _estimate_chunk(
+    gallery: GallerySpec,
+    model: str,
+    method_value: str,
+    use_cases: List[Tuple[str, ...]],
+    fixed_point_iterations: int,
+) -> List[Dict[str, object]]:
+    """Worker entry point: rebuild the gallery, estimate one chunk.
+
+    Module-level (picklable) on purpose.  Engines are built once per
+    chunk; every estimate in the chunk is then incremental.
+    """
+    suite = gallery.build()
+    estimator = ProbabilisticEstimator(
+        list(suite.graphs),
+        mapping=suite.mapping,
+        waiting_model=model,
+        analysis_method=AnalysisMethod(method_value),
+    )
+    results = estimator.estimate_many(
+        [UseCase(tuple(names)) for names in use_cases],
+        iterations=fixed_point_iterations,
+    )
+    return [
+        {
+            "use_case": list(result.use_case.applications),
+            "periods": dict(result.periods),
+            "isolation": dict(result.isolation_periods),
+        }
+        for result in results
+    ]
+
+
+class SweepService:
+    """Batched, parallel, store-backed use-case sweeps.
+
+    Parameters
+    ----------
+    store:
+        Optional :class:`ResultStore`; omitted means every sweep
+        recomputes (hits stay 0).
+    jobs:
+        Worker processes for misses.  ``1`` (default) runs inline —
+        no pool, no pickling.
+    """
+
+    def __init__(
+        self,
+        store: Optional[ResultStore] = None,
+        jobs: int = 1,
+    ) -> None:
+        if jobs < 1:
+            raise ResourceManagerError(
+                f"jobs must be >= 1, got {jobs}"
+            )
+        self.store = store
+        self.jobs = jobs
+
+    def sweep(
+        self,
+        gallery: GallerySpec,
+        model: str = "second_order",
+        method: AnalysisMethod = AnalysisMethod.MCR,
+        samples_per_size: Optional[int] = None,
+        sweep_seed: int = DEFAULT_SWEEP_SEED,
+        fixed_point_iterations: int = 1,
+    ) -> SweepOutcome:
+        """Estimate every (sampled) use-case of ``gallery``.
+
+        Use-case selection follows the library-wide convention
+        (:func:`~repro.platform.usecase.sampled_use_cases_by_size`), so
+        the service's numbers are comparable with the experiment
+        runner's and the CLI's.
+        """
+        started = _time.perf_counter()
+        selected = sampled_use_cases_by_size(
+            gallery.application_names(),
+            samples_per_size=samples_per_size,
+            seed=sweep_seed,
+        )
+        keys = [
+            ResultStore.key(gallery, use_case, model, method)
+            for use_case in selected
+        ]
+        by_key: Dict[Tuple[str, str, str, str], SweepRecord] = {}
+        misses: List[Tuple[UseCase, Tuple[str, str, str, str]]] = []
+        for use_case, key in zip(selected, keys):
+            record = self.store.get(key) if self.store else None
+            if record is not None:
+                by_key[key] = record
+            else:
+                misses.append((use_case, key))
+
+        if misses:
+            for key, record in self._compute(
+                gallery, model, method, misses, fixed_point_iterations
+            ):
+                by_key[key] = record
+                if self.store is not None:
+                    self.store.put(key, record)
+
+        return SweepOutcome(
+            results=[by_key[key] for key in keys],
+            hits=len(selected) - len(misses),
+            misses=len(misses),
+            jobs=self.jobs,
+            elapsed_seconds=_time.perf_counter() - started,
+            gallery=gallery,
+            model=model,
+            method=method.value,
+        )
+
+    # ------------------------------------------------------------------
+    def _compute(
+        self,
+        gallery: GallerySpec,
+        model: str,
+        method: AnalysisMethod,
+        misses: List[Tuple[UseCase, Tuple[str, str, str, str]]],
+        fixed_point_iterations: int,
+    ) -> List[Tuple[Tuple[str, str, str, str], SweepRecord]]:
+        chunk_count = min(self.jobs, len(misses))
+        chunks: List[List[Tuple[UseCase, Tuple[str, str, str, str]]]] = [
+            [] for _ in range(chunk_count)
+        ]
+        # Round-robin interleaves use-case sizes (selection is ordered
+        # by size), balancing per-chunk analysis cost.
+        for position, item in enumerate(misses):
+            chunks[position % chunk_count].append(item)
+
+        def payload(chunk):
+            return [tuple(uc.applications) for uc, _ in chunk]
+
+        raw_chunks: List[List[Dict[str, object]]]
+        if chunk_count == 1:
+            raw_chunks = [
+                _estimate_chunk(
+                    gallery,
+                    model,
+                    method.value,
+                    payload(chunks[0]),
+                    fixed_point_iterations,
+                )
+            ]
+        else:
+            with ProcessPoolExecutor(max_workers=chunk_count) as pool:
+                futures = [
+                    pool.submit(
+                        _estimate_chunk,
+                        gallery,
+                        model,
+                        method.value,
+                        payload(chunk),
+                        fixed_point_iterations,
+                    )
+                    for chunk in chunks
+                ]
+                raw_chunks = [future.result() for future in futures]
+
+        computed: List[
+            Tuple[Tuple[str, str, str, str], SweepRecord]
+        ] = []
+        for chunk, raw in zip(chunks, raw_chunks):
+            for (use_case, key), data in zip(chunk, raw):
+                computed.append(
+                    (
+                        key,
+                        SweepRecord(
+                            use_case=tuple(use_case.applications),
+                            model=model,
+                            method=method.value,
+                            periods=dict(data["periods"]),  # type: ignore[arg-type]
+                            isolation=dict(data["isolation"]),  # type: ignore[arg-type]
+                            from_store=False,
+                        ),
+                    )
+                )
+        return computed

@@ -150,3 +150,119 @@ class TestDriftAndRebuild:
         controller = AdmissionController(index_mapping([two_apps[1]]))
         with pytest.raises(Exception):
             controller.request_admission(app_a)
+
+
+class TestAutoRebuild:
+    def churn(self, controller, two_apps, cycles):
+        a, b = two_apps
+        performed = 0
+        while performed < cycles:
+            controller.request_admission(a)
+            controller.request_admission(b)
+            controller.withdraw("A")
+            controller.withdraw("B")
+            performed += 4
+
+    def test_counters_track_cycles(self, two_apps):
+        controller = AdmissionController(index_mapping(list(two_apps)))
+        self.churn(controller, two_apps, 8)
+        assert controller.total_cycles == 8
+        assert controller.cycles_since_rebuild == 8
+        assert controller.rebuild_count == 0
+        controller.rebuild()
+        assert controller.cycles_since_rebuild == 0
+        assert controller.total_cycles == 8
+        assert controller.rebuild_count == 1
+
+    def test_interval_triggers_rebuild(self, two_apps):
+        controller = AdmissionController(
+            index_mapping(list(two_apps)), rebuild_interval=3
+        )
+        self.churn(controller, two_apps, 8)  # 8 cycles -> 2 rebuilds
+        assert controller.total_cycles == 8
+        assert controller.rebuild_count == 2
+        assert controller.cycles_since_rebuild == 2
+
+    def test_interval_one_keeps_aggregates_exact(self, two_apps):
+        a, b = two_apps
+        auto = AdmissionController(
+            index_mapping([a, b]), rebuild_interval=1
+        )
+        manual = AdmissionController(index_mapping([a, b]))
+        for _ in range(5):
+            for controller in (auto, manual):
+                controller.request_admission(a)
+                controller.request_admission(b)
+                controller.withdraw("A")
+                controller.withdraw("B")
+        auto.request_admission(a)
+        auto.request_admission(b)
+        manual.request_admission(a)
+        manual.request_admission(b)
+        manual.rebuild()
+        for processor in ("proc0", "proc1", "proc2"):
+            assert auto.aggregate_of(processor) == manual.aggregate_of(
+                processor
+            )
+
+    def test_bad_interval_rejected(self, two_apps):
+        with pytest.raises(AdmissionError):
+            AdmissionController(
+                index_mapping(list(two_apps)), rebuild_interval=0
+            )
+
+
+class TestEngineBackedController:
+    def test_engine_estimates_match_cold_controller(self, two_apps):
+        from repro.analysis_engine import build_engines
+
+        a, b = two_apps
+        cold = AdmissionController(index_mapping([a, b]))
+        warm = AdmissionController(
+            index_mapping([a, b]),
+            engines=build_engines([a, b]),
+        )
+        for controller in (cold, warm):
+            controller.request_admission(a)
+            controller.request_admission(b)
+        for app in ("A", "B"):
+            assert warm.estimated_period(app) == pytest.approx(
+                cold.estimated_period(app), rel=1e-9
+            )
+
+    def test_engine_serves_scaled_variant_graphs(self, two_apps):
+        from repro.analysis_engine import build_engines
+
+        a, b = two_apps
+        half = a.with_execution_times(
+            {
+                actor.name: actor.execution_time * 0.5
+                for actor in a.actors
+            }
+        )
+        engines = build_engines([a, b])
+        warm = AdmissionController(
+            index_mapping([a, b]), engines=engines
+        )
+        decision = warm.request_admission(half)
+        assert decision.admitted
+        # The engine answers for the variant: isolation period halves.
+        assert decision.estimated_periods["A"] == pytest.approx(150.0)
+        cold = AdmissionController(index_mapping([a, b]))
+        cold_decision = cold.request_admission(half)
+        assert decision.estimated_periods["A"] == pytest.approx(
+            cold_decision.estimated_periods["A"], rel=1e-9
+        )
+
+    def test_admit_unchecked_bypasses_requirements(self, two_apps):
+        a, b = two_apps
+        controller = AdmissionController(index_mapping([a, b]))
+        controller.request_admission(a, max_period=320)
+        # Checked admission refuses (A would exceed 320)...
+        assert not controller.request_admission(b).admitted
+        # ...the unchecked path commits regardless.
+        controller.admit_unchecked(b, max_period=500)
+        assert controller.admitted_applications == ("A", "B")
+        assert controller.required_period_of("B") == 500
+        with pytest.raises(AdmissionError):
+            controller.admit_unchecked(b)

@@ -118,3 +118,93 @@ class TestSweep:
         assert "worst_case" in out
         assert "second_order" in out
         assert "#apps" in out
+
+    def test_store_reports_misses_then_hits(self, capsys, tmp_path):
+        store = tmp_path / "results.jsonl"
+        first = run_cli(
+            capsys,
+            "sweep", "--suite", "2", "--samples", "2",
+            "--estimates-only", "--store", str(store),
+        )
+        assert "0 hits, 3 misses" in first
+        assert store.exists()
+        second = run_cli(
+            capsys,
+            "sweep", "--suite", "2", "--samples", "2",
+            "--estimates-only", "--store", str(store),
+        )
+        assert "3 hits, 0 misses" in second
+        assert "Sweep service" in second
+
+    def test_jobs_flag_runs_service(self, capsys):
+        out = run_cli(
+            capsys,
+            "sweep", "--suite", "2", "--samples", "2",
+            "--estimates-only", "--jobs", "2",
+        )
+        assert "jobs=2" in out
+
+    def test_store_requires_estimates_only(self, capsys, tmp_path):
+        assert main(
+            [
+                "sweep", "--suite", "2",
+                "--store", str(tmp_path / "s.jsonl"),
+            ]
+        ) == 1
+        assert "--estimates-only" in capsys.readouterr().err
+
+    def test_store_rejects_file_galleries(self, capsys, tmp_path):
+        graph_json = run_cli(capsys, "generate", "--seed", "5")
+        path = tmp_path / "g.json"
+        path.write_text(graph_json)
+        assert main(
+            [
+                "sweep", "--file", str(path), "--estimates-only",
+                "--store", str(tmp_path / "s.jsonl"),
+            ]
+        ) == 1
+        assert "reproducible gallery" in capsys.readouterr().err
+
+
+class TestRuntime:
+    def test_replay_summary(self, capsys):
+        out = run_cli(
+            capsys,
+            "runtime", "--suite", "2", "--events", "60",
+            "--seed", "3", "--slack", "1.5",
+        )
+        assert "Runtime replay" in out
+        assert "admission ratio" in out
+        assert "decisions/sec" in out
+        assert "mean utilization" in out
+
+    def test_policies_and_arrivals(self, capsys):
+        for policy in ("reject", "evict", "downgrade-greedy"):
+            out = run_cli(
+                capsys,
+                "runtime", "--suite", "2", "--events", "40",
+                "--policy", policy, "--arrival", "bursty",
+            )
+            assert "Runtime replay" in out
+
+    def test_validate_prints_simulation_comparison(self, capsys):
+        out = run_cli(
+            capsys,
+            "runtime", "--suite", "2", "--events", "80",
+            "--validate", "1", "--slack", "3.0",
+        )
+        assert "prediction vs. discrete-event simulation" in out
+
+    def test_save_trace_and_log(self, capsys, tmp_path):
+        trace_path = tmp_path / "trace.json"
+        log_path = tmp_path / "log.json"
+        run_cli(
+            capsys,
+            "runtime", "--suite", "2", "--events", "40",
+            "--save-trace", str(trace_path),
+            "--save-log", str(log_path),
+        )
+        trace = json.loads(trace_path.read_text())
+        assert len(trace["events"]) == 40
+        log = json.loads(log_path.read_text())
+        assert len(log["records"]) == 40

@@ -1,0 +1,186 @@
+"""Workload generator: determinism, arrival processes, serialization."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ResourceManagerError
+from repro.generation.workload import (
+    ARRIVAL_PROCESSES,
+    WorkloadConfig,
+    WorkloadGenerator,
+)
+from repro.runtime.events import (
+    EventKind,
+    ScenarioEvent,
+    Trace,
+    trace_from_json,
+    trace_to_json,
+)
+
+APPS = ("A", "B", "C")
+LEVELS = ("high", "medium", "low")
+
+
+def generator(**config_kwargs) -> WorkloadGenerator:
+    return WorkloadGenerator(
+        APPS,
+        quality_levels=LEVELS,
+        config=WorkloadConfig(**config_kwargs),
+    )
+
+
+class TestDeterminism:
+    def test_same_seed_same_config_byte_identical(self):
+        first = generator().generate(seed=11, events=500)
+        second = generator().generate(seed=11, events=500)
+        assert trace_to_json(first) == trace_to_json(second)
+
+    def test_different_seeds_differ(self):
+        first = generator().generate(seed=11, events=200)
+        second = generator().generate(seed=12, events=200)
+        assert trace_to_json(first) != trace_to_json(second)
+
+    @pytest.mark.parametrize("arrival", ARRIVAL_PROCESSES)
+    def test_every_arrival_process_is_deterministic(self, arrival):
+        first = generator(arrival=arrival).generate(seed=3, events=300)
+        second = generator(arrival=arrival).generate(seed=3, events=300)
+        assert trace_to_json(first) == trace_to_json(second)
+
+    def test_different_config_different_trace(self):
+        base = generator().generate(seed=5, events=200)
+        bursty = generator(arrival="bursty").generate(seed=5, events=200)
+        assert trace_to_json(base) != trace_to_json(bursty)
+
+
+class TestStreamInvariants:
+    @pytest.mark.parametrize("arrival", ARRIVAL_PROCESSES)
+    def test_times_are_nondecreasing(self, arrival):
+        trace = generator(arrival=arrival).generate(seed=9, events=400)
+        times = [event.time for event in trace]
+        assert times == sorted(times)
+        assert len(trace) == 400
+
+    def test_stops_follow_starts(self):
+        trace = generator().generate(seed=9, events=500)
+        running = set()
+        for event in trace:
+            if event.kind is EventKind.START:
+                assert event.application not in running
+                running.add(event.application)
+            elif event.kind is EventKind.STOP:
+                assert event.application in running
+                running.remove(event.application)
+            else:  # adjust targets a running application
+                assert event.application in running
+
+    def test_adjust_carries_known_level_and_changes_it(self):
+        trace = generator(adjust_fraction=0.5).generate(
+            seed=2, events=500
+        )
+        current: dict = {}
+        adjusts = 0
+        for event in trace:
+            if event.kind is EventKind.START:
+                current[event.application] = event.quality
+            elif event.kind is EventKind.ADJUST:
+                adjusts += 1
+                assert event.quality in LEVELS
+                assert event.quality != current[event.application]
+                current[event.application] = event.quality
+            else:
+                current.pop(event.application, None)
+        assert adjusts > 0
+
+    def test_start_quality_best_vs_random(self):
+        best = generator().generate(seed=4, events=300)
+        assert all(
+            e.quality == "high"
+            for e in best
+            if e.kind is EventKind.START
+        )
+        randomized = generator(start_quality="random").generate(
+            seed=4, events=300
+        )
+        start_levels = {
+            e.quality
+            for e in randomized
+            if e.kind is EventKind.START
+        }
+        assert len(start_levels) > 1
+
+    def test_applications_are_known(self):
+        trace = generator().generate(seed=1, events=200)
+        assert set(trace.applications) <= set(APPS)
+
+    def test_bursty_clusters_interarrivals(self):
+        # Bursty traces must show a much wider inter-arrival spread
+        # than Poisson at the same mean setting.
+        def spread(arrival):
+            trace = generator(arrival=arrival).generate(
+                seed=6, events=400
+            )
+            starts = [
+                e.time for e in trace if e.kind is EventKind.START
+            ]
+            gaps = sorted(
+                b - a for a, b in zip(starts, starts[1:])
+            )
+            lo = gaps[len(gaps) // 10]
+            hi = gaps[(9 * len(gaps)) // 10]
+            return hi / max(lo, 1e-9)
+
+        assert spread("bursty") > 4 * spread("poisson")
+
+
+class TestValidation:
+    def test_rejects_unknown_arrival(self):
+        with pytest.raises(ResourceManagerError):
+            WorkloadConfig(arrival="fractal")
+
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ResourceManagerError):
+            WorkloadConfig(mean_interarrival=0)
+        with pytest.raises(ResourceManagerError):
+            WorkloadConfig(adjust_fraction=1.0)
+
+    def test_rejects_empty_gallery_and_duplicates(self):
+        with pytest.raises(ResourceManagerError):
+            WorkloadGenerator([])
+        with pytest.raises(ResourceManagerError):
+            WorkloadGenerator(["A", "A"])
+
+    def test_rejects_zero_events(self):
+        with pytest.raises(ResourceManagerError):
+            generator().generate(seed=1, events=0)
+
+
+class TestTraceSerialization:
+    def test_round_trip_preserves_everything(self):
+        trace = generator(arrival="diurnal").generate(seed=8, events=250)
+        clone = trace_from_json(trace_to_json(trace))
+        assert clone == trace
+        assert trace_to_json(clone) == trace_to_json(trace)
+
+    def test_json_shape(self):
+        trace = generator().generate(seed=8, events=50)
+        data = json.loads(trace_to_json(trace))
+        assert data["seed"] == 8
+        assert data["metadata"]["applications"] == list(APPS)
+        assert len(data["events"]) == 50
+        assert data["events"][0]["kind"] in ("start", "stop", "adjust")
+
+    def test_unordered_trace_rejected(self):
+        with pytest.raises(ResourceManagerError):
+            Trace(
+                events=(
+                    ScenarioEvent(10.0, EventKind.START, "A"),
+                    ScenarioEvent(5.0, EventKind.STOP, "A"),
+                )
+            )
+
+    def test_adjust_requires_quality(self):
+        with pytest.raises(ResourceManagerError):
+            ScenarioEvent(1.0, EventKind.ADJUST, "A")
