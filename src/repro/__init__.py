@@ -47,9 +47,15 @@ Subpackages
 ``repro.experiments``
     Reproduction of every evaluation artefact (Table 1, Figures 5-6,
     timing, runtime throughput).
+``repro.backend``
+    Pluggable array backends (NumPy vectorized / pure-Python scalar)
+    behind the estimation hot paths; select per estimator, via
+    ``repro sweep --backend`` or the ``REPRO_BACKEND`` environment
+    variable.
 """
 
 from repro.admission import AdmissionController, AdmissionDecision
+from repro.backend import ArrayBackend, get_backend
 from repro.analysis_engine import AnalysisEngine, EngineStats, build_engines
 from repro.core import (
     ActorProfile,
@@ -124,6 +130,7 @@ __all__ = [
     "AnalysisError",
     "AnalysisMethod",
     "AppSpec",
+    "ArrayBackend",
     "Channel",
     "Composite",
     "DeadlockError",
@@ -162,6 +169,7 @@ __all__ = [
     "decompose",
     "estimate_use_case",
     "gallery_from_graphs",
+    "get_backend",
     "index_mapping",
     "period",
     "random_sdf_graph",

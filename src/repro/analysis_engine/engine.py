@@ -40,6 +40,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional, Sequence, Tuple
 
+from repro.backend import ArrayBackend, get_backend
 from repro.exceptions import AnalysisError, GraphError
 from repro.sdf.analysis import AnalysisMethod, CriticalCycle
 from repro.sdf.graph import SDFGraph
@@ -105,6 +106,13 @@ class AnalysisEngine:
         self._actor_names: Tuple[str, ...] = graph.actor_names
         self._base_times: Dict[str, float] = graph.execution_times()
         self._cache: Dict[Optional[Tuple[float, ...]], float] = {}
+        # Batch-certified periods live in their own memo: a certified
+        # candidate ratio can differ from the scalar Howard result in
+        # the last bits, and the scalar :meth:`period` path must keep
+        # returning byte-stable values even on engines shared with a
+        # vectorized sweep (the admission controller's decision logs
+        # are byte-compared across backends).
+        self._batch_cache: Dict[Tuple[float, ...], float] = {}
 
         if method is AnalysisMethod.MCR:
             hsdf = to_hsdf(graph)
@@ -206,6 +214,115 @@ class AnalysisEngine:
             self._cache[key] = value
         return value
 
+    def period_for(
+        self,
+        time_vectors,
+        backend: "Optional[str | ArrayBackend]" = None,
+    ) -> list:
+        """Periods for a whole batch of per-actor time vectors.
+
+        Array-in/array-out flavour of :meth:`period`: ``time_vectors``
+        is a sequence (or 2-D array) of full per-actor execution-time
+        vectors in ``graph.actor_names`` order, and the result is the
+        list of their periods, in row order, as plain floats.
+
+        Rows already in a response-time memo are answered without
+        solving.  With a vectorized backend and a warm-startable MCR
+        solver the remaining rows go through
+        :meth:`~repro.sdf.mcm.IncrementalMCRSolver.solve_many` —
+        candidate cycles certified in batch, scalar warm solves only
+        for the stragglers; any other configuration (the pure-Python
+        backend, ``lawler``/``brute``, the state-space method) falls
+        back to per-row :meth:`period` calls, preserving the scalar
+        arithmetic exactly.
+
+        Batch results are memoized separately from scalar ones: a
+        certified candidate may differ from the scalar solve in the
+        last bits (well inside the 1e-9 parity contract), and the
+        scalar :meth:`period` path — shared with the byte-deterministic
+        admission/runtime layer — must never serve them.  Batched
+        queries *read* the scalar memo (scalar bits are the reference)
+        but only ever *write* their own.
+        """
+        resolved = get_backend(backend)
+        if resolved.vectorized:
+            try:
+                rows = resolved.xp.asarray(  # type: ignore[union-attr]
+                    time_vectors, dtype=float
+                ).tolist()
+            except ValueError:  # ragged input: report lengths below
+                rows = [
+                    [float(value) for value in row]
+                    for row in time_vectors
+                ]
+        else:
+            rows = [
+                [float(value) for value in row] for row in time_vectors
+            ]
+        keys = [tuple(row) for row in rows]
+        for key in keys:
+            if len(key) != len(self._actor_names):
+                raise AnalysisError(
+                    f"expected {len(self._actor_names)} times per "
+                    f"vector, got {len(key)}"
+                )
+        use_batch = (
+            resolved.vectorized
+            and self.method is AnalysisMethod.MCR
+            and self.mcr_algorithm == "howard"
+        )
+        if use_batch:
+            # Deduplicate misses (against both memos) while keeping
+            # first-seen order: sweeps routinely repeat vectors (same
+            # contender set in several use-cases) and one solve should
+            # serve all repeats.
+            seen: Dict[Tuple[float, ...], None] = {}
+            for key in keys:
+                if (
+                    key not in self._cache
+                    and key not in self._batch_cache
+                    and key not in seen
+                ):
+                    seen[key] = None
+            misses = list(seen)
+            resolved_values: Dict[Tuple[float, ...], float] = {}
+            if misses:
+                xp = resolved.xp  # type: ignore[union-attr]
+                times = xp.asarray(misses, dtype=float)
+                if bool(xp.any(times <= 0)):
+                    for key in misses:
+                        self._validate_key(key)
+                weights = times[:, list(self._edge_actor_indices)]
+                ratios = self._solver.solve_many(weights, xp)  # type: ignore[union-attr]
+                self.stats.solves += len(misses)
+                self.stats.cache_misses += len(misses)
+                for key, ratio in zip(misses, ratios):
+                    if (
+                        len(self._batch_cache)
+                        < self._max_cache_entries
+                    ):
+                        self._batch_cache[key] = ratio
+                resolved_values = dict(zip(misses, ratios))
+            self.stats.cache_hits += len(keys) - len(misses)
+
+            def lookup(key: Tuple[float, ...]) -> float:
+                value = self._cache.get(key)
+                if value is None:
+                    value = self._batch_cache.get(key)
+                if value is None:
+                    value = resolved_values[key]
+                return value
+
+            return [lookup(key) for key in keys]
+        # Non-vectorized (or non-warm-startable) configurations run the
+        # plain scalar path, scalar memo only — the batch memo is never
+        # consulted, so a python-backend run stays byte-pure even on an
+        # engine previously used by a vectorized sweep.
+        return [
+            self.period(dict(zip(self._actor_names, key)))
+            for key in keys
+        ]
+
     def throughput(
         self, response_times: Optional[Mapping[str, float]] = None
     ) -> float:
@@ -254,8 +371,9 @@ class AnalysisEngine:
 
     # ------------------------------------------------------------------
     def cache_clear(self) -> None:
-        """Drop the response-time memo (keeps structure and policy)."""
+        """Drop the response-time memos (keeps structure and policy)."""
         self._cache.clear()
+        self._batch_cache.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

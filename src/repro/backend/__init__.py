@@ -1,0 +1,25 @@
+"""Pluggable array backends (NumPy or pure Python) for estimation.
+
+See :mod:`repro.backend.array` for the selection rules and the parity
+contract between the two flavours.
+"""
+
+from repro.backend.array import (
+    BACKEND_ENV_VAR,
+    BACKEND_NAMES,
+    ArrayBackend,
+    NumpyBackend,
+    PythonBackend,
+    get_backend,
+    numpy_available,
+)
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "BACKEND_NAMES",
+    "ArrayBackend",
+    "NumpyBackend",
+    "PythonBackend",
+    "get_backend",
+    "numpy_available",
+]

@@ -1,0 +1,214 @@
+"""Pluggable array backends for the estimation hot paths.
+
+The estimation kernels — waiting-time formulas, blocking profiles,
+``DiscreteTime`` moments, and the batched MCR verification — come in two
+flavours:
+
+* **scalar** — today's pure-Python implementations, exact to the last
+  bit and dependency-free;
+* **vectorized** — NumPy implementations that batch whole use-cases
+  (arrays shaped ``(use_cases, actors)``) instead of looping per
+  ``(actor, resource)`` pair.
+
+An :class:`ArrayBackend` names which flavour a component should use.
+The **python** backend deliberately does *not* re-implement NumPy in
+pure Python: its contract is to preserve today's exact scalar
+arithmetic, so every batched entry point dispatches on
+:attr:`ArrayBackend.vectorized` and runs the established scalar loops
+when it is ``False``.  The **numpy** backend exposes the module handle
+(:attr:`NumpyBackend.xp`) to the vectorized kernels.
+
+Selection (strongest wins):
+
+1. an explicit ``backend=`` argument (an :class:`ArrayBackend` or one of
+   the names ``"auto"``, ``"numpy"``, ``"python"``);
+2. the ``REPRO_BACKEND`` environment variable (same names);
+3. ``auto`` — NumPy when importable, the Python fallback otherwise.
+
+Every layer that estimates — :class:`~repro.core.estimator.
+ProbabilisticEstimator`, :class:`~repro.analysis_engine.AnalysisEngine.
+period_for`, the :class:`~repro.runtime.service.SweepService` workers and
+``repro sweep --backend`` — accepts the same names, so one flag selects
+the flavour end to end.  The two backends agree to well within 1e-9
+relative on every period and waiting time (asserted by
+``tests/test_backend_parity.py`` and the golden fixtures).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.exceptions import AnalysisError
+
+#: Environment variable consulted when no explicit backend is given.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+#: Names accepted by :func:`get_backend` (and ``REPRO_BACKEND``).
+BACKEND_NAMES: Tuple[str, ...] = ("auto", "numpy", "python")
+
+
+class ArrayBackend:
+    """Interface: the array flavour of the estimation kernels.
+
+    Attributes
+    ----------
+    name:
+        ``"numpy"`` or ``"python"``.
+    vectorized:
+        Whether batched kernels should run (``True`` only for NumPy).
+    """
+
+    name: str = "abstract"
+    vectorized: bool = False
+
+    # The scalar reductions below are the only operations the *shared*
+    # code paths (e.g. DiscreteTime moments) need; the heavy batched
+    # kernels are NumPy-only and receive the module handle instead.
+    def dot(
+        self, values: Sequence[float], weights: Sequence[float]
+    ) -> float:
+        """``sum(v * w)`` over two equal-length sequences."""
+        raise NotImplementedError
+
+    def weighted_second_moment(
+        self, values: Sequence[float], weights: Sequence[float]
+    ) -> float:
+        """``sum(v * v * w)`` over two equal-length sequences."""
+        raise NotImplementedError
+
+    def sum(self, values: Sequence[float]) -> float:
+        """Sum of a sequence."""
+        raise NotImplementedError
+
+    def scale(
+        self, values: Sequence[float], factor: float
+    ) -> Tuple[float, ...]:
+        """``tuple(v * factor for v in values)``."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class PythonBackend(ArrayBackend):
+    """Dependency-free fallback preserving today's exact arithmetic.
+
+    All reductions run the same left-to-right Python loops the scalar
+    implementations always used, so enabling the backend layer changes
+    no float anywhere.
+    """
+
+    name = "python"
+    vectorized = False
+
+    def dot(
+        self, values: Sequence[float], weights: Sequence[float]
+    ) -> float:
+        return sum(v * w for v, w in zip(values, weights))
+
+    def weighted_second_moment(
+        self, values: Sequence[float], weights: Sequence[float]
+    ) -> float:
+        return sum(v * v * w for v, w in zip(values, weights))
+
+    def sum(self, values: Sequence[float]) -> float:
+        return sum(values)
+
+    def scale(
+        self, values: Sequence[float], factor: float
+    ) -> Tuple[float, ...]:
+        return tuple(v * factor for v in values)
+
+
+class NumpyBackend(ArrayBackend):
+    """NumPy-vectorized flavour; carries the module handle for kernels."""
+
+    name = "numpy"
+    vectorized = True
+
+    def __init__(self) -> None:
+        import numpy
+
+        self.xp = numpy
+
+    def dot(
+        self, values: Sequence[float], weights: Sequence[float]
+    ) -> float:
+        return float(
+            self.xp.dot(
+                self.xp.asarray(values, dtype=float),
+                self.xp.asarray(weights, dtype=float),
+            )
+        )
+
+    def weighted_second_moment(
+        self, values: Sequence[float], weights: Sequence[float]
+    ) -> float:
+        v = self.xp.asarray(values, dtype=float)
+        w = self.xp.asarray(weights, dtype=float)
+        return float(self.xp.dot(v * v, w))
+
+    def sum(self, values: Sequence[float]) -> float:
+        return float(self.xp.sum(self.xp.asarray(values, dtype=float)))
+
+    def scale(
+        self, values: Sequence[float], factor: float
+    ) -> Tuple[float, ...]:
+        return tuple(
+            float(x)
+            for x in self.xp.asarray(values, dtype=float) * factor
+        )
+
+
+def numpy_available() -> bool:
+    """Whether the numpy backend can be constructed."""
+    try:
+        import numpy  # noqa: F401
+    except ImportError:  # pragma: no cover - depends on environment
+        return False
+    return True
+
+
+_INSTANCES: Dict[str, ArrayBackend] = {}
+
+
+def get_backend(
+    backend: "Optional[str | ArrayBackend]" = None,
+) -> ArrayBackend:
+    """Resolve a backend selection to an :class:`ArrayBackend` instance.
+
+    ``backend`` may be an instance (returned as-is), one of the names in
+    :data:`BACKEND_NAMES`, or ``None`` — in which case the
+    ``REPRO_BACKEND`` environment variable decides, defaulting to
+    ``auto``.  ``numpy`` raises :class:`~repro.exceptions.AnalysisError`
+    when NumPy is not importable; ``auto`` silently falls back to the
+    Python backend instead.
+    """
+    if isinstance(backend, ArrayBackend):
+        return backend
+    name = backend
+    if name is None:
+        name = os.environ.get(BACKEND_ENV_VAR, "") or "auto"
+    name = name.strip().lower()
+    if name not in BACKEND_NAMES:
+        raise AnalysisError(
+            f"unknown array backend {backend!r}; choose from "
+            f"{', '.join(BACKEND_NAMES)}"
+        )
+    if name == "auto":
+        name = "numpy" if numpy_available() else "python"
+    cached = _INSTANCES.get(name)
+    if cached is not None:
+        return cached
+    if name == "numpy":
+        if not numpy_available():
+            raise AnalysisError(
+                "backend 'numpy' requested but numpy is not installed; "
+                "install the 'numpy' extra or use backend='python'"
+            )
+        instance: ArrayBackend = NumpyBackend()
+    else:
+        instance = PythonBackend()
+    _INSTANCES[name] = instance
+    return instance

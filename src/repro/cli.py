@@ -149,6 +149,17 @@ def _build_parser() -> argparse.ArgumentParser:
             "(1 = in-process)"
         ),
     )
+    sweep.add_argument(
+        "--backend",
+        choices=("auto", "numpy", "python"),
+        default=None,
+        help=(
+            "array backend for --estimates-only: numpy batches whole "
+            "use-cases, python preserves the scalar reference "
+            "arithmetic; auto picks numpy when installed (default: "
+            "the REPRO_BACKEND environment variable, then auto)"
+        ),
+    )
     sweep.set_defaults(handler=_cmd_sweep)
 
     runtime = commands.add_parser(
@@ -399,7 +410,12 @@ def _cmd_sweep(arguments) -> None:
         _cmd_sweep_estimates_only(arguments)
         return
     suite = _selected_suite(arguments)
-    for flag, default in (("model", None), ("store", None), ("jobs", 1)):
+    for flag, default in (
+        ("model", None),
+        ("store", None),
+        ("jobs", 1),
+        ("backend", None),
+    ):
         if getattr(arguments, flag) != default:
             raise ExperimentError(
                 f"--{flag} only applies with --estimates-only; the "
@@ -481,6 +497,7 @@ def _cmd_sweep_estimates_only(arguments) -> None:
         list(suite.graphs),
         mapping=suite.mapping,
         waiting_model=model,
+        backend=arguments.backend,
     )
     started = _time.perf_counter()
     # sweep_all_sizes and SweepConfig share DEFAULT_SWEEP_SEED, so this
@@ -559,7 +576,9 @@ def _cmd_sweep_service(arguments, model: str, samples) -> None:
         if arguments.store is not None
         else None
     )
-    service = SweepService(store=store, jobs=arguments.jobs)
+    service = SweepService(
+        store=store, jobs=arguments.jobs, backend=arguments.backend
+    )
     outcome = service.sweep(
         _gallery_spec(arguments),
         model=model,

@@ -16,10 +16,14 @@ exploits.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
-from repro.core.blocking import ActorProfile
-from repro.core.symmetric import elementary_symmetric_all, leave_one_out
+from repro.core.blocking import ActorProfile, ResidentVectors
+from repro.core.symmetric import (
+    elementary_symmetric_all,
+    elementary_symmetric_batch,
+    leave_one_out,
+)
 from repro.exceptions import AnalysisError
 
 
@@ -52,6 +56,62 @@ def waiting_time_order_m(
     return total
 
 
+def batched_waiting_series(
+    vectors: ResidentVectors,
+    inc,
+    order: Optional[int],
+    xp,
+):
+    """Eq. 4/5 for every ``(use-case, own actor)`` pair in one pass.
+
+    Parameters
+    ----------
+    vectors:
+        The processor's residents as parallel arrays.
+    inc:
+        0/1 array of shape ``(U, n, n)``; ``inc[u, o, i] = 1`` iff
+        resident ``i`` is an active contender of resident ``o`` in batch
+        row ``u`` (never the diagonal).
+    order:
+        Truncation order ``m`` of Eq. 5, or ``None`` for the full Eq. 4
+        series.
+    xp:
+        The array module (NumPy).
+
+    Returns
+    -------
+    array of shape ``(U, n)`` — expected waiting time of each resident
+    per batch row (0 wherever a resident has no contenders).
+
+    The computation runs the scalar pipeline's exact recurrences with
+    the batch dimensions in front: full coefficients via the product
+    recurrence (:func:`elementary_symmetric_batch`), leave-one-out
+    values via synthetic division, then the alternating series.  The
+    series is truncated at the *processor-wide* highest order; for batch
+    entries whose active multiset is smaller, the extra coefficients are
+    mathematically zero (a sub-multiset's ``e_j`` vanishes beyond its
+    size), so the result matches the scalar per-pair truncation to float
+    round-off — well inside the 1e-9 parity contract.
+    """
+    U, n, _ = inc.shape
+    if n == 0 or U == 0:
+        return xp.zeros((U, n))
+    highest = n - 1 if order is None else min(order - 1, n - 1)
+    # e_0..e_highest of each (u, own) pair's active-contender multiset.
+    full = elementary_symmetric_batch(
+        vectors.probability, inc, highest, xp
+    )
+    probability_i = vectors.probability[None, None, :]
+    series = xp.ones((U, n, n))
+    loo = xp.ones((U, n, n))
+    sign = 1.0
+    for j in range(1, highest + 1):
+        loo = full[..., j][:, :, None] - probability_i * loo
+        series = series + sign * loo / (j + 1)
+        sign = -sign
+    return xp.einsum("uoi,i->uo", inc * series, vectors.waiting_product)
+
+
 class OrderMWaitingModel:
     """Eq. 5 (generalized to any order) as a waiting model."""
 
@@ -68,3 +128,9 @@ class OrderMWaitingModel:
         self, own: ActorProfile, others: Sequence[ActorProfile]
     ) -> float:
         return waiting_time_order_m(others, self.order)
+
+    def waiting_times_batch(
+        self, vectors: ResidentVectors, inc, own_active, xp
+    ):
+        """Batched Eq. 5 over ``(use-case, actor)`` pairs."""
+        return batched_waiting_series(vectors, inc, self.order, xp)

@@ -28,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
-from repro.core.blocking import ActorProfile
+from repro.core.blocking import ActorProfile, ResidentVectors
 from repro.exceptions import AnalysisError
 
 _PROBABILITY_CEILING = 1.0 - 1e-12
@@ -117,6 +117,46 @@ def compose_all(
     return result
 
 
+def batched_waiting_composition(
+    vectors: ResidentVectors, inc, xp
+):
+    """Eq. 6/7 folds for every ``(use-case, own actor)`` pair at once.
+
+    ``inc[u, o, i] = 1`` iff resident ``i`` is an active contender of
+    resident ``o`` in batch row ``u``.  The fold walks the residents in
+    processor order — exactly the scalar ``compose_all`` order — and
+    each step applies :func:`compose`'s arithmetic elementwise, skipping
+    excluded residents, so every ``(u, o)`` entry reproduces the scalar
+    *direct* left-fold bit for bit.  The incremental variant's
+    compose-own-last-then-decompose round trip inverts the same fold
+    only up to float cancellation in :func:`decompose`'s divisions, so
+    for it this kernel matches the scalar path to ~1e-15 relative —
+    inside the backend parity contract (1e-9), but not bit-identical;
+    anything byte-determinism-sensitive must stay on the scalar path.
+
+    Returns an array of shape ``(U, n)`` of ``mu.P`` waiting products.
+    """
+    U, n, _ = inc.shape
+    waiting = xp.zeros((U, n))
+    probability = xp.zeros((U, n))
+    for k in range(n):
+        included = inc[:, :, k] > 0
+        p_k = float(vectors.probability[k])
+        wp_k = float(vectors.waiting_product[k])
+        waiting = xp.where(
+            included,
+            waiting * (1.0 + p_k / 2.0)
+            + wp_k * (1.0 + probability / 2.0),
+            waiting,
+        )
+        probability = xp.where(
+            included,
+            probability + p_k - probability * p_k,
+            probability,
+        )
+    return waiting
+
+
 class CompositionWaitingModel:
     """Composability-based waiting model (Section 4.2).
 
@@ -147,3 +187,31 @@ class CompositionWaitingModel:
         # associative to second order, so the fold order matters).
         total = compose_all([*others, own])
         return decompose(total, Composite.of_profile(own)).waiting_product
+
+    def waiting_times_batch(
+        self, vectors: ResidentVectors, inc, own_active, xp
+    ):
+        """Batched Eq. 6/7 fold (shared by both variants — see
+        :func:`batched_waiting_composition`).
+
+        The incremental variant enforces the scalar path's Eq. 8
+        restriction first: an *active* actor with blocking probability
+        1 and at least one active contender cannot be decomposed out of
+        its aggregate, so the batch raises exactly where the scalar
+        loop would.
+        """
+        if self.incremental and bool(
+            xp.any(vectors.probability >= _PROBABILITY_CEILING)
+        ):
+            at_ceiling = (
+                vectors.probability >= _PROBABILITY_CEILING
+            )[None, :]
+            affected = (
+                (own_active > 0) & at_ceiling & (inc.sum(axis=2) > 0)
+            )
+            if bool(xp.any(affected)):
+                raise AnalysisError(
+                    "cannot decompose an actor with blocking "
+                    "probability 1 (Eq. 8 requires P_b != 1)"
+                )
+        return batched_waiting_composition(vectors, inc, xp)

@@ -28,7 +28,7 @@ from __future__ import annotations
 import itertools
 from typing import Sequence
 
-from repro.core.blocking import ActorProfile
+from repro.core.blocking import ActorProfile, ResidentVectors
 from repro.core.symmetric import elementary_symmetric_all
 
 
@@ -105,3 +105,16 @@ class ExactWaitingModel:
     ) -> float:
         """Expected waiting of ``own`` given co-mapped ``others``."""
         return waiting_time_exact(others)
+
+    def waiting_times_batch(
+        self, vectors: ResidentVectors, inc, own_active, xp
+    ):
+        """Batched Eq. 4: the untruncated series for every pair.
+
+        Imported lazily for the same reason as in
+        :mod:`repro.core.waiting`: the batched series lives next to the
+        approximation models, which import this module.
+        """
+        from repro.core.approximation import batched_waiting_series
+
+        return batched_waiting_series(vectors, inc, None, xp)

@@ -23,6 +23,15 @@ needed by Eq. 4 (symmetric polynomials of all probabilities *except*
 in ``O(m)`` per excluded element — this is the "clever implementation"
 that brings the m-th order approximation to ``O(n*m)`` per actor and
 ``O(n^m)`` overall complexity quoted in Section 4.1.
+
+:func:`elementary_symmetric_batch` is the array flavour of the product
+recurrence used by the vectorized waiting kernels: the element loop is
+unchanged, but the coefficients are arrays over arbitrary leading batch
+dimensions (use-cases x actors in practice) and each element carries a
+0/1 inclusion weight per batch entry.  An excluded element contributes
+``x = 0`` and the update ``e_k += 0 * e_{k-1}`` is an exact no-op, so
+every batch entry runs precisely the scalar recurrence over its own
+sub-multiset.
 """
 
 from __future__ import annotations
@@ -90,3 +99,39 @@ def leave_one_out(
     for j in range(1, m + 1):
         result[j] = coefficients[j] - excluded * result[j - 1]
     return result
+
+
+def elementary_symmetric_batch(values, include, max_order: int, xp):
+    """Batched ``[e_0..e_m]`` of per-entry sub-multisets of ``values``.
+
+    Parameters
+    ----------
+    values:
+        Array of shape ``(n,)`` — the candidate elements (blocking
+        probabilities of the residents of one processor).
+    include:
+        0/1 array of shape ``(..., n)``: which elements belong to each
+        batch entry's multiset.
+    max_order:
+        Highest order ``m`` to compute (clipped to ``n``).
+    xp:
+        The array module (NumPy).
+
+    Returns
+    -------
+    array of shape ``(..., m + 1)`` with entry ``[..., j] = e_j`` of the
+    selected sub-multiset — the same product recurrence as
+    :func:`elementary_symmetric_all`, run once over the element axis for
+    every batch entry simultaneously.
+    """
+    n = int(values.shape[-1])
+    m = min(max_order, n)
+    if m < 0:
+        raise AnalysisError(f"max_order must be >= 0, got {max_order}")
+    coefficients = xp.zeros(include.shape[:-1] + (m + 1,))
+    coefficients[..., 0] = 1.0
+    for k in range(n):
+        x = values[k] * include[..., k]
+        for j in range(min(k + 1, m), 0, -1):
+            coefficients[..., j] += x * coefficients[..., j - 1]
+    return coefficients

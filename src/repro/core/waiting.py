@@ -35,6 +35,22 @@ class WaitingModel(Protocol):
         ``others`` are bound to the same processor."""
 
 
+def supports_batch(model: WaitingModel) -> bool:
+    """Whether ``model`` offers the vectorized batch entry point.
+
+    Batch-capable models additionally implement
+    ``waiting_times_batch(vectors, inc, own_active, xp)`` — see
+    :func:`repro.core.approximation.batched_waiting_series` for the
+    array contract (``own_active`` is the ``(U, n)`` activity mask of
+    the *owning* resident, which lets kernels reproduce scalar-path
+    errors exactly — e.g. the Eq. 8 ``P != 1`` restriction).  All five
+    built-in techniques do; the helper exists so the estimator can fall
+    back to the scalar loop for third-party models that only implement
+    the scalar protocol.
+    """
+    return callable(getattr(model, "waiting_times_batch", None))
+
+
 def make_waiting_model(specification: str) -> WaitingModel:
     """Build a waiting model from a name.
 

@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
+from repro.backend import get_backend
 from repro.core.estimator import ProbabilisticEstimator
 from repro.exceptions import ResourceManagerError
 from repro.experiments.setup import (
@@ -250,11 +251,14 @@ def _estimate_chunk(
     method_value: str,
     use_cases: List[Tuple[str, ...]],
     fixed_point_iterations: int,
+    backend: Optional[str] = None,
 ) -> List[Dict[str, object]]:
     """Worker entry point: rebuild the gallery, estimate one chunk.
 
     Module-level (picklable) on purpose.  Engines are built once per
     chunk; every estimate in the chunk is then incremental.
+    ``backend`` is the service's array-backend *name* (names pickle,
+    instances need not), so workers inherit the caller's choice.
     """
     suite = gallery.build()
     estimator = ProbabilisticEstimator(
@@ -262,6 +266,7 @@ def _estimate_chunk(
         mapping=suite.mapping,
         waiting_model=model,
         analysis_method=AnalysisMethod(method_value),
+        backend=backend,
     )
     results = estimator.estimate_many(
         [UseCase(tuple(names)) for names in use_cases],
@@ -288,12 +293,19 @@ class SweepService:
     jobs:
         Worker processes for misses.  ``1`` (default) runs inline —
         no pool, no pickling.
+    backend:
+        Array backend selection forwarded to every estimator the
+        service builds — in-process and in worker processes alike
+        (``repro sweep --backend`` ends up here).  Accepts the same
+        values as :func:`repro.backend.get_backend`; instances are
+        reduced to their name so the choice survives pickling.
     """
 
     def __init__(
         self,
         store: Optional[ResultStore] = None,
         jobs: int = 1,
+        backend: Optional[object] = None,
     ) -> None:
         if jobs < 1:
             raise ResourceManagerError(
@@ -301,6 +313,11 @@ class SweepService:
             )
         self.store = store
         self.jobs = jobs
+        # Resolve eagerly so a bad name fails in the caller, not in a
+        # worker; remember the *name* (picklable, env-independent).
+        self.backend: Optional[str] = (
+            get_backend(backend).name if backend is not None else None
+        )
 
     def sweep(
         self,
@@ -386,6 +403,7 @@ class SweepService:
                     method.value,
                     payload(chunks[0]),
                     fixed_point_iterations,
+                    self.backend,
                 )
             ]
         else:
@@ -398,6 +416,7 @@ class SweepService:
                         method.value,
                         payload(chunk),
                         fixed_point_iterations,
+                        self.backend,
                     )
                     for chunk in chunks
                 ]

@@ -41,6 +41,30 @@ application, per fixed-point iteration, per use-case):
   the SCC decomposition, and the per-component edge lists — so repeated
   :meth:`~IncrementalMCRSolver.solve` calls with fresh weights pay only
   for the (warm-started) policy iteration itself.
+
+For *batches* of weight vectors over one structure (the vectorized
+estimation pipeline solves one application's period for every use-case
+of a sweep at once), :meth:`IncrementalMCRSolver.solve_many` goes one
+step further than warm starting.  The period is a maximum of cycle
+ratios, each linear in the weights, and across a sweep the *optimal*
+cycle barely changes; the solver therefore
+
+1. remembers every critical cycle a scalar Howard solve ever produced
+   (as a per-edge incidence vector plus its total transit),
+2. evaluates all remembered cycles against the whole weight batch with
+   one matrix product, yielding a candidate ratio per vector (a lower
+   bound — every candidate is a genuine cycle's ratio), and
+3. *certifies* each candidate with a batched max-plus Bellman–Ford pass
+   over the cyclic part of the graph: if relaxation under
+   ``w - candidate * transit`` admits no positive cycle, no cycle beats
+   the candidate and it *is* the maximum cycle ratio.
+
+Vectors whose certification fails fall back to an ordinary warm-started
+scalar solve, which also registers the newly critical cycle — so a
+sweep pays a handful of scalar solves while the bulk of the batch is
+answered by a few array operations.  Certification uses a relative
+tolerance of ~1e-12, well inside the 1e-9 parity contract of the
+vectorized pipeline (Howard's own convergence epsilon is 1e-10).
 """
 
 from __future__ import annotations
@@ -220,6 +244,16 @@ class IncrementalMCRSolver:
                 self._howard_components.append((nodes, out))
         self._policy: Optional[Tuple[int, ...]] = None
         self.solve_count = 0
+        # Batched-solve state: critical cycles seen so far (keyed by
+        # their edge-id sets), the dense candidate matrix derived from
+        # them, and the Bellman-Ford arrays over the cyclic subgraph.
+        # All lazy — a solver that never sees solve_many pays nothing.
+        self._cycle_keys: set = set()
+        self._cycles: List[Tuple[Tuple[int, ...], int]] = []
+        self._cycle_matrix_cache: Optional[Tuple[object, object]] = None
+        self._bf_cache: Optional[Tuple[object, ...]] = None
+        self.batch_accepted = 0
+        self.batch_fallbacks = 0
 
     @property
     def policy(self) -> Optional[Tuple[int, ...]]:
@@ -248,11 +282,12 @@ class IncrementalMCRSolver:
         start = initial_policy if initial_policy is not None else self._policy
 
         best: Optional[CycleRatioResult] = None
+        best_cycle_edges: Optional[Tuple[int, ...]] = None
         merged_policy = [-1] * self.vertex_count
         have_policy = False
         if self.method == "howard":
             for nodes, out in self._howard_components:
-                result, fragment = _solve_howard(
+                result, fragment, cycle_edges = _solve_howard(
                     nodes, out, weight_vector, start
                 )
                 have_policy = True
@@ -260,6 +295,7 @@ class IncrementalMCRSolver:
                     merged_policy[vertex] = edge_id
                 if best is None or result.ratio > best.ratio:
                     best = result
+                    best_cycle_edges = cycle_edges
         else:
             solver = (
                 _solve_lawler if self.method == "lawler" else _solve_brute
@@ -293,7 +329,193 @@ class IncrementalMCRSolver:
             best = CycleRatioResult(
                 ratio=best.ratio, cycle=best.cycle, policy=self._policy
             )
+            if best_cycle_edges:
+                self._register_cycle(best_cycle_edges)
         return best
+
+    # ------------------------------------------------------------------
+    # Batched solving (candidate cycles + Bellman-Ford certification)
+    # ------------------------------------------------------------------
+    def _register_cycle(self, cycle_edges: Sequence[int]) -> None:
+        """Remember a critical cycle for future candidate evaluation."""
+        key = tuple(sorted(cycle_edges))
+        if key in self._cycle_keys:
+            return
+        transit = sum(self.edges[gid].transit for gid in cycle_edges)
+        self._cycle_keys.add(key)
+        self._cycles.append((tuple(cycle_edges), transit))
+        self._cycle_matrix_cache = None
+
+    def _cycle_matrix(self, xp) -> Tuple[object, object]:
+        """``(K, E)`` incidence matrix + ``(K,)`` transits of the
+        remembered cycles."""
+        if self._cycle_matrix_cache is None:
+            matrix = xp.zeros((len(self._cycles), len(self.edges)))
+            transits = xp.empty(len(self._cycles))
+            for row, (gids, transit) in enumerate(self._cycles):
+                for gid in gids:
+                    matrix[row, gid] += 1.0
+                transits[row] = float(transit)
+            self._cycle_matrix_cache = (matrix, transits)
+        return self._cycle_matrix_cache
+
+    def _bf_structure(self, xp) -> Tuple[object, ...]:
+        """Arrays describing the cyclic subgraph for batched relaxation.
+
+        Returns ``(gids, sources, gather, transits, vertex_count)``:
+        ``gather`` is a ``(vertex_count, max_in_degree)`` matrix of edge
+        positions (into the ``gids`` order) padded with a sentinel
+        position holding ``-inf``, so one fancy-indexed ``max`` computes
+        every vertex's best incoming relaxation at once.
+        """
+        if self._bf_cache is None:
+            inner: List[int] = []
+            for _, inner_ids in self._components:
+                inner.extend(inner_ids)
+            vertices = sorted(
+                {self.edges[g].source for g in inner}
+                | {self.edges[g].target for g in inner}
+            )
+            local = {v: i for i, v in enumerate(vertices)}
+            incoming: List[List[int]] = [[] for _ in vertices]
+            for position, gid in enumerate(inner):
+                incoming[local[self.edges[gid].target]].append(position)
+            sentinel = len(inner)
+            width = max(len(rows) for rows in incoming)
+            gather = xp.full(
+                (len(vertices), width), sentinel, dtype=int
+            )
+            for row, positions in enumerate(incoming):
+                for slot, position in enumerate(positions):
+                    gather[row, slot] = position
+            self._bf_cache = (
+                xp.asarray(inner, dtype=int),
+                xp.asarray(
+                    [local[self.edges[g].source] for g in inner],
+                    dtype=int,
+                ),
+                gather,
+                xp.asarray(
+                    [self.edges[g].transit for g in inner], dtype=float
+                ),
+                len(vertices),
+            )
+        return self._bf_cache
+
+    def _certify_batch(self, weights, candidates, xp):
+        """Which candidate ratios are certified maximal (boolean array).
+
+        Max-plus Bellman-Ford over the cyclic subgraph with per-edge
+        weight ``w - candidate * transit``: if a relaxation sweep after
+        ``V`` warm-up sweeps no longer improves any distance (beyond a
+        ~1e-12 relative tolerance), no cycle has a ratio above the
+        candidate, so the candidate — itself a genuine cycle's ratio —
+        is the maximum.  Soundness of the single final check: the
+        max-plus relaxation operator is monotone and commutes with
+        uniform shifts, so once one sweep gains at most ``tol``
+        everywhere, every later sweep does too — a cycle whose ratio
+        meaningfully exceeds the candidate cannot stall.  Rows that
+        still improve are left uncertified and re-solved exactly by the
+        caller.
+        """
+        gids, sources, gather, transits, count = self._bf_structure(xp)
+        reduced = weights[:, gids] - candidates[:, None] * transits
+        rows = reduced.shape[0]
+        edge_count = reduced.shape[1]
+        distance = xp.zeros((rows, count))
+        padded = xp.full((rows, edge_count + 1), -xp.inf)
+        for _ in range(count):
+            padded[:, :edge_count] = distance[:, sources] + reduced
+            distance = xp.maximum(
+                distance, xp.max(padded[:, gather], axis=2)
+            )
+        padded[:, :edge_count] = distance[:, sources] + reduced
+        final = xp.maximum(
+            distance, xp.max(padded[:, gather], axis=2)
+        )
+        tolerance = 1e-12 * xp.maximum(
+            1.0, xp.max(xp.abs(reduced), axis=1)
+        )[:, None]
+        return ~xp.any(final > distance + tolerance, axis=1)
+
+    def solve_many(self, weights_matrix, xp=None) -> List[float]:
+        """Maximum cycle ratios for a whole batch of weight vectors.
+
+        ``weights_matrix`` holds one weight vector per row (constructor
+        edge order, like :meth:`solve`).  With an array module ``xp``
+        and the Howard method, candidates from remembered critical
+        cycles are certified in batch (see the module docstring) and
+        only uncertified rows pay a scalar warm-started solve; without
+        ``xp`` — the pure-Python backend — every row runs the ordinary
+        scalar path, preserving today's arithmetic exactly.
+
+        Returns plain Python floats in row order.
+        """
+        if xp is None or self.method != "howard":
+            return [
+                float(self.solve(list(row)).ratio)
+                for row in weights_matrix
+            ]
+        weights = xp.asarray(weights_matrix, dtype=float)
+        if weights.ndim != 2 or weights.shape[1] != len(self.edges):
+            raise AnalysisError(
+                f"expected a (batch, {len(self.edges)}) weight matrix, "
+                f"got shape {tuple(weights.shape)!r}"
+            )
+        batch = weights.shape[0]
+        ratios: List[float] = [0.0] * batch
+
+        def solve_scalar(row: int) -> None:
+            ratios[row] = float(
+                self.solve([float(w) for w in weights[row]]).ratio
+            )
+            self.batch_fallbacks += 1
+
+        pending = list(range(batch))
+        if not self._cycles and pending:
+            # Seed the candidate set with one scalar solve.
+            solve_scalar(pending.pop(0))
+        # Alternate certification rounds with exact straggler solves:
+        # each round certifies every pending row whose optimum is
+        # already a remembered cycle, then a few stragglers are solved
+        # exactly — registering *their* critical cycles — and the
+        # survivors get another chance against the grown candidate
+        # set.  The straggler count doubles per round, so a sweep with
+        # k distinct critical cycles costs ~k scalar solves after
+        # O(log k) certification passes, while a pathologically
+        # diverse batch (every row a different cycle) degrades to the
+        # plain scalar cost plus only O(log batch) certification
+        # passes instead of one per row.
+        stragglers_per_round = 1
+        while pending:
+            matrix, transits = self._cycle_matrix(xp)
+            rows = weights[pending]
+            candidates = xp.max(
+                (rows @ matrix.T) / transits[None, :], axis=1
+            )
+            certified = self._certify_batch(rows, candidates, xp)
+            survivors: List[int] = []
+            for position, row in enumerate(pending):
+                if bool(certified[position]):
+                    ratios[row] = float(candidates[position])
+                    self.batch_accepted += 1
+                else:
+                    survivors.append(row)
+            if not survivors:
+                break
+            cycles_before = len(self._cycles)
+            for _ in range(min(stragglers_per_round, len(survivors))):
+                solve_scalar(survivors.pop(0))
+            stragglers_per_round *= 2
+            if len(self._cycles) == cycles_before:
+                # The exact solves found no new cycle, so the next
+                # certification round would be identical for every
+                # survivor; finish them exactly instead of looping.
+                for row in survivors:
+                    solve_scalar(row)
+                break
+            pending = survivors
+        return ratios
 
 
 # ----------------------------------------------------------------------
@@ -403,7 +625,7 @@ def _solve_howard(
     out: Sequence[Sequence[Tuple[int, int, int]]],
     weights: Sequence[float],
     initial_policy: Optional[Sequence[int]] = None,
-) -> Tuple[CycleRatioResult, Dict[int, int]]:
+) -> Tuple[CycleRatioResult, Dict[int, int], Tuple[int, ...]]:
     """Max cycle ratio of one strongly-connected component.
 
     Classic two-phase policy iteration: every vertex selects one outgoing
@@ -466,9 +688,13 @@ def _solve_howard(
         raise AnalysisError("Howard's algorithm failed to converge")
 
     best_i = max(range(n), key=lambda i: ratio[i])
-    cycle = _policy_cycle(nodes, policy, best_i)
+    cycle, cycle_edges = _policy_cycle(nodes, policy, best_i)
     converged = {node: policy[i][0] for i, node in enumerate(nodes)}
-    return CycleRatioResult(ratio=ratio[best_i], cycle=tuple(cycle)), converged
+    return (
+        CycleRatioResult(ratio=ratio[best_i], cycle=tuple(cycle)),
+        converged,
+        cycle_edges,
+    )
 
 
 def _evaluate_policy(
@@ -540,8 +766,13 @@ def _policy_cycle(
     nodes: Sequence[int],
     policy: List[Tuple[int, int, int]],
     start_local: int,
-) -> List[int]:
-    """Extract the (global-id) cycle reached from ``start_local``."""
+) -> Tuple[List[int], Tuple[int, ...]]:
+    """The (global-id) cycle reached from ``start_local``.
+
+    Returns the cycle's vertices in order plus the global edge ids the
+    policy follows along it (the representation
+    :meth:`IncrementalMCRSolver.solve_many` evaluates candidates with).
+    """
     seen: Dict[int, int] = {}
     order: List[int] = []
     node = start_local
@@ -550,7 +781,10 @@ def _policy_cycle(
         order.append(node)
         node = policy[node][1]
     cycle_local = order[seen[node]:]
-    return [nodes[i] for i in cycle_local]
+    return (
+        [nodes[i] for i in cycle_local],
+        tuple(policy[i][0] for i in cycle_local),
+    )
 
 
 # ----------------------------------------------------------------------

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.core.blocking import ActorProfile
+from repro.core.blocking import ActorProfile, ResidentVectors
 
 
 def worst_case_response_time(
@@ -45,3 +45,9 @@ class WorstCaseRRWaitingModel:
         self, own: ActorProfile, others: Sequence[ActorProfile]
     ) -> float:
         return float(sum(other.tau for other in others))
+
+    def waiting_times_batch(
+        self, vectors: ResidentVectors, inc, own_active, xp
+    ):
+        """Batched bound: sum of every active contender's ``tau``."""
+        return xp.einsum("uoi,i->uo", inc, vectors.tau)

@@ -24,7 +24,7 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
-from repro.core.blocking import ActorProfile
+from repro.core.blocking import ActorProfile, ResidentVectors
 from repro.exceptions import AnalysisError
 
 
@@ -81,3 +81,44 @@ class TDMAWaitingModel:
             own.tau, len(others) + 1, slice_length
         )
         return response - own.tau
+
+    def waiting_times_batch(
+        self, vectors: ResidentVectors, inc, own_active, xp
+    ):
+        """Batched TDMA bound.
+
+        With ``contenders[u, o]`` active others, the wheel has
+        ``contenders + 1`` slices and the waiting is
+        ``ceil(tau / s) * contenders * s`` — zero when alone, matching
+        the scalar early-outs.  A zero default slice (an active
+        zero-``tau`` owner sharing its wheel) is rejected exactly where
+        :func:`tdma_response_time` rejects it on the scalar path,
+        instead of propagating NaN.
+        """
+        contenders = inc.sum(axis=2)
+        if self.slice_length is not None:
+            if self.slice_length <= 0:
+                raise AnalysisError(
+                    "TDMA slice length must be positive"
+                )
+            slices = xp.full_like(vectors.tau, float(self.slice_length))
+        else:
+            slices = vectors.tau
+            bad_slice = (slices <= 0)[None, :]
+            if bool(
+                xp.any(
+                    (own_active > 0) & bad_slice & (contenders > 0)
+                )
+            ):
+                raise AnalysisError(
+                    "TDMA slice length must be positive"
+                )
+        full_slices = xp.ceil(
+            xp.divide(
+                vectors.tau,
+                slices,
+                out=xp.ones_like(slices),
+                where=slices > 0,
+            )
+        )
+        return (full_slices * slices)[None, :] * contenders

@@ -4,6 +4,24 @@ from __future__ import annotations
 
 import pytest
 
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help=(
+            "regenerate tests/goldens/*.json from the current code "
+            "instead of comparing against them (review the diff before "
+            "committing!)"
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def update_goldens(request: pytest.FixtureRequest) -> bool:
+    return bool(request.config.getoption("--update-goldens"))
+
 from repro.experiments.setup import BenchmarkSuite, paper_benchmark_suite
 from repro.generation.gallery import paper_two_apps
 from repro.sdf.builder import GraphBuilder

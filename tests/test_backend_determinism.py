@@ -1,0 +1,166 @@
+"""Byte-level determinism across backends and across worker counts.
+
+The backend layer accelerates estimation; it must not perturb anything
+the system *records*:
+
+* :class:`~repro.generation.workload.WorkloadGenerator` traces are pure
+  seeded randomness — identical bytes whatever ``REPRO_BACKEND`` says;
+* the runtime manager's decision log is produced by the scalar
+  admission path by design (see
+  :func:`repro.core.blocking.build_profiles`), so its JSON is
+  byte-identical across backends;
+* a :class:`~repro.runtime.service.SweepService` sweep stores the same
+  records whether misses run inline (``jobs=1``) or fan out over
+  worker processes (``jobs=4``) — same keys, same bytes (only the
+  append order may differ, hence the sorted comparison);
+* across *backends* the store keys coincide exactly and the stored
+  periods agree to the 1e-9 parity contract (the bytes of the floats
+  may legitimately differ in the last bits).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.backend import numpy_available
+from repro.experiments.setup import paper_benchmark_suite
+from repro.generation.workload import WorkloadConfig, WorkloadGenerator
+from repro.runtime.events import trace_to_json
+from repro.runtime.log import log_to_json
+from repro.runtime.manager import ResourceManager, gallery_from_graphs
+from repro.runtime.service import GallerySpec, ResultStore, SweepService
+
+pytestmark = pytest.mark.skipif(
+    not numpy_available(), reason="numpy backend not installed"
+)
+
+GALLERY = GallerySpec(kind="paper", seed=7, application_count=4)
+
+
+def _workload_trace_json(monkeypatch, backend: str) -> str:
+    monkeypatch.setenv("REPRO_BACKEND", backend)
+    generator = WorkloadGenerator(
+        ["A", "B", "C"],
+        config=WorkloadConfig(
+            mean_interarrival=30.0, mean_holding=200.0
+        ),
+    )
+    trace = generator.generate(seed=42, events=500)
+    return trace_to_json(trace)
+
+
+def test_workload_traces_are_byte_identical_across_backends(
+    monkeypatch,
+):
+    scalar = _workload_trace_json(monkeypatch, "python")
+    vector = _workload_trace_json(monkeypatch, "numpy")
+    assert scalar.encode() == vector.encode()
+
+
+def _runtime_log_json(monkeypatch, backend: str) -> str:
+    monkeypatch.setenv("REPRO_BACKEND", backend)
+    suite = paper_benchmark_suite(application_count=4)
+    specs = gallery_from_graphs(list(suite.graphs), slack=1.5)
+    generator = WorkloadGenerator(
+        [spec.name for spec in specs],
+        quality_levels={
+            spec.name: spec.ladder.level_names for spec in specs
+        },
+        config=WorkloadConfig(
+            mean_interarrival=40.0, mean_holding=250.0
+        ),
+    )
+    trace = generator.generate(seed=99, events=400)
+    manager = ResourceManager(
+        specs, mapping=suite.mapping, policy="downgrade"
+    )
+    log = manager.replay(trace)
+    return log_to_json(log)
+
+
+def _canonical_log(serialized: str) -> bytes:
+    """Log JSON with wall-clock fields nulled.
+
+    ``elapsed_seconds``/``decision_seconds`` are measured wall time and
+    differ even between two runs of the *same* configuration; every
+    decision, period, utilization and downgrade must match to the byte.
+    """
+    data = json.loads(serialized)
+    data["elapsed_seconds"] = None
+    for record in data["records"]:
+        record["decision_seconds"] = None
+    return json.dumps(data, sort_keys=True).encode()
+
+
+def test_runtime_logs_are_byte_identical_across_backends(monkeypatch):
+    scalar = _runtime_log_json(monkeypatch, "python")
+    vector = _runtime_log_json(monkeypatch, "numpy")
+    assert _canonical_log(scalar) == _canonical_log(vector)
+
+
+def _sorted_store_lines(path) -> list:
+    return sorted(
+        line
+        for line in path.read_text().splitlines()
+        if line.strip()
+    )
+
+
+def _store_keys(path) -> list:
+    return sorted(
+        json.dumps(json.loads(line)["key"], sort_keys=True)
+        for line in path.read_text().splitlines()
+        if line.strip()
+    )
+
+
+class TestJobsDeterminism:
+    def test_store_is_byte_identical_across_worker_counts(
+        self, tmp_path
+    ):
+        if (os.cpu_count() or 1) < 2:
+            pytest.skip("needs >= 2 CPUs for a meaningful pool")
+        serial_path = tmp_path / "serial.jsonl"
+        parallel_path = tmp_path / "parallel.jsonl"
+        serial = SweepService(
+            store=ResultStore(serial_path), jobs=1
+        ).sweep(GALLERY)
+        parallel = SweepService(
+            store=ResultStore(parallel_path), jobs=4
+        ).sweep(GALLERY)
+        assert serial.use_case_count == parallel.use_case_count
+        assert _sorted_store_lines(serial_path) == _sorted_store_lines(
+            parallel_path
+        )
+
+    def test_sweep_results_ignore_worker_count(self, tmp_path):
+        if (os.cpu_count() or 1) < 2:
+            pytest.skip("needs >= 2 CPUs for a meaningful pool")
+        serial = SweepService(jobs=1).sweep(GALLERY)
+        parallel = SweepService(jobs=4).sweep(GALLERY)
+        for one, many in zip(serial.results, parallel.results):
+            assert one.use_case == many.use_case
+            assert one.periods == many.periods
+            assert one.isolation == many.isolation
+
+
+class TestBackendStoreKeys:
+    def test_store_keys_coincide_across_backends(self, tmp_path):
+        scalar_path = tmp_path / "scalar.jsonl"
+        vector_path = tmp_path / "vector.jsonl"
+        scalar = SweepService(
+            store=ResultStore(scalar_path), backend="python"
+        ).sweep(GALLERY)
+        vector = SweepService(
+            store=ResultStore(vector_path), backend="numpy"
+        ).sweep(GALLERY)
+        assert _store_keys(scalar_path) == _store_keys(vector_path)
+        for one, two in zip(scalar.results, vector.results):
+            assert one.use_case == two.use_case
+            for app, period in one.periods.items():
+                assert two.periods[app] == pytest.approx(
+                    period, rel=1e-9
+                )

@@ -1,0 +1,237 @@
+"""Property-based numpy-vs-python backend parity.
+
+The vectorized pipeline must never drift from the scalar reference:
+for *any* gallery, mapping, waiting model and analysis method, both
+backends have to produce the same periods, waiting times and response
+times to <= 1e-9 relative (in practice they agree to ~1e-15; the looser
+bound is the documented contract).  Hypothesis drives random galleries
+and use-case batches through both flavours; dedicated tests pin the
+corner cases the strategies reach rarely (stacked mappings,
+same-application exclusion, the state-space analysis method) and the
+admission controller's warm path, which must stay *bit-identical*
+across backends because the runtime determinism suite byte-compares its
+decision logs.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.admission.controller import AdmissionController
+from repro.analysis_engine import build_engines
+from repro.backend import get_backend, numpy_available
+from repro.core.estimator import ProbabilisticEstimator
+from repro.generation.random_sdf import GeneratorConfig, random_sdf_graph
+from repro.platform.mapping import index_mapping, modulo_mapping
+from repro.platform.platform import Platform
+from repro.platform.usecase import UseCase, all_use_cases
+from repro.sdf.analysis import AnalysisMethod
+
+pytestmark = pytest.mark.skipif(
+    not numpy_available(), reason="numpy backend not installed"
+)
+
+TOLERANCE = 1e-9
+
+MODELS = (
+    "exact",
+    "second_order",
+    "fourth_order",
+    "order:1",
+    "composability",
+    "composability_incremental",
+    "worst_case",
+    "tdma",
+)
+
+_SMALL = GeneratorConfig(actor_count_range=(3, 5))
+
+
+def _gallery(seeds):
+    return [
+        random_sdf_graph(f"G{index}", seed=seed, config=_SMALL)
+        for index, seed in enumerate(seeds)
+    ]
+
+
+def _assert_parity(scalar_results, vector_results):
+    for scalar, vector in zip(scalar_results, vector_results):
+        assert scalar.use_case == vector.use_case
+        assert scalar.model_name == vector.model_name
+        assert scalar.iterations_used == vector.iterations_used
+        for app, period in scalar.periods.items():
+            assert vector.periods[app] == pytest.approx(
+                period, rel=TOLERANCE
+            ), (scalar.use_case, app)
+        for key, waiting in scalar.waiting_times.items():
+            assert (
+                abs(vector.waiting_times[key] - waiting)
+                <= TOLERANCE * max(1.0, abs(waiting))
+            ), (scalar.use_case, key)
+        for key, response in scalar.response_times.items():
+            assert vector.response_times[key] == pytest.approx(
+                response, rel=TOLERANCE
+            ), (scalar.use_case, key)
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seeds=st.lists(
+        st.integers(0, 10_000), min_size=2, max_size=4, unique=True
+    ),
+    model=st.sampled_from(MODELS),
+)
+def test_every_waiting_model_agrees_across_backends(seeds, model):
+    """Random gallery, exhaustive use-cases, every waiting model."""
+    graphs = _gallery(seeds)
+    use_cases = all_use_cases([g.name for g in graphs])
+    scalar = ProbabilisticEstimator(
+        graphs, waiting_model=model, backend="python"
+    ).estimate_many(use_cases)
+    vector = ProbabilisticEstimator(
+        graphs, waiting_model=model, backend="numpy"
+    ).estimate_many(use_cases)
+    _assert_parity(scalar, vector)
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seeds=st.lists(
+        st.integers(0, 10_000), min_size=2, max_size=3, unique=True
+    ),
+    method=st.sampled_from(
+        [AnalysisMethod.MCR, AnalysisMethod.STATE_SPACE]
+    ),
+)
+def test_both_analysis_methods_agree_across_backends(seeds, method):
+    """MCR and the state-space engine, python vs numpy."""
+    graphs = _gallery(seeds)
+    use_cases = all_use_cases([g.name for g in graphs])
+    scalar = ProbabilisticEstimator(
+        graphs, analysis_method=method, backend="python"
+    ).estimate_many(use_cases)
+    vector = ProbabilisticEstimator(
+        graphs, analysis_method=method, backend="numpy"
+    ).estimate_many(use_cases)
+    _assert_parity(scalar, vector)
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seeds=st.lists(
+        st.integers(0, 10_000), min_size=2, max_size=3, unique=True
+    ),
+    width=st.integers(2, 3),
+    include_same_application=st.booleans(),
+    model=st.sampled_from(
+        ("second_order", "exact", "composability", "worst_case")
+    ),
+)
+def test_stacked_mapping_parity(
+    seeds, width, include_same_application, model
+):
+    """Narrow platforms stack several actors per node — including
+    several actors of the *same* application, which exercises the
+    same-application exclusion masks of the batched kernels."""
+    graphs = _gallery(seeds)
+    mapping = modulo_mapping(graphs, Platform.homogeneous(width))
+    use_cases = all_use_cases([g.name for g in graphs])
+    scalar = ProbabilisticEstimator(
+        graphs,
+        mapping=mapping,
+        waiting_model=model,
+        include_same_application=include_same_application,
+        backend="python",
+    ).estimate_many(use_cases)
+    vector = ProbabilisticEstimator(
+        graphs,
+        mapping=mapping,
+        waiting_model=model,
+        include_same_application=include_same_application,
+        backend="numpy",
+    ).estimate_many(use_cases)
+    _assert_parity(scalar, vector)
+
+
+def _run_admission_sequence(graphs, mapping):
+    """Admit everything, withdraw one, re-admit — all on warm engines."""
+    controller = AdmissionController(
+        mapping,
+        engines=build_engines(graphs),
+    )
+    quotes = []
+    for graph in graphs:
+        decision = controller.request_admission(graph)
+        quotes.append(
+            (
+                graph.name,
+                decision.admitted,
+                dict(decision.estimated_periods),
+            )
+        )
+    controller.withdraw(graphs[0].name)
+    decision = controller.request_admission(graphs[0])
+    quotes.append(
+        (
+            graphs[0].name,
+            decision.admitted,
+            dict(decision.estimated_periods),
+        )
+    )
+    return quotes
+
+
+def test_admission_warm_path_is_bit_identical_across_backends(
+    monkeypatch,
+):
+    """The controller's warm O(1) path never touches the array layer.
+
+    Its quotes must therefore be *bit-identical* whichever backend the
+    environment selects — the property the runtime byte-determinism
+    suite builds on.
+    """
+    graphs = _gallery([11, 22, 33])
+    mapping = index_mapping(graphs)
+    monkeypatch.setenv("REPRO_BACKEND", "python")
+    scalar_quotes = _run_admission_sequence(graphs, mapping)
+    monkeypatch.setenv("REPRO_BACKEND", "numpy")
+    vector_quotes = _run_admission_sequence(graphs, mapping)
+    assert scalar_quotes == vector_quotes
+
+
+def test_explicit_backend_overrides_environment(monkeypatch):
+    monkeypatch.setenv("REPRO_BACKEND", "python")
+    assert get_backend(None).name == "python"
+    assert get_backend("numpy").name == "numpy"
+    graphs = _gallery([5, 6])
+    estimator = ProbabilisticEstimator(graphs, backend="numpy")
+    assert estimator.backend.vectorized
+    # And with no override the environment decides.
+    assert ProbabilisticEstimator(graphs).backend.name == "python"
+
+
+def test_single_estimate_matches_batched_single(monkeypatch):
+    """estimate() and estimate_many([uc]) agree on both backends."""
+    graphs = _gallery([3, 4, 9])
+    use_case = UseCase.of(graphs[0].name, graphs[2].name)
+    for backend in ("python", "numpy"):
+        estimator = ProbabilisticEstimator(graphs, backend=backend)
+        single = estimator.estimate(use_case)
+        batched = estimator.estimate_many([use_case])[0]
+        assert single.periods == batched.periods
+        assert single.waiting_times == batched.waiting_times

@@ -1,0 +1,142 @@
+"""Golden-regression fixtures for the paper's evaluation artefacts.
+
+Frozen JSON snapshots of Table 1, Figure 5 and Figure 6 (at a reduced,
+seconds-scale configuration) live under ``tests/goldens/``.  Any change
+that moves a reproduced number by more than 1e-9 *relative* fails here —
+whether it comes from a refactor, a new array backend, or an accidental
+semantic change.  Because the scalar and vectorized backends agree to
+well below the threshold, the same fixtures gate both
+(``REPRO_BACKEND=python`` and ``=numpy`` CI axes run this file
+unchanged).
+
+Regeneration (after an *intentional* numeric change)::
+
+    PYTHONPATH=src python -m pytest tests/test_goldens.py \
+        --update-goldens
+
+then review the fixture diff before committing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.runner import SweepConfig, run_sweep
+from repro.experiments.setup import paper_benchmark_suite
+from repro.experiments.table1 import run_table1
+
+GOLDENS_DIR = Path(__file__).parent / "goldens"
+
+#: The frozen evaluation configuration.  Small enough for the tier-1
+#: suite, large enough to exercise every technique and use-case size.
+APPLICATION_COUNT = 6
+SWEEP_CONFIG = SweepConfig(
+    target_iterations=40, samples_per_size=6, seed=1
+)
+FIGURE5_ITERATIONS = 60
+
+#: Relative drift at which a golden comparison fails.  The tiny
+#: absolute floor only absorbs float noise around exact zeros — it is
+#: three orders below the relative term for any value above 1e-3, so
+#: the gate stays genuinely relative even for sub-unit magnitudes
+#: (inaccuracy percentages can be < 1).
+TOLERANCE = 1e-9
+ABSOLUTE_FLOOR = 1e-12
+
+
+@pytest.fixture(scope="module")
+def artefacts():
+    """One shared sweep feeding all three golden artefacts."""
+    suite = paper_benchmark_suite(
+        application_count=APPLICATION_COUNT
+    )
+    sweep = run_sweep(suite, config=SWEEP_CONFIG)
+    table1 = run_table1(suite, sweep=sweep)
+    figure6 = run_figure6(suite, sweep=sweep)
+    figure5 = run_figure5(
+        suite, target_iterations=FIGURE5_ITERATIONS
+    )
+    return {
+        "table1": {
+            "use_case_count": table1.use_case_count,
+            "summaries": [
+                {
+                    "method": summary.method,
+                    "throughput_percent": summary.throughput_percent,
+                    "period_percent": summary.period_percent,
+                }
+                for summary in table1.summaries
+            ],
+        },
+        "figure5": {
+            "applications": list(figure5.applications),
+            "series": {
+                name: list(values)
+                for name, values in figure5.series.items()
+            },
+        },
+        "figure6": {
+            "sizes": list(figure6.sizes),
+            "series": {
+                name: list(values)
+                for name, values in figure6.series.items()
+            },
+            "samples_per_size": {
+                str(size): count
+                for size, count in figure6.samples_per_size.items()
+            },
+        },
+    }
+
+
+def _assert_matches(golden, actual, path: str) -> None:
+    """Recursive comparison; floats at :data:`TOLERANCE` relative."""
+    if isinstance(golden, dict):
+        assert isinstance(actual, dict), path
+        assert sorted(golden) == sorted(actual), (
+            f"{path}: keys differ: {sorted(golden)} vs {sorted(actual)}"
+        )
+        for key in golden:
+            _assert_matches(golden[key], actual[key], f"{path}.{key}")
+    elif isinstance(golden, list):
+        assert isinstance(actual, list), path
+        assert len(golden) == len(actual), (
+            f"{path}: length {len(golden)} vs {len(actual)}"
+        )
+        for index, (g, a) in enumerate(zip(golden, actual)):
+            _assert_matches(g, a, f"{path}[{index}]")
+    elif isinstance(golden, float) or isinstance(actual, float):
+        drift = abs(float(golden) - float(actual))
+        bound = TOLERANCE * abs(float(golden)) + ABSOLUTE_FLOOR
+        assert drift <= bound, (
+            f"{path}: {actual!r} drifted from golden {golden!r} "
+            f"({drift:.3e} absolute, allowed {bound:.3e} = "
+            f"{TOLERANCE} relative + {ABSOLUTE_FLOOR} floor)"
+        )
+    else:
+        assert golden == actual, (
+            f"{path}: {actual!r} != golden {golden!r}"
+        )
+
+
+@pytest.mark.parametrize("name", ["table1", "figure5", "figure6"])
+def test_golden(name: str, artefacts, update_goldens: bool) -> None:
+    path = GOLDENS_DIR / f"{name}.json"
+    if update_goldens:
+        GOLDENS_DIR.mkdir(exist_ok=True)
+        path.write_text(
+            json.dumps(artefacts[name], indent=2, sort_keys=True)
+            + "\n"
+        )
+        return
+    assert path.exists(), (
+        f"golden fixture {path} missing; generate it with "
+        "'pytest tests/test_goldens.py --update-goldens'"
+    )
+    golden = json.loads(path.read_text())
+    _assert_matches(golden, artefacts[name], name)
