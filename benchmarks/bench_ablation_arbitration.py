@@ -20,7 +20,6 @@ Findings encoded in the assertions:
 
 from __future__ import annotations
 
-import pytest
 
 from conftest import report
 from repro.core.estimator import ProbabilisticEstimator

@@ -22,7 +22,6 @@ from __future__ import annotations
 
 from typing import Dict
 
-import pytest
 
 from conftest import report
 from repro.core.estimator import ProbabilisticEstimator

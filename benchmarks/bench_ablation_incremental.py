@@ -18,7 +18,6 @@ Two independent incrementality levers are measured here:
 
 from __future__ import annotations
 
-import pytest
 
 from conftest import MIN_SPEEDUP, report
 from repro.admission.controller import AdmissionController

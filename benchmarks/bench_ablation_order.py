@@ -15,7 +15,6 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-import pytest
 
 from conftest import report
 from repro.core.estimator import ProbabilisticEstimator

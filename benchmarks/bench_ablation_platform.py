@@ -13,7 +13,6 @@ degrades gracefully (errors grow with saturation but stay bounded).
 
 from __future__ import annotations
 
-import pytest
 
 from conftest import report
 from repro.core.estimator import ProbabilisticEstimator

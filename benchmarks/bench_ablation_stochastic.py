@@ -10,7 +10,6 @@ stochastic simulation of the maximum-contention use-case.
 
 from __future__ import annotations
 
-import pytest
 
 from conftest import report
 from repro.core.distributions import DistributionTimeModel, UniformTime

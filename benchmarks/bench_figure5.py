@@ -13,7 +13,6 @@ Shape assertions (the reproduction contract):
 
 from __future__ import annotations
 
-import pytest
 
 from conftest import SMOKE, report
 from repro.experiments.figure5 import run_figure5

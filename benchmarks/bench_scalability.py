@@ -15,7 +15,6 @@ simulation cost.
 
 from __future__ import annotations
 
-import pytest
 
 from conftest import MIN_SPEEDUP, report
 from repro.experiments.scalability import run_scalability, run_sweep_speedup

@@ -16,7 +16,6 @@ Shape assertions:
 
 from __future__ import annotations
 
-import pytest
 
 from conftest import report
 from repro.experiments.table1 import run_table1

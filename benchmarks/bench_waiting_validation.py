@@ -17,7 +17,6 @@ correlation rather than pointwise errors.
 
 from __future__ import annotations
 
-import pytest
 
 from conftest import report
 from repro.core.estimator import ProbabilisticEstimator

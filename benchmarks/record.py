@@ -1,0 +1,175 @@
+#!/usr/bin/env python
+"""Record one point of the performance trajectory as ``BENCH_<n>.json``.
+
+The repository asserts its speedups in benches but never *kept* them;
+this recorder runs the headline measurements programmatically and
+writes one machine-readable snapshot so CI (nightly + on demand, see
+``.github/workflows/perf.yml``) accumulates a history that can be
+plotted and diffed across PRs:
+
+* ``incremental_sweep`` — cold re-expansion vs. warm engines on the
+  exhaustive use-case sweep (PR 1's claim);
+* ``vectorized_sweep`` — scalar incremental vs. NumPy-batched pipeline
+  on the same sweep (PR 3's claim; ``null`` without numpy);
+* ``runtime.decisions_per_second`` — resource-manager decision rate
+  over a replayed scenario trace (PR 2's claim);
+* ``service`` — queries/sec and latency percentiles of the
+  micro-batching estimation server under the seeded load generator
+  (PR 4's claim).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/record.py             # auto index
+    PYTHONPATH=src python benchmarks/record.py --fast      # CI smoke
+    PYTHONPATH=src python benchmarks/record.py --index 123 \
+        --output-dir bench-history
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import re
+import sys
+import time
+from pathlib import Path
+from typing import Dict, Optional, Sequence
+
+
+def _collect(fast: bool) -> Dict[str, object]:
+    from repro.backend import get_backend
+    from repro.core.estimator import ProbabilisticEstimator
+    from repro.experiments.runtime_throughput import (
+        run_runtime_throughput,
+    )
+    from repro.experiments.scalability import run_sweep_speedup
+    from repro.experiments.service_load import LoadConfig, run_load
+    from repro.experiments.setup import paper_benchmark_suite
+    from repro.runtime.manager import gallery_from_graphs
+    from repro.runtime.service import GallerySpec
+
+    applications = 4 if fast else 8
+
+    sweep = run_sweep_speedup(application_count=applications)
+
+    vectorized: Optional[float] = None
+    try:
+        import numpy  # noqa: F401  (probe only)
+    except ImportError:
+        pass
+    else:
+        suite = paper_benchmark_suite(application_count=applications)
+
+        def sweep_seconds(backend: str) -> float:
+            estimator = ProbabilisticEstimator(
+                list(suite.graphs),
+                mapping=suite.mapping,
+                waiting_model="second_order",
+                backend=backend,
+            )
+            started = time.perf_counter()
+            estimator.sweep_all_sizes(samples_per_size=None)
+            return time.perf_counter() - started
+
+        vectorized = sweep_seconds("python") / sweep_seconds("numpy")
+
+    runtime_suite = paper_benchmark_suite(application_count=4)
+    throughput = run_runtime_throughput(
+        gallery_from_graphs(list(runtime_suite.graphs)),
+        mapping=runtime_suite.mapping,
+        loads=(1.0, 2.0) if fast else (0.5, 1.0, 2.0, 4.0),
+        events=120 if fast else 400,
+        policy="downgrade-greedy",
+    )
+
+    load = run_load(
+        LoadConfig(
+            clients=4 if fast else 16,
+            queries_per_client=8 if fast else 32,
+            gallery=GallerySpec(application_count=4 if fast else 8),
+            cache_entries=0,
+        )
+    )
+
+    return {
+        "schema": 1,
+        "fast": fast,
+        "python": platform.python_version(),
+        "backend": get_backend().name,
+        "speedups": {
+            "incremental_sweep": round(sweep.speedup, 3),
+            "vectorized_sweep": (
+                round(vectorized, 3) if vectorized is not None else None
+            ),
+        },
+        "runtime": {
+            "decisions_per_second": round(
+                throughput.decisions_per_second, 1
+            ),
+            "admission_ratio_at_max_load": round(
+                throughput.points[-1].admission_ratio, 4
+            ),
+        },
+        "service": {
+            "queries_per_second": round(load.queries_per_second, 1),
+            "latency_p50_ms": round(load.latency_p50_ms, 3),
+            "latency_p90_ms": round(load.latency_p90_ms, 3),
+            "latency_p99_ms": round(load.latency_p99_ms, 3),
+            "mean_batch": round(load.mean_batch, 2),
+            "errors": load.errors,
+        },
+    }
+
+
+def _next_index(directory: Path) -> int:
+    """1 + the largest recorded index (0 for an empty history)."""
+    best = -1
+    for path in directory.glob("BENCH_*.json"):
+        match = re.fullmatch(r"BENCH_(\d+)\.json", path.name)
+        if match:
+            best = max(best, int(match.group(1)))
+    return best + 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="record one BENCH_<n>.json perf-trajectory point"
+    )
+    parser.add_argument(
+        "--output-dir",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent,
+        help="where BENCH_<n>.json lands (default: the repo root)",
+    )
+    parser.add_argument(
+        "--index",
+        type=int,
+        default=None,
+        help=(
+            "trajectory index n (default: 1 + the largest index "
+            "already recorded in --output-dir; CI passes its run "
+            "number)"
+        ),
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="smoke scale: smaller galleries, fewer events/queries",
+    )
+    arguments = parser.parse_args(argv)
+
+    record = _collect(fast=arguments.fast)
+    directory = arguments.output_dir
+    directory.mkdir(parents=True, exist_ok=True)
+    index = (arguments.index if arguments.index is not None else _next_index(directory))
+    record["index"] = index
+    path = directory / f"BENCH_{index}.json"
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(f"recorded {path}")
+    print(json.dumps(record, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,9 @@ BENCH_DIR = pathlib.Path(__file__).parent
 FAST_CASE = {
     "bench_scalability.py": "test_sweep_speedup",
     "bench_runtime.py": "test_stored_sweep_is_pure_cache_hits",
+    # One-shot client/server wall-clock ratios are pure noise at smoke
+    # scale; the cache-storm case is deterministic and fast.
+    "bench_service.py": "test_service_cache_turns_repeats_into_hits",
 }
 
 

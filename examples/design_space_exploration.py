@@ -15,6 +15,8 @@ Run with::
 
 from __future__ import annotations
 
+import os
+
 from repro import (
     Platform,
     ProbabilisticEstimator,
@@ -25,6 +27,10 @@ from repro import (
 )
 from repro.experiments.setup import paper_benchmark_suite
 from repro.platform.mapping import spread_mapping
+
+#: CI's examples-bitrot job sets REPRO_EXAMPLES_FAST=1 so every example
+#: still executes end to end, just on a shrunken workload.
+FAST = os.environ.get("REPRO_EXAMPLES_FAST", "") == "1"
 
 BUDGET = 2.5  # tolerated period inflation over isolation
 
@@ -78,7 +84,7 @@ def main() -> None:
     reference = simulate(
         graphs,
         mapping=chosen_mapping,
-        config=SimulationConfig(target_iterations=120),
+        config=SimulationConfig(target_iterations=15 if FAST else 120),
     )
     worst = 0.0
     isolation_periods = {

@@ -19,6 +19,9 @@ from __future__ import annotations
 
 from collections import defaultdict
 
+import os
+
+
 from repro import (
     ProbabilisticEstimator,
     SimulationConfig,
@@ -27,6 +30,10 @@ from repro import (
     simulate,
 )
 from repro.generation.gallery import media_device_suite
+
+#: CI's examples-bitrot job sets REPRO_EXAMPLES_FAST=1 so every example
+#: still executes end to end, just on a shrunken workload.
+FAST = os.environ.get("REPRO_EXAMPLES_FAST", "") == "1"
 
 
 def main() -> None:
@@ -56,7 +63,7 @@ def main() -> None:
         reference = simulate(
             active,
             mapping=mapping,
-            config=SimulationConfig(target_iterations=60),
+            config=SimulationConfig(target_iterations=10 if FAST else 60),
         )
         for model, estimator in estimators.items():
             estimate = estimator.estimate(use_case)

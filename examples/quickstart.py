@@ -18,6 +18,8 @@ Run with::
 
 from __future__ import annotations
 
+import os
+
 from repro import (
     GraphBuilder,
     ProbabilisticEstimator,
@@ -26,6 +28,10 @@ from repro import (
     period,
     simulate,
 )
+
+#: CI's examples-bitrot job sets REPRO_EXAMPLES_FAST=1 so every example
+#: still executes end to end, just on a shrunken workload.
+FAST = os.environ.get("REPRO_EXAMPLES_FAST", "") == "1"
 
 
 def build_applications():
@@ -79,7 +85,7 @@ def main() -> None:
     reference = simulate(
         graphs,
         mapping=mapping,
-        config=SimulationConfig(target_iterations=200),
+        config=SimulationConfig(target_iterations=20 if FAST else 200),
     )
     for graph in graphs:
         metrics = reference.metrics[graph.name]

@@ -12,6 +12,8 @@ Run with ``PYTHONPATH=src python examples/runtime_manager.py``.
 
 from __future__ import annotations
 
+import os
+
 from repro.generation.gallery import (
     h263_decoder,
     jpeg_decoder,
@@ -21,6 +23,10 @@ from repro.generation.gallery import (
 from repro.generation.workload import WorkloadConfig, WorkloadGenerator
 from repro.runtime import ResourceManager, gallery_from_graphs
 from repro.runtime.validation import validate_log
+
+#: CI's examples-bitrot job sets REPRO_EXAMPLES_FAST=1 so every example
+#: still executes end to end, just on a shrunken workload.
+FAST = os.environ.get("REPRO_EXAMPLES_FAST", "") == "1"
 
 
 def main() -> None:
@@ -37,7 +43,7 @@ def main() -> None:
         },
         config=WorkloadConfig(arrival="bursty", mean_interarrival=60.0),
     )
-    trace = generator.generate(seed=2007, events=2000)
+    trace = generator.generate(seed=2007, events=200 if FAST else 2000)
     log = manager.replay(trace)
 
     counts = log.counts_by_outcome()

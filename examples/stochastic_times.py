@@ -20,6 +20,8 @@ Run with::
 
 from __future__ import annotations
 
+import os
+
 from repro import (
     ProbabilisticEstimator,
     SimulationConfig,
@@ -32,6 +34,10 @@ from repro.core.distributions import (
     UniformTime,
 )
 from repro.generation.gallery import paper_two_apps
+
+#: CI's examples-bitrot job sets REPRO_EXAMPLES_FAST=1 so every example
+#: still executes end to end, just on a shrunken workload.
+FAST = os.environ.get("REPRO_EXAMPLES_FAST", "") == "1"
 
 
 def main() -> None:
@@ -75,7 +81,9 @@ def main() -> None:
         graphs,
         mapping=mapping,
         config=SimulationConfig(
-            target_iterations=400, time_model=time_model, seed=7
+            target_iterations=40 if FAST else 400,
+            time_model=time_model,
+            seed=7,
         ),
     )
 

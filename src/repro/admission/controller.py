@@ -32,8 +32,8 @@ every query carries a full per-actor time vector.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping as TMapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Mapping as TMapping, Optional, Tuple
 
 from repro.analysis_engine import AnalysisEngine
 from repro.core.blocking import ActorProfile, build_profiles

@@ -37,7 +37,7 @@ floats come out equal.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.backend import ArrayBackend, get_backend
@@ -293,7 +293,8 @@ class AnalysisEngine:
                     for key in misses:
                         self._validate_key(key)
                 weights = times[:, list(self._edge_actor_indices)]
-                ratios = self._solver.solve_many(weights, xp)  # type: ignore[union-attr]
+                assert self._solver is not None
+                ratios = self._solver.solve_many(weights, xp)
                 self.stats.solves += len(misses)
                 self.stats.cache_misses += len(misses)
                 for key, ratio in zip(misses, ratios):

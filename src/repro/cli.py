@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.core.estimator import ProbabilisticEstimator
 from repro.exceptions import ExperimentError
@@ -34,7 +34,6 @@ from repro.generation.random_sdf import GeneratorConfig, random_sdf_graph
 from repro.platform.mapping import index_mapping
 from repro.platform.usecase import UseCase
 from repro.sdf.analysis import period as analytical_period
-from repro.sdf.graph import SDFGraph
 from repro.sdf.liveness import is_live
 from repro.sdf.repetition import repetition_vector
 from repro.sdf.serialization import graph_from_json, graph_to_json
@@ -228,6 +227,72 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     runtime.set_defaults(handler=_cmd_runtime)
 
+    serve = commands.add_parser(
+        "serve",
+        help=(
+            "long-lived estimation server: JSON-lines over TCP (or "
+            "stdio), micro-batching concurrent queries onto warm "
+            "engine pools"
+        ),
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (0 = ephemeral; the bound port is printed)",
+    )
+    serve.add_argument(
+        "--stdio",
+        action="store_true",
+        help=(
+            "serve one session over stdin/stdout instead of TCP "
+            "(requests in, responses out, one JSON object per line)"
+        ),
+    )
+    serve.add_argument(
+        "--batch-window",
+        type=float,
+        default=2.0,
+        metavar="MS",
+        help=(
+            "milliseconds the batcher lingers after the first arrival "
+            "so concurrent queries coalesce (0 = drain immediately)"
+        ),
+    )
+    serve.add_argument("--max-batch", type=int, default=128, metavar="N")
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="queue depth that counts as overload",
+    )
+    serve.add_argument(
+        "--shed-policy",
+        choices=("reject", "evict", "downgrade"),
+        default="reject",
+        help=(
+            "overload behaviour (runtime QoS vocabulary): reject the "
+            "newcomer, evict the oldest pending query, or downgrade "
+            "the newcomer to a cheaper waiting model"
+        ),
+    )
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=4096,
+        metavar="N",
+        help="LRU result-cache entries (0 disables caching)",
+    )
+    serve.add_argument(
+        "--backend",
+        choices=("auto", "numpy", "python"),
+        default=None,
+        help="array backend for the pool's estimators",
+    )
+    serve.set_defaults(handler=_cmd_serve)
+
     reproduce = commands.add_parser(
         "reproduce",
         help="regenerate the paper's Table 1, Figures 5-6 and timing",
@@ -326,7 +391,15 @@ def _cmd_info(arguments) -> None:
             f"{k}:{v}" for k, v in vector.items()
         )],
         ["period (isolation)", f"{analytical_period(graph):.2f}"],
-        ["workload / iteration", f"{sum(vector[a.name] * a.execution_time for a in graph.actors):.0f}"],
+        [
+            "workload / iteration",
+            "{:.0f}".format(
+                sum(
+                    vector[a.name] * a.execution_time
+                    for a in graph.actors
+                )
+            ),
+        ],
     ]
     print(render_table(["property", "value"], rows, title=graph.name))
 
@@ -609,6 +682,54 @@ def _cmd_sweep_service(arguments, model: str, samples) -> None:
             f"store {arguments.store}: {outcome.hits} hits, "
             f"{outcome.misses} misses"
         )
+
+
+def _cmd_serve(arguments) -> None:
+    import asyncio
+
+    from repro.service.cache import ResultCache
+    from repro.service.server import EstimationServer
+
+    async def _serve() -> None:
+        server = EstimationServer(
+            cache=ResultCache(arguments.cache_size),
+            batch_window=arguments.batch_window / 1e3,
+            max_batch=arguments.max_batch,
+            max_pending=arguments.max_pending,
+            shed_policy=arguments.shed_policy,
+            backend=arguments.backend,
+        )
+        if arguments.stdio:
+            reader, writer = await _stdio_streams()
+            await server.serve_stdio(reader, writer)
+            return
+        host, port = await server.start(arguments.host, arguments.port)
+        print(f"serving on {host}:{port}", flush=True)
+        try:
+            await server.wait_shutdown()
+        finally:
+            await server.aclose()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+
+
+async def _stdio_streams():
+    """Wrap this process's stdin/stdout as an asyncio stream pair."""
+    import asyncio
+
+    loop = asyncio.get_running_loop()
+    reader = asyncio.StreamReader(limit=2 * 1024 * 1024)
+    await loop.connect_read_pipe(
+        lambda: asyncio.StreamReaderProtocol(reader), sys.stdin
+    )
+    transport, protocol = await loop.connect_write_pipe(
+        asyncio.streams.FlowControlMixin, sys.stdout
+    )
+    writer = asyncio.StreamWriter(transport, protocol, reader, loop)
+    return reader, writer
 
 
 def _cmd_runtime(arguments) -> None:

@@ -27,11 +27,11 @@ Definition 4 covering a whole application at once.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.exceptions import AnalysisError
-from repro.sdf.analysis import AnalysisMethod, period as analytical_period
+from repro.sdf.analysis import period as analytical_period
 from repro.sdf.graph import SDFGraph
 from repro.sdf.repetition import repetition_vector
 

@@ -19,7 +19,6 @@ comparable under the same randomness.
 
 from __future__ import annotations
 
-import math
 import random
 from dataclasses import InitVar, dataclass
 from typing import Dict, Mapping, Optional, Sequence, Tuple

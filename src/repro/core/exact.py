@@ -25,7 +25,6 @@ unavailable technical report [8].
 
 from __future__ import annotations
 
-import itertools
 from typing import Sequence
 
 from repro.core.blocking import ActorProfile, ResidentVectors

@@ -51,3 +51,7 @@ class ExperimentError(ReproError):
 
 class ResourceManagerError(ReproError):
     """Invalid operation on the run-time resource-manager subsystem."""
+
+
+class ServiceError(ReproError):
+    """Estimation-service failure: bad request, overload, closed server."""

@@ -20,7 +20,7 @@ the second order is the most conservative of the three.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.core.estimator import ProbabilisticEstimator
 from repro.experiments.reporting import render_series

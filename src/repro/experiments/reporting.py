@@ -8,7 +8,7 @@ dependency is pulled in.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 
 def render_table(

@@ -22,7 +22,7 @@ per-use-case estimate is a warm-started, weight-only solve.
 from __future__ import annotations
 
 import time as _time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis_engine import build_engines

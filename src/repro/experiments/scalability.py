@@ -29,7 +29,6 @@ from repro.core.estimator import ProbabilisticEstimator
 from repro.exceptions import ExperimentError
 from repro.experiments.reporting import render_table
 from repro.experiments.setup import paper_benchmark_suite
-from repro.generation.random_sdf import GeneratorConfig
 from repro.platform.mapping import index_mapping
 from repro.platform.usecase import UseCase, all_use_cases
 from repro.simulation.engine import SimulationConfig, Simulator

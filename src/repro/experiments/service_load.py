@@ -1,0 +1,259 @@
+"""Seeded async load generator for the estimation service.
+
+Answers the serving layer's two operational questions — how many
+queries per second does one server sustain, and what latency do clients
+see — with a fully in-process, reproducible experiment: an
+:class:`~repro.service.server.EstimationServer` on an ephemeral local
+port, ``clients`` concurrent :class:`~repro.service.client
+.ServiceClient` connections, each issuing ``queries_per_client``
+questions drawn from a per-client seeded RNG over the gallery's
+non-empty use-cases.  Every query's wall-clock latency is recorded;
+the report carries throughput, latency percentiles and the server-side
+micro-batching/cache/shedding counters, so one run shows *why* the
+throughput number is what it is.
+
+Usage (module or CLI)::
+
+    from repro.experiments.service_load import LoadConfig, run_load
+    print(run_load(LoadConfig(clients=16)).render())
+
+    PYTHONPATH=src python -m repro.experiments.service_load --clients 16
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import random
+import time as _time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ExperimentError, ServiceError
+from repro.experiments.reporting import render_table
+from repro.runtime.service import GallerySpec
+from repro.service.cache import ResultCache
+from repro.service.client import ServiceClient
+from repro.service.pool import EnginePool
+from repro.service.server import EstimationServer
+
+
+@dataclass(frozen=True)
+class LoadConfig:
+    """One load-generation scenario (fully deterministic per seed,
+    modulo wall-clock noise in the measured latencies)."""
+
+    clients: int = 8
+    queries_per_client: int = 32
+    seed: int = 7
+    gallery: GallerySpec = field(default_factory=GallerySpec)
+    model: str = "second_order"
+    method: str = "mcr"
+    batch_window: float = 0.002
+    max_batch: int = 128
+    max_pending: int = 1024
+    shed_policy: str = "reject"
+    cache_entries: int = 4096
+    backend: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.clients < 1:
+            raise ExperimentError(f"clients must be >= 1, got {self.clients}")
+        if self.queries_per_client < 1:
+            raise ExperimentError(
+                f"queries_per_client must be >= 1, "
+                f"got {self.queries_per_client}"
+            )
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """What the generator measured, client- and server-side."""
+
+    queries: int
+    errors: int
+    elapsed_seconds: float
+    queries_per_second: float
+    latency_p50_ms: float
+    latency_p90_ms: float
+    latency_p99_ms: float
+    mean_batch: float
+    max_batch: int
+    cache_hits: int
+    shed: int
+    degraded: int
+    config: LoadConfig
+
+    def render(self) -> str:
+        rows = [
+            ["clients", self.config.clients],
+            ["queries", self.queries],
+            ["errors", self.errors],
+            ["elapsed", f"{self.elapsed_seconds * 1e3:.0f} ms"],
+            ["queries/sec", f"{self.queries_per_second:.0f}"],
+            ["latency p50", f"{self.latency_p50_ms:.2f} ms"],
+            ["latency p90", f"{self.latency_p90_ms:.2f} ms"],
+            ["latency p99", f"{self.latency_p99_ms:.2f} ms"],
+            ["mean batch", f"{self.mean_batch:.1f}"],
+            ["max batch", self.max_batch],
+            ["cache hits", self.cache_hits],
+            ["shed", self.shed],
+            ["degraded", self.degraded],
+        ]
+        return render_table(
+            ["metric", "value"],
+            rows,
+            title=(
+                f"Service load ({self.config.model}, gallery "
+                f"{self.config.gallery.label()}, seed "
+                f"{self.config.seed})"
+            ),
+        )
+
+
+def percentile(samples: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    if not samples:
+        raise ExperimentError("percentile of an empty sample set")
+    if not 0.0 <= fraction <= 1.0:
+        raise ExperimentError(f"fraction must be within [0, 1], got {fraction}")
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[rank]
+
+
+def _client_plan(config: LoadConfig, client_index: int) -> List[Tuple[str, ...]]:
+    """The seeded use-case sequence one client will ask about."""
+    names = config.gallery.application_names()
+    rng = random.Random(f"{config.seed}:{client_index}")
+    plan: List[Tuple[str, ...]] = []
+    for _ in range(config.queries_per_client):
+        size = rng.randint(1, len(names))
+        plan.append(tuple(sorted(rng.sample(names, size))))
+    return plan
+
+
+async def _run_client(
+    config: LoadConfig,
+    address: Tuple[str, int],
+    client_index: int,
+    latencies: List[float],
+    errors: List[str],
+) -> None:
+    gallery = {
+        "kind": config.gallery.kind,
+        "seed": config.gallery.seed,
+        "applications": config.gallery.application_count,
+    }
+    client = await ServiceClient.connect(address[0], address[1])
+    try:
+        for use_case in _client_plan(config, client_index):
+            started = _time.perf_counter()
+            try:
+                await client.estimate(
+                    use_case,
+                    gallery=gallery,
+                    model=config.model,
+                    method=config.method,
+                )
+            except ServiceError as error:
+                errors.append(str(error))
+                continue
+            latencies.append(_time.perf_counter() - started)
+    finally:
+        await client.aclose()
+
+
+async def _run(config: LoadConfig) -> LoadReport:
+    server = EstimationServer(
+        pool=EnginePool(backend=config.backend),
+        cache=ResultCache(config.cache_entries),
+        batch_window=config.batch_window,
+        max_batch=config.max_batch,
+        max_pending=config.max_pending,
+        shed_policy=config.shed_policy,
+    )
+    address = await server.start()
+    latencies: List[float] = []
+    errors: List[str] = []
+    started = _time.perf_counter()
+    try:
+        await asyncio.gather(
+            *[
+                _run_client(config, address, index, latencies, errors)
+                for index in range(config.clients)
+            ]
+        )
+        elapsed = _time.perf_counter() - started
+        stats = server.snapshot()
+    finally:
+        await server.aclose()
+    queries = len(latencies)
+    cache: Dict[str, object] = stats["cache"]  # type: ignore[assignment]
+
+    def latency_ms(fraction: float) -> float:
+        # All-error runs have no latencies; the report must still come
+        # back (errors=N is the finding, not a crash).
+        return percentile(latencies, fraction) * 1e3 if latencies else 0.0
+
+    return LoadReport(
+        queries=queries,
+        errors=len(errors),
+        elapsed_seconds=elapsed,
+        queries_per_second=queries / elapsed if elapsed > 0 else 0.0,
+        latency_p50_ms=latency_ms(0.50),
+        latency_p90_ms=latency_ms(0.90),
+        latency_p99_ms=latency_ms(0.99),
+        mean_batch=float(stats["mean_batch"]),  # type: ignore[arg-type]
+        max_batch=int(stats["max_batch"]),  # type: ignore[arg-type]
+        cache_hits=int(cache["hits"]),  # type: ignore[arg-type]
+        shed=int(stats["shed"]),  # type: ignore[arg-type]
+        degraded=int(stats["degraded"]),  # type: ignore[arg-type]
+        config=config,
+    )
+
+
+def run_load(config: Optional[LoadConfig] = None) -> LoadReport:
+    """Run one scenario end to end (spawns its own event loop)."""
+    return asyncio.run(_run(config if config is not None else LoadConfig()))
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="seeded async load generator for 'repro serve'"
+    )
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--queries", type=int, default=32)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--applications", type=int, default=6)
+    parser.add_argument("--model", default="second_order")
+    parser.add_argument("--batch-window", type=float, default=2.0, metavar="MS")
+    parser.add_argument("--cache-size", type=int, default=4096)
+    parser.add_argument(
+        "--shed-policy",
+        choices=("reject", "evict", "downgrade"),
+        default="reject",
+    )
+    parser.add_argument("--backend", choices=("auto", "numpy", "python"), default=None)
+    arguments = parser.parse_args(argv)
+    report = run_load(
+        LoadConfig(
+            clients=arguments.clients,
+            queries_per_client=arguments.queries,
+            seed=arguments.seed,
+            gallery=GallerySpec(
+                application_count=arguments.applications
+            ),
+            model=arguments.model,
+            batch_window=arguments.batch_window / 1e3,
+            cache_entries=arguments.cache_size,
+            shed_policy=arguments.shed_policy,
+            backend=arguments.backend,
+        )
+    )
+    print(report.render())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -15,7 +15,7 @@ bench regenerates the identical suite.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 from repro.generation.random_sdf import GeneratorConfig, random_sdf_graph
 from repro.platform.mapping import Mapping, index_mapping

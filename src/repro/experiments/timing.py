@@ -14,7 +14,7 @@ sweep and reports per-use-case means and the speedup factor.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 from repro.exceptions import ExperimentError
 from repro.experiments.reporting import render_table

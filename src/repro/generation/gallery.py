@@ -14,7 +14,7 @@ time in the test suite.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from repro.sdf.builder import GraphBuilder
 from repro.sdf.graph import SDFGraph

@@ -28,7 +28,7 @@ critical cycle onto the chords.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from math import gcd
 from typing import List, Optional, Tuple
 

@@ -11,9 +11,9 @@ to explain *why* a configuration fails.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.blocking import ActorProfile, build_profiles
+from repro.core.blocking import build_profiles
 from repro.platform.mapping import Mapping
 from repro.platform.usecase import UseCase
 from repro.sdf.graph import SDFGraph

@@ -9,7 +9,7 @@ generated benchmark suite in version control or sharing a repro case.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List
+from typing import Any, Dict
 
 from repro.exceptions import MappingError
 from repro.platform.mapping import Mapping

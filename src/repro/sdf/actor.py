@@ -8,8 +8,7 @@ times; the deterministic case simply stores an integer/float constant.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 from repro.exceptions import GraphError
 

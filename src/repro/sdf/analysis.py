@@ -29,9 +29,8 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Tuple
+from typing import Dict, Mapping, Tuple
 
-from repro.exceptions import AnalysisError
 from repro.sdf.graph import SDFGraph
 
 

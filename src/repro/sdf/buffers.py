@@ -20,14 +20,12 @@ Provided here:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
-from repro.exceptions import AnalysisError, DeadlockError, GraphError
-from repro.sdf.actor import Actor
+from repro.exceptions import AnalysisError, DeadlockError
 from repro.sdf.channel import Channel
 from repro.sdf.graph import SDFGraph
 from repro.sdf.liveness import is_live
-from repro.sdf.repetition import repetition_vector
 from repro.sdf.statespace import self_timed_schedule
 
 #: Name prefix of generated reverse (space) channels.

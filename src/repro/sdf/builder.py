@@ -17,7 +17,7 @@ verbose; the builder reads like the figures in SDF papers::
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from repro.exceptions import GraphError
 from repro.sdf.actor import Actor

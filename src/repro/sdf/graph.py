@@ -10,7 +10,7 @@ vectors and periods trustworthy.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Mapping, Tuple
 
 from repro.exceptions import GraphError
 from repro.sdf.actor import Actor

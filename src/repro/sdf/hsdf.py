@@ -27,7 +27,7 @@ back, which is what makes ``Per(A) = 300``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, List, Tuple
 
 from repro.exceptions import GraphError
 from repro.sdf.graph import SDFGraph
@@ -131,8 +131,8 @@ def to_hsdf(
         q_src = q[channel.source]
         q_dst = q[channel.target]
         for n in range(q_dst):
-            for l in range(c):
-                token = n * c + l
+            for slot in range(c):
+                token = n * c + slot
                 # Absolute producer firing index (may be negative when the
                 # token is an initial token produced "before time zero").
                 producer = (token - d) // p

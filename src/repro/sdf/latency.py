@@ -15,7 +15,7 @@ derived from the exact self-timed schedule:
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from repro.exceptions import AnalysisError
 from repro.sdf.graph import SDFGraph

@@ -15,7 +15,7 @@ firing (the model is deterministic and monotonic).
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from repro.exceptions import DeadlockError
 from repro.sdf.graph import SDFGraph

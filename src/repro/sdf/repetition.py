@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from fractions import Fraction
 from math import gcd
-from typing import Dict, List, NamedTuple
+from typing import Dict, NamedTuple
 
 from repro.exceptions import InconsistentGraphError
 from repro.sdf.graph import SDFGraph

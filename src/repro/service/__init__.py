@@ -1,0 +1,49 @@
+"""Estimation-as-a-service: the async micro-batching serving layer.
+
+Public surface:
+
+* :class:`~repro.service.server.EstimationServer` — the long-lived
+  asyncio server (TCP or stdio, JSON-lines protocol) that coalesces
+  concurrent client queries into cross-request micro-batches on warm
+  engine pools;
+* :class:`~repro.service.client.ServiceClient` /
+  :func:`~repro.service.client.estimate_once` — the client library;
+* :class:`~repro.service.pool.EnginePool` and
+  :class:`~repro.service.cache.ResultCache` — the warm-state and
+  memoization building blocks, reusable outside the server;
+* the :mod:`~repro.service.protocol` message helpers.
+"""
+
+from repro.service.cache import CacheKey, ResultCache
+from repro.service.client import ServiceClient, estimate_once
+from repro.service.pool import EnginePool
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    Query,
+    decode_message,
+    encode_message,
+    parse_estimate,
+    parse_gallery,
+)
+from repro.service.server import (
+    DEFAULT_DEGRADED_MODEL,
+    EstimationServer,
+    ServerStats,
+)
+
+__all__ = [
+    "CacheKey",
+    "DEFAULT_DEGRADED_MODEL",
+    "EnginePool",
+    "EstimationServer",
+    "PROTOCOL_VERSION",
+    "Query",
+    "ResultCache",
+    "ServerStats",
+    "ServiceClient",
+    "decode_message",
+    "encode_message",
+    "estimate_once",
+    "parse_estimate",
+    "parse_gallery",
+]

@@ -1,0 +1,83 @@
+"""LRU result cache of the estimation server.
+
+Keys follow the :class:`~repro.runtime.service.ResultStore` convention
+— ``(gallery label, use-case label, waiting model, analysis method)`` —
+so a cached service answer names exactly what a sweep-store line names.
+Unlike the store this cache is bounded and invalidatable: a gallery
+whose graphs or quality ladders changed can be dropped wholesale while
+every other gallery's entries stay warm.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.exceptions import ServiceError
+
+#: ``(gallery, use_case, model, method)`` — see ``ResultStore.key``.
+CacheKey = Tuple[str, str, str, str]
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+
+class ResultCache:
+    """Bounded LRU map of query keys to response payloads.
+
+    ``max_entries=0`` disables caching entirely (every lookup misses,
+    nothing is stored) — the benchmark uses that to measure pure
+    micro-batching throughput.
+    """
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        if max_entries < 0:
+            raise ServiceError(f"max_entries must be >= 0, got {max_entries}")
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[CacheKey, Dict[str, object]]" = (OrderedDict())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: CacheKey) -> Optional[Dict[str, object]]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def put(self, key: CacheKey, value: Dict[str, object]) -> None:
+        if self.max_entries == 0:
+            return
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def invalidate_gallery(self, gallery_label: str) -> int:
+        """Drop every entry of one gallery; returns how many fell."""
+        stale = [key for key in self._entries if key[0] == gallery_label]
+        for key in stale:
+            del self._entries[key]
+        self.stats.invalidations += len(stale)
+        return len(stale)
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+            "hits": self.stats.hits,
+            "misses": self.stats.misses,
+            "evictions": self.stats.evictions,
+            "invalidations": self.stats.invalidations,
+        }

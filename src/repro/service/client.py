@@ -1,0 +1,135 @@
+"""Client library of the estimation service.
+
+:class:`ServiceClient` wraps one connection's request/response cycle:
+each call sends one JSON line, awaits the matching response (ids are
+checked) and either returns the ``result`` payload or raises
+:class:`~repro.exceptions.ServiceError` with the server's message.
+Micro-batching needs *concurrent* questions, which one strictly
+sequential client cannot produce — open several clients (see
+:mod:`repro.experiments.service_load`) or interleave calls from
+multiple coroutines via :meth:`estimate`, which is safe to invoke
+concurrently from one client: requests are pipelined on the socket and
+responses are matched back by id.
+
+The convenience :func:`estimate_once` does connect / ask / close in one
+call for scripts and tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.exceptions import ServiceError
+from repro.service.protocol import (
+    decode_message,
+    encode_message,
+    raise_for_response,
+)
+
+
+class ServiceClient:
+    """One connection to an :class:`~repro.service.server
+    .EstimationServer`."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._ids = itertools.count(1)
+        self._lock = asyncio.Lock()
+        self._responses: Dict[int, Dict[str, object]] = {}
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServiceClient":
+        # Match the server's read limit: responses are bounded by the
+        # protocol's MAX_MESSAGE_BYTES (1 MiB), well above asyncio's
+        # default 64 KiB readline limit.
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=2 * 1024 * 1024
+        )
+        return cls(reader, writer)
+
+    async def aclose(self) -> None:
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionError, BrokenPipeError):
+            pass
+
+    # ------------------------------------------------------------------
+    async def _call(self, payload: Dict[str, object]) -> Dict[str, object]:
+        request_id = next(self._ids)
+        payload = dict(payload, id=request_id)
+        self._writer.write(encode_message(payload))
+        await self._writer.drain()
+        # One coroutine at a time reads the socket and files responses
+        # by id; everyone else waits for theirs to be filed.  This lets
+        # several coroutines share one client (pipelined requests)
+        # without a background reader task.
+        while request_id not in self._responses:
+            async with self._lock:
+                if request_id in self._responses:
+                    break
+                line = await self._reader.readline()
+                if not line:
+                    raise ServiceError("connection closed before a response arrived")
+                response = decode_message(line)
+                answered = response.get("id")
+                if not isinstance(answered, int):
+                    raise ServiceError(f"response with unexpected id {answered!r}")
+                self._responses[answered] = response
+        return raise_for_response(self._responses.pop(request_id))
+
+    # ------------------------------------------------------------------
+    async def ping(self) -> Dict[str, object]:
+        return await self._call({"op": "ping"})
+
+    async def estimate(
+        self,
+        use_case: Sequence[str],
+        gallery: Optional[Dict[str, object]] = None,
+        model: str = "second_order",
+        method: str = "mcr",
+    ) -> Dict[str, object]:
+        """Ask for one use-case's periods; returns the result payload
+        (periods, isolation, cached/degraded markers, batch size)."""
+        return await self._call(
+            {
+                "op": "estimate",
+                "gallery": dict(gallery) if gallery else {},
+                "use_case": list(use_case),
+                "model": model,
+                "method": method,
+            }
+        )
+
+    async def stats(self) -> Dict[str, object]:
+        return await self._call({"op": "stats"})
+
+    async def invalidate(self, gallery: Dict[str, object]) -> Dict[str, object]:
+        return await self._call({"op": "invalidate", "gallery": dict(gallery)})
+
+    async def shutdown(self) -> Dict[str, object]:
+        return await self._call({"op": "shutdown"})
+
+
+async def estimate_once(
+    address: Tuple[str, int],
+    use_case: Sequence[str],
+    gallery: Optional[Dict[str, object]] = None,
+    model: str = "second_order",
+    method: str = "mcr",
+) -> Dict[str, object]:
+    """Connect, ask one question, close — the scripting path."""
+    client = await ServiceClient.connect(address[0], address[1])
+    try:
+        return await client.estimate(
+            use_case, gallery=gallery, model=model, method=method
+        )
+    finally:
+        await client.aclose()

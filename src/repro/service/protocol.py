@@ -1,0 +1,196 @@
+"""Wire protocol of the estimation service: JSON objects, one per line.
+
+The service speaks newline-delimited JSON over any byte stream — a TCP
+connection or a stdin/stdout pipe — so clients need nothing beyond a
+socket and ``json``.  Every request carries an ``op`` and an ``id`` the
+response echoes back; the estimate payload names a reproducible gallery
+(the :class:`~repro.runtime.service.GallerySpec` recipe, exactly like
+the sweep service's result store), a use-case, a waiting model and an
+analysis method, so a query is a *value* — cacheable, batchable and
+deduplicatable across clients.
+
+Requests::
+
+    {"id": 1, "op": "ping"}
+    {"id": 2, "op": "estimate", "gallery": {"kind": "paper", "seed":
+     2007, "applications": 8}, "use_case": ["A0", "A3"],
+     "model": "second_order", "method": "mcr"}
+    {"id": 3, "op": "stats"}
+    {"id": 4, "op": "invalidate", "gallery": {...}}
+    {"id": 5, "op": "shutdown"}
+
+Responses::
+
+    {"id": 2, "ok": true, "result": {"periods": {...}, ...}}
+    {"id": 2, "ok": false, "error": "..."}
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.exceptions import ServiceError
+from repro.experiments.setup import DEFAULT_SEED
+from repro.platform.usecase import UseCase
+from repro.runtime.service import GallerySpec, ResultStore
+from repro.sdf.analysis import AnalysisMethod
+
+#: Protocol revision, reported by ``ping`` and ``stats``.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one encoded message; a malformed client that streams
+#: an unterminated line must not grow the server's buffer unboundedly.
+MAX_MESSAGE_BYTES = 1 << 20
+
+#: Operations the server understands.
+OPERATIONS: Tuple[str, ...] = (
+    "ping",
+    "estimate",
+    "stats",
+    "invalidate",
+    "shutdown",
+)
+
+
+def encode_message(payload: Dict[str, object]) -> bytes:
+    """One protocol message: compact JSON plus the line terminator."""
+    line = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    data = line.encode("utf-8") + b"\n"
+    if len(data) > MAX_MESSAGE_BYTES:
+        raise ServiceError(
+            f"message of {len(data)} bytes exceeds the protocol bound "
+            f"of {MAX_MESSAGE_BYTES}"
+        )
+    return data
+
+
+def decode_message(line: bytes) -> Dict[str, object]:
+    """Parse one received line into a payload dict (loud on garbage)."""
+    if len(line) > MAX_MESSAGE_BYTES:
+        raise ServiceError(
+            f"message of {len(line)} bytes exceeds the protocol bound "
+            f"of {MAX_MESSAGE_BYTES}"
+        )
+    try:
+        payload = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ServiceError(f"undecodable message: {error}") from None
+    if not isinstance(payload, dict):
+        raise ServiceError(f"expected a JSON object, got {type(payload).__name__}")
+    return payload
+
+
+def parse_gallery(data: object) -> GallerySpec:
+    """Build the gallery recipe named by an ``estimate``/``invalidate``
+    payload.  ``applications`` mirrors the CLI's ``--suite N``;
+    ``application_count`` is accepted as the dataclass-field spelling."""
+    if not isinstance(data, dict):
+        raise ServiceError(
+            "estimate needs a 'gallery' object, e.g. "
+            '{"kind": "paper", "seed": 2007, "applications": 8}'
+        )
+    known = {"kind", "seed", "applications", "application_count"}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ServiceError(f"unknown gallery fields: {unknown!r}")
+    count = data.get("applications", data.get("application_count", 8))
+    try:
+        return GallerySpec(
+            kind=str(data.get("kind", "paper")),
+            seed=int(data.get("seed", DEFAULT_SEED)),
+            application_count=int(count),
+        )
+    except (TypeError, ValueError) as error:
+        raise ServiceError(f"bad gallery recipe: {error}") from None
+
+
+@dataclass(frozen=True)
+class Query:
+    """One estimation question, normalized for batching and caching."""
+
+    gallery: GallerySpec
+    use_case: UseCase
+    model: str
+    method: AnalysisMethod
+
+    @property
+    def key(self) -> Tuple[str, str, str, str]:
+        """Cache key — the :class:`~repro.runtime.service.ResultStore`
+        convention, so service cache entries and sweep store lines name
+        results identically."""
+        return ResultStore.key(self.gallery, self.use_case, self.model, self.method)
+
+    @property
+    def group(self) -> Tuple[str, str, str]:
+        """Micro-batch group: queries sharing gallery, model and method
+        are answered by one :meth:`estimate_many` call."""
+        return (self.gallery.label(), self.model, self.method.value)
+
+    def degraded(self, model: str) -> "Query":
+        """The same question under a cheaper waiting model (shedding)."""
+        return Query(
+            gallery=self.gallery,
+            use_case=self.use_case,
+            model=model,
+            method=self.method,
+        )
+
+
+def parse_estimate(payload: Dict[str, object]) -> Query:
+    """Validate an ``estimate`` payload into a :class:`Query`."""
+    gallery = parse_gallery(payload.get("gallery"))
+    raw_use_case = payload.get("use_case")
+    if not isinstance(raw_use_case, (list, tuple)) or not raw_use_case:
+        raise ServiceError(
+            "estimate needs a non-empty 'use_case' list of "
+            "application names"
+        )
+    names = tuple(str(name) for name in raw_use_case)
+    known = set(gallery.application_names())
+    unknown = sorted(set(names) - known)
+    if unknown:
+        raise ServiceError(
+            f"use-case references applications {unknown!r} outside "
+            f"gallery {gallery.label()!r}"
+        )
+    model = str(payload.get("model", "second_order"))
+    method_value = str(payload.get("method", "mcr"))
+    try:
+        method = AnalysisMethod(method_value)
+    except ValueError:
+        choices = ", ".join(m.value for m in AnalysisMethod)
+        raise ServiceError(
+            f"unknown analysis method {method_value!r} "
+            f"(choose from {choices})"
+        ) from None
+    try:
+        use_case = UseCase(names)
+    except Exception as error:
+        raise ServiceError(f"bad use-case: {error}") from None
+    return Query(gallery=gallery, use_case=use_case, model=model, method=method)
+
+
+def error_response(request_id: object, message: str) -> Dict[str, object]:
+    return {"id": request_id, "ok": False, "error": message}
+
+
+def ok_response(request_id: object, result: object) -> Dict[str, object]:
+    return {"id": request_id, "ok": True, "result": result}
+
+
+def raise_for_response(response: Dict[str, object]) -> Dict[str, object]:
+    """Client-side helper: unwrap ``result`` or raise the ``error``."""
+    if response.get("ok"):
+        result = response.get("result")
+        return result if isinstance(result, dict) else {"value": result}
+    raise ServiceError(str(response.get("error", "unknown error")))
+
+
+def resolve_request_id(payload: Dict[str, object]) -> Optional[object]:
+    """The echoed ``id`` — any JSON scalar; ``None`` when absent."""
+    request_id = payload.get("id")
+    if request_id is not None and not isinstance(request_id, (str, int, float, bool)):
+        raise ServiceError("request 'id' must be a JSON scalar")
+    return request_id

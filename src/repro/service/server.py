@@ -1,0 +1,606 @@
+"""The estimation server: concurrent queries in, micro-batched solves out.
+
+:class:`EstimationServer` is the long-lived serving layer over the
+library's batched estimation stack.  Clients connect over TCP (or a
+stdin/stdout pipe) and ask single-use-case questions; the server does
+*not* answer them one by one.  Queries land in a pending queue, and a
+batcher coroutine drains whatever has accumulated — while one batch is
+being solved in a worker thread, new arrivals pile up into the next —
+groups it by ``(gallery, model, method)``, deduplicates identical
+questions, and feeds each group to
+:meth:`~repro.core.estimator.ProbabilisticEstimator.estimate_many` on
+the warm :class:`~repro.service.pool.EnginePool` estimators.  With a
+vectorized backend that is the PR-3 array pipeline — one waiting-kernel
+evaluation per processor and one
+:meth:`~repro.analysis_engine.AnalysisEngine.period_for` call per
+application for the *whole batch* — so N concurrent clients cost about
+one batched solve instead of N scalar ones.
+
+On top of the batcher sit:
+
+* a bounded LRU :class:`~repro.service.cache.ResultCache` keyed like
+  the sweep service's result store, with per-gallery invalidation (the
+  ``invalidate`` op drops cached answers *and* the gallery's warm
+  engines together, for when graphs or quality ladders change);
+* a load-shedding hook reusing the runtime layer's QoS policy
+  vocabulary (:func:`~repro.runtime.manager.make_qos_policy`): when the
+  pending queue exceeds ``max_pending``, ``reject`` refuses the
+  newcomer, ``evict`` sheds the *oldest* pending query instead, and
+  ``downgrade`` serves the newcomer under a cheaper waiting model,
+  marked as degraded in the response;
+* graceful shutdown: a ``shutdown`` request (or :meth:`aclose`) stops
+  accepting work, drains every pending query to a real answer, and
+  only then tears the loop down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.exceptions import ReproError, ServiceError
+from repro.runtime.service import GallerySpec
+from repro.runtime.manager import (
+    DowngradePolicy,
+    EvictLowestPriorityPolicy,
+    QoSPolicy,
+    RejectPolicy,
+    make_qos_policy,
+)
+from repro.service.cache import ResultCache
+from repro.service.pool import EnginePool
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    Query,
+    decode_message,
+    encode_message,
+    error_response,
+    ok_response,
+    parse_estimate,
+    parse_gallery,
+    resolve_request_id,
+)
+
+#: Waiting model served under the ``downgrade`` shedding policy — the
+#: cheap direct-composition technique (Eq. 6/7), batch-capable like the
+#: default model, so degraded traffic still micro-batches.
+DEFAULT_DEGRADED_MODEL = "composability"
+
+
+@dataclass
+class ServerStats:
+    """Counters behind the ``stats`` op (all since server start)."""
+
+    requests: int = 0
+    estimate_requests: int = 0
+    solved_queries: int = 0
+    batches: int = 0
+    batched_queries: int = 0
+    max_batch: int = 0
+    shed: int = 0
+    evicted: int = 0
+    degraded: int = 0
+    errors: int = 0
+
+    @property
+    def mean_batch(self) -> float:
+        return self.batched_queries / self.batches if self.batches else 0.0
+
+
+@dataclass
+class _PendingQuery:
+    """One enqueued question plus where its answer goes."""
+
+    query: Query
+    future: "asyncio.Future[Dict[str, object]]"
+    requested_model: str
+
+    @property
+    def degraded_from(self) -> Optional[str]:
+        if self.query.model == self.requested_model:
+            return None
+        return self.requested_model
+
+
+class EstimationServer:
+    """Async micro-batching estimation service over warm engine pools.
+
+    Parameters
+    ----------
+    pool / cache:
+        Warm estimator pool and LRU result cache; built with defaults
+        when omitted (``ResultCache(0)`` disables caching).
+    batch_window:
+        Seconds the batcher lingers after the first arrival so
+        concurrent queries coalesce; ``0`` drains immediately (batches
+        then form only from what accumulates while a solve runs).
+    max_batch:
+        Most queries drained into one micro-batch.
+    max_pending:
+        Queue depth that counts as overload; beyond it the shedding
+        policy decides.
+    shed_policy:
+        Runtime QoS policy name or instance
+        (:func:`~repro.runtime.manager.make_qos_policy`):
+        ``reject``, ``evict`` or ``downgrade``/``downgrade-greedy``.
+    degraded_model:
+        Waiting model served under ``downgrade`` shedding.
+    backend:
+        Array-backend selection for the pool's estimators.
+    """
+
+    def __init__(
+        self,
+        pool: Optional[EnginePool] = None,
+        cache: Optional[ResultCache] = None,
+        batch_window: float = 0.002,
+        max_batch: int = 128,
+        max_pending: int = 1024,
+        shed_policy: "QoSPolicy | str" = "reject",
+        degraded_model: str = DEFAULT_DEGRADED_MODEL,
+        backend: Optional[object] = None,
+    ) -> None:
+        if batch_window < 0:
+            raise ServiceError(f"batch_window must be >= 0, got {batch_window}")
+        if max_batch < 1:
+            raise ServiceError(f"max_batch must be >= 1, got {max_batch}")
+        if max_pending < 1:
+            raise ServiceError(f"max_pending must be >= 1, got {max_pending}")
+        self.pool = pool if pool is not None else EnginePool(backend=backend)
+        self.cache = cache if cache is not None else ResultCache()
+        self.batch_window = batch_window
+        self.max_batch = max_batch
+        self.max_pending = max_pending
+        self.shed_policy = make_qos_policy(shed_policy)
+        self.degraded_model = degraded_model
+        self.stats = ServerStats()
+        self._pending: Deque[_PendingQuery] = deque()
+        self._arrival: Optional[asyncio.Event] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._batcher: Optional["asyncio.Task[None]"] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._writers: "set[asyncio.StreamWriter]" = set()
+        self._busy = False
+        self._closing = False
+        self.address: Optional[Tuple[str, int]] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_running(self) -> None:
+        if self._arrival is None:
+            self._arrival = asyncio.Event()
+            self._stop = asyncio.Event()
+            # One worker thread on purpose: analysis engines are
+            # stateful and not thread-safe; a single solver thread
+            # serializes every batch while the event loop keeps
+            # accepting (and coalescing) new queries.
+            self._executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-service"
+            )
+            self._batcher = asyncio.get_running_loop().create_task(self._batch_loop())
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> Tuple[str, int]:
+        """Listen on TCP ``host:port`` (0 = ephemeral); returns the
+        bound address."""
+        if self._server is not None:
+            raise ServiceError("server already started")
+        self._ensure_running()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=host,
+            port=port,
+            limit=2 * 1024 * 1024,
+        )
+        bound = self._server.sockets[0].getsockname()
+        self.address = (bound[0], bound[1])
+        return self.address
+
+    async def serve_stdio(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Serve one already-connected stream (the ``--stdio`` mode)
+        until EOF or a ``shutdown`` request, then drain and stop."""
+        self._ensure_running()
+        try:
+            await self._handle_stream(reader, writer, close_writer=False)
+        finally:
+            await self.aclose()
+
+    async def wait_shutdown(self) -> None:
+        """Block until a client sends ``shutdown`` (or :meth:`aclose`)."""
+        self._ensure_running()
+        assert self._stop is not None
+        await self._stop.wait()
+
+    async def aclose(self) -> None:
+        """Graceful stop: refuse new queries, drain pending to real
+        answers, then tear down the batcher, executor and listeners."""
+        self._closing = True
+        if self._stop is not None:
+            self._stop.set()
+        if self._server is not None:
+            self._server.close()  # stop accepting; handlers keep going
+        if self._arrival is not None:
+            self._arrival.set()  # wake the batcher for the final drain
+            while self._pending or self._busy:
+                await asyncio.sleep(0.005)
+            # Give handlers awaiting a just-resolved future a chance to
+            # flush their response before their transport goes away.
+            await asyncio.sleep(0.02)
+        for writer in list(self._writers):
+            try:
+                writer.close()
+            except (ConnectionError, BrokenPipeError):
+                pass
+        if self._server is not None:
+            # On >= 3.12 this also waits for connection handlers; the
+            # transports just closed, so their readline sees EOF and
+            # every handler returns promptly.
+            await self._server.wait_closed()
+            self._server = None
+        if self._batcher is not None:
+            self._batcher.cancel()
+            try:
+                await self._batcher
+            except asyncio.CancelledError:
+                pass
+            self._batcher = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self._writers.add(writer)
+        try:
+            await self._handle_stream(reader, writer, close_writer=True)
+        finally:
+            self._writers.discard(writer)
+
+    async def _handle_stream(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        close_writer: bool,
+    ) -> None:
+        # Requests are handled *concurrently*: each line becomes a task,
+        # so one connection can pipeline many questions into the same
+        # micro-batch; responses interleave and clients match them back
+        # by id.  The lock serializes writes to the shared transport.
+        send_lock = asyncio.Lock()
+        tasks: "set[asyncio.Task[None]]" = set()
+        loop = asyncio.get_running_loop()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # Line exceeded the stream limit: protocol abuse.
+                    await self._send(
+                        writer,
+                        error_response(None, "message too long"),
+                        send_lock,
+                    )
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    payload = decode_message(line)
+                except ReproError as error:
+                    self.stats.requests += 1
+                    self.stats.errors += 1
+                    await self._send(
+                        writer,
+                        error_response(None, str(error)),
+                        send_lock,
+                    )
+                    continue
+                if payload.get("op") == "shutdown":
+                    # Handled inline so this read loop stops cleanly;
+                    # in-flight tasks still drain below.
+                    await self._serve_payload(payload, writer, send_lock)
+                    break
+                task = loop.create_task(self._serve_payload(payload, writer, send_lock))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        except (ConnectionError, BrokenPipeError):
+            pass
+        finally:
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            if close_writer:
+                try:
+                    writer.close()
+                    await writer.wait_closed()
+                except (ConnectionError, BrokenPipeError):
+                    pass
+
+    async def _serve_payload(
+        self,
+        payload: Dict[str, object],
+        writer: asyncio.StreamWriter,
+        send_lock: asyncio.Lock,
+    ) -> None:
+        """Answer one decoded request."""
+        self.stats.requests += 1
+        request_id: object = None
+        try:
+            request_id = resolve_request_id(payload)
+            op = payload.get("op")
+            if op == "ping":
+                response = ok_response(
+                    request_id,
+                    {"pong": True, "protocol": PROTOCOL_VERSION},
+                )
+            elif op == "estimate":
+                result = await self._submit(parse_estimate(payload))
+                response = ok_response(request_id, result)
+            elif op == "stats":
+                response = ok_response(request_id, await self._stats())
+            elif op == "invalidate":
+                response = ok_response(
+                    request_id,
+                    await self._invalidate(
+                        parse_gallery(payload.get("gallery"))
+                    ),
+                )
+            elif op == "shutdown":
+                response = ok_response(request_id, {"stopping": True})
+            else:
+                raise ServiceError(
+                    f"unknown op {op!r} (expected ping, estimate, "
+                    f"stats, invalidate or shutdown)"
+                )
+        except Exception as error:
+            # Every request gets *an* answer — an unexpected exception
+            # must not leave the client waiting on a response forever.
+            self.stats.errors += 1
+            response = error_response(request_id, str(error))
+            op = None
+        try:
+            await self._send(writer, response, send_lock)
+        except (ConnectionError, BrokenPipeError):
+            pass  # client went away; the response has nowhere to go
+        finally:
+            # An accepted shutdown stops the server even when the
+            # requester vanished before reading the acknowledgement.
+            if op == "shutdown":
+                assert self._stop is not None
+                self._stop.set()
+
+    async def _send(
+        self,
+        writer: asyncio.StreamWriter,
+        payload: Dict[str, object],
+        send_lock: asyncio.Lock,
+    ) -> None:
+        async with send_lock:
+            writer.write(encode_message(payload))
+            await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Query intake: cache fast path, overload shedding, enqueue
+    # ------------------------------------------------------------------
+    async def _submit(self, query: Query) -> Dict[str, object]:
+        self.stats.estimate_requests += 1
+        if self._closing:
+            raise ServiceError("server is shutting down")
+        cached = self.cache.get(query.key)
+        if cached is not None:
+            return dict(cached, cached=True)
+        requested_model = query.model
+        if len(self._pending) >= self.max_pending:
+            query = self._shed(query)
+        pending = _PendingQuery(
+            query=query,
+            future=asyncio.get_running_loop().create_future(),
+            requested_model=requested_model,
+        )
+        self._pending.append(pending)
+        assert self._arrival is not None
+        self._arrival.set()
+        return await pending.future
+
+    def _shed(self, query: Query) -> Query:
+        """Apply the overload policy; returns the (possibly degraded)
+        query to enqueue, or raises for the rejected newcomer."""
+        policy = self.shed_policy
+        if isinstance(policy, EvictLowestPriorityPolicy):
+            victim = self._pending.popleft()
+            self.stats.evicted += 1
+            victim.future.set_exception(
+                ServiceError(
+                    f"overloaded: evicted by a newer query while "
+                    f"{self.max_pending} queries were pending "
+                    f"({policy.name} policy)"
+                )
+            )
+            return query
+        if isinstance(policy, DowngradePolicy):
+            if query.model != self.degraded_model:
+                self.stats.degraded += 1
+                return query.degraded(self.degraded_model)
+            # Already at the degraded model: there is nothing cheaper
+            # to serve, so the queue bound must still hold — fall back
+            # to rejecting, like the runtime policy's "no feasible
+            # assignment" outcome.
+            self.stats.shed += 1
+            raise ServiceError(
+                f"overloaded: {self.max_pending} queries pending and "
+                f"{query.model!r} is already the degraded model "
+                f"({policy.name} policy)"
+            )
+        if not isinstance(policy, RejectPolicy):  # pragma: no cover
+            raise ServiceError(
+                f"shedding has no mapping for QoS policy {policy.name!r}"
+            )
+        self.stats.shed += 1
+        raise ServiceError(
+            f"overloaded: {self.max_pending} queries pending "
+            f"({policy.name} policy)"
+        )
+
+    async def _in_solver_thread(self, call, *args):
+        """Run a pool-touching call on the solver thread.
+
+        The pool is mutated by :meth:`_solve_group` on the single
+        worker thread; routing ``stats``/``invalidate`` pool access
+        through the same executor serializes it against in-flight
+        solves instead of racing their dict mutations.
+        """
+        if self._executor is None:  # quiesced (before start/after close)
+            return call(*args)
+        return await asyncio.get_running_loop().run_in_executor(
+            self._executor, call, *args
+        )
+
+    async def _stats(self) -> Dict[str, object]:
+        """The ``stats`` op: loop-side counters + thread-safe pool view."""
+        return self.snapshot(pool=await self._in_solver_thread(self.pool.snapshot))
+
+    async def _invalidate(self, spec: GallerySpec) -> Dict[str, object]:
+        """Drop one gallery's cached answers and warm engines."""
+        dropped_pool = await self._in_solver_thread(self.pool.invalidate, spec)
+        dropped_entries = self.cache.invalidate_gallery(spec.label())
+        return {
+            "gallery": spec.label(),
+            "pool_dropped": dropped_pool,
+            "cache_dropped": dropped_entries,
+        }
+
+    # ------------------------------------------------------------------
+    # The batcher
+    # ------------------------------------------------------------------
+    async def _batch_loop(self) -> None:
+        assert self._arrival is not None
+        while True:
+            if not self._pending:
+                self._arrival.clear()
+                await self._arrival.wait()
+            if (
+                self.batch_window > 0
+                and not self._closing
+                and len(self._pending) < self.max_batch
+            ):
+                # Linger briefly: concurrent clients that fired
+                # "simultaneously" land in this batch, not the next.
+                await asyncio.sleep(self.batch_window)
+            batch: List[_PendingQuery] = []
+            while self._pending and len(batch) < self.max_batch:
+                batch.append(self._pending.popleft())
+            if not batch:
+                continue
+            self._busy = True
+            try:
+                await self._run_batch(batch)
+            finally:
+                self._busy = False
+
+    async def _run_batch(self, batch: List[_PendingQuery]) -> None:
+        self.stats.batches += 1
+        self.stats.batched_queries += len(batch)
+        self.stats.max_batch = max(self.stats.max_batch, len(batch))
+        groups: Dict[Tuple[str, str, str], List[_PendingQuery]] = {}
+        for pending in batch:
+            groups.setdefault(pending.query.group, []).append(pending)
+        loop = asyncio.get_running_loop()
+        for members in groups.values():
+            # Deduplicate identical questions: N clients asking the
+            # same thing inside one batch cost one estimate.
+            unique: Dict[Tuple[str, str, str, str], Query] = {}
+            for pending in members:
+                unique.setdefault(pending.query.key, pending.query)
+            queries = list(unique.values())
+            try:
+                assert self._executor is not None
+                payloads = await loop.run_in_executor(
+                    self._executor, self._solve_group, queries
+                )
+            except Exception as error:
+                # Any solver failure answers the whole group; the
+                # batcher itself must survive to serve the next batch.
+                for pending in members:
+                    if not pending.future.done():
+                        pending.future.set_exception(ServiceError(str(error)))
+                continue
+            by_key = dict(zip(unique.keys(), payloads))
+            for key, payload in by_key.items():
+                payload["batch_size"] = len(batch)
+                self.cache.put(key, payload)
+            for pending in members:
+                if pending.future.done():  # evicted mid-flight
+                    continue
+                payload = dict(
+                    by_key[pending.query.key],
+                    cached=False,
+                    degraded=pending.degraded_from,
+                )
+                pending.future.set_result(payload)
+
+    def _solve_group(self, queries: List[Query]) -> List[Dict[str, object]]:
+        """Worker-thread entry: one batched solve for one group.
+
+        All queries share gallery, model and method by construction, so
+        one warm estimator's :meth:`estimate_many` covers the group —
+        the micro-batching payoff.
+        """
+        self.stats.solved_queries += len(queries)
+        first = queries[0]
+        estimator = self.pool.estimator(first.gallery, first.model, first.method)
+        results = estimator.estimate_many([query.use_case for query in queries])
+        payloads: List[Dict[str, object]] = []
+        for query, result in zip(queries, results):
+            payloads.append(
+                {
+                    "gallery": query.gallery.label(),
+                    "use_case": list(query.use_case.applications),
+                    "model": query.model,
+                    "method": query.method.value,
+                    "periods": dict(result.periods),
+                    "isolation": dict(result.isolation_periods),
+                }
+            )
+        return payloads
+
+    # ------------------------------------------------------------------
+    def snapshot(self, pool: Optional[Dict[str, object]] = None) -> Dict[str, object]:
+        """Everything the ``stats`` op reports (JSON-serializable).
+
+        Safe to call directly on a quiesced server (tests, benches);
+        while solves are in flight the protocol path supplies ``pool``
+        captured on the solver thread instead (see
+        :meth:`_in_solver_thread`).
+        """
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "requests": self.stats.requests,
+            "estimate_requests": self.stats.estimate_requests,
+            "solved_queries": self.stats.solved_queries,
+            "batches": self.stats.batches,
+            "batched_queries": self.stats.batched_queries,
+            "mean_batch": self.stats.mean_batch,
+            "max_batch": self.stats.max_batch,
+            "pending": len(self._pending),
+            "shed": self.stats.shed,
+            "evicted": self.stats.evicted,
+            "degraded": self.stats.degraded,
+            "errors": self.stats.errors,
+            "shed_policy": self.shed_policy.name,
+            "cache": self.cache.snapshot(),
+            "pool": pool if pool is not None else self.pool.snapshot(),
+        }

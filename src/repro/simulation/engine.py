@@ -24,17 +24,16 @@ from __future__ import annotations
 
 import heapq
 import random
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.exceptions import AnalysisError, DeadlockError, MappingError
+from repro.exceptions import AnalysisError, DeadlockError
 from repro.platform.mapping import Mapping, index_mapping
 from repro.sdf.graph import SDFGraph
 from repro.sdf.liveness import assert_live
 from repro.sdf.repetition import repetition_vector
 from repro.simulation.arbiter import make_arbiter
 from repro.simulation.metrics import (
-    ApplicationMetrics,
     IterationTracker,
     SimulationResult,
     WaitingStatistics,

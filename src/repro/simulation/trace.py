@@ -9,7 +9,7 @@ processors.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List
 
 
 @dataclass(frozen=True)

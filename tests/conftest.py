@@ -4,6 +4,11 @@ from __future__ import annotations
 
 import pytest
 
+from repro.experiments.setup import BenchmarkSuite, paper_benchmark_suite
+from repro.generation.gallery import paper_two_apps
+from repro.sdf.builder import GraphBuilder
+from repro.sdf.graph import SDFGraph
+
 
 def pytest_addoption(parser: pytest.Parser) -> None:
     parser.addoption(
@@ -21,11 +26,6 @@ def pytest_addoption(parser: pytest.Parser) -> None:
 @pytest.fixture(scope="session")
 def update_goldens(request: pytest.FixtureRequest) -> bool:
     return bool(request.config.getoption("--update-goldens"))
-
-from repro.experiments.setup import BenchmarkSuite, paper_benchmark_suite
-from repro.generation.gallery import paper_two_apps
-from repro.sdf.builder import GraphBuilder
-from repro.sdf.graph import SDFGraph
 
 
 @pytest.fixture

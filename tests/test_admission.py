@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.admission.controller import AdmissionController
-from repro.core.composability import Composite
 from repro.exceptions import AdmissionError
 from repro.platform.mapping import index_mapping
 from repro.sdf.analysis import period

@@ -14,7 +14,6 @@ from hypothesis import strategies as st
 
 from repro.admission.controller import AdmissionController
 from repro.experiments.setup import paper_benchmark_suite
-from repro.platform.mapping import index_mapping
 
 _SUITE = paper_benchmark_suite(application_count=4)
 _GRAPHS = {g.name: g for g in _SUITE.graphs}

@@ -16,7 +16,7 @@ from repro.core.estimator import ProbabilisticEstimator
 from repro.exceptions import AnalysisError
 from repro.generation.gallery import media_device_suite
 from repro.platform.mapping import index_mapping
-from repro.platform.usecase import UseCase, all_use_cases
+from repro.platform.usecase import all_use_cases
 from repro.sdf.analysis import (
     AnalysisMethod,
     critical_cycle,

@@ -21,6 +21,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.admission.controller import AdmissionController
+from repro.exceptions import AnalysisError
 from repro.analysis_engine import build_engines
 from repro.backend import get_backend, numpy_available
 from repro.core.estimator import ProbabilisticEstimator
@@ -89,12 +90,26 @@ def _assert_parity(scalar_results, vector_results):
     model=st.sampled_from(MODELS),
 )
 def test_every_waiting_model_agrees_across_backends(seeds, model):
-    """Random gallery, exhaustive use-cases, every waiting model."""
+    """Random gallery, exhaustive use-cases, every waiting model.
+
+    Parity covers the error surface too: a gallery outside a model's
+    domain (e.g. an actor with blocking probability 1, which Eq. 8's
+    incremental composition cannot decompose) must be refused by both
+    backends with the same error, not answered by one of them.
+    """
     graphs = _gallery(seeds)
     use_cases = all_use_cases([g.name for g in graphs])
-    scalar = ProbabilisticEstimator(
-        graphs, waiting_model=model, backend="python"
-    ).estimate_many(use_cases)
+    try:
+        scalar = ProbabilisticEstimator(
+            graphs, waiting_model=model, backend="python"
+        ).estimate_many(use_cases)
+    except AnalysisError as scalar_error:
+        with pytest.raises(AnalysisError) as vector_error:
+            ProbabilisticEstimator(
+                graphs, waiting_model=model, backend="numpy"
+            ).estimate_many(use_cases)
+        assert str(vector_error.value) == str(scalar_error)
+        return
     vector = ProbabilisticEstimator(
         graphs, waiting_model=model, backend="numpy"
     ).estimate_many(use_cases)

@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.core.blocking import (
-    ActorProfile,
     average_blocking_time,
     blocking_probability,
     build_profile,

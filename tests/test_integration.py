@@ -152,8 +152,6 @@ class TestStochasticExtension:
         """The 'varying execution times' extension: replace fixed times
         with uniform distributions; the estimator uses mean residual
         lives for mu and must stay near the (stochastic) simulation."""
-        import random
-
         from repro.core.distributions import (
             DistributionTimeModel,
             UniformTime,

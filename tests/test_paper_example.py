@@ -12,7 +12,6 @@ import pytest
 
 from repro.core.blocking import build_profiles
 from repro.core.estimator import ProbabilisticEstimator
-from repro.platform.usecase import UseCase
 from repro.sdf.analysis import period
 from repro.simulation.engine import SimulationConfig, simulate
 

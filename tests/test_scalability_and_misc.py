@@ -8,7 +8,6 @@ from repro.experiments.scalability import run_scalability
 from repro.sdf.analysis import period
 from repro.sdf.builder import GraphBuilder
 from repro.sdf.hsdf import to_hsdf
-from repro.sdf.mcm import max_cycle_ratio
 
 
 class TestScalabilityExperiment:

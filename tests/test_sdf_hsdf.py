@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.sdf.builder import GraphBuilder
 from repro.sdf.hsdf import to_hsdf

@@ -12,7 +12,6 @@ from repro.generation.random_sdf import GeneratorConfig, random_sdf_graph
 from repro.sdf.builder import GraphBuilder
 from repro.sdf.hsdf import to_hsdf
 from repro.sdf.mcm import (
-    CycleRatioResult,
     IncrementalMCRSolver,
     RatioEdge,
     max_cycle_ratio,

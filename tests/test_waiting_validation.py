@@ -19,7 +19,6 @@ from repro.core.estimator import ProbabilisticEstimator
 from repro.experiments.setup import paper_benchmark_suite
 from repro.platform.usecase import UseCase
 from repro.simulation.engine import SimulationConfig, Simulator
-from repro.wcrt.round_robin import worst_case_response_time
 
 
 @pytest.fixture(scope="module")
