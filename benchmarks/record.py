@@ -54,18 +54,32 @@ def _collect(fast: bool) -> Dict[str, object]:
     sweep = run_sweep_speedup(application_count=applications)
 
     vectorized: Optional[float] = None
+    contention_models: Dict[str, Optional[float]] = {
+        "priority_preemptive": None,
+        "weighted_round_robin": None,
+    }
     try:
         import numpy  # noqa: F401  (probe only)
     except ImportError:
         pass
     else:
         suite = paper_benchmark_suite(application_count=applications)
+        priority_mapping = suite.mapping.with_priorities(
+            {
+                name: index % 3
+                for index, name in enumerate(suite.application_names)
+            }
+        )
 
-        def sweep_seconds(backend: str) -> float:
+        def sweep_seconds(
+            backend: str, model: str = "second_order", mapping=None
+        ) -> float:
             estimator = ProbabilisticEstimator(
                 list(suite.graphs),
-                mapping=suite.mapping,
-                waiting_model="second_order",
+                mapping=(
+                    mapping if mapping is not None else suite.mapping
+                ),
+                waiting_model=model,
                 backend=backend,
             )
             started = time.perf_counter()
@@ -73,6 +87,14 @@ def _collect(fast: bool) -> Dict[str, object]:
             return time.perf_counter() - started
 
         vectorized = sweep_seconds("python") / sweep_seconds("numpy")
+        for model in contention_models:
+            contention_models[model] = round(
+                sweep_seconds(
+                    "python", model, priority_mapping
+                )
+                / sweep_seconds("numpy", model, priority_mapping),
+                3,
+            )
 
     runtime_suite = paper_benchmark_suite(application_count=4)
     throughput = run_runtime_throughput(
@@ -102,6 +124,9 @@ def _collect(fast: bool) -> Dict[str, object]:
             "vectorized_sweep": (
                 round(vectorized, 3) if vectorized is not None else None
             ),
+            # PR 5: the registry-shipped contention models on the same
+            # exhaustive sweep (None without numpy).
+            "vectorized_sweep_contention_models": contention_models,
         },
         "runtime": {
             "decisions_per_second": round(

@@ -8,6 +8,8 @@ The subcommands mirror the library's workflow::
     python -m repro simulate --suite 5               # reference DES run
     python -m repro sweep --suite 5 --samples 4      # mini Table 1/Fig 6
     python -m repro runtime --suite 4 --events 1000  # resource manager
+    python -m repro models                           # model registry
+    python -m repro conformance --suite 4            # analytic vs DES
 
 Application sets come from the deterministic paper suite (``--suite N``
 = first N of the ten seeded applications), the media gallery
@@ -292,6 +294,54 @@ def _build_parser() -> argparse.ArgumentParser:
         help="array backend for the pool's estimators",
     )
     serve.set_defaults(handler=_cmd_serve)
+
+    models = commands.add_parser(
+        "models",
+        help=(
+            "list the registered contention models (semantics, batch "
+            "support, matching DES arbiter)"
+        ),
+    )
+    models.set_defaults(handler=_cmd_models)
+
+    conformance = commands.add_parser(
+        "conformance",
+        help=(
+            "check every registered model's declared semantics "
+            "(conservative bound / mean tolerance) against the "
+            "discrete-event simulator on seeded scenario batches"
+        ),
+    )
+    conformance.add_argument(
+        "--suite",
+        type=int,
+        default=4,
+        metavar="N",
+        help="applications per gallery (paper-style seeded galleries)",
+    )
+    conformance.add_argument(
+        "--scenarios",
+        type=int,
+        default=50,
+        metavar="N",
+        help="seeded scenarios per model",
+    )
+    conformance.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="master scenario seed (default: the library's)",
+    )
+    conformance.add_argument(
+        "--models",
+        default=None,
+        metavar="NAME[,NAME...]",
+        help="restrict to these registered models (default: all)",
+    )
+    conformance.add_argument(
+        "--sim-iterations", type=int, default=60, metavar="N"
+    )
+    conformance.set_defaults(handler=_cmd_conformance)
 
     reproduce = commands.add_parser(
         "reproduce",
@@ -834,6 +884,45 @@ def _cmd_runtime(arguments) -> None:
         with open(arguments.save_log, "w") as handle:
             handle.write(log_to_json(log))
         print(f"log written to {arguments.save_log}")
+
+
+def _cmd_models(arguments) -> None:
+    from repro.core.registry import render_model_table
+
+    print(render_model_table())
+
+
+def _cmd_conformance(arguments) -> None:
+    from repro.conformance import (
+        DEFAULT_CONFORMANCE_SEED,
+        run_conformance,
+    )
+
+    models = (
+        [name.strip() for name in arguments.models.split(",")]
+        if arguments.models
+        else None
+    )
+    report = run_conformance(
+        application_count=arguments.suite,
+        scenarios_per_model=arguments.scenarios,
+        seed=(
+            arguments.seed
+            if arguments.seed is not None
+            else DEFAULT_CONFORMANCE_SEED
+        ),
+        models=models,
+        target_iterations=arguments.sim_iterations,
+        progress=lambda message: print(f"... {message}", flush=True),
+    )
+    print(report.render())
+    if not report.passed:
+        failed = [
+            r.model for r in report.reports if r.status == "failed"
+        ]
+        raise ExperimentError(
+            f"conformance FAILED for {', '.join(failed)}"
+        )
 
 
 def _cmd_reproduce(arguments) -> None:

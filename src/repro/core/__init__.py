@@ -10,8 +10,13 @@ Modules
 * :mod:`repro.core.approximation` — m-th order truncations (Eq. 5).
 * :mod:`repro.core.composability` — the ⊕/⊗ composition algebra and its
   inverses (Eq. 6–9).
+* :mod:`repro.core.priority` — expected waiting under preemptive static
+  priority (priorities from the mapping).
+* :mod:`repro.core.registry` — the pluggable model/arbiter registry with
+  semantics metadata (what the conformance harness asserts).
 * :mod:`repro.core.waiting` — uniform :class:`WaitingModel` interface over
-  all of the above (plus the worst-case baselines in :mod:`repro.wcrt`).
+  all of the above (plus the worst-case baselines in :mod:`repro.wcrt`),
+  registered under their specification names.
 * :mod:`repro.core.estimator` — the Fig.-4 estimation algorithm, producing
   per-application period/throughput estimates for a use-case.
 * :mod:`repro.core.distributions` — stochastic execution times (the
@@ -48,6 +53,16 @@ from repro.core.estimator import (
     estimate_use_case,
 )
 from repro.core.exact import ExactWaitingModel, waiting_time_exact
+from repro.core.priority import (
+    PriorityWaitingModel,
+    waiting_time_priority,
+)
+from repro.core.registry import (
+    ARBITERS,
+    WAITING_MODELS,
+    ArbiterInfo,
+    WaitingModelInfo,
+)
 from repro.core.symmetric import (
     elementary_symmetric,
     elementary_symmetric_all,
@@ -56,7 +71,9 @@ from repro.core.symmetric import (
 from repro.core.waiting import WaitingModel, make_waiting_model
 
 __all__ = [
+    "ARBITERS",
     "ActorProfile",
+    "ArbiterInfo",
     "Composite",
     "CompositionWaitingModel",
     "DiscreteTime",
@@ -67,9 +84,12 @@ __all__ = [
     "FixedTime",
     "NormalTime",
     "OrderMWaitingModel",
+    "PriorityWaitingModel",
     "ProbabilisticEstimator",
     "UniformTime",
+    "WAITING_MODELS",
     "WaitingModel",
+    "WaitingModelInfo",
     "average_blocking_time",
     "blocking_probability",
     "build_profiles",
@@ -85,4 +105,5 @@ __all__ = [
     "prob_decompose",
     "waiting_time_exact",
     "waiting_time_order_m",
+    "waiting_time_priority",
 ]

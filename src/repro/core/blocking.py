@@ -56,6 +56,11 @@ class ActorProfile:
         Blocking probability ``P(a)``.
     mu:
         Average blocking time ``mu(a)``.
+    priority:
+        Static arbitration priority (larger = more urgent), populated
+        from the :class:`~repro.platform.mapping.Mapping`; only
+        priority-aware waiting models read it (default 0 everywhere, in
+        which case those models degrade to their FCFS behaviour).
     """
 
     application: str
@@ -65,6 +70,7 @@ class ActorProfile:
     period: float
     probability: float
     mu: float
+    priority: float = 0.0
 
     @property
     def waiting_product(self) -> float:
@@ -80,6 +86,7 @@ class ActorProfile:
             repetitions=self.repetitions,
             period=period,
             mu=self.mu,
+            priority=self.priority,
         )
 
 
@@ -121,6 +128,7 @@ def build_profile(
     repetitions: int,
     period: float,
     mu: Optional[float] = None,
+    priority: float = 0.0,
 ) -> ActorProfile:
     """Assemble one :class:`ActorProfile`; ``mu`` defaults to ``tau/2``."""
     return ActorProfile(
@@ -131,6 +139,7 @@ def build_profile(
         period=period,
         probability=blocking_probability(tau, repetitions, period),
         mu=mu if mu is not None else average_blocking_time(tau),
+        priority=priority,
     )
 
 
@@ -139,6 +148,7 @@ def build_profiles(
     periods: Optional[Mapping[str, float]] = None,
     mus: Optional[Mapping[Tuple[str, str], float]] = None,
     backend=None,
+    priorities: Optional[Mapping[Tuple[str, str], float]] = None,
 ) -> Dict[Tuple[str, str], ActorProfile]:
     """Profiles for every actor of every application.
 
@@ -161,6 +171,9 @@ def build_profiles(
         output regardless of the environment (the run-time manager's
         decision logs are byte-compared across configurations) rely on
         that.
+    priorities:
+        Optional ``(application, actor) -> priority`` values (from the
+        mapping); absent keys default to 0.
 
     Returns
     -------
@@ -205,6 +218,11 @@ def build_profiles(
                             actor.execution_time
                         )
                     ),
+                    priority=(
+                        priorities.get(key, 0.0)
+                        if priorities is not None
+                        else 0.0
+                    ),
                 )
         else:
             for actor in actors:
@@ -216,6 +234,11 @@ def build_profiles(
                     repetitions=q[actor.name],
                     period=app_period,
                     mu=mus.get(key) if mus is not None else None,
+                    priority=(
+                        priorities.get(key, 0.0)
+                        if priorities is not None
+                        else 0.0
+                    ),
                 )
     return profiles
 
@@ -261,6 +284,8 @@ class ResidentVectors:
     mu: object  # (n,) array
     tau: object  # (n,) array
     waiting_product: object  # (n,) array: mu * probability
+    priority: object = None  # (n,) array (0.0 where unset)
+    applications: Tuple[str, ...] = ()  # owning application per resident
 
 
 def resident_vectors(
@@ -277,4 +302,8 @@ def resident_vectors(
         mu=mu,
         tau=tau,
         waiting_product=mu * probability,
+        priority=xp.asarray(
+            [p.priority for p in profiles], dtype=float
+        ),
+        applications=tuple(p.application for p in profiles),
     )

@@ -193,9 +193,24 @@ class ProbabilisticEstimator:
         if isinstance(waiting_model, str):
             waiting_model = make_waiting_model(waiting_model)
         self.waiting_model = waiting_model
+        # Models carrying per-application parameters (e.g. WRR weights)
+        # expose check_applications; validating against the actual
+        # application set here catches typo'd or mis-cased names that
+        # spec-level validation cannot see.
+        check = getattr(self.waiting_model, "check_applications", None)
+        if callable(check):
+            check(tuple(g.name for g in graphs))
         self.analysis_method = analysis_method
         self.include_same_application = include_same_application
         self.mus = dict(mus) if mus is not None else None
+        # Arbitration priorities ride on the mapping; profiles carry
+        # them so priority-aware waiting models can read them.  The
+        # common all-zero case passes None, keeping the established
+        # profile-construction arithmetic untouched.
+        priorities = self.mapping.priorities()
+        self.priorities: Optional[Dict[Tuple[str, str], float]] = (
+            priorities if priorities else None
+        )
         self.incremental = incremental
         self.backend = get_backend(backend)
         self._batch_structure: Optional[_BatchStructure] = None
@@ -243,6 +258,7 @@ class ProbabilisticEstimator:
                     periods=self.isolation_periods,
                     mus=self.mus,
                     backend=self.backend,
+                    priorities=self.priorities,
                 )
             )
         else:
@@ -425,7 +441,10 @@ class ProbabilisticEstimator:
         """
         if not self.incremental:
             return build_profiles(
-                active, periods=current_periods, mus=self.mus
+                active,
+                periods=current_periods,
+                mus=self.mus,
+                priorities=self.priorities,
             )
         profiles: Dict[Tuple[str, str], ActorProfile] = {}
         for graph in active:

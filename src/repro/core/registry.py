@@ -1,0 +1,413 @@
+"""Pluggable arbitration-model registry.
+
+The paper's probabilistic contention framework (Eq. 4-8) is
+arbitration-agnostic: any policy whose expected (or worst-case) waiting
+can be written over the co-mapped actors' blocking profiles fits the
+:class:`~repro.core.waiting.WaitingModel` protocol, and any queueing
+discipline fits the DES :class:`~repro.simulation.arbiter.Arbiter`
+interface.  Historically both families were closed enumerations inside
+``make_waiting_model`` / ``make_arbiter``; this module opens them up:
+
+* :data:`WAITING_MODELS` — estimation techniques, registered under the
+  exact specification strings the CLI, the sweep store and the service
+  protocol have always used (``"exact"``, ``"second_order"``, ...);
+* :data:`ARBITERS` — DES arbitration policies (``"fcfs"``,
+  ``"round_robin"``, ...).
+
+Every entry carries *metadata*, not just a factory:
+
+* ``semantics`` — ``"mean"`` (the estimate targets the expected value;
+  the conformance harness checks it lands within ``tolerance`` of the
+  simulated period) or ``"conservative"`` (a sound bound; conformance
+  checks it upper-bounds the simulated period);
+* ``supports_batch`` — whether instances ship the vectorized
+  ``waiting_times_batch`` kernel;
+* ``arbiter`` — the name of the matching DES policy, or ``None`` when
+  the model's assumptions cannot be simulated (TDMA needs preemptive
+  slicing the non-preemptive engine does not model);
+* ``parameters`` — the ``name:argument`` spec schema, e.g.
+  ``order:M`` or ``weighted_round_robin:A=2,B=1``.
+
+Third-party models plug in without touching core::
+
+    from repro.core.registry import WAITING_MODELS, WaitingModelInfo
+
+    WAITING_MODELS.register(WaitingModelInfo(
+        name="my_model", factory=lambda: MyModel(),
+        summary="...", semantics="mean", tolerance=0.3,
+        supports_batch=False, arbiter="fcfs",
+    ))
+
+and from then on ``repro sweep --model my_model``, the estimation
+service, and ``repro conformance`` all resolve it.  Registration is
+process-wide; tests use :meth:`Registry.temporary` to keep entries
+scoped.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    Mapping,
+    Optional,
+    Tuple,
+)
+
+from repro.exceptions import AnalysisError, MappingError
+
+#: Accepted ``semantics`` declarations.
+MODEL_SEMANTICS: Tuple[str, ...] = ("mean", "conservative")
+
+
+@dataclass(frozen=True)
+class WaitingModelInfo:
+    """One registered estimation technique plus its declared contract.
+
+    Attributes
+    ----------
+    name:
+        Canonical registry key (also the CLI/store/protocol spelling).
+    factory:
+        ``factory()`` builds a default instance; entries with
+        ``takes_argument=True`` are built as ``factory(argument)`` from
+        a ``name:argument`` specification.
+    summary:
+        One-line description (the ``repro models`` table).
+    semantics:
+        ``"mean"`` or ``"conservative"`` — what the conformance harness
+        asserts against the discrete-event simulator.
+    tolerance:
+        Mean models: the declared relative band around the simulated
+        period; must be ``None`` for conservative models (their check
+        is one-sided).
+    supports_batch:
+        Whether instances implement ``waiting_times_batch``.
+    arbiter:
+        Name of the matching DES arbitration policy in
+        :data:`ARBITERS`, or ``None`` when the model's platform
+        assumptions cannot be simulated by the engine.
+    parameters:
+        Specification-argument schema, ``name -> description``.
+        An entry named ``weights`` signals the conformance harness to
+        exercise the model under seeded per-application weights.
+    takes_argument:
+        Whether ``name:argument`` specifications are accepted.
+    requires_argument:
+        Whether the bare ``name`` (no argument) is invalid — such
+        entries cannot be auto-instantiated by the conformance harness.
+    aliases:
+        Additional accepted spellings.
+    """
+
+    name: str
+    factory: Callable[..., object]
+    summary: str
+    semantics: str
+    tolerance: Optional[float] = None
+    supports_batch: bool = True
+    arbiter: Optional[str] = None
+    parameters: Mapping[str, str] = field(default_factory=dict)
+    takes_argument: bool = False
+    requires_argument: bool = False
+    aliases: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.semantics not in MODEL_SEMANTICS:
+            raise AnalysisError(
+                f"model {self.name!r} declares semantics "
+                f"{self.semantics!r}; expected one of "
+                f"{', '.join(MODEL_SEMANTICS)}"
+            )
+        if self.semantics == "mean":
+            if self.tolerance is None or not self.tolerance > 0:
+                raise AnalysisError(
+                    f"mean model {self.name!r} must declare a positive "
+                    f"conformance tolerance, got {self.tolerance!r}"
+                )
+        elif self.tolerance is not None:
+            raise AnalysisError(
+                f"conservative model {self.name!r} must not declare a "
+                "tolerance (its conformance check is one-sided)"
+            )
+        if self.requires_argument and not self.takes_argument:
+            raise AnalysisError(
+                f"model {self.name!r} requires an argument but does "
+                "not take one"
+            )
+
+
+@dataclass(frozen=True)
+class ArbiterInfo:
+    """One registered DES arbitration policy.
+
+    ``factory(members, context)`` builds an
+    :class:`~repro.simulation.arbiter.Arbiter` for one processor;
+    ``context`` is the :class:`~repro.simulation.arbiter.ArbiterContext`
+    carrying per-member application, priority and weight metadata.
+    """
+
+    name: str
+    factory: Callable[..., object]
+    summary: str
+    preemptive: bool = False
+    parameters: Mapping[str, str] = field(default_factory=dict)
+    aliases: Tuple[str, ...] = ()
+
+
+class Registry:
+    """Name -> info map with alias resolution and lazy builtin loading.
+
+    Lookups are case-insensitive (keys are stored case-folded, the
+    info's original spelling is preserved for display), matching the
+    spec-string parser's normalization — a model registered as
+    ``MyModel`` is reachable as ``--model mymodel`` and vice versa.
+
+    ``loader`` imports the modules that register the builtin entries; it
+    runs at most once, on first lookup, so the registry module itself
+    stays import-light (``repro.core`` never has to import the
+    simulation layer just to *define* the arbiter registry).
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        error: type,
+        loader: Optional[Callable[[], None]] = None,
+        plural: Optional[str] = None,
+    ) -> None:
+        self.kind = kind
+        self.plural = plural if plural is not None else f"{kind}s"
+        self.error = error
+        self._loader = loader
+        self._loaded = loader is None
+        self._lock = threading.Lock()
+        self._infos: Dict[str, object] = {}
+        self._aliases: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    def _ensure_loaded(self) -> None:
+        if self._loaded:
+            return
+        with self._lock:
+            if self._loaded:
+                return
+            # Mark first: the loader imports modules whose import-time
+            # registrations call back into this registry.
+            self._loaded = True
+            assert self._loader is not None
+            self._loader()
+
+    def register(self, info, replace: bool = False) -> None:
+        """Add ``info``; ``replace=False`` refuses to shadow a name."""
+        self._ensure_loaded()
+        own_key = info.name.lower()
+        for name in (info.name, *info.aliases):
+            key = name.lower()
+            canonical = self._aliases.get(key, key)
+            if (
+                not replace
+                and (canonical in self._infos or key in self._infos)
+                and canonical != own_key
+            ):
+                raise self.error(
+                    f"{self.kind} {name!r} is already registered "
+                    f"(to {canonical!r}); pass replace=True to shadow it"
+                )
+        if not replace and own_key in self._infos:
+            raise self.error(
+                f"{self.kind} {info.name!r} is already registered; "
+                "pass replace=True to shadow it"
+            )
+        self._infos[own_key] = info
+        # A replace=True registration may take over a name that was an
+        # alias of another entry; drop the alias so lookups reach the
+        # new canonical entry (get() resolves aliases first).
+        self._aliases.pop(own_key, None)
+        for alias in info.aliases:
+            self._aliases[alias.lower()] = own_key
+
+    def unregister(self, name: str) -> None:
+        """Remove the entry registered under ``name`` (not an alias)."""
+        self._ensure_loaded()
+        info = self._infos.pop(name.lower(), None)
+        if info is None:
+            raise self.error(
+                f"no {self.kind} registered under {name!r}"
+            )
+        for alias in info.aliases:
+            self._aliases.pop(alias.lower(), None)
+
+    @contextmanager
+    def temporary(self, info, replace: bool = False) -> Iterator[None]:
+        """Scoped registration (tests): register, yield, unregister."""
+        self._ensure_loaded()
+        key = info.name.lower()
+        shadowed = self._infos.get(key)
+        # The name may also shadow another entry's *alias* (only
+        # possible with replace=True); remember it for restoration.
+        shadowed_alias = self._aliases.get(key)
+        if shadowed is not None and not replace:
+            raise self.error(
+                f"{self.kind} {info.name!r} is already registered; "
+                "pass replace=True to shadow it temporarily"
+            )
+        self.register(info, replace=replace)
+        try:
+            yield
+        finally:
+            self.unregister(info.name)
+            if shadowed is not None:
+                self.register(shadowed, replace=True)
+            elif (
+                shadowed_alias is not None
+                and shadowed_alias in self._infos
+            ):
+                self._aliases[key] = shadowed_alias
+
+    # ------------------------------------------------------------------
+    def names(self) -> Tuple[str, ...]:
+        """Canonical registered names (original spelling), sorted."""
+        self._ensure_loaded()
+        return tuple(
+            sorted(info.name for info in self._infos.values())
+        )
+
+    def infos(self) -> Tuple[object, ...]:
+        """All registered infos, in canonical-name order."""
+        self._ensure_loaded()
+        by_name = {
+            info.name: info for info in self._infos.values()
+        }
+        return tuple(by_name[name] for name in self.names())
+
+    def __contains__(self, name: object) -> bool:
+        self._ensure_loaded()
+        if not isinstance(name, str):
+            return False
+        key = name.lower()
+        return key in self._infos or key in self._aliases
+
+    def get(self, name: str):
+        """Info registered under ``name`` (case-insensitive; aliases
+        resolve)."""
+        self._ensure_loaded()
+        key = name.lower() if isinstance(name, str) else name
+        canonical = self._aliases.get(key, key)
+        try:
+            return self._infos[canonical]
+        except (KeyError, TypeError, AttributeError):
+            raise self.error(
+                f"unknown {self.kind} {name!r}; registered "
+                f"{self.plural}: {', '.join(self.names())}"
+            ) from None
+
+
+def _load_builtin_waiting_models() -> None:
+    # Importing the defining modules triggers their registrations.
+    import repro.core.waiting  # noqa: F401
+
+
+def _load_builtin_arbiters() -> None:
+    import repro.simulation.arbiter  # noqa: F401
+
+
+#: The process-wide waiting-model registry.
+WAITING_MODELS = Registry(
+    kind="waiting model",
+    error=AnalysisError,
+    loader=_load_builtin_waiting_models,
+)
+
+#: The process-wide DES-arbiter registry.
+ARBITERS = Registry(
+    kind="arbitration policy",
+    error=MappingError,
+    loader=_load_builtin_arbiters,
+    plural="arbitration policies",
+)
+
+
+def parse_model_spec(specification: str) -> Tuple[str, Optional[str]]:
+    """Split ``"name"`` / ``"name:argument"``, normalized."""
+    if not isinstance(specification, str):
+        raise AnalysisError(
+            f"waiting-model specification must be a string, got "
+            f"{type(specification).__name__}"
+        )
+    spec = specification.strip()
+    if ":" in spec:
+        # Only the model name is case-normalized; the argument may
+        # carry case-sensitive payload (application names in weights).
+        name, argument = spec.split(":", 1)
+        return name.lower(), argument
+    return spec.lower(), None
+
+
+def create_waiting_model(specification: str):
+    """Instantiate a registered waiting model from a spec string."""
+    name, argument = parse_model_spec(specification)
+    info = WAITING_MODELS.get(name)
+    if argument is not None and not info.takes_argument:
+        raise AnalysisError(
+            f"waiting model {info.name!r} takes no argument, got "
+            f"{specification!r}"
+        )
+    if argument is None and info.requires_argument:
+        raise AnalysisError(
+            f"waiting model {info.name!r} requires an argument "
+            f"({', '.join(info.parameters) or 'see its parameters'}); "
+            f"e.g. {info.name}:" + next(iter(info.parameters), "ARG")
+        )
+    if info.takes_argument:
+        return info.factory(argument)
+    return info.factory()
+
+
+def model_info_for(specification: str) -> WaitingModelInfo:
+    """The :class:`WaitingModelInfo` a spec string resolves to."""
+    name, _ = parse_model_spec(specification)
+    return WAITING_MODELS.get(name)
+
+
+def validate_model_spec(specification: str) -> WaitingModelInfo:
+    """Check a full specification — name *and* argument — up front.
+
+    Instantiates the model once (the only way to exercise the
+    factory's argument parsing, e.g. ``order:x`` or ``wrr:A=0``) and
+    discards it, so services can fail in the caller instead of inside
+    a worker process.  Returns the resolved info.
+    """
+    create_waiting_model(specification)
+    return model_info_for(specification)
+
+
+def render_model_table() -> str:
+    """The registry as a text table (``repro models``, README)."""
+    from repro.experiments.reporting import render_table
+
+    rows = []
+    for info in WAITING_MODELS.infos():
+        rows.append(
+            [
+                info.name,
+                info.semantics
+                + (
+                    f" (tol {info.tolerance:g})"
+                    if info.tolerance is not None
+                    else ""
+                ),
+                "yes" if info.supports_batch else "no",
+                info.arbiter if info.arbiter is not None else "-",
+                info.summary,
+            ]
+        )
+    return render_table(
+        ["model", "semantics", "batch", "arbiter", "summary"],
+        rows,
+        title="Registered contention models",
+    )

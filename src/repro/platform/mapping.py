@@ -25,12 +25,19 @@ class Mapping:
         The target platform.
     bindings:
         ``{application_name: {actor_name: processor_name}}``.
+    priorities:
+        Optional static arbitration priorities (larger = more urgent),
+        either per application (``{app: priority}``, applied to every
+        actor of the application) or per actor
+        (``{app: {actor: priority}}``).  Unlisted actors default to 0.
+        Only priority-aware waiting models and arbiters read these.
     """
 
     def __init__(
         self,
         platform: Platform,
         bindings: TMapping[str, TMapping[str, str]],
+        priorities: "TMapping[str, float | TMapping[str, float]] | None" = None,
     ) -> None:
         self.platform = platform
         self._bindings: Dict[str, Dict[str, str]] = {
@@ -43,6 +50,24 @@ class Mapping:
                         f"application {app!r} binds actor {actor!r} to "
                         f"unknown processor {processor!r}"
                     )
+        self._priorities: Dict[Tuple[str, str], float] = {}
+        if priorities is not None:
+            for app, value in priorities.items():
+                if app not in self._bindings:
+                    raise MappingError(
+                        f"priorities name unbound application {app!r}"
+                    )
+                if isinstance(value, (int, float)):
+                    for actor in self._bindings[app]:
+                        self._priorities[(app, actor)] = float(value)
+                else:
+                    for actor, priority in value.items():
+                        if actor not in self._bindings[app]:
+                            raise MappingError(
+                                f"priorities name unbound actor "
+                                f"{actor!r} of application {app!r}"
+                            )
+                        self._priorities[(app, actor)] = float(priority)
 
     def processor_of(self, application: str, actor: str) -> str:
         """Processor hosting ``actor`` of ``application``."""
@@ -56,6 +81,27 @@ class Mapping:
 
     def applications(self) -> Tuple[str, ...]:
         return tuple(self._bindings.keys())
+
+    def priority_of(self, application: str, actor: str) -> float:
+        """Arbitration priority of one bound actor (default 0)."""
+        return self._priorities.get((application, actor), 0.0)
+
+    def priorities(self) -> Dict[Tuple[str, str], float]:
+        """All explicitly assigned priorities (copy)."""
+        return dict(self._priorities)
+
+    def with_priorities(
+        self,
+        priorities: "TMapping[str, float | TMapping[str, float]]",
+    ) -> "Mapping":
+        """A copy of this mapping carrying ``priorities``.
+
+        Replaces any previously assigned priorities — the usual flow is
+        a priority-less gallery mapping specialized per scenario.
+        """
+        return Mapping(
+            self.platform, self._bindings, priorities=priorities
+        )
 
     def actors_on(
         self, processor: str, applications: Iterable[str] | None = None

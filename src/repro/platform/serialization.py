@@ -48,17 +48,27 @@ def mapping_to_dict(mapping: Mapping) -> Dict[str, Any]:
     for processor in mapping.platform.processor_names:
         for app, actor in mapping.actors_on(processor):
             bindings.setdefault(app, {})[actor] = processor
-    return {
+    document: Dict[str, Any] = {
         "platform": platform_to_dict(mapping.platform),
         "bindings": bindings,
     }
+    priorities: Dict[str, Dict[str, float]] = {}
+    for (app, actor), priority in sorted(mapping.priorities().items()):
+        priorities.setdefault(app, {})[actor] = priority
+    if priorities:
+        document["priorities"] = priorities
+    return document
 
 
 def mapping_from_dict(data: Dict[str, Any]) -> Mapping:
     """Rebuild a mapping from :func:`mapping_to_dict` output."""
     try:
         platform = platform_from_dict(data["platform"])
-        return Mapping(platform, data["bindings"])
+        return Mapping(
+            platform,
+            data["bindings"],
+            priorities=data.get("priorities"),
+        )
     except KeyError as missing:
         raise MappingError(
             f"mapping dict is missing key {missing}"

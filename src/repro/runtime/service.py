@@ -35,6 +35,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.backend import get_backend
 from repro.core.estimator import ProbabilisticEstimator
+from repro.core.registry import validate_model_spec
 from repro.exceptions import ResourceManagerError
 from repro.experiments.setup import (
     BenchmarkSuite,
@@ -336,6 +337,11 @@ class SweepService:
         runner's and the CLI's.
         """
         started = _time.perf_counter()
+        # Resolve the model through the registry *before* any work (or
+        # worker processes) starts: an unknown name or a bad argument
+        # fails here with the registered catalogue instead of inside a
+        # pool worker.
+        validate_model_spec(model)
         selected = sampled_use_cases_by_size(
             gallery.application_names(),
             samples_per_size=samples_per_size,

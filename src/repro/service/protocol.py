@@ -31,6 +31,7 @@ import json
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from repro.core.registry import validate_model_spec
 from repro.exceptions import ServiceError
 from repro.experiments.setup import DEFAULT_SEED
 from repro.platform.usecase import UseCase
@@ -156,6 +157,14 @@ def parse_estimate(payload: Dict[str, object]) -> Query:
             f"gallery {gallery.label()!r}"
         )
     model = str(payload.get("model", "second_order"))
+    try:
+        # One registry round-trip covers unknown names (the error
+        # lists the registered catalogue) and bad arguments ('order:x',
+        # 'wrr:A=0') — rejected at the protocol edge rather than
+        # inside the solver worker.
+        validate_model_spec(model)
+    except Exception as error:
+        raise ServiceError(f"bad waiting model: {error}") from None
     method_value = str(payload.get("method", "mcr"))
     try:
         method = AnalysisMethod(method_value)

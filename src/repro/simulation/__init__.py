@@ -11,9 +11,12 @@ default, matching the paper's contention model) decides who runs next.
 
 from repro.simulation.arbiter import (
     Arbiter,
+    ArbiterContext,
     FCFSArbiter,
+    PreemptivePriorityArbiter,
     PriorityArbiter,
     RoundRobinArbiter,
+    WeightedRoundRobinArbiter,
     make_arbiter,
 )
 from repro.simulation.engine import SimulationConfig, Simulator, simulate
@@ -23,13 +26,16 @@ from repro.simulation.trace import TraceEntry, format_gantt
 __all__ = [
     "ApplicationMetrics",
     "Arbiter",
+    "ArbiterContext",
     "FCFSArbiter",
+    "PreemptivePriorityArbiter",
     "PriorityArbiter",
     "RoundRobinArbiter",
     "SimulationConfig",
     "SimulationResult",
     "Simulator",
     "TraceEntry",
+    "WeightedRoundRobinArbiter",
     "format_gantt",
     "make_arbiter",
     "simulate",

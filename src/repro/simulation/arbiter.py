@@ -6,23 +6,63 @@ runs when the processor is free.  The paper's analysis assumes
 arrival-order service (its waiting-time derivation queues actors behind
 whoever arrived first), which is :class:`FCFSArbiter`; the
 worst-case baseline of reference [6] assumes round-robin
-(:class:`RoundRobinArbiter`); :class:`PriorityArbiter` (static order) is
-included for the ablation on arbitration policy.
+(:class:`RoundRobinArbiter`); :class:`WeightedRoundRobinArbiter`
+generalizes it with per-member slice weights;
+:class:`PriorityArbiter` (static, non-preemptive) and
+:class:`PreemptivePriorityArbiter` (static, preemptive — the engine
+suspends the running actor when a strictly higher-priority request
+arrives) cover priority scheduling.
+
+Policies are registered in :data:`repro.core.registry.ARBITERS` with
+metadata (preemptive flag, parameter schema); :func:`make_arbiter`
+resolves names through that registry, so third-party policies plug into
+``SimulationConfig.arbitration`` without touching the engine.
+Per-member priorities and weights reach the arbiter through an
+:class:`ArbiterContext`, which the engine assembles from the mapping's
+priorities and ``SimulationConfig.arbitration_params``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
+from repro.core.registry import ARBITERS, ArbiterInfo
 from repro.exceptions import MappingError
+from repro.wcrt.weighted_round_robin import validate_weights
 
 # A request is the integer id of the requesting actor instance; ids are
 # assigned by the engine in deterministic (use-case order, actor order).
 Request = int
 
 
+@dataclass(frozen=True)
+class ArbiterContext:
+    """Per-member scheduling metadata handed to arbiter factories.
+
+    ``priorities`` (larger = more urgent) come from the mapping;
+    ``weights`` (round-robin slices per rotation) from
+    ``SimulationConfig.arbitration_params``.  Members absent from
+    either mapping get priority 0 / weight 1, so an empty context
+    reproduces the historical unparameterized policies.
+    """
+
+    priorities: Mapping[Request, float] = field(default_factory=dict)
+    weights: Mapping[Request, int] = field(default_factory=dict)
+
+    def priority_of(self, member: Request) -> float:
+        return self.priorities.get(member, 0.0)
+
+    def weight_of(self, member: Request) -> int:
+        return self.weights.get(member, 1)
+
+
 class Arbiter:
     """Interface: one instance per processor per simulation."""
+
+    #: Preemptive policies additionally implement :meth:`preempts`; the
+    #: engine only suspends running actors for arbiters that set this.
+    preemptive: bool = False
 
     def __init__(self, members: Sequence[Request]) -> None:
         """``members`` lists every actor id that may ever request this
@@ -41,6 +81,13 @@ class Arbiter:
     def pending(self) -> int:
         """Number of queued requests."""
         raise NotImplementedError
+
+    def preempts(self, running: Request) -> bool:
+        """Whether a queued request should preempt ``running`` now.
+
+        Only consulted when :attr:`preemptive` is True.
+        """
+        return False
 
 
 class FCFSArbiter(Arbiter):
@@ -84,7 +131,7 @@ class RoundRobinArbiter(Arbiter):
 
     def __init__(self, members: Sequence[Request]) -> None:
         super().__init__(members)
-        self._queued: set = set()
+        self._queued: Set[Request] = set()
         self._position = 0
 
     def enqueue(self, actor_id: Request, time: float) -> None:
@@ -112,13 +159,87 @@ class RoundRobinArbiter(Arbiter):
         return len(self._queued)
 
 
-class PriorityArbiter(Arbiter):
-    """Static priority: the earliest member in the member list wins."""
+class WeightedRoundRobinArbiter(Arbiter):
+    """Round-robin with per-member slice weights.
 
-    def __init__(self, members: Sequence[Request]) -> None:
+    The rotation pauses on each member for up to ``weight`` consecutive
+    grants (a member that stops requesting mid-allocation forfeits the
+    rest — slots do not accumulate), then advances.  All weights 1
+    reproduces :class:`RoundRobinArbiter`'s guarantees; the matching
+    analytic bound is :class:`~repro.wcrt.weighted_round_robin.
+    WeightedRRWaitingModel`.
+    """
+
+    def __init__(
+        self,
+        members: Sequence[Request],
+        context: Optional[ArbiterContext] = None,
+    ) -> None:
         super().__init__(members)
-        self._rank: Dict[Request, int] = {
-            actor_id: rank for rank, actor_id in enumerate(members)
+        context = context if context is not None else ArbiterContext()
+        # Shared weight rule (repro.wcrt.weighted_round_robin) with this
+        # layer's error type; keys are member ids here, not app names.
+        self._weight: Dict[Request, int] = validate_weights(
+            {
+                member: context.weight_of(member)
+                for member in self.members
+            },
+            error=MappingError,
+        )
+        self._queued: Set[Request] = set()
+        self._position = 0
+        self._credit = (
+            self._weight[self.members[0]] if self.members else 0
+        )
+
+    def _advance(self) -> None:
+        self._position = (self._position + 1) % len(self.members)
+        self._credit = self._weight[self.members[self._position]]
+
+    def enqueue(self, actor_id: Request, time: float) -> None:
+        if actor_id not in self.members:
+            raise MappingError(
+                f"actor {actor_id} is not a member of this processor"
+            )
+        self._queued.add(actor_id)
+
+    def pick(self) -> Optional[Request]:
+        if not self._queued:
+            return None
+        for _ in range(len(self.members) + 1):
+            candidate = self.members[self._position]
+            if self._credit > 0 and candidate in self._queued:
+                self._queued.discard(candidate)
+                self._credit -= 1
+                if self._credit == 0:
+                    self._advance()
+                return candidate
+            self._advance()
+        return None  # pragma: no cover - unreachable, _queued subset members
+
+    def pending(self) -> int:
+        return len(self._queued)
+
+
+class PriorityArbiter(Arbiter):
+    """Static priority, non-preemptive.
+
+    The queued member with the highest context priority wins; ties fall
+    back to member-list order, so without assigned priorities (all 0)
+    the policy behaves exactly as it always did — earliest member in
+    the member list first.
+    """
+
+    def __init__(
+        self,
+        members: Sequence[Request],
+        context: Optional[ArbiterContext] = None,
+    ) -> None:
+        super().__init__(members)
+        context = context if context is not None else ArbiterContext()
+        self._rank: Dict[Request, Tuple[float, int]] = {
+            actor_id: (-context.priority_of(actor_id), rank)
+            for rank, actor_id in enumerate(members)
         }
         self._queued: List[Request] = []
 
@@ -128,7 +249,10 @@ class PriorityArbiter(Arbiter):
     def pick(self) -> Optional[Request]:
         if not self._queued:
             return None
-        best = min(self._queued, key=lambda a: self._rank.get(a, len(self._rank)))
+        fallback = (0.0, len(self._rank))
+        best = min(
+            self._queued, key=lambda a: self._rank.get(a, fallback)
+        )
         self._queued.remove(best)
         return best
 
@@ -136,23 +260,116 @@ class PriorityArbiter(Arbiter):
         return len(self._queued)
 
 
-_ARBITERS = {
-    "fcfs": FCFSArbiter,
-    "round_robin": RoundRobinArbiter,
-    "priority": PriorityArbiter,
-}
+class PreemptivePriorityArbiter(Arbiter):
+    """Static priority, preemptive.
 
-
-def make_arbiter(policy: str, members: Sequence[Request]) -> Arbiter:
-    """Instantiate an arbiter by policy name.
-
-    Valid names: ``"fcfs"``, ``"round_robin"``, ``"priority"``.
+    The queued member with the highest priority wins; ties break on
+    request time then id, so among equal priorities service is
+    arrival-ordered (FCFS) — with uniform priorities the policy *is*
+    FCFS and never preempts.  A strictly higher-priority request
+    suspends the running actor (the engine re-queues it with its
+    remaining execution time).
     """
-    try:
-        factory = _ARBITERS[policy]
-    except KeyError:
-        raise MappingError(
-            f"unknown arbitration policy {policy!r}; expected one of "
-            f"{sorted(_ARBITERS)}"
-        ) from None
-    return factory(members)
+
+    preemptive = True
+
+    def __init__(
+        self,
+        members: Sequence[Request],
+        context: Optional[ArbiterContext] = None,
+    ) -> None:
+        super().__init__(members)
+        context = context if context is not None else ArbiterContext()
+        self._priority: Dict[Request, float] = {
+            member: context.priority_of(member) for member in members
+        }
+        self._queue: List[Tuple[float, float, Request]] = []
+
+    def _key(self, actor_id: Request, time: float):
+        # Sort ascending: higher priority first, then earlier request,
+        # then smaller id.
+        return (-self._priority.get(actor_id, 0.0), time, actor_id)
+
+    def enqueue(self, actor_id: Request, time: float) -> None:
+        entry = self._key(actor_id, time)
+        position = len(self._queue)
+        while position > 0 and self._queue[position - 1] > entry:
+            position -= 1
+        self._queue.insert(position, entry)
+
+    def pick(self) -> Optional[Request]:
+        if not self._queue:
+            return None
+        return self._queue.pop(0)[2]
+
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def preempts(self, running: Request) -> bool:
+        if not self._queue:
+            return False
+        return -self._queue[0][0] > self._priority.get(running, 0.0)
+
+
+_BUILTIN_ARBITERS = (
+    ArbiterInfo(
+        name="fcfs",
+        factory=lambda members, context: FCFSArbiter(members),
+        summary="arrival order, ties by actor id (the paper's model)",
+    ),
+    ArbiterInfo(
+        name="round_robin",
+        factory=lambda members, context: RoundRobinArbiter(members),
+        summary="fixed rotation, skipping absentees (reference [6])",
+    ),
+    ArbiterInfo(
+        name="weighted_round_robin",
+        factory=WeightedRoundRobinArbiter,
+        summary="rotation with per-member slice weights",
+        parameters={
+            "weights": (
+                "per-application grants per rotation "
+                "(SimulationConfig.arbitration_params['weights'])"
+            )
+        },
+        aliases=("wrr",),
+    ),
+    ArbiterInfo(
+        name="priority",
+        factory=PriorityArbiter,
+        summary="static priority, non-preemptive",
+        parameters={"priorities": "per-actor, from the mapping"},
+    ),
+    ArbiterInfo(
+        name="priority_preemptive",
+        factory=PreemptivePriorityArbiter,
+        summary="static priority, preemptive at arrival instants",
+        preemptive=True,
+        parameters={"priorities": "per-actor, from the mapping"},
+    ),
+)
+
+for _info in _BUILTIN_ARBITERS:
+    if _info.name not in ARBITERS:
+        ARBITERS.register(_info)
+del _info
+
+
+def make_arbiter(
+    policy: str,
+    members: Sequence[Request],
+    context: Optional[ArbiterContext] = None,
+) -> Arbiter:
+    """Instantiate a registered arbiter by policy name.
+
+    Builtin names: ``"fcfs"``, ``"round_robin"``,
+    ``"weighted_round_robin"`` (alias ``"wrr"``), ``"priority"``,
+    ``"priority_preemptive"``.  Unknown names raise
+    :class:`~repro.exceptions.MappingError` listing every registered
+    policy.
+    """
+    info = ARBITERS.get(policy)
+    arbiter = info.factory(
+        members, context if context is not None else ArbiterContext()
+    )
+    return arbiter

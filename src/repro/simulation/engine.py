@@ -7,8 +7,12 @@ Semantics (matching the paper's system model, Section 3):
 * An actor *requests* its processor as soon as (a) the tokens for one
   firing are present on all its input channels and (b) it is not already
   executing or queued — software tasks issue one request at a time.
-* Processors are **non-preemptive**: once granted, the actor holds the
-  processor for its whole execution time.
+* Processors are **non-preemptive** under the paper's policies: once
+  granted, the actor holds the processor for its whole execution time.
+  Arbiters registered as *preemptive* (``priority_preemptive``) extend
+  the model: a strictly higher-priority request suspends the running
+  actor, which resumes later with its remaining execution time (tokens
+  are not re-consumed; the suspended actor re-enters the queue).
 * The processor's arbiter (FCFS by default) picks among queued requests
   whenever the processor becomes free.
 * Tokens are consumed when execution *starts* and produced when it
@@ -25,14 +29,15 @@ from __future__ import annotations
 import heapq
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping as TMapping, Optional, Sequence, Tuple
 
-from repro.exceptions import AnalysisError, DeadlockError
+from repro.exceptions import AnalysisError, DeadlockError, MappingError
 from repro.platform.mapping import Mapping, index_mapping
 from repro.sdf.graph import SDFGraph
 from repro.sdf.liveness import assert_live
 from repro.sdf.repetition import repetition_vector
-from repro.simulation.arbiter import make_arbiter
+from repro.simulation.arbiter import ArbiterContext, make_arbiter
+from repro.wcrt.weighted_round_robin import validate_weights
 from repro.simulation.metrics import (
     IterationTracker,
     SimulationResult,
@@ -64,8 +69,14 @@ class SimulationConfig:
     Attributes
     ----------
     arbitration:
-        Processor arbitration policy: ``"fcfs"`` (paper), ``"round_robin"``
-        or ``"priority"``.
+        Processor arbitration policy — any name registered in
+        :data:`repro.core.registry.ARBITERS`: ``"fcfs"`` (paper),
+        ``"round_robin"``, ``"weighted_round_robin"``, ``"priority"``
+        or ``"priority_preemptive"``.
+    arbitration_params:
+        Policy parameters; currently ``{"weights": {application:
+        slices}}`` for the weighted round-robin policy (priorities ride
+        on the mapping instead, next to the bindings they annotate).
     target_iterations:
         Stop once every application completed this many iterations
         (``None``: run until ``horizon``).
@@ -86,6 +97,7 @@ class SimulationConfig:
     """
 
     arbitration: str = "fcfs"
+    arbitration_params: Optional[TMapping[str, object]] = None
     target_iterations: Optional[int] = 100
     horizon: Optional[float] = None
     warmup_fraction: float = 0.25
@@ -144,6 +156,7 @@ class Simulator:
         self._name_of: List[str] = []
         self._tau: List[float] = []
         self._proc_of: List[int] = []
+        self._priority_of: List[float] = []
         self._id_of: Dict[Tuple[str, str], int] = {}
 
         processor_names = self.mapping.platform.processor_names
@@ -156,6 +169,9 @@ class Simulator:
                 self._app_of.append(graph.name)
                 self._name_of.append(actor.name)
                 self._tau.append(actor.execution_time)
+                self._priority_of.append(
+                    self.mapping.priority_of(graph.name, actor.name)
+                )
                 processor = self.mapping.processor_of(graph.name, actor.name)
                 self._proc_of.append(proc_index[processor])
         self._processor_names = processor_names
@@ -193,6 +209,58 @@ class Simulator:
         }
 
     # ------------------------------------------------------------------
+    def _arbiter_context(self) -> ArbiterContext:
+        """Per-actor scheduling metadata for the arbiters.
+
+        Priorities come from the mapping; weights from
+        ``config.arbitration_params["weights"]`` (per application,
+        resolved to every actor of the application).
+        """
+        params = dict(self.config.arbitration_params or {})
+        raw_weights = params.pop("weights", None)
+        if params:
+            raise MappingError(
+                f"unknown arbitration_params keys {sorted(params)!r}; "
+                "supported: 'weights'"
+            )
+        weights: Dict[int, int] = {}
+        if raw_weights is not None:
+            # Weights for a policy that does not consume them would be
+            # silently ignored — the misconfiguration must fail loudly
+            # (the policy's parameter schema says what it reads).
+            from repro.core.registry import ARBITERS
+
+            policy = ARBITERS.get(self.config.arbitration)
+            if "weights" not in policy.parameters:
+                raise MappingError(
+                    f"arbitration policy {policy.name!r} does not "
+                    "consume arbitration_params['weights']; use "
+                    "'weighted_round_robin' or drop the weights"
+                )
+            if not isinstance(raw_weights, dict):
+                raise MappingError(
+                    "arbitration_params['weights'] must map "
+                    "application names to integer slice counts"
+                )
+            known = {g.name for g in self.graphs}
+            unknown = sorted(set(raw_weights) - known)
+            if unknown:
+                raise MappingError(
+                    f"arbitration weights name unknown applications "
+                    f"{unknown!r}"
+                )
+            validate_weights(raw_weights, error=MappingError)
+            for actor_id, app in enumerate(self._app_of):
+                if app in raw_weights:
+                    weights[actor_id] = raw_weights[app]
+        priorities = {
+            actor_id: priority
+            for actor_id, priority in enumerate(self._priority_of)
+            if priority != 0.0
+        }
+        return ArbiterContext(priorities=priorities, weights=weights)
+
+    # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
         """Execute the simulation and return measured metrics."""
         config = self.config
@@ -203,18 +271,28 @@ class Simulator:
         executing = [False] * len(self._app_of)
         queued = [False] * len(self._app_of)
         busy = [False] * len(self._members)
+        context = self._arbiter_context()
         arbiters = [
-            make_arbiter(config.arbitration, member_list)
+            make_arbiter(config.arbitration, member_list, context)
             for member_list in self._members
         ]
 
-        heap: List[Tuple[float, int, int]] = []
+        # Heap entries carry a per-actor generation counter: preempting
+        # an actor invalidates its scheduled completion (the stale event
+        # is skipped on pop).  Non-preemptive runs never bump a
+        # generation, so their event stream is untouched.
+        heap: List[Tuple[float, int, int, int]] = []
         sequence = 0
         busy_time = [0.0] * len(self._members)
         request_time = [0.0] * len(self._app_of)
         waiting_total = [0.0] * len(self._app_of)
         waiting_max = [0.0] * len(self._app_of)
         waiting_count = [0] * len(self._app_of)
+        running: List[Optional[int]] = [None] * len(self._members)
+        generation = [0] * len(self._app_of)
+        remaining: List[Optional[float]] = [None] * len(self._app_of)
+        scheduled_end = [0.0] * len(self._app_of)
+        trace_slot = [-1] * len(self._app_of)
         trace: Optional[List[TraceEntry]] = (
             [] if config.record_trace else None
         )
@@ -239,6 +317,7 @@ class Simulator:
                 proc = self._proc_of[actor_id]
                 arbiters[proc].enqueue(actor_id, now)
                 touched.add(proc)
+                maybe_preempt(proc, now)
 
         def start_next(proc: int, now: float) -> None:
             nonlocal sequence
@@ -250,29 +329,42 @@ class Simulator:
             queued[actor_id] = False
             executing[actor_id] = True
             busy[proc] = True
+            running[proc] = actor_id
             waited = now - request_time[actor_id]
             waiting_total[actor_id] += waited
-            waiting_count[actor_id] += 1
             if waited > waiting_max[actor_id]:
                 waiting_max[actor_id] = waited
-            for cid in self._in_channels[actor_id]:
-                tokens[cid] -= self._chan_cons[cid]
-            duration = time_model.sample(
-                self._app_of[actor_id],
-                self._name_of[actor_id],
-                self._tau[actor_id],
-                rng,
-            )
-            if duration <= 0:
-                raise AnalysisError(
-                    "time model produced a non-positive execution time "
-                    f"({duration}) for {self._app_of[actor_id]}."
-                    f"{self._name_of[actor_id]}"
+            resumed_for = remaining[actor_id]
+            if resumed_for is not None:
+                # Resuming a preempted firing: tokens were consumed at
+                # the original start; only the leftover work runs.
+                remaining[actor_id] = None
+                duration = resumed_for
+            else:
+                waiting_count[actor_id] += 1
+                for cid in self._in_channels[actor_id]:
+                    tokens[cid] -= self._chan_cons[cid]
+                duration = time_model.sample(
+                    self._app_of[actor_id],
+                    self._name_of[actor_id],
+                    self._tau[actor_id],
+                    rng,
                 )
+                if duration <= 0:
+                    raise AnalysisError(
+                        "time model produced a non-positive execution time "
+                        f"({duration}) for {self._app_of[actor_id]}."
+                        f"{self._name_of[actor_id]}"
+                    )
             sequence += 1
             busy_time[proc] += duration
-            heapq.heappush(heap, (now + duration, sequence, actor_id))
+            scheduled_end[actor_id] = now + duration
+            heapq.heappush(
+                heap,
+                (now + duration, sequence, actor_id, generation[actor_id]),
+            )
             if trace is not None:
+                trace_slot[actor_id] = len(trace)
                 trace.append(
                     TraceEntry(
                         processor=self._processor_names[proc],
@@ -282,6 +374,44 @@ class Simulator:
                         end=now + duration,
                     )
                 )
+
+        def maybe_preempt(proc: int, now: float) -> None:
+            """Suspend the running actor when the arbiter demands it.
+
+            Only preemptive arbiters ever do; the victim's completion
+            event is invalidated through its generation counter and the
+            leftover work is re-queued (no token re-consumption).
+            """
+            arbiter = arbiters[proc]
+            if not arbiter.preemptive or not busy[proc]:
+                return
+            victim = running[proc]
+            if victim is None or not arbiter.preempts(victim):
+                return
+            leftover = scheduled_end[victim] - now
+            if leftover <= 0:
+                # Completion is due at this very instant; let it finish.
+                return
+            generation[victim] += 1
+            remaining[victim] = leftover
+            busy_time[proc] -= leftover
+            executing[victim] = False
+            queued[victim] = True
+            request_time[victim] = now
+            arbiter.enqueue(victim, now)
+            busy[proc] = False
+            running[proc] = None
+            if trace is not None:
+                slot = trace_slot[victim]
+                opened = trace[slot]
+                trace[slot] = TraceEntry(
+                    processor=opened.processor,
+                    application=opened.application,
+                    actor=opened.actor,
+                    start=opened.start,
+                    end=now,
+                )
+            start_next(proc, now)
 
         # Prime the system at time zero.
         touched: set = set()
@@ -293,7 +423,7 @@ class Simulator:
         events = 0
         end_time = 0.0
         while heap:
-            now, _, actor_id = heapq.heappop(heap)
+            now, _, actor_id, event_generation = heapq.heappop(heap)
             if config.horizon is not None and now > config.horizon:
                 break
             events += 1
@@ -302,11 +432,15 @@ class Simulator:
                     f"simulation exceeded {config.max_events} events; "
                     "lower target_iterations or set a horizon"
                 )
+            if event_generation != generation[actor_id]:
+                # Stale completion of a firing that was preempted.
+                continue
             end_time = now
             # Complete the firing.
             executing[actor_id] = False
             proc = self._proc_of[actor_id]
             busy[proc] = False
+            running[proc] = None
             app = self._app_of[actor_id]
             tracker = self._trackers[app]
             tracker.record_firing(self._name_of[actor_id], now)

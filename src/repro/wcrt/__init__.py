@@ -12,10 +12,16 @@ from repro.wcrt.round_robin import (
     worst_case_response_time,
 )
 from repro.wcrt.tdma import TDMAWaitingModel, tdma_response_time
+from repro.wcrt.weighted_round_robin import (
+    WeightedRRWaitingModel,
+    weighted_rr_response_time,
+)
 
 __all__ = [
     "TDMAWaitingModel",
+    "WeightedRRWaitingModel",
     "WorstCaseRRWaitingModel",
     "tdma_response_time",
+    "weighted_rr_response_time",
     "worst_case_response_time",
 ]

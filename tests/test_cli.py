@@ -207,3 +207,63 @@ class TestRuntime:
         assert len(trace["events"]) == 40
         log = json.loads(log_path.read_text())
         assert len(log["records"]) == 40
+
+
+class TestModels:
+    def test_registry_table(self, capsys):
+        out = run_cli(capsys, "models")
+        assert "Registered contention models" in out
+        assert "priority_preemptive" in out
+        assert "weighted_round_robin" in out
+        assert "conservative" in out and "mean" in out
+
+
+class TestConformance:
+    def test_reduced_batch_passes(self, capsys):
+        out = run_cli(
+            capsys,
+            "conformance", "--suite", "4", "--scenarios", "3",
+            "--sim-iterations", "25",
+            "--models", "exact,worst_case,priority_preemptive",
+        )
+        assert "Conformance" in out
+        assert "PASSED" in out
+        assert "upper-bounds sim" in out
+
+    def test_unknown_model_fails(self, capsys):
+        code = main(
+            ["conformance", "--suite", "3", "--models", "oracle"]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "unknown waiting model" in captured.err
+
+
+class TestNewModelsEndToEnd:
+    def test_sweep_accepts_priority_preemptive(self, capsys):
+        out = run_cli(
+            capsys,
+            "sweep", "--suite", "3", "--samples", "2",
+            "--estimates-only", "--model", "priority_preemptive",
+        )
+        assert "priority-preemptive" in out
+
+    def test_sweep_accepts_weighted_round_robin_with_weights(
+        self, capsys
+    ):
+        out = run_cli(
+            capsys,
+            "sweep", "--suite", "3", "--samples", "2",
+            "--estimates-only", "--model",
+            "weighted_round_robin:A=2,B=1",
+        )
+        assert "weighted-rr" in out
+
+    def test_estimate_lists_models_on_bad_name(self, capsys):
+        code = main(
+            ["estimate", "--suite", "2", "--model", "oracle"]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "registered waiting models" in captured.err
+        assert "priority_preemptive" in captured.err

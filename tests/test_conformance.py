@@ -1,0 +1,212 @@
+"""The cross-layer conformance harness (``repro.conformance``).
+
+The parametrized suite below auto-covers *every* registered waiting
+model — including the two registry-shipped contention models and any
+future third-party registration — with zero per-model test code: the
+parametrization reads the registry at collection time and each model is
+judged purely by its declared semantics metadata.
+
+The harness run here is a reduced batch (fast enough for tier 1); the
+acceptance-scale batch (>= 50 scenarios per model) is ``repro
+conformance --suite 4`` and runs in CI's conformance job.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conformance import (
+    DEFAULT_UTILIZATION_CAP,
+    Scenario,
+    checkable_model_names,
+    conformance_skip_reason,
+    generate_scenarios,
+    run_conformance,
+)
+from repro.core.registry import WAITING_MODELS, WaitingModelInfo
+from repro.exceptions import ExperimentError
+
+SCENARIOS = 6
+SIM_ITERATIONS = 40
+
+
+@pytest.fixture(scope="module")
+def report():
+    """One shared reduced-batch run covering every registered model."""
+    return run_conformance(
+        application_count=4,
+        scenarios_per_model=SCENARIOS,
+        target_iterations=SIM_ITERATIONS,
+    )
+
+
+class TestScenarioGeneration:
+    def test_deterministic(self):
+        first = generate_scenarios(count=8, seed=5)
+        second = generate_scenarios(count=8, seed=5)
+        assert first == second
+
+    def test_seed_changes_the_batch(self):
+        assert generate_scenarios(count=8, seed=5) != generate_scenarios(
+            count=8, seed=6
+        )
+
+    def test_scenarios_have_contention_and_metadata(self):
+        for scenario in generate_scenarios(count=10):
+            assert len(scenario.use_case) >= 2
+            assert set(scenario.priorities) == set(scenario.use_case)
+            assert set(scenario.weights) == set(scenario.use_case)
+            assert all(w >= 1 for w in scenario.weights.values())
+
+    def test_utilization_cap_is_honored(self):
+        from repro.core.blocking import build_profiles
+        from repro.experiments.setup import paper_benchmark_suite
+
+        for scenario in generate_scenarios(count=10):
+            suite = paper_benchmark_suite(
+                seed=scenario.gallery_seed,
+                application_count=scenario.application_count,
+            )
+            graphs = [suite.graph(n) for n in scenario.use_case]
+            per_node: dict = {}
+            for (app, actor), profile in build_profiles(
+                graphs
+            ).items():
+                proc = suite.mapping.processor_of(app, actor)
+                per_node[proc] = (
+                    per_node.get(proc, 0.0) + profile.probability
+                )
+            assert max(per_node.values()) <= DEFAULT_UTILIZATION_CAP
+
+    def test_impossible_cap_fails_loudly(self):
+        with pytest.raises(ExperimentError) as excinfo:
+            generate_scenarios(count=5, utilization_cap=0.01)
+        assert "utilization cap" in str(excinfo.value)
+
+
+# The registry is read at collection time: registering a new model makes
+# it appear here automatically.
+@pytest.mark.parametrize("model_name", WAITING_MODELS.names())
+class TestEveryRegisteredModel:
+    def test_declared_semantics_hold_or_skip_is_justified(
+        self, model_name, report
+    ):
+        model_report = report.report_for(model_name)
+        info = WAITING_MODELS.get(model_name)
+        skip = conformance_skip_reason(info)
+        if skip is not None:
+            assert model_report.status == "skipped"
+            assert model_report.reason == skip
+            return
+        assert model_report.status == "passed", model_report.reason
+        assert model_report.scenarios == SCENARIOS
+        assert model_report.checks >= SCENARIOS
+        if info.semantics == "conservative":
+            assert model_report.ratio_low >= 1.0 - 1e-9
+        else:
+            assert (
+                abs(1.0 - model_report.ratio_low) <= info.tolerance
+            )
+            assert (
+                abs(1.0 - model_report.ratio_high) <= info.tolerance
+            )
+
+
+class TestNewModelsAreCovered:
+    def test_both_new_models_are_auto_checked(self):
+        covered = checkable_model_names()
+        assert "priority_preemptive" in covered
+        assert "weighted_round_robin" in covered
+
+    def test_skips_are_exactly_the_documented_ones(self):
+        skipped = tuple(
+            info.name
+            for info in WAITING_MODELS.infos()
+            if conformance_skip_reason(info) is not None
+        )
+        assert skipped == ("order", "tdma")
+
+
+class TestHarnessJudgement:
+    def test_third_party_model_is_checked_without_test_code(self):
+        """A freshly registered honest model passes via metadata only."""
+        from repro.core.exact import ExactWaitingModel
+
+        info = WaitingModelInfo(
+            name="echo_exact",
+            factory=ExactWaitingModel,
+            summary="exact under a different name",
+            semantics="mean",
+            tolerance=0.45,
+            arbiter="fcfs",
+        )
+        with WAITING_MODELS.temporary(info):
+            outcome = run_conformance(
+                scenarios_per_model=3,
+                target_iterations=30,
+                models=["echo_exact"],
+            )
+        assert outcome.passed
+        assert outcome.report_for("echo_exact").scenarios == 3
+
+    def test_false_conservative_claim_is_caught(self):
+        """A model whose declared bound does not hold must fail."""
+
+        class Optimist:
+            name = "optimist"
+            complexity = "O(1)"
+
+            def waiting_time(self, own, others):
+                return 0.0  # never waits, allegedly a sound bound
+
+        info = WaitingModelInfo(
+            name="optimist_bound",
+            factory=Optimist,
+            summary="claims a bound it cannot keep",
+            semantics="conservative",
+            supports_batch=False,
+            arbiter="round_robin",
+        )
+        with WAITING_MODELS.temporary(info):
+            outcome = run_conformance(
+                scenarios_per_model=3,
+                target_iterations=30,
+                models=["optimist_bound"],
+            )
+        model_report = outcome.report_for("optimist_bound")
+        assert not outcome.passed
+        assert model_report.status == "failed"
+        assert model_report.violations
+        assert "worst violation" in model_report.reason
+
+    def test_report_renders(self, report):
+        rendered = report.render()
+        assert "priority_preemptive" in rendered
+        assert "upper-bounds sim" in rendered
+        assert "scenarios" in rendered
+
+    def test_unknown_model_selection_fails(self):
+        with pytest.raises(Exception) as excinfo:
+            run_conformance(models=["oracle"], scenarios_per_model=2)
+        assert "unknown waiting model" in str(excinfo.value)
+
+    def test_scenario_label_mentions_the_ingredients(self):
+        scenario = Scenario(
+            index=3,
+            gallery_seed=2009,
+            application_count=4,
+            use_case=("A", "B"),
+            priorities={"A": 1, "B": 0},
+            weights={"A": 2, "B": 1},
+        )
+        label = scenario.label()
+        assert "seed=2009" in label and "A+B" in label
+
+
+class TestSimulationSharing:
+    def test_priority_blind_arbiters_share_reference_runs(self, report):
+        """FCFS/round-robin references are keyed without the scenario's
+        priority/weight draws, so a (gallery, use-case) pair is
+        simulated once per policy, not once per draw per model."""
+        checkable = len(checkable_model_names())
+        assert report.simulations_run < checkable * SCENARIOS

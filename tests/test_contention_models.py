@@ -1,0 +1,376 @@
+"""The two registry-shipped contention models: priority & weighted RR.
+
+Property obligations (the PR's satellite checklist):
+
+* a lone actor never waits, under either model;
+* waiting is monotone (non-decreasing) in every other actor's blocking
+  probability;
+* the preemptive-priority model collapses to the FCFS-exact estimate
+  (Eq. 4) when all priorities are equal;
+* ``waiting_times_batch`` is *bit-identical* to the scalar loop — on
+  the kernel directly and through the estimator on both backends.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backend import numpy_available
+from repro.core.blocking import build_profile, resident_vectors
+from repro.core.exact import waiting_time_exact
+from repro.core.priority import (
+    PriorityWaitingModel,
+    waiting_time_priority,
+)
+from repro.exceptions import AnalysisError
+from repro.wcrt.weighted_round_robin import (
+    WeightedRRWaitingModel,
+    parse_weights,
+    weighted_rr_response_time,
+)
+
+needs_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="numpy backend not installed"
+)
+
+
+def profile(
+    tau: float,
+    probability: float,
+    name: str = "x",
+    app: str = "A",
+    priority: float = 0.0,
+):
+    """A profile with an exact target blocking probability."""
+    period = tau / probability if probability > 0 else tau * 1e9
+    return build_profile(
+        application=app,
+        actor=name,
+        tau=tau,
+        repetitions=1,
+        period=period,
+        priority=priority,
+    )
+
+
+# A contender: (tau in [1, 100], probability in (0, 0.95], priority).
+contenders = st.lists(
+    st.tuples(
+        st.floats(min_value=1.0, max_value=100.0),
+        st.floats(min_value=0.01, max_value=0.95),
+        st.integers(min_value=0, max_value=3),
+    ),
+    min_size=0,
+    max_size=6,
+)
+
+
+def build_others(raw, app_prefix="B"):
+    return [
+        profile(
+            tau,
+            probability,
+            name=f"o{i}",
+            app=f"{app_prefix}{i}",
+            priority=priority,
+        )
+        for i, (tau, probability, priority) in enumerate(raw)
+    ]
+
+
+class TestLoneActor:
+    @given(
+        tau=st.floats(min_value=1.0, max_value=100.0),
+        priority=st.integers(min_value=0, max_value=3),
+    )
+    def test_priority_model_zero_without_contenders(self, tau, priority):
+        own = profile(tau, 0.5, priority=priority)
+        assert PriorityWaitingModel().waiting_time(own, []) == 0.0
+
+    @given(tau=st.floats(min_value=1.0, max_value=100.0))
+    def test_weighted_rr_zero_without_contenders(self, tau):
+        own = profile(tau, 0.5)
+        model = WeightedRRWaitingModel(weights={"A": 3})
+        assert model.waiting_time(own, []) == 0.0
+
+
+class TestMonotonicity:
+    @given(
+        raw=contenders,
+        own_priority=st.integers(min_value=0, max_value=3),
+        bump_index=st.integers(min_value=0, max_value=5),
+        bump=st.floats(min_value=1.01, max_value=5.0),
+    )
+    @settings(max_examples=200)
+    def test_priority_waiting_monotone_in_blocking_probability(
+        self, raw, own_priority, bump_index, bump
+    ):
+        """Raising any contender's P never lowers the expected wait."""
+        if not raw:
+            return
+        own = profile(10.0, 0.5, priority=own_priority)
+        others = build_others(raw)
+        index = bump_index % len(others)
+        before = waiting_time_priority(own, others)
+        bumped = others[index]
+        raised = min(0.99, bumped.probability * bump)
+        others[index] = profile(
+            bumped.tau,
+            raised,
+            name=bumped.actor,
+            app=bumped.application,
+            priority=bumped.priority,
+        )
+        after = waiting_time_priority(own, others)
+        assert after >= before - 1e-9 * max(1.0, abs(before))
+
+    @given(
+        raw=contenders,
+        bump_index=st.integers(min_value=0, max_value=5),
+        bump=st.floats(min_value=1.01, max_value=5.0),
+    )
+    def test_weighted_rr_ignores_blocking_probability(
+        self, raw, bump_index, bump
+    ):
+        """The WCRT bound depends on taus and weights only."""
+        if not raw:
+            return
+        own = profile(10.0, 0.5)
+        model = WeightedRRWaitingModel(default_weight=2)
+        others = build_others(raw)
+        index = bump_index % len(others)
+        before = model.waiting_time(own, others)
+        bumped = others[index]
+        others[index] = profile(
+            bumped.tau,
+            min(0.99, bumped.probability * bump),
+            name=bumped.actor,
+            app=bumped.application,
+        )
+        assert model.waiting_time(own, others) == before
+
+
+class TestPriorityCollapse:
+    @given(
+        raw=contenders,
+        level=st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=200)
+    def test_equal_priorities_reduce_to_fcfs_exact(self, raw, level):
+        """All-equal priorities: the model *is* Eq. 4."""
+        own = profile(10.0, 0.5, priority=level)
+        others = [
+            profile(
+                tau,
+                probability,
+                name=f"o{i}",
+                app=f"B{i}",
+                priority=level,
+            )
+            for i, (tau, probability, _) in enumerate(raw)
+        ]
+        collapsed = waiting_time_priority(own, others)
+        exact = waiting_time_exact(others)
+        assert math.isclose(
+            collapsed, exact, rel_tol=1e-12, abs_tol=1e-12
+        )
+
+    def test_lower_priority_contenders_cost_nothing_upfront(self):
+        own = profile(10.0, 0.5, priority=2)
+        lower = [
+            profile(50.0, 0.9, name="l", app="L", priority=1)
+        ]
+        assert waiting_time_priority(own, lower) == 0.0
+
+    def test_higher_priority_adds_preemption_interference(self):
+        own = profile(10.0, 0.5, priority=0)
+        higher = profile(20.0, 0.4, name="h", app="H", priority=1)
+        # Initial wait: P (mu * 1 + tau * 0) = 0.4 * 10; preemption:
+        # tau_own * P = 10 * 0.4.
+        expected = 0.4 * 10.0 + 10.0 * 0.4
+        assert waiting_time_priority(own, [higher]) == pytest.approx(
+            expected
+        )
+
+
+class TestWeightedRRBound:
+    def test_all_default_weights_match_reference_6(self):
+        from repro.wcrt.round_robin import WorstCaseRRWaitingModel
+
+        own = profile(10.0, 0.5)
+        others = build_others([(30.0, 0.2, 0), (7.0, 0.9, 1)])
+        wrr = WeightedRRWaitingModel()
+        rr = WorstCaseRRWaitingModel()
+        assert wrr.waiting_time(own, others) == rr.waiting_time(
+            own, others
+        )
+
+    def test_weights_scale_the_bound_per_application(self):
+        own = profile(10.0, 0.5)
+        others = build_others([(30.0, 0.2, 0), (7.0, 0.9, 0)])
+        model = WeightedRRWaitingModel(weights={"B0": 3})
+        assert model.waiting_time(own, others) == pytest.approx(
+            3 * 30.0 + 7.0
+        )
+
+    def test_response_time_helper(self):
+        assert weighted_rr_response_time(10.0, [60.0, 7.0]) == 77.0
+
+    def test_weights_validation(self):
+        with pytest.raises(AnalysisError):
+            WeightedRRWaitingModel(weights={"A": 0})
+        with pytest.raises(AnalysisError):
+            WeightedRRWaitingModel(weights={"A": 1.5})
+        with pytest.raises(AnalysisError):
+            WeightedRRWaitingModel(default_weight=-1)
+
+    def test_parse_weights(self):
+        assert parse_weights(None) == {}
+        assert parse_weights(" ") == {}
+        assert parse_weights("A=2, B=1") == {"A": 2, "B": 1}
+        with pytest.raises(AnalysisError):
+            parse_weights("A")
+        with pytest.raises(AnalysisError):
+            parse_weights("A=x")
+        with pytest.raises(AnalysisError):
+            parse_weights("A=0")
+
+
+@needs_numpy
+class TestBatchBitIdentity:
+    """The batched kernels reproduce the scalar loops bit for bit."""
+
+    def _assert_kernel_matches(self, model, residents, rng):
+        import numpy as np
+
+        vectors = resident_vectors(residents, np)
+        n = len(residents)
+        rows = []
+        for _ in range(12):
+            rows.append(
+                [rng.random() < 0.7 for _ in range(n)]
+            )
+        inc = np.zeros((len(rows), n, n))
+        own_active = np.zeros((len(rows), n))
+        for u, row in enumerate(rows):
+            for o in range(n):
+                own_active[u, o] = 1.0 if row[o] else 0.0
+                for i in range(n):
+                    if i != o and row[i]:
+                        inc[u, o, i] = 1.0
+        batched = model.waiting_times_batch(
+            vectors, inc, own_active, np
+        )
+        for u, row in enumerate(rows):
+            for o in range(n):
+                if not row[o]:
+                    continue
+                others = [
+                    residents[i]
+                    for i in range(n)
+                    if i != o and row[i]
+                ]
+                scalar = model.waiting_time(residents[o], others)
+                assert batched[u, o] == scalar, (
+                    model.name,
+                    u,
+                    o,
+                    float(batched[u, o]),
+                    scalar,
+                )
+
+    @given(raw=contenders, seed=st.integers(0, 2**16))
+    @settings(max_examples=60, deadline=None)
+    def test_priority_kernel_bit_identical(self, raw, seed):
+        if len(raw) < 2:
+            return
+        residents = build_others(raw)
+        self._assert_kernel_matches(
+            PriorityWaitingModel(), residents, random.Random(seed)
+        )
+
+    @given(raw=contenders, seed=st.integers(0, 2**16))
+    @settings(max_examples=60, deadline=None)
+    def test_weighted_rr_kernel_bit_identical(self, raw, seed):
+        if len(raw) < 2:
+            return
+        residents = build_others(raw)
+        weights = {
+            p.application: 1 + (i % 3)
+            for i, p in enumerate(residents)
+        }
+        self._assert_kernel_matches(
+            WeightedRRWaitingModel(weights=weights),
+            residents,
+            random.Random(seed),
+        )
+
+    @pytest.mark.parametrize(
+        "model_spec",
+        ["priority_preemptive", "weighted_round_robin:A=2,C=3"],
+    )
+    def test_estimator_waiting_identical_across_backends(
+        self, model_spec, small_suite
+    ):
+        """Scalar (python) and batched (numpy) pipelines agree
+        exactly on every waiting time for the new models."""
+        from repro.core.estimator import ProbabilisticEstimator
+
+        mapping = small_suite.mapping.with_priorities(
+            {"A": 2, "B": 1, "C": 1, "D": 0}
+        )
+        results = {}
+        for backend in ("python", "numpy"):
+            estimator = ProbabilisticEstimator(
+                list(small_suite.graphs),
+                mapping=mapping,
+                waiting_model=model_spec,
+                backend=backend,
+            )
+            results[backend] = estimator.sweep_all_sizes(
+                samples_per_size=2
+            )
+        for scalar, batched in zip(
+            results["python"], results["numpy"]
+        ):
+            assert scalar.use_case == batched.use_case
+            assert scalar.waiting_times == batched.waiting_times
+
+
+class TestColdPathParity:
+    @pytest.mark.parametrize(
+        "model_spec",
+        ["priority_preemptive", "weighted_round_robin:B=2"],
+    )
+    def test_incremental_and_cold_paths_agree(
+        self, model_spec, small_suite
+    ):
+        """Priorities reach the profiles on both estimator paths."""
+        from repro.core.estimator import ProbabilisticEstimator
+
+        mapping = small_suite.mapping.with_priorities(
+            {"A": 1, "B": 0, "C": 2, "D": 1}
+        )
+        warm = ProbabilisticEstimator(
+            list(small_suite.graphs),
+            mapping=mapping,
+            waiting_model=model_spec,
+            backend="python",
+        ).estimate()
+        cold = ProbabilisticEstimator(
+            list(small_suite.graphs),
+            mapping=mapping,
+            waiting_model=model_spec,
+            incremental=False,
+            backend="python",
+        ).estimate()
+        assert warm.waiting_times == cold.waiting_times
+        for app, value in warm.periods.items():
+            assert cold.periods[app] == pytest.approx(
+                value, rel=1e-9
+            )

@@ -24,11 +24,13 @@ from pathlib import Path
 
 import pytest
 
+from repro.core.estimator import ProbabilisticEstimator
 from repro.experiments.figure5 import run_figure5
 from repro.experiments.figure6 import run_figure6
 from repro.experiments.runner import SweepConfig, run_sweep
 from repro.experiments.setup import paper_benchmark_suite
 from repro.experiments.table1 import run_table1
+from repro.sdf.analysis import AnalysisMethod
 
 GOLDENS_DIR = Path(__file__).parent / "goldens"
 
@@ -39,6 +41,16 @@ SWEEP_CONFIG = SweepConfig(
     target_iterations=40, samples_per_size=6, seed=1
 )
 FIGURE5_ITERATIONS = 60
+
+#: The contention-model fixture: the registry-shipped priority and
+#: weighted-round-robin models on the 4-app gallery, frozen under both
+#: period-analysis methods.
+CONTENTION_APPLICATIONS = 4
+CONTENTION_PRIORITIES = {"A": 2, "B": 1, "C": 1, "D": 0}
+CONTENTION_MODELS = (
+    "priority_preemptive",
+    "weighted_round_robin:A=2,C=3",
+)
 
 #: Relative drift at which a golden comparison fails.  The tiny
 #: absolute floor only absorbs float noise around exact zeros — it is
@@ -61,7 +73,37 @@ def artefacts():
     figure5 = run_figure5(
         suite, target_iterations=FIGURE5_ITERATIONS
     )
+    contention_suite = paper_benchmark_suite(
+        application_count=CONTENTION_APPLICATIONS
+    )
+    contention_mapping = contention_suite.mapping.with_priorities(
+        CONTENTION_PRIORITIES
+    )
+    contention: dict = {}
+    for model_spec in CONTENTION_MODELS:
+        by_method: dict = {}
+        for method in AnalysisMethod:
+            estimator = ProbabilisticEstimator(
+                list(contention_suite.graphs),
+                mapping=contention_mapping,
+                waiting_model=model_spec,
+                analysis_method=method,
+            )
+            results = estimator.sweep_all_sizes(samples_per_size=None)
+            by_method[method.value] = {
+                "+".join(result.use_case): {
+                    app: result.periods[app]
+                    for app in result.use_case
+                }
+                for result in results
+            }
+        contention[model_spec] = by_method
     return {
+        "contention_models": {
+            "applications": CONTENTION_APPLICATIONS,
+            "priorities": dict(CONTENTION_PRIORITIES),
+            "models": contention,
+        },
         "table1": {
             "use_case_count": table1.use_case_count,
             "summaries": [
@@ -124,7 +166,9 @@ def _assert_matches(golden, actual, path: str) -> None:
         )
 
 
-@pytest.mark.parametrize("name", ["table1", "figure5", "figure6"])
+@pytest.mark.parametrize(
+    "name", ["table1", "figure5", "figure6", "contention_models"]
+)
 def test_golden(name: str, artefacts, update_goldens: bool) -> None:
     path = GOLDENS_DIR / f"{name}.json"
     if update_goldens:

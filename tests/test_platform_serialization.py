@@ -62,3 +62,31 @@ class TestMappingRoundTrip:
     def test_missing_key(self):
         with pytest.raises(MappingError):
             mapping_from_dict({"bindings": {}})
+
+
+class TestPriorities:
+    def test_priorities_round_trip(self, two_apps):
+        mapping = index_mapping(list(two_apps)).with_priorities(
+            {"A": 2, "B": {"b0": 1}}
+        )
+        rebuilt = mapping_from_dict(mapping_to_dict(mapping))
+        assert rebuilt.priorities() == mapping.priorities()
+        assert rebuilt.priority_of("A", "a0") == 2.0
+        assert rebuilt.priority_of("B", "b0") == 1.0
+        assert rebuilt.priority_of("B", "b1") == 0.0
+
+    def test_priorityless_mapping_document_is_unchanged(self, two_apps):
+        mapping = index_mapping(list(two_apps))
+        document = mapping_to_dict(mapping)
+        assert "priorities" not in document
+
+    def test_priority_of_defaults_to_zero(self, two_apps):
+        mapping = index_mapping(list(two_apps))
+        assert mapping.priority_of("A", "a0") == 0.0
+
+    def test_unbound_priority_targets_rejected(self, two_apps):
+        mapping = index_mapping(list(two_apps))
+        with pytest.raises(MappingError):
+            mapping.with_priorities({"Z": 1})
+        with pytest.raises(MappingError):
+            mapping.with_priorities({"A": {"nope": 1}})

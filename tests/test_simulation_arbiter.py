@@ -6,9 +6,12 @@ import pytest
 
 from repro.exceptions import MappingError
 from repro.simulation.arbiter import (
+    ArbiterContext,
     FCFSArbiter,
+    PreemptivePriorityArbiter,
     PriorityArbiter,
     RoundRobinArbiter,
+    WeightedRoundRobinArbiter,
     make_arbiter,
 )
 
@@ -89,3 +92,120 @@ class TestFactory:
     def test_unknown_policy(self):
         with pytest.raises(MappingError):
             make_arbiter("random", [1])
+
+
+class TestWeightedRoundRobin:
+    def test_all_weights_one_behaves_like_round_robin(self):
+        members = [1, 2, 3]
+        wrr = WeightedRoundRobinArbiter(members)
+        rr = RoundRobinArbiter(members)
+        import random
+
+        rng = random.Random(3)
+        for step in range(200):
+            actor = rng.choice(members)
+            wrr.enqueue(actor, float(step))
+            rr.enqueue(actor, float(step))
+            if rng.random() < 0.6:
+                assert wrr.pick() == rr.pick()
+        while rr.pending():
+            assert wrr.pick() == rr.pick()
+
+    def test_weighted_member_gets_consecutive_grants(self):
+        context = ArbiterContext(weights={1: 2})
+        arbiter = WeightedRoundRobinArbiter([1, 2], context)
+        arbiter.enqueue(1, 0.0)
+        arbiter.enqueue(2, 0.0)
+        assert arbiter.pick() == 1
+        arbiter.enqueue(1, 1.0)  # re-request within its allocation
+        assert arbiter.pick() == 1
+        assert arbiter.pick() == 2
+
+    def test_unused_allocation_is_forfeited(self):
+        context = ArbiterContext(weights={1: 3})
+        arbiter = WeightedRoundRobinArbiter([1, 2], context)
+        arbiter.enqueue(1, 0.0)
+        arbiter.enqueue(2, 0.0)
+        assert arbiter.pick() == 1
+        # 1 does not re-request: the rotation moves on to 2.
+        assert arbiter.pick() == 2
+        arbiter.enqueue(1, 2.0)
+        # Fresh visit, fresh allocation.
+        assert arbiter.pick() == 1
+
+    def test_membership_enforced(self):
+        arbiter = WeightedRoundRobinArbiter([1, 2])
+        with pytest.raises(MappingError):
+            arbiter.enqueue(9, 0.0)
+
+    def test_bad_weight_rejected(self):
+        with pytest.raises(MappingError):
+            WeightedRoundRobinArbiter(
+                [1], ArbiterContext(weights={1: 0})
+            )
+
+
+class TestPreemptivePriority:
+    def test_picks_highest_priority(self):
+        context = ArbiterContext(priorities={1: 0.0, 2: 2.0, 3: 1.0})
+        arbiter = PreemptivePriorityArbiter([1, 2, 3], context)
+        arbiter.enqueue(1, 0.0)
+        arbiter.enqueue(2, 1.0)
+        arbiter.enqueue(3, 2.0)
+        assert [arbiter.pick() for _ in range(3)] == [2, 3, 1]
+
+    def test_equal_priorities_fall_back_to_fcfs(self):
+        arbiter = PreemptivePriorityArbiter([1, 2, 3])
+        arbiter.enqueue(3, 5.0)
+        arbiter.enqueue(1, 7.0)
+        arbiter.enqueue(2, 5.0)
+        assert [arbiter.pick() for _ in range(3)] == [2, 3, 1]
+
+    def test_preempts_only_strictly_higher(self):
+        context = ArbiterContext(priorities={1: 1.0, 2: 1.0, 3: 2.0})
+        arbiter = PreemptivePriorityArbiter([1, 2, 3], context)
+        arbiter.enqueue(2, 0.0)
+        assert not arbiter.preempts(1)  # equal priority: no preemption
+        arbiter.enqueue(3, 1.0)
+        assert arbiter.preempts(1)
+        assert not arbiter.preempts(3)
+
+    def test_idle_queue_never_preempts(self):
+        arbiter = PreemptivePriorityArbiter([1, 2])
+        assert not arbiter.preempts(1)
+
+
+class TestContextDispatch:
+    def test_factory_builds_registered_policies(self):
+        context = ArbiterContext(
+            priorities={1: 1.0}, weights={1: 2}
+        )
+        assert isinstance(
+            make_arbiter("weighted_round_robin", [1], context),
+            WeightedRoundRobinArbiter,
+        )
+        assert isinstance(
+            make_arbiter("wrr", [1], context),
+            WeightedRoundRobinArbiter,
+        )
+        assert isinstance(
+            make_arbiter("priority_preemptive", [1], context),
+            PreemptivePriorityArbiter,
+        )
+
+    def test_priority_arbiter_uses_context_priorities(self):
+        context = ArbiterContext(priorities={9: 5.0})
+        arbiter = PriorityArbiter([7, 9], context)
+        arbiter.enqueue(7, 0.0)
+        arbiter.enqueue(9, 1.0)
+        assert arbiter.pick() == 9
+
+    def test_only_preemptive_policies_flag_it(self):
+        assert PreemptivePriorityArbiter([1]).preemptive
+        for arbiter in (
+            FCFSArbiter([1]),
+            RoundRobinArbiter([1]),
+            WeightedRoundRobinArbiter([1]),
+            PriorityArbiter([1]),
+        ):
+            assert not arbiter.preemptive

@@ -244,3 +244,190 @@ class TestGantt:
 
     def test_empty_trace(self):
         assert format_gantt([]) == "(empty trace)"
+
+
+class TestPreemptiveExecution:
+    """Engine semantics under the preemptive-priority arbiter."""
+
+    @staticmethod
+    def _ring(name: str, taus, prefix="t"):
+        builder = GraphBuilder(name)
+        names = [f"{prefix}{i}" for i in range(len(taus))]
+        for actor, tau in zip(names, taus):
+            builder.actor(actor, tau)
+        for i, actor in enumerate(names):
+            nxt = names[(i + 1) % len(names)]
+            builder.channel(
+                actor, nxt,
+                initial_tokens=1 if i == len(names) - 1 else 0,
+            )
+        return builder.build()
+
+    def _shared_node_setup(self):
+        """H's first actor and L's only actor share processor proc0.
+
+        H = h0(10) -> h1(40) ring: h0 wants proc0 for 10 out of every
+        ~50 units.  L = l0(100) self-ring hogging proc0 otherwise.
+        """
+        high = self._ring("H", [10, 40], prefix="h")
+        low = self._ring("L", [100], prefix="l")
+        platform = Platform.homogeneous(2)
+        mapping = Mapping(
+            platform,
+            {
+                "H": {"h0": "proc0", "h1": "proc1"},
+                "L": {"l0": "proc0"},
+            },
+            priorities={"H": 1, "L": 0},
+        )
+        return [high, low], mapping
+
+    def test_highest_priority_actor_never_waits(self):
+        graphs, mapping = self._shared_node_setup()
+        result = Simulator(
+            graphs,
+            mapping=mapping,
+            config=SimulationConfig(
+                target_iterations=50,
+                arbitration="priority_preemptive",
+            ),
+        ).run()
+        h0 = result.waiting[("H", "h0")]
+        assert h0.maximum == pytest.approx(0.0, abs=1e-9)
+        # Under FCFS the same actor waits behind l0's firings.
+        fcfs = Simulator(
+            graphs,
+            mapping=mapping,
+            config=SimulationConfig(target_iterations=50),
+        ).run()
+        assert fcfs.waiting[("H", "h0")].maximum > 1.0
+
+    def test_preempted_work_is_conserved(self):
+        """Every L iteration still executes exactly tau time units,
+        split across resume segments."""
+        graphs, mapping = self._shared_node_setup()
+        result = Simulator(
+            graphs,
+            mapping=mapping,
+            config=SimulationConfig(
+                target_iterations=30,
+                arbitration="priority_preemptive",
+                record_trace=True,
+            ),
+        ).run()
+        assert_mutual_exclusion(result.trace)
+        segments = [
+            entry for entry in result.trace
+            if entry.application == "L"
+        ]
+        firings = result.waiting[("L", "l0")].samples
+        # Preemption splits firings into more segments than grants.
+        assert len(segments) > firings
+        executed = sum(e.end - e.start for e in segments)
+        completed = result.metrics["L"].iterations
+        # All *completed* iterations executed 100 units each; at most
+        # one firing is still in flight at the end of the run.
+        assert executed >= 100.0 * completed - 1e-6
+        assert executed <= 100.0 * (completed + 1) + 1e-6
+
+    def test_flat_priorities_reproduce_fcfs_exactly(self, two_apps):
+        mapping = index_mapping(list(two_apps))
+        fcfs = Simulator(
+            list(two_apps),
+            mapping=mapping,
+            config=SimulationConfig(
+                target_iterations=40, record_trace=True
+            ),
+        ).run()
+        flat = Simulator(
+            list(two_apps),
+            mapping=mapping,
+            config=SimulationConfig(
+                target_iterations=40,
+                arbitration="priority_preemptive",
+                record_trace=True,
+            ),
+        ).run()
+        assert flat.trace == fcfs.trace
+        for name in ("A", "B"):
+            assert flat.period_of(name) == fcfs.period_of(name)
+
+    def test_preemptive_run_is_deterministic(self):
+        graphs, mapping = self._shared_node_setup()
+        config = SimulationConfig(
+            target_iterations=25,
+            arbitration="priority_preemptive",
+            record_trace=True,
+        )
+        first = Simulator(graphs, mapping=mapping, config=config).run()
+        second = Simulator(graphs, mapping=mapping, config=config).run()
+        assert first.trace == second.trace
+        assert first.events_processed == second.events_processed
+
+
+class TestArbitrationParams:
+    def test_weighted_round_robin_params_reach_the_arbiter(self, two_apps):
+        result = simulate(
+            list(two_apps),
+            config=SimulationConfig(
+                target_iterations=20,
+                arbitration="weighted_round_robin",
+                arbitration_params={"weights": {"A": 2}},
+            ),
+        )
+        assert result.metrics["A"].iterations >= 20
+
+    def test_unknown_param_key_rejected(self, two_apps):
+        with pytest.raises(Exception) as excinfo:
+            simulate(
+                list(two_apps),
+                config=SimulationConfig(
+                    target_iterations=20,
+                    arbitration="weighted_round_robin",
+                    arbitration_params={"wieghts": {"A": 2}},
+                ),
+            )
+        assert "arbitration_params" in str(excinfo.value)
+
+    def test_unknown_weight_application_rejected(self, two_apps):
+        with pytest.raises(Exception) as excinfo:
+            simulate(
+                list(two_apps),
+                config=SimulationConfig(
+                    target_iterations=20,
+                    arbitration="weighted_round_robin",
+                    arbitration_params={"weights": {"Z": 2}},
+                ),
+            )
+        assert "unknown applications" in str(excinfo.value)
+
+    def test_bad_weight_value_rejected(self, two_apps):
+        with pytest.raises(Exception) as excinfo:
+            simulate(
+                list(two_apps),
+                config=SimulationConfig(
+                    target_iterations=20,
+                    arbitration="weighted_round_robin",
+                    arbitration_params={"weights": {"A": 0}},
+                ),
+            )
+        assert "integer >= 1" in str(excinfo.value)
+
+
+class TestWeightBlindPolicies:
+    def test_weights_for_a_weight_blind_policy_are_rejected(
+        self, two_apps
+    ):
+        """Weights that the chosen arbiter would silently ignore must
+        fail loudly instead of producing unweighted results."""
+        for policy in ("fcfs", "round_robin", "priority_preemptive"):
+            with pytest.raises(Exception) as excinfo:
+                simulate(
+                    list(two_apps),
+                    config=SimulationConfig(
+                        target_iterations=20,
+                        arbitration=policy,
+                        arbitration_params={"weights": {"A": 3}},
+                    ),
+                )
+            assert "does not consume" in str(excinfo.value), policy
