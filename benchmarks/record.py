@@ -11,11 +11,23 @@ plotted and diffed across PRs:
   exhaustive use-case sweep (PR 1's claim);
 * ``vectorized_sweep`` — scalar incremental vs. NumPy-batched pipeline
   on the same sweep (PR 3's claim; ``null`` without numpy);
+* ``batched_fixed_point_sweep`` — scalar vs. mask-batched fixed-point
+  refinement (``iterations > 1``) on the same sweep (PR 6's claim);
 * ``runtime.decisions_per_second`` — resource-manager decision rate
   over a replayed scenario trace (PR 2's claim);
 * ``service`` — queries/sec and latency percentiles of the
   micro-batching estimation server under the seeded load generator
-  (PR 4's claim).
+  (PR 4's claim);
+* ``simulation.fastcore_speedup`` — the SoA fast stepping loop vs. the
+  reference event loop, blended across arbitration policies on
+  conformance-recipe scenarios (PR 6's claim).
+
+Every snapshot leads with a ``header`` block carrying the schema
+version, so downstream tooling can dispatch on ``header.schema``
+instead of sniffing keys.  Measurement sections are independent:
+a bench that cannot run (missing optional dependency, perturbed
+runner) records ``null`` and an entry in ``header.errors`` rather
+than losing the whole trajectory point.
 
 Usage::
 
@@ -34,26 +46,27 @@ import re
 import sys
 import time
 from pathlib import Path
-from typing import Dict, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence
+
+#: Bump when the JSON layout changes shape (not when a new optional
+#: section is added — absent/null sections are part of the contract).
+#: 1: flat ``schema`` field, all sections mandatory.
+#: 2: ``header`` block (schema/python/backend/fast/errors), sections
+#:    individually fault-tolerant, ``simulation`` section and
+#:    ``speedups.batched_fixed_point_sweep`` added.
+SCHEMA_VERSION = 2
 
 
-def _collect(fast: bool) -> Dict[str, object]:
-    from repro.backend import get_backend
+def _measure_sweeps(fast: bool) -> Dict[str, object]:
     from repro.core.estimator import ProbabilisticEstimator
-    from repro.experiments.runtime_throughput import (
-        run_runtime_throughput,
-    )
     from repro.experiments.scalability import run_sweep_speedup
-    from repro.experiments.service_load import LoadConfig, run_load
     from repro.experiments.setup import paper_benchmark_suite
-    from repro.runtime.manager import gallery_from_graphs
-    from repro.runtime.service import GallerySpec
 
     applications = 4 if fast else 8
-
     sweep = run_sweep_speedup(application_count=applications)
 
     vectorized: Optional[float] = None
+    batched_fixed_point: Optional[float] = None
     contention_models: Dict[str, Optional[float]] = {
         "priority_preemptive": None,
         "weighted_round_robin": None,
@@ -72,7 +85,10 @@ def _collect(fast: bool) -> Dict[str, object]:
         )
 
         def sweep_seconds(
-            backend: str, model: str = "second_order", mapping=None
+            backend: str,
+            model: str = "second_order",
+            mapping=None,
+            iterations: int = 1,
         ) -> float:
             estimator = ProbabilisticEstimator(
                 list(suite.graphs),
@@ -83,18 +99,124 @@ def _collect(fast: bool) -> Dict[str, object]:
                 backend=backend,
             )
             started = time.perf_counter()
-            estimator.sweep_all_sizes(samples_per_size=None)
+            estimator.sweep_all_sizes(
+                samples_per_size=None, iterations=iterations
+            )
             return time.perf_counter() - started
 
-        vectorized = sweep_seconds("python") / sweep_seconds("numpy")
+        vectorized = round(
+            sweep_seconds("python") / sweep_seconds("numpy"), 3
+        )
+        # PR 6: fixed-point refinement batched across the whole
+        # use-case batch with a per-row convergence mask.
+        refinements = 3 if fast else 4
+        batched_fixed_point = round(
+            sweep_seconds("python", iterations=refinements)
+            / sweep_seconds("numpy", iterations=refinements),
+            3,
+        )
         for model in contention_models:
             contention_models[model] = round(
-                sweep_seconds(
-                    "python", model, priority_mapping
-                )
+                sweep_seconds("python", model, priority_mapping)
                 / sweep_seconds("numpy", model, priority_mapping),
                 3,
             )
+
+    return {
+        "incremental_sweep": round(sweep.speedup, 3),
+        "vectorized_sweep": vectorized,
+        "batched_fixed_point_sweep": batched_fixed_point,
+        # PR 5: the registry-shipped contention models on the same
+        # exhaustive sweep (None without numpy).
+        "vectorized_sweep_contention_models": contention_models,
+    }
+
+
+def _measure_simulation(fast: bool) -> Optional[Dict[str, object]]:
+    """Blended SoA fast-core speedup on conformance-recipe scenarios.
+
+    ``None`` without numpy — the fast flavour needs the vectorized
+    backend, so there is nothing to compare against.
+    """
+    try:
+        import numpy  # noqa: F401  (probe only)
+    except ImportError:
+        return None
+
+    from repro.conformance import generate_scenarios
+    from repro.experiments.setup import paper_benchmark_suite
+    from repro.simulation.engine import SimulationConfig, Simulator
+
+    policies = (
+        "fcfs",
+        "round_robin",
+        "weighted_round_robin",
+        "priority",
+        "priority_preemptive",
+    )
+    scenarios = generate_scenarios(
+        application_count=4, count=2 if fast else 5
+    )
+    suites = {
+        seed: paper_benchmark_suite(seed=seed, application_count=4)
+        for seed in {s.gallery_seed for s in scenarios}
+    }
+    target = 150 if fast else 400
+
+    def batch_seconds(policy: str, backend: str) -> float:
+        simulators = []
+        for scenario in scenarios:
+            suite = suites[scenario.gallery_seed]
+            graphs = [suite.graph(name) for name in scenario.use_case]
+            mapping = suite.mapping.with_priorities(
+                dict(scenario.priorities)
+            )
+            params = (
+                {"weights": dict(scenario.weights)}
+                if policy == "weighted_round_robin"
+                else None
+            )
+            simulators.append(
+                Simulator(
+                    graphs,
+                    mapping=mapping,
+                    config=SimulationConfig(
+                        target_iterations=target,
+                        arbitration=policy,
+                        arbitration_params=params,
+                    ),
+                    backend=backend,
+                )
+            )
+        started = time.perf_counter()
+        for simulator in simulators:
+            simulator.run()
+        return time.perf_counter() - started
+
+    reference_total = 0.0
+    fast_total = 0.0
+    per_policy = {}
+    for policy in policies:
+        reference = batch_seconds(policy, "python")
+        quick = batch_seconds(policy, "numpy")
+        reference_total += reference
+        fast_total += quick
+        per_policy[policy] = round(reference / quick, 3)
+
+    return {
+        "fastcore_speedup": round(reference_total / fast_total, 3),
+        "fastcore_speedup_per_policy": per_policy,
+        "scenarios": len(scenarios),
+        "target_iterations": target,
+    }
+
+
+def _measure_runtime(fast: bool) -> Dict[str, object]:
+    from repro.experiments.runtime_throughput import (
+        run_runtime_throughput,
+    )
+    from repro.experiments.setup import paper_benchmark_suite
+    from repro.runtime.manager import gallery_from_graphs
 
     runtime_suite = paper_benchmark_suite(application_count=4)
     throughput = run_runtime_throughput(
@@ -104,6 +226,19 @@ def _collect(fast: bool) -> Dict[str, object]:
         events=120 if fast else 400,
         policy="downgrade-greedy",
     )
+    return {
+        "decisions_per_second": round(
+            throughput.decisions_per_second, 1
+        ),
+        "admission_ratio_at_max_load": round(
+            throughput.points[-1].admission_ratio, 4
+        ),
+    }
+
+
+def _measure_service(fast: bool) -> Dict[str, object]:
+    from repro.experiments.service_load import LoadConfig, run_load
+    from repro.runtime.service import GallerySpec
 
     load = run_load(
         LoadConfig(
@@ -113,38 +248,52 @@ def _collect(fast: bool) -> Dict[str, object]:
             cache_entries=0,
         )
     )
-
     return {
-        "schema": 1,
-        "fast": fast,
-        "python": platform.python_version(),
-        "backend": get_backend().name,
-        "speedups": {
-            "incremental_sweep": round(sweep.speedup, 3),
-            "vectorized_sweep": (
-                round(vectorized, 3) if vectorized is not None else None
-            ),
-            # PR 5: the registry-shipped contention models on the same
-            # exhaustive sweep (None without numpy).
-            "vectorized_sweep_contention_models": contention_models,
-        },
-        "runtime": {
-            "decisions_per_second": round(
-                throughput.decisions_per_second, 1
-            ),
-            "admission_ratio_at_max_load": round(
-                throughput.points[-1].admission_ratio, 4
-            ),
-        },
-        "service": {
-            "queries_per_second": round(load.queries_per_second, 1),
-            "latency_p50_ms": round(load.latency_p50_ms, 3),
-            "latency_p90_ms": round(load.latency_p90_ms, 3),
-            "latency_p99_ms": round(load.latency_p99_ms, 3),
-            "mean_batch": round(load.mean_batch, 2),
-            "errors": load.errors,
+        "queries_per_second": round(load.queries_per_second, 1),
+        "latency_p50_ms": round(load.latency_p50_ms, 3),
+        "latency_p90_ms": round(load.latency_p90_ms, 3),
+        "latency_p99_ms": round(load.latency_p99_ms, 3),
+        "mean_batch": round(load.mean_batch, 2),
+        "errors": load.errors,
+    }
+
+
+#: Section name -> measurement callable.  Sections run independently;
+#: one failing (or an optional dependency missing deeper than its own
+#: probe) must not cost the rest of the snapshot.
+SECTIONS: Dict[str, Callable[[bool], object]] = {
+    "speedups": _measure_sweeps,
+    "simulation": _measure_simulation,
+    "runtime": _measure_runtime,
+    "service": _measure_service,
+}
+
+
+def _collect(fast: bool) -> Dict[str, object]:
+    from repro.backend import get_backend
+
+    errors: Dict[str, str] = {}
+    record: Dict[str, object] = {
+        "header": {
+            "schema": SCHEMA_VERSION,
+            "tool": "benchmarks/record.py",
+            "fast": fast,
+            "python": platform.python_version(),
+            "backend": get_backend().name,
+            "errors": errors,
         },
     }
+    for name, measure in SECTIONS.items():
+        try:
+            record[name] = measure(fast)
+        except Exception as error:  # noqa: BLE001 — tolerance is the point
+            record[name] = None
+            errors[name] = f"{type(error).__name__}: {error}"
+            print(
+                f"warning: section {name!r} failed: {errors[name]}",
+                file=sys.stderr,
+            )
+    return record
 
 
 def _next_index(directory: Path) -> int:
@@ -188,7 +337,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     directory = arguments.output_dir
     directory.mkdir(parents=True, exist_ok=True)
     index = (arguments.index if arguments.index is not None else _next_index(directory))
-    record["index"] = index
+    record["header"]["index"] = index
     path = directory / f"BENCH_{index}.json"
     path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
     print(f"recorded {path}")

@@ -131,6 +131,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help="waiting model for --estimates-only (default second_order)",
     )
     sweep.add_argument(
+        "--iterations",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "fixed-point refinement passes per estimate for "
+            "--estimates-only (batched across the whole sweep with a "
+            "per-row convergence mask on the numpy backend)"
+        ),
+    )
+    sweep.add_argument(
         "--store",
         metavar="PATH",
         default=None,
@@ -293,6 +304,17 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="array backend for the pool's estimators",
     )
+    serve.add_argument(
+        "--fixed-point-iterations",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "fixed-point refinement passes per solve (server-wide; "
+            "vectorized backends refine whole micro-batches with a "
+            "per-row convergence mask)"
+        ),
+    )
     serve.set_defaults(handler=_cmd_serve)
 
     models = commands.add_parser(
@@ -340,6 +362,26 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     conformance.add_argument(
         "--sim-iterations", type=int, default=60, metavar="N"
+    )
+    conformance.add_argument(
+        "--engine-backend",
+        default=None,
+        metavar="NAME",
+        help=(
+            "simulation engine backend (e.g. 'python', 'numpy'; "
+            "default: the resolution order of REPRO_BACKEND/auto); "
+            "all flavours are byte-identical, the knob exists to "
+            "exercise and profile each stepping loop"
+        ),
+    )
+    conformance.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "print the accumulated engine profile (events, stale "
+            "events, preemptions, per-phase wall time by flavour) "
+            "after the conformance table"
+        ),
     )
     conformance.set_defaults(handler=_cmd_conformance)
 
@@ -626,7 +668,9 @@ def _cmd_sweep_estimates_only(arguments) -> None:
     # sweep_all_sizes and SweepConfig share DEFAULT_SWEEP_SEED, so this
     # covers the same use-cases as the simulating sweep and the two
     # commands' numbers are comparable.
-    results = estimator.sweep_all_sizes(samples_per_size=samples)
+    results = estimator.sweep_all_sizes(
+        samples_per_size=samples, iterations=arguments.iterations
+    )
     elapsed = _time.perf_counter() - started
 
     inflations_by_size: dict = {}
@@ -706,6 +750,7 @@ def _cmd_sweep_service(arguments, model: str, samples) -> None:
         _gallery_spec(arguments),
         model=model,
         samples_per_size=samples,
+        fixed_point_iterations=arguments.iterations,
     )
     inflations_by_size: dict = {}
     use_cases_by_size: dict = {}
@@ -748,6 +793,7 @@ def _cmd_serve(arguments) -> None:
             max_pending=arguments.max_pending,
             shed_policy=arguments.shed_policy,
             backend=arguments.backend,
+            fixed_point_iterations=arguments.fixed_point_iterations,
         )
         if arguments.stdio:
             reader, writer = await _stdio_streams()
@@ -914,8 +960,13 @@ def _cmd_conformance(arguments) -> None:
         models=models,
         target_iterations=arguments.sim_iterations,
         progress=lambda message: print(f"... {message}", flush=True),
+        engine_backend=arguments.engine_backend,
+        collect_stats=arguments.profile,
     )
     print(report.render())
+    if arguments.profile:
+        print()
+        print(report.render_profile())
     if not report.passed:
         failed = [
             r.model for r in report.reports if r.status == "failed"

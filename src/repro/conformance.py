@@ -61,6 +61,7 @@ from typing import (
 import random
 
 from repro.analysis_engine import build_engines
+from repro.backend import ArrayBackend, get_backend
 from repro.core.blocking import build_profiles
 from repro.core.estimator import ProbabilisticEstimator
 from repro.core.registry import (
@@ -77,7 +78,12 @@ from repro.experiments.setup import (
 from repro.generation.workload import WorkloadConfig, WorkloadGenerator
 from repro.platform.usecase import UseCase
 from repro.runtime.events import EventKind
-from repro.simulation.engine import SimulationConfig, Simulator
+from repro.simulation.engine import (
+    SimulationConfig,
+    Simulator,
+    _jit_requested,
+)
+from repro.simulation.metrics import EngineStats
 
 #: Master seed of the default conformance batch.
 DEFAULT_CONFORMANCE_SEED = 20_077
@@ -179,6 +185,11 @@ class ConformanceReport:
     reports: List[ModelReport]
     elapsed_seconds: float
     simulations_run: int
+    #: Per-flavour accumulated engine profiles (``--profile``): every
+    #: simulation's :class:`~repro.simulation.metrics.EngineStats`
+    #: merged by the flavour that actually ran (a JIT request can fall
+    #: back per scenario, so one run may populate several rows).
+    engine_profile: Dict[str, EngineStats] = field(default_factory=dict)
 
     @property
     def passed(self) -> bool:
@@ -233,6 +244,38 @@ class ConformanceReport:
              "status"],
             rows,
             title=title,
+        )
+
+    def render_profile(self) -> str:
+        """Engine-profile table of the batch (``repro conformance
+        --profile``): one row per flavour that ran, with dispatched /
+        stale / preemption counts and per-phase wall time."""
+        from repro.experiments.reporting import render_table
+
+        if not self.engine_profile:
+            return "no engine profile collected"
+        rows = []
+        for flavour in sorted(self.engine_profile):
+            stats = self.engine_profile[flavour]
+            phases = " ".join(
+                f"{phase}={stats.phase_seconds[phase] * 1e3:.1f}ms"
+                for phase in sorted(stats.phase_seconds)
+            )
+            rows.append(
+                [
+                    flavour,
+                    str(stats.events_dispatched),
+                    str(stats.stale_events),
+                    str(stats.preemptions),
+                    phases,
+                ]
+            )
+        return render_table(
+            ["flavour", "events", "stale", "preemptions", "phases"],
+            rows,
+            title=(
+                f"Engine profile: {self.simulations_run} simulations"
+            ),
         )
 
 
@@ -419,12 +462,25 @@ def run_conformance(
     target_iterations: int = 60,
     utilization_cap: float = DEFAULT_UTILIZATION_CAP,
     progress: Optional[Callable[[str], None]] = None,
+    engine_backend: "ArrayBackend | str | None" = None,
+    simulations: Optional[Dict[object, Dict[str, float]]] = None,
+    collect_stats: bool = False,
 ) -> ConformanceReport:
     """Check every registered model's declared semantics against DES.
 
     One scenario batch is shared by all models; simulations are cached
-    per ``(scenario, arbiter, parameters)``, so the FCFS reference runs
-    once per scenario no matter how many mean models consume it.
+    per ``(engine flavour, scenario, arbiter, parameters)``, so the
+    FCFS reference runs once per scenario no matter how many mean
+    models consume it.  ``engine_backend`` picks the simulator's
+    stepping loop (an :class:`~repro.backend.ArrayBackend`, a backend
+    name, or None for the resolution default); all flavours are
+    byte-identical, so the verdicts cannot depend on it — the knob
+    exists to exercise and profile each loop.  ``simulations`` is an
+    optional shared cross-call cache (like ``generate_scenarios``'s
+    ``suites``); the key carries the backend/JIT flavour so runs from
+    different engine configurations are never conflated.  With
+    ``collect_stats`` every run's :class:`EngineStats` is merged into
+    ``report.engine_profile`` by actual flavour.
     """
     started = _time.perf_counter()
     selected = (
@@ -434,6 +490,14 @@ def run_conformance(
     for info in infos:
         if info.arbiter is not None:
             ARBITERS.get(info.arbiter)  # fail fast on bad metadata
+    backend = get_backend(engine_backend)
+    # Cache-key component for the engine configuration.  The exact
+    # flavour is resolved per Simulator (a JIT request falls back on
+    # unsupported scenarios), but it is a pure function of (backend,
+    # JIT request, arbiter) — and the arbiter is already in the key —
+    # so this component distinguishes every flavour a shared cache
+    # could see without having to construct a Simulator on cache hits.
+    flavour_key = (backend.name, _jit_requested())
     suites: Dict[int, BenchmarkSuite] = {}
     scenarios = generate_scenarios(
         application_count=application_count,
@@ -442,7 +506,10 @@ def run_conformance(
         utilization_cap=utilization_cap,
         suites=suites,
     )
-    simulations: Dict[object, Dict[str, float]] = {}
+    if simulations is None:
+        simulations = {}
+    engine_profile: Dict[str, EngineStats] = {}
+    simulations_run = 0
     estimators: Dict[object, ProbabilisticEstimator] = {}
     # Structural analysis (HSDF expansion, Howard warm starts, period
     # memo) is shared across every estimator of one gallery.
@@ -479,6 +546,7 @@ def run_conformance(
             # produce byte-identical runs for every draw, so all mean
             # models of one (gallery, use-case) share one reference.
             sim_key = (
+                flavour_key,
                 scenario.gallery_seed,
                 scenario.use_case,
                 info.arbiter,
@@ -496,7 +564,7 @@ def run_conformance(
             )
             simulated = simulations.get(sim_key)
             if simulated is None:
-                result = Simulator(
+                simulator = Simulator(
                     graphs,
                     mapping=mapping,
                     config=SimulationConfig(
@@ -506,7 +574,23 @@ def run_conformance(
                             arbitration_params or None
                         ),
                     ),
-                ).run()
+                    backend=backend,
+                )
+                result = simulator.run()
+                simulations_run += 1
+                if collect_stats:
+                    stats = simulator.stats()
+                    pooled = engine_profile.get(stats.flavour)
+                    if pooled is None:
+                        engine_profile[stats.flavour] = EngineStats(
+                            flavour=stats.flavour,
+                            events_dispatched=stats.events_dispatched,
+                            stale_events=stats.stale_events,
+                            preemptions=stats.preemptions,
+                            phase_seconds=dict(stats.phase_seconds),
+                        )
+                    else:
+                        pooled.merge(stats)
                 simulated = {
                     name: result.period_of(name)
                     for name in scenario.use_case
@@ -575,5 +659,6 @@ def run_conformance(
         target_iterations=target_iterations,
         reports=reports,
         elapsed_seconds=_time.perf_counter() - started,
-        simulations_run=len(simulations),
+        simulations_run=simulations_run,
+        engine_profile=engine_profile,
     )

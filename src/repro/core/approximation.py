@@ -67,7 +67,10 @@ def batched_waiting_series(
     Parameters
     ----------
     vectors:
-        The processor's residents as parallel arrays.
+        The processor's residents as parallel arrays.  ``probability``
+        and ``waiting_product`` are ``(n,)`` — shared by all batch rows
+        — or ``(U, n)`` with one row per batch entry (the fixed-point
+        pipeline, where each use-case row carries its own periods).
     inc:
         0/1 array of shape ``(U, n, n)``; ``inc[u, o, i] = 1`` iff
         resident ``i`` is an active contender of resident ``o`` in batch
@@ -97,11 +100,13 @@ def batched_waiting_series(
     if n == 0 or U == 0:
         return xp.zeros((U, n))
     highest = n - 1 if order is None else min(order - 1, n - 1)
+    probability = vectors.probability
+    rowwise = getattr(probability, "ndim", 1) > 1
     # e_0..e_highest of each (u, own) pair's active-contender multiset.
-    full = elementary_symmetric_batch(
-        vectors.probability, inc, highest, xp
+    full = elementary_symmetric_batch(probability, inc, highest, xp)
+    probability_i = (
+        probability[:, None, :] if rowwise else probability[None, None, :]
     )
-    probability_i = vectors.probability[None, None, :]
     series = xp.ones((U, n, n))
     loo = xp.ones((U, n, n))
     sign = 1.0
@@ -109,11 +114,18 @@ def batched_waiting_series(
         loo = full[..., j][:, :, None] - probability_i * loo
         series = series + sign * loo / (j + 1)
         sign = -sign
+    if rowwise:
+        return xp.einsum(
+            "uoi,ui->uo", inc * series, vectors.waiting_product
+        )
     return xp.einsum("uoi,i->uo", inc * series, vectors.waiting_product)
 
 
 class OrderMWaitingModel:
     """Eq. 5 (generalized to any order) as a waiting model."""
+
+    #: The batch kernel accepts per-row (U, n) blocking probabilities.
+    batch_rowwise = True
 
     def __init__(self, order: int) -> None:
         if order < 1:

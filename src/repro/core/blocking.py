@@ -280,12 +280,30 @@ class ResidentVectors:
     fold order of the scalar composability model).
     """
 
-    probability: object  # (n,) array
+    probability: object  # (n,) array — or (U, n) per-row (fixed point)
     mu: object  # (n,) array
     tau: object  # (n,) array
-    waiting_product: object  # (n,) array: mu * probability
+    waiting_product: object  # mu * probability, same shape as probability
     priority: object = None  # (n,) array (0.0 where unset)
     applications: Tuple[str, ...] = ()  # owning application per resident
+
+    def with_probability(self, probability) -> "ResidentVectors":
+        """Same residents with replaced blocking probabilities.
+
+        ``probability`` may be ``(n,)`` or per-batch-row ``(U, n)``;
+        ``waiting_product`` is re-derived (``mu`` is period-independent,
+        so it carries over).  This is how the fixed-point estimator
+        re-derives the period-dependent fields each refinement pass
+        without rebuilding the whole structure.
+        """
+        return ResidentVectors(
+            probability=probability,
+            mu=self.mu,
+            tau=self.tau,
+            waiting_product=self.mu * probability,
+            priority=self.priority,
+            applications=self.applications,
+        )
 
 
 def resident_vectors(

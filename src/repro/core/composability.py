@@ -137,12 +137,19 @@ def batched_waiting_composition(
     Returns an array of shape ``(U, n)`` of ``mu.P`` waiting products.
     """
     U, n, _ = inc.shape
+    rowwise = getattr(vectors.probability, "ndim", 1) > 1
     waiting = xp.zeros((U, n))
     probability = xp.zeros((U, n))
     for k in range(n):
         included = inc[:, :, k] > 0
-        p_k = float(vectors.probability[k])
-        wp_k = float(vectors.waiting_product[k])
+        if rowwise:
+            # Per-row probabilities: (U, 1) columns broadcast over the
+            # owner axis, same fold arithmetic per row.
+            p_k = vectors.probability[:, k][:, None]
+            wp_k = vectors.waiting_product[:, k][:, None]
+        else:
+            p_k = float(vectors.probability[k])
+            wp_k = float(vectors.waiting_product[k])
         waiting = xp.where(
             included,
             waiting * (1.0 + p_k / 2.0)
@@ -169,6 +176,8 @@ class CompositionWaitingModel:
     """
 
     complexity = "O(n)"
+    #: The batch kernel accepts per-row (U, n) blocking probabilities.
+    batch_rowwise = True
 
     def __init__(self, incremental: bool = False) -> None:
         self.incremental = incremental
@@ -203,9 +212,9 @@ class CompositionWaitingModel:
         if self.incremental and bool(
             xp.any(vectors.probability >= _PROBABILITY_CEILING)
         ):
-            at_ceiling = (
-                vectors.probability >= _PROBABILITY_CEILING
-            )[None, :]
+            at_ceiling = vectors.probability >= _PROBABILITY_CEILING
+            if getattr(at_ceiling, "ndim", 1) == 1:
+                at_ceiling = at_ceiling[None, :]
             affected = (
                 (own_active > 0) & at_ceiling & (inc.sum(axis=2) > 0)
             )

@@ -48,6 +48,7 @@ from repro.core.waiting import (
     WaitingModel,
     make_waiting_model,
     supports_batch,
+    supports_rowwise_batch,
 )
 from repro.exceptions import AnalysisError
 from repro.platform.mapping import Mapping, index_mapping
@@ -160,13 +161,16 @@ class ProbabilisticEstimator:
         :class:`~repro.backend.ArrayBackend`, one of the names
         ``"auto"``/``"numpy"``/``"python"``, or ``None`` to honor the
         ``REPRO_BACKEND`` environment variable.  With a vectorized
-        backend, single-pass estimates run the batched pipeline: one
-        waiting-kernel evaluation per processor covering every use-case
-        at once, and one :meth:`AnalysisEngine.period_for` call per
-        application.  The Python backend (and any configuration the
-        batched pipeline does not cover — fixed-point iterations, the
-        cold path, scalar-only waiting models) runs today's scalar
-        loops; the two flavours agree to <= 1e-9 relative.
+        backend, estimates run the batched pipeline: one waiting-kernel
+        evaluation per processor covering every use-case at once, and
+        one :meth:`AnalysisEngine.period_for` call per application —
+        per fixed-point pass, with converged rows frozen and only the
+        still-active rows refined when ``iterations > 1``.  The Python
+        backend (and any configuration the batched pipeline does not
+        cover — the cold path, scalar-only waiting models, fixed-point
+        refinement of models without a row-wise batch kernel) runs
+        today's scalar loops; the two flavours agree to <= 1e-9
+        relative.
     """
 
     def __init__(
@@ -280,15 +284,23 @@ class ProbabilisticEstimator:
         """Whether the vectorized pipeline covers this configuration.
 
         The batched path implements the paper's single-pass algorithm
-        (``iterations == 1``) on the incremental engines; fixed-point
-        refinement, the stateless cold path, and waiting models without
-        a batch kernel stay on the scalar loops.
+        (``iterations == 1``) on the incremental engines, and — for
+        waiting models whose batch kernels accept per-row probabilities
+        (:func:`~repro.core.waiting.supports_rowwise_batch`; all
+        builtins) — the fixed-point refinement as well, with a per-row
+        convergence mask.  The stateless cold path, waiting models
+        without a batch kernel, and fixed-point refinement of
+        third-party models with 1-D-only kernels stay on the scalar
+        loops.
         """
-        return (
-            iterations == 1
-            and self.incremental
+        if not (
+            self.incremental
             and self.backend.vectorized
             and supports_batch(self.waiting_model)
+        ):
+            return False
+        return iterations == 1 or supports_rowwise_batch(
+            self.waiting_model
         )
 
     def estimate(
@@ -308,7 +320,9 @@ class ProbabilisticEstimator:
         if iterations < 1:
             raise AnalysisError("iterations must be >= 1")
         if self._can_batch(iterations):
-            return self._estimate_many_batched([use_case])[0]
+            return self._estimate_many_batched(
+                [use_case], iterations=iterations, tolerance=tolerance
+            )[0]
         active = use_case.select(list(self.graphs.values()))
         started = _time.perf_counter()
 
@@ -385,15 +399,22 @@ class ProbabilisticEstimator:
         solving.  This is the API behind the experiment runner's sweep
         and the ``repro sweep`` CLI.
 
-        With a vectorized backend (and single-pass estimation) the whole
-        batch runs through the array pipeline: one waiting-kernel
-        evaluation per processor covering every use-case, one
-        :meth:`AnalysisEngine.period_for` call per application.
+        With a vectorized backend the whole batch runs through the
+        array pipeline: one waiting-kernel evaluation per processor
+        covering every use-case and one
+        :meth:`AnalysisEngine.period_for` call per application — per
+        fixed-point pass, when ``iterations > 1``, with converged rows
+        frozen under a per-row mask so only still-moving rows pay for
+        further refinement.
         """
         if iterations < 1:
             raise AnalysisError("iterations must be >= 1")
         if self._can_batch(iterations):
-            return self._estimate_many_batched(list(use_cases))
+            return self._estimate_many_batched(
+                list(use_cases),
+                iterations=iterations,
+                tolerance=tolerance,
+            )
         return [
             self.estimate(
                 use_case, iterations=iterations, tolerance=tolerance
@@ -549,6 +570,13 @@ class ProbabilisticEstimator:
                         [app_columns[app] for app in apps], dtype=int
                     ),
                     other_ok=other_ok,
+                    # tau*q per resident (the numerator of Definition
+                    # 4) — the only period-independent ingredient the
+                    # fixed-point passes need to re-derive P.
+                    tauq=xp.asarray(
+                        [p.tau * p.repetitions for p in profiles],
+                        dtype=float,
+                    ),
                 )
             )
         self._batch_structure = _BatchStructure(
@@ -558,17 +586,61 @@ class ProbabilisticEstimator:
         )
         return self._batch_structure
 
+    def _row_probabilities(
+        self, processor: "_ProcessorBatch", row_periods, xp
+    ):
+        """Definition 4 per batch row: ``tau*q`` over the row's period.
+
+        ``row_periods`` is the ``(u, A)`` slice of the current period
+        matrix for the rows being refined; the result is the ``(u, n)``
+        blocking-probability matrix of the processor's residents, with
+        the same over-1 rejection (and clamp) as the scalar
+        :func:`~repro.core.blocking.blocking_probability`.
+        """
+        period = row_periods[:, processor.app_columns]
+        probability = processor.tauq[None, :] / period
+        over = probability > 1.0 + 1e-9
+        if bool(xp.any(over)):
+            row, resident = (int(axis[0]) for axis in xp.nonzero(over))
+            raise AnalysisError(
+                f"blocking probability "
+                f"{float(probability[row, resident]):.4f} exceeds 1: "
+                f"actor busy time "
+                f"tau*q={float(processor.tauq[resident]):g} exceeds "
+                f"period {float(period[row, resident]):g}"
+            )
+        return xp.minimum(probability, 1.0)
+
     def _estimate_many_batched(
-        self, use_cases: Sequence[UseCase]
+        self,
+        use_cases: Sequence[UseCase],
+        iterations: int = 1,
+        tolerance: float = 1e-6,
     ) -> List[EstimationResult]:
-        """The array flavour of single-pass :meth:`estimate_many`.
+        """The array flavour of :meth:`estimate_many`.
 
         Produces the same :class:`EstimationResult` values as the scalar
         loop (parity <= 1e-9 relative, asserted by the test suite), with
         ``analysis_seconds`` carrying the *amortized* per-use-case cost
         of the batch.
+
+        ``iterations > 1`` runs the fixed-point refinement on the whole
+        batch at once with a per-row convergence mask: each pass
+        re-derives every still-active row's blocking probabilities from
+        that row's current periods (``tau*q / period`` per resident),
+        re-evaluates the waiting kernels for the active rows only, and
+        pushes all their response vectors through one
+        :meth:`AnalysisEngine.period_for` call per application (batch
+        candidate certification via ``solve_many`` under the hood).
+        Rows whose periods move less than ``tolerance`` relative freeze
+        — keeping the waiting/response values of their final pass, like
+        the scalar loop's early break — while the remaining rows keep
+        refining, so the wall-clock cost tracks the *slowest* row, not
+        the batch size.
         """
         started = _time.perf_counter()
+        if not use_cases:
+            return []
         xp = self.backend.xp  # type: ignore[union-attr]
         structure = self._batch_structure_for()
         batch = len(use_cases)
@@ -580,56 +652,101 @@ class ProbabilisticEstimator:
             for app in use_case:
                 mask[row, structure.app_columns[app]] = 1.0
 
-        waits: List[object] = []
-        for processor in structure.processors:
-            active = mask[:, processor.app_columns]
-            inc = active[:, None, :] * processor.other_ok[None, :, :]
-            waiting = self.waiting_model.waiting_times_batch(
-                processor.vectors, inc, active, xp
-            )
-            negative = xp.logical_and(waiting < 0, active > 0)
-            if bool(xp.any(negative)):
-                row, resident = (
-                    int(axis[0]) for axis in xp.nonzero(negative)
-                )
-                app, actor = processor.residents[resident]
-                raise AnalysisError(
-                    f"waiting model {self.waiting_model.name!r} "
-                    f"returned negative waiting "
-                    f"{float(waiting[row, resident])} for {app}.{actor}"
-                )
-            waits.append(waiting)
+        # Row-wise current periods, seeded with isolation (Definition
+        # 3); entries of inactive applications are never refined (and
+        # never read by the assembly below).
+        periods = xp.ones((batch, 1)) * xp.asarray(
+            [self.isolation_periods[app] for app in self.graphs],
+            dtype=float,
+        )[None, :]
+        waits: List[object] = [None] * len(structure.processors)
+        iterations_used = [1] * batch
+        active_rows = xp.ones(batch, dtype=bool)
 
-        periods_by_app: Dict[str, Dict[int, float]] = {}
-        for app, graph in self.graphs.items():
-            rows = [
-                int(row)
-                for row in xp.nonzero(
-                    mask[:, structure.app_columns[app]]
-                )[0]
-            ]
-            if not rows:
-                continue
-            names = graph.actor_names
-            row_index = xp.asarray(rows, dtype=int)
-            responses = xp.empty((len(rows), len(names)))
-            for column, actor in enumerate(names):
-                tau = self._base_profiles[(app, actor)].tau
-                where = structure.location.get((app, actor))
-                if where is None:
-                    responses[:, column] = tau
-                else:
-                    responses[:, column] = (
-                        tau + waits[where[0]][row_index, where[1]]
+        for pass_index in range(1, iterations + 1):
+            rows = xp.nonzero(active_rows)[0]
+            if int(rows.size) == 0:
+                break
+            sub_mask = mask[rows]
+            for index, processor in enumerate(structure.processors):
+                active = sub_mask[:, processor.app_columns]
+                inc = active[:, None, :] * processor.other_ok[None, :, :]
+                vectors = processor.vectors
+                if pass_index > 1:
+                    # Later passes re-derive P from the refined periods
+                    # (steps 2-4 of Fig. 4 on the contended periods).
+                    vectors = vectors.with_probability(
+                        self._row_probabilities(
+                            processor, periods[rows], xp
+                        )
                     )
-            values = self.engines[app].period_for(
-                responses, self.backend
-            )
-            periods_by_app[app] = dict(zip(rows, values))
+                waiting = self.waiting_model.waiting_times_batch(
+                    vectors, inc, active, xp
+                )
+                negative = xp.logical_and(waiting < 0, active > 0)
+                if bool(xp.any(negative)):
+                    row, resident = (
+                        int(axis[0]) for axis in xp.nonzero(negative)
+                    )
+                    app, actor = processor.residents[resident]
+                    raise AnalysisError(
+                        f"waiting model {self.waiting_model.name!r} "
+                        f"returned negative waiting "
+                        f"{float(waiting[row, resident])} for "
+                        f"{app}.{actor}"
+                    )
+                if waits[index] is None:
+                    waits[index] = waiting
+                else:
+                    # Frozen rows keep the waiting of their final pass.
+                    waits[index][rows] = waiting
+
+            row_converged = xp.ones(batch, dtype=bool)
+            for app, graph in self.graphs.items():
+                column = structure.app_columns[app]
+                rows_of_app = xp.nonzero(
+                    active_rows & (mask[:, column] > 0)
+                )[0]
+                if int(rows_of_app.size) == 0:
+                    continue
+                names = graph.actor_names
+                responses = xp.empty(
+                    (int(rows_of_app.size), len(names))
+                )
+                for slot, actor in enumerate(names):
+                    tau = self._base_profiles[(app, actor)].tau
+                    where = structure.location.get((app, actor))
+                    if where is None:
+                        responses[:, slot] = tau
+                    else:
+                        responses[:, slot] = (
+                            tau + waits[where[0]][rows_of_app, where[1]]
+                        )
+                values = xp.asarray(
+                    self.engines[app].period_for(
+                        responses, self.backend
+                    ),
+                    dtype=float,
+                )
+                current = periods[rows_of_app, column]
+                settled = xp.abs(values - current) <= (
+                    tolerance * xp.maximum(1.0, xp.abs(values))
+                )
+                row_converged[rows_of_app] &= settled
+                periods[rows_of_app, column] = values
+            for row in rows.tolist():
+                iterations_used[row] = pass_index
+            if pass_index > 1:
+                # Mirror the scalar loop: the paper's first pass always
+                # completes; convergence can stop refinement only from
+                # the second pass on.
+                active_rows = active_rows & ~row_converged
 
         # Python-land assembly works on nested lists (one C-level
         # conversion per processor) instead of per-element numpy reads.
         wait_lists = [w.tolist() for w in waits]
+        period_lists = periods.tolist()
+        app_columns = structure.app_columns
         locations = structure.location
         taus = {
             key: profile.tau
@@ -660,7 +777,7 @@ class ProbabilisticEstimator:
                     use_case=use_case,
                     model_name=self.waiting_model.name,
                     periods={
-                        app: periods_by_app[app][row]
+                        app: period_lists[row][app_columns[app]]
                         for app in use_case
                     },
                     isolation_periods={
@@ -669,7 +786,7 @@ class ProbabilisticEstimator:
                     },
                     waiting_times=waiting_times,
                     response_times=response_times,
-                    iterations_used=1,
+                    iterations_used=iterations_used[row],
                     analysis_seconds=per_use_case,
                 )
             )
@@ -684,6 +801,7 @@ class _ProcessorBatch:
     vectors: ResidentVectors
     app_columns: object  # (n,) int array: resident -> mask column
     other_ok: object  # (n, n) 0/1: who may delay whom
+    tauq: object = None  # (n,) array: tau * q per resident (Def. 4)
 
 
 @dataclass

@@ -98,6 +98,9 @@ class ExactWaitingModel:
 
     name = "exact"
     complexity = "O(n^2) per actor"
+    #: The batch kernel accepts per-row (U, n) blocking probabilities
+    #: (fixed-point refinement); see supports_rowwise_batch.
+    batch_rowwise = True
 
     def waiting_time(
         self, own: ActorProfile, others: Sequence[ActorProfile]

@@ -102,6 +102,8 @@ class PriorityWaitingModel:
 
     name = "priority-preemptive"
     complexity = "O(n^2) per actor"
+    #: The batch kernel accepts per-row (U, n) blocking probabilities.
+    batch_rowwise = True
 
     def waiting_time(
         self, own: ActorProfile, others: Sequence[ActorProfile]
@@ -123,6 +125,8 @@ class PriorityWaitingModel:
         if n == 0 or U == 0:
             return xp.zeros((U, n))
         priority = vectors.priority
+        probability = vectors.probability
+        rowwise = getattr(probability, "ndim", 1) > 1
         # ahead[o, i]: may contender i delay owner o at the queue?
         ahead = (priority[None, :] >= priority[:, None]).astype(float)
         strictly = (priority[None, :] > priority[:, None]).astype(float)
@@ -130,9 +134,13 @@ class PriorityWaitingModel:
         counts = inc_ahead.sum(axis=2)  # (U, o): |D| per pair
         highest = n - 1
         full = elementary_symmetric_batch(
-            vectors.probability, inc_ahead, highest, xp
+            probability, inc_ahead, highest, xp
         )
-        probability_i = vectors.probability[None, None, :]
+        probability_i = (
+            probability[:, None, :]
+            if rowwise
+            else probability[None, None, :]
+        )
         head_share = xp.ones((U, n, n))
         loo = xp.ones((U, n, n))
         sign = -1.0
@@ -148,7 +156,12 @@ class PriorityWaitingModel:
             sign = -sign
         waiting = xp.zeros((U, n))
         for i in range(n):
-            contribution = float(vectors.probability[i]) * (
+            p_i = (
+                probability[:, i][:, None]
+                if rowwise
+                else float(probability[i])
+            )
+            contribution = p_i * (
                 float(vectors.mu[i]) * head_share[:, :, i]
                 + float(vectors.tau[i]) * (1.0 - head_share[:, :, i])
             )
@@ -156,7 +169,10 @@ class PriorityWaitingModel:
         interference = xp.zeros((U, n))
         inc_strict = inc * strictly[None, :, :]
         for i in range(n):
-            interference = interference + inc_strict[:, :, i] * float(
-                vectors.probability[i]
+            p_i = (
+                probability[:, i][:, None]
+                if rowwise
+                else float(probability[i])
             )
+            interference = interference + inc_strict[:, :, i] * p_i
         return waiting + vectors.tau[None, :] * interference

@@ -108,7 +108,10 @@ def elementary_symmetric_batch(values, include, max_order: int, xp):
     ----------
     values:
         Array of shape ``(n,)`` — the candidate elements (blocking
-        probabilities of the residents of one processor).
+        probabilities of the residents of one processor) — or
+        ``(U, n)`` with one value row per leading batch entry (the
+        fixed-point pipeline, where every use-case row carries its own
+        periods and therefore its own probabilities).
     include:
         0/1 array of shape ``(..., n)``: which elements belong to each
         batch entry's multiset.
@@ -128,10 +131,16 @@ def elementary_symmetric_batch(values, include, max_order: int, xp):
     m = min(max_order, n)
     if m < 0:
         raise AnalysisError(f"max_order must be >= 0, got {max_order}")
+    rowwise = getattr(values, "ndim", 1) > 1
     coefficients = xp.zeros(include.shape[:-1] + (m + 1,))
     coefficients[..., 0] = 1.0
     for k in range(n):
-        x = values[k] * include[..., k]
+        if rowwise:
+            # (U,) value column broadcast over the owner axis of
+            # ``include[..., k]`` (shape (U, n)).
+            x = values[..., k][..., None] * include[..., k]
+        else:
+            x = values[k] * include[..., k]
         for j in range(min(k + 1, m), 0, -1):
             coefficients[..., j] += x * coefficients[..., j - 1]
     return coefficients

@@ -67,6 +67,23 @@ def supports_batch(model: WaitingModel) -> bool:
     return callable(getattr(model, "waiting_times_batch", None))
 
 
+def supports_rowwise_batch(model: WaitingModel) -> bool:
+    """Whether ``model``'s batch kernel accepts per-row probabilities.
+
+    The fixed-point estimator re-derives every use-case row's blocking
+    probabilities from that row's refined periods, so its kernels see a
+    ``(U, n)`` ``vectors.probability`` instead of the shared ``(n,)``
+    vector.  Models opt in with a truthy ``batch_rowwise`` class
+    attribute (all builtins do; the WCRT bounds never read probabilities
+    and are trivially safe).  Third-party models that only handle the
+    1-D layout keep the flag unset and the estimator falls back to the
+    scalar fixed-point loop for them.
+    """
+    return supports_batch(model) and bool(
+        getattr(model, "batch_rowwise", False)
+    )
+
+
 def make_waiting_model(specification: str) -> WaitingModel:
     """Build a registered waiting model from a specification string.
 

@@ -190,7 +190,13 @@ class ResultStore:
         use_case: UseCase,
         model: str,
         method: AnalysisMethod,
+        fixed_point_iterations: int = 1,
     ) -> Tuple[str, str, str, str]:
+        # Refinement depth changes the numbers, so it must change the
+        # key; single-pass estimates keep the historical plain-model
+        # spelling so existing store files stay valid.
+        if fixed_point_iterations != 1:
+            model = f"{model}#iterations={fixed_point_iterations}"
         return (
             gallery.label(),
             use_case.label(),
@@ -348,7 +354,9 @@ class SweepService:
             seed=sweep_seed,
         )
         keys = [
-            ResultStore.key(gallery, use_case, model, method)
+            ResultStore.key(
+                gallery, use_case, model, method, fixed_point_iterations
+            )
             for use_case in selected
         ]
         by_key: Dict[Tuple[str, str, str, str], SweepRecord] = {}

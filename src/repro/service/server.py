@@ -130,6 +130,14 @@ class EstimationServer:
         Waiting model served under ``downgrade`` shedding.
     backend:
         Array-backend selection for the pool's estimators.
+    fixed_point_iterations:
+        Fixed-point refinement passes every solve runs (the
+        ``estimate_many`` knob).  A server-wide setting — it shapes
+        every answer the server may cache, so it is configuration like
+        the backend, not a per-query field.  On vectorized backends
+        refinement iterates the whole micro-batch with a per-row
+        convergence mask, so the batching payoff survives
+        ``iterations > 1``.
     """
 
     def __init__(
@@ -142,6 +150,7 @@ class EstimationServer:
         shed_policy: "QoSPolicy | str" = "reject",
         degraded_model: str = DEFAULT_DEGRADED_MODEL,
         backend: Optional[object] = None,
+        fixed_point_iterations: int = 1,
     ) -> None:
         if batch_window < 0:
             raise ServiceError(f"batch_window must be >= 0, got {batch_window}")
@@ -149,6 +158,11 @@ class EstimationServer:
             raise ServiceError(f"max_batch must be >= 1, got {max_batch}")
         if max_pending < 1:
             raise ServiceError(f"max_pending must be >= 1, got {max_pending}")
+        if fixed_point_iterations < 1:
+            raise ServiceError(
+                "fixed_point_iterations must be >= 1, got "
+                f"{fixed_point_iterations}"
+            )
         self.pool = pool if pool is not None else EnginePool(backend=backend)
         self.cache = cache if cache is not None else ResultCache()
         self.batch_window = batch_window
@@ -156,6 +170,7 @@ class EstimationServer:
         self.max_pending = max_pending
         self.shed_policy = make_qos_policy(shed_policy)
         self.degraded_model = degraded_model
+        self.fixed_point_iterations = fixed_point_iterations
         self.stats = ServerStats()
         self._pending: Deque[_PendingQuery] = deque()
         self._arrival: Optional[asyncio.Event] = None
@@ -562,7 +577,10 @@ class EstimationServer:
         self.stats.solved_queries += len(queries)
         first = queries[0]
         estimator = self.pool.estimator(first.gallery, first.model, first.method)
-        results = estimator.estimate_many([query.use_case for query in queries])
+        results = estimator.estimate_many(
+            [query.use_case for query in queries],
+            iterations=self.fixed_point_iterations,
+        )
         payloads: List[Dict[str, object]] = []
         for query, result in zip(queries, results):
             payloads.append(

@@ -19,12 +19,23 @@ from repro.simulation.arbiter import (
     WeightedRoundRobinArbiter,
     make_arbiter,
 )
-from repro.simulation.engine import SimulationConfig, Simulator, simulate
-from repro.simulation.metrics import ApplicationMetrics, SimulationResult
+from repro.simulation.engine import (
+    JIT_ENV_VAR,
+    SimulationConfig,
+    Simulator,
+    simulate,
+)
+from repro.simulation.metrics import (
+    ApplicationMetrics,
+    EngineStats,
+    SimulationResult,
+)
 from repro.simulation.trace import TraceEntry, format_gantt
 
 __all__ = [
     "ApplicationMetrics",
+    "EngineStats",
+    "JIT_ENV_VAR",
     "Arbiter",
     "ArbiterContext",
     "FCFSArbiter",

@@ -22,15 +22,44 @@ The engine is deterministic: equal-time events are processed in insertion
 order and queue ties break on actor id, so repeated runs give identical
 traces.  Execution times may be randomized through a
 :class:`TimeModel` (the paper's stochastic extension); the RNG is seeded.
+
+Engine flavours
+---------------
+The stepping loop is selected through the same :class:`~repro.backend.
+ArrayBackend` dispatch the estimator uses (explicit ``backend=``
+argument, then ``REPRO_BACKEND``, then auto-detection):
+
+* ``python`` — the reference loop below (:meth:`Simulator.
+  _run_reference`): pluggable arbiter objects, heap of event tuples.
+  Always used when the resolved backend is not vectorized, or when a
+  third-party arbitration policy is registered.
+* ``numpy`` — the flat structure-of-arrays core
+  (:mod:`repro.simulation.fastcore`): a ``(time, seq)`` event calendar
+  with per-field payload lists, precomputed per-arbiter dispatch
+  tables, and batched same-timestamp retirement.  Byte-identical to the
+  reference loop — traces, metrics, waiting statistics, utilization and
+  error messages all match bit-for-bit (enforced by the differential
+  test suite).
+* ``jit`` — opt-in via ``REPRO_SIM_JIT=1`` with the ``jit`` extra
+  (numba) installed: the inner stepping loop compiled in nopython mode
+  (:mod:`repro.simulation.jit`).  Falls back to ``numpy`` silently when
+  numba is missing or the configuration is unsupported; results remain
+  byte-identical.
+
+Every run records an :class:`~repro.simulation.metrics.EngineStats`
+profile, retrievable through :meth:`Simulator.stats`.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
 import random
+import time as _time
 from dataclasses import dataclass
 from typing import Dict, List, Mapping as TMapping, Optional, Sequence, Tuple
 
+from repro.backend import ArrayBackend, get_backend
 from repro.exceptions import AnalysisError, DeadlockError, MappingError
 from repro.platform.mapping import Mapping, index_mapping
 from repro.sdf.graph import SDFGraph
@@ -38,13 +67,27 @@ from repro.sdf.liveness import assert_live
 from repro.sdf.repetition import repetition_vector
 from repro.simulation.arbiter import ArbiterContext, make_arbiter
 from repro.wcrt.weighted_round_robin import validate_weights
+from repro.simulation.fastcore import POLICY_CODES, run_fast
 from repro.simulation.metrics import (
+    EngineStats,
     IterationTracker,
     SimulationResult,
     WaitingStatistics,
     metrics_from_completions,
 )
 from repro.simulation.trace import TraceEntry
+
+#: Environment opt-in for the numba-compiled stepping loop.
+JIT_ENV_VAR = "REPRO_SIM_JIT"
+
+
+def _jit_requested() -> bool:
+    return os.environ.get(JIT_ENV_VAR, "").strip().lower() in {
+        "1",
+        "true",
+        "yes",
+        "on",
+    }
 
 
 class TimeModel:
@@ -128,6 +171,10 @@ class Simulator:
         Actor bindings; defaults to the paper's index mapping.
     config:
         See :class:`SimulationConfig`.
+    backend:
+        Engine-flavour selector (see the module docstring): an
+        :class:`~repro.backend.ArrayBackend`, a backend name, or None
+        for the usual resolution order (``REPRO_BACKEND``, then auto).
     """
 
     def __init__(
@@ -135,6 +182,7 @@ class Simulator:
         graphs: Sequence[SDFGraph],
         mapping: Optional[Mapping] = None,
         config: Optional[SimulationConfig] = None,
+        backend: "ArrayBackend | str | None" = None,
     ) -> None:
         if not graphs:
             raise AnalysisError("simulation needs at least one application")
@@ -144,10 +192,41 @@ class Simulator:
         self.graphs = list(graphs)
         self.mapping = mapping if mapping is not None else index_mapping(graphs)
         self.config = config if config is not None else SimulationConfig()
+        self.backend = get_backend(backend)
+        self._last_stats: Optional[EngineStats] = None
         for graph in self.graphs:
             assert_live(graph)
         self.mapping.validate_against(self.graphs)
         self._build()
+        self.flavour = self._resolve_flavour()
+
+    # ------------------------------------------------------------------
+    def _resolve_flavour(self) -> str:
+        """Pick the stepping loop: ``python``, ``numpy`` or ``jit``."""
+        if not self.backend.vectorized:
+            return "python"
+        from repro.core.registry import ARBITERS
+
+        try:
+            info = ARBITERS.get(self.config.arbitration)
+        except Exception:
+            # Unknown policy: keep the reference loop so the error
+            # surfaces at run() time exactly as it always did.
+            return "python"
+        if info.name not in POLICY_CODES:
+            # Third-party arbiter: only the reference loop can drive it.
+            return "python"
+        if _jit_requested():
+            from repro.simulation.jit import jit_supported
+
+            if jit_supported(self):
+                return "jit"
+        return "numpy"
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Optional[EngineStats]:
+        """Profile of the most recent :meth:`run` (None before any)."""
+        return self._last_stats
 
     # ------------------------------------------------------------------
     def _build(self) -> None:
@@ -262,7 +341,28 @@ class Simulator:
 
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
-        """Execute the simulation and return measured metrics."""
+        """Execute the simulation and return measured metrics.
+
+        Dispatches to the flavour resolved at construction time; all
+        flavours produce byte-identical results.
+        """
+        if self.flavour == "jit":
+            from repro.simulation.jit import run_jit
+
+            result = run_jit(self)
+            if result is not None:
+                return result
+            # Capacity overflow in the fixed-size JIT buffers: redo the
+            # run on the interpreted SoA core (identical results).
+            return run_fast(self, flavour="numpy")
+        if self.flavour == "numpy":
+            return run_fast(self)
+        return self._run_reference()
+
+    # ------------------------------------------------------------------
+    def _run_reference(self) -> SimulationResult:
+        """The reference (``python`` flavour) stepping loop."""
+        t_setup = _time.perf_counter()
         config = self.config
         rng = random.Random(config.seed)
         time_model = config.time_model or TimeModel()
@@ -382,6 +482,7 @@ class Simulator:
             event is invalidated through its generation counter and the
             leftover work is re-queued (no token re-consumption).
             """
+            nonlocal preemptions
             arbiter = arbiters[proc]
             if not arbiter.preemptive or not busy[proc]:
                 return
@@ -392,6 +493,7 @@ class Simulator:
             if leftover <= 0:
                 # Completion is due at this very instant; let it finish.
                 return
+            preemptions += 1
             generation[victim] += 1
             remaining[victim] = leftover
             busy_time[proc] -= leftover
@@ -413,6 +515,9 @@ class Simulator:
                 )
             start_next(proc, now)
 
+        preemptions = 0
+        stale = 0
+        t_step = _time.perf_counter()
         # Prime the system at time zero.
         touched: set = set()
         for actor_id in range(len(self._app_of)):
@@ -434,6 +539,7 @@ class Simulator:
                 )
             if event_generation != generation[actor_id]:
                 # Stale completion of a firing that was preempted.
+                stale += 1
                 continue
             end_time = now
             # Complete the firing.
@@ -469,6 +575,7 @@ class Simulator:
                     f"{stuck!r} reached {target} iterations"
                 )
 
+        t_collect = _time.perf_counter()
         metrics = {
             graph.name: metrics_from_completions(
                 graph.name,
@@ -497,6 +604,17 @@ class Simulator:
                 maximum=waiting_max[actor_id],
                 samples=waiting_count[actor_id],
             )
+        self._last_stats = EngineStats(
+            flavour="python",
+            events_dispatched=events,
+            stale_events=stale,
+            preemptions=preemptions,
+            phase_seconds={
+                "setup": t_step - t_setup,
+                "step": t_collect - t_step,
+                "collect": _time.perf_counter() - t_collect,
+            },
+        )
         return SimulationResult(
             metrics=metrics,
             end_time=end_time,
@@ -511,6 +629,7 @@ def simulate(
     graphs: Sequence[SDFGraph],
     mapping: Optional[Mapping] = None,
     config: Optional[SimulationConfig] = None,
+    backend: "ArrayBackend | str | None" = None,
 ) -> SimulationResult:
     """Convenience wrapper: build a :class:`Simulator` and run it."""
-    return Simulator(graphs, mapping, config).run()
+    return Simulator(graphs, mapping, config, backend=backend).run()

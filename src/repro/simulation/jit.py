@@ -1,0 +1,737 @@
+"""Optional numba-compiled stepping loop (the ``jit`` engine flavour).
+
+Enabled by ``REPRO_SIM_JIT=1`` (see :data:`repro.simulation.engine.
+JIT_ENV_VAR`) when numba — the ``jit`` packaging extra — is importable.
+The kernel reproduces :mod:`repro.simulation.fastcore` on bare numpy
+arrays in nopython-compatible style: a manual binary heap over
+``(time, seq)``, CSR channel/membership tables, fixed-slot per-processor
+queues, and a ``touched`` bitmask iterated in ascending processor order
+(identical to CPython small-int set order, which is why the flavour is
+gated to platforms with at most eight processors).
+
+Everything below the ``run_jit`` wrapper is plain Python over numpy
+arrays, so the kernel also runs *interpreted* — the differential suite
+exercises it that way even when numba is not installed.  When numba is
+available the module-level helpers are rebound to their ``njit``
+versions before first use.
+
+Gating (``jit_supported``): default :class:`TimeModel` only (no RNG in
+nopython mode), no trace recording, ``target_iterations`` set, at most
+eight processors.  Unsupported configurations silently use the ``numpy``
+flavour; fixed-capacity overflows inside the kernel likewise fall back.
+All flavours stay byte-identical.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import AnalysisError, DeadlockError
+from repro.simulation.metrics import (
+    EngineStats,
+    SimulationResult,
+    WaitingStatistics,
+    metrics_from_completions,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simulation.engine import Simulator
+
+try:  # pragma: no cover - exercised only with the jit extra installed
+    import numba
+except ImportError:  # pragma: no cover - the container default
+    numba = None
+
+_compiled = False
+
+# ctr slots shared by the kernel helpers.
+_EV = 0  # events allocated (== next sequence number)
+_HLEN = 1  # heap length
+_EVENTS = 2  # events dispatched
+_STALE = 3  # stale (invalidated) events skipped
+_PREEMPT = 4  # preemptions performed
+_LEFT = 5  # applications still short of the target
+_STATUS = 6  # 0 ok, 1 completions overflow, 3 bad duration, 4 max events
+_BAD = 7  # actor id for status 3
+
+
+def jit_available() -> bool:
+    return numba is not None
+
+
+def jit_supported(sim: "Simulator") -> bool:
+    """Whether ``sim`` can run on the compiled kernel."""
+    config = sim.config
+    from repro.simulation.engine import TimeModel
+
+    return (
+        numba is not None
+        and (config.time_model is None or type(config.time_model) is TimeModel)
+        and not config.record_trace
+        and config.target_iterations is not None
+        and len(sim._members) <= 8
+    )
+
+
+def _heap_push(h_time, h_seq, ctr, t, s):
+    i = ctr[_HLEN]
+    ctr[_HLEN] = i + 1
+    h_time[i] = t
+    h_seq[i] = s
+    while i > 0:
+        parent = (i - 1) >> 1
+        pt = h_time[parent]
+        if pt < t or (pt == t and h_seq[parent] < s):
+            break
+        h_time[i] = pt
+        h_seq[i] = h_seq[parent]
+        i = parent
+    h_time[i] = t
+    h_seq[i] = s
+
+
+def _heap_pop(h_time, h_seq, ctr):
+    top_t = h_time[0]
+    top_s = h_seq[0]
+    last = ctr[_HLEN] - 1
+    ctr[_HLEN] = last
+    if last > 0:
+        t = h_time[last]
+        s = h_seq[last]
+        i = 0
+        half = last >> 1
+        while i < half:
+            child = 2 * i + 1
+            right = child + 1
+            if right < last and (
+                h_time[right] < h_time[child]
+                or (
+                    h_time[right] == h_time[child]
+                    and h_seq[right] < h_seq[child]
+                )
+            ):
+                child = right
+            ct = h_time[child]
+            if t < ct or (t == ct and s < h_seq[child]):
+                break
+            h_time[i] = ct
+            h_seq[i] = h_seq[child]
+            i = child
+        h_time[i] = t
+        h_seq[i] = s
+    return top_t, top_s
+
+
+def _qinsert(q_k1, q_k2, q_k3, q_aid, q_len, base, p, k1, k2, k3, aid):
+    """Sorted insert of ``(k1, k2, k3)`` into processor ``p``'s slots."""
+    lo = q_len[p]
+    while lo > 0:
+        j = base + lo - 1
+        a = q_k1[j]
+        if a < k1:
+            break
+        if a == k1:
+            b = q_k2[j]
+            if b < k2:
+                break
+            if b == k2 and q_k3[j] <= k3:
+                break
+        q_k1[j + 1] = a
+        q_k2[j + 1] = q_k2[j]
+        q_k3[j + 1] = q_k3[j]
+        q_aid[j + 1] = q_aid[j]
+        lo -= 1
+    q_k1[base + lo] = k1
+    q_k2[base + lo] = k2
+    q_k3[base + lo] = k3
+    q_aid[base + lo] = aid
+    q_len[p] = q_len[p] + 1
+
+
+def _enqueue(aid, now, policy, prio, rank_of, proc_of,
+             q_k1, q_k2, q_k3, q_aid, q_len, mem_ptr,
+             in_q, qcount):
+    p = proc_of[aid]
+    if policy == 0:
+        _qinsert(
+            q_k1, q_k2, q_k3, q_aid, q_len, mem_ptr[p], p,
+            now, float(aid), 0.0, aid,
+        )
+    elif policy == 3:
+        _qinsert(
+            q_k1, q_k2, q_k3, q_aid, q_len, mem_ptr[p], p,
+            -prio[aid], float(rank_of[aid]), 0.0, aid,
+        )
+    elif policy == 4:
+        _qinsert(
+            q_k1, q_k2, q_k3, q_aid, q_len, mem_ptr[p], p,
+            -prio[aid], now, float(aid), aid,
+        )
+    else:
+        if not in_q[aid]:
+            in_q[aid] = 1
+            qcount[p] += 1
+
+
+def _start_proc(tp, now, policy,
+                q_k1, q_k2, q_k3, q_aid, q_len,
+                mem_ptr, mem_ids, in_q, qcount, position, credit, weight,
+                state, busy, running, request_time,
+                waiting_total, waiting_max, waiting_count,
+                rem_flag, rem_val, tau, scheduled_end,
+                in_ptr, in_cid, cons, tokens,
+                busy_time, generation,
+                ev_actor, ev_gen, h_time, h_seq, ctr):
+    """Grant processor ``tp`` to its next queued actor, if any."""
+    if busy[tp]:
+        return 0
+    aid = -1
+    if policy == 0 or policy == 3 or policy == 4:
+        if q_len[tp] > 0:
+            base = mem_ptr[tp]
+            aid = q_aid[base]
+            left = q_len[tp] - 1
+            q_len[tp] = left
+            for j in range(left):
+                q_k1[base + j] = q_k1[base + j + 1]
+                q_k2[base + j] = q_k2[base + j + 1]
+                q_k3[base + j] = q_k3[base + j + 1]
+                q_aid[base + j] = q_aid[base + j + 1]
+    elif qcount[tp] > 0:
+        base = mem_ptr[tp]
+        nm = mem_ptr[tp + 1] - base
+        if policy == 1:
+            pos = position[tp]
+            for off in range(nm):
+                idx = pos + off
+                if idx >= nm:
+                    idx -= nm
+                cand = mem_ids[base + idx]
+                if in_q[cand]:
+                    in_q[cand] = 0
+                    qcount[tp] -= 1
+                    idx += 1
+                    position[tp] = idx if idx < nm else 0
+                    aid = cand
+                    break
+        else:
+            for _ in range(nm + 1):
+                pos = position[tp]
+                cand = mem_ids[base + pos]
+                if credit[tp] > 0 and in_q[cand]:
+                    in_q[cand] = 0
+                    qcount[tp] -= 1
+                    credit[tp] -= 1
+                    if credit[tp] == 0:
+                        pos += 1
+                        if pos >= nm:
+                            pos = 0
+                        position[tp] = pos
+                        credit[tp] = weight[mem_ids[base + pos]]
+                    aid = cand
+                    break
+                pos += 1
+                if pos >= nm:
+                    pos = 0
+                position[tp] = pos
+                credit[tp] = weight[mem_ids[base + pos]]
+    if aid < 0:
+        return 0
+    state[aid] = 2
+    busy[tp] = 1
+    running[tp] = aid
+    waited = now - request_time[aid]
+    waiting_total[aid] += waited
+    if waited > waiting_max[aid]:
+        waiting_max[aid] = waited
+    if policy == 4 and rem_flag[aid]:
+        duration = rem_val[aid]
+        rem_flag[aid] = 0
+    else:
+        waiting_count[aid] += 1
+        for j in range(in_ptr[aid], in_ptr[aid + 1]):
+            cid = in_cid[j]
+            tokens[cid] -= cons[cid]
+        duration = tau[aid]
+        if duration <= 0:
+            ctr[_STATUS] = 3
+            ctr[_BAD] = aid
+            return 3
+    end = now + duration
+    busy_time[tp] += duration
+    if policy == 4:
+        scheduled_end[aid] = end
+    seq = ctr[_EV]
+    ctr[_EV] = seq + 1
+    ev_actor[seq] = aid
+    ev_gen[seq] = generation[aid]
+    _heap_push(h_time, h_seq, ctr, end, seq)
+    return 0
+
+
+def _preempt(p2, now, policy, prio,
+             q_k1, q_k2, q_k3, q_aid, q_len,
+             mem_ptr, mem_ids, in_q, qcount, position, credit, weight,
+             state, busy, running, request_time,
+             waiting_total, waiting_max, waiting_count,
+             rem_flag, rem_val, tau, scheduled_end,
+             in_ptr, in_cid, cons, tokens,
+             busy_time, generation,
+             ev_actor, ev_gen, h_time, h_seq, ctr):
+    """Preempt the actor running on ``p2`` if the queue head outranks it."""
+    victim = running[p2]
+    if q_len[p2] == 0 or -q_k1[mem_ptr[p2]] <= prio[victim]:
+        return 0
+    leftover = scheduled_end[victim] - now
+    if leftover <= 0:
+        return 0
+    ctr[_PREEMPT] += 1
+    generation[victim] += 1
+    rem_flag[victim] = 1
+    rem_val[victim] = leftover
+    busy_time[p2] -= leftover
+    state[victim] = 1
+    request_time[victim] = now
+    _qinsert(
+        q_k1, q_k2, q_k3, q_aid, q_len, mem_ptr[p2], p2,
+        -prio[victim], now, float(victim), victim,
+    )
+    busy[p2] = 0
+    running[p2] = -1
+    return _start_proc(
+        p2, now, policy,
+        q_k1, q_k2, q_k3, q_aid, q_len,
+        mem_ptr, mem_ids, in_q, qcount, position, credit, weight,
+        state, busy, running, request_time,
+        waiting_total, waiting_max, waiting_count,
+        rem_flag, rem_val, tau, scheduled_end,
+        in_ptr, in_cid, cons, tokens,
+        busy_time, generation,
+        ev_actor, ev_gen, h_time, h_seq, ctr,
+    )
+
+
+def _step_kernel(policy, n, n_proc, n_apps,
+                 tau, proc_of, app_of, quota, prio, weight,
+                 in_ptr, in_cid, out_ptr, out_cid,
+                 cons, prod, dst, tokens,
+                 mem_ptr, mem_ids, rank_of,
+                 app_ptr, app_actor,
+                 target, horizon, max_events, comp_cap,
+                 busy_time, waiting_total, waiting_max, waiting_count,
+                 done, comp_count, comp_times, ctr, fstate):
+    """The full stepping loop; scalar results return through ``ctr`` /
+    ``fstate`` (``fstate[0]``: end time, ``fstate[1]``: 1.0 when the heap
+    drained before the target — the deadlock case)."""
+    state = np.zeros(n, np.uint8)
+    busy = np.zeros(n_proc, np.uint8)
+    running = np.full(n_proc, -1, np.int64)
+    request_time = np.zeros(n, np.float64)
+    generation = np.zeros(n, np.int64)
+    rem_flag = np.zeros(n, np.uint8)
+    rem_val = np.zeros(n, np.float64)
+    scheduled_end = np.zeros(n, np.float64)
+
+    q_k1 = np.zeros(n, np.float64)
+    q_k2 = np.zeros(n, np.float64)
+    q_k3 = np.zeros(n, np.float64)
+    q_aid = np.zeros(n, np.int64)
+    q_len = np.zeros(n_proc, np.int64)
+    in_q = np.zeros(n, np.uint8)
+    qcount = np.zeros(n_proc, np.int64)
+    position = np.zeros(n_proc, np.int64)
+    credit = np.zeros(n_proc, np.int64)
+    for p in range(n_proc):
+        if mem_ptr[p + 1] > mem_ptr[p]:
+            credit[p] = weight[mem_ids[mem_ptr[p]]]
+
+    fires = np.zeros(n, np.int64)
+    iters = np.zeros(n, np.int64)
+    app_min = np.zeros(n_apps, np.int64)
+    app_at_min = np.zeros(n_apps, np.int64)
+    for ai in range(n_apps):
+        app_at_min[ai] = app_ptr[ai + 1] - app_ptr[ai]
+    ctr[_LEFT] = n_apps
+
+    cap = 1 << 16
+    ev_actor = np.zeros(cap, np.int64)
+    ev_gen = np.zeros(cap, np.int64)
+    h_time = np.zeros(cap, np.float64)
+    h_seq = np.zeros(cap, np.int64)
+
+    # Priming at time zero; touched procs served in ascending order
+    # (== CPython small-int set iteration order; n_proc <= 8 is gated).
+    touched = 0
+    for aid in range(n):
+        ok = True
+        for j in range(in_ptr[aid], in_ptr[aid + 1]):
+            cid = in_cid[j]
+            if tokens[cid] < cons[cid]:
+                ok = False
+                break
+        if ok:
+            state[aid] = 1
+            _enqueue(aid, 0.0, policy, prio, rank_of, proc_of,
+                     q_k1, q_k2, q_k3, q_aid, q_len, mem_ptr,
+                     in_q, qcount)
+            touched |= 1 << proc_of[aid]
+    for p in range(n_proc):
+        if touched & (1 << p):
+            if _start_proc(
+                p, 0.0, policy,
+                q_k1, q_k2, q_k3, q_aid, q_len,
+                mem_ptr, mem_ids, in_q, qcount, position, credit, weight,
+                state, busy, running, request_time,
+                waiting_total, waiting_max, waiting_count,
+                rem_flag, rem_val, tau, scheduled_end,
+                in_ptr, in_cid, cons, tokens,
+                busy_time, generation,
+                ev_actor, ev_gen, h_time, h_seq, ctr,
+            ):
+                return
+
+    end_time = 0.0
+    stop = False
+    broke = False
+    while ctr[_HLEN] > 0:
+        # Grow the SoA calendar while a full service round still fits.
+        if ctr[_EV] + n + n_proc + 2 >= cap:
+            cap *= 2
+            new_actor = np.zeros(cap, np.int64)
+            new_actor[: ctr[_EV]] = ev_actor[: ctr[_EV]]
+            ev_actor = new_actor
+            new_gen = np.zeros(cap, np.int64)
+            new_gen[: ctr[_EV]] = ev_gen[: ctr[_EV]]
+            ev_gen = new_gen
+            new_time = np.zeros(cap, np.float64)
+            new_time[: ctr[_HLEN]] = h_time[: ctr[_HLEN]]
+            h_time = new_time
+            new_seq = np.zeros(cap, np.int64)
+            new_seq[: ctr[_HLEN]] = h_seq[: ctr[_HLEN]]
+            h_seq = new_seq
+        now, seq = _heap_pop(h_time, h_seq, ctr)
+        if now > horizon:
+            broke = True
+            break
+        while True:
+            ctr[_EVENTS] += 1
+            if ctr[_EVENTS] > max_events:
+                ctr[_STATUS] = 4
+                return
+            aid = ev_actor[seq]
+            if policy == 4 and ev_gen[seq] != generation[aid]:
+                ctr[_STALE] += 1
+            else:
+                end_time = now
+                state[aid] = 0
+                p = proc_of[aid]
+                busy[p] = 0
+                running[p] = -1
+                f = fires[aid] + 1
+                fires[aid] = f
+                if f % quota[aid] == 0:
+                    it = iters[aid] + 1
+                    iters[aid] = it
+                    ai = app_of[aid]
+                    if it - 1 == app_min[ai]:
+                        c = app_at_min[ai] - 1
+                        if c:
+                            app_at_min[ai] = c
+                        else:
+                            app_min[ai] = it
+                            k = comp_count[ai]
+                            if k >= comp_cap:
+                                ctr[_STATUS] = 1
+                                return
+                            comp_times[ai, k] = now
+                            comp_count[ai] = k + 1
+                            c = 0
+                            for j in range(app_ptr[ai], app_ptr[ai + 1]):
+                                if iters[app_actor[j]] == it:
+                                    c += 1
+                            app_at_min[ai] = c
+                            if not done[ai] and it >= target:
+                                done[ai] = 1
+                                ctr[_LEFT] -= 1
+                                if ctr[_LEFT] == 0:
+                                    stop = True
+                                    break
+                touched = 0
+                for j in range(out_ptr[aid], out_ptr[aid + 1]):
+                    cid = out_cid[j]
+                    tokens[cid] += prod[cid]
+                    d = dst[cid]
+                    if state[d] == 0:
+                        ok = True
+                        for jj in range(in_ptr[d], in_ptr[d + 1]):
+                            cid2 = in_cid[jj]
+                            if tokens[cid2] < cons[cid2]:
+                                ok = False
+                                break
+                        if ok:
+                            state[d] = 1
+                            request_time[d] = now
+                            p2 = proc_of[d]
+                            _enqueue(d, now, policy, prio, rank_of, proc_of,
+                                     q_k1, q_k2, q_k3, q_aid, q_len, mem_ptr,
+                                     in_q, qcount)
+                            touched |= 1 << p2
+                            if policy == 4 and busy[p2]:
+                                if _preempt(
+                                    p2, now, policy, prio,
+                                    q_k1, q_k2, q_k3, q_aid, q_len,
+                                    mem_ptr, mem_ids, in_q, qcount,
+                                    position, credit, weight,
+                                    state, busy, running, request_time,
+                                    waiting_total, waiting_max,
+                                    waiting_count,
+                                    rem_flag, rem_val, tau, scheduled_end,
+                                    in_ptr, in_cid, cons, tokens,
+                                    busy_time, generation,
+                                    ev_actor, ev_gen, h_time, h_seq, ctr,
+                                ):
+                                    return
+                if state[aid] == 0:
+                    ok = True
+                    for jj in range(in_ptr[aid], in_ptr[aid + 1]):
+                        cid2 = in_cid[jj]
+                        if tokens[cid2] < cons[cid2]:
+                            ok = False
+                            break
+                    if ok:
+                        state[aid] = 1
+                        request_time[aid] = now
+                        _enqueue(aid, now, policy, prio, rank_of, proc_of,
+                                 q_k1, q_k2, q_k3, q_aid, q_len, mem_ptr,
+                                 in_q, qcount)
+                        touched |= 1 << p
+                        if policy == 4 and busy[p]:
+                            if _preempt(
+                                p, now, policy, prio,
+                                q_k1, q_k2, q_k3, q_aid, q_len,
+                                mem_ptr, mem_ids, in_q, qcount,
+                                position, credit, weight,
+                                state, busy, running, request_time,
+                                waiting_total, waiting_max, waiting_count,
+                                rem_flag, rem_val, tau, scheduled_end,
+                                in_ptr, in_cid, cons, tokens,
+                                busy_time, generation,
+                                ev_actor, ev_gen, h_time, h_seq, ctr,
+                            ):
+                                return
+                touched |= 1 << p
+                for tp in range(n_proc):
+                    if touched & (1 << tp):
+                        if _start_proc(
+                            tp, now, policy,
+                            q_k1, q_k2, q_k3, q_aid, q_len,
+                            mem_ptr, mem_ids, in_q, qcount,
+                            position, credit, weight,
+                            state, busy, running, request_time,
+                            waiting_total, waiting_max, waiting_count,
+                            rem_flag, rem_val, tau, scheduled_end,
+                            in_ptr, in_cid, cons, tokens,
+                            busy_time, generation,
+                            ev_actor, ev_gen, h_time, h_seq, ctr,
+                        ):
+                            return
+            if ctr[_HLEN] > 0 and h_time[0] == now:
+                now, seq = _heap_pop(h_time, h_seq, ctr)
+                continue
+            break
+        if stop:
+            broke = True
+            break
+    fstate[0] = end_time
+    if not broke and ctr[_LEFT] > 0:
+        fstate[1] = 1.0
+
+
+def _ensure_compiled() -> None:
+    """Rebind the kernel helpers to their numba-compiled versions."""
+    global _compiled, _heap_push, _heap_pop, _qinsert, _enqueue
+    global _start_proc, _preempt, _step_kernel
+    if _compiled or numba is None:
+        _compiled = True
+        return
+    jit = numba.njit(cache=False)
+    _heap_push = jit(_heap_push)
+    _heap_pop = jit(_heap_pop)
+    _qinsert = jit(_qinsert)
+    _enqueue = jit(_enqueue)
+    _start_proc = jit(_start_proc)
+    _preempt = jit(_preempt)
+    _step_kernel = jit(_step_kernel)
+    _compiled = True
+
+
+def run_jit(
+    sim: "Simulator", _force_interpreted: bool = False
+) -> Optional[SimulationResult]:
+    """Run ``sim`` on the JIT kernel; None means "fall back to numpy".
+
+    ``_force_interpreted`` runs the kernel uncompiled (test hook).
+    """
+    t_setup = _time.perf_counter()
+    config = sim.config
+    from repro.core.registry import ARBITERS
+    from repro.simulation.fastcore import POLICY_CODES
+
+    policy = POLICY_CODES[ARBITERS.get(config.arbitration).name]
+    context = sim._arbiter_context()
+    n = len(sim._app_of)
+    n_proc = len(sim._members)
+    n_apps = len(sim.graphs)
+    prio_list = [context.priority_of(a) for a in range(n)]
+    weight_list = [context.weight_of(a) for a in range(n)]
+    if policy == 2:
+        from repro.exceptions import MappingError
+        from repro.wcrt.weighted_round_robin import validate_weights
+
+        for member_list in sim._members:
+            validate_weights(
+                {a: weight_list[a] for a in member_list}, error=MappingError
+            )
+
+    tau = np.asarray(sim._tau, np.float64)
+    proc_of = np.asarray(sim._proc_of, np.int64)
+    prio = np.asarray(prio_list, np.float64)
+    weight = np.asarray(weight_list, np.int64)
+    n_chan = len(sim._chan_src)
+    cons = np.asarray(sim._chan_cons, np.int64).reshape(n_chan)
+    prod = np.asarray(sim._chan_prod, np.int64).reshape(n_chan)
+    dst = np.asarray(sim._chan_dst, np.int64).reshape(n_chan)
+    tokens = np.asarray(sim._chan_tokens, np.int64).reshape(n_chan)
+
+    def csr(lists: List[List[int]]) -> Tuple[np.ndarray, np.ndarray]:
+        ptr = np.zeros(len(lists) + 1, np.int64)
+        flat: List[int] = []
+        for i, items in enumerate(lists):
+            flat.extend(items)
+            ptr[i + 1] = len(flat)
+        return ptr, np.asarray(flat, np.int64).reshape(len(flat))
+
+    in_ptr, in_cid = csr(sim._in_channels)
+    out_ptr, out_cid = csr(sim._out_channels)
+    mem_ptr, mem_ids = csr(sim._members)
+    rank_of = np.zeros(n, np.int64)
+    for p in range(n_proc):
+        for rank, aid in enumerate(sim._members[p]):
+            rank_of[aid] = rank
+
+    quota = np.zeros(n, np.int64)
+    app_of = np.zeros(n, np.int64)
+    app_lists: List[List[int]] = []
+    for ai, graph in enumerate(sim.graphs):
+        quotas = sim._trackers[graph.name]._quotas
+        actors = []
+        for actor in graph.actors:
+            aid = sim._id_of[(graph.name, actor.name)]
+            quota[aid] = quotas[actor.name]
+            app_of[aid] = ai
+            actors.append(aid)
+        app_lists.append(actors)
+    app_ptr, app_actor = csr(app_lists)
+
+    target = int(config.target_iterations)
+    horizon = np.inf if config.horizon is None else float(config.horizon)
+    comp_cap = max(1024, 4 * target)
+
+    busy_time = np.zeros(n_proc, np.float64)
+    waiting_total = np.zeros(n, np.float64)
+    waiting_max = np.zeros(n, np.float64)
+    waiting_count = np.zeros(n, np.int64)
+    done = np.zeros(n_apps, np.uint8)
+    comp_count = np.zeros(n_apps, np.int64)
+    comp_times = np.zeros((n_apps, comp_cap), np.float64)
+    ctr = np.zeros(8, np.int64)
+    fstate = np.zeros(2, np.float64)
+
+    if not _force_interpreted:
+        _ensure_compiled()
+    t_step = _time.perf_counter()
+    _step_kernel(
+        policy, n, n_proc, n_apps,
+        tau, proc_of, app_of, quota, prio, weight,
+        in_ptr, in_cid, out_ptr, out_cid,
+        cons, prod, dst, tokens,
+        mem_ptr, mem_ids, rank_of,
+        app_ptr, app_actor,
+        target, horizon, int(config.max_events), comp_cap,
+        busy_time, waiting_total, waiting_max, waiting_count,
+        done, comp_count, comp_times, ctr, fstate,
+    )
+    t_collect = _time.perf_counter()
+
+    status = int(ctr[_STATUS])
+    if status == 1:
+        return None  # completion buffer overflow: redo on fastcore
+    if status == 3:
+        aid = int(ctr[_BAD])
+        duration = sim._tau[aid]
+        raise AnalysisError(
+            "time model produced a non-positive execution time "
+            f"({duration}) for {sim._app_of[aid]}.{sim._name_of[aid]}"
+        )
+    if status == 4:
+        raise AnalysisError(
+            f"simulation exceeded {config.max_events} events; "
+            "lower target_iterations or set a horizon"
+        )
+    if fstate[1]:
+        stuck = [
+            sim.graphs[ai].name for ai in range(n_apps) if not done[ai]
+        ]
+        raise DeadlockError(
+            f"simulation ran out of events before applications "
+            f"{stuck!r} reached {target} iterations"
+        )
+
+    end_time = float(fstate[0])
+    metrics = {
+        graph.name: metrics_from_completions(
+            graph.name,
+            [float(t) for t in comp_times[ai, : comp_count[ai]]],
+            warmup_fraction=config.warmup_fraction,
+        )
+        for ai, graph in enumerate(sim.graphs)
+    }
+    processor_names = sim._processor_names
+    utilization: Dict[str, float] = {}
+    if end_time > 0:
+        for p, pname in enumerate(processor_names):
+            utilization[pname] = min(1.0, float(busy_time[p]) / end_time)
+    else:  # pragma: no cover - zero-length run
+        utilization = {pname: 0.0 for pname in processor_names}
+    waiting: Dict[Tuple[str, str], WaitingStatistics] = {}
+    for aid in range(n):
+        count = int(waiting_count[aid])
+        if not count:
+            continue
+        waiting[(sim._app_of[aid], sim._name_of[aid])] = WaitingStatistics(
+            mean=float(waiting_total[aid]) / count,
+            maximum=float(waiting_max[aid]),
+            samples=count,
+        )
+    sim._last_stats = EngineStats(
+        flavour="jit",
+        events_dispatched=int(ctr[_EVENTS]),
+        stale_events=int(ctr[_STALE]),
+        preemptions=int(ctr[_PREEMPT]),
+        phase_seconds={
+            "setup": t_step - t_setup,
+            "step": t_collect - t_step,
+            "collect": _time.perf_counter() - t_collect,
+        },
+    )
+    return SimulationResult(
+        metrics=metrics,
+        end_time=end_time,
+        events_processed=int(ctr[_EVENTS]),
+        trace=None,
+        processor_utilization=utilization,
+        waiting=waiting,
+    )

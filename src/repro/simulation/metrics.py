@@ -162,6 +162,50 @@ def _steady_pattern(
     return None
 
 
+@dataclass
+class EngineStats:
+    """Lightweight profile of one engine run (``Simulator.stats()``).
+
+    Counts are exact; ``phase_seconds`` holds wall time per phase
+    (``setup``: flattening + arbitration tables, ``step``: priming and
+    the event loop, ``collect``: metrics/result assembly).  Cheap enough
+    to be always on — no cProfile needed to compare engine flavours.
+    """
+
+    flavour: str
+    events_dispatched: int
+    stale_events: int
+    preemptions: int
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+
+    def merge(self, other: "EngineStats") -> None:
+        """Accumulate ``other`` into this record (for suite totals)."""
+        self.events_dispatched += other.events_dispatched
+        self.stale_events += other.stale_events
+        self.preemptions += other.preemptions
+        for phase, seconds in other.phase_seconds.items():
+            self.phase_seconds[phase] = (
+                self.phase_seconds.get(phase, 0.0) + seconds
+            )
+
+    def format_table(self) -> str:
+        lines = [
+            f"{'flavour':>18}  {self.flavour}",
+            f"{'events dispatched':>18}  {self.events_dispatched}",
+            f"{'stale events':>18}  {self.stale_events}",
+            f"{'preemptions':>18}  {self.preemptions}",
+        ]
+        total = sum(self.phase_seconds.values())
+        for phase in sorted(self.phase_seconds):
+            seconds = self.phase_seconds[phase]
+            share = (100.0 * seconds / total) if total > 0 else 0.0
+            lines.append(
+                f"{'phase ' + phase:>18}  {seconds * 1e3:10.3f} ms"
+                f"  ({share:5.1f}%)"
+            )
+        return "\n".join(lines)
+
+
 @dataclass(frozen=True)
 class WaitingStatistics:
     """Observed queueing delay of one actor over a simulation run.

@@ -40,6 +40,9 @@ class WorstCaseRRWaitingModel:
 
     name = "worst-case"
     complexity = "O(n)"
+    #: The bound reads only tau, never the blocking probabilities, so
+    #: the kernel is trivially safe under per-row probabilities.
+    batch_rowwise = True
 
     def waiting_time(
         self, own: ActorProfile, others: Sequence[ActorProfile]

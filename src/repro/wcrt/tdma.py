@@ -65,6 +65,9 @@ class TDMAWaitingModel:
 
     name = "tdma"
     complexity = "O(n)"
+    #: The bound reads only tau, never the blocking probabilities, so
+    #: the kernel is trivially safe under per-row probabilities.
+    batch_rowwise = True
 
     def __init__(self, slice_length: float | None = None) -> None:
         self.slice_length = slice_length

@@ -103,6 +103,9 @@ class WeightedRRWaitingModel:
 
     name = "weighted-rr"
     complexity = "O(n)"
+    #: The bound reads only tau and weights, never the blocking
+    #: probabilities, so the kernel is trivially safe per-row.
+    batch_rowwise = True
 
     def __init__(
         self,

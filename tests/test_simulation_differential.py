@@ -1,0 +1,316 @@
+"""Differential testing of the simulation-engine flavours.
+
+The ``numpy`` (SoA) and ``jit`` stepping loops are *re-implementations*
+of the reference ``python`` loop, and the contract is byte-identity —
+not a tolerance band: same traces, same metrics, same waiting
+statistics, same utilization, same event counts, and the same errors on
+the same inputs.  Hypothesis drives seeded paper-style galleries
+through every arbitration policy (with seeded priorities and weights)
+and through stochastic execution times; pinned tests cover the error
+paths (starvation inside a horizon, deadlock before the target) and
+the tracker state the flavours must leave behind even when a run
+aborts.
+
+The JIT kernel is plain Python over numpy arrays underneath the
+``njit`` wrappers, so its logic is exercised *interpreted* here even
+when numba is not installed; the compiled axis runs only with the
+``jit`` packaging extra present.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.backend import numpy_available
+from repro.core.distributions import DistributionTimeModel, UniformTime
+from repro.exceptions import AnalysisError, DeadlockError
+from repro.experiments.setup import paper_benchmark_suite
+from repro.simulation.engine import SimulationConfig, Simulator
+from repro.simulation.fastcore import run_fast
+from repro.simulation.jit import jit_available, run_jit
+
+pytestmark = pytest.mark.skipif(
+    not numpy_available(), reason="numpy backend not installed"
+)
+
+POLICIES = (
+    "fcfs",
+    "round_robin",
+    "weighted_round_robin",
+    "priority",
+    "priority_preemptive",
+)
+
+
+def _assert_identical(reference, fast):
+    """Byte-identity of two SimulationResults (``==``, not approx)."""
+    assert fast.end_time == reference.end_time
+    assert fast.events_processed == reference.events_processed
+    assert fast.metrics == reference.metrics
+    assert fast.processor_utilization == reference.processor_utilization
+    assert fast.waiting == reference.waiting
+    assert fast.trace == reference.trace
+
+
+def _scenario(gallery_seed, subset_mask, policy, draw_seed):
+    """One runnable scenario from drawn integers.
+
+    The gallery generator guarantees consistent live graphs, so every
+    drawn scenario simulates; priorities and weights come from a
+    seeded stream like the conformance batch's.
+    """
+    import random
+
+    suite = paper_benchmark_suite(seed=gallery_seed, application_count=4)
+    names = list(suite.application_names)
+    chosen = [n for i, n in enumerate(names) if subset_mask & (1 << i)]
+    if len(chosen) < 2:
+        chosen = names[:2]
+    rng = random.Random(draw_seed)
+    mapping = suite.mapping.with_priorities(
+        {name: rng.randint(0, 2) for name in chosen}
+    )
+    params = None
+    if policy == "weighted_round_robin":
+        params = {
+            "weights": {name: rng.randint(1, 3) for name in chosen}
+        }
+    graphs = [suite.graph(name) for name in chosen]
+    return graphs, mapping, params
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    gallery_seed=st.integers(0, 40),
+    subset_mask=st.integers(1, 15),
+    policy=st.sampled_from(POLICIES),
+    record_trace=st.booleans(),
+    target=st.sampled_from((20, 45)),
+    draw_seed=st.integers(0, 1_000),
+)
+def test_numpy_flavour_is_byte_identical(
+    gallery_seed, subset_mask, policy, record_trace, target, draw_seed
+):
+    graphs, mapping, params = _scenario(
+        gallery_seed, subset_mask, policy, draw_seed
+    )
+    config = SimulationConfig(
+        target_iterations=target,
+        arbitration=policy,
+        arbitration_params=params,
+        record_trace=record_trace,
+    )
+
+    def run(backend):
+        simulator = Simulator(
+            graphs, mapping=mapping, config=config, backend=backend
+        )
+        try:
+            return simulator.run(), None
+        except (AnalysisError, DeadlockError) as error:
+            return None, (type(error), str(error))
+
+    reference, ref_error = run("python")
+    fast, fast_error = run("numpy")
+    assert fast_error == ref_error
+    if reference is not None:
+        _assert_identical(reference, fast)
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    gallery_seed=st.integers(0, 20),
+    policy=st.sampled_from(POLICIES),
+    seed=st.integers(0, 100),
+)
+def test_stochastic_time_models_stay_identical(
+    gallery_seed, policy, seed
+):
+    """Both loops must draw the same execution-time samples in the
+    same order — the RNG stream is part of the contract."""
+    graphs, mapping, params = _scenario(gallery_seed, 3, policy, seed)
+    distributions = {
+        (graph.name, actor.name): UniformTime(
+            0.7 * actor.execution_time, 1.3 * actor.execution_time
+        )
+        for graph in graphs
+        for actor in graph.actors
+    }
+    config = SimulationConfig(
+        target_iterations=25,
+        arbitration=policy,
+        arbitration_params=params,
+        seed=seed,
+        time_model=DistributionTimeModel(distributions),
+    )
+    reference = Simulator(
+        graphs, mapping=mapping, config=config, backend="python"
+    ).run()
+    fast = Simulator(
+        graphs, mapping=mapping, config=config, backend="numpy"
+    ).run()
+    _assert_identical(reference, fast)
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    gallery_seed=st.integers(0, 40),
+    subset_mask=st.integers(1, 15),
+    policy=st.sampled_from(POLICIES),
+    draw_seed=st.integers(0, 1_000),
+)
+def test_jit_kernel_interpreted_is_byte_identical(
+    gallery_seed, subset_mask, policy, draw_seed
+):
+    """The JIT kernel's logic, run uncompiled over numpy arrays."""
+    graphs, mapping, params = _scenario(
+        gallery_seed, subset_mask, policy, draw_seed
+    )
+    config = SimulationConfig(
+        target_iterations=30,
+        arbitration=policy,
+        arbitration_params=params,
+    )
+    reference = Simulator(
+        graphs, mapping=mapping, config=config, backend="python"
+    ).run()
+    simulator = Simulator(
+        graphs, mapping=mapping, config=config, backend="numpy"
+    )
+    result = run_jit(simulator, _force_interpreted=True)
+    assert result is not None, "JIT kernel overflowed fixed buffers"
+    _assert_identical(reference, result)
+
+
+@pytest.mark.skipif(
+    not jit_available(), reason="numba (the jit extra) not installed"
+)
+def test_jit_compiled_is_byte_identical():
+    suite = paper_benchmark_suite(seed=7, application_count=3)
+    graphs = list(suite.graphs)
+    config = SimulationConfig(target_iterations=40)
+    reference = Simulator(
+        graphs, mapping=suite.mapping, config=config, backend="python"
+    ).run()
+    simulator = Simulator(
+        graphs, mapping=suite.mapping, config=config, backend="numpy"
+    )
+    result = run_jit(simulator)
+    assert result is not None
+    _assert_identical(reference, result)
+
+
+class TestErrorAndTrackerParity:
+    """Aborted runs must leave the same observable state behind."""
+
+    def _starving_setup(self):
+        from repro.platform.mapping import modulo_mapping
+        from repro.platform.platform import Platform
+
+        from repro.generation.random_sdf import (
+            GeneratorConfig,
+            random_sdf_graph,
+        )
+
+        graphs = [
+            random_sdf_graph(
+                name,
+                seed=seed,
+                config=GeneratorConfig(actor_count_range=(3, 3)),
+            )
+            for name, seed in (("X", 1), ("Y", 2), ("Z", 3))
+        ]
+        mapping = modulo_mapping(
+            graphs, Platform.homogeneous(1)
+        ).with_priorities({"X": 2, "Y": 2, "Z": 0})
+        return graphs, mapping
+
+    def test_horizon_starvation_raises_identically(self):
+        graphs, mapping = self._starving_setup()
+        config = SimulationConfig(
+            target_iterations=None,
+            horizon=2_000.0,
+            arbitration="priority",
+        )
+        outcomes = {}
+        for backend in ("python", "numpy"):
+            simulator = Simulator(
+                graphs, mapping=mapping, config=config, backend=backend
+            )
+            try:
+                simulator.run()
+                outcomes[backend] = None
+            except (AnalysisError, DeadlockError) as error:
+                outcomes[backend] = (type(error), str(error))
+            # The per-application trackers are part of the observable
+            # surface even after an abort (starvation diagnostics read
+            # them), so the fast loop must leave the same state.
+            outcomes[backend + "/trackers"] = {
+                app: list(tracker.completion_times)
+                for app, tracker in simulator._trackers.items()
+            }
+        assert outcomes["python"] == outcomes["numpy"]
+        assert (
+            outcomes["python/trackers"] == outcomes["numpy/trackers"]
+        )
+
+    def test_deadlock_before_target_raises_identically(self):
+        graphs, mapping = self._starving_setup()
+        config = SimulationConfig(
+            target_iterations=50,
+            horizon=2_000.0,
+            arbitration="priority",
+        )
+        errors = {}
+        for backend in ("python", "numpy"):
+            with pytest.raises((AnalysisError, DeadlockError)) as info:
+                Simulator(
+                    graphs,
+                    mapping=mapping,
+                    config=config,
+                    backend=backend,
+                ).run()
+            errors[backend] = (type(info.value), str(info.value))
+        assert errors["python"] == errors["numpy"]
+
+
+def test_engine_stats_report_the_flavour_that_ran():
+    suite = paper_benchmark_suite(seed=3, application_count=2)
+    graphs = list(suite.graphs)
+    config = SimulationConfig(target_iterations=20)
+    for backend, flavour in (("python", "python"), ("numpy", "numpy")):
+        simulator = Simulator(
+            graphs, mapping=suite.mapping, config=config, backend=backend
+        )
+        assert simulator.stats() is None
+        simulator.run()
+        stats = simulator.stats()
+        assert stats is not None
+        assert stats.flavour == flavour
+        assert stats.events_dispatched > 0
+        assert set(stats.phase_seconds) == {"setup", "step", "collect"}
+
+
+def test_run_fast_flavour_override_tags_stats():
+    suite = paper_benchmark_suite(seed=3, application_count=2)
+    simulator = Simulator(
+        list(suite.graphs),
+        mapping=suite.mapping,
+        config=SimulationConfig(target_iterations=20),
+        backend="numpy",
+    )
+    run_fast(simulator, flavour="numpy")
+    assert simulator.stats().flavour == "numpy"
