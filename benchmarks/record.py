@@ -20,7 +20,11 @@ plotted and diffed across PRs:
   (PR 4's claim);
 * ``simulation.fastcore_speedup`` — the SoA fast stepping loop vs. the
   reference event loop, blended across arbitration policies on
-  conformance-recipe scenarios (PR 6's claim).
+  conformance-recipe scenarios (PR 6's claim);
+* ``telemetry`` — registry-derived observability counters of a cached
+  service run: result-cache hit rate, micro-batch size histogram,
+  engine fallback counters, and the full merged metrics snapshot
+  (PR 7's layer).
 
 Every snapshot leads with a ``header`` block carrying the schema
 version, so downstream tooling can dispatch on ``header.schema``
@@ -54,7 +58,10 @@ from typing import Callable, Dict, Optional, Sequence
 #: 2: ``header`` block (schema/python/backend/fast/errors), sections
 #:    individually fault-tolerant, ``simulation`` section and
 #:    ``speedups.batched_fixed_point_sweep`` added.
-SCHEMA_VERSION = 2
+#: 3: ``telemetry`` section — registry-derived result-cache hit rate,
+#:    micro-batch size histogram, engine fallback/fixed-point counters,
+#:    plus the full merged metrics snapshot of a cached service run.
+SCHEMA_VERSION = 3
 
 
 def _measure_sweeps(fast: bool) -> Dict[str, object]:
@@ -258,6 +265,74 @@ def _measure_service(fast: bool) -> Dict[str, object]:
     }
 
 
+def _sum_samples(
+    snapshot: Dict[str, object], name: str, key: str = "value"
+) -> float:
+    """Sum one field over every sample of a snapshot family (0 when the
+    family never came to life in this process)."""
+    entry = snapshot.get(name)
+    if not isinstance(entry, dict):
+        return 0.0
+    total = 0.0
+    for sample in entry.get("samples", ()):  # type: ignore[union-attr]
+        total += float(sample.get(key, 0.0))
+    return total
+
+
+def _measure_telemetry(fast: bool) -> Dict[str, object]:
+    """Registry-derived counters of one cached service run.
+
+    Unlike the throughput-oriented ``service`` section (which disables
+    the result cache to measure raw solve rate), this run keeps the
+    cache on so the snapshot shows the hit rates and batch shapes an
+    operator would scrape in production.  The merged snapshot also
+    carries the process-global engine/estimator counters accumulated by
+    the sections that ran before it — the point of a trajectory record.
+    """
+    from repro.experiments.service_load import LoadConfig, run_load
+    from repro.runtime.service import GallerySpec
+
+    load = run_load(
+        LoadConfig(
+            clients=4,
+            queries_per_client=8,
+            gallery=GallerySpec(application_count=4),
+        )
+    )
+    snapshot = load.telemetry
+    hits = _sum_samples(snapshot, "repro_result_cache_hits_total")
+    misses = _sum_samples(snapshot, "repro_result_cache_misses_total")
+    lookups = hits + misses
+    batch_entry = snapshot.get("repro_service_batch_size", {})
+    batch_samples = (
+        batch_entry.get("samples", [])  # type: ignore[union-attr]
+        if isinstance(batch_entry, dict)
+        else []
+    )
+    batch_size = dict(batch_samples[0]) if batch_samples else None
+    if batch_size is not None:
+        batch_size.pop("labels", None)
+    return {
+        "result_cache": {
+            "hits": int(hits),
+            "misses": int(misses),
+            "hit_rate": round(hits / lookups, 4) if lookups else None,
+        },
+        "batch_size": batch_size,
+        "fallbacks": {
+            "engine_batch_fallbacks": int(
+                _sum_samples(snapshot, "repro_engine_batch_fallbacks_total")
+            ),
+            "estimator_fixed_point_passes": int(
+                _sum_samples(
+                    snapshot, "repro_estimator_fixed_point_passes_total"
+                )
+            ),
+        },
+        "snapshot": snapshot,
+    }
+
+
 #: Section name -> measurement callable.  Sections run independently;
 #: one failing (or an optional dependency missing deeper than its own
 #: probe) must not cost the rest of the snapshot.
@@ -266,6 +341,7 @@ SECTIONS: Dict[str, Callable[[bool], object]] = {
     "simulation": _measure_simulation,
     "runtime": _measure_runtime,
     "service": _measure_service,
+    "telemetry": _measure_telemetry,
 }
 
 

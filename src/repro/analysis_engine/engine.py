@@ -51,6 +51,7 @@ from repro.sdf.mcm import (
     hsdf_ratio_edges,
 )
 from repro.sdf.statespace import self_timed_period
+from repro.telemetry import get_registry, get_tracer
 
 
 @dataclass
@@ -103,6 +104,26 @@ class AnalysisEngine:
         self.mcr_algorithm = mcr_algorithm
         self.stats = EngineStats()
         self._max_cache_entries = max_cache_entries
+        # Telemetry instruments are bound once here; per-solve cost is a
+        # single attribute lookup plus a no-op call when disabled.
+        registry = get_registry()
+        self._tracer = get_tracer()
+        self._metric_solves = registry.counter(
+            "repro_engine_solves_total",
+            "MCR/state-space period solves across all analysis engines",
+        )
+        self._metric_cache_hits = registry.counter(
+            "repro_engine_cache_hits_total",
+            "Period queries answered from the response-time memo",
+        )
+        self._metric_cache_misses = registry.counter(
+            "repro_engine_cache_misses_total",
+            "Period queries that required a solve",
+        )
+        self._metric_batch_fallbacks = registry.counter(
+            "repro_engine_batch_fallbacks_total",
+            "Batched MCR rows whose candidate cycle failed certification",
+        )
         self._actor_names: Tuple[str, ...] = graph.actor_names
         self._base_times: Dict[str, float] = graph.execution_times()
         self._cache: Dict[Optional[Tuple[float, ...]], float] = {}
@@ -115,27 +136,31 @@ class AnalysisEngine:
         self._batch_cache: Dict[Tuple[float, ...], float] = {}
 
         if method is AnalysisMethod.MCR:
-            hsdf = to_hsdf(graph)
-            vertex_count, edges = hsdf_ratio_edges(hsdf)
-            self._hsdf: Optional[HSDFGraph] = hsdf
-            self._vertex_keys: Tuple[Tuple[str, int], ...] = tuple(
-                v.key for v in hsdf.vertices
-            )
-            # Each edge's weight is the execution time of its *source
-            # vertex's actor*; remember the actor's position in the
-            # cache-key vector per edge so a response vector maps to
-            # edge weights by integer indexing, no per-solve dict.
-            actor_position = {
-                name: i for i, name in enumerate(self._actor_names)
-            }
-            self._edge_actor_indices: Tuple[int, ...] = tuple(
-                actor_position[e.source[0]] for e in hsdf.edges
-            )
-            self._solver: Optional[IncrementalMCRSolver] = (
-                IncrementalMCRSolver(
-                    vertex_count, edges, method=mcr_algorithm
+            with self._tracer.span(
+                "engine.build", graph=graph.name, method=method.value
+            ) as span:
+                hsdf = to_hsdf(graph)
+                vertex_count, edges = hsdf_ratio_edges(hsdf)
+                span.set(vertices=vertex_count, edges=len(edges))
+                self._hsdf: Optional[HSDFGraph] = hsdf
+                self._vertex_keys: Tuple[Tuple[str, int], ...] = tuple(
+                    v.key for v in hsdf.vertices
                 )
-            )
+                # Each edge's weight is the execution time of its *source
+                # vertex's actor*; remember the actor's position in the
+                # cache-key vector per edge so a response vector maps to
+                # edge weights by integer indexing, no per-solve dict.
+                actor_position = {
+                    name: i for i, name in enumerate(self._actor_names)
+                }
+                self._edge_actor_indices: Tuple[int, ...] = tuple(
+                    actor_position[e.source[0]] for e in hsdf.edges
+                )
+                self._solver: Optional[IncrementalMCRSolver] = (
+                    IncrementalMCRSolver(
+                        vertex_count, edges, method=mcr_algorithm
+                    )
+                )
         elif method is AnalysisMethod.STATE_SPACE:
             self._hsdf = None
             self._vertex_keys = ()
@@ -197,8 +222,10 @@ class AnalysisEngine:
         cached = self._cache.get(key)
         if cached is not None:
             self.stats.cache_hits += 1
+            self._metric_cache_hits.inc()
             return cached
         self.stats.cache_misses += 1
+        self._metric_cache_misses.inc()
         self._validate_key(key)
         if self.method is AnalysisMethod.MCR:
             value = self._solve(key).ratio
@@ -209,6 +236,7 @@ class AnalysisEngine:
                     dict(zip(self._actor_names, key))
                 )
             self.stats.solves += 1
+            self._metric_solves.inc()
             value = self_timed_period(graph)
         if len(self._cache) < self._max_cache_entries:
             self._cache[key] = value
@@ -294,9 +322,25 @@ class AnalysisEngine:
                         self._validate_key(key)
                 weights = times[:, list(self._edge_actor_indices)]
                 assert self._solver is not None
-                ratios = self._solver.solve_many(weights, xp)
+                fallbacks_before = self._solver.batch_fallbacks
+                with self._tracer.span(
+                    "engine.solve_batch",
+                    graph=self.graph.name,
+                    rows=len(keys),
+                    misses=len(misses),
+                ) as span:
+                    ratios = self._solver.solve_many(weights, xp)
+                    span.set(
+                        fallbacks=self._solver.batch_fallbacks
+                        - fallbacks_before
+                    )
+                self._metric_batch_fallbacks.inc(
+                    self._solver.batch_fallbacks - fallbacks_before
+                )
                 self.stats.solves += len(misses)
+                self._metric_solves.inc(len(misses))
                 self.stats.cache_misses += len(misses)
+                self._metric_cache_misses.inc(len(misses))
                 for key, ratio in zip(misses, ratios):
                     if (
                         len(self._batch_cache)
@@ -304,7 +348,10 @@ class AnalysisEngine:
                     ):
                         self._batch_cache[key] = ratio
                 resolved_values = dict(zip(misses, ratios))
-            self.stats.cache_hits += len(keys) - len(misses)
+            hit_rows = len(keys) - len(misses)
+            self.stats.cache_hits += hit_rows
+            if hit_rows:
+                self._metric_cache_hits.inc(hit_rows)
 
             def lookup(key: Tuple[float, ...]) -> float:
                 value = self._cache.get(key)
@@ -365,6 +412,7 @@ class AnalysisEngine:
         """Run the (warm-started) MCR solver for one time vector."""
         assert self._solver is not None
         self.stats.solves += 1
+        self._metric_solves.inc()
         if key is None:
             return self._solver.solve()
         weights = [key[i] for i in self._edge_actor_indices]

@@ -315,7 +315,50 @@ def _build_parser() -> argparse.ArgumentParser:
             "per-row convergence mask)"
         ),
     )
+    serve.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help=(
+            "expose merged Prometheus metrics over HTTP GET /metrics "
+            "on this port (0 = ephemeral; the bound address is printed)"
+        ),
+    )
+    serve.add_argument(
+        "--trace-export",
+        default=None,
+        metavar="PATH",
+        help=(
+            "on shutdown, write the session's spans as a Chrome-trace "
+            "(Perfetto-loadable) JSON timeline"
+        ),
+    )
+    serve.add_argument(
+        "--span-log",
+        default=None,
+        metavar="PATH",
+        help="stream every finished span to PATH as JSON lines",
+    )
     serve.set_defaults(handler=_cmd_serve)
+
+    metrics = commands.add_parser(
+        "metrics",
+        help=(
+            "scrape a running estimation server's merged metrics "
+            "(Prometheus text, or --json for the snapshot)"
+        ),
+    )
+    metrics.add_argument("--host", default="127.0.0.1")
+    metrics.add_argument(
+        "--port", type=int, required=True, help="server TCP port"
+    )
+    metrics.add_argument(
+        "--json",
+        action="store_true",
+        help="print the JSON snapshot instead of Prometheus text",
+    )
+    metrics.set_defaults(handler=_cmd_metrics)
 
     models = commands.add_parser(
         "models",
@@ -784,32 +827,86 @@ def _cmd_serve(arguments) -> None:
 
     from repro.service.cache import ResultCache
     from repro.service.server import EstimationServer
+    from repro.telemetry import (
+        JsonLinesSpanSink,
+        MetricsRegistry,
+        Tracer,
+        start_metrics_endpoint,
+        write_chrome_trace,
+    )
 
     async def _serve() -> None:
+        registry = MetricsRegistry(enabled=True)
+        tracer = Tracer()
+        span_sink = None
+        if arguments.span_log:
+            span_sink = JsonLinesSpanSink(arguments.span_log)
+            tracer.set_sink(span_sink)
         server = EstimationServer(
-            cache=ResultCache(arguments.cache_size),
+            cache=ResultCache(arguments.cache_size, registry=registry),
             batch_window=arguments.batch_window / 1e3,
             max_batch=arguments.max_batch,
             max_pending=arguments.max_pending,
             shed_policy=arguments.shed_policy,
             backend=arguments.backend,
             fixed_point_iterations=arguments.fixed_point_iterations,
+            registry=registry,
+            tracer=tracer,
         )
-        if arguments.stdio:
-            reader, writer = await _stdio_streams()
-            await server.serve_stdio(reader, writer)
-            return
-        host, port = await server.start(arguments.host, arguments.port)
-        print(f"serving on {host}:{port}", flush=True)
+        metrics_server = None
         try:
+            if arguments.metrics_port is not None:
+                metrics_server, (mhost, mport) = await start_metrics_endpoint(
+                    server.render_metrics,
+                    host=arguments.host,
+                    port=arguments.metrics_port,
+                )
+                print(
+                    f"metrics on http://{mhost}:{mport}/metrics", flush=True
+                )
+            if arguments.stdio:
+                reader, writer = await _stdio_streams()
+                await server.serve_stdio(reader, writer)
+                return
+            host, port = await server.start(arguments.host, arguments.port)
+            print(f"serving on {host}:{port}", flush=True)
             await server.wait_shutdown()
         finally:
             await server.aclose()
+            if metrics_server is not None:
+                metrics_server.close()
+                await metrics_server.wait_closed()
+            if arguments.trace_export:
+                write_chrome_trace(
+                    arguments.trace_export, spans=server.tracer.spans()
+                )
+            if span_sink is not None:
+                span_sink.close()
 
     try:
         asyncio.run(_serve())
     except KeyboardInterrupt:
         pass
+
+
+def _cmd_metrics(arguments) -> None:
+    import asyncio
+    import json
+
+    from repro.service.client import ServiceClient
+
+    async def _scrape():
+        client = await ServiceClient.connect(arguments.host, arguments.port)
+        try:
+            return await client.metrics()
+        finally:
+            await client.aclose()
+
+    result = asyncio.run(_scrape())
+    if arguments.json:
+        print(json.dumps(result["snapshot"], indent=2, sort_keys=True))
+    else:
+        print(result["exposition"], end="")
 
 
 async def _stdio_streams():

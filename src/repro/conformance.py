@@ -84,6 +84,7 @@ from repro.simulation.engine import (
     _jit_requested,
 )
 from repro.simulation.metrics import EngineStats
+from repro.telemetry import get_registry
 
 #: Master seed of the default conformance batch.
 DEFAULT_CONFORMANCE_SEED = 20_077
@@ -454,6 +455,81 @@ def _model_for_scenario(info: WaitingModelInfo, scenario: Scenario):
     )
 
 
+def _engine_profile_snapshot() -> Dict[str, EngineStats]:
+    """Per-flavour engine totals currently held by the metrics registry.
+
+    :meth:`Simulator.run` folds every run's :class:`EngineStats` into
+    the always-on ``repro_sim_*`` counters; this reads them back into
+    the same dataclass the profile table renders from.
+    """
+    registry = get_registry()
+    phases = registry.label_values("repro_sim_phase_seconds_total", "phase")
+    profile: Dict[str, EngineStats] = {}
+    for flavour in registry.label_values(
+        "repro_sim_events_dispatched_total", "flavour"
+    ):
+        phase_seconds: Dict[str, float] = {}
+        for phase in phases:
+            seconds = registry.value(
+                "repro_sim_phase_seconds_total",
+                flavour=flavour,
+                phase=phase,
+            )
+            if seconds:
+                phase_seconds[phase] = seconds
+
+        def _count(name: str) -> int:
+            return int(registry.value(name, flavour=flavour) or 0)
+
+        profile[flavour] = EngineStats(
+            flavour=flavour,
+            events_dispatched=_count("repro_sim_events_dispatched_total"),
+            stale_events=_count("repro_sim_stale_events_total"),
+            preemptions=_count("repro_sim_preemptions_total"),
+            phase_seconds=phase_seconds,
+        )
+    return profile
+
+
+def _engine_profile_delta(
+    before: Dict[str, EngineStats],
+    after: Dict[str, EngineStats],
+) -> Dict[str, EngineStats]:
+    """Engine work accumulated between two registry snapshots.
+
+    The registry counts every simulation in the process, so a suite
+    scopes its profile by differencing snapshots taken around its own
+    runs.  Flavours that did no work in the window are dropped.
+    """
+    delta: Dict[str, EngineStats] = {}
+    for flavour, end in after.items():
+        base = before.get(flavour)
+        stats = EngineStats(
+            flavour=flavour,
+            events_dispatched=end.events_dispatched
+            - (base.events_dispatched if base else 0),
+            stale_events=end.stale_events
+            - (base.stale_events if base else 0),
+            preemptions=end.preemptions
+            - (base.preemptions if base else 0),
+            phase_seconds={},
+        )
+        for phase, seconds in end.phase_seconds.items():
+            grown = seconds - (
+                base.phase_seconds.get(phase, 0.0) if base else 0.0
+            )
+            if grown > 0.0:
+                stats.phase_seconds[phase] = grown
+        if (
+            stats.events_dispatched
+            or stats.stale_events
+            or stats.preemptions
+            or stats.phase_seconds
+        ):
+            delta[flavour] = stats
+    return delta
+
+
 def run_conformance(
     application_count: int = 4,
     scenarios_per_model: int = 50,
@@ -479,8 +555,10 @@ def run_conformance(
     optional shared cross-call cache (like ``generate_scenarios``'s
     ``suites``); the key carries the backend/JIT flavour so runs from
     different engine configurations are never conflated.  With
-    ``collect_stats`` every run's :class:`EngineStats` is merged into
-    ``report.engine_profile`` by actual flavour.
+    ``collect_stats`` the per-flavour ``repro_sim_*`` counters of the
+    shared metrics registry are snapshotted around the suite and their
+    delta becomes ``report.engine_profile`` — the profile table is a
+    view over the same telemetry every other consumer scrapes.
     """
     started = _time.perf_counter()
     selected = (
@@ -508,7 +586,9 @@ def run_conformance(
     )
     if simulations is None:
         simulations = {}
-    engine_profile: Dict[str, EngineStats] = {}
+    profile_baseline = (
+        _engine_profile_snapshot() if collect_stats else {}
+    )
     simulations_run = 0
     estimators: Dict[object, ProbabilisticEstimator] = {}
     # Structural analysis (HSDF expansion, Howard warm starts, period
@@ -578,19 +658,6 @@ def run_conformance(
                 )
                 result = simulator.run()
                 simulations_run += 1
-                if collect_stats:
-                    stats = simulator.stats()
-                    pooled = engine_profile.get(stats.flavour)
-                    if pooled is None:
-                        engine_profile[stats.flavour] = EngineStats(
-                            flavour=stats.flavour,
-                            events_dispatched=stats.events_dispatched,
-                            stale_events=stats.stale_events,
-                            preemptions=stats.preemptions,
-                            phase_seconds=dict(stats.phase_seconds),
-                        )
-                    else:
-                        pooled.merge(stats)
                 simulated = {
                     name: result.period_of(name)
                     for name in scenario.use_case
@@ -660,5 +727,11 @@ def run_conformance(
         reports=reports,
         elapsed_seconds=_time.perf_counter() - started,
         simulations_run=simulations_run,
-        engine_profile=engine_profile,
+        engine_profile=(
+            _engine_profile_delta(
+                profile_baseline, _engine_profile_snapshot()
+            )
+            if collect_stats
+            else {}
+        ),
     )

@@ -63,6 +63,7 @@ from repro.sdf.analysis import (
     period_with_response_times,
 )
 from repro.sdf.graph import SDFGraph
+from repro.telemetry import COUNT_BUCKETS, get_registry, get_tracer
 
 
 @dataclass
@@ -279,6 +280,24 @@ class ProbabilisticEstimator:
                 for name, graph in self.graphs.items()
             }
 
+        # Telemetry instruments are bound once per estimator; the hot
+        # loops pay a single no-op call when telemetry is disabled.
+        registry = get_registry()
+        self._tracer = get_tracer()
+        self._metric_use_cases = registry.counter(
+            "repro_estimator_use_cases_total",
+            "Use-case estimates produced (scalar and batched paths)",
+        )
+        self._metric_passes = registry.counter(
+            "repro_estimator_fixed_point_passes_total",
+            "Fixed-point refinement passes across batched estimates",
+        )
+        self._metric_active_rows = registry.histogram(
+            "repro_estimator_active_rows",
+            "Unconverged rows entering each batched fixed-point pass",
+            buckets=COUNT_BUCKETS,
+        )
+
     # ------------------------------------------------------------------
     def _can_batch(self, iterations: int) -> bool:
         """Whether the vectorized pipeline covers this configuration.
@@ -324,6 +343,7 @@ class ProbabilisticEstimator:
                 [use_case], iterations=iterations, tolerance=tolerance
             )[0]
         active = use_case.select(list(self.graphs.values()))
+        self._metric_use_cases.inc()
         started = _time.perf_counter()
 
         current_periods = {
@@ -415,12 +435,19 @@ class ProbabilisticEstimator:
                 iterations=iterations,
                 tolerance=tolerance,
             )
-        return [
-            self.estimate(
-                use_case, iterations=iterations, tolerance=tolerance
-            )
-            for use_case in use_cases
-        ]
+        with self._tracer.span(
+            "estimator.estimate_many",
+            model=self.waiting_model.name,
+            use_cases=len(use_cases),
+            iterations=iterations,
+            batched=False,
+        ):
+            return [
+                self.estimate(
+                    use_case, iterations=iterations, tolerance=tolerance
+                )
+                for use_case in use_cases
+            ]
 
     def sweep_all_sizes(
         self,
@@ -617,6 +644,25 @@ class ProbabilisticEstimator:
         iterations: int = 1,
         tolerance: float = 1e-6,
     ) -> List[EstimationResult]:
+        """Span-wrapped entry to the array pipeline (:meth:`_run_batched`)."""
+        with self._tracer.span(
+            "estimator.estimate_many",
+            model=self.waiting_model.name,
+            use_cases=len(use_cases),
+            iterations=iterations,
+            batched=True,
+        ) as span:
+            results = self._run_batched(use_cases, iterations, tolerance)
+            if results:
+                span.set(passes=max(r.iterations_used for r in results))
+            return results
+
+    def _run_batched(
+        self,
+        use_cases: Sequence[UseCase],
+        iterations: int = 1,
+        tolerance: float = 1e-6,
+    ) -> List[EstimationResult]:
         """The array flavour of :meth:`estimate_many`.
 
         Produces the same :class:`EstimationResult` values as the scalar
@@ -641,6 +687,7 @@ class ProbabilisticEstimator:
         started = _time.perf_counter()
         if not use_cases:
             return []
+        self._metric_use_cases.inc(len(use_cases))
         xp = self.backend.xp  # type: ignore[union-attr]
         structure = self._batch_structure_for()
         batch = len(use_cases)
@@ -667,6 +714,10 @@ class ProbabilisticEstimator:
             rows = xp.nonzero(active_rows)[0]
             if int(rows.size) == 0:
                 break
+            # Convergence-mask shrinkage: each pass observes how many
+            # rows are still refining, so the histogram shows the decay.
+            self._metric_passes.inc()
+            self._metric_active_rows.observe(int(rows.size))
             sub_mask = mask[rows]
             for index, processor in enumerate(structure.processors):
                 active = sub_mask[:, processor.app_columns]

@@ -55,3 +55,7 @@ class ResourceManagerError(ReproError):
 
 class ServiceError(ReproError):
     """Estimation-service failure: bad request, overload, closed server."""
+
+
+class TelemetryError(ReproError):
+    """Invalid telemetry usage: bad metric name, conflicting registration."""

@@ -7,10 +7,20 @@ see — with a fully in-process, reproducible experiment: an
 port, ``clients`` concurrent :class:`~repro.service.client
 .ServiceClient` connections, each issuing ``queries_per_client``
 questions drawn from a per-client seeded RNG over the gallery's
-non-empty use-cases.  Every query's wall-clock latency is recorded;
-the report carries throughput, latency percentiles and the server-side
+non-empty use-cases.  Client-observed latencies land in a telemetry
+:class:`~repro.telemetry.Histogram` (the same instrument family the
+server exposes), so the latency percentiles of the report, the
+``metrics`` exposition and any scrape all read one source of truth.
+The report carries throughput, latency percentiles and the server-side
 micro-batching/cache/shedding counters, so one run shows *why* the
 throughput number is what it is.
+
+Observability hooks mirror ``repro serve``: ``metrics_port`` exposes
+the merged exposition over HTTP ``GET /metrics`` while the run is
+live (and the report keeps the text a real scrape returned),
+``trace_export`` writes the server's span timeline as Chrome-trace
+JSON, ``span_log`` streams finished spans as JSON lines, and
+``metrics_output`` saves the final exposition to a file.
 
 Usage (module or CLI)::
 
@@ -27,6 +37,7 @@ import asyncio
 import random
 import time as _time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.exceptions import ExperimentError, ServiceError
@@ -36,6 +47,20 @@ from repro.service.cache import ResultCache
 from repro.service.client import ServiceClient
 from repro.service.pool import EnginePool
 from repro.service.server import EstimationServer
+from repro.telemetry import (
+    Histogram,
+    JsonLinesSpanSink,
+    MetricsRegistry,
+    Tracer,
+    log_buckets,
+    start_metrics_endpoint,
+    write_chrome_trace,
+)
+
+#: Client-side latency bounds: 10 µs .. 10 s, four buckets per decade —
+#: tight enough that nearest-rank quantiles off the buckets track the
+#: exact-sample percentiles the report used to hand-roll.
+LATENCY_BUCKETS = log_buckets(1e-5, 10.0)
 
 
 @dataclass(frozen=True)
@@ -55,6 +80,10 @@ class LoadConfig:
     shed_policy: str = "reject"
     cache_entries: int = 4096
     backend: Optional[str] = None
+    metrics_port: Optional[int] = None
+    trace_export: Optional[str] = None
+    span_log: Optional[str] = None
+    metrics_output: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.clients < 1:
@@ -83,6 +112,9 @@ class LoadReport:
     shed: int
     degraded: int
     config: LoadConfig
+    telemetry: Dict[str, object] = field(default_factory=dict)
+    exposition: str = ""
+    scraped_exposition: Optional[str] = None
 
     def render(self) -> str:
         rows = [
@@ -111,17 +143,6 @@ class LoadReport:
         )
 
 
-def percentile(samples: Sequence[float], fraction: float) -> float:
-    """Nearest-rank percentile (deterministic, no interpolation)."""
-    if not samples:
-        raise ExperimentError("percentile of an empty sample set")
-    if not 0.0 <= fraction <= 1.0:
-        raise ExperimentError(f"fraction must be within [0, 1], got {fraction}")
-    ordered = sorted(samples)
-    rank = min(len(ordered) - 1, int(fraction * len(ordered)))
-    return ordered[rank]
-
-
 def _client_plan(config: LoadConfig, client_index: int) -> List[Tuple[str, ...]]:
     """The seeded use-case sequence one client will ask about."""
     names = config.gallery.application_names()
@@ -137,7 +158,7 @@ async def _run_client(
     config: LoadConfig,
     address: Tuple[str, int],
     client_index: int,
-    latencies: List[float],
+    latency: Histogram,
     errors: List[str],
 ) -> None:
     gallery = {
@@ -147,7 +168,9 @@ async def _run_client(
     }
     client = await ServiceClient.connect(address[0], address[1])
     try:
-        for use_case in _client_plan(config, client_index):
+        for query_index, use_case in enumerate(
+            _client_plan(config, client_index)
+        ):
             started = _time.perf_counter()
             try:
                 await client.estimate(
@@ -155,46 +178,107 @@ async def _run_client(
                     gallery=gallery,
                     model=config.model,
                     method=config.method,
+                    trace=f"load-{config.seed}-{client_index}-{query_index}",
                 )
             except ServiceError as error:
                 errors.append(str(error))
                 continue
-            latencies.append(_time.perf_counter() - started)
+            latency.observe(_time.perf_counter() - started)
     finally:
         await client.aclose()
 
 
+async def _scrape_http(host: str, port: int) -> str:
+    """One in-loop ``GET /metrics`` against the HTTP endpoint — what an
+    external scraper would see, fetched without blocking the loop."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(
+            b"GET /metrics HTTP/1.0\r\nHost: " + host.encode() + b"\r\n\r\n"
+        )
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+        await writer.wait_closed()
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status = head.split(b"\r\n", 1)[0]
+    if b"200" not in status:
+        raise ExperimentError(
+            f"metrics endpoint answered {status.decode(errors='replace')!r}"
+        )
+    return body.decode("utf-8")
+
+
 async def _run(config: LoadConfig) -> LoadReport:
+    registry = MetricsRegistry(enabled=True)
+    tracer = Tracer()
+    span_sink = None
+    if config.span_log:
+        span_sink = JsonLinesSpanSink(config.span_log)
+        tracer.set_sink(span_sink)
+    # The client-side latency histogram lives in the *server's* registry
+    # on purpose: one exposition then carries the whole story — what
+    # clients saw next to what the batcher did.
+    latency = registry.histogram(
+        "repro_load_latency_seconds",
+        "Client-observed estimate latency of the load generator",
+        buckets=LATENCY_BUCKETS,
+        always=True,
+    )
     server = EstimationServer(
-        pool=EnginePool(backend=config.backend),
-        cache=ResultCache(config.cache_entries),
+        pool=EnginePool(backend=config.backend, registry=registry),
+        cache=ResultCache(config.cache_entries, registry=registry),
         batch_window=config.batch_window,
         max_batch=config.max_batch,
         max_pending=config.max_pending,
         shed_policy=config.shed_policy,
+        registry=registry,
+        tracer=tracer,
     )
     address = await server.start()
-    latencies: List[float] = []
+    metrics_server = None
+    scraped: Optional[str] = None
     errors: List[str] = []
-    started = _time.perf_counter()
     try:
+        if config.metrics_port is not None:
+            metrics_server, metrics_address = await start_metrics_endpoint(
+                server.render_metrics, port=config.metrics_port
+            )
+        started = _time.perf_counter()
         await asyncio.gather(
             *[
-                _run_client(config, address, index, latencies, errors)
+                _run_client(config, address, index, latency, errors)
                 for index in range(config.clients)
             ]
         )
         elapsed = _time.perf_counter() - started
+        if metrics_server is not None:
+            scraped = await _scrape_http(*metrics_address)
         stats = server.snapshot()
+        telemetry = server.metrics_snapshot()
+        exposition = server.render_metrics()
     finally:
         await server.aclose()
-    queries = len(latencies)
+        if metrics_server is not None:
+            metrics_server.close()
+            await metrics_server.wait_closed()
+        if config.trace_export:
+            write_chrome_trace(config.trace_export, spans=server.tracer.spans())
+        if span_sink is not None:
+            span_sink.close()
+    if config.metrics_output:
+        Path(config.metrics_output).write_text(
+            scraped if scraped is not None else exposition,
+            encoding="utf-8",
+        )
+    queries = latency.count
     cache: Dict[str, object] = stats["cache"]  # type: ignore[assignment]
 
     def latency_ms(fraction: float) -> float:
         # All-error runs have no latencies; the report must still come
         # back (errors=N is the finding, not a crash).
-        return percentile(latencies, fraction) * 1e3 if latencies else 0.0
+        return latency.quantile(fraction) * 1e3 if queries else 0.0
 
     return LoadReport(
         queries=queries,
@@ -210,6 +294,9 @@ async def _run(config: LoadConfig) -> LoadReport:
         shed=int(stats["shed"]),  # type: ignore[arg-type]
         degraded=int(stats["degraded"]),  # type: ignore[arg-type]
         config=config,
+        telemetry=telemetry,
+        exposition=exposition,
+        scraped_exposition=scraped,
     )
 
 
@@ -235,6 +322,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default="reject",
     )
     parser.add_argument("--backend", choices=("auto", "numpy", "python"), default=None)
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="expose HTTP GET /metrics during the run (0 = ephemeral)",
+    )
+    parser.add_argument(
+        "--trace-export",
+        default=None,
+        metavar="PATH",
+        help="write the server's spans as Chrome-trace JSON",
+    )
+    parser.add_argument(
+        "--span-log",
+        default=None,
+        metavar="PATH",
+        help="stream finished spans to PATH as JSON lines",
+    )
+    parser.add_argument(
+        "--metrics-output",
+        default=None,
+        metavar="PATH",
+        help="save the final Prometheus exposition to PATH",
+    )
     arguments = parser.parse_args(argv)
     report = run_load(
         LoadConfig(
@@ -249,6 +361,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             cache_entries=arguments.cache_size,
             shed_policy=arguments.shed_policy,
             backend=arguments.backend,
+            metrics_port=arguments.metrics_port,
+            trace_export=arguments.trace_export,
+            span_log=arguments.span_log,
+            metrics_output=arguments.metrics_output,
         )
     )
     print(report.render())

@@ -50,6 +50,7 @@ from repro.runtime.quality import (
     QualityLevel,
 )
 from repro.sdf.analysis import AnalysisMethod
+from repro.telemetry import get_registry, get_tracer
 from repro.sdf.graph import SDFGraph
 
 
@@ -423,6 +424,23 @@ class ResourceManager:
             rebuild_interval=rebuild_interval,
         )
         self._quality: Dict[str, str] = {}
+        # Telemetry: per-outcome decision counters plus a latency
+        # histogram for the decision loop (bound once; the replay hot
+        # loop pays one no-op call per event when telemetry is off).
+        registry = get_registry()
+        self._tracer = get_tracer()
+        self._metric_decisions = {
+            outcome: registry.counter(
+                "repro_runtime_decisions_total",
+                "Decision-loop outcomes by kind",
+                outcome=outcome,
+            )
+            for outcome in ("admitted", "rejected", "stopped", "ignored")
+        }
+        self._metric_decision_seconds = registry.histogram(
+            "repro_runtime_decision_seconds",
+            "Wall-clock seconds per decision-loop event",
+        )
 
     # ------------------------------------------------------------------
     # Queries
@@ -501,8 +519,11 @@ class ResourceManager:
             }
         )
         started = _time.perf_counter()
-        for index, event in enumerate(trace):
-            log.append(self.handle_event(event, index=index))
+        with self._tracer.span(
+            "runtime.replay", policy=self.policy.name, events=len(trace)
+        ):
+            for index, event in enumerate(trace):
+                log.append(self.handle_event(event, index=index))
         log.elapsed_seconds = _time.perf_counter() - started
         return log
 
@@ -521,9 +542,12 @@ class ResourceManager:
             record = self._handle_stop(event, index)
         else:
             record = self._handle_adjust(event, index)
-        object.__setattr__(
-            record, "decision_seconds", _time.perf_counter() - started
-        )
+        elapsed = _time.perf_counter() - started
+        object.__setattr__(record, "decision_seconds", elapsed)
+        metric = self._metric_decisions.get(record.outcome)
+        if metric is not None:
+            metric.inc()
+        self._metric_decision_seconds.observe(elapsed)
         return record
 
     # -- start ----------------------------------------------------------

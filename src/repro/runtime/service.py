@@ -49,6 +49,7 @@ from repro.platform.usecase import (
     sampled_use_cases_by_size,
 )
 from repro.sdf.analysis import AnalysisMethod
+from repro.telemetry import get_registry, get_tracer
 
 #: Gallery kinds a :class:`GallerySpec` can rebuild from scratch.
 GALLERY_KINDS: Tuple[str, ...] = ("paper", "media")
@@ -325,6 +326,16 @@ class SweepService:
         self.backend: Optional[str] = (
             get_backend(backend).name if backend is not None else None
         )
+        registry = get_registry()
+        self._tracer = get_tracer()
+        self._metric_hits = registry.counter(
+            "repro_sweep_store_hits_total",
+            "Sweep use-cases answered from the result store",
+        )
+        self._metric_misses = registry.counter(
+            "repro_sweep_store_misses_total",
+            "Sweep use-cases that required an estimate",
+        )
 
     def sweep(
         self,
@@ -368,13 +379,23 @@ class SweepService:
             else:
                 misses.append((use_case, key))
 
+        self._metric_hits.inc(len(selected) - len(misses))
+        self._metric_misses.inc(len(misses))
         if misses:
-            for key, record in self._compute(
-                gallery, model, method, misses, fixed_point_iterations
+            with self._tracer.span(
+                "sweep.compute",
+                gallery=gallery.label(),
+                model=model,
+                method=method.value,
+                misses=len(misses),
+                jobs=self.jobs,
             ):
-                by_key[key] = record
-                if self.store is not None:
-                    self.store.put(key, record)
+                for key, record in self._compute(
+                    gallery, model, method, misses, fixed_point_iterations
+                ):
+                    by_key[key] = record
+                    if self.store is not None:
+                        self.store.put(key, record)
 
         return SweepOutcome(
             results=[by_key[key] for key in keys],

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.exceptions import ServiceError
+from repro.telemetry import MetricsRegistry, get_registry
 
 #: ``(gallery, use_case, model, method)`` — see ``ResultStore.key``.
 CacheKey = Tuple[str, str, str, str]
@@ -36,12 +37,33 @@ class ResultCache:
     micro-batching throughput.
     """
 
-    def __init__(self, max_entries: int = 4096) -> None:
+    def __init__(
+        self,
+        max_entries: int = 4096,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         if max_entries < 0:
             raise ServiceError(f"max_entries must be >= 0, got {max_entries}")
         self.max_entries = max_entries
         self.stats = CacheStats()
         self._entries: "OrderedDict[CacheKey, Dict[str, object]]" = (OrderedDict())
+        registry = registry if registry is not None else get_registry()
+        self._metric_hits = registry.counter(
+            "repro_result_cache_hits_total",
+            "Estimation queries answered from the service result cache",
+        )
+        self._metric_misses = registry.counter(
+            "repro_result_cache_misses_total",
+            "Estimation queries that missed the service result cache",
+        )
+        self._metric_evictions = registry.counter(
+            "repro_result_cache_evictions_total",
+            "Cached results dropped by the LRU bound",
+        )
+        self._metric_invalidations = registry.counter(
+            "repro_result_cache_invalidations_total",
+            "Cached results dropped by gallery invalidation",
+        )
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -50,9 +72,11 @@ class ResultCache:
         entry = self._entries.get(key)
         if entry is None:
             self.stats.misses += 1
+            self._metric_misses.inc()
             return None
         self._entries.move_to_end(key)
         self.stats.hits += 1
+        self._metric_hits.inc()
         return entry
 
     def put(self, key: CacheKey, value: Dict[str, object]) -> None:
@@ -63,6 +87,7 @@ class ResultCache:
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+            self._metric_evictions.inc()
 
     def invalidate_gallery(self, gallery_label: str) -> int:
         """Drop every entry of one gallery; returns how many fell."""
@@ -70,6 +95,7 @@ class ResultCache:
         for key in stale:
             del self._entries[key]
         self.stats.invalidations += len(stale)
+        self._metric_invalidations.inc(len(stale))
         return len(stale)
 
     def snapshot(self) -> Dict[str, object]:

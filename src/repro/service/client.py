@@ -95,21 +95,33 @@ class ServiceClient:
         gallery: Optional[Dict[str, object]] = None,
         model: str = "second_order",
         method: str = "mcr",
+        trace: Optional[str] = None,
     ) -> Dict[str, object]:
         """Ask for one use-case's periods; returns the result payload
-        (periods, isolation, cached/degraded markers, batch size)."""
-        return await self._call(
-            {
-                "op": "estimate",
-                "gallery": dict(gallery) if gallery else {},
-                "use_case": list(use_case),
-                "model": model,
-                "method": method,
-            }
-        )
+        (periods, isolation, cached/degraded markers, batch size).
+
+        ``trace`` is an optional opaque id the server stamps on every
+        span this request produces and echoes back in the result, so
+        pipelined callers can correlate answers with server timelines.
+        """
+        payload: Dict[str, object] = {
+            "op": "estimate",
+            "gallery": dict(gallery) if gallery else {},
+            "use_case": list(use_case),
+            "model": model,
+            "method": method,
+        }
+        if trace is not None:
+            payload["trace"] = trace
+        return await self._call(payload)
 
     async def stats(self) -> Dict[str, object]:
         return await self._call({"op": "stats"})
+
+    async def metrics(self) -> Dict[str, object]:
+        """The server's merged metrics: Prometheus ``exposition`` text
+        plus the JSON ``snapshot``."""
+        return await self._call({"op": "metrics"})
 
     async def invalidate(self, gallery: Dict[str, object]) -> Dict[str, object]:
         return await self._call({"op": "invalidate", "gallery": dict(gallery)})

@@ -26,6 +26,7 @@ from repro.core.estimator import ProbabilisticEstimator
 from repro.exceptions import ServiceError
 from repro.runtime.service import GallerySpec
 from repro.sdf.analysis import AnalysisMethod
+from repro.telemetry import MetricsRegistry, get_registry
 
 
 @dataclass
@@ -67,7 +68,10 @@ class EnginePool:
     """
 
     def __init__(
-        self, max_galleries: int = 8, backend: Optional[object] = None
+        self,
+        max_galleries: int = 8,
+        backend: Optional[object] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if max_galleries < 1:
             raise ServiceError(f"max_galleries must be >= 1, got {max_galleries}")
@@ -75,6 +79,19 @@ class EnginePool:
         self.backend = backend
         self.stats = PoolStats()
         self._galleries: "OrderedDict[str, _GalleryEntry]" = OrderedDict()
+        registry = registry if registry is not None else get_registry()
+        self._metric_builds = registry.counter(
+            "repro_pool_gallery_builds_total",
+            "Gallery suites built (cold structural work) by the engine pool",
+        )
+        self._metric_evictions = registry.counter(
+            "repro_pool_gallery_evictions_total",
+            "Warm galleries dropped by the pool's LRU bound",
+        )
+        self._metric_estimators = registry.counter(
+            "repro_pool_estimator_builds_total",
+            "Estimators attached to warm engine sets",
+        )
 
     def __len__(self) -> int:
         return len(self._galleries)
@@ -91,10 +108,12 @@ class EnginePool:
                 mapping=suite.mapping,
             )
             self.stats.gallery_builds += 1
+            self._metric_builds.inc()
             self._galleries[label] = entry
             while len(self._galleries) > self.max_galleries:
                 self._galleries.popitem(last=False)
                 self.stats.gallery_evictions += 1
+                self._metric_evictions.inc()
         self._galleries.move_to_end(label)
         return entry
 
@@ -124,6 +143,7 @@ class EnginePool:
                 backend=self.backend,
             )
             self.stats.estimator_builds += 1
+            self._metric_estimators.inc()
             entry.estimators[(model, method.value)] = estimator
         return estimator
 

@@ -18,6 +18,12 @@ Requests::
     {"id": 3, "op": "stats"}
     {"id": 4, "op": "invalidate", "gallery": {...}}
     {"id": 5, "op": "shutdown"}
+    {"id": 6, "op": "metrics"}
+
+Requests may carry an optional ``trace`` field (an opaque string or
+integer): the server stamps it on every span the request produces and
+echoes it inside the result payload, so a pipelined client can correlate
+its questions with the server-side timeline.
 
 Responses::
 
@@ -50,9 +56,15 @@ OPERATIONS: Tuple[str, ...] = (
     "ping",
     "estimate",
     "stats",
+    "metrics",
     "invalidate",
     "shutdown",
 )
+
+#: Bound on the optional request-scoped ``trace`` id; it travels through
+#: span records and exporter output, so a hostile client must not be able
+#: to inflate them arbitrarily.
+MAX_TRACE_ID_LENGTH = 128
 
 
 def encode_message(payload: Dict[str, object]) -> bytes:
@@ -203,3 +215,24 @@ def resolve_request_id(payload: Dict[str, object]) -> Optional[object]:
     if request_id is not None and not isinstance(request_id, (str, int, float, bool)):
         raise ServiceError("request 'id' must be a JSON scalar")
     return request_id
+
+
+def resolve_trace_id(payload: Dict[str, object]) -> Optional[str]:
+    """The optional request-scoped ``trace`` id — an opaque client
+    string stamped on every span the request produces and echoed inside
+    the result payload.  Deliberately *not* part of :class:`Query`:
+    identical questions from differently-traced clients must still
+    deduplicate and share cache entries."""
+    value = payload.get("trace")
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (str, int)):
+        raise ServiceError("request 'trace' must be a string or integer")
+    trace_id = str(value)
+    if not trace_id:
+        raise ServiceError("request 'trace' must not be empty")
+    if len(trace_id) > MAX_TRACE_ID_LENGTH:
+        raise ServiceError(
+            f"request 'trace' exceeds {MAX_TRACE_ID_LENGTH} characters"
+        )
+    return trace_id

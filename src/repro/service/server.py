@@ -36,6 +36,7 @@ On top of the batcher sit:
 from __future__ import annotations
 
 import asyncio
+import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -62,6 +63,15 @@ from repro.service.protocol import (
     parse_estimate,
     parse_gallery,
     resolve_request_id,
+    resolve_trace_id,
+)
+from repro.telemetry import (
+    COUNT_BUCKETS,
+    MetricsRegistry,
+    Tracer,
+    get_registry,
+    render_merged,
+    snapshot_merged,
 )
 
 #: Waiting model served under the ``downgrade`` shedding policy — the
@@ -70,24 +80,168 @@ from repro.service.protocol import (
 DEFAULT_DEGRADED_MODEL = "composability"
 
 
-@dataclass
 class ServerStats:
-    """Counters behind the ``stats`` op (all since server start)."""
+    """Counters behind the ``stats`` op (all since server start).
 
-    requests: int = 0
-    estimate_requests: int = 0
-    solved_queries: int = 0
-    batches: int = 0
-    batched_queries: int = 0
-    max_batch: int = 0
-    shed: int = 0
-    evicted: int = 0
-    degraded: int = 0
-    errors: int = 0
+    A *view* over the server's metrics registry: every counter is a
+    registry instrument (visible in the ``metrics`` exposition), and the
+    ``stats`` response reads the very same instruments — the two
+    surfaces cannot drift.  Instruments are created ``always=True`` so
+    the byte-compatible ``stats`` contract holds even when telemetry is
+    disabled via ``REPRO_TELEMETRY=0``.
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        counter = registry.counter
+        self._requests = counter(
+            "repro_service_requests_total",
+            "Requests received, any operation",
+            always=True,
+        )
+        self._estimate_requests = counter(
+            "repro_service_estimate_requests_total",
+            "Estimate requests received",
+            always=True,
+        )
+        self._solved_queries = counter(
+            "repro_service_solved_queries_total",
+            "Deduplicated queries answered by a batched solve",
+            always=True,
+        )
+        self._batches = counter(
+            "repro_service_batches_total",
+            "Micro-batches drained by the batcher",
+            always=True,
+        )
+        self._batched_queries = counter(
+            "repro_service_batched_queries_total",
+            "Pending queries drained into micro-batches",
+            always=True,
+        )
+        self._shed = counter(
+            "repro_service_shed_total",
+            "Queries refused by the overload policy",
+            always=True,
+        )
+        self._evicted = counter(
+            "repro_service_evicted_total",
+            "Pending queries evicted by newer arrivals under overload",
+            always=True,
+        )
+        self._degraded = counter(
+            "repro_service_degraded_total",
+            "Queries downgraded to the cheaper waiting model",
+            always=True,
+        )
+        self._errors = counter(
+            "repro_service_errors_total",
+            "Requests answered with an error response",
+            always=True,
+        )
+        self._max_batch = registry.gauge(
+            "repro_service_max_batch",
+            "Largest micro-batch drained so far",
+            always=True,
+        )
+        self._batch_size = registry.histogram(
+            "repro_service_batch_size",
+            "Queries per drained micro-batch",
+            buckets=COUNT_BUCKETS,
+            always=True,
+        )
+        self._batch_groups = registry.histogram(
+            "repro_service_batch_groups",
+            "Distinct (gallery, model, method) groups per micro-batch",
+            buckets=COUNT_BUCKETS,
+            always=True,
+        )
+        self._queue_wait = registry.histogram(
+            "repro_service_queue_wait_seconds",
+            "Seconds estimate queries spent in the pending queue",
+            always=True,
+        )
+
+    # -- mutators (the only writers of these instruments) --------------
+
+    def record_request(self) -> None:
+        self._requests.inc()
+
+    def record_estimate_request(self) -> None:
+        self._estimate_requests.inc()
+
+    def record_error(self) -> None:
+        self._errors.inc()
+
+    def record_shed(self) -> None:
+        self._shed.inc()
+
+    def record_evicted(self) -> None:
+        self._evicted.inc()
+
+    def record_degraded(self) -> None:
+        self._degraded.inc()
+
+    def record_batch(self, size: int) -> None:
+        self._batches.inc()
+        self._batched_queries.inc(size)
+        self._max_batch.set_max(size)
+        self._batch_size.observe(size)
+
+    def record_groups(self, count: int) -> None:
+        self._batch_groups.observe(count)
+
+    def record_solved(self, count: int) -> None:
+        self._solved_queries.inc(count)
+
+    def observe_queue_wait(self, seconds: float) -> None:
+        self._queue_wait.observe(seconds)
+
+    # -- read view (field names of the former dataclass) ----------------
+
+    @property
+    def requests(self) -> int:
+        return int(self._requests.value)
+
+    @property
+    def estimate_requests(self) -> int:
+        return int(self._estimate_requests.value)
+
+    @property
+    def solved_queries(self) -> int:
+        return int(self._solved_queries.value)
+
+    @property
+    def batches(self) -> int:
+        return int(self._batches.value)
+
+    @property
+    def batched_queries(self) -> int:
+        return int(self._batched_queries.value)
+
+    @property
+    def max_batch(self) -> int:
+        return int(self._max_batch.value)
+
+    @property
+    def shed(self) -> int:
+        return int(self._shed.value)
+
+    @property
+    def evicted(self) -> int:
+        return int(self._evicted.value)
+
+    @property
+    def degraded(self) -> int:
+        return int(self._degraded.value)
+
+    @property
+    def errors(self) -> int:
+        return int(self._errors.value)
 
     @property
     def mean_batch(self) -> float:
-        return self.batched_queries / self.batches if self.batches else 0.0
+        batches = self._batches.value
+        return self._batched_queries.value / batches if batches else 0.0
 
 
 @dataclass
@@ -97,6 +251,8 @@ class _PendingQuery:
     query: Query
     future: "asyncio.Future[Dict[str, object]]"
     requested_model: str
+    trace_id: Optional[str] = None
+    enqueued: float = 0.0
 
     @property
     def degraded_from(self) -> Optional[str]:
@@ -151,6 +307,8 @@ class EstimationServer:
         degraded_model: str = DEFAULT_DEGRADED_MODEL,
         backend: Optional[object] = None,
         fixed_point_iterations: int = 1,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if batch_window < 0:
             raise ServiceError(f"batch_window must be >= 0, got {batch_window}")
@@ -163,15 +321,30 @@ class EstimationServer:
                 "fixed_point_iterations must be >= 1, got "
                 f"{fixed_point_iterations}"
             )
-        self.pool = pool if pool is not None else EnginePool(backend=backend)
-        self.cache = cache if cache is not None else ResultCache()
+        # Each server owns its registry: embedded deployments and tests
+        # run several servers per process, and the ``stats`` contract
+        # ("all since server start") must not bleed across instances.
+        # Library-level metrics (engines, estimators) accumulate in the
+        # process-global registry; :meth:`render_metrics` merges both.
+        self.registry = (
+            registry if registry is not None else MetricsRegistry(enabled=True)
+        )
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.pool = (
+            pool
+            if pool is not None
+            else EnginePool(backend=backend, registry=self.registry)
+        )
+        self.cache = (
+            cache if cache is not None else ResultCache(registry=self.registry)
+        )
         self.batch_window = batch_window
         self.max_batch = max_batch
         self.max_pending = max_pending
         self.shed_policy = make_qos_policy(shed_policy)
         self.degraded_model = degraded_model
         self.fixed_point_iterations = fixed_point_iterations
-        self.stats = ServerStats()
+        self.stats = ServerStats(self.registry)
         self._pending: Deque[_PendingQuery] = deque()
         self._arrival: Optional[asyncio.Event] = None
         self._stop: Optional[asyncio.Event] = None
@@ -317,8 +490,8 @@ class EstimationServer:
                 try:
                     payload = decode_message(line)
                 except ReproError as error:
-                    self.stats.requests += 1
-                    self.stats.errors += 1
+                    self.stats.record_request()
+                    self.stats.record_error()
                     await self._send(
                         writer,
                         error_response(None, str(error)),
@@ -352,39 +525,58 @@ class EstimationServer:
         send_lock: asyncio.Lock,
     ) -> None:
         """Answer one decoded request."""
-        self.stats.requests += 1
+        self.stats.record_request()
         request_id: object = None
         try:
             request_id = resolve_request_id(payload)
+            trace_id = resolve_trace_id(payload)
             op = payload.get("op")
-            if op == "ping":
-                response = ok_response(
-                    request_id,
-                    {"pong": True, "protocol": PROTOCOL_VERSION},
-                )
-            elif op == "estimate":
-                result = await self._submit(parse_estimate(payload))
-                response = ok_response(request_id, result)
-            elif op == "stats":
-                response = ok_response(request_id, await self._stats())
-            elif op == "invalidate":
-                response = ok_response(
-                    request_id,
-                    await self._invalidate(
-                        parse_gallery(payload.get("gallery"))
-                    ),
-                )
-            elif op == "shutdown":
-                response = ok_response(request_id, {"stopping": True})
-            else:
-                raise ServiceError(
-                    f"unknown op {op!r} (expected ping, estimate, "
-                    f"stats, invalidate or shutdown)"
-                )
+            with self.tracer.span(
+                "service.request", trace_id=trace_id, op=str(op)
+            ):
+                if op == "ping":
+                    response = ok_response(
+                        request_id,
+                        {"pong": True, "protocol": PROTOCOL_VERSION},
+                    )
+                elif op == "estimate":
+                    result = await self._submit(
+                        parse_estimate(payload), trace_id
+                    )
+                    if trace_id is not None:
+                        # Echo the client's trace id in the payload so a
+                        # pipelined client can correlate answer, request
+                        # and the server-side spans carrying the id.
+                        result["trace"] = trace_id
+                    response = ok_response(request_id, result)
+                elif op == "stats":
+                    response = ok_response(request_id, await self._stats())
+                elif op == "metrics":
+                    response = ok_response(
+                        request_id,
+                        {
+                            "exposition": self.render_metrics(),
+                            "snapshot": self.metrics_snapshot(),
+                        },
+                    )
+                elif op == "invalidate":
+                    response = ok_response(
+                        request_id,
+                        await self._invalidate(
+                            parse_gallery(payload.get("gallery"))
+                        ),
+                    )
+                elif op == "shutdown":
+                    response = ok_response(request_id, {"stopping": True})
+                else:
+                    raise ServiceError(
+                        f"unknown op {op!r} (expected ping, estimate, "
+                        f"stats, metrics, invalidate or shutdown)"
+                    )
         except Exception as error:
             # Every request gets *an* answer — an unexpected exception
             # must not leave the client waiting on a response forever.
-            self.stats.errors += 1
+            self.stats.record_error()
             response = error_response(request_id, str(error))
             op = None
         try:
@@ -411,8 +603,10 @@ class EstimationServer:
     # ------------------------------------------------------------------
     # Query intake: cache fast path, overload shedding, enqueue
     # ------------------------------------------------------------------
-    async def _submit(self, query: Query) -> Dict[str, object]:
-        self.stats.estimate_requests += 1
+    async def _submit(
+        self, query: Query, trace_id: Optional[str] = None
+    ) -> Dict[str, object]:
+        self.stats.record_estimate_request()
         if self._closing:
             raise ServiceError("server is shutting down")
         cached = self.cache.get(query.key)
@@ -425,6 +619,8 @@ class EstimationServer:
             query=query,
             future=asyncio.get_running_loop().create_future(),
             requested_model=requested_model,
+            trace_id=trace_id,
+            enqueued=time.perf_counter(),
         )
         self._pending.append(pending)
         assert self._arrival is not None
@@ -437,7 +633,7 @@ class EstimationServer:
         policy = self.shed_policy
         if isinstance(policy, EvictLowestPriorityPolicy):
             victim = self._pending.popleft()
-            self.stats.evicted += 1
+            self.stats.record_evicted()
             victim.future.set_exception(
                 ServiceError(
                     f"overloaded: evicted by a newer query while "
@@ -448,13 +644,13 @@ class EstimationServer:
             return query
         if isinstance(policy, DowngradePolicy):
             if query.model != self.degraded_model:
-                self.stats.degraded += 1
+                self.stats.record_degraded()
                 return query.degraded(self.degraded_model)
             # Already at the degraded model: there is nothing cheaper
             # to serve, so the queue bound must still hold — fall back
             # to rejecting, like the runtime policy's "no feasible
             # assignment" outcome.
-            self.stats.shed += 1
+            self.stats.record_shed()
             raise ServiceError(
                 f"overloaded: {self.max_pending} queries pending and "
                 f"{query.model!r} is already the degraded model "
@@ -464,7 +660,7 @@ class EstimationServer:
             raise ServiceError(
                 f"shedding has no mapping for QoS policy {policy.name!r}"
             )
-        self.stats.shed += 1
+        self.stats.record_shed()
         raise ServiceError(
             f"overloaded: {self.max_pending} queries pending "
             f"({policy.name} policy)"
@@ -527,60 +723,97 @@ class EstimationServer:
                 self._busy = False
 
     async def _run_batch(self, batch: List[_PendingQuery]) -> None:
-        self.stats.batches += 1
-        self.stats.batched_queries += len(batch)
-        self.stats.max_batch = max(self.stats.max_batch, len(batch))
+        drained = time.perf_counter()
+        for pending in batch:
+            wait = drained - pending.enqueued
+            self.stats.observe_queue_wait(wait)
+            # Retroactive per-query span: the wait already happened, so
+            # it is recorded as a finished interval carrying the
+            # client's trace id.
+            self.tracer.record(
+                "service.queue_wait",
+                start=pending.enqueued,
+                duration=wait,
+                trace_id=pending.trace_id,
+            )
+        self.stats.record_batch(len(batch))
         groups: Dict[Tuple[str, str, str], List[_PendingQuery]] = {}
         for pending in batch:
             groups.setdefault(pending.query.group, []).append(pending)
+        self.stats.record_groups(len(groups))
         loop = asyncio.get_running_loop()
-        for members in groups.values():
-            # Deduplicate identical questions: N clients asking the
-            # same thing inside one batch cost one estimate.
-            unique: Dict[Tuple[str, str, str, str], Query] = {}
-            for pending in members:
-                unique.setdefault(pending.query.key, pending.query)
-            queries = list(unique.values())
-            try:
-                assert self._executor is not None
-                payloads = await loop.run_in_executor(
-                    self._executor, self._solve_group, queries
-                )
-            except Exception as error:
-                # Any solver failure answers the whole group; the
-                # batcher itself must survive to serve the next batch.
+        with self.tracer.span(
+            "service.batch", size=len(batch), groups=len(groups)
+        ):
+            for members in groups.values():
+                # Deduplicate identical questions: N clients asking the
+                # same thing inside one batch cost one estimate.
+                unique: Dict[Tuple[str, str, str, str], Query] = {}
                 for pending in members:
-                    if not pending.future.done():
-                        pending.future.set_exception(ServiceError(str(error)))
-                continue
-            by_key = dict(zip(unique.keys(), payloads))
-            for key, payload in by_key.items():
-                payload["batch_size"] = len(batch)
-                self.cache.put(key, payload)
-            for pending in members:
-                if pending.future.done():  # evicted mid-flight
-                    continue
-                payload = dict(
-                    by_key[pending.query.key],
-                    cached=False,
-                    degraded=pending.degraded_from,
+                    unique.setdefault(pending.query.key, pending.query)
+                queries = list(unique.values())
+                trace_ids = tuple(
+                    dict.fromkeys(
+                        pending.trace_id
+                        for pending in members
+                        if pending.trace_id is not None
+                    )
                 )
-                pending.future.set_result(payload)
+                try:
+                    assert self._executor is not None
+                    payloads = await loop.run_in_executor(
+                        self._executor, self._solve_group, queries, trace_ids
+                    )
+                except Exception as error:
+                    # Any solver failure answers the whole group; the
+                    # batcher itself must survive to serve the next batch.
+                    for pending in members:
+                        if not pending.future.done():
+                            pending.future.set_exception(
+                                ServiceError(str(error))
+                            )
+                    continue
+                by_key = dict(zip(unique.keys(), payloads))
+                for key, payload in by_key.items():
+                    payload["batch_size"] = len(batch)
+                    self.cache.put(key, payload)
+                for pending in members:
+                    if pending.future.done():  # evicted mid-flight
+                        continue
+                    payload = dict(
+                        by_key[pending.query.key],
+                        cached=False,
+                        degraded=pending.degraded_from,
+                    )
+                    pending.future.set_result(payload)
 
-    def _solve_group(self, queries: List[Query]) -> List[Dict[str, object]]:
+    def _solve_group(
+        self, queries: List[Query], trace_ids: Tuple[str, ...] = ()
+    ) -> List[Dict[str, object]]:
         """Worker-thread entry: one batched solve for one group.
 
         All queries share gallery, model and method by construction, so
         one warm estimator's :meth:`estimate_many` covers the group —
         the micro-batching payoff.
         """
-        self.stats.solved_queries += len(queries)
+        self.stats.record_solved(len(queries))
         first = queries[0]
-        estimator = self.pool.estimator(first.gallery, first.model, first.method)
-        results = estimator.estimate_many(
-            [query.use_case for query in queries],
-            iterations=self.fixed_point_iterations,
-        )
+        with self.tracer.span(
+            "service.solve",
+            trace_id=trace_ids[0] if len(trace_ids) == 1 else None,
+            gallery=first.gallery.label(),
+            model=first.model,
+            method=first.method.value,
+            queries=len(queries),
+            trace_ids=list(trace_ids),
+        ):
+            estimator = self.pool.estimator(
+                first.gallery, first.model, first.method
+            )
+            results = estimator.estimate_many(
+                [query.use_case for query in queries],
+                iterations=self.fixed_point_iterations,
+            )
         payloads: List[Dict[str, object]] = []
         for query, result in zip(queries, results):
             payloads.append(
@@ -596,6 +829,15 @@ class EstimationServer:
         return payloads
 
     # ------------------------------------------------------------------
+    def render_metrics(self) -> str:
+        """Prometheus exposition: this server's registry merged with the
+        process-global one (engine, estimator and DES counters)."""
+        return render_merged(self.registry, get_registry())
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """JSON snapshot of the same merged registries."""
+        return snapshot_merged(self.registry, get_registry())
+
     def snapshot(self, pool: Optional[Dict[str, object]] = None) -> Dict[str, object]:
         """Everything the ``stats`` op reports (JSON-serializable).
 

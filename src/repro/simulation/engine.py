@@ -76,9 +76,53 @@ from repro.simulation.metrics import (
     metrics_from_completions,
 )
 from repro.simulation.trace import TraceEntry
+from repro.telemetry import get_registry
 
 #: Environment opt-in for the numba-compiled stepping loop.
 JIT_ENV_VAR = "REPRO_SIM_JIT"
+
+
+def record_engine_stats(stats: EngineStats) -> None:
+    """Fold one run's :class:`EngineStats` into the global registry.
+
+    Counters are labelled by engine flavour and created ``always=True``:
+    the per-flavour profile (``repro conformance --profile``) is keyed
+    off these shared counters, and — like ``EngineStats`` itself — they
+    are cheap enough to stay on regardless of ``REPRO_TELEMETRY``.
+    """
+    registry = get_registry()
+    registry.counter(
+        "repro_sim_runs_total",
+        "Simulation runs by engine flavour",
+        always=True,
+        flavour=stats.flavour,
+    ).inc()
+    registry.counter(
+        "repro_sim_events_dispatched_total",
+        "DES events dispatched by engine flavour",
+        always=True,
+        flavour=stats.flavour,
+    ).inc(stats.events_dispatched)
+    registry.counter(
+        "repro_sim_stale_events_total",
+        "Stale (superseded) DES events by engine flavour",
+        always=True,
+        flavour=stats.flavour,
+    ).inc(stats.stale_events)
+    registry.counter(
+        "repro_sim_preemptions_total",
+        "Preemptions performed by engine flavour",
+        always=True,
+        flavour=stats.flavour,
+    ).inc(stats.preemptions)
+    for phase, seconds in stats.phase_seconds.items():
+        registry.counter(
+            "repro_sim_phase_seconds_total",
+            "Wall-clock seconds per engine phase and flavour",
+            always=True,
+            flavour=stats.flavour,
+            phase=phase,
+        ).inc(seconds)
 
 
 def _jit_requested() -> bool:
@@ -344,8 +388,17 @@ class Simulator:
         """Execute the simulation and return measured metrics.
 
         Dispatches to the flavour resolved at construction time; all
-        flavours produce byte-identical results.
+        flavours produce byte-identical results.  Every run folds its
+        :class:`EngineStats` into the global metrics registry (per
+        flavour, always on) — the conformance ``--profile`` table and
+        the telemetry exposition read those shared counters.
         """
+        result = self._dispatch()
+        if self._last_stats is not None:
+            record_engine_stats(self._last_stats)
+        return result
+
+    def _dispatch(self) -> SimulationResult:
         if self.flavour == "jit":
             from repro.simulation.jit import run_jit
 

@@ -179,7 +179,18 @@ class EngineStats:
     phase_seconds: Dict[str, float] = field(default_factory=dict)
 
     def merge(self, other: "EngineStats") -> None:
-        """Accumulate ``other`` into this record (for suite totals)."""
+        """Accumulate ``other`` into this record (for suite totals).
+
+        Totals are only meaningful per engine flavour — pooling a numpy
+        run into a python profile would silently misattribute phase
+        times — so mixed-flavour merges are refused loudly.
+        """
+        if other.flavour != self.flavour:
+            raise AnalysisError(
+                f"cannot merge EngineStats of flavour {other.flavour!r} "
+                f"into {self.flavour!r}; pool per-flavour profiles "
+                "separately (profiles are keyed by the loop that ran)"
+            )
         self.events_dispatched += other.events_dispatched
         self.stale_events += other.stale_events
         self.preemptions += other.preemptions

@@ -1,0 +1,91 @@
+"""Unified telemetry layer: metrics registry, tracer, and exporters.
+
+One import surface for the three observability primitives used across the
+engine, estimator, service, runtime, and DES layers:
+
+* :func:`get_registry` — the process-global :class:`MetricsRegistry`
+  (counters, gauges, log-spaced-bucket histograms; Prometheus text
+  exposition and JSON snapshot).
+* :func:`get_tracer` — the process-global :class:`Tracer` producing
+  :class:`SpanRecord` entries with thread-local parent/trace-id context.
+* Exporters — Chrome-trace/Perfetto ``trace_event`` JSON, JSON-lines span
+  logs, and the ``/metrics`` scrape endpoint.
+
+Everything is stdlib-only and honours ``REPRO_TELEMETRY=0``: disabled
+registries hand out shared null instruments and the tracer returns one
+shared null span, so instrumented hot loops pay a single no-op call.
+:func:`set_enabled` flips both the registry and the tracer at once
+(instruments already bound by live objects keep their state; new
+acquisitions see the new setting).
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.export import (
+    JsonLinesSpanSink,
+    chrome_trace_events,
+    engine_stats_events,
+    simulation_trace_events,
+    span_to_dict,
+    start_metrics_endpoint,
+    validate_exposition,
+    write_chrome_trace,
+    write_span_log,
+)
+from repro.telemetry.metrics import (
+    COUNT_BUCKETS,
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    log_buckets,
+    render_merged,
+    snapshot_merged,
+    telemetry_enabled,
+)
+from repro.telemetry.metrics import set_enabled as _set_metrics_enabled
+from repro.telemetry.tracing import (
+    NULL_SPAN,
+    Span,
+    SpanRecord,
+    Tracer,
+    get_tracer,
+)
+from repro.telemetry.tracing import set_tracing_enabled as _set_tracing_enabled
+
+__all__ = [
+    "COUNT_BUCKETS",
+    "DEFAULT_TIME_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonLinesSpanSink",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "chrome_trace_events",
+    "engine_stats_events",
+    "get_registry",
+    "get_tracer",
+    "log_buckets",
+    "render_merged",
+    "set_enabled",
+    "simulation_trace_events",
+    "snapshot_merged",
+    "span_to_dict",
+    "start_metrics_endpoint",
+    "telemetry_enabled",
+    "validate_exposition",
+    "write_chrome_trace",
+    "write_span_log",
+]
+
+
+def set_enabled(enabled: bool) -> None:
+    """Enable or disable the global registry *and* tracer together."""
+    _set_metrics_enabled(enabled)
+    _set_tracing_enabled(enabled)

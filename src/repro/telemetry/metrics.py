@@ -1,0 +1,547 @@
+"""Zero-dependency metrics registry: counters, gauges, histograms.
+
+The registry is deliberately small and allocation-light.  Three rules keep
+the hot paths honest:
+
+* Instruments are *acquired once* (at object construction time) and then
+  mutated with plain attribute arithmetic — acquisition takes a lock,
+  mutation never does.
+* When telemetry is disabled (``REPRO_TELEMETRY=0``) acquisition returns a
+  shared null instrument whose mutators are empty methods, so instrumented
+  code pays one attribute lookup and one no-op call per event and never
+  formats a string.
+* Counters are cumulative floats mutated from one thread at a time by
+  convention (each instrument belongs to the component that created it);
+  readers tolerate torn reads because CPython float stores are atomic.
+
+Histograms use *fixed* bucket boundaries chosen at registration — the
+default time buckets are log-spaced (four per decade from 1 microsecond to
+100 seconds) so one layout serves queue waits, solve times, and end-to-end
+request latencies alike, and merged snapshots never need bucket
+realignment.
+
+Exposition comes in two flavours: :meth:`MetricsRegistry.render_prometheus`
+emits the Prometheus text format (``# HELP`` / ``# TYPE`` / samples with
+``{label="value"}`` pairs and cumulative ``_bucket`` rows), and
+:meth:`MetricsRegistry.snapshot` returns a JSON-serialisable dict for
+embedding in BENCH points and service responses.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import re
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import TelemetryError
+
+__all__ = [
+    "COUNT_BUCKETS",
+    "DEFAULT_TIME_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+    "get_registry",
+    "log_buckets",
+    "render_merged",
+    "set_enabled",
+    "snapshot_merged",
+    "telemetry_enabled",
+]
+
+_FALSE_VALUES = frozenset({"0", "false", "off", "no"})
+
+
+def telemetry_enabled() -> bool:
+    """Read the ``REPRO_TELEMETRY`` switch (unset means enabled)."""
+    value = os.environ.get("REPRO_TELEMETRY")
+    if value is None or not value.strip():
+        return True
+    return value.strip().lower() not in _FALSE_VALUES
+
+
+def log_buckets(
+    minimum: float, maximum: float, per_decade: int = 4
+) -> Tuple[float, ...]:
+    """Fixed log-spaced bucket bounds: ``10**(k/per_decade)`` covering
+    ``[minimum, maximum]``.  Deterministic for a given range, so two
+    histograms built from the same spec always merge bucket-for-bucket."""
+    if minimum <= 0 or maximum <= minimum or per_decade < 1:
+        raise TelemetryError(
+            "log_buckets needs 0 < minimum < maximum and per_decade >= 1"
+        )
+    first = math.floor(round(math.log10(minimum) * per_decade, 9))
+    last = math.ceil(round(math.log10(maximum) * per_decade, 9))
+    return tuple(round(10.0 ** (k / per_decade), 12) for k in range(first, last + 1))
+
+
+#: Four-per-decade bounds from 1 microsecond to 100 seconds — one layout
+#: for queue waits, MCR solves, and end-to-end request latencies.
+DEFAULT_TIME_BUCKETS = log_buckets(1e-6, 100.0, per_decade=4)
+
+#: Powers of two up to 4096 — batch sizes, fan-outs, active-row counts.
+COUNT_BUCKETS = tuple(float(1 << k) for k in range(13))
+
+
+class Counter:
+    """Monotonically increasing cumulative value."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise TelemetryError("counters only go up; use a gauge")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """Value that can go up and down (queue depths, high-water marks)."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._value -= amount
+
+    def set_max(self, value: float) -> None:
+        if value > self._value:
+            self._value = value
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bound histogram with cumulative-count exposition.
+
+    ``observe`` is a linear scan over the bound tuple — bucket counts are
+    small (a few dozen) and the scan is branch-predictable, which beats
+    ``bisect`` call overhead at this size.
+    """
+
+    __slots__ = ("_bounds", "_counts", "_sum", "_count", "_min", "_max")
+
+    def __init__(self, bounds: Sequence[float]) -> None:
+        cleaned = tuple(float(b) for b in bounds)
+        if not cleaned or any(
+            b <= a for a, b in zip(cleaned, cleaned[1:])
+        ):
+            raise TelemetryError("histogram bounds must be strictly increasing")
+        self._bounds = cleaned
+        self._counts = [0] * (len(cleaned) + 1)  # trailing +Inf bucket
+        self._sum = 0.0
+        self._count = 0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def observe(self, value: float) -> None:
+        index = len(self._bounds)
+        for i, bound in enumerate(self._bounds):
+            if value <= bound:
+                index = i
+                break
+        self._counts[index] += 1
+        self._sum += value
+        self._count += 1
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def quantile(self, fraction: float) -> float:
+        """Nearest-rank quantile estimated from bucket bounds.
+
+        Returns the upper bound of the bucket holding the target rank,
+        clamped to the observed min/max so degenerate distributions (all
+        samples in one bucket) stay truthful.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise TelemetryError("quantile fraction must be within [0, 1]")
+        if not self._count:
+            return 0.0
+        rank = max(1, math.ceil(fraction * self._count))
+        seen = 0
+        for i, bucket_count in enumerate(self._counts):
+            seen += bucket_count
+            if seen >= rank:
+                estimate = (
+                    self._bounds[i] if i < len(self._bounds) else self._max
+                )
+                return min(max(estimate, self._min), self._max)
+        return self._max
+
+    def bucket_counts(self) -> Dict[str, int]:
+        """Cumulative counts keyed by upper bound (Prometheus ``le``)."""
+        cumulative = 0
+        out: Dict[str, int] = {}
+        for bound, bucket_count in zip(self._bounds, self._counts):
+            cumulative += bucket_count
+            out[format_float(bound)] = cumulative
+        out["+Inf"] = self._count
+        return out
+
+
+class _NullCounter:
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    @property
+    def value(self) -> float:
+        return 0.0
+
+
+class _NullGauge:
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set_max(self, value: float) -> None:
+        pass
+
+    @property
+    def value(self) -> float:
+        return 0.0
+
+
+class _NullHistogram:
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+    @property
+    def count(self) -> int:
+        return 0
+
+    @property
+    def sum(self) -> float:
+        return 0.0
+
+    @property
+    def mean(self) -> float:
+        return 0.0
+
+    def quantile(self, fraction: float) -> float:
+        return 0.0
+
+    def bucket_counts(self) -> Dict[str, int]:
+        return {"+Inf": 0}
+
+
+#: Shared no-op instruments handed out while telemetry is disabled.  They
+#: are never stored in a registry, so re-enabling telemetry and acquiring
+#: the same metric name yields a live instrument.
+NULL_COUNTER = _NullCounter()
+NULL_GAUGE = _NullGauge()
+NULL_HISTOGRAM = _NullHistogram()
+
+_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def format_float(value: float) -> str:
+    """Render a sample value the way Prometheus expects: integers bare,
+    floats via ``repr`` (shortest round-trip), infinities as ``+Inf``."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+class _Family:
+    """One metric name: shared kind, help text, buckets, labelled children."""
+
+    __slots__ = ("kind", "name", "help", "bounds", "label_names", "children")
+
+    def __init__(
+        self,
+        kind: str,
+        name: str,
+        help_text: str,
+        bounds: Optional[Tuple[float, ...]],
+        label_names: Tuple[str, ...],
+    ) -> None:
+        self.kind = kind
+        self.name = name
+        self.help = help_text
+        self.bounds = bounds
+        self.label_names = label_names
+        self.children: Dict[
+            LabelKey, Union[Counter, Gauge, Histogram]
+        ] = {}
+
+
+class MetricsRegistry:
+    """Instrument factory plus exposition.
+
+    ``always=True`` instruments are created live even while telemetry is
+    disabled — the service layer uses this for the counters behind the
+    byte-compatible ``stats`` verb, which must keep counting regardless of
+    the observability switch.
+    """
+
+    def __init__(self, enabled: Optional[bool] = None) -> None:
+        self.enabled = telemetry_enabled() if enabled is None else enabled
+        self._families: Dict[str, _Family] = {}
+        self._lock = threading.Lock()
+
+    # -- acquisition ---------------------------------------------------
+
+    def counter(
+        self, name: str, help: str = "", always: bool = False, **labels: object
+    ) -> Counter:
+        return self._instrument("counter", name, help, None, always, labels)
+
+    def gauge(
+        self, name: str, help: str = "", always: bool = False, **labels: object
+    ) -> Gauge:
+        return self._instrument("gauge", name, help, None, always, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Optional[Sequence[float]] = None,
+        always: bool = False,
+        **labels: object,
+    ) -> Histogram:
+        bounds = tuple(buckets) if buckets is not None else DEFAULT_TIME_BUCKETS
+        return self._instrument("histogram", name, help, bounds, always, labels)
+
+    def _instrument(self, kind, name, help_text, bounds, always, labels):
+        if not (self.enabled or always):
+            if kind == "counter":
+                return NULL_COUNTER
+            if kind == "gauge":
+                return NULL_GAUGE
+            return NULL_HISTOGRAM
+        if not _METRIC_NAME.match(name):
+            raise TelemetryError(f"invalid metric name {name!r}")
+        label_names = tuple(sorted(labels))
+        for label in label_names:
+            if not _LABEL_NAME.match(label):
+                raise TelemetryError(f"invalid label name {label!r}")
+        key: LabelKey = tuple((k, str(labels[k])) for k in label_names)
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = _Family(kind, name, help_text, bounds, label_names)
+                self._families[name] = family
+            else:
+                if family.kind != kind:
+                    raise TelemetryError(
+                        f"metric {name!r} already registered as "
+                        f"{family.kind}, not {kind}"
+                    )
+                if family.label_names != label_names:
+                    raise TelemetryError(
+                        f"metric {name!r} registered with labels "
+                        f"{family.label_names}, got {label_names}"
+                    )
+                if kind == "histogram" and family.bounds != bounds:
+                    raise TelemetryError(
+                        f"histogram {name!r} registered with different buckets"
+                    )
+            child = family.children.get(key)
+            if child is None:
+                if kind == "counter":
+                    child = Counter()
+                elif kind == "gauge":
+                    child = Gauge()
+                else:
+                    child = Histogram(bounds)
+                family.children[key] = child
+            return child
+
+    # -- reading -------------------------------------------------------
+
+    def value(self, name: str, **labels: object) -> Optional[float]:
+        """Current value of a counter/gauge child, ``None`` if absent."""
+        family = self._families.get(name)
+        if family is None:
+            return None
+        key: LabelKey = tuple(
+            (k, str(labels[k])) for k in sorted(labels)
+        )
+        child = family.children.get(key)
+        if child is None or isinstance(child, Histogram):
+            return None
+        return child.value
+
+    def label_values(self, name: str, label: str) -> List[str]:
+        """Distinct values one label takes across a family's children."""
+        family = self._families.get(name)
+        if family is None:
+            return []
+        seen: List[str] = []
+        for key in family.children:
+            for k, v in key:
+                if k == label and v not in seen:
+                    seen.append(v)
+        return sorted(seen)
+
+    def reset(self) -> None:
+        """Drop every family (tests and benchmark isolation)."""
+        with self._lock:
+            self._families.clear()
+
+    # -- exposition ----------------------------------------------------
+
+    def render_prometheus(self) -> str:
+        return "".join(self._render_lines(frozenset()))
+
+    def _render_lines(self, skip: Iterable[str]) -> List[str]:
+        skip = frozenset(skip)
+        lines: List[str] = []
+        with self._lock:
+            for name in sorted(self._families):
+                if name in skip:
+                    continue
+                family = self._families[name]
+                lines.append(f"# HELP {name} {family.help}\n")
+                lines.append(f"# TYPE {name} {family.kind}\n")
+                for key in sorted(family.children):
+                    child = family.children[key]
+                    if isinstance(child, Histogram):
+                        for bound, cumulative in child.bucket_counts().items():
+                            lines.append(
+                                f"{name}_bucket"
+                                f"{_label_text(key + (('le', bound),))} "
+                                f"{cumulative}\n"
+                            )
+                        lines.append(
+                            f"{name}_sum{_label_text(key)} "
+                            f"{format_float(child.sum)}\n"
+                        )
+                        lines.append(
+                            f"{name}_count{_label_text(key)} {child.count}\n"
+                        )
+                    else:
+                        lines.append(
+                            f"{name}{_label_text(key)} "
+                            f"{format_float(child.value)}\n"
+                        )
+        return lines
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-serialisable view: one entry per family, one sample per
+        label set (histograms carry count/sum/mean plus cumulative
+        buckets)."""
+        out: Dict[str, object] = {}
+        with self._lock:
+            for name in sorted(self._families):
+                family = self._families[name]
+                samples: List[Dict[str, object]] = []
+                for key in sorted(family.children):
+                    child = family.children[key]
+                    sample: Dict[str, object] = {"labels": dict(key)}
+                    if isinstance(child, Histogram):
+                        sample["count"] = child.count
+                        sample["sum"] = child.sum
+                        sample["mean"] = child.mean
+                        sample["buckets"] = child.bucket_counts()
+                    else:
+                        sample["value"] = child.value
+                    samples.append(sample)
+                out[name] = {
+                    "type": family.kind,
+                    "help": family.help,
+                    "samples": samples,
+                }
+        return out
+
+
+def _label_text(key: LabelKey) -> str:
+    if not key:
+        return ""
+    body = ",".join(
+        f'{k}="{_escape_label(v)}"' for k, v in key
+    )
+    return "{" + body + "}"
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def render_merged(*registries: MetricsRegistry) -> str:
+    """Concatenate expositions; earlier registries win on name clashes so
+    the output never repeats a metric family."""
+    seen: set = set()
+    parts: List[str] = []
+    for registry in registries:
+        parts.extend(registry._render_lines(seen))
+        with registry._lock:
+            seen.update(registry._families)
+    return "".join(parts)
+
+
+def snapshot_merged(*registries: MetricsRegistry) -> Dict[str, object]:
+    """Merge JSON snapshots with the same earlier-wins rule."""
+    merged: Dict[str, object] = {}
+    for registry in registries:
+        for name, family in registry.snapshot().items():
+            merged.setdefault(name, family)
+    return dict(sorted(merged.items()))
+
+
+_GLOBAL_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global registry shared by the library's hot paths."""
+    return _GLOBAL_REGISTRY
+
+
+def set_enabled(enabled: bool) -> None:
+    """Toggle the global registry (affects instruments acquired *after*
+    the call — components bind instruments at construction time)."""
+    _GLOBAL_REGISTRY.enabled = enabled

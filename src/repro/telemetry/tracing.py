@@ -1,0 +1,284 @@
+"""Span-based tracer with thread-local context and a bounded ring buffer.
+
+Usage mirrors the metrics registry: acquire the tracer once, then open
+spans around units of work::
+
+    tracer = get_tracer()
+    with tracer.span("mcr.solve", gallery="seed7", model="pmd") as span:
+        ...
+        span.set(iterations=passes)
+
+Design points that keep the hot paths cheap:
+
+* When the tracer is disabled, :meth:`Tracer.span` returns one shared
+  :data:`NULL_SPAN` whose ``__enter__``/``__exit__``/``set`` are empty —
+  no allocation, no clock read, no string formatting.  Attribute values
+  are passed as keyword arguments precisely so callers never pre-format
+  f-strings.
+* The parent stack and current trace id live in a ``threading.local``;
+  spans opened on worker threads nest independently of the event loop.
+* Exit removes the span from the context stack by identity rather than a
+  blind pop, so interleaved async spans (a request span exiting while the
+  batcher span is still open on the same loop thread) cannot corrupt
+  parent attribution.
+* Finished spans land in a bounded ``deque`` (oldest evicted first) and,
+  optionally, in a user-supplied sink callable — the JSON-lines span log
+  streams through such a sink.
+
+Trace ids are caller-supplied opaque strings (the service propagates the
+client's id through the JSON-lines protocol); spans opened without an
+explicit id inherit the innermost enclosing span's id on the same thread.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.telemetry.metrics import telemetry_enabled
+
+__all__ = [
+    "NULL_SPAN",
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "get_tracer",
+    "set_tracing_enabled",
+]
+
+
+@dataclass(slots=True)
+class SpanRecord:
+    """One finished span: wall-clock placement plus identity and labels."""
+
+    name: str
+    start: float
+    duration: float
+    span_id: int
+    parent_id: Optional[int] = None
+    trace_id: Optional[str] = None
+    thread: str = ""
+    attributes: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+class Span:
+    """Live span handed out by :meth:`Tracer.span`; a context manager.
+
+    On exit the span *is* its own finished record — it carries the same
+    fields as :class:`SpanRecord` and lands in the ring buffer directly,
+    so the hot path allocates one object per span, not two.
+    """
+
+    __slots__ = (
+        "_tracer",
+        "name",
+        "span_id",
+        "parent_id",
+        "trace_id",
+        "attributes",
+        "start",
+        "duration",
+        "thread",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        trace_id: Optional[str],
+        attributes: Dict[str, object],
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.span_id = next(tracer._ids)
+        self.parent_id: Optional[int] = None
+        self.trace_id = trace_id
+        self.attributes = attributes
+        self.start = 0.0
+        self.duration = 0.0
+        self.thread = ""
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def set(self, **attributes: object) -> None:
+        """Attach attributes discovered mid-span (batch size, pass count)."""
+        self.attributes.update(attributes)
+
+    def __enter__(self) -> "Span":
+        context = self._tracer._context
+        stack = getattr(context, "stack", None)
+        if stack is None:
+            stack = context.stack = []
+        if stack:
+            parent = stack[-1]
+            self.parent_id = parent.span_id
+            if self.trace_id is None:
+                self.trace_id = parent.trace_id
+        elif self.trace_id is None:
+            self.trace_id = getattr(context, "trace_id", None)
+        stack.append(self)
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        duration = time.perf_counter() - self.start
+        context = self._tracer._context
+        stack = context.stack
+        # Identity removal from the tail: async interleaving may exit an
+        # inner request span after an outer batch span already closed.
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] is self:
+                del stack[index]
+                break
+        # Thread names are stable; resolve once per thread, not per span.
+        thread = getattr(context, "thread", None)
+        if thread is None:
+            thread = context.thread = threading.current_thread().name
+        self.duration = duration
+        self.thread = thread
+        self._tracer._record(self)
+
+
+class _NullSpan:
+    __slots__ = ()
+
+    def set(self, **attributes: object) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+#: Shared disabled span — the only object a disabled tracer ever returns.
+NULL_SPAN = _NullSpan()
+
+
+class _TraceContext:
+    """Context manager installing a thread-local current trace id."""
+
+    __slots__ = ("_tracer", "_trace_id", "_previous")
+
+    def __init__(self, tracer: "Tracer", trace_id: Optional[str]) -> None:
+        self._tracer = tracer
+        self._trace_id = trace_id
+        self._previous: Optional[str] = None
+
+    def __enter__(self) -> "_TraceContext":
+        context = self._tracer._context
+        self._previous = getattr(context, "trace_id", None)
+        context.trace_id = self._trace_id
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._tracer._context.trace_id = self._previous
+
+
+class Tracer:
+    """Factory for spans; owns the ring buffer of finished records."""
+
+    def __init__(
+        self,
+        enabled: Optional[bool] = None,
+        max_spans: int = 65536,
+        sink: Optional[Callable[[SpanRecord], None]] = None,
+    ) -> None:
+        self.enabled = telemetry_enabled() if enabled is None else enabled
+        self._spans: Deque[SpanRecord] = deque(maxlen=max_spans)
+        self._context = threading.local()
+        self._ids = itertools.count(1)
+        self._sink = sink
+        self._lock = threading.Lock()
+
+    def span(
+        self, name: str, trace_id: Optional[str] = None, **attributes: object
+    ):
+        """Open a span; returns :data:`NULL_SPAN` while disabled."""
+        if not self.enabled:
+            return NULL_SPAN
+        return Span(self, name, trace_id, attributes)
+
+    def trace(self, trace_id: Optional[str]) -> _TraceContext:
+        """Bind a trace id to the current thread for nested spans."""
+        return _TraceContext(self, trace_id)
+
+    def current_trace_id(self) -> Optional[str]:
+        context = self._context
+        stack = getattr(context, "stack", None)
+        if stack:
+            return stack[-1].trace_id
+        return getattr(context, "trace_id", None)
+
+    def record(
+        self,
+        name: str,
+        start: float,
+        duration: float,
+        trace_id: Optional[str] = None,
+        **attributes: object,
+    ) -> None:
+        """Record an already-measured interval as a finished span (used
+        for retroactive spans like per-request queue wait, where the
+        region was timed before its trace context was at hand)."""
+        if not self.enabled:
+            return
+        self._record(
+            SpanRecord(
+                name=name,
+                start=start,
+                duration=duration,
+                span_id=next(self._ids),
+                trace_id=trace_id,
+                thread=threading.current_thread().name,
+                attributes=dict(attributes),
+            )
+        )
+
+    def _record(self, record: "Span | SpanRecord") -> None:
+        with self._lock:
+            self._spans.append(record)
+        sink = self._sink
+        if sink is not None:
+            sink(record)
+
+    def set_sink(
+        self, sink: Optional[Callable[[SpanRecord], None]]
+    ) -> None:
+        self._sink = sink
+
+    def spans(self) -> List["Span | SpanRecord"]:
+        """Snapshot of the finished-span ring buffer, oldest first.
+
+        Entries are finished :class:`Span` objects (which carry the
+        full record field set) or :class:`SpanRecord` instances from
+        :meth:`record`; exporters treat them interchangeably."""
+        with self._lock:
+            return list(self._spans)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+
+_GLOBAL_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer used by the library's instrumentation."""
+    return _GLOBAL_TRACER
+
+
+def set_tracing_enabled(enabled: bool) -> None:
+    _GLOBAL_TRACER.enabled = enabled

@@ -23,9 +23,9 @@ import repro
 from repro.core.estimator import ProbabilisticEstimator
 from repro.exceptions import ServiceError
 from repro.experiments.service_load import (
+    LATENCY_BUCKETS,
     LoadConfig,
     _client_plan,
-    percentile,
     run_load,
 )
 from repro.experiments.setup import paper_benchmark_suite
@@ -731,14 +731,20 @@ class TestServiceLoad:
         replay = LoadConfig(clients=2, queries_per_client=6)
         assert _client_plan(config, 1) == _client_plan(replay, 1)
 
-    def test_percentile_nearest_rank(self):
-        assert percentile([4.0, 1.0, 3.0, 2.0], 0.0) == 1.0
-        assert percentile([4.0, 1.0, 3.0, 2.0], 1.0) == 4.0
-        assert percentile([4.0, 1.0, 3.0, 2.0], 0.5) == 3.0
+    def test_latency_histogram_quantiles(self):
+        # The report's percentiles come from the registry histogram now;
+        # nearest-rank off the log buckets, clamped to observed extremes.
+        from repro.telemetry import Histogram
+
+        histogram = Histogram(LATENCY_BUCKETS)
+        for value in (0.004, 0.001, 0.003, 0.002):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.quantile(0.0) == pytest.approx(0.001)
+        assert histogram.quantile(1.0) == pytest.approx(0.004)
+        assert histogram.quantile(0.5) <= histogram.quantile(0.99)
         with pytest.raises(Exception):
-            percentile([], 0.5)
-        with pytest.raises(Exception):
-            percentile([1.0], 1.5)
+            histogram.quantile(1.5)
 
     def test_run_load_end_to_end(self):
         report = run_load(
