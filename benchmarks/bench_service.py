@@ -19,11 +19,12 @@ measured separately below.
 from __future__ import annotations
 
 import asyncio
+import os
 import time
 
 import pytest
 
-from conftest import MIN_SPEEDUP, SMOKE, report
+from conftest import MIN_SPEEDUP, MIN_SPEEDUP_POOL, SMOKE, report
 from repro.core.estimator import ProbabilisticEstimator
 from repro.experiments.reporting import render_table
 from repro.experiments.setup import paper_benchmark_suite
@@ -197,6 +198,137 @@ def test_service_microbatch_speedup(benchmark):
     )
 
 
+async def _bench_served(slices, solver_workers):
+    """One timed pass of the exhaustive query set against a server in
+    thread mode (``solver_workers=0``) or multiprocess-pool mode.
+
+    Both sides are warmed with one untimed pass first (the pool's
+    worker processes pay their per-process engine build there), so the
+    measured ratio is steady-state serving throughput.
+    """
+    server = EstimationServer(
+        cache=ResultCache(0),
+        batch_window=0.003,
+        max_batch=512,
+        backend="numpy",
+        solver_workers=solver_workers,
+    )
+    host, port = await server.start()
+    gallery = {
+        "kind": GALLERY.kind,
+        "seed": GALLERY.seed,
+        "applications": GALLERY.application_count,
+    }
+    periods = {}
+
+    async def run_client(plan):
+        client = await ServiceClient.connect(host, port)
+
+        async def one(use_case):
+            result = await client.estimate(
+                use_case.applications, gallery=gallery, model=MODEL
+            )
+            periods[use_case.label()] = result["periods"]
+
+        try:
+            await asyncio.gather(*[one(use_case) for use_case in plan])
+        finally:
+            await client.aclose()
+
+    async def one_pass():
+        await asyncio.gather(*[run_client(plan) for plan in slices])
+
+    try:
+        await one_pass()  # warm-up: engines built, workers spawned
+        started = time.perf_counter()
+        await one_pass()
+        elapsed = time.perf_counter() - started
+        stats = server.snapshot()
+    finally:
+        await server.aclose()
+    return elapsed, periods, stats
+
+
+def test_service_pool_speedup(benchmark):
+    """The multiprocess solver pool >= 2x over the single solver
+    thread on the exhaustive query set, at <= 1e-9 parity."""
+    cpus = os.cpu_count() or 1
+    if cpus < 2:
+        pytest.skip("solver-pool speedup needs at least 2 CPUs")
+    workers = min(cpus, 4)
+    use_cases, slices = _queries()
+
+    def run():
+        thread_seconds = pool_seconds = float("inf")
+        thread_periods = pool_periods = pool_stats = None
+        for _ in range(1 if SMOKE else 2):
+            elapsed, periods, _ = asyncio.run(_bench_served(slices, 0))
+            if elapsed < thread_seconds:
+                thread_seconds, thread_periods = elapsed, periods
+            elapsed, periods, stats = asyncio.run(
+                _bench_served(slices, workers)
+            )
+            if elapsed < pool_seconds:
+                pool_seconds, pool_periods, pool_stats = (
+                    elapsed,
+                    periods,
+                    stats,
+                )
+        return (
+            thread_seconds,
+            thread_periods,
+            pool_seconds,
+            pool_periods,
+            pool_stats,
+        )
+
+    thread_seconds, thread_periods, pool_seconds, pool_periods, stats = (
+        benchmark.pedantic(run, rounds=1, iterations=1)
+    )
+
+    assert len(use_cases) == 2**APPLICATIONS - 1
+    worst = _worst_relative(thread_periods, pool_periods)
+    assert worst <= 1e-9, (
+        f"solver-pool parity violated: worst relative difference {worst:.3e}"
+    )
+    speedup = thread_seconds / pool_seconds
+    assert speedup >= MIN_SPEEDUP_POOL, (
+        f"solver-pool speedup {speedup:.2f}x below {MIN_SPEEDUP_POOL}x "
+        f"(single thread {thread_seconds * 1e3:.1f} ms, "
+        f"{workers}-worker pool {pool_seconds * 1e3:.1f} ms)"
+    )
+    view = stats["workers"]
+    solving_workers = [
+        entry for entry in view["per_worker"] if entry["batches"]
+    ]
+    assert len(solving_workers) >= 2, "the pool never actually fanned out"
+    assert view["respawns"] == 0
+
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    benchmark.extra_info["workers"] = workers
+    report(
+        "service_pool_speedup",
+        render_table(
+            ["quantity", "value"],
+            [
+                ["queries (2^N - 1)", len(use_cases)],
+                ["concurrent clients", CLIENTS],
+                ["solver workers", workers],
+                ["single solver thread", f"{thread_seconds * 1e3:.1f} ms"],
+                ["multiprocess pool", f"{pool_seconds * 1e3:.1f} ms"],
+                ["speedup", f"{speedup:.2f}x"],
+                ["worst relative difference", f"{worst:.2e}"],
+                ["workers that solved", len(solving_workers)],
+                ["mean batch", f"{stats['mean_batch']:.1f}"],
+            ],
+            title=(
+                f"Solver pool - exhaustive {APPLICATIONS}-app query set, "
+                f"{workers} worker processes vs one solver thread"
+            ),
+        ),
+    )
+
+
 def test_service_cache_turns_repeats_into_hits(benchmark):
     """A repeated query storm is served from the LRU cache, no solves."""
 
@@ -269,3 +401,31 @@ def test_service_load_generator_reports(benchmark):
     assert load.queries_per_second > 0
     benchmark.extra_info["qps"] = round(load.queries_per_second)
     report("service_load", load.render())
+
+
+def test_service_fleet_load(benchmark):
+    """The fleet topology end to end: shard router + per-shard solver
+    pools under a bursty open-loop storm of many multiplexed clients."""
+    from repro.experiments.service_load import LoadConfig, run_load
+
+    config = LoadConfig(
+        clients=_smoke_or_full(512, 64),
+        queries_per_client=_smoke_or_full(4, 2),
+        connections=_smoke_or_full(32, 8),
+        shards=2,
+        solver_workers=min(os.cpu_count() or 1, 2),
+        arrival="bursty",
+        mean_interarrival_ms=1.0,
+        gallery=GallerySpec(
+            application_count=_smoke_or_full(8, APPLICATIONS)
+        ),
+        backend="numpy",
+    )
+    load = benchmark.pedantic(lambda: run_load(config), rounds=1, iterations=1)
+    assert load.errors == 0
+    assert load.shed == 0
+    assert load.queries == config.clients * config.queries_per_client
+    assert load.retries == 0  # no shard died: no failovers
+    benchmark.extra_info["fleet_qps"] = round(load.queries_per_second)
+    benchmark.extra_info["fleet_p99_ms"] = round(load.latency_p99_ms, 2)
+    report("service_fleet_load", load.render())

@@ -34,6 +34,12 @@ RESULTS_DIR = Path(__file__).parent / "results"
 #: runners.
 MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "3.0"))
 
+#: Multiprocess-solver-pool throughput bar: worker-mode serving must
+#: beat the single-solver-thread server by this factor on the
+#: exhaustive query set.  2x locally (the acceptance target); CI
+#: overrides — shared 2-vCPU runners cannot promise real parallelism.
+MIN_SPEEDUP_POOL = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP_POOL", "2.0"))
+
 #: CI smoke mode: one fast case per bench file on a scaled-down setup.
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
 

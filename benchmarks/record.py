@@ -18,6 +18,11 @@ plotted and diffed across PRs:
 * ``service`` — queries/sec and latency percentiles of the
   micro-batching estimation server under the seeded load generator
   (PR 4's claim);
+* ``fleet`` — queries/sec and latency percentiles of the sharded
+  serving topology: 2 estimation-server shards behind the
+  consistent-hash router, each shard running a multiprocess solver
+  pool, driven by a bursty open-loop storm of multiplexed clients
+  (PR 8's claim);
 * ``simulation.fastcore_speedup`` — the SoA fast stepping loop vs. the
   reference event loop, blended across arbitration policies on
   conformance-recipe scenarios (PR 6's claim);
@@ -61,7 +66,10 @@ from typing import Callable, Dict, Optional, Sequence
 #: 3: ``telemetry`` section — registry-derived result-cache hit rate,
 #:    micro-batch size histogram, engine fallback/fixed-point counters,
 #:    plus the full merged metrics snapshot of a cached service run.
-SCHEMA_VERSION = 3
+#: 4: ``fleet`` section — qps and latency percentiles of the sharded
+#:    topology (2 shards behind the consistent-hash router, each with
+#:    a multiprocess solver pool) under a bursty open-loop storm.
+SCHEMA_VERSION = 4
 
 
 def _measure_sweeps(fast: bool) -> Dict[str, object]:
@@ -265,6 +273,47 @@ def _measure_service(fast: bool) -> Dict[str, object]:
     }
 
 
+def _measure_fleet(fast: bool) -> Dict[str, object]:
+    """The sharded topology end to end: router + per-shard pools.
+
+    Open-loop (bursty) so the rate probes the fleet rather than the
+    clients' round-trip; many logical clients multiplex over a few
+    pipelined sockets, the pattern real frontends produce.
+    """
+    import os
+
+    from repro.experiments.service_load import LoadConfig, run_load
+    from repro.runtime.service import GallerySpec
+
+    load = run_load(
+        LoadConfig(
+            clients=64 if fast else 1024,
+            queries_per_client=2 if fast else 4,
+            connections=8 if fast else 32,
+            shards=2,
+            solver_workers=min(os.cpu_count() or 1, 2),
+            arrival="bursty",
+            mean_interarrival_ms=1.0,
+            gallery=GallerySpec(application_count=4 if fast else 8),
+        )
+    )
+    return {
+        "shards": load.shards,
+        "solver_workers_per_shard": load.workers,
+        "clients": load.config.clients,
+        "connections": load.config.connections,
+        "arrival": load.config.arrival,
+        "queries_per_second": round(load.queries_per_second, 1),
+        "latency_p50_ms": round(load.latency_p50_ms, 3),
+        "latency_p90_ms": round(load.latency_p90_ms, 3),
+        "latency_p99_ms": round(load.latency_p99_ms, 3),
+        "mean_batch": round(load.mean_batch, 2),
+        "errors": load.errors,
+        "shed": load.shed,
+        "router_retries": load.retries,
+    }
+
+
 def _sum_samples(
     snapshot: Dict[str, object], name: str, key: str = "value"
 ) -> float:
@@ -341,6 +390,7 @@ SECTIONS: Dict[str, Callable[[bool], object]] = {
     "simulation": _measure_simulation,
     "runtime": _measure_runtime,
     "service": _measure_service,
+    "fleet": _measure_fleet,
     "telemetry": _measure_telemetry,
 }
 

@@ -316,6 +316,29 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "solver worker processes (0 = single solver thread); each "
+            "worker owns a warm engine pool, galleries stick to one "
+            "worker by consistent hash, large batches split across "
+            "workers"
+        ),
+    )
+    serve.add_argument(
+        "--split-threshold",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "with --workers, batches larger than N for one gallery "
+            "fan out over several workers instead of queueing on the "
+            "gallery's home worker"
+        ),
+    )
+    serve.add_argument(
         "--metrics-port",
         type=int,
         default=None,
@@ -341,6 +364,65 @@ def _build_parser() -> argparse.ArgumentParser:
         help="stream every finished span to PATH as JSON lines",
     )
     serve.set_defaults(handler=_cmd_serve)
+
+    route = commands.add_parser(
+        "route",
+        help=(
+            "shard router: one JSON-lines front-end that consistent-"
+            "hashes estimate queries by gallery over N running "
+            "estimation-server shards, with ping health checks and "
+            "idempotent failover retries"
+        ),
+    )
+    route.add_argument(
+        "--shard",
+        dest="shards",
+        action="append",
+        required=True,
+        metavar="HOST:PORT",
+        help=(
+            "address of one running `repro serve` shard "
+            "(repeat per shard)"
+        ),
+    )
+    route.add_argument("--host", default="127.0.0.1")
+    route.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="front-end TCP port (0 = ephemeral; printed once bound)",
+    )
+    route.add_argument(
+        "--health-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help=(
+            "seconds between background shard pings (down shards "
+            "leave the ring, resurrected ones re-join; 0 disables)"
+        ),
+    )
+    route.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help=(
+            "extra shards a query may fail over to when its home "
+            "shard dies mid-request"
+        ),
+    )
+    route.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help=(
+            "expose the router's merged Prometheus metrics over HTTP "
+            "GET /metrics on this port (0 = ephemeral)"
+        ),
+    )
+    route.set_defaults(handler=_cmd_route)
 
     metrics = commands.add_parser(
         "metrics",
@@ -842,6 +924,9 @@ def _cmd_serve(arguments) -> None:
         if arguments.span_log:
             span_sink = JsonLinesSpanSink(arguments.span_log)
             tracer.set_sink(span_sink)
+        pool_options = {}
+        if arguments.split_threshold is not None:
+            pool_options["split_threshold"] = arguments.split_threshold
         server = EstimationServer(
             cache=ResultCache(arguments.cache_size, registry=registry),
             batch_window=arguments.batch_window / 1e3,
@@ -850,8 +935,10 @@ def _cmd_serve(arguments) -> None:
             shed_policy=arguments.shed_policy,
             backend=arguments.backend,
             fixed_point_iterations=arguments.fixed_point_iterations,
+            solver_workers=arguments.workers,
             registry=registry,
             tracer=tracer,
+            **pool_options,
         )
         metrics_server = None
         try:
@@ -885,6 +972,48 @@ def _cmd_serve(arguments) -> None:
 
     try:
         asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+
+
+def _cmd_route(arguments) -> None:
+    import asyncio
+
+    from repro.service.router import ShardRouter, parse_shard_address
+    from repro.telemetry import start_metrics_endpoint
+
+    async def _route() -> None:
+        router = ShardRouter(
+            [parse_shard_address(shard) for shard in arguments.shards],
+            health_interval=arguments.health_interval,
+            max_retries=arguments.max_retries,
+        )
+        metrics_server = None
+        try:
+            if arguments.metrics_port is not None:
+                metrics_server, (mhost, mport) = await start_metrics_endpoint(
+                    router.render_metrics,
+                    host=arguments.host,
+                    port=arguments.metrics_port,
+                )
+                print(
+                    f"metrics on http://{mhost}:{mport}/metrics", flush=True
+                )
+            host, port = await router.start(arguments.host, arguments.port)
+            shard_names = ", ".join(router.shard_health())
+            print(
+                f"routing on {host}:{port} over shards [{shard_names}]",
+                flush=True,
+            )
+            await router.wait_shutdown()
+        finally:
+            await router.aclose()
+            if metrics_server is not None:
+                metrics_server.close()
+                await metrics_server.wait_closed()
+
+    try:
+        asyncio.run(_route())
     except KeyboardInterrupt:
         pass
 

@@ -57,5 +57,14 @@ class ServiceError(ReproError):
     """Estimation-service failure: bad request, overload, closed server."""
 
 
+class ServiceConnectionError(ServiceError):
+    """The transport to a server died (EOF, reset, refused connection).
+
+    Distinct from plain :class:`ServiceError` so fleet layers can tell
+    "the shard is gone — fail over" from "the shard answered with an
+    error — report it"; only the former is safe to retry elsewhere.
+    """
+
+
 class TelemetryError(ReproError):
     """Invalid telemetry usage: bad metric name, conflicting registration."""

@@ -15,6 +15,20 @@ The report carries throughput, latency percentiles and the server-side
 micro-batching/cache/shedding counters, so one run shows *why* the
 throughput number is what it is.
 
+The same harness scales to the **fleet** topology: ``shards > 1``
+spawns N servers behind a :class:`~repro.service.router.ShardRouter`
+front-end (clients keep speaking the ordinary protocol — to the
+router), ``solver_workers > 0`` gives every shard a multiprocess
+:class:`~repro.service.workers.SolverPool`, and ``connections`` caps
+the *socket* count independently of the *logical client* count:
+thousands of concurrent clients multiplex onto a few pipelined
+connections, which is how real fleets are driven.  Open-loop arrival
+processes reuse the workload generator's vocabulary
+(:mod:`repro.generation.workload`): ``closed`` (back-to-back, the
+default), ``poisson``, ``bursty`` (exponential gaps whose mean swings
+by ``burst_factor`` every ``burst_length`` queries) and ``diurnal``
+(sinusoidal rate by thinning).
+
 Observability hooks mirror ``repro serve``: ``metrics_port`` exposes
 the merged exposition over HTTP ``GET /metrics`` while the run is
 live (and the report keeps the text a real scrape returned),
@@ -34,6 +48,8 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import json
+import math
 import random
 import time as _time
 from dataclasses import dataclass, field
@@ -46,6 +62,7 @@ from repro.runtime.service import GallerySpec
 from repro.service.cache import ResultCache
 from repro.service.client import ServiceClient
 from repro.service.pool import EnginePool
+from repro.service.router import ShardRouter
 from repro.service.server import EstimationServer
 from repro.telemetry import (
     Histogram,
@@ -61,6 +78,10 @@ from repro.telemetry import (
 #: tight enough that nearest-rank quantiles off the buckets track the
 #: exact-sample percentiles the report used to hand-roll.
 LATENCY_BUCKETS = log_buckets(1e-5, 10.0)
+
+#: Open-loop arrival processes (plus ``closed``, the classic
+#: back-to-back loop) — same vocabulary as the workload generator.
+ARRIVALS: Tuple[str, ...] = ("closed", "poisson", "bursty", "diurnal")
 
 
 @dataclass(frozen=True)
@@ -80,6 +101,15 @@ class LoadConfig:
     shed_policy: str = "reject"
     cache_entries: int = 4096
     backend: Optional[str] = None
+    shards: int = 1
+    solver_workers: int = 0
+    connections: Optional[int] = None
+    arrival: str = "closed"
+    mean_interarrival_ms: float = 2.0
+    burst_length: int = 8
+    burst_factor: float = 4.0
+    diurnal_period_ms: float = 250.0
+    diurnal_amplitude: float = 0.8
     metrics_port: Optional[int] = None
     trace_export: Optional[str] = None
     span_log: Optional[str] = None
@@ -92,6 +122,33 @@ class LoadConfig:
             raise ExperimentError(
                 f"queries_per_client must be >= 1, "
                 f"got {self.queries_per_client}"
+            )
+        if self.shards < 1:
+            raise ExperimentError(f"shards must be >= 1, got {self.shards}")
+        if self.solver_workers < 0:
+            raise ExperimentError(
+                f"solver_workers must be >= 0, got {self.solver_workers}"
+            )
+        if self.connections is not None and self.connections < 1:
+            raise ExperimentError(
+                f"connections must be >= 1, got {self.connections}"
+            )
+        if self.arrival not in ARRIVALS:
+            raise ExperimentError(
+                f"arrival must be one of {ARRIVALS}, got {self.arrival!r}"
+            )
+        if self.mean_interarrival_ms <= 0:
+            raise ExperimentError("mean_interarrival_ms must be positive")
+        if self.burst_length < 1 or self.burst_factor < 1.0:
+            raise ExperimentError(
+                "burst_length must be >= 1 and burst_factor >= 1"
+            )
+        if self.diurnal_period_ms <= 0 or not (
+            0.0 <= self.diurnal_amplitude < 1.0
+        ):
+            raise ExperimentError(
+                "diurnal_period_ms must be positive and diurnal_amplitude "
+                "in [0, 1)"
             )
 
 
@@ -115,10 +172,15 @@ class LoadReport:
     telemetry: Dict[str, object] = field(default_factory=dict)
     exposition: str = ""
     scraped_exposition: Optional[str] = None
+    shards: int = 1
+    workers: int = 0
+    retries: int = 0
+    router: Optional[Dict[str, object]] = None
 
     def render(self) -> str:
         rows = [
             ["clients", self.config.clients],
+            ["arrival", self.config.arrival],
             ["queries", self.queries],
             ["errors", self.errors],
             ["elapsed", f"{self.elapsed_seconds * 1e3:.0f} ms"],
@@ -132,6 +194,14 @@ class LoadReport:
             ["shed", self.shed],
             ["degraded", self.degraded],
         ]
+        if self.shards > 1 or self.workers > 0:
+            rows.extend(
+                [
+                    ["shards", self.shards],
+                    ["solver workers", self.workers],
+                    ["router retries", self.retries],
+                ]
+            )
         return render_table(
             ["metric", "value"],
             rows,
@@ -141,6 +211,32 @@ class LoadReport:
                 f"{self.config.seed})"
             ),
         )
+
+    def to_json(self) -> Dict[str, object]:
+        """The machine-readable summary CI gates assert on."""
+        return {
+            "gallery": self.config.gallery.label(),
+            "model": self.config.model,
+            "arrival": self.config.arrival,
+            "clients": self.config.clients,
+            "connections": self.config.connections,
+            "shards": self.shards,
+            "workers": self.workers,
+            "queries": self.queries,
+            "errors": self.errors,
+            "elapsed_seconds": self.elapsed_seconds,
+            "queries_per_second": self.queries_per_second,
+            "latency_p50_ms": self.latency_p50_ms,
+            "latency_p90_ms": self.latency_p90_ms,
+            "latency_p99_ms": self.latency_p99_ms,
+            "mean_batch": self.mean_batch,
+            "max_batch": self.max_batch,
+            "cache_hits": self.cache_hits,
+            "shed": self.shed,
+            "degraded": self.degraded,
+            "retries": self.retries,
+            "router": self.router,
+        }
 
 
 def _client_plan(config: LoadConfig, client_index: int) -> List[Tuple[str, ...]]:
@@ -154,38 +250,83 @@ def _client_plan(config: LoadConfig, client_index: int) -> List[Tuple[str, ...]]
     return plan
 
 
+def _client_delays(config: LoadConfig, client_index: int) -> List[float]:
+    """Seconds each of the client's queries waits before being sent.
+
+    Mirrors the workload generator's arrival clock
+    (:mod:`repro.generation.workload`): exponential gaps for
+    ``poisson``, gap means swinging by ``burst_factor`` every
+    ``burst_length`` queries for ``bursty``, and a sinusoidal rate by
+    thinning for ``diurnal``.  ``closed`` is the classic closed loop —
+    no think time at all.
+    """
+    count = config.queries_per_client
+    if config.arrival == "closed":
+        return [0.0] * count
+    rng = random.Random(f"{config.seed}:arrival:{client_index}")
+    mean = config.mean_interarrival_ms / 1e3
+    delays: List[float] = []
+    now = 0.0
+    previous = 0.0
+    burst_remaining = 0
+    for _ in range(count):
+        if config.arrival == "poisson":
+            now += rng.expovariate(1.0 / mean)
+        elif config.arrival == "bursty":
+            if burst_remaining > 0:
+                gap_mean = mean / config.burst_factor
+                burst_remaining -= 1
+            else:
+                gap_mean = mean * config.burst_factor
+                burst_remaining = config.burst_length - 1
+            now += rng.expovariate(1.0 / gap_mean)
+        else:  # diurnal, by thinning a homogeneous peak-rate process
+            period = config.diurnal_period_ms / 1e3
+            peak_rate = (1.0 + config.diurnal_amplitude) / mean
+            while True:
+                now += rng.expovariate(peak_rate)
+                phase = 2.0 * math.pi * now / period
+                rate = (
+                    1.0 + config.diurnal_amplitude * math.sin(phase)
+                ) / mean
+                if rng.random() <= rate / peak_rate:
+                    break
+        delays.append(now - previous)
+        previous = now
+    return delays
+
+
 async def _run_client(
     config: LoadConfig,
-    address: Tuple[str, int],
+    client: ServiceClient,
     client_index: int,
     latency: Histogram,
     errors: List[str],
 ) -> None:
+    """One logical client: its seeded plan over a (shared) connection."""
     gallery = {
         "kind": config.gallery.kind,
         "seed": config.gallery.seed,
         "applications": config.gallery.application_count,
     }
-    client = await ServiceClient.connect(address[0], address[1])
-    try:
-        for query_index, use_case in enumerate(
-            _client_plan(config, client_index)
-        ):
-            started = _time.perf_counter()
-            try:
-                await client.estimate(
-                    use_case,
-                    gallery=gallery,
-                    model=config.model,
-                    method=config.method,
-                    trace=f"load-{config.seed}-{client_index}-{query_index}",
-                )
-            except ServiceError as error:
-                errors.append(str(error))
-                continue
-            latency.observe(_time.perf_counter() - started)
-    finally:
-        await client.aclose()
+    plan = _client_plan(config, client_index)
+    delays = _client_delays(config, client_index)
+    for query_index, (use_case, delay) in enumerate(zip(plan, delays)):
+        if delay > 0:
+            await asyncio.sleep(delay)
+        started = _time.perf_counter()
+        try:
+            await client.estimate(
+                use_case,
+                gallery=gallery,
+                model=config.model,
+                method=config.method,
+                trace=f"load-{config.seed}-{client_index}-{query_index}",
+            )
+        except ServiceError as error:
+            errors.append(str(error))
+            continue
+        latency.observe(_time.perf_counter() - started)
 
 
 async def _scrape_http(host: str, port: int) -> str:
@@ -210,6 +351,38 @@ async def _scrape_http(host: str, port: int) -> str:
     return body.decode("utf-8")
 
 
+def _aggregate_stats(
+    snapshots: List[Dict[str, object]],
+) -> Dict[str, object]:
+    """Fleet-wide rollup of per-shard server snapshots.
+
+    Counters sum; ``mean_batch`` is the batch-weighted mean (total
+    batched queries over total batches, exactly what each shard
+    reports locally); ``max_batch`` is the fleet maximum.
+    """
+    if len(snapshots) == 1:
+        return snapshots[0]
+
+    def total(key: str) -> int:
+        return sum(int(s[key]) for s in snapshots)  # type: ignore[arg-type]
+
+    batches = total("batches")
+    batched = total("batched_queries")
+    max_batch = max(int(s["max_batch"]) for s in snapshots)  # type: ignore[arg-type]
+    return {
+        "mean_batch": batched / batches if batches else 0.0,
+        "max_batch": max_batch,
+        "shed": total("shed"),
+        "degraded": total("degraded"),
+        "cache": {
+            "hits": sum(
+                int(s["cache"]["hits"])  # type: ignore[index]
+                for s in snapshots
+            )
+        },
+    }
+
+
 async def _run(config: LoadConfig) -> LoadReport:
     registry = MetricsRegistry(enabled=True)
     tracer = Tracer()
@@ -226,45 +399,99 @@ async def _run(config: LoadConfig) -> LoadReport:
         buckets=LATENCY_BUCKETS,
         always=True,
     )
-    server = EstimationServer(
-        pool=EnginePool(backend=config.backend, registry=registry),
-        cache=ResultCache(config.cache_entries, registry=registry),
-        batch_window=config.batch_window,
-        max_batch=config.max_batch,
-        max_pending=config.max_pending,
-        shed_policy=config.shed_policy,
-        registry=registry,
-        tracer=tracer,
-    )
-    address = await server.start()
+    # Single-shard runs keep the historical shape: the one server
+    # shares the front registry with the latency histogram.  Fleet
+    # runs give every shard its own registry (the per-server stats
+    # contract must not bleed across shards) and put the histogram and
+    # router counters together on the front-end's.
+    fleet = config.shards > 1
+    servers: List[EstimationServer] = []
+    for _ in range(config.shards):
+        shard_registry = (
+            MetricsRegistry(enabled=True) if fleet else registry
+        )
+        servers.append(
+            EstimationServer(
+                pool=EnginePool(
+                    backend=config.backend, registry=shard_registry
+                ),
+                cache=ResultCache(
+                    config.cache_entries, registry=shard_registry
+                ),
+                batch_window=config.batch_window,
+                max_batch=config.max_batch,
+                max_pending=config.max_pending,
+                shed_policy=config.shed_policy,
+                backend=config.backend,
+                solver_workers=config.solver_workers,
+                registry=shard_registry,
+                tracer=tracer,
+            )
+        )
+    addresses = [await server.start() for server in servers]
+    router: Optional[ShardRouter] = None
+    if fleet:
+        router = ShardRouter(
+            addresses,
+            health_interval=0.25,
+            registry=registry,
+            tracer=tracer,
+        )
+        address = await router.start()
+    else:
+        address = addresses[0]
+    front = router if router is not None else servers[0]
     metrics_server = None
     scraped: Optional[str] = None
     errors: List[str] = []
+    connection_count = min(
+        config.connections
+        if config.connections is not None
+        else config.clients,
+        config.clients,
+    )
+    connections: List[ServiceClient] = []
     try:
         if config.metrics_port is not None:
             metrics_server, metrics_address = await start_metrics_endpoint(
-                server.render_metrics, port=config.metrics_port
+                front.render_metrics, port=config.metrics_port
             )
+        connections = [
+            await ServiceClient.connect(address[0], address[1])
+            for _ in range(connection_count)
+        ]
         started = _time.perf_counter()
         await asyncio.gather(
             *[
-                _run_client(config, address, index, latency, errors)
+                _run_client(
+                    config,
+                    connections[index % connection_count],
+                    index,
+                    latency,
+                    errors,
+                )
                 for index in range(config.clients)
             ]
         )
         elapsed = _time.perf_counter() - started
         if metrics_server is not None:
             scraped = await _scrape_http(*metrics_address)
-        stats = server.snapshot()
-        telemetry = server.metrics_snapshot()
-        exposition = server.render_metrics()
+        stats = _aggregate_stats([server.snapshot() for server in servers])
+        router_stats = router.snapshot() if router is not None else None
+        telemetry = front.metrics_snapshot()
+        exposition = front.render_metrics()
     finally:
-        await server.aclose()
+        for connection in connections:
+            await connection.aclose()
+        if router is not None:
+            await router.aclose()
+        for server in servers:
+            await server.aclose()
         if metrics_server is not None:
             metrics_server.close()
             await metrics_server.wait_closed()
         if config.trace_export:
-            write_chrome_trace(config.trace_export, spans=server.tracer.spans())
+            write_chrome_trace(config.trace_export, spans=tracer.spans())
         if span_sink is not None:
             span_sink.close()
     if config.metrics_output:
@@ -297,6 +524,14 @@ async def _run(config: LoadConfig) -> LoadReport:
         telemetry=telemetry,
         exposition=exposition,
         scraped_exposition=scraped,
+        shards=config.shards,
+        workers=config.solver_workers,
+        retries=(
+            int(router_stats["retries"])  # type: ignore[arg-type]
+            if router_stats is not None
+            else 0
+        ),
+        router=router_stats,
     )
 
 
@@ -322,6 +557,57 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default="reject",
     )
     parser.add_argument("--backend", choices=("auto", "numpy", "python"), default=None)
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help=(
+            "estimation-server shards behind a consistent-hash router "
+            "(1 = the classic single-server run, no router)"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="solver worker processes per shard (0 = solver thread)",
+    )
+    parser.add_argument(
+        "--connections",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "sockets the logical clients multiplex onto (default: one "
+            "per client; thousands of clients should share a few "
+            "pipelined connections)"
+        ),
+    )
+    parser.add_argument(
+        "--arrival",
+        choices=ARRIVALS,
+        default="closed",
+        help="arrival process (closed = back-to-back, no think time)",
+    )
+    parser.add_argument(
+        "--mean-interarrival",
+        type=float,
+        default=2.0,
+        metavar="MS",
+        help="mean think time per client for open-loop arrivals",
+    )
+    parser.add_argument("--burst-length", type=int, default=8)
+    parser.add_argument("--burst-factor", type=float, default=4.0)
+    parser.add_argument(
+        "--diurnal-period", type=float, default=250.0, metavar="MS"
+    )
+    parser.add_argument("--diurnal-amplitude", type=float, default=0.8)
+    parser.add_argument(
+        "--report-json",
+        default=None,
+        metavar="PATH",
+        help="save the machine-readable report summary as JSON",
+    )
     parser.add_argument(
         "--metrics-port",
         type=int,
@@ -361,6 +647,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             cache_entries=arguments.cache_size,
             shed_policy=arguments.shed_policy,
             backend=arguments.backend,
+            shards=arguments.shards,
+            solver_workers=arguments.workers,
+            connections=arguments.connections,
+            arrival=arguments.arrival,
+            mean_interarrival_ms=arguments.mean_interarrival,
+            burst_length=arguments.burst_length,
+            burst_factor=arguments.burst_factor,
+            diurnal_period_ms=arguments.diurnal_period,
+            diurnal_amplitude=arguments.diurnal_amplitude,
             metrics_port=arguments.metrics_port,
             trace_export=arguments.trace_export,
             span_log=arguments.span_log,
@@ -368,6 +663,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
     )
     print(report.render())
+    if arguments.report_json:
+        Path(arguments.report_json).write_text(
+            json.dumps(report.to_json(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
     return 0
 
 

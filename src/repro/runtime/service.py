@@ -27,6 +27,7 @@ store deterministically.
 from __future__ import annotations
 
 import json
+import os
 import time as _time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -300,7 +301,10 @@ class SweepService:
         recomputes (hits stay 0).
     jobs:
         Worker processes for misses.  ``1`` (default) runs inline —
-        no pool, no pickling.
+        no pool, no pickling.  Capped at ``os.cpu_count()`` when a
+        sweep actually fans out: extra processes beyond the CPUs only
+        time-slice each other while still paying the per-chunk
+        gallery rebuild.
     backend:
         Array backend selection forwarded to every estimator the
         service builds — in-process and in worker processes alike
@@ -417,7 +421,11 @@ class SweepService:
         misses: List[Tuple[UseCase, Tuple[str, str, str, str]]],
         fixed_point_iterations: int,
     ) -> List[Tuple[Tuple[str, str, str, str], SweepRecord]]:
-        chunk_count = min(self.jobs, len(misses))
+        # Cap the pool at the machine: ``jobs`` above the CPU count
+        # would spawn processes that only time-slice each other (each
+        # one still paying the per-chunk gallery rebuild), so the
+        # oversubscribed sweep was *slower* than the capped one.
+        chunk_count = min(self.jobs, len(misses), os.cpu_count() or 1)
         chunks: List[List[Tuple[UseCase, Tuple[str, str, str, str]]]] = [
             [] for _ in range(chunk_count)
         ]

@@ -11,11 +11,17 @@ Public surface:
 * :class:`~repro.service.pool.EnginePool` and
   :class:`~repro.service.cache.ResultCache` — the warm-state and
   memoization building blocks, reusable outside the server;
+* :class:`~repro.service.workers.SolverPool` — the multiprocess
+  solver pool a server runs with ``solver_workers > 0``;
+* :class:`~repro.service.router.ShardRouter` and
+  :class:`~repro.service.hashring.HashRing` — the fleet front-end
+  that consistent-hashes galleries over N server shards;
 * the :mod:`~repro.service.protocol` message helpers.
 """
 
 from repro.service.cache import CacheKey, ResultCache
 from repro.service.client import ServiceClient, estimate_once
+from repro.service.hashring import HashRing, stable_hash
 from repro.service.pool import EnginePool
 from repro.service.protocol import (
     PROTOCOL_VERSION,
@@ -25,25 +31,32 @@ from repro.service.protocol import (
     parse_estimate,
     parse_gallery,
 )
+from repro.service.router import ShardRouter, parse_shard_address
 from repro.service.server import (
     DEFAULT_DEGRADED_MODEL,
     EstimationServer,
     ServerStats,
 )
+from repro.service.workers import SolverPool
 
 __all__ = [
     "CacheKey",
     "DEFAULT_DEGRADED_MODEL",
     "EnginePool",
     "EstimationServer",
+    "HashRing",
     "PROTOCOL_VERSION",
     "Query",
     "ResultCache",
     "ServerStats",
     "ServiceClient",
+    "ShardRouter",
+    "SolverPool",
     "decode_message",
     "encode_message",
     "estimate_once",
     "parse_estimate",
     "parse_gallery",
+    "parse_shard_address",
+    "stable_hash",
 ]

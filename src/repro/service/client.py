@@ -21,7 +21,7 @@ import asyncio
 import itertools
 from typing import Dict, Optional, Sequence, Tuple
 
-from repro.exceptions import ServiceError
+from repro.exceptions import ServiceConnectionError, ServiceError
 from repro.service.protocol import (
     decode_message,
     encode_message,
@@ -65,8 +65,13 @@ class ServiceClient:
     async def _call(self, payload: Dict[str, object]) -> Dict[str, object]:
         request_id = next(self._ids)
         payload = dict(payload, id=request_id)
-        self._writer.write(encode_message(payload))
-        await self._writer.drain()
+        try:
+            self._writer.write(encode_message(payload))
+            await self._writer.drain()
+        except (ConnectionError, BrokenPipeError) as error:
+            raise ServiceConnectionError(
+                f"connection lost while sending a request: {error}"
+            ) from None
         # One coroutine at a time reads the socket and files responses
         # by id; everyone else waits for theirs to be filed.  This lets
         # several coroutines share one client (pipelined requests)
@@ -75,9 +80,16 @@ class ServiceClient:
             async with self._lock:
                 if request_id in self._responses:
                     break
-                line = await self._reader.readline()
+                try:
+                    line = await self._reader.readline()
+                except (ConnectionError, BrokenPipeError) as error:
+                    raise ServiceConnectionError(
+                        f"connection lost while awaiting a response: {error}"
+                    ) from None
                 if not line:
-                    raise ServiceError("connection closed before a response arrived")
+                    raise ServiceConnectionError(
+                        "connection closed before a response arrived"
+                    )
                 response = decode_message(line)
                 answered = response.get("id")
                 if not isinstance(answered, int):

@@ -1,0 +1,540 @@
+"""The shard router: one front-end over N estimation-server shards.
+
+One :class:`~repro.service.server.EstimationServer` — even with a
+multiprocess solver pool — is still one event loop, one result cache
+and one engine pool.  The fleet layer runs N server processes
+(*shards*) and puts this thin asyncio front-end before them:
+
+* clients speak the ordinary JSON-lines protocol to the router — no
+  client changes, :class:`~repro.service.client.ServiceClient` works
+  as-is;
+* ``estimate`` queries are **consistent-hashed by gallery key**
+  (:class:`~repro.service.hashring.HashRing`), so one gallery's
+  queries always land on one shard whose engine pool and result cache
+  stay hot, and adding/removing a shard only re-homes that shard's
+  galleries;
+* each shard is reached over one multiplexed
+  :class:`~repro.service.client.ServiceClient` connection (requests
+  pipeline, responses match by id), so the router adds sockets
+  proportional to shards, not clients;
+* shards are **health-checked** via the protocol's ``ping``; a shard
+  that dies (connection refused/reset/EOF) leaves the ring, its
+  galleries re-home to the surviving shards, and the estimate that
+  observed the death is **retried** there — estimates are idempotent
+  queries, so failover is invisible to clients beyond latency.  A
+  resurrected shard re-joins the ring at the next health tick.
+
+``stats``/``metrics`` aggregate the router's own counters with every
+live shard's; ``invalidate`` broadcasts (any shard may have served the
+gallery before a ring change); ``shutdown`` stops the router — shards
+are separate processes with their own lifecycles.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ServiceConnectionError, ServiceError
+from repro.service.client import ServiceClient
+from repro.service.hashring import HashRing
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    decode_message,
+    encode_message,
+    error_response,
+    ok_response,
+    parse_estimate,
+    parse_gallery,
+    resolve_request_id,
+    resolve_trace_id,
+)
+from repro.telemetry import (
+    MetricsRegistry,
+    Tracer,
+    get_registry,
+    render_merged,
+    snapshot_merged,
+)
+
+
+def parse_shard_address(value: str) -> Tuple[str, int]:
+    """``host:port`` → address tuple (loud on malformed input)."""
+    host, separator, port = value.rpartition(":")
+    if not separator or not host:
+        raise ServiceError(
+            f"shard address {value!r} is not of the form host:port"
+        )
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ServiceError(
+            f"shard address {value!r} has a non-integer port"
+        ) from None
+
+
+@dataclass
+class _Shard:
+    """One backend server: address, connection, health."""
+
+    name: str
+    address: Tuple[str, int]
+    client: Optional[ServiceClient] = None
+    healthy: bool = True
+    failures: int = 0
+    forwarded: int = 0
+    lock: asyncio.Lock = field(default_factory=asyncio.Lock)
+
+
+class ShardRouter:
+    """Consistent-hash front-end over estimation-server shards.
+
+    Parameters
+    ----------
+    shards:
+        Backend addresses as ``(host, port)`` tuples.
+    health_interval:
+        Seconds between background ``ping`` sweeps (0 disables the
+        loop; death is then only detected by failing forwards).
+    max_retries:
+        How many *additional* shards a failed-over estimate may try
+        before reporting failure (bounded by the live shard count).
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[Tuple[str, int]],
+        health_interval: float = 1.0,
+        max_retries: int = 2,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        if not shards:
+            raise ServiceError("router needs at least one shard address")
+        if health_interval < 0:
+            raise ServiceError(
+                f"health_interval must be >= 0, got {health_interval}"
+            )
+        self.registry = (
+            registry if registry is not None else MetricsRegistry(enabled=True)
+        )
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.health_interval = health_interval
+        self.max_retries = max_retries
+        self._shards: Dict[str, _Shard] = {}
+        for host, port in shards:
+            name = f"{host}:{port}"
+            if name in self._shards:
+                raise ServiceError(f"duplicate shard address {name!r}")
+            self._shards[name] = _Shard(name=name, address=(host, port))
+        self._ring = HashRing(list(self._shards))
+        counter = self.registry.counter
+        self._metric_requests = counter(
+            "repro_router_requests_total",
+            "Requests received by the shard router",
+            always=True,
+        )
+        self._metric_forwarded = counter(
+            "repro_router_forwarded_total",
+            "Estimate queries forwarded to shards",
+            always=True,
+        )
+        self._metric_retries = counter(
+            "repro_router_retries_total",
+            "Estimates retried on another shard after a shard death",
+            always=True,
+        )
+        self._metric_failovers = counter(
+            "repro_router_shard_down_total",
+            "Shards marked down (connection death or failed ping)",
+            always=True,
+        )
+        self._metric_rejoins = counter(
+            "repro_router_shard_up_total",
+            "Shards re-joining the ring after a successful ping",
+            always=True,
+        )
+        self._metric_errors = counter(
+            "repro_router_errors_total",
+            "Requests answered with an error response by the router",
+            always=True,
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._health_task: Optional["asyncio.Task[None]"] = None
+        self._writers: "set[asyncio.StreamWriter]" = set()
+        self._stop: Optional[asyncio.Event] = None
+        self._closing = False
+        self.address: Optional[Tuple[str, int]] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> Tuple[str, int]:
+        if self._server is not None:
+            raise ServiceError("router already started")
+        self._stop = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=host,
+            port=port,
+            limit=2 * 1024 * 1024,
+        )
+        bound = self._server.sockets[0].getsockname()
+        self.address = (bound[0], bound[1])
+        if self.health_interval > 0:
+            self._health_task = asyncio.get_running_loop().create_task(
+                self._health_loop()
+            )
+        return self.address
+
+    async def wait_shutdown(self) -> None:
+        assert self._stop is not None, "router not started"
+        await self._stop.wait()
+
+    async def aclose(self) -> None:
+        self._closing = True
+        if self._stop is not None:
+            self._stop.set()
+        if self._health_task is not None:
+            self._health_task.cancel()
+            try:
+                await self._health_task
+            except asyncio.CancelledError:
+                pass
+            self._health_task = None
+        if self._server is not None:
+            self._server.close()
+        for writer in list(self._writers):
+            try:
+                writer.close()
+            except (ConnectionError, BrokenPipeError):
+                pass
+        if self._server is not None:
+            await self._server.wait_closed()
+            self._server = None
+        for shard in self._shards.values():
+            if shard.client is not None:
+                await shard.client.aclose()
+                shard.client = None
+
+    # ------------------------------------------------------------------
+    # Shard management
+    # ------------------------------------------------------------------
+    async def _client(self, shard: _Shard) -> ServiceClient:
+        """The shard's multiplexed connection, dialing if necessary."""
+        if shard.client is None:
+            async with shard.lock:
+                if shard.client is None:
+                    try:
+                        shard.client = await ServiceClient.connect(
+                            *shard.address
+                        )
+                    except OSError as error:
+                        raise ServiceConnectionError(
+                            f"shard {shard.name} unreachable: {error}"
+                        ) from None
+        return shard.client
+
+    def _mark_down(self, shard: _Shard) -> None:
+        """Remove a dead shard from the ring; its galleries re-home."""
+        shard.failures += 1
+        if not shard.healthy:
+            return
+        shard.healthy = False
+        self._metric_failovers.inc()
+        if shard.name in self._ring:
+            self._ring.remove(shard.name)
+        client, shard.client = shard.client, None
+        if client is not None:
+            # Fire-and-forget close: the transport is already dead.
+            task = asyncio.get_running_loop().create_task(client.aclose())
+            task.add_done_callback(lambda _: None)
+
+    def _mark_up(self, shard: _Shard) -> None:
+        if shard.healthy:
+            return
+        shard.healthy = True
+        self._metric_rejoins.inc()
+        if shard.name not in self._ring:
+            self._ring.add(shard.name)
+
+    async def _probe(self, shard: _Shard) -> bool:
+        """One health ping; flips the shard up or down accordingly."""
+        try:
+            await (await self._client(shard)).ping()
+        except (ServiceConnectionError, ConnectionError, OSError):
+            self._mark_down(shard)
+            return False
+        self._mark_up(shard)
+        return True
+
+    async def _health_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.health_interval)
+            await asyncio.gather(
+                *[self._probe(shard) for shard in self._shards.values()]
+            )
+
+    def _shards_for(self, gallery_label: str) -> List[_Shard]:
+        """Live shards in failover order for one gallery key."""
+        if len(self._ring) == 0:
+            raise ServiceError(
+                "no healthy shard is available for the query"
+            )
+        names = self._ring.nodes_for(gallery_label)
+        limit = min(len(names), self.max_retries + 1)
+        return [self._shards[name] for name in names[:limit]]
+
+    # ------------------------------------------------------------------
+    # Front-end protocol
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self._writers.add(writer)
+        send_lock = asyncio.Lock()
+        tasks: "set[asyncio.Task[None]]" = set()
+        loop = asyncio.get_running_loop()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    await self._send(
+                        writer,
+                        error_response(None, "message too long"),
+                        send_lock,
+                    )
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    payload = decode_message(line)
+                except Exception as error:
+                    self._metric_requests.inc()
+                    self._metric_errors.inc()
+                    await self._send(
+                        writer, error_response(None, str(error)), send_lock
+                    )
+                    continue
+                if payload.get("op") == "shutdown":
+                    await self._serve_payload(payload, writer, send_lock)
+                    break
+                task = loop.create_task(
+                    self._serve_payload(payload, writer, send_lock)
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        except (ConnectionError, BrokenPipeError):
+            pass
+        finally:
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            self._writers.discard(writer)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+    async def _send(
+        self,
+        writer: asyncio.StreamWriter,
+        payload: Dict[str, object],
+        send_lock: asyncio.Lock,
+    ) -> None:
+        async with send_lock:
+            try:
+                writer.write(encode_message(payload))
+                await writer.drain()
+            except (ConnectionError, BrokenPipeError):
+                pass  # client went away
+
+    async def _serve_payload(
+        self,
+        payload: Dict[str, object],
+        writer: asyncio.StreamWriter,
+        send_lock: asyncio.Lock,
+    ) -> None:
+        self._metric_requests.inc()
+        request_id: object = None
+        op = payload.get("op")
+        try:
+            request_id = resolve_request_id(payload)
+            with self.tracer.span("router.request", op=str(op)):
+                if op == "ping":
+                    response = ok_response(
+                        request_id,
+                        {
+                            "pong": True,
+                            "protocol": PROTOCOL_VERSION,
+                            "router": True,
+                            "shards": self.shard_health(),
+                        },
+                    )
+                elif op == "estimate":
+                    response = ok_response(
+                        request_id, await self._forward_estimate(payload)
+                    )
+                elif op == "stats":
+                    response = ok_response(request_id, await self._stats())
+                elif op == "metrics":
+                    response = ok_response(
+                        request_id,
+                        {
+                            "exposition": self.render_metrics(),
+                            "snapshot": self.metrics_snapshot(),
+                        },
+                    )
+                elif op == "invalidate":
+                    response = ok_response(
+                        request_id,
+                        await self._broadcast_invalidate(payload),
+                    )
+                elif op == "shutdown":
+                    response = ok_response(request_id, {"stopping": True})
+                else:
+                    raise ServiceError(
+                        f"unknown op {op!r} (expected ping, estimate, "
+                        f"stats, metrics, invalidate or shutdown)"
+                    )
+        except Exception as error:
+            self._metric_errors.inc()
+            response = error_response(request_id, str(error))
+            op = None
+        await self._send(writer, response, send_lock)
+        if op == "shutdown":
+            assert self._stop is not None
+            self._stop.set()
+
+    # ------------------------------------------------------------------
+    # Forwarding
+    # ------------------------------------------------------------------
+    async def _forward_estimate(
+        self, payload: Dict[str, object]
+    ) -> Dict[str, object]:
+        if self._closing:
+            raise ServiceError("router is shutting down")
+        # Validate at the edge (same contract as the server) — and the
+        # parse yields the gallery label the ring hashes on.
+        query = parse_estimate(payload)
+        trace_id = resolve_trace_id(payload)
+        label = query.gallery.label()
+        attempts = 0
+        last_error: Optional[str] = None
+        for shard in self._shards_for(label):
+            if attempts:
+                self._metric_retries.inc()
+            attempts += 1
+            try:
+                with self.tracer.span(
+                    "router.forward",
+                    trace_id=trace_id,
+                    shard=shard.name,
+                    gallery=label,
+                    attempt=attempts,
+                ):
+                    client = await self._client(shard)
+                    result = await client.estimate(
+                        list(query.use_case.applications),
+                        gallery={
+                            "kind": query.gallery.kind,
+                            "seed": query.gallery.seed,
+                            "applications": query.gallery.application_count,
+                        },
+                        model=str(payload.get("model", query.model)),
+                        method=query.method.value,
+                        trace=trace_id,
+                    )
+            except (ServiceConnectionError, ConnectionError) as error:
+                # The shard died under this query: take it off the
+                # ring and retry on the next shard in preference
+                # order — estimates are idempotent, re-asking is safe.
+                last_error = str(error)
+                self._mark_down(shard)
+                continue
+            shard.forwarded += 1
+            self._metric_forwarded.inc()
+            result["shard"] = shard.name
+            return result
+        raise ServiceError(
+            f"no shard could answer after {attempts} attempt(s): "
+            f"{last_error or 'no healthy shard available'}"
+        )
+
+    async def _broadcast_invalidate(
+        self, payload: Dict[str, object]
+    ) -> Dict[str, object]:
+        spec = parse_gallery(payload.get("gallery"))
+        gallery = {
+            "kind": spec.kind,
+            "seed": spec.seed,
+            "applications": spec.application_count,
+        }
+        results: Dict[str, object] = {}
+        for shard in self._shards.values():
+            if not shard.healthy:
+                results[shard.name] = {"skipped": "shard down"}
+                continue
+            try:
+                results[shard.name] = await (
+                    await self._client(shard)
+                ).invalidate(gallery)
+            except (ServiceConnectionError, ConnectionError) as error:
+                self._mark_down(shard)
+                results[shard.name] = {"skipped": str(error)}
+        return {"gallery": spec.label(), "shards": results}
+
+    async def _stats(self) -> Dict[str, object]:
+        shards: Dict[str, object] = {}
+        for shard in self._shards.values():
+            if not shard.healthy:
+                shards[shard.name] = None
+                continue
+            try:
+                shards[shard.name] = await (await self._client(shard)).stats()
+            except (ServiceConnectionError, ConnectionError):
+                self._mark_down(shard)
+                shards[shard.name] = None
+        return dict(self.snapshot(), per_shard=shards)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def shard_health(self) -> Dict[str, bool]:
+        return {
+            shard.name: shard.healthy for shard in self._shards.values()
+        }
+
+    def snapshot(self) -> Dict[str, object]:
+        """Router-side counters (JSON-serializable, no shard calls)."""
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "router": True,
+            "shards": self.shard_health(),
+            "live_shards": len(self._ring),
+            "requests": int(self._metric_requests.value),
+            "forwarded": int(self._metric_forwarded.value),
+            "retries": int(self._metric_retries.value),
+            "shard_down": int(self._metric_failovers.value),
+            "shard_up": int(self._metric_rejoins.value),
+            "errors": int(self._metric_errors.value),
+            "per_shard_forwarded": {
+                shard.name: shard.forwarded
+                for shard in self._shards.values()
+            },
+        }
+
+    def render_metrics(self) -> str:
+        """Prometheus exposition: router registry + process-global."""
+        return render_merged(self.registry, get_registry())
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        return snapshot_merged(self.registry, get_registry())

@@ -42,6 +42,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Tuple
 
+from repro.backend import get_backend
 from repro.exceptions import ReproError, ServiceError
 from repro.runtime.service import GallerySpec
 from repro.runtime.manager import (
@@ -53,6 +54,7 @@ from repro.runtime.manager import (
 )
 from repro.service.cache import ResultCache
 from repro.service.pool import EnginePool
+from repro.service.workers import DEFAULT_SPLIT_THRESHOLD, SolverPool
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     Query,
@@ -138,6 +140,11 @@ class ServerStats:
             "Requests answered with an error response",
             always=True,
         )
+        self._disconnects = counter(
+            "repro_service_disconnects_total",
+            "Pending queries dropped because their client disconnected",
+            always=True,
+        )
         self._max_batch = registry.gauge(
             "repro_service_max_batch",
             "Largest micro-batch drained so far",
@@ -180,6 +187,9 @@ class ServerStats:
 
     def record_degraded(self) -> None:
         self._degraded.inc()
+
+    def record_disconnect(self) -> None:
+        self._disconnects.inc()
 
     def record_batch(self, size: int) -> None:
         self._batches.inc()
@@ -239,6 +249,10 @@ class ServerStats:
         return int(self._errors.value)
 
     @property
+    def disconnects(self) -> int:
+        return int(self._disconnects.value)
+
+    @property
     def mean_batch(self) -> float:
         batches = self._batches.value
         return self._batched_queries.value / batches if batches else 0.0
@@ -253,6 +267,9 @@ class _PendingQuery:
     requested_model: str
     trace_id: Optional[str] = None
     enqueued: float = 0.0
+    #: Connection token of the submitting client — disconnect reaping
+    #: drops every pending entry carrying a dead connection's token.
+    conn: Optional[object] = None
 
     @property
     def degraded_from(self) -> Optional[str]:
@@ -294,6 +311,17 @@ class EstimationServer:
         refinement iterates the whole micro-batch with a per-row
         convergence mask, so the batching payoff survives
         ``iterations > 1``.
+    solver_workers:
+        ``0`` (default) keeps the single solver *thread* — engines are
+        stateful, one thread serializes every batch.  ``>= 1`` runs a
+        :class:`~repro.service.workers.SolverPool` of persistent worker
+        *processes* instead (capped at the CPU count): each worker owns
+        a warm per-process engine pool, batches dispatch with
+        gallery affinity, and large single-gallery groups split across
+        workers so multi-core hardware actually solves in parallel.
+    split_threshold:
+        Solver-pool group size above which one batch fans out across
+        workers (ignored in single-thread mode).
     """
 
     def __init__(
@@ -307,6 +335,8 @@ class EstimationServer:
         degraded_model: str = DEFAULT_DEGRADED_MODEL,
         backend: Optional[object] = None,
         fixed_point_iterations: int = 1,
+        solver_workers: int = 0,
+        split_threshold: int = DEFAULT_SPLIT_THRESHOLD,
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
     ) -> None:
@@ -320,6 +350,10 @@ class EstimationServer:
             raise ServiceError(
                 "fixed_point_iterations must be >= 1, got "
                 f"{fixed_point_iterations}"
+            )
+        if solver_workers < 0:
+            raise ServiceError(
+                f"solver_workers must be >= 0, got {solver_workers}"
             )
         # Each server owns its registry: embedded deployments and tests
         # run several servers per process, and the ``stats`` contract
@@ -344,12 +378,25 @@ class EstimationServer:
         self.shed_policy = make_qos_policy(shed_policy)
         self.degraded_model = degraded_model
         self.fixed_point_iterations = fixed_point_iterations
+        self.solver_workers = solver_workers
+        self.split_threshold = split_threshold
+        # Worker processes need the backend *name* (names pickle,
+        # instances need not); resolve eagerly so a bad name fails in
+        # the constructor, not inside a worker.
+        self._backend_name: Optional[str] = (
+            get_backend(backend).name if backend is not None else None
+        )
         self.stats = ServerStats(self.registry)
         self._pending: Deque[_PendingQuery] = deque()
         self._arrival: Optional[asyncio.Event] = None
         self._stop: Optional[asyncio.Event] = None
         self._batcher: Optional["asyncio.Task[None]"] = None
         self._executor: Optional[ThreadPoolExecutor] = None
+        self._workers: Optional[SolverPool] = None
+        #: Per-gallery invalidation epoch — the fence that keeps a solve
+        #: dispatched *before* an ``invalidate`` from re-populating the
+        #: cache *after* it (see :meth:`_invalidate`).
+        self._gallery_versions: Dict[str, int] = {}
         self._server: Optional[asyncio.AbstractServer] = None
         self._writers: "set[asyncio.StreamWriter]" = set()
         self._busy = False
@@ -363,13 +410,27 @@ class EstimationServer:
         if self._arrival is None:
             self._arrival = asyncio.Event()
             self._stop = asyncio.Event()
-            # One worker thread on purpose: analysis engines are
-            # stateful and not thread-safe; a single solver thread
-            # serializes every batch while the event loop keeps
-            # accepting (and coalescing) new queries.
-            self._executor = ThreadPoolExecutor(
-                max_workers=1, thread_name_prefix="repro-service"
-            )
+            if self.solver_workers > 0:
+                # Multiprocess mode: persistent worker processes with
+                # warm per-process engine pools; the in-process
+                # EnginePool stays quiescent (nothing mutates it), so
+                # stats/invalidate may touch it loop-side directly.
+                self._workers = SolverPool(
+                    self.solver_workers,
+                    backend=self._backend_name,
+                    max_galleries=self.pool.max_galleries,
+                    split_threshold=self.split_threshold,
+                    registry=self.registry,
+                    tracer=self.tracer,
+                )
+            else:
+                # One worker thread on purpose: analysis engines are
+                # stateful and not thread-safe; a single solver thread
+                # serializes every batch while the event loop keeps
+                # accepting (and coalescing) new queries.
+                self._executor = ThreadPoolExecutor(
+                    max_workers=1, thread_name_prefix="repro-service"
+                )
             self._batcher = asyncio.get_running_loop().create_task(self._batch_loop())
 
     async def start(self, host: str = "127.0.0.1", port: int = 0) -> Tuple[str, int]:
@@ -443,6 +504,9 @@ class EstimationServer:
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        if self._workers is not None:
+            self._workers.shutdown(wait=True)
+            self._workers = None
 
     # ------------------------------------------------------------------
     # Connection handling
@@ -471,6 +535,9 @@ class EstimationServer:
         send_lock = asyncio.Lock()
         tasks: "set[asyncio.Task[None]]" = set()
         loop = asyncio.get_running_loop()
+        # Connection token: pending queries carry it so a disconnect
+        # can eagerly reap this stream's queue entries (see below).
+        conn = object()
         try:
             while True:
                 try:
@@ -501,14 +568,21 @@ class EstimationServer:
                 if payload.get("op") == "shutdown":
                     # Handled inline so this read loop stops cleanly;
                     # in-flight tasks still drain below.
-                    await self._serve_payload(payload, writer, send_lock)
+                    await self._serve_payload(payload, writer, send_lock, conn)
                     break
-                task = loop.create_task(self._serve_payload(payload, writer, send_lock))
+                task = loop.create_task(
+                    self._serve_payload(payload, writer, send_lock, conn)
+                )
                 tasks.add(task)
                 task.add_done_callback(tasks.discard)
         except (ConnectionError, BrokenPipeError):
             pass
         finally:
+            # The client is gone: its queued questions have no reader.
+            # Reap them *now* — a dead entry would otherwise sit in the
+            # pending queue occupying ``max_pending`` capacity and
+            # could shed a live client's query.
+            self._drop_disconnected(conn)
             if tasks:
                 await asyncio.gather(*tasks, return_exceptions=True)
             if close_writer:
@@ -518,11 +592,34 @@ class EstimationServer:
                 except (ConnectionError, BrokenPipeError):
                     pass
 
+    def _drop_disconnected(self, conn: object) -> None:
+        """Remove a dead connection's entries from the pending queue.
+
+        Their futures are cancelled (nobody can read an answer), the
+        serving tasks unwind, and live clients keep the queue capacity
+        the dead entries were holding.
+        """
+        if not self._pending:
+            return
+        survivors: List[_PendingQuery] = []
+        dropped = 0
+        for pending in self._pending:
+            if pending.conn is conn and not pending.future.done():
+                pending.future.cancel()
+                self.stats.record_disconnect()
+                dropped += 1
+            else:
+                survivors.append(pending)
+        if dropped:
+            self._pending.clear()
+            self._pending.extend(survivors)
+
     async def _serve_payload(
         self,
         payload: Dict[str, object],
         writer: asyncio.StreamWriter,
         send_lock: asyncio.Lock,
+        conn: Optional[object] = None,
     ) -> None:
         """Answer one decoded request."""
         self.stats.record_request()
@@ -541,7 +638,7 @@ class EstimationServer:
                     )
                 elif op == "estimate":
                     result = await self._submit(
-                        parse_estimate(payload), trace_id
+                        parse_estimate(payload), trace_id, conn
                     )
                     if trace_id is not None:
                         # Echo the client's trace id in the payload so a
@@ -604,7 +701,10 @@ class EstimationServer:
     # Query intake: cache fast path, overload shedding, enqueue
     # ------------------------------------------------------------------
     async def _submit(
-        self, query: Query, trace_id: Optional[str] = None
+        self,
+        query: Query,
+        trace_id: Optional[str] = None,
+        conn: Optional[object] = None,
     ) -> Dict[str, object]:
         self.stats.record_estimate_request()
         if self._closing:
@@ -621,6 +721,7 @@ class EstimationServer:
             requested_model=requested_model,
             trace_id=trace_id,
             enqueued=time.perf_counter(),
+            conn=conn,
         )
         self._pending.append(pending)
         assert self._arrival is not None
@@ -682,17 +783,35 @@ class EstimationServer:
 
     async def _stats(self) -> Dict[str, object]:
         """The ``stats`` op: loop-side counters + thread-safe pool view."""
-        return self.snapshot(pool=await self._in_solver_thread(self.pool.snapshot))
+        workers = (
+            await self._workers.snapshot() if self._workers is not None else None
+        )
+        return self.snapshot(
+            pool=await self._in_solver_thread(self.pool.snapshot),
+            workers=workers,
+        )
 
     async def _invalidate(self, spec: GallerySpec) -> Dict[str, object]:
-        """Drop one gallery's cached answers and warm engines."""
+        """Drop one gallery's cached answers and warm engines.
+
+        The version bump happens *first*, synchronously on the loop: a
+        batch that was dispatched to a solver before this invalidation
+        carries the old version, and :meth:`_run_batch` refuses to
+        cache its (potentially stale-engine) results — the fence that
+        closes the solve-in-flight-during-invalidate race.
+        """
+        label = spec.label()
+        self._gallery_versions[label] = self._gallery_versions.get(label, 0) + 1
+        dropped_entries = self.cache.invalidate_gallery(label)
         dropped_pool = await self._in_solver_thread(self.pool.invalidate, spec)
-        dropped_entries = self.cache.invalidate_gallery(spec.label())
-        return {
-            "gallery": spec.label(),
+        result: Dict[str, object] = {
+            "gallery": label,
             "pool_dropped": dropped_pool,
             "cache_dropped": dropped_entries,
         }
+        if self._workers is not None:
+            result["workers_dropped"] = await self._workers.invalidate(spec)
+        return result
 
     # ------------------------------------------------------------------
     # The batcher
@@ -741,51 +860,91 @@ class EstimationServer:
         for pending in batch:
             groups.setdefault(pending.query.group, []).append(pending)
         self.stats.record_groups(len(groups))
-        loop = asyncio.get_running_loop()
         with self.tracer.span(
             "service.batch", size=len(batch), groups=len(groups)
         ):
-            for members in groups.values():
-                # Deduplicate identical questions: N clients asking the
-                # same thing inside one batch cost one estimate.
-                unique: Dict[Tuple[str, str, str, str], Query] = {}
-                for pending in members:
-                    unique.setdefault(pending.query.key, pending.query)
-                queries = list(unique.values())
-                trace_ids = tuple(
-                    dict.fromkeys(
-                        pending.trace_id
-                        for pending in members
-                        if pending.trace_id is not None
-                    )
+            if self._workers is not None:
+                # Multiprocess mode: distinct groups hash to distinct
+                # workers, so solving them concurrently uses the fleet;
+                # the single solver thread below could only serialize.
+                await asyncio.gather(
+                    *[
+                        self._dispatch_group(members, len(batch))
+                        for members in groups.values()
+                    ]
                 )
-                try:
-                    assert self._executor is not None
-                    payloads = await loop.run_in_executor(
-                        self._executor, self._solve_group, queries, trace_ids
+            else:
+                for members in groups.values():
+                    await self._dispatch_group(members, len(batch))
+
+    async def _dispatch_group(
+        self, members: List[_PendingQuery], batch_size: int
+    ) -> None:
+        """Solve one ``(gallery, model, method)`` group and resolve its
+        members' futures."""
+        # Deduplicate identical questions: N clients asking the
+        # same thing inside one batch cost one estimate.
+        unique: Dict[Tuple[str, str, str, str], Query] = {}
+        for pending in members:
+            unique.setdefault(pending.query.key, pending.query)
+        queries = list(unique.values())
+        trace_ids = tuple(
+            dict.fromkeys(
+                pending.trace_id
+                for pending in members
+                if pending.trace_id is not None
+            )
+        )
+        # Fence: remember the gallery's invalidation epoch *before* the
+        # solve leaves the loop.  An ``invalidate`` arriving while the
+        # solve is in flight bumps the epoch, and the stale results
+        # then answer their waiters but never enter the cache.
+        gallery_label = queries[0].gallery.label()
+        version = self._gallery_versions.get(gallery_label, 0)
+        try:
+            if self._workers is not None:
+                self.stats.record_solved(len(queries))
+                with self.tracer.span(
+                    "service.solve",
+                    trace_id=trace_ids[0] if len(trace_ids) == 1 else None,
+                    gallery=gallery_label,
+                    model=queries[0].model,
+                    method=queries[0].method.value,
+                    queries=len(queries),
+                    trace_ids=list(trace_ids),
+                ):
+                    payloads = await self._workers.solve(
+                        queries, iterations=self.fixed_point_iterations
                     )
-                except Exception as error:
-                    # Any solver failure answers the whole group; the
-                    # batcher itself must survive to serve the next batch.
-                    for pending in members:
-                        if not pending.future.done():
-                            pending.future.set_exception(
-                                ServiceError(str(error))
-                            )
-                    continue
-                by_key = dict(zip(unique.keys(), payloads))
-                for key, payload in by_key.items():
-                    payload["batch_size"] = len(batch)
-                    self.cache.put(key, payload)
-                for pending in members:
-                    if pending.future.done():  # evicted mid-flight
-                        continue
-                    payload = dict(
-                        by_key[pending.query.key],
-                        cached=False,
-                        degraded=pending.degraded_from,
+            else:
+                assert self._executor is not None
+                payloads = await asyncio.get_running_loop().run_in_executor(
+                    self._executor, self._solve_group, queries, trace_ids
+                )
+        except Exception as error:
+            # Any solver failure answers the whole group; the
+            # batcher itself must survive to serve the next batch.
+            for pending in members:
+                if not pending.future.done():
+                    pending.future.set_exception(
+                        ServiceError(str(error))
                     )
-                    pending.future.set_result(payload)
+            return
+        by_key = dict(zip(unique.keys(), payloads))
+        fresh = self._gallery_versions.get(gallery_label, 0) == version
+        for key, payload in by_key.items():
+            payload["batch_size"] = batch_size
+            if fresh:
+                self.cache.put(key, payload)
+        for pending in members:
+            if pending.future.done():  # evicted or disconnected mid-flight
+                continue
+            payload = dict(
+                by_key[pending.query.key],
+                cached=False,
+                degraded=pending.degraded_from,
+            )
+            pending.future.set_result(payload)
 
     def _solve_group(
         self, queries: List[Query], trace_ids: Tuple[str, ...] = ()
@@ -838,14 +997,22 @@ class EstimationServer:
         """JSON snapshot of the same merged registries."""
         return snapshot_merged(self.registry, get_registry())
 
-    def snapshot(self, pool: Optional[Dict[str, object]] = None) -> Dict[str, object]:
+    def snapshot(
+        self,
+        pool: Optional[Dict[str, object]] = None,
+        workers: Optional[Dict[str, object]] = None,
+    ) -> Dict[str, object]:
         """Everything the ``stats`` op reports (JSON-serializable).
 
         Safe to call directly on a quiesced server (tests, benches);
         while solves are in flight the protocol path supplies ``pool``
         captured on the solver thread instead (see
-        :meth:`_in_solver_thread`).
+        :meth:`_in_solver_thread`).  ``workers`` is the solver pool's
+        deep view when the ``stats`` op gathered one; the direct path
+        reports the loop-side view.
         """
+        if workers is None and self._workers is not None:
+            workers = self._workers.local_snapshot()
         return {
             "protocol": PROTOCOL_VERSION,
             "requests": self.stats.requests,
@@ -860,7 +1027,9 @@ class EstimationServer:
             "evicted": self.stats.evicted,
             "degraded": self.stats.degraded,
             "errors": self.stats.errors,
+            "disconnects": self.stats.disconnects,
             "shed_policy": self.shed_policy.name,
             "cache": self.cache.snapshot(),
             "pool": pool if pool is not None else self.pool.snapshot(),
+            "workers": workers,
         }

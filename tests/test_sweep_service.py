@@ -3,8 +3,11 @@
 from __future__ import annotations
 
 import json
+from concurrent.futures import Future
 
 import pytest
+
+import repro.runtime.service as sweep_module
 
 from repro.core.estimator import ProbabilisticEstimator
 from repro.exceptions import ResourceManagerError
@@ -126,3 +129,32 @@ class TestParity:
     def test_rejects_bad_jobs(self):
         with pytest.raises(ResourceManagerError):
             SweepService(jobs=0)
+
+    def test_jobs_capped_at_cpu_count(self, monkeypatch):
+        # Regression: jobs far above the CPU count used to size the
+        # process pool at jobs, oversubscribing the machine.  The pool
+        # must never exceed os.cpu_count().
+        created = []
+
+        class RecordingExecutor:
+            def __init__(self, max_workers):
+                created.append(max_workers)
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def submit(self, fn, *args):
+                future = Future()
+                future.set_result(fn(*args))
+                return future
+
+        monkeypatch.setattr(
+            sweep_module, "ProcessPoolExecutor", RecordingExecutor
+        )
+        monkeypatch.setattr(sweep_module.os, "cpu_count", lambda: 2)
+        outcome = SweepService(jobs=8).sweep(GALLERY)
+        assert created == [2]
+        assert outcome.misses == 7
