@@ -23,6 +23,9 @@ plotted and diffed across PRs:
   consistent-hash router, each shard running a multiprocess solver
   pool, driven by a bursty open-loop storm of multiplexed clients
   (PR 8's claim);
+* ``search`` — placement-search exhaustive scan: batched candidate
+  evaluation vs the per-candidate scalar baseline, plus the greedy
+  walk's evaluated-candidate count (PR 9's claim);
 * ``simulation.fastcore_speedup`` — the SoA fast stepping loop vs. the
   reference event loop, blended across arbitration policies on
   conformance-recipe scenarios (PR 6's claim);
@@ -69,7 +72,10 @@ from typing import Callable, Dict, Optional, Sequence
 #: 4: ``fleet`` section — qps and latency percentiles of the sharded
 #:    topology (2 shards behind the consistent-hash router, each with
 #:    a multiprocess solver pool) under a bursty open-loop storm.
-SCHEMA_VERSION = 4
+#: 5: ``search`` section — placement-search exhaustive-scan timings:
+#:    batched candidate evaluation vs the per-candidate scalar
+#:    baseline, plus the greedy walk's evaluated-candidate count.
+SCHEMA_VERSION = 5
 
 
 def _measure_sweeps(fast: bool) -> Dict[str, object]:
@@ -314,6 +320,78 @@ def _measure_fleet(fast: bool) -> Dict[str, object]:
     }
 
 
+def _measure_search(fast: bool) -> Dict[str, object]:
+    """Placement search: batched scan vs per-candidate scalar.
+
+    The exhaustive strategy evaluates the whole candidate space in
+    batches through the array pipeline; the baseline composes one
+    scalar :class:`ProbabilisticEstimator` per candidate.  Also records
+    how few candidates the greedy walk needs on the same space, since
+    that is the default ``repro place`` path.
+    """
+    from repro.core.estimator import ProbabilisticEstimator
+    from repro.experiments.setup import paper_benchmark_suite
+    from repro.search import (
+        CandidateEvaluator,
+        Constraint,
+        Objective,
+        SearchSpace,
+        StrategyOptions,
+        derive_targets,
+        run_strategy,
+    )
+
+    applications = 3 if fast else 5
+    suite = paper_benchmark_suite(application_count=applications)
+    space = SearchSpace(
+        list(suite.graphs),
+        platform=suite.platform,
+        model="wrr",
+        weight_choices=(1, 2),
+    )
+    targets = derive_targets(list(space.graphs), slack=6.0)
+    objective = Objective("total_period")
+    constraint = Constraint(targets)
+    candidates = list(space.candidates())
+
+    started = time.perf_counter()
+    for candidate in candidates:
+        ProbabilisticEstimator(
+            list(space.graphs),
+            mapping=space.mapping_of(candidate),
+            waiting_model=space.model_of(candidate),
+            backend="python",
+        ).estimate()
+    scalar_seconds = time.perf_counter() - started
+
+    evaluator = CandidateEvaluator(
+        space, objective=objective, constraint=constraint
+    )
+    started = time.perf_counter()
+    evaluator.evaluate(candidates)
+    batched_seconds = time.perf_counter() - started
+
+    greedy = run_strategy(
+        "greedy",
+        space,
+        CandidateEvaluator(
+            space, objective=objective, constraint=constraint
+        ),
+        StrategyOptions(seed=0),
+    )
+    return {
+        "applications": applications,
+        "candidates": space.size,
+        "scalar_scan_seconds": round(scalar_seconds, 4),
+        "batched_scan_seconds": round(batched_seconds, 4),
+        "batched_scan_speedup": round(scalar_seconds / batched_seconds, 2),
+        "greedy_evaluated": greedy.evaluated,
+        "greedy_feasible": bool(
+            greedy.best is not None and greedy.best.feasible
+        ),
+    }
+
+
 def _sum_samples(
     snapshot: Dict[str, object], name: str, key: str = "value"
 ) -> float:
@@ -391,6 +469,7 @@ SECTIONS: Dict[str, Callable[[bool], object]] = {
     "runtime": _measure_runtime,
     "service": _measure_service,
     "fleet": _measure_fleet,
+    "search": _measure_search,
     "telemetry": _measure_telemetry,
 }
 

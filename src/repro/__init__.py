@@ -44,6 +44,12 @@ Subpackages
     The event-driven resource manager: scenario traces, quality
     ladders, QoS policies (reject / evict / downgrade), runtime logs,
     and the parallel store-backed sweep service.
+``repro.search``
+    Contention-aware placement: candidate spaces over mappings,
+    arbitration weights and priorities, batched candidate evaluation,
+    seeded search strategies, and the byte-deterministic
+    ``PlacementResult`` behind ``repro place`` and the served
+    ``place`` verb.
 ``repro.experiments``
     Reproduction of every evaluation artefact (Table 1, Figures 5-6,
     timing, runtime throughput).

@@ -40,6 +40,13 @@ from repro.sdf.liveness import is_live
 from repro.sdf.repetition import repetition_vector
 from repro.sdf.serialization import graph_from_json, graph_to_json
 from repro.sdf.visualization import to_dot
+from repro.search import (
+    DEFAULT_MAPPINGS,
+    DEFAULT_SLACK,
+    OBJECTIVES,
+    STRATEGIES,
+    place as run_place,
+)
 from repro.simulation.engine import SimulationConfig, Simulator
 
 
@@ -239,6 +246,92 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write the decision log as JSON",
     )
     runtime.set_defaults(handler=_cmd_runtime)
+
+    placement = commands.add_parser(
+        "place",
+        help=(
+            "search the placement space (mappings x priorities x WRR "
+            "weights) for the best feasible configuration under "
+            "per-application period targets"
+        ),
+    )
+    _add_application_selection(placement)
+    placement.add_argument(
+        "--strategy",
+        choices=tuple(sorted(STRATEGIES)),
+        default="greedy",
+        help="search strategy (exhaustive is the ground truth)",
+    )
+    placement.add_argument(
+        "--model",
+        default="wrr",
+        help=(
+            "waiting-model spec; a bare weights-capable name when "
+            "--weights spans choices (the search appends each "
+            "candidate's weight vector)"
+        ),
+    )
+    placement.add_argument(
+        "--objective",
+        choices=OBJECTIVES,
+        default="total_period",
+        help="what to minimize among feasible candidates",
+    )
+    placement.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help=(
+            "seed of the stochastic strategies (same seed = "
+            "byte-identical result JSON)"
+        ),
+    )
+    placement.add_argument(
+        "--slack",
+        type=float,
+        default=DEFAULT_SLACK,
+        help=(
+            "derived target per application = slack x its isolation "
+            "period (ignored when --target is given)"
+        ),
+    )
+    placement.add_argument(
+        "--target",
+        action="append",
+        default=None,
+        metavar="APP=PERIOD",
+        help="explicit period target (repeatable)",
+    )
+    placement.add_argument(
+        "--mappings",
+        default=",".join(DEFAULT_MAPPINGS),
+        metavar="NAME[,NAME...]",
+        help="mapping recipes to consider (index, spread, modulo)",
+    )
+    placement.add_argument(
+        "--weights",
+        default="1,2",
+        metavar="W[,W...]",
+        help=(
+            "WRR slice weights to consider per application "
+            "('none' disables the weight axis)"
+        ),
+    )
+    placement.add_argument(
+        "--priority-levels",
+        default=None,
+        metavar="P[,P...]",
+        help=(
+            "arbitration levels to consider per application "
+            "(default: no priority axis)"
+        ),
+    )
+    placement.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full PlacementResult JSON instead of a table",
+    )
+    placement.set_defaults(handler=_cmd_place)
 
     serve = commands.add_parser(
         "serve",
@@ -687,6 +780,89 @@ def _cmd_simulate(arguments) -> None:
     print(
         "busiest processors: "
         + ", ".join(f"{name}={value:.2f}" for name, value in busiest)
+    )
+
+
+def _cmd_place(arguments) -> None:
+    suite = _selected_suite(arguments)
+    targets = None
+    if arguments.target:
+        targets = {}
+        for pair in arguments.target:
+            app, _, raw = pair.partition("=")
+            if not app or not raw:
+                raise ExperimentError(
+                    f"bad --target {pair!r}; expected APP=PERIOD"
+                )
+            targets[app] = float(raw)
+    weights = None
+    if arguments.weights and arguments.weights.lower() != "none":
+        weights = tuple(
+            int(part) for part in arguments.weights.split(",") if part
+        )
+    levels = None
+    if arguments.priority_levels:
+        levels = tuple(
+            float(part)
+            for part in arguments.priority_levels.split(",")
+            if part
+        )
+    result = run_place(
+        list(suite.graphs),
+        platform=suite.platform,
+        targets=targets,
+        slack=arguments.slack,
+        strategy=arguments.strategy,
+        model=arguments.model,
+        objective=arguments.objective,
+        seed=arguments.seed,
+        mappings=tuple(
+            part for part in arguments.mappings.split(",") if part
+        ),
+        weight_choices=weights,
+        priority_levels=levels,
+    )
+    if arguments.json:
+        print(result.to_json_str())
+        return
+    rows = [
+        [
+            app,
+            f"{result.best.periods[app]:.1f}",
+            (
+                f"{result.targets[app]:.1f}"
+                if result.targets.get(app) is not None
+                else "-"
+            ),
+            "yes" if app not in result.best.violations else "NO",
+        ]
+        for app in result.applications
+    ]
+    print(
+        render_table(
+            ["app", "period", "target", "meets"],
+            rows,
+            title=(
+                f"Placement ({result.strategy}, {result.objective}) — "
+                f"{'feasible' if result.feasible else 'infeasible'}"
+            ),
+        )
+    )
+    weights_text = (
+        ", ".join(
+            f"{app}={weight}"
+            for app, weight in sorted(result.best.weights.items())
+        )
+        or "-"
+    )
+    print(
+        f"best: mapping={result.best.mapping} weights=[{weights_text}] "
+        f"model={result.best.model}"
+    )
+    print(
+        f"objective value: {result.best.objective_value:.1f}; "
+        f"evaluated {result.evaluated} of {result.space['size']} "
+        f"candidates in {result.steps} steps"
     )
 
 

@@ -58,6 +58,7 @@ from typing import (
     Tuple,
 )
 
+from repro.core.specs import parse_spec
 from repro.exceptions import AnalysisError, MappingError
 
 #: Accepted ``semantics`` declarations.
@@ -333,19 +334,12 @@ ARBITERS = Registry(
 
 
 def parse_model_spec(specification: str) -> Tuple[str, Optional[str]]:
-    """Split ``"name"`` / ``"name:argument"``, normalized."""
-    if not isinstance(specification, str):
-        raise AnalysisError(
-            f"waiting-model specification must be a string, got "
-            f"{type(specification).__name__}"
-        )
-    spec = specification.strip()
-    if ":" in spec:
-        # Only the model name is case-normalized; the argument may
-        # carry case-sensitive payload (application names in weights).
-        name, argument = spec.split(":", 1)
-        return name.lower(), argument
-    return spec.lower(), None
+    """Split ``"name"`` / ``"name:argument"``, normalized.
+
+    Long-standing alias of :func:`repro.core.specs.parse_spec`, the
+    single owner of the grammar.
+    """
+    return parse_spec(specification)
 
 
 def create_waiting_model(specification: str):
@@ -374,15 +368,31 @@ def model_info_for(specification: str) -> WaitingModelInfo:
     return WAITING_MODELS.get(name)
 
 
-def validate_model_spec(specification: str) -> WaitingModelInfo:
+def validate_model_spec(
+    specification: str,
+    applications: Optional[Tuple[str, ...]] = None,
+) -> WaitingModelInfo:
     """Check a full specification — name *and* argument — up front.
 
     Instantiates the model once (the only way to exercise the
     factory's argument parsing, e.g. ``order:x`` or ``wrr:A=0``) and
     discards it, so services can fail in the caller instead of inside
-    a worker process.  Returns the resolved info.
+    a worker process.  Unknown names fail with the registered
+    catalogue listed (the :meth:`Registry.get` message).
+
+    When the caller knows the application set, passing ``applications``
+    also runs the model's own ``check_applications`` hook (e.g. WRR
+    weights naming apps outside the gallery) — this is the one eager
+    validation path shared by the sweep service, the service protocol
+    and the placement search, so a bad ``wrr:`` spec fails at
+    submission instead of inside a worker traceback.  Returns the
+    resolved info.
     """
-    create_waiting_model(specification)
+    model = create_waiting_model(specification)
+    if applications is not None:
+        check = getattr(model, "check_applications", None)
+        if callable(check):
+            check(tuple(applications))
     return model_info_for(specification)
 
 

@@ -1,0 +1,118 @@
+"""The shared ``name:argument`` specification grammar.
+
+Every place the library accepts a model selection — the CLI's
+``--model`` flags, the sweep store keys, the service protocol's
+``model`` field, the conformance harness, and the placement search —
+speaks the same tiny grammar::
+
+    name                      # e.g. "second_order"
+    name:argument             # e.g. "order:4", "wrr:A=2,B=1"
+
+and the weighted-round-robin family layers a pair grammar on top of the
+argument::
+
+    APP=WEIGHT[,APP=WEIGHT...]   # e.g. "A=2,B=1"
+
+Historically the split/normalize logic lived in
+:func:`repro.core.registry.parse_model_spec` and the pair grammar in
+:func:`repro.wcrt.weighted_round_robin.parse_weights`, with the CLI and
+the service protocol each reaching them through different wrappers.
+This module is now the single owner of both grammars —
+:func:`parse_spec`/:func:`format_spec` round-trip the spec string and
+:func:`parse_weight_argument`/:func:`format_weight_argument` round-trip
+the weights payload — and every historical entry point delegates here,
+so error messages are identical no matter which edge a bad spec hits.
+
+Only grammar lives here (``repro.core.specs`` is import-light by
+design); *semantic* validation — does the name resolve, does the model
+accept an argument, do the weights name real applications — stays with
+:func:`repro.core.registry.validate_model_spec`, which the sweep
+service, the service protocol, and the placement search all share as
+their one eager validation path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.exceptions import AnalysisError
+
+
+def parse_spec(specification: str) -> Tuple[str, Optional[str]]:
+    """Split ``"name"`` / ``"name:argument"``, normalized.
+
+    Only the name is case-normalized (registries resolve
+    case-insensitively); the argument may carry case-sensitive payload
+    — application names in WRR weights — and is preserved verbatim.
+    """
+    if not isinstance(specification, str):
+        raise AnalysisError(
+            f"waiting-model specification must be a string, got "
+            f"{type(specification).__name__}"
+        )
+    spec = specification.strip()
+    if ":" in spec:
+        name, argument = spec.split(":", 1)
+        return name.lower(), argument
+    return spec.lower(), None
+
+
+def format_spec(name: str, argument: Optional[str] = None) -> str:
+    """The inverse of :func:`parse_spec`: a canonical spec string.
+
+    ``format_spec(*parse_spec(s))`` normalizes ``s`` (name lowered,
+    surrounding whitespace dropped); an empty/None argument renders the
+    bare name.
+    """
+    if not isinstance(name, str) or not name.strip():
+        raise AnalysisError(
+            f"specification name must be a non-empty string, got {name!r}"
+        )
+    base = name.strip().lower()
+    if argument is None or argument == "":
+        return base
+    return f"{base}:{argument}"
+
+
+def parse_weight_argument(argument: Optional[str]) -> Dict[str, int]:
+    """Parse an ``"A=2,B=1"`` weights argument into ``{app: weight}``.
+
+    The grammar half of the historical
+    :func:`repro.wcrt.weighted_round_robin.parse_weights` (which also
+    applies the positive-integer weight rule); empty/None arguments
+    yield the all-defaults ``{}``.
+    """
+    if argument is None or not argument.strip():
+        return {}
+    weights: Dict[str, int] = {}
+    for part in argument.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise AnalysisError(
+                f"bad weight specification {part!r}; expected "
+                "APP=WEIGHT pairs, e.g. 'weighted_round_robin:A=2,B=1'"
+            )
+        app, _, raw = part.partition("=")
+        try:
+            weights[app.strip()] = int(raw)
+        except ValueError:
+            raise AnalysisError(
+                f"bad weight {raw!r} for application {app.strip()!r}; "
+                "weights are positive integers"
+            ) from None
+    return weights
+
+
+def format_weight_argument(weights: Mapping[str, int]) -> str:
+    """The inverse of :func:`parse_weight_argument`, canonically ordered.
+
+    Applications are sorted by name so semantically equal weight
+    vectors always render the same argument — the property the
+    placement search relies on for byte-deterministic candidate specs
+    and cache keys.
+    """
+    return ",".join(
+        f"{app}={int(weights[app])}" for app in sorted(weights)
+    )

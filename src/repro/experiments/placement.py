@@ -1,0 +1,208 @@
+"""Placement-frontier experiment: feasibility vs slack, per strategy.
+
+The placement search answers "what configuration meets the QoS
+targets?"; this experiment maps *when* such a configuration exists at
+all.  Sweeping the slack factor (target = slack × isolation period)
+over a gallery produces the feasibility frontier of the WRR contention
+bound: at tight slack no mapping/weight combination is feasible, and
+the frontier slack grows with the number of co-resident applications
+because every application's waiting time grows with its contenders.
+
+Each sweep point also contrasts the strategies' *efficiency*: the
+exhaustive scan evaluates the whole space, while greedy typically
+needs an order of magnitude fewer candidate evaluations to reach the
+same feasibility verdict — the argument for greedy being the default
+``repro place`` strategy.
+
+Run as a script::
+
+    python -m repro.experiments.placement --applications 4
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.reporting import render_table
+from repro.experiments.setup import paper_benchmark_suite
+from repro.search import (
+    CandidateEvaluator,
+    Constraint,
+    Objective,
+    SearchSpace,
+    StrategyOptions,
+    derive_targets,
+    run_strategy,
+)
+
+DEFAULT_SLACKS = (2.0, 2.5, 3.5, 4.5, 6.0)
+DEFAULT_STRATEGIES = ("exhaustive", "greedy")
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One (slack, strategy) cell of the sweep."""
+
+    slack: float
+    strategy: str
+    feasible: bool
+    objective_value: Optional[float]
+    evaluated: int
+    space_size: int
+
+
+@dataclass(frozen=True)
+class PlacementFrontierResult:
+    """The full sweep plus the frontier slack it reveals."""
+
+    applications: int
+    objective: str
+    points: Tuple[FrontierPoint, ...]
+
+    @property
+    def frontier_slack(self) -> Optional[float]:
+        """Smallest swept slack with any feasible configuration
+        (``None`` when even the loosest slack is infeasible)."""
+        feasible = sorted(
+            point.slack for point in self.points if point.feasible
+        )
+        return feasible[0] if feasible else None
+
+    def strategies_agree(self) -> bool:
+        """Whether every strategy reached the same verdict per slack."""
+        verdicts: Dict[float, set] = {}
+        for point in self.points:
+            verdicts.setdefault(point.slack, set()).add(point.feasible)
+        return all(len(seen) == 1 for seen in verdicts.values())
+
+    def render(self) -> str:
+        rows: List[Sequence[object]] = []
+        for point in self.points:
+            rows.append(
+                (
+                    f"{point.slack:.1f}",
+                    point.strategy,
+                    "yes" if point.feasible else "no",
+                    (
+                        f"{point.objective_value:.1f}"
+                        if point.objective_value is not None
+                        else "-"
+                    ),
+                    f"{point.evaluated}/{point.space_size}",
+                )
+            )
+        title = (
+            f"placement frontier — {self.applications} applications, "
+            f"objective {self.objective}"
+        )
+        table = render_table(
+            ("slack", "strategy", "feasible", "objective", "evaluated"),
+            rows,
+            title=title,
+        )
+        frontier = (
+            f"{self.frontier_slack:.1f}"
+            if self.frontier_slack is not None
+            else "beyond the sweep"
+        )
+        return f"{table}\nfrontier slack: {frontier}"
+
+
+def run_placement_frontier(
+    applications: int = 4,
+    slacks: Sequence[float] = DEFAULT_SLACKS,
+    strategies: Sequence[str] = DEFAULT_STRATEGIES,
+    objective: str = "total_period",
+    model: str = "wrr",
+    weight_choices: Tuple[int, ...] = (1, 2),
+    seed: int = 0,
+) -> PlacementFrontierResult:
+    """Sweep slack × strategy over one paper-suite gallery.
+
+    The search space (and its warm evaluator engines) is rebuilt per
+    sweep point deliberately: each point must reproduce exactly what a
+    standalone ``repro place`` run would report.
+    """
+    suite = paper_benchmark_suite(application_count=applications)
+    points: List[FrontierPoint] = []
+    for slack in slacks:
+        for strategy in strategies:
+            space = SearchSpace(
+                list(suite.graphs),
+                platform=suite.platform,
+                model=model,
+                weight_choices=weight_choices,
+            )
+            targets = derive_targets(list(space.graphs), slack=slack)
+            evaluator = CandidateEvaluator(
+                space,
+                objective=Objective(objective),
+                constraint=Constraint(targets),
+            )
+            outcome = run_strategy(
+                strategy, space, evaluator, StrategyOptions(seed=seed)
+            )
+            best = outcome.best
+            points.append(
+                FrontierPoint(
+                    slack=slack,
+                    strategy=strategy,
+                    feasible=bool(best is not None and best.feasible),
+                    objective_value=(
+                        best.objective_value
+                        if best is not None and best.feasible
+                        else None
+                    ),
+                    evaluated=outcome.evaluated,
+                    space_size=space.size,
+                )
+            )
+    return PlacementFrontierResult(
+        applications=applications,
+        objective=objective,
+        points=tuple(points),
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="feasibility frontier of the placement search"
+    )
+    parser.add_argument("--applications", type=int, default=4)
+    parser.add_argument(
+        "--slacks",
+        default=",".join(str(s) for s in DEFAULT_SLACKS),
+        help="comma-separated slack factors to sweep",
+    )
+    parser.add_argument(
+        "--strategies",
+        default=",".join(DEFAULT_STRATEGIES),
+        help="comma-separated strategies to contrast",
+    )
+    parser.add_argument("--objective", default="total_period")
+    parser.add_argument("--seed", type=int, default=0)
+    arguments = parser.parse_args(argv)
+    result = run_placement_frontier(
+        applications=arguments.applications,
+        slacks=tuple(
+            float(part) for part in arguments.slacks.split(",") if part
+        ),
+        strategies=tuple(
+            part.strip()
+            for part in arguments.strategies.split(",")
+            if part.strip()
+        ),
+        objective=arguments.objective,
+        seed=arguments.seed,
+    )
+    print(result.render())
+    if not result.strategies_agree():
+        print("WARNING: strategies disagree on feasibility")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -29,7 +29,6 @@ a :class:`~repro.runtime.log.RuntimeLog`.
 
 from __future__ import annotations
 
-import itertools
 import time as _time
 from dataclasses import dataclass
 from typing import Dict, List, Mapping as TMapping, Optional, Sequence, Tuple
@@ -37,7 +36,6 @@ from typing import Dict, List, Mapping as TMapping, Optional, Sequence, Tuple
 from repro.admission.controller import (
     AdmissionController,
     AdmissionDecision,
-    estimate_resident_periods,
 )
 from repro.analysis_engine import AnalysisEngine, build_engines
 from repro.exceptions import ResourceManagerError
@@ -50,6 +48,11 @@ from repro.runtime.quality import (
     QualityLevel,
 )
 from repro.sdf.analysis import AnalysisMethod
+from repro.search.assignment import (
+    QualityAssignmentProblem,
+    search_assignment,
+)
+from repro.search.feasibility import evaluate_feasibility
 from repro.telemetry import get_registry, get_tracer
 from repro.sdf.graph import SDFGraph
 
@@ -272,7 +275,15 @@ class DowngradePolicy(QoSPolicy):
         requested_quality: str,
         residents: List[str],
     ) -> Optional[Dict[str, str]]:
-        """A feasible ``{app: level}`` covering residents + candidate."""
+        """A feasible ``{app: level}`` covering residents + candidate.
+
+        Thin client of :func:`repro.search.search_assignment`: this
+        method only phrases the runtime state as a
+        :class:`~repro.search.assignment.QualityAssignmentProblem`
+        (admissible levels from each application's floor, newcomer
+        last, resident priorities for the tie-break) — the enumeration
+        order and the greedy chain live in the search layer.
+        """
         ladders = {app: manager.spec_of(app).ladder for app in residents}
         ladders[spec.name] = spec.ladder
         floors = {
@@ -281,63 +292,26 @@ class DowngradePolicy(QoSPolicy):
         }
         floors[spec.name] = spec.ladder.index_of(requested_quality)
         apps = residents + [spec.name]
-        step_ranges = [
-            range(len(ladders[app].levels) - floors[app]) for app in apps
-        ]
-        combinations = 1
-        for steps in step_ranges:
-            combinations *= len(steps)
-        if self.search == "exhaustive" and combinations <= self.max_combinations:
-            candidates = sorted(
-                itertools.product(*step_ranges),
-                key=lambda steps: (
-                    sum(steps),
-                    # Cheaper to degrade the newcomer ...
-                    -steps[-1],
-                    # ... then low-priority residents first.
-                    tuple(
-                        -steps[i]
-                        for i in sorted(
-                            range(len(residents)),
-                            key=lambda i: manager.spec_of(
-                                residents[i]
-                            ).priority,
-                        )
-                    ),
-                ),
-            )
-            for steps in candidates:
-                assignment = {
-                    app: ladders[app].levels[floors[app] + step].name
-                    for app, step in zip(apps, steps)
-                }
-                if manager.assignment_is_feasible(assignment):
-                    return assignment
-            return None
-        return self._greedy(manager, spec, ladders, floors, apps)
-
-    def _greedy(self, manager, spec, ladders, floors, apps):
-        current = {
-            app: ladders[app].levels[floors[app]].name for app in apps
-        }
-        by_priority = sorted(
-            (app for app in apps if app != spec.name),
-            key=lambda app: manager.spec_of(app).priority,
+        problem = QualityAssignmentProblem(
+            applications=tuple(apps),
+            levels={
+                app: tuple(
+                    level.name
+                    for level in ladders[app].levels[floors[app]:]
+                )
+                for app in apps
+            },
+            priorities={
+                app: manager.spec_of(app).priority for app in residents
+            },
+            newcomer=spec.name,
         )
-        while True:
-            if manager.assignment_is_feasible(current):
-                return current
-            below = ladders[spec.name].below(current[spec.name])
-            if below is not None:
-                current[spec.name] = below
-                continue
-            for app in by_priority:
-                below = ladders[app].below(current[app])
-                if below is not None:
-                    current[app] = below
-                    break
-            else:
-                return None
+        return search_assignment(
+            problem,
+            manager.assignment_is_feasible,
+            search=self.search,
+            max_combinations=self.max_combinations,
+        )
 
 
 def make_qos_policy(spec: "QoSPolicy | str") -> QoSPolicy:
@@ -478,29 +452,38 @@ class ResourceManager:
     ) -> bool:
         """Whether a ``{app: level}`` assignment meets every requirement.
 
-        Pure query: evaluates a fresh composition of the assignment's
-        variant graphs without touching the controller state.
+        Deprecated alias of the public
+        :func:`repro.search.evaluate_feasibility` (same rule, same
+        evaluator); kept for one release for callers of the historical
+        private path.  Pure query: evaluates a fresh composition of the
+        assignment's variant graphs without touching the controller
+        state.
         """
-        periods = self.assignment_periods(assignment)
-        for app in assignment:
-            requirement = self.spec_of(app).required_period
-            if requirement is None:
-                continue
-            if periods[app] > requirement * (1 + 1e-12):
-                return False
-        return True
+        return bool(self._evaluate_assignment(assignment))
 
     def assignment_periods(
         self, assignment: TMapping[str, str]
     ) -> Dict[str, float]:
-        """Predicted contended periods of a quality assignment."""
+        """Predicted contended periods of a quality assignment.
+
+        Deprecated alias: the periods of
+        :func:`repro.search.evaluate_feasibility`'s report.
+        """
+        return self._evaluate_assignment(assignment).periods
+
+    def _evaluate_assignment(self, assignment: TMapping[str, str]):
+        """The shared evaluator behind the deprecated aliases above."""
         graphs = {
             app: self.spec_of(app).ladder.graph_at(level)
             for app, level in assignment.items()
         }
-        return estimate_resident_periods(
-            self.mapping,
+        targets = {
+            app: self.spec_of(app).required_period for app in assignment
+        }
+        return evaluate_feasibility(
             graphs,
+            self.mapping,
+            targets,
             method=self.analysis_method,
             engines=self.engines,
         )

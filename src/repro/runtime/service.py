@@ -361,8 +361,11 @@ class SweepService:
         # Resolve the model through the registry *before* any work (or
         # worker processes) starts: an unknown name or a bad argument
         # fails here with the registered catalogue instead of inside a
-        # pool worker.
-        validate_model_spec(model)
+        # pool worker.  Passing the gallery's application names also
+        # catches per-app parameters naming apps outside the gallery
+        # (e.g. 'wrr:Z=2') at submission — the same eager path the
+        # service protocol and the placement search use.
+        validate_model_spec(model, gallery.application_names())
         selected = sampled_use_cases_by_size(
             gallery.application_names(),
             samples_per_size=samples_per_size,

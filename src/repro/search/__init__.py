@@ -1,0 +1,95 @@
+"""repro.search — contention-aware placement and configuration search.
+
+The shared search layer over the estimation stack: candidate platform
+configurations (mapping × priorities × WRR weights) are enumerated or
+walked by pluggable strategies and scored through the batched
+``estimate_many``/``solve_many`` fast path, so one strategy step is one
+vectorized solve per application.  The runtime manager's downgrade
+policy, the ``repro place`` CLI and the fleet's ``place`` verb are all
+thin clients of this package.
+
+Public API
+----------
+:class:`SearchSpace`, :class:`Candidate`, :class:`Dimension`
+    What a candidate is (:mod:`repro.search.space`).
+:class:`Objective`, :class:`Constraint`
+    What to optimize and what must hold (:mod:`repro.search.objective`).
+:func:`evaluate_feasibility`, :func:`check_feasibility`,
+:class:`FeasibilityReport`
+    The promoted admission feasibility evaluator
+    (:mod:`repro.search.feasibility`).
+:class:`CandidateEvaluator`, :class:`EvaluatedCandidate`
+    Batched scoring (:mod:`repro.search.evaluate`).
+:data:`STRATEGIES`, :func:`run_strategy`, :class:`StrategyOptions`
+    The strategy registry (:mod:`repro.search.strategies`).
+:func:`place`, :class:`PlacementResult`
+    The high-level API (:mod:`repro.search.place`,
+    :mod:`repro.search.result`).
+:class:`QualityAssignmentProblem`, :func:`search_assignment`
+    The downgrade policy's engine (:mod:`repro.search.assignment`).
+"""
+
+from repro.search.assignment import (
+    QualityAssignmentProblem,
+    search_assignment,
+)
+from repro.search.evaluate import CandidateEvaluator, EvaluatedCandidate
+from repro.search.feasibility import (
+    FeasibilityReport,
+    check_feasibility,
+    evaluate_feasibility,
+)
+from repro.search.objective import OBJECTIVES, Constraint, Objective
+from repro.search.place import (
+    DEFAULT_SLACK,
+    DEFAULT_WEIGHT_CHOICES,
+    derive_targets,
+    place,
+)
+from repro.search.result import (
+    ChosenPlacement,
+    PlacementResult,
+    TraceEntry,
+)
+from repro.search.space import (
+    Candidate,
+    DEFAULT_MAPPINGS,
+    Dimension,
+    MAPPING_BUILDERS,
+    SearchSpace,
+)
+from repro.search.strategies import (
+    STRATEGIES,
+    SearchOutcome,
+    StrategyOptions,
+    run_strategy,
+)
+
+__all__ = [
+    "Candidate",
+    "CandidateEvaluator",
+    "ChosenPlacement",
+    "Constraint",
+    "DEFAULT_MAPPINGS",
+    "DEFAULT_SLACK",
+    "DEFAULT_WEIGHT_CHOICES",
+    "Dimension",
+    "EvaluatedCandidate",
+    "FeasibilityReport",
+    "MAPPING_BUILDERS",
+    "OBJECTIVES",
+    "Objective",
+    "PlacementResult",
+    "QualityAssignmentProblem",
+    "STRATEGIES",
+    "SearchOutcome",
+    "SearchSpace",
+    "StrategyOptions",
+    "TraceEntry",
+    "check_feasibility",
+    "derive_targets",
+    "evaluate_feasibility",
+    "place",
+    "run_strategy",
+    "search_assignment",
+]

@@ -1,0 +1,182 @@
+"""Quality-assignment search: the downgrade policy's engine.
+
+The runtime manager's :class:`~repro.runtime.manager.DowngradePolicy`
+answers "which quality levels make everything fit?".  That is a search
+problem over a product space — one dimension per application, choices
+ordered best-first from each application's floor — and it lives here so
+the runtime layer is a thin client of :mod:`repro.search` rather than
+carrying its own enumeration code.
+
+The semantics are **exactly** the historical ones (the downgrade-policy
+tests pin them):
+
+* ``exhaustive`` enumerates the product cheapest-first — fewest total
+  downgrade steps; ties degrade the newcomer first, then low-priority
+  residents — and returns the first feasible assignment, so it finds
+  one whenever one exists.  Beyond ``max_combinations`` it falls back
+  to greedy.
+* ``greedy`` walks a single degradation chain: the newcomer steps down
+  to its floor first, then residents in ascending priority order, one
+  step per round, until feasible or exhausted.
+
+Feasibility is delegated to the caller (the manager passes its
+:func:`~repro.search.feasibility.evaluate_feasibility`-backed check),
+keeping this module free of estimator knowledge.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping as TMapping, Optional, Tuple
+
+from repro.exceptions import AnalysisError
+from repro.telemetry import get_registry, get_tracer
+
+
+@dataclass(frozen=True)
+class QualityAssignmentProblem:
+    """One downgrade question, runtime-independent.
+
+    Attributes
+    ----------
+    applications:
+        Every involved application, residents first, the newcomer
+        **last** (the exhaustive tie-break degrades the last entry
+        first).
+    levels:
+        Per application, the admissible level names from its floor:
+        index 0 is the current (resident) or requested (newcomer)
+        level, later entries are successive downgrades.
+    priorities:
+        Resident priorities; lower-priority residents are degraded
+        first on ties (the newcomer needs no entry).
+    newcomer:
+        Name of the joining application.
+    """
+
+    applications: Tuple[str, ...]
+    levels: TMapping[str, Tuple[str, ...]]
+    priorities: TMapping[str, float] = field(default_factory=dict)
+    newcomer: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.applications:
+            raise AnalysisError("assignment problem has no applications")
+        if self.newcomer and self.applications[-1] != self.newcomer:
+            raise AnalysisError(
+                f"the newcomer {self.newcomer!r} must be the last "
+                f"application of the problem"
+            )
+        for app in self.applications:
+            if app not in self.levels or not self.levels[app]:
+                raise AnalysisError(
+                    f"application {app!r} has no admissible levels"
+                )
+
+    @property
+    def residents(self) -> Tuple[str, ...]:
+        return self.applications[:-1] if self.newcomer else self.applications
+
+    @property
+    def combinations(self) -> int:
+        total = 1
+        for app in self.applications:
+            total *= len(self.levels[app])
+        return total
+
+
+def search_assignment(
+    problem: QualityAssignmentProblem,
+    is_feasible: Callable[[Dict[str, str]], bool],
+    search: str = "exhaustive",
+    max_combinations: int = 4096,
+) -> Optional[Dict[str, str]]:
+    """The cheapest feasible ``{application: level}``, or ``None``.
+
+    ``search="exhaustive"`` (cheapest-first full enumeration, greedy
+    fallback beyond ``max_combinations``) or ``search="greedy"`` (one
+    degradation chain).
+    """
+    if search not in ("greedy", "exhaustive"):
+        raise AnalysisError(
+            f"search must be 'greedy' or 'exhaustive', got {search!r}"
+        )
+    registry = get_registry()
+    registry.counter(
+        "repro_search_assignments_total",
+        "Quality-assignment searches",
+        search=search,
+    ).inc()
+    with get_tracer().span(
+        "search.assignment",
+        search=search,
+        applications=len(problem.applications),
+        combinations=problem.combinations,
+    ):
+        if (
+            search == "exhaustive"
+            and problem.combinations <= max_combinations
+        ):
+            return _exhaustive(problem, is_feasible)
+        return _greedy(problem, is_feasible)
+
+
+def _exhaustive(
+    problem: QualityAssignmentProblem,
+    is_feasible: Callable[[Dict[str, str]], bool],
+) -> Optional[Dict[str, str]]:
+    apps = problem.applications
+    residents = problem.residents
+    step_ranges = [range(len(problem.levels[app])) for app in apps]
+    # Ascending-priority resident order of the tie-break: on equal
+    # total cost, prefer assignments that push downgrade steps onto
+    # the newcomer (last position) and low-priority residents.
+    resident_order = sorted(
+        range(len(residents)),
+        key=lambda i: problem.priorities.get(residents[i], 0.0),
+    )
+    candidates = sorted(
+        itertools.product(*step_ranges),
+        key=lambda steps: (
+            sum(steps),
+            -steps[-1],
+            tuple(-steps[i] for i in resident_order),
+        ),
+    )
+    for steps in candidates:
+        assignment = {
+            app: problem.levels[app][step]
+            for app, step in zip(apps, steps)
+        }
+        if is_feasible(assignment):
+            return assignment
+    return None
+
+
+def _greedy(
+    problem: QualityAssignmentProblem,
+    is_feasible: Callable[[Dict[str, str]], bool],
+) -> Optional[Dict[str, str]]:
+    apps = problem.applications
+    newcomer = apps[-1]
+    position = {app: 0 for app in apps}
+    by_priority = sorted(
+        (app for app in apps if app != newcomer),
+        key=lambda app: problem.priorities.get(app, 0.0),
+    )
+    while True:
+        assignment = {
+            app: problem.levels[app][position[app]] for app in apps
+        }
+        if is_feasible(assignment):
+            return assignment
+        if position[newcomer] + 1 < len(problem.levels[newcomer]):
+            position[newcomer] += 1
+            continue
+        for app in by_priority:
+            if position[app] + 1 < len(problem.levels[app]):
+                position[app] += 1
+                break
+        else:
+            return None

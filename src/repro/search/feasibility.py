@@ -1,0 +1,137 @@
+"""The feasibility rule and the public admission evaluator.
+
+Historically the "does this configuration meet every requirement?"
+question lived as a private method of the runtime manager
+(``ResourceManager.assignment_is_feasible``).  The placement search
+needs to ask exactly the same question about candidate configurations,
+so both the *rule* and the *evaluator* are promoted here:
+
+* :func:`check_feasibility` — the comparison itself.  One application
+  violates its target iff ``period > target * (1 + 1e-12)``; ``None``
+  targets are best-effort and never violated.  The relative tolerance
+  absorbs the last-bits float drift between a fresh composition and an
+  incremental aggregate fold.
+* :func:`evaluate_feasibility` — gallery + configuration (a platform
+  :class:`~repro.platform.mapping.Mapping`) + targets in, a
+  :class:`FeasibilityReport` out.  Periods come from the same
+  composability estimate the admission controller commits with
+  (:func:`~repro.admission.controller.estimate_resident_periods`), so
+  a configuration the search calls feasible is one the runtime manager
+  would admit.
+
+``ResourceManager.assignment_is_feasible`` remains as a thin
+deprecated alias delegating here for one release.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    Mapping as TMapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.admission.controller import estimate_resident_periods
+from repro.analysis_engine import AnalysisEngine
+from repro.platform.mapping import Mapping
+from repro.sdf.analysis import AnalysisMethod
+from repro.sdf.graph import SDFGraph
+
+#: Relative tolerance of the feasibility comparison; see module docs.
+FEASIBILITY_RTOL = 1e-12
+
+
+def check_feasibility(
+    periods: TMapping[str, float],
+    targets: TMapping[str, Optional[float]],
+) -> Tuple[bool, Dict[str, float]]:
+    """Apply the feasibility rule; returns ``(feasible, violations)``.
+
+    ``violations`` maps each violating application to its relative
+    excess (``period / target - 1``) — the quantity infeasible search
+    candidates are ranked by, so strategies descend toward feasibility.
+    Applications with a ``None`` target, or absent from ``periods``
+    (not part of the evaluated configuration), are skipped — exactly
+    the runtime manager's historical behaviour.
+    """
+    violations: Dict[str, float] = {}
+    for app in sorted(targets):
+        target = targets[app]
+        if target is None or app not in periods:
+            continue
+        period = periods[app]
+        if period > target * (1 + FEASIBILITY_RTOL):
+            violations[app] = period / target - 1.0
+    return (not violations, violations)
+
+
+@dataclass(frozen=True)
+class FeasibilityReport:
+    """The answer of :func:`evaluate_feasibility`.
+
+    Truthiness follows ``feasible``, so ``if evaluate_feasibility(...)``
+    reads naturally at admission-control call sites.
+    """
+
+    feasible: bool
+    periods: Dict[str, float]
+    violations: Dict[str, float]
+
+    def __bool__(self) -> bool:
+        return self.feasible
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "feasible": self.feasible,
+            "periods": {app: self.periods[app] for app in sorted(self.periods)},
+            "violations": {
+                app: self.violations[app] for app in sorted(self.violations)
+            },
+        }
+
+
+def evaluate_feasibility(
+    gallery: Union[TMapping[str, SDFGraph], Sequence[SDFGraph]],
+    config: Mapping,
+    targets: TMapping[str, Optional[float]],
+    method: AnalysisMethod = AnalysisMethod.MCR,
+    engines: Optional[TMapping[str, AnalysisEngine]] = None,
+    isolation_periods: Optional[TMapping[str, float]] = None,
+) -> FeasibilityReport:
+    """Whether a configuration of ``gallery`` meets every target.
+
+    Parameters
+    ----------
+    gallery:
+        The applications to evaluate, either ``{name: graph}`` or a
+        plain sequence of graphs — for the runtime manager these are
+        the quality-variant graphs of one assignment; for the
+        placement search, the base gallery.
+    config:
+        The platform configuration under test: actor bindings plus any
+        arbitration priorities riding on the mapping.
+    targets:
+        Per-application period targets; ``None`` = best effort, and
+        applications absent from ``targets`` are unconstrained.
+    method / engines / isolation_periods:
+        Forwarded to
+        :func:`~repro.admission.controller.estimate_resident_periods`;
+        pass shared warm engines to make repeated evaluations cheap.
+    """
+    if not isinstance(gallery, TMapping):
+        gallery = {graph.name: graph for graph in gallery}
+    periods = estimate_resident_periods(
+        config,
+        gallery,
+        method=method,
+        engines=engines,
+        isolation_periods=isolation_periods,
+    )
+    feasible, violations = check_feasibility(periods, targets)
+    return FeasibilityReport(
+        feasible=feasible, periods=periods, violations=violations
+    )

@@ -1,0 +1,108 @@
+"""Objectives and constraints of the placement search.
+
+A placement question has two halves:
+
+* a :class:`Constraint` — per-application period *targets* (QoS
+  requirements, the runtime manager's ``required_period`` writ large):
+  a candidate is *feasible* when every targeted application's estimated
+  contended period meets its target;
+* an :class:`Objective` — what to optimize among (or toward)
+  feasibility: total period, makespan (the worst period), or nothing
+  beyond feasibility itself.
+
+Both reduce to one deterministic ranking (:func:`rank_key`): feasible
+candidates beat infeasible ones, feasible candidates compare by
+objective value, infeasible ones by total constraint violation (so
+every strategy — including the greedy and local-search walks — descends
+*toward* feasibility even before reaching it), and exact ties break on
+the candidate's canonical key so search results are reproducible down
+to the byte.
+
+The feasibility rule itself (the ``period <= target * (1 + 1e-12)``
+comparison) is :func:`check_feasibility` in
+:mod:`repro.search.feasibility` — one rule for the admission
+controller's quality search and the placement search alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.exceptions import AnalysisError
+
+#: Recognized objective kinds (``repro place --objective``).
+OBJECTIVES: Tuple[str, ...] = ("total_period", "makespan", "feasible")
+
+
+@dataclass(frozen=True)
+class Objective:
+    """What the search minimizes among feasible candidates.
+
+    ``total_period`` sums every application's contended period (the
+    throughput-oriented default), ``makespan`` takes the worst one (the
+    fairness-oriented alternative), and ``feasible`` scores every
+    feasible candidate equally — "find me anything that fits".
+    """
+
+    kind: str = "total_period"
+
+    def __post_init__(self) -> None:
+        if self.kind not in OBJECTIVES:
+            raise AnalysisError(
+                f"unknown objective {self.kind!r} "
+                f"(choose from {', '.join(OBJECTIVES)})"
+            )
+
+    def value(self, periods: Mapping[str, float]) -> float:
+        if self.kind == "total_period":
+            return sum(periods.values())
+        if self.kind == "makespan":
+            return max(periods.values())
+        return 0.0
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """Per-application period targets; ``None`` = best effort.
+
+    Applications absent from ``targets`` are unconstrained, exactly
+    like a runtime :class:`~repro.runtime.manager.AppSpec` without a
+    ``required_period``.
+    """
+
+    targets: Mapping[str, Optional[float]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for app, target in self.targets.items():
+            if target is not None and not target > 0:
+                raise AnalysisError(
+                    f"period target of {app!r} must be positive, "
+                    f"got {target!r}"
+                )
+
+    def normalized(self) -> Dict[str, Optional[float]]:
+        """Targets as a plain dict with ``None`` entries preserved."""
+        return {app: self.targets[app] for app in sorted(self.targets)}
+
+
+def violation_total(violations: Mapping[str, float]) -> float:
+    """One scalar "how infeasible": the summed relative excesses."""
+    return sum(violations.values())
+
+
+def rank_key(
+    feasible: bool,
+    objective_value: float,
+    violations: Mapping[str, float],
+    candidate_key: str,
+) -> Tuple[int, float, str]:
+    """The total order every strategy minimizes over.
+
+    Feasible first; then the objective (feasible) or the violation
+    total (infeasible); then the candidate's canonical key string, so
+    equal-scoring candidates rank deterministically.
+    """
+    if feasible:
+        return (0, objective_value, candidate_key)
+    return (1, violation_total(violations), candidate_key)

@@ -1,0 +1,179 @@
+"""The placement answer: :class:`PlacementResult` and its trace.
+
+A search returns one value that is both the *decision* (which mapping,
+which priorities, which weight vector, predicted periods) and the
+*evidence* (how many candidates were evaluated, the improvement trace).
+The whole thing is JSON-serializable and deliberately free of wall-clock
+fields: a seeded search must produce **byte-identical**
+:meth:`PlacementResult.to_json_str` output on every run, which is what
+the determinism suite pins and what lets the fleet router treat the
+``place`` verb as idempotent (any shard may answer; retries are safe).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One strategy event: a batch scored, a move taken, a restart."""
+
+    step: int
+    event: str
+    candidate: str
+    feasible: bool
+    score: float
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "step": self.step,
+            "event": self.event,
+            "candidate": self.candidate,
+            "feasible": self.feasible,
+            "score": self.score,
+        }
+
+
+@dataclass(frozen=True)
+class ChosenPlacement:
+    """The winning candidate, fully decoded."""
+
+    candidate: str
+    mapping: str
+    priorities: Dict[str, float]
+    weights: Dict[str, int]
+    model: str
+    periods: Dict[str, float]
+    objective_value: float
+    violations: Dict[str, float]
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "candidate": self.candidate,
+            "mapping": self.mapping,
+            "priorities": {
+                app: self.priorities[app] for app in sorted(self.priorities)
+            },
+            "weights": {
+                app: self.weights[app] for app in sorted(self.weights)
+            },
+            "model": self.model,
+            "periods": {
+                app: self.periods[app] for app in sorted(self.periods)
+            },
+            "objective_value": self.objective_value,
+            "violations": {
+                app: self.violations[app] for app in sorted(self.violations)
+            },
+        }
+
+
+@dataclass(frozen=True)
+class PlacementResult:
+    """Everything ``repro place`` / the ``place`` verb reports.
+
+    ``best`` is the top-ranked candidate even when infeasible (then
+    ``feasible`` is ``False`` and ``best.violations`` says by how much
+    it misses) — "closest attempt" beats "no answer" for a platform
+    integrator deciding whether to relax targets.
+    """
+
+    strategy: str
+    model: str
+    method: str
+    objective: str
+    seed: Optional[int]
+    applications: Tuple[str, ...]
+    targets: Dict[str, Optional[float]]
+    space: Dict[str, object]
+    feasible: bool
+    best: ChosenPlacement
+    evaluated: int
+    steps: int
+    trace: Tuple[TraceEntry, ...] = field(default_factory=tuple)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "strategy": self.strategy,
+            "model": self.model,
+            "method": self.method,
+            "objective": self.objective,
+            "seed": self.seed,
+            "applications": list(self.applications),
+            "targets": {
+                app: self.targets[app] for app in sorted(self.targets)
+            },
+            "space": self.space,
+            "feasible": self.feasible,
+            "best": self.best.to_json(),
+            "evaluated": self.evaluated,
+            "steps": self.steps,
+            "trace": [entry.to_json() for entry in self.trace],
+        }
+
+    def to_json_str(self) -> str:
+        """Canonical serialization (sorted keys, no whitespace).
+
+        This is the byte-determinism surface: same gallery, space, and
+        seed must yield the same string, locally or through the fleet.
+        """
+        return json.dumps(
+            self.to_json(), sort_keys=True, separators=(",", ":")
+        )
+
+    @staticmethod
+    def from_json(data: Dict[str, object]) -> "PlacementResult":
+        """Rebuild a result from :meth:`to_json` output (client side)."""
+        best = data["best"]
+        trace: List[TraceEntry] = [
+            TraceEntry(
+                step=int(entry["step"]),
+                event=str(entry["event"]),
+                candidate=str(entry["candidate"]),
+                feasible=bool(entry["feasible"]),
+                score=float(entry["score"]),
+            )
+            for entry in data.get("trace", [])
+        ]
+        return PlacementResult(
+            strategy=str(data["strategy"]),
+            model=str(data["model"]),
+            method=str(data["method"]),
+            objective=str(data["objective"]),
+            seed=None if data.get("seed") is None else int(data["seed"]),
+            applications=tuple(str(a) for a in data["applications"]),
+            targets={
+                str(app): (None if value is None else float(value))
+                for app, value in dict(data["targets"]).items()
+            },
+            space=dict(data["space"]),
+            feasible=bool(data["feasible"]),
+            best=ChosenPlacement(
+                candidate=str(best["candidate"]),
+                mapping=str(best["mapping"]),
+                priorities={
+                    str(app): float(value)
+                    for app, value in dict(best["priorities"]).items()
+                },
+                weights={
+                    str(app): int(value)
+                    for app, value in dict(best["weights"]).items()
+                },
+                model=str(best["model"]),
+                periods={
+                    str(app): float(value)
+                    for app, value in dict(best["periods"]).items()
+                },
+                objective_value=float(best["objective_value"]),
+                violations={
+                    str(app): float(value)
+                    for app, value in dict(best["violations"]).items()
+                },
+            ),
+            evaluated=int(data["evaluated"]),
+            steps=int(data["steps"]),
+            trace=tuple(trace),
+        )

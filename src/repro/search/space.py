@@ -1,0 +1,344 @@
+"""The placement search space: what a candidate *is*.
+
+A candidate configuration has three orthogonal groups of knobs, all of
+them first-class values of the PR-5 registry/spec layer:
+
+* **mapping** — which named actor-binding recipe to use (``index``,
+  ``spread``, ``modulo``; the paper's setup plus the density-ablation
+  variants);
+* **priorities** — one arbitration level per application, riding on the
+  mapping (:meth:`~repro.platform.mapping.Mapping.with_priorities`) and
+  read by priority-aware waiting models;
+* **weights** — one WRR slice weight per application, turned into a
+  ``weighted_round_robin:A=2,B=1`` model spec via the shared
+  :mod:`repro.core.specs` grammar.
+
+Strategies never manipulate these directly: they walk tuples of
+*choice indices* (one integer per :class:`Dimension`), and the space
+decodes an index tuple into a :class:`Candidate` — frozen, hashable,
+with a canonical ``key`` string used for memoization and deterministic
+tie-breaking.  The full space is the cartesian product of the
+dimensions, enumerated in one fixed order, so ``exhaustive`` search is
+reproducible and ``greedy`` coordinate descent has a well-defined
+starting point (index 0 of every dimension = first mapping, no
+priority spread, unit weights).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.registry import create_waiting_model, validate_model_spec
+from repro.core.specs import format_spec, format_weight_argument, parse_spec
+from repro.exceptions import AnalysisError
+from repro.platform.mapping import (
+    Mapping,
+    index_mapping,
+    modulo_mapping,
+    spread_mapping,
+)
+from repro.platform.platform import Platform
+from repro.sdf.graph import SDFGraph
+
+#: Known mapping recipes, in canonical order.
+MAPPING_BUILDERS = {
+    "index": index_mapping,
+    "spread": spread_mapping,
+    "modulo": modulo_mapping,
+}
+
+DEFAULT_MAPPINGS: Tuple[str, ...] = ("index", "spread", "modulo")
+
+
+@dataclass(frozen=True)
+class Dimension:
+    """One axis of the space: a name and its ordered choices."""
+
+    name: str
+    choices: Tuple[object, ...]
+
+    def __post_init__(self) -> None:
+        if not self.choices:
+            raise AnalysisError(f"dimension {self.name!r} has no choices")
+
+    def __len__(self) -> int:
+        return len(self.choices)
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One fully decoded configuration.
+
+    ``priorities`` and ``weights`` are sorted tuples so equal
+    configurations are equal values; empty tuples mean the knob is not
+    part of the space.
+    """
+
+    mapping: str
+    priorities: Tuple[Tuple[str, float], ...] = ()
+    weights: Tuple[Tuple[str, int], ...] = ()
+
+    @property
+    def key(self) -> str:
+        """Canonical string identity — memo key and rank tie-breaker."""
+        parts = [f"mapping={self.mapping}"]
+        if self.priorities:
+            levels = ",".join(
+                f"{app}={level:g}" for app, level in self.priorities
+            )
+            parts.append(f"priorities={levels}")
+        if self.weights:
+            parts.append(
+                "weights="
+                + format_weight_argument({a: w for a, w in self.weights})
+            )
+        return "|".join(parts)
+
+
+class SearchSpace:
+    """Candidate mappings × priority assignments × weight vectors.
+
+    Parameters
+    ----------
+    graphs:
+        The application gallery, in order (the order fixes dimension
+        order and hence enumeration order).
+    platform:
+        Target platform; a homogeneous platform wide enough for the
+        largest application is created when omitted (the paper's
+        setup).
+    mappings:
+        Which mapping recipes to consider (subset of
+        :data:`MAPPING_BUILDERS`).
+    model:
+        Waiting-model spec evaluated for every candidate.  With
+        ``weight_choices`` set it must be a *bare* weights-capable
+        model name (e.g. ``"weighted_round_robin"``); the space then
+        appends each candidate's weight vector as the spec argument.
+    weight_choices:
+        WRR slice weights to consider per application (adds one
+        dimension per application).  ``None`` disables the weight axis.
+    priority_levels:
+        Arbitration levels to consider per application (one dimension
+        per application).  ``None`` disables the priority axis.
+    """
+
+    def __init__(
+        self,
+        graphs: Sequence[SDFGraph],
+        platform: Optional[Platform] = None,
+        mappings: Sequence[str] = DEFAULT_MAPPINGS,
+        model: str = "second_order",
+        weight_choices: Optional[Sequence[int]] = None,
+        priority_levels: Optional[Sequence[float]] = None,
+    ) -> None:
+        self.graphs: Tuple[SDFGraph, ...] = tuple(graphs)
+        if not self.graphs:
+            raise AnalysisError("search space needs at least one application")
+        self.application_names: Tuple[str, ...] = tuple(
+            g.name for g in self.graphs
+        )
+        if len(set(self.application_names)) != len(self.application_names):
+            raise AnalysisError("duplicate application names in gallery")
+        if platform is None:
+            platform = Platform.homogeneous(
+                max(len(g) for g in self.graphs)
+            )
+        self.platform = platform
+
+        # The shared eager validation path: unknown names, bad
+        # arguments and out-of-gallery per-app parameters all fail
+        # here, at space construction, never inside a strategy step.
+        validate_model_spec(model, self.application_names)
+        self.model = model
+        self._model_name, model_argument = parse_spec(model)
+
+        unknown = sorted(set(mappings) - set(MAPPING_BUILDERS))
+        if unknown:
+            raise AnalysisError(
+                f"unknown mappings {unknown!r} "
+                f"(choose from {', '.join(sorted(MAPPING_BUILDERS))})"
+            )
+        if not mappings:
+            raise AnalysisError("search space needs at least one mapping")
+        self.mapping_names: Tuple[str, ...] = tuple(dict.fromkeys(mappings))
+        self._mappings: Dict[str, Mapping] = {
+            name: MAPPING_BUILDERS[name](self.graphs, self.platform)
+            for name in self.mapping_names
+        }
+
+        self.weight_choices: Tuple[int, ...] = (
+            tuple(weight_choices) if weight_choices is not None else ()
+        )
+        if self.weight_choices:
+            probe = create_waiting_model(model)
+            if not hasattr(probe, "weight_of"):
+                raise AnalysisError(
+                    f"model {model!r} does not take per-application "
+                    f"weights; drop weight_choices or use a "
+                    f"weighted-round-robin model"
+                )
+            if model_argument:
+                raise AnalysisError(
+                    f"model {model!r} already fixes a weight vector; "
+                    f"use the bare model name when the space searches "
+                    f"weights"
+                )
+        self.priority_levels: Tuple[float, ...] = (
+            tuple(priority_levels) if priority_levels is not None else ()
+        )
+
+        dimensions: List[Dimension] = [
+            Dimension("mapping", self.mapping_names)
+        ]
+        for app in self.application_names:
+            if self.priority_levels:
+                dimensions.append(
+                    Dimension(f"priority:{app}", self.priority_levels)
+                )
+        for app in self.application_names:
+            if self.weight_choices:
+                dimensions.append(
+                    Dimension(f"weight:{app}", self.weight_choices)
+                )
+        self.dimensions: Tuple[Dimension, ...] = tuple(dimensions)
+
+    # ------------------------------------------------------------------
+    # Size and enumeration
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        total = 1
+        for dimension in self.dimensions:
+            total *= len(dimension)
+        return total
+
+    def default_indices(self) -> Tuple[int, ...]:
+        """The canonical starting point: choice 0 of every dimension."""
+        return tuple(0 for _ in self.dimensions)
+
+    def index_tuples(self) -> Iterator[Tuple[int, ...]]:
+        """Every index tuple, in fixed product order (last dim fastest)."""
+        ranges = [range(len(d)) for d in self.dimensions]
+        return iter(itertools.product(*ranges))
+
+    def candidates(self) -> Iterator[Candidate]:
+        """Every candidate, in enumeration order."""
+        for indices in self.index_tuples():
+            yield self.decode(indices)
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+    def decode(self, indices: Sequence[int]) -> Candidate:
+        """Index tuple -> frozen :class:`Candidate`."""
+        if len(indices) != len(self.dimensions):
+            raise AnalysisError(
+                f"expected {len(self.dimensions)} indices, "
+                f"got {len(indices)}"
+            )
+        mapping_name = ""
+        priorities: List[Tuple[str, float]] = []
+        weights: List[Tuple[str, int]] = []
+        for dimension, index in zip(self.dimensions, indices):
+            if not 0 <= index < len(dimension):
+                raise AnalysisError(
+                    f"index {index} out of range for dimension "
+                    f"{dimension.name!r}"
+                )
+            choice = dimension.choices[index]
+            if dimension.name == "mapping":
+                mapping_name = str(choice)
+            elif dimension.name.startswith("priority:"):
+                priorities.append(
+                    (dimension.name.split(":", 1)[1], float(choice))
+                )
+            else:
+                weights.append(
+                    (dimension.name.split(":", 1)[1], int(choice))
+                )
+        return Candidate(
+            mapping=mapping_name,
+            priorities=tuple(sorted(priorities)),
+            weights=tuple(sorted(weights)),
+        )
+
+    def mapping_of(self, candidate: Candidate) -> Mapping:
+        """The platform mapping of a candidate, priorities applied."""
+        base = self._mappings[candidate.mapping]
+        if candidate.priorities:
+            return base.with_priorities(dict(candidate.priorities))
+        return base
+
+    def model_of(self, candidate: Candidate) -> str:
+        """The waiting-model spec of a candidate (weights applied)."""
+        if candidate.weights:
+            return format_spec(
+                self._model_name,
+                format_weight_argument(dict(candidate.weights)),
+            )
+        return self.model
+
+    # ------------------------------------------------------------------
+    # Moves (used by local search and the evolutionary loop)
+    # ------------------------------------------------------------------
+    def neighbors(
+        self, indices: Sequence[int]
+    ) -> Iterator[Tuple[int, ...]]:
+        """All tuples differing from ``indices`` in exactly one dimension,
+        in dimension order then choice order (deterministic)."""
+        base = tuple(indices)
+        for position, dimension in enumerate(self.dimensions):
+            for choice in range(len(dimension)):
+                if choice == base[position]:
+                    continue
+                yield base[:position] + (choice,) + base[position + 1:]
+
+    def random_indices(self, rng: random.Random) -> Tuple[int, ...]:
+        return tuple(
+            rng.randrange(len(dimension)) for dimension in self.dimensions
+        )
+
+    def mutate(
+        self,
+        indices: Sequence[int],
+        rng: random.Random,
+        probability: Optional[float] = None,
+    ) -> Tuple[int, ...]:
+        """Per-dimension resample with probability ``1/D`` by default."""
+        if probability is None:
+            probability = 1.0 / max(1, len(self.dimensions))
+        return tuple(
+            rng.randrange(len(dimension))
+            if rng.random() < probability
+            else index
+            for dimension, index in zip(self.dimensions, indices)
+        )
+
+    def crossover(
+        self,
+        first: Sequence[int],
+        second: Sequence[int],
+        rng: random.Random,
+    ) -> Tuple[int, ...]:
+        """Uniform crossover: each dimension from one parent at random."""
+        return tuple(
+            a if rng.random() < 0.5 else b
+            for a, b in zip(first, second)
+        )
+
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, object]:
+        """JSON-friendly description, embedded in the result."""
+        return {
+            "applications": list(self.application_names),
+            "mappings": list(self.mapping_names),
+            "model": self.model,
+            "priority_levels": list(self.priority_levels),
+            "weight_choices": list(self.weight_choices),
+            "dimensions": len(self.dimensions),
+            "size": self.size,
+        }

@@ -1,0 +1,320 @@
+"""Pluggable placement strategies over one :class:`SearchSpace`.
+
+Every strategy is a function ``(space, evaluator, options) ->``
+:class:`SearchOutcome` registered in :data:`STRATEGIES`; all of them
+share three properties:
+
+* **batched scoring** — candidates are handed to the
+  :class:`~repro.search.evaluate.CandidateEvaluator` in groups, so one
+  strategy step is one vectorized solve per application, never a
+  per-candidate scalar loop;
+* **memoized scoring** — a candidate revisited by a walk or a later
+  restart is answered from the run's memo without solving;
+* **seeded determinism** — the stochastic strategies draw exclusively
+  from one ``random.Random(seed)``, rank candidates with the
+  deterministic :func:`~repro.search.objective.rank_key` order, and
+  record no wall-clock anywhere, so the same seed yields a
+  byte-identical :class:`~repro.search.result.PlacementResult`.
+
+Strategies:
+
+``exhaustive``
+    Scan the full space in enumeration order (refuses spaces larger
+    than ``max_candidates``).  The ground truth the parity suite
+    measures the others against.
+``greedy``
+    Coordinate descent from the canonical default candidate: per
+    dimension, score every alternative choice in one batch and move
+    when strictly better; repeat until a full sweep yields no move.
+``local_search``
+    Seeded multi-restart hill climbing over one-dimension neighbors.
+``evolutionary``
+    A small generational loop: tournament selection, uniform
+    crossover, per-dimension mutation, elitism.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import AnalysisError
+from repro.search.evaluate import CandidateEvaluator, EvaluatedCandidate
+from repro.search.result import TraceEntry
+from repro.search.space import SearchSpace
+from repro.telemetry import get_registry, get_tracer
+
+
+@dataclass(frozen=True)
+class StrategyOptions:
+    """Knobs shared by all strategies (each reads what it needs)."""
+
+    seed: Optional[int] = None
+    #: Exhaustive refuses spaces larger than this.
+    max_candidates: int = 4096
+    #: Evaluation batch size of the exhaustive scan.
+    batch_size: int = 64
+    #: Restarts of ``local_search`` (the first starts from the default
+    #: candidate, the rest from seeded random points).
+    restarts: int = 3
+    #: Step cap per hill-climb / sweep cap of ``greedy``.
+    max_steps: int = 32
+    #: Population size and generation count of ``evolutionary``.
+    population: int = 8
+    generations: int = 6
+    #: Elites carried over per generation.
+    elites: int = 2
+
+
+@dataclass(frozen=True)
+class SearchOutcome:
+    """What a strategy returns to :func:`repro.search.place.place`."""
+
+    best: EvaluatedCandidate
+    evaluated: int
+    steps: int
+    trace: Tuple[TraceEntry, ...]
+
+
+@dataclass
+class _Run:
+    """Shared per-run machinery: memoized batched scoring + trace."""
+
+    space: SearchSpace
+    evaluator: CandidateEvaluator
+    memo: Dict[str, EvaluatedCandidate] = field(default_factory=dict)
+    trace: List[TraceEntry] = field(default_factory=list)
+    steps: int = 0
+
+    def score(
+        self, index_tuples: Sequence[Tuple[int, ...]]
+    ) -> List[EvaluatedCandidate]:
+        """Score index tuples; solves only the not-yet-seen ones."""
+        decoded = [self.space.decode(indices) for indices in index_tuples]
+        fresh = []
+        fresh_keys = set()
+        for candidate in decoded:
+            if candidate.key not in self.memo and (
+                candidate.key not in fresh_keys
+            ):
+                fresh.append(candidate)
+                fresh_keys.add(candidate.key)
+        for evaluated in self.evaluator.evaluate(fresh):
+            self.memo[evaluated.candidate.key] = evaluated
+        return [self.memo[candidate.key] for candidate in decoded]
+
+    def record(self, event: str, evaluated: EvaluatedCandidate) -> None:
+        self.trace.append(
+            TraceEntry(
+                step=self.steps,
+                event=event,
+                candidate=evaluated.candidate.key,
+                feasible=evaluated.feasible,
+                score=evaluated.score,
+            )
+        )
+
+    def outcome(self, best: EvaluatedCandidate) -> SearchOutcome:
+        return SearchOutcome(
+            best=best,
+            evaluated=len(self.memo),
+            steps=self.steps,
+            trace=tuple(self.trace),
+        )
+
+
+def _better(
+    challenger: EvaluatedCandidate, incumbent: Optional[EvaluatedCandidate]
+) -> bool:
+    return incumbent is None or challenger.rank < incumbent.rank
+
+
+def _best_of(batch: Sequence[EvaluatedCandidate]) -> EvaluatedCandidate:
+    return min(batch, key=lambda evaluated: evaluated.rank)
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+def exhaustive(
+    space: SearchSpace,
+    evaluator: CandidateEvaluator,
+    options: StrategyOptions,
+) -> SearchOutcome:
+    if space.size > options.max_candidates:
+        raise AnalysisError(
+            f"search space has {space.size} candidates, above the "
+            f"exhaustive cap of {options.max_candidates}; use greedy, "
+            f"local_search or evolutionary"
+        )
+    run = _Run(space, evaluator)
+    best: Optional[EvaluatedCandidate] = None
+    batch: List[Tuple[int, ...]] = []
+    tuples = list(space.index_tuples())
+    for start in range(0, len(tuples), max(1, options.batch_size)):
+        batch = tuples[start:start + max(1, options.batch_size)]
+        run.steps += 1
+        for evaluated in run.score(batch):
+            if _better(evaluated, best):
+                best = evaluated
+                run.record("improve", evaluated)
+    assert best is not None  # the space is never empty
+    return run.outcome(best)
+
+
+def greedy(
+    space: SearchSpace,
+    evaluator: CandidateEvaluator,
+    options: StrategyOptions,
+) -> SearchOutcome:
+    run = _Run(space, evaluator)
+    current_indices = space.default_indices()
+    current = run.score([current_indices])[0]
+    run.record("start", current)
+    for _ in range(max(1, options.max_steps)):
+        run.steps += 1
+        improved = False
+        for position, dimension in enumerate(space.dimensions):
+            alternatives = [
+                current_indices[:position]
+                + (choice,)
+                + current_indices[position + 1:]
+                for choice in range(len(dimension))
+                if choice != current_indices[position]
+            ]
+            if not alternatives:
+                continue
+            scored = run.score(alternatives)
+            champion_at, champion = min(
+                enumerate(scored), key=lambda pair: pair[1].rank
+            )
+            if _better(champion, current):
+                current = champion
+                current_indices = alternatives[champion_at]
+                run.record("improve", current)
+                improved = True
+        if not improved:
+            break
+    return run.outcome(current)
+
+
+def local_search(
+    space: SearchSpace,
+    evaluator: CandidateEvaluator,
+    options: StrategyOptions,
+) -> SearchOutcome:
+    rng = random.Random(options.seed)
+    run = _Run(space, evaluator)
+    best: Optional[EvaluatedCandidate] = None
+    for restart in range(max(1, options.restarts)):
+        indices = (
+            space.default_indices()
+            if restart == 0
+            else space.random_indices(rng)
+        )
+        current = run.score([indices])[0]
+        run.record("restart", current)
+        for _ in range(max(1, options.max_steps)):
+            run.steps += 1
+            neighbors = list(space.neighbors(indices))
+            if not neighbors:
+                break
+            scored = run.score(neighbors)
+            champion_at, champion = min(
+                enumerate(scored), key=lambda pair: pair[1].rank
+            )
+            if not _better(champion, current):
+                break
+            current = champion
+            indices = neighbors[champion_at]
+            run.record("improve", current)
+        if _better(current, best):
+            best = current
+    assert best is not None
+    return run.outcome(best)
+
+
+def evolutionary(
+    space: SearchSpace,
+    evaluator: CandidateEvaluator,
+    options: StrategyOptions,
+) -> SearchOutcome:
+    rng = random.Random(options.seed)
+    run = _Run(space, evaluator)
+    size = max(2, options.population)
+    population = [space.default_indices()]
+    while len(population) < size:
+        population.append(space.random_indices(rng))
+    scored = run.score(population)
+    best = _best_of(scored)
+    run.record("generation", best)
+
+    def tournament() -> Tuple[int, ...]:
+        first = rng.randrange(size)
+        second = rng.randrange(size)
+        return population[
+            first if scored[first].rank <= scored[second].rank else second
+        ]
+
+    for _ in range(max(1, options.generations)):
+        run.steps += 1
+        elite_positions = sorted(
+            range(size), key=lambda i: scored[i].rank
+        )[:max(0, options.elites)]
+        offspring = [population[i] for i in elite_positions]
+        while len(offspring) < size:
+            child = space.crossover(tournament(), tournament(), rng)
+            offspring.append(space.mutate(child, rng))
+        population = offspring
+        scored = run.score(population)
+        generation_best = _best_of(scored)
+        if _better(generation_best, best):
+            best = generation_best
+        run.record("generation", generation_best)
+    return run.outcome(best)
+
+
+#: The strategy registry behind ``repro place --strategy`` and the
+#: service verb's ``strategy`` field.
+STRATEGIES: Dict[
+    str,
+    Callable[[SearchSpace, CandidateEvaluator, StrategyOptions], SearchOutcome],
+] = {
+    "exhaustive": exhaustive,
+    "greedy": greedy,
+    "local_search": local_search,
+    "evolutionary": evolutionary,
+}
+
+
+def run_strategy(
+    name: str,
+    space: SearchSpace,
+    evaluator: CandidateEvaluator,
+    options: Optional[StrategyOptions] = None,
+) -> SearchOutcome:
+    """Look up and run one strategy (with telemetry around it)."""
+    try:
+        strategy = STRATEGIES[name]
+    except KeyError:
+        raise AnalysisError(
+            f"unknown strategy {name!r} "
+            f"(choose from {', '.join(sorted(STRATEGIES))})"
+        ) from None
+    if options is None:
+        options = StrategyOptions()
+    registry = get_registry()
+    registry.counter(
+        "repro_search_runs_total",
+        "Placement searches by strategy",
+        strategy=name,
+    ).inc()
+    with get_tracer().span(
+        "search.run", strategy=name, space=space.size
+    ):
+        outcome = strategy(space, evaluator, options)
+    registry.counter(
+        "repro_search_steps_total", "Strategy steps taken"
+    ).inc(outcome.steps)
+    return outcome

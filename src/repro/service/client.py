@@ -127,6 +127,52 @@ class ServiceClient:
             payload["trace"] = trace
         return await self._call(payload)
 
+    async def place(
+        self,
+        gallery: Optional[Dict[str, object]] = None,
+        strategy: str = "greedy",
+        model: str = "wrr",
+        objective: str = "total_period",
+        seed: int = 0,
+        slack: float = 2.5,
+        targets: Optional[Dict[str, float]] = None,
+        mappings: Optional[Sequence[str]] = None,
+        weights: Optional[Sequence[int]] = (1, 2),
+        priority_levels: Optional[Sequence[float]] = None,
+        method: str = "mcr",
+        trace: Optional[str] = None,
+    ) -> Dict[str, object]:
+        """Ask for the best feasible placement of a named gallery.
+
+        The result payload carries the full ``placement`` (a
+        :class:`~repro.search.result.PlacementResult` as JSON) — the
+        search is seeded and deterministic, so the placement is
+        byte-identical to an in-process :func:`repro.search.place`
+        call with the same parameters.
+        """
+        payload: Dict[str, object] = {
+            "op": "place",
+            "gallery": dict(gallery) if gallery else {},
+            "strategy": strategy,
+            "model": model,
+            "objective": objective,
+            "seed": seed,
+            "slack": slack,
+            "method": method,
+        }
+        if targets is not None:
+            payload["targets"] = dict(targets)
+        if mappings is not None:
+            payload["mappings"] = list(mappings)
+        payload["weights"] = (
+            list(weights) if weights is not None else None
+        )
+        if priority_levels is not None:
+            payload["priority_levels"] = list(priority_levels)
+        if trace is not None:
+            payload["trace"] = trace
+        return await self._call(payload)
+
     async def stats(self) -> Dict[str, object]:
         return await self._call({"op": "stats"})
 

@@ -19,6 +19,9 @@ Requests::
     {"id": 4, "op": "invalidate", "gallery": {...}}
     {"id": 5, "op": "shutdown"}
     {"id": 6, "op": "metrics"}
+    {"id": 7, "op": "place", "gallery": {...}, "strategy": "greedy",
+     "model": "wrr", "objective": "total_period", "seed": 0,
+     "slack": 4.5}
 
 Requests may carry an optional ``trace`` field (an opaque string or
 integer): the server stamps it on every span the request produces and
@@ -55,6 +58,7 @@ MAX_MESSAGE_BYTES = 1 << 20
 OPERATIONS: Tuple[str, ...] = (
     "ping",
     "estimate",
+    "place",
     "stats",
     "metrics",
     "invalidate",
@@ -171,10 +175,11 @@ def parse_estimate(payload: Dict[str, object]) -> Query:
     model = str(payload.get("model", "second_order"))
     try:
         # One registry round-trip covers unknown names (the error
-        # lists the registered catalogue) and bad arguments ('order:x',
-        # 'wrr:A=0') — rejected at the protocol edge rather than
-        # inside the solver worker.
-        validate_model_spec(model)
+        # lists the registered catalogue), bad arguments ('order:x',
+        # 'wrr:A=0') and per-app parameters naming apps outside the
+        # gallery ('wrr:Z=2') — rejected at the protocol edge rather
+        # than inside the solver worker.
+        validate_model_spec(model, gallery.application_names())
     except Exception as error:
         raise ServiceError(f"bad waiting model: {error}") from None
     method_value = str(payload.get("method", "mcr"))
@@ -191,6 +196,155 @@ def parse_estimate(payload: Dict[str, object]) -> Query:
     except Exception as error:
         raise ServiceError(f"bad use-case: {error}") from None
     return Query(gallery=gallery, use_case=use_case, model=model, method=method)
+
+
+@dataclass(frozen=True)
+class PlaceQuery:
+    """One placement question, normalized at the protocol edge.
+
+    The search itself is deterministic (seeded strategies, no
+    wall-clock in the result), so a ``place`` request is idempotent:
+    the router may retry it on any shard and a client may compare the
+    returned ``PlacementResult`` JSON byte-for-byte with a local run.
+    """
+
+    gallery: GallerySpec
+    strategy: str
+    model: str
+    objective: str
+    seed: int
+    slack: float
+    targets: Optional[Dict[str, float]]
+    mappings: Tuple[str, ...]
+    weights: Optional[Tuple[int, ...]]
+    priority_levels: Optional[Tuple[float, ...]]
+    method: AnalysisMethod
+
+    @property
+    def group(self) -> Tuple[str, str, str]:
+        """Shard-affinity key — same convention as estimate queries, so
+        a gallery's placements land on the shard holding its warm
+        engines."""
+        return (self.gallery.label(), self.model, self.method.value)
+
+
+def parse_place(payload: Dict[str, object]) -> PlaceQuery:
+    """Validate a ``place`` payload into a :class:`PlaceQuery`.
+
+    Everything user-controlled fails here, at the protocol edge:
+    unknown strategies/objectives, bad model specs (including per-app
+    parameters naming applications outside the gallery — the shared
+    eager path of :func:`~repro.core.registry.validate_model_spec`),
+    targets for unknown applications, and malformed axis lists.
+    """
+    from repro.search.objective import OBJECTIVES
+    from repro.search.space import MAPPING_BUILDERS
+    from repro.search.strategies import STRATEGIES
+
+    gallery = parse_gallery(payload.get("gallery"))
+    applications = gallery.application_names()
+    strategy = str(payload.get("strategy", "greedy"))
+    if strategy not in STRATEGIES:
+        raise ServiceError(
+            f"unknown strategy {strategy!r} "
+            f"(choose from {', '.join(sorted(STRATEGIES))})"
+        )
+    objective = str(payload.get("objective", "total_period"))
+    if objective not in OBJECTIVES:
+        raise ServiceError(
+            f"unknown objective {objective!r} "
+            f"(choose from {', '.join(OBJECTIVES)})"
+        )
+    model = str(payload.get("model", "wrr"))
+    try:
+        validate_model_spec(model, applications)
+    except Exception as error:
+        raise ServiceError(f"bad waiting model: {error}") from None
+    raw_targets = payload.get("targets")
+    targets: Optional[Dict[str, float]] = None
+    if raw_targets is not None:
+        if not isinstance(raw_targets, dict):
+            raise ServiceError(
+                "place 'targets' must be an object of APP: PERIOD"
+            )
+        unknown = sorted(set(raw_targets) - set(applications))
+        if unknown:
+            raise ServiceError(
+                f"targets reference applications {unknown!r} outside "
+                f"gallery {gallery.label()!r}"
+            )
+        try:
+            targets = {
+                str(app): float(value)
+                for app, value in raw_targets.items()
+            }
+        except (TypeError, ValueError) as error:
+            raise ServiceError(f"bad target period: {error}") from None
+    raw_mappings = payload.get("mappings", ["index", "spread", "modulo"])
+    if not isinstance(raw_mappings, (list, tuple)) or not raw_mappings:
+        raise ServiceError("place 'mappings' must be a non-empty list")
+    mappings = tuple(str(name) for name in raw_mappings)
+    unknown = sorted(set(mappings) - set(MAPPING_BUILDERS))
+    if unknown:
+        raise ServiceError(
+            f"unknown mappings {unknown!r} "
+            f"(choose from {', '.join(sorted(MAPPING_BUILDERS))})"
+        )
+    raw_weights = payload.get("weights", [1, 2])
+    weights: Optional[Tuple[int, ...]] = None
+    if raw_weights is not None:
+        if not isinstance(raw_weights, (list, tuple)):
+            raise ServiceError(
+                "place 'weights' must be a list of integers or null"
+            )
+        try:
+            weights = tuple(int(value) for value in raw_weights)
+        except (TypeError, ValueError) as error:
+            raise ServiceError(f"bad weight choice: {error}") from None
+    raw_levels = payload.get("priority_levels")
+    levels: Optional[Tuple[float, ...]] = None
+    if raw_levels is not None:
+        if not isinstance(raw_levels, (list, tuple)):
+            raise ServiceError(
+                "place 'priority_levels' must be a list of numbers "
+                "or null"
+            )
+        try:
+            levels = tuple(float(value) for value in raw_levels)
+        except (TypeError, ValueError) as error:
+            raise ServiceError(f"bad priority level: {error}") from None
+    method_value = str(payload.get("method", "mcr"))
+    try:
+        method = AnalysisMethod(method_value)
+    except ValueError:
+        choices = ", ".join(m.value for m in AnalysisMethod)
+        raise ServiceError(
+            f"unknown analysis method {method_value!r} "
+            f"(choose from {choices})"
+        ) from None
+    try:
+        seed = int(payload.get("seed", 0))
+        slack = float(payload.get("slack", 2.5))
+    except (TypeError, ValueError) as error:
+        raise ServiceError(f"bad place parameter: {error}") from None
+    if targets is None and slack <= 1.0:
+        raise ServiceError(
+            f"slack must exceed 1.0 (isolation is the floor), "
+            f"got {slack}"
+        )
+    return PlaceQuery(
+        gallery=gallery,
+        strategy=strategy,
+        model=model,
+        objective=objective,
+        seed=seed,
+        slack=slack,
+        targets=targets,
+        mappings=mappings,
+        weights=weights,
+        priority_levels=levels,
+        method=method,
+    )
 
 
 def error_response(request_id: object, message: str) -> Dict[str, object]:

@@ -47,6 +47,7 @@ from repro.service.protocol import (
     ok_response,
     parse_estimate,
     parse_gallery,
+    parse_place,
     resolve_request_id,
     resolve_trace_id,
 )
@@ -383,6 +384,10 @@ class ShardRouter:
                     response = ok_response(
                         request_id, await self._forward_estimate(payload)
                     )
+                elif op == "place":
+                    response = ok_response(
+                        request_id, await self._forward_place(payload)
+                    )
                 elif op == "stats":
                     response = ok_response(request_id, await self._stats())
                 elif op == "metrics":
@@ -403,7 +408,8 @@ class ShardRouter:
                 else:
                     raise ServiceError(
                         f"unknown op {op!r} (expected ping, estimate, "
-                        f"stats, metrics, invalidate or shutdown)"
+                        f"place, stats, metrics, invalidate or "
+                        f"shutdown)"
                     )
         except Exception as error:
             self._metric_errors.inc()
@@ -457,6 +463,77 @@ class ShardRouter:
                 # The shard died under this query: take it off the
                 # ring and retry on the next shard in preference
                 # order — estimates are idempotent, re-asking is safe.
+                last_error = str(error)
+                self._mark_down(shard)
+                continue
+            shard.forwarded += 1
+            self._metric_forwarded.inc()
+            result["shard"] = shard.name
+            return result
+        raise ServiceError(
+            f"no shard could answer after {attempts} attempt(s): "
+            f"{last_error or 'no healthy shard available'}"
+        )
+
+    async def _forward_place(
+        self, payload: Dict[str, object]
+    ) -> Dict[str, object]:
+        """Forward a ``place`` request to the gallery's home shard.
+
+        Same routing discipline as estimates: validate at the edge,
+        consistent-hash on the gallery label (a gallery's placement
+        lands where its warm engines live), and fail over down the
+        preference order — the search is deterministic and
+        wall-clock-free, so re-asking another shard is safe and yields
+        byte-identical placement JSON.
+        """
+        if self._closing:
+            raise ServiceError("router is shutting down")
+        query = parse_place(payload)
+        trace_id = resolve_trace_id(payload)
+        label = query.gallery.label()
+        attempts = 0
+        last_error: Optional[str] = None
+        for shard in self._shards_for(label):
+            if attempts:
+                self._metric_retries.inc()
+            attempts += 1
+            try:
+                with self.tracer.span(
+                    "router.forward_place",
+                    trace_id=trace_id,
+                    shard=shard.name,
+                    gallery=label,
+                    attempt=attempts,
+                ):
+                    client = await self._client(shard)
+                    result = await client.place(
+                        gallery={
+                            "kind": query.gallery.kind,
+                            "seed": query.gallery.seed,
+                            "applications": query.gallery.application_count,
+                        },
+                        strategy=query.strategy,
+                        model=query.model,
+                        objective=query.objective,
+                        seed=query.seed,
+                        slack=query.slack,
+                        targets=query.targets,
+                        mappings=list(query.mappings),
+                        weights=(
+                            list(query.weights)
+                            if query.weights is not None
+                            else None
+                        ),
+                        priority_levels=(
+                            list(query.priority_levels)
+                            if query.priority_levels is not None
+                            else None
+                        ),
+                        method=query.method.value,
+                        trace=trace_id,
+                    )
+            except (ServiceConnectionError, ConnectionError) as error:
                 last_error = str(error)
                 self._mark_down(shard)
                 continue

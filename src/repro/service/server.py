@@ -57,6 +57,7 @@ from repro.service.pool import EnginePool
 from repro.service.workers import DEFAULT_SPLIT_THRESHOLD, SolverPool
 from repro.service.protocol import (
     PROTOCOL_VERSION,
+    PlaceQuery,
     Query,
     decode_message,
     encode_message,
@@ -64,6 +65,7 @@ from repro.service.protocol import (
     ok_response,
     parse_estimate,
     parse_gallery,
+    parse_place,
     resolve_request_id,
     resolve_trace_id,
 )
@@ -387,6 +389,10 @@ class EstimationServer:
             get_backend(backend).name if backend is not None else None
         )
         self.stats = ServerStats(self.registry)
+        self._metric_place = self.registry.counter(
+            "repro_service_place_requests_total",
+            "Placement searches served",
+        )
         self._pending: Deque[_PendingQuery] = deque()
         self._arrival: Optional[asyncio.Event] = None
         self._stop: Optional[asyncio.Event] = None
@@ -646,6 +652,13 @@ class EstimationServer:
                         # and the server-side spans carrying the id.
                         result["trace"] = trace_id
                     response = ok_response(request_id, result)
+                elif op == "place":
+                    result = await self._place(
+                        parse_place(payload), trace_id
+                    )
+                    if trace_id is not None:
+                        result["trace"] = trace_id
+                    response = ok_response(request_id, result)
                 elif op == "stats":
                     response = ok_response(request_id, await self._stats())
                 elif op == "metrics":
@@ -668,7 +681,8 @@ class EstimationServer:
                 else:
                     raise ServiceError(
                         f"unknown op {op!r} (expected ping, estimate, "
-                        f"stats, metrics, invalidate or shutdown)"
+                        f"place, stats, metrics, invalidate or "
+                        f"shutdown)"
                     )
         except Exception as error:
             # Every request gets *an* answer — an unexpected exception
@@ -790,6 +804,55 @@ class EstimationServer:
             pool=await self._in_solver_thread(self.pool.snapshot),
             workers=workers,
         )
+
+    async def _place(
+        self, query: PlaceQuery, trace_id: Optional[str] = None
+    ) -> Dict[str, object]:
+        """The ``place`` op: a placement search over a named gallery.
+
+        Runs on the default executor with its own fresh analysis
+        engines — placement is a control-plane question (rare, heavier
+        than one estimate) and must not contend for the solver thread's
+        warm engine pool or block the event loop.  The search is
+        seeded and wall-clock-free, so the JSON it returns is
+        byte-identical to an in-process :func:`repro.search.place` call
+        with the same parameters — which also makes the op idempotent
+        and safe for router failover retries.
+        """
+        from repro.search import place as run_place
+
+        def _run() -> Dict[str, object]:
+            suite = query.gallery.build()
+            result = run_place(
+                list(suite.graphs),
+                platform=suite.platform,
+                targets=query.targets,
+                slack=query.slack,
+                strategy=query.strategy,
+                model=query.model,
+                method=query.method,
+                objective=query.objective,
+                seed=query.seed,
+                mappings=query.mappings,
+                weight_choices=query.weights,
+                priority_levels=query.priority_levels,
+            )
+            return result.to_json()
+
+        loop = asyncio.get_running_loop()
+        with self.tracer.span(
+            "service.place",
+            trace_id=trace_id,
+            gallery=query.gallery.label(),
+            strategy=query.strategy,
+        ):
+            placement = await loop.run_in_executor(None, _run)
+        self._metric_place.inc()
+        return {
+            "gallery": query.gallery.label(),
+            "strategy": query.strategy,
+            "placement": placement,
+        }
 
     async def _invalidate(self, spec: GallerySpec) -> Dict[str, object]:
         """Drop one gallery's cached answers and warm engines.

@@ -28,32 +28,19 @@ from __future__ import annotations
 from typing import Mapping, Optional, Sequence
 
 from repro.core.blocking import ActorProfile, ResidentVectors
+from repro.core.specs import parse_weight_argument
 from repro.exceptions import AnalysisError
 
 
 def parse_weights(argument: Optional[str]) -> "dict[str, int]":
-    """Parse a ``"A=2,B=1"`` weights specification (CLI model argument)."""
-    if argument is None or not argument.strip():
-        return {}
-    weights: "dict[str, int]" = {}
-    for part in argument.split(","):
-        part = part.strip()
-        if not part:
-            continue
-        if "=" not in part:
-            raise AnalysisError(
-                f"bad weight specification {part!r}; expected "
-                "APP=WEIGHT pairs, e.g. 'weighted_round_robin:A=2,B=1'"
-            )
-        app, _, raw = part.partition("=")
-        try:
-            weights[app.strip()] = int(raw)
-        except ValueError:
-            raise AnalysisError(
-                f"bad weight {raw!r} for application {app.strip()!r}; "
-                "weights are positive integers"
-            ) from None
-    return validate_weights(weights)
+    """Parse a ``"A=2,B=1"`` weights specification (CLI model argument).
+
+    The pair grammar itself lives in
+    :func:`repro.core.specs.parse_weight_argument` (shared with the
+    placement search's spec formatting); this wrapper applies the
+    positive-integer weight rule on top.
+    """
+    return validate_weights(parse_weight_argument(argument))
 
 
 def validate_weights(

@@ -267,3 +267,60 @@ class TestNewModelsEndToEnd:
         assert code == 1
         assert "registered waiting models" in captured.err
         assert "priority_preemptive" in captured.err
+
+
+class TestPlace:
+    def test_table_output_reports_feasibility(self, capsys):
+        out = run_cli(
+            capsys,
+            "place", "--suite", "3", "--slack", "4.5",
+            "--strategy", "greedy",
+        )
+        assert "Placement (greedy, total_period)" in out
+        assert "feasible" in out
+        assert "best: mapping=" in out
+
+    def test_json_output_is_a_placement_result(self, capsys):
+        out = run_cli(
+            capsys,
+            "place", "--suite", "3", "--slack", "4.5",
+            "--strategy", "exhaustive", "--json",
+        )
+        data = json.loads(out)
+        assert data["strategy"] == "exhaustive"
+        assert data["feasible"] is True
+        assert set(data["best"]["periods"]) == {"A", "B", "C"}
+
+    def test_seeded_run_is_deterministic(self, capsys):
+        argv = [
+            "place", "--suite", "3", "--slack", "4.5",
+            "--strategy", "local_search", "--seed", "11", "--json",
+        ]
+        first = run_cli(capsys, *argv)
+        second = run_cli(capsys, *argv)
+        assert first == second
+
+    def test_explicit_targets(self, capsys):
+        out = run_cli(
+            capsys,
+            "place", "--suite", "2",
+            "--target", "A=2000", "--target", "B=2000",
+        )
+        assert "feasible" in out
+
+    def test_bad_target_application_fails(self, capsys):
+        code = main(
+            ["place", "--suite", "2", "--target", "Zed=100"]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "target" in captured.err
+
+    def test_weights_none_disables_the_weight_axis(self, capsys):
+        out = run_cli(
+            capsys,
+            "place", "--suite", "2", "--slack", "4.5",
+            "--weights", "none", "--json",
+        )
+        data = json.loads(out)
+        assert data["space"]["size"] == 3  # mappings only

@@ -205,3 +205,44 @@ class TestReporting:
 
     def test_render_bar_chart_empty(self):
         assert render_bar_chart([], [], title="t") == "t"
+
+
+class TestPlacementFrontier:
+    def test_frontier_reveals_the_feasible_slack(self):
+        from repro.experiments.placement import run_placement_frontier
+
+        result = run_placement_frontier(
+            applications=3, slacks=(2.5, 4.5), strategies=("greedy",)
+        )
+        assert result.frontier_slack == 4.5
+        assert result.strategies_agree()
+        rendered = result.render()
+        assert "placement frontier" in rendered
+        assert "frontier slack: 4.5" in rendered
+
+    def test_strategies_agree_across_the_sweep(self):
+        from repro.experiments.placement import run_placement_frontier
+
+        result = run_placement_frontier(
+            applications=3,
+            slacks=(2.5, 4.5),
+            strategies=("exhaustive", "greedy"),
+        )
+        assert result.strategies_agree()
+        exhaustive = {
+            point.slack: point
+            for point in result.points
+            if point.strategy == "exhaustive"
+        }
+        # The exhaustive scan always covers the whole space.
+        assert all(
+            point.evaluated == point.space_size
+            for point in exhaustive.values()
+        )
+
+    def test_cli_entry_point(self, capsys):
+        from repro.experiments.placement import main
+
+        assert main(["--applications", "2", "--slacks", "4.5"]) == 0
+        out = capsys.readouterr().out
+        assert "frontier slack" in out

@@ -1,0 +1,232 @@
+"""The ``place`` service verb, end to end.
+
+The contract under test: a placement search served over the wire — by
+one :class:`~repro.service.server.EstimationServer` or through a
+router-fronted fleet of shards — returns a
+:class:`~repro.search.result.PlacementResult` JSON document that is
+*byte-identical* to the in-process :func:`repro.search.place` call
+with the same parameters.  Seeded determinism is what makes the verb
+idempotent, so the router may retry it on a surviving shard after a
+failure without changing the answer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.runtime.service import GallerySpec
+from repro.search import place
+from repro.service.client import ServiceClient
+from repro.service.router import ShardRouter
+from repro.service.server import EstimationServer
+
+GALLERY = {"kind": "paper", "seed": 2007, "applications": 4}
+SPEC = GallerySpec(kind="paper", seed=2007, application_count=4)
+
+PLACE_ARGS = dict(strategy="greedy", slack=4.5, seed=0)
+
+
+def canonical(payload) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def local_placement(**overrides) -> str:
+    """The in-process reference answer, canonically serialized."""
+    suite = SPEC.build()
+    kwargs = dict(
+        platform=suite.platform,
+        strategy="greedy",
+        model="wrr",
+        objective="total_period",
+        seed=0,
+        slack=4.5,
+        weight_choices=(1, 2),
+    )
+    kwargs.update(overrides)
+    return place(list(suite.graphs), **kwargs).to_json_str()
+
+
+def serve(coroutine_factory, **server_kwargs):
+    """Run one async scenario against a fresh TCP server."""
+
+    async def scenario():
+        server = EstimationServer(**server_kwargs)
+        host, port = await server.start()
+        try:
+            return await coroutine_factory(server, host, port)
+        finally:
+            await server.aclose()
+
+    return asyncio.run(scenario())
+
+
+def serve_fleet(coroutine_factory, shard_count=2):
+    """Run one async scenario against a router-fronted fleet."""
+
+    async def scenario():
+        shards = [EstimationServer() for _ in range(shard_count)]
+        addresses = [await shard.start() for shard in shards]
+        router = ShardRouter(addresses, health_interval=0.0)
+        host, port = await router.start()
+        try:
+            return await coroutine_factory(router, shards, host, port)
+        finally:
+            await router.aclose()
+            for shard in shards:
+                await shard.aclose()
+
+    return asyncio.run(scenario())
+
+
+class TestPlaceVerb:
+    def test_server_placement_is_byte_identical_to_in_process(self):
+        async def scenario(server, host, port):
+            client = await ServiceClient.connect(host, port)
+            try:
+                return await client.place(gallery=GALLERY, **PLACE_ARGS)
+            finally:
+                await client.aclose()
+
+        result = serve(scenario)
+        assert result["gallery"] == "paper:2007:4"
+        assert result["strategy"] == "greedy"
+        assert canonical(result["placement"]) == local_placement()
+
+    def test_every_strategy_round_trips(self):
+        async def scenario(server, host, port):
+            client = await ServiceClient.connect(host, port)
+            try:
+                answers = {}
+                for strategy in ("exhaustive", "greedy", "local_search"):
+                    answers[strategy] = await client.place(
+                        gallery=GALLERY, strategy=strategy, slack=4.5, seed=7
+                    )
+                return answers
+            finally:
+                await client.aclose()
+
+        answers = serve(scenario)
+        for strategy, result in answers.items():
+            expected = local_placement(strategy=strategy, seed=7)
+            assert canonical(result["placement"]) == expected
+            assert result["placement"]["feasible"] is True
+
+    def test_place_counts_in_server_metrics(self):
+        async def scenario(server, host, port):
+            client = await ServiceClient.connect(host, port)
+            try:
+                await client.place(gallery=GALLERY, **PLACE_ARGS)
+                return await client.metrics()
+            finally:
+                await client.aclose()
+
+        metrics = serve(scenario)
+        assert "repro_service_place_requests_total 1" in metrics["exposition"]
+
+    def test_trace_id_is_echoed(self):
+        async def scenario(server, host, port):
+            client = await ServiceClient.connect(host, port)
+            try:
+                return await client.place(
+                    gallery=GALLERY, trace="trace-9", **PLACE_ARGS
+                )
+            finally:
+                await client.aclose()
+
+        result = serve(scenario)
+        assert result["trace"] == "trace-9"
+
+    @pytest.mark.parametrize(
+        "overrides, fragment",
+        [
+            ({"strategy": "annealing"}, "strategy"),
+            ({"objective": "latency"}, "objective"),
+            ({"model": "wrr:Z=2"}, "waiting model"),
+            ({"targets": {"Zed": 100.0}}, "target"),
+            ({"mappings": ["zigzag"]}, "mapping"),
+            ({"slack": 1.0}, "slack"),
+            ({"method": "psychic"}, "method"),
+        ],
+    )
+    def test_invalid_queries_fail_at_the_edge(self, overrides, fragment):
+        async def scenario(server, host, port):
+            client = await ServiceClient.connect(host, port)
+            try:
+                kwargs = dict(PLACE_ARGS)
+                kwargs.update(overrides)
+                with pytest.raises(ServiceError, match=fragment):
+                    await client.place(gallery=GALLERY, **kwargs)
+                # The connection survives a rejected request.
+                return await client.ping()
+            finally:
+                await client.aclose()
+
+        assert serve(scenario)["pong"] is True
+
+
+class TestPlaceThroughRouter:
+    def test_routed_placement_is_byte_identical_to_in_process(self):
+        """The acceptance round-trip: router -> 2 shards -> byte parity."""
+
+        async def scenario(router, shards, host, port):
+            client = await ServiceClient.connect(host, port)
+            try:
+                return await client.place(gallery=GALLERY, **PLACE_ARGS)
+            finally:
+                await client.aclose()
+
+        result = serve_fleet(scenario, shard_count=2)
+        assert canonical(result["placement"]) == local_placement()
+        assert result["shard"]  # stamped by the router
+
+    def test_placements_follow_gallery_affinity(self):
+        async def scenario(router, shards, host, port):
+            client = await ServiceClient.connect(host, port)
+            try:
+                first = await client.place(gallery=GALLERY, **PLACE_ARGS)
+                second = await client.place(gallery=GALLERY, **PLACE_ARGS)
+                return first, second
+            finally:
+                await client.aclose()
+
+        first, second = serve_fleet(scenario, shard_count=3)
+        assert first["shard"] == second["shard"]
+
+    def test_failover_reruns_the_search_on_a_survivor(self):
+        """Kill the home shard; the verb is idempotent, so the retry on
+        a surviving shard must return the identical document."""
+
+        async def scenario(router, shards, host, port):
+            client = await ServiceClient.connect(host, port)
+            try:
+                before = await client.place(gallery=GALLERY, **PLACE_ARGS)
+                home = before["shard"]
+                for shard in shards:
+                    if "%s:%s" % shard.address == home:
+                        await shard.aclose()
+                after = await client.place(gallery=GALLERY, **PLACE_ARGS)
+                return before, after
+            finally:
+                await client.aclose()
+
+        before, after = serve_fleet(scenario, shard_count=2)
+        assert after["shard"] != before["shard"]
+        assert canonical(after["placement"]) == canonical(before["placement"])
+        assert canonical(after["placement"]) == local_placement()
+
+    def test_router_rejects_invalid_queries_before_forwarding(self):
+        async def scenario(router, shards, host, port):
+            client = await ServiceClient.connect(host, port)
+            try:
+                with pytest.raises(ServiceError, match="strategy"):
+                    await client.place(gallery=GALLERY, strategy="annealing")
+                return [shard.snapshot() for shard in shards]
+            finally:
+                await client.aclose()
+
+        snapshots = serve_fleet(scenario, shard_count=2)
+        assert all(snapshot["requests"] == 0 for snapshot in snapshots)
