@@ -24,7 +24,13 @@ import time
 
 import pytest
 
-from conftest import MIN_SPEEDUP, MIN_SPEEDUP_POOL, SMOKE, report
+from conftest import (
+    MIN_SPEEDUP,
+    MIN_SPEEDUP_POOL,
+    MIN_SPEEDUP_ROUTER_BATCH,
+    SMOKE,
+    report,
+)
 from repro.core.estimator import ProbabilisticEstimator
 from repro.experiments.reporting import render_table
 from repro.experiments.setup import paper_benchmark_suite
@@ -429,3 +435,79 @@ def test_service_fleet_load(benchmark):
     benchmark.extra_info["fleet_qps"] = round(load.queries_per_second)
     benchmark.extra_info["fleet_p99_ms"] = round(load.latency_p99_ms, 2)
     report("service_fleet_load", load.render())
+
+
+def test_router_batching_speedup(benchmark):
+    """Router micro-batching >= 1.3x fleet qps on the fan-in storm.
+
+    Many logical clients multiplexed over a few sockets hammer a small
+    gallery set — the pattern where per-query shard hops drown the
+    fleet in framing and scheduling.  The batched run coalesces those
+    hops into one ``estimate_batch`` frame per shard per window; same
+    storm, same seed, so the ratio isolates what the router batcher
+    buys."""
+    from repro.experiments.service_load import LoadConfig, run_load
+
+    def storm(window: float):
+        return run_load(
+            LoadConfig(
+                clients=_smoke_or_full(256, 64),
+                queries_per_client=_smoke_or_full(4, 2),
+                connections=8,
+                shards=2,
+                arrival="bursty",
+                mean_interarrival_ms=0.5,
+                gallery=GallerySpec(application_count=4),
+                router_batch_window=window,
+                backend="numpy",
+            )
+        )
+
+    def run():
+        return storm(0.0), storm(0.002)
+
+    unbatched, batched = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert unbatched.errors == 0
+    assert batched.errors == 0
+    assert batched.queries == unbatched.queries
+    assert batched.router is not None
+    assert batched.router["batches"] >= 1
+    speedup = batched.queries_per_second / unbatched.queries_per_second
+    p99_reduction = 1.0 - batched.latency_p99_ms / unbatched.latency_p99_ms
+    assert speedup >= MIN_SPEEDUP_ROUTER_BATCH, (
+        f"router batching speedup {speedup:.2f}x below "
+        f"{MIN_SPEEDUP_ROUTER_BATCH}x "
+        f"(unbatched {unbatched.queries_per_second:.0f} qps, "
+        f"batched {batched.queries_per_second:.0f} qps)"
+    )
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    benchmark.extra_info["p99_reduction"] = round(p99_reduction, 3)
+    report(
+        "service_router_batching",
+        render_table(
+            ["quantity", "unbatched", "batched"],
+            [
+                ["queries", unbatched.queries, batched.queries],
+                [
+                    "queries/sec",
+                    f"{unbatched.queries_per_second:.0f}",
+                    f"{batched.queries_per_second:.0f}",
+                ],
+                [
+                    "p99 latency",
+                    f"{unbatched.latency_p99_ms:.2f} ms",
+                    f"{batched.latency_p99_ms:.2f} ms",
+                ],
+                [
+                    "router hops",
+                    unbatched.router["forwarded"],
+                    batched.router["forwarded"],
+                ],
+                ["router batches", 0, batched.router["batches"]],
+            ],
+            title=(
+                f"Router micro-batching - fan-in storm, 2 shards, "
+                f"{speedup:.2f}x qps, p99 -{p99_reduction:.0%}"
+            ),
+        ),
+    )

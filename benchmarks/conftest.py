@@ -40,6 +40,14 @@ MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "3.0"))
 #: overrides — shared 2-vCPU runners cannot promise real parallelism.
 MIN_SPEEDUP_POOL = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP_POOL", "2.0"))
 
+#: Router micro-batching bar: coalescing same-gallery queries into one
+#: framed ``estimate_batch`` per shard hop must lift fleet throughput
+#: by this factor on the fan-in storm.  1.3x locally (the acceptance
+#: target); CI overrides for shared-runner noise.
+MIN_SPEEDUP_ROUTER_BATCH = float(
+    os.environ.get("REPRO_BENCH_MIN_SPEEDUP_ROUTER_BATCH", "1.3")
+)
+
 #: CI smoke mode: one fast case per bench file on a scaled-down setup.
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
 

@@ -75,7 +75,11 @@ from typing import Callable, Dict, Optional, Sequence
 #: 5: ``search`` section — placement-search exhaustive-scan timings:
 #:    batched candidate evaluation vs the per-candidate scalar
 #:    baseline, plus the greedy walk's evaluated-candidate count.
-SCHEMA_VERSION = 5
+#: 6: ``fleet.router_batching`` — the same fan-in storm through the
+#:    router with micro-batching off vs. on (one framed
+#:    ``estimate_batch`` per shard hop), recording qps / p99 for both
+#:    runs plus the speedup and p99 reduction.
+SCHEMA_VERSION = 6
 
 
 def _measure_sweeps(fast: bool) -> Dict[str, object]:
@@ -303,6 +307,32 @@ def _measure_fleet(fast: bool) -> Dict[str, object]:
             gallery=GallerySpec(application_count=4 if fast else 8),
         )
     )
+    # PR 10: the router micro-batcher on the fan-in pattern it was
+    # built for — many logical clients over a few sockets hammering a
+    # small gallery set, so same-gallery queries coalesce into one
+    # framed ``estimate_batch`` per shard hop.  Off vs. on, same storm.
+    def fan_in(window: float):
+        report = run_load(
+            LoadConfig(
+                clients=64 if fast else 256,
+                queries_per_client=2 if fast else 4,
+                connections=8,
+                shards=2,
+                arrival="bursty",
+                mean_interarrival_ms=0.5,
+                gallery=GallerySpec(application_count=4),
+                router_batch_window=window,
+            )
+        )
+        return {
+            "queries_per_second": round(report.queries_per_second, 1),
+            "latency_p99_ms": round(report.latency_p99_ms, 3),
+            "errors": report.errors,
+        }
+
+    window = 0.002
+    unbatched = fan_in(0.0)
+    batched = fan_in(window)
     return {
         "shards": load.shards,
         "solver_workers_per_shard": load.workers,
@@ -317,6 +347,21 @@ def _measure_fleet(fast: bool) -> Dict[str, object]:
         "errors": load.errors,
         "shed": load.shed,
         "router_retries": load.retries,
+        "router_batching": {
+            "batch_window_ms": window * 1e3,
+            "unbatched": unbatched,
+            "batched": batched,
+            "qps_speedup": round(
+                batched["queries_per_second"]
+                / unbatched["queries_per_second"],
+                3,
+            ),
+            "p99_reduction": round(
+                1.0
+                - batched["latency_p99_ms"] / unbatched["latency_p99_ms"],
+                3,
+            ),
+        },
     }
 
 

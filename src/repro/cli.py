@@ -515,6 +515,50 @@ def _build_parser() -> argparse.ArgumentParser:
             "GET /metrics on this port (0 = ephemeral)"
         ),
     )
+    route.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help=(
+            "router micro-batching: linger this long so same-gallery "
+            "estimates from different client connections coalesce "
+            "into one framed estimate_batch per shard hop (0 = off, "
+            "forward query-by-query)"
+        ),
+    )
+    route.add_argument(
+        "--replication",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "replicate each freshly solved answer to the next N "
+            "shards in ring order so shard death fails over to a "
+            "warm replica instead of a cold re-solve (0 = off)"
+        ),
+    )
+    route.add_argument(
+        "--handoff-limit",
+        type=int,
+        default=256,
+        metavar="N",
+        help=(
+            "cached entries handed off per gallery when a shard "
+            "joins or leaves the ring"
+        ),
+    )
+    route.add_argument(
+        "--shards-file",
+        default=None,
+        metavar="PATH",
+        help=(
+            "membership file (one host:port per line, # comments); "
+            "SIGHUP re-reads it and joins/leaves shards so the fleet "
+            "reshapes without restarting the router (admin join/leave "
+            "protocol verbs work too)"
+        ),
+    )
     route.set_defaults(handler=_cmd_route)
 
     metrics = commands.add_parser(
@@ -1154,17 +1198,67 @@ def _cmd_serve(arguments) -> None:
 
 def _cmd_route(arguments) -> None:
     import asyncio
+    import signal
 
     from repro.service.router import ShardRouter, parse_shard_address
     from repro.telemetry import start_metrics_endpoint
 
+    def _read_shards_file(path: str):
+        with open(path, "r", encoding="utf-8") as handle:
+            return [
+                parse_shard_address(line.strip())
+                for line in handle
+                if line.strip() and not line.strip().startswith("#")
+            ]
+
+    async def _reload_membership(router: "ShardRouter", path: str) -> None:
+        """SIGHUP: converge the live ring onto the membership file."""
+        try:
+            desired = {f"{host}:{port}": (host, port)
+                       for host, port in _read_shards_file(path)}
+        except Exception as error:
+            print(f"membership reload failed: {error}", flush=True)
+            return
+        current = set(router.shard_health())
+        for name in sorted(current - set(desired)):
+            try:
+                summary = await router.leave(name)
+                print(f"left shard {name}: {summary}", flush=True)
+            except Exception as error:
+                print(f"leave {name} failed: {error}", flush=True)
+        for name in sorted(set(desired) - current):
+            try:
+                summary = await router.join(desired[name])
+                print(f"joined shard {name}: {summary}", flush=True)
+            except Exception as error:
+                print(f"join {name} failed: {error}", flush=True)
+
     async def _route() -> None:
+        shards = [parse_shard_address(shard) for shard in arguments.shards]
         router = ShardRouter(
-            [parse_shard_address(shard) for shard in arguments.shards],
+            shards,
             health_interval=arguments.health_interval,
             max_retries=arguments.max_retries,
+            batch_window=arguments.batch_window,
+            replication=arguments.replication,
+            handoff_limit=arguments.handoff_limit,
         )
         metrics_server = None
+        if arguments.shards_file is not None:
+            loop = asyncio.get_running_loop()
+            try:
+                loop.add_signal_handler(
+                    signal.SIGHUP,
+                    lambda: loop.create_task(
+                        _reload_membership(router, arguments.shards_file)
+                    ),
+                )
+            except (NotImplementedError, RuntimeError):
+                print(
+                    "SIGHUP reload unavailable on this platform; "
+                    "use the join/leave protocol verbs",
+                    flush=True,
+                )
         try:
             if arguments.metrics_port is not None:
                 metrics_server, (mhost, mport) = await start_metrics_endpoint(

@@ -103,6 +103,9 @@ class LoadConfig:
     backend: Optional[str] = None
     shards: int = 1
     solver_workers: int = 0
+    router_batch_window: float = 0.0
+    replication: int = 1
+    churn: bool = False
     connections: Optional[int] = None
     arrival: str = "closed"
     mean_interarrival_ms: float = 2.0
@@ -132,6 +135,19 @@ class LoadConfig:
         if self.connections is not None and self.connections < 1:
             raise ExperimentError(
                 f"connections must be >= 1, got {self.connections}"
+            )
+        if self.router_batch_window < 0:
+            raise ExperimentError(
+                f"router_batch_window must be >= 0, "
+                f"got {self.router_batch_window}"
+            )
+        if self.replication < 0:
+            raise ExperimentError(
+                f"replication must be >= 0, got {self.replication}"
+            )
+        if self.churn and self.shards < 2:
+            raise ExperimentError(
+                "churn needs a fleet: shards must be >= 2"
             )
         if self.arrival not in ARRIVALS:
             raise ExperimentError(
@@ -176,6 +192,7 @@ class LoadReport:
     workers: int = 0
     retries: int = 0
     router: Optional[Dict[str, object]] = None
+    churn_events: List[Dict[str, object]] = field(default_factory=list)
 
     def render(self) -> str:
         rows = [
@@ -202,6 +219,16 @@ class LoadReport:
                     ["router retries", self.retries],
                 ]
             )
+        if self.router is not None:
+            rows.extend(
+                [
+                    ["router batches", self.router.get("batches", 0)],
+                    ["replications", self.router.get("replications", 0)],
+                    ["stale risk", self.router.get("stale_risk", 0)],
+                ]
+            )
+        if self.churn_events:
+            rows.append(["churn events", len(self.churn_events)])
         return render_table(
             ["metric", "value"],
             rows,
@@ -236,6 +263,7 @@ class LoadReport:
             "degraded": self.degraded,
             "retries": self.retries,
             "router": self.router,
+            "churn_events": self.churn_events,
         }
 
 
@@ -327,6 +355,62 @@ async def _run_client(
             errors.append(str(error))
             continue
         latency.observe(_time.perf_counter() - started)
+
+
+async def _run_churn(
+    config: LoadConfig,
+    router_address: Tuple[str, int],
+    spare_address: Tuple[str, int],
+    victim: "EstimationServer",
+    victim_name: str,
+    events: List[Dict[str, object]],
+) -> None:
+    """Drive elasticity churn through the router *while load runs*.
+
+    The sequence is the fleet's worst day compressed: a shard joins
+    (warm hand-off), the gallery is invalidated, a shard dies without
+    warning (tests replication failover and the queued-invalidation
+    replay), then the corpse is administratively retired.  The load
+    clients must observe none of it beyond latency.
+    """
+    admin = await ServiceClient.connect(*router_address)
+    clock = _time.perf_counter()
+
+    def stamp(event: str, **extra: object) -> None:
+        events.append(
+            dict(
+                {
+                    "event": event,
+                    "at_ms": (_time.perf_counter() - clock) * 1e3,
+                },
+                **extra,
+            )
+        )
+
+    gallery = {
+        "kind": config.gallery.kind,
+        "seed": config.gallery.seed,
+        "applications": config.gallery.application_count,
+    }
+    try:
+        await asyncio.sleep(0.05)
+        joined = await admin.join(f"{spare_address[0]}:{spare_address[1]}")
+        stamp(
+            "join",
+            shard=joined.get("shard"),
+            handoff=joined.get("handoff"),
+        )
+        await asyncio.sleep(0.05)
+        await admin.invalidate(gallery)
+        stamp("invalidate", gallery=config.gallery.label())
+        await asyncio.sleep(0.05)
+        await victim.aclose()  # unannounced death, not a graceful leave
+        stamp("kill", shard=victim_name)
+        await asyncio.sleep(0.1)
+        left = await admin.leave(victim_name)
+        stamp("leave", shard=victim_name, handoff=left.get("handoff"))
+    finally:
+        await admin.aclose()
 
 
 async def _scrape_http(host: str, port: int) -> str:
@@ -429,11 +513,32 @@ async def _run(config: LoadConfig) -> LoadReport:
             )
         )
     addresses = [await server.start() for server in servers]
+    # Churn runs need a spare shard standing by to join mid-load; it is
+    # started but *not* handed to the router at construction.
+    spare_address: Optional[Tuple[str, int]] = None
+    if config.churn:
+        spare_registry = MetricsRegistry(enabled=True)
+        spare = EstimationServer(
+            pool=EnginePool(backend=config.backend, registry=spare_registry),
+            cache=ResultCache(config.cache_entries, registry=spare_registry),
+            batch_window=config.batch_window,
+            max_batch=config.max_batch,
+            max_pending=config.max_pending,
+            shed_policy=config.shed_policy,
+            backend=config.backend,
+            solver_workers=config.solver_workers,
+            registry=spare_registry,
+            tracer=tracer,
+        )
+        servers.append(spare)
+        spare_address = await spare.start()
     router: Optional[ShardRouter] = None
     if fleet:
         router = ShardRouter(
             addresses,
             health_interval=0.25,
+            batch_window=config.router_batch_window,
+            replication=config.replication,
             registry=registry,
             tracer=tracer,
         )
@@ -461,18 +566,32 @@ async def _run(config: LoadConfig) -> LoadReport:
             for _ in range(connection_count)
         ]
         started = _time.perf_counter()
-        await asyncio.gather(
-            *[
-                _run_client(
+        churn_events: List[Dict[str, object]] = []
+        tasks = [
+            _run_client(
+                config,
+                connections[index % connection_count],
+                index,
+                latency,
+                errors,
+            )
+            for index in range(config.clients)
+        ]
+        if config.churn:
+            assert router is not None and router.address is not None
+            assert spare_address is not None
+            victim_address = addresses[0]
+            tasks.append(
+                _run_churn(
                     config,
-                    connections[index % connection_count],
-                    index,
-                    latency,
-                    errors,
+                    router.address,
+                    spare_address,
+                    servers[0],
+                    f"{victim_address[0]}:{victim_address[1]}",
+                    churn_events,
                 )
-                for index in range(config.clients)
-            ]
-        )
+            )
+        await asyncio.gather(*tasks)
         elapsed = _time.perf_counter() - started
         if metrics_server is not None:
             scraped = await _scrape_http(*metrics_address)
@@ -532,6 +651,7 @@ async def _run(config: LoadConfig) -> LoadReport:
             else 0
         ),
         router=router_stats,
+        churn_events=churn_events,
     )
 
 
@@ -571,6 +691,36 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         type=int,
         default=0,
         help="solver worker processes per shard (0 = solver thread)",
+    )
+    parser.add_argument(
+        "--router-batch-window",
+        type=float,
+        default=0.0,
+        metavar="MS",
+        help=(
+            "router micro-batching window: coalesce same-gallery "
+            "queries across connections into one framed hop per shard "
+            "(0 = off, forward query-by-query)"
+        ),
+    )
+    parser.add_argument(
+        "--replication",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "ring-successor shards each fresh answer replicates to "
+            "(0 = off; fleet runs only)"
+        ),
+    )
+    parser.add_argument(
+        "--churn",
+        action="store_true",
+        help=(
+            "drive elasticity churn mid-load: join a spare shard, "
+            "invalidate the gallery, kill a shard, retire the corpse "
+            "(needs --shards >= 2)"
+        ),
     )
     parser.add_argument(
         "--connections",
@@ -649,6 +799,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             backend=arguments.backend,
             shards=arguments.shards,
             solver_workers=arguments.workers,
+            router_batch_window=arguments.router_batch_window / 1e3,
+            replication=arguments.replication,
+            churn=arguments.churn,
             connections=arguments.connections,
             arrival=arguments.arrival,
             mean_interarrival_ms=arguments.mean_interarrival,

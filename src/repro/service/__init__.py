@@ -29,6 +29,7 @@ from repro.service.protocol import (
     decode_message,
     encode_message,
     parse_estimate,
+    parse_estimate_batch,
     parse_gallery,
 )
 from repro.service.router import ShardRouter, parse_shard_address
@@ -56,6 +57,7 @@ __all__ = [
     "encode_message",
     "estimate_once",
     "parse_estimate",
+    "parse_estimate_batch",
     "parse_gallery",
     "parse_shard_address",
     "stable_hash",

@@ -6,13 +6,19 @@ so a cached service answer names exactly what a sweep-store line names.
 Unlike the store this cache is bounded and invalidatable: a gallery
 whose graphs or quality ladders changed can be dropped wholesale while
 every other gallery's entries stay warm.
+
+The cache is also the unit of fleet *mobility*: one gallery's entries
+can be exported as ``(key, payload)`` pairs and imported into another
+shard's cache — the router's live-resharding hand-off and cross-shard
+replication both move warm answers this way (the ``cache_export`` /
+``cache_import`` protocol ops).
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.exceptions import ServiceError
 from repro.telemetry import MetricsRegistry, get_registry
@@ -27,6 +33,7 @@ class CacheStats:
     misses: int = 0
     evictions: int = 0
     invalidations: int = 0
+    imports: int = 0
 
 
 class ResultCache:
@@ -64,6 +71,11 @@ class ResultCache:
             "repro_result_cache_invalidations_total",
             "Cached results dropped by gallery invalidation",
         )
+        self._metric_imports = registry.counter(
+            "repro_result_cache_imports_total",
+            "Cached results imported from another shard "
+            "(resharding hand-off or replication)",
+        )
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -98,12 +110,55 @@ class ResultCache:
         self._metric_invalidations.inc(len(stale))
         return len(stale)
 
+    # -- fleet mobility -------------------------------------------------
+    def gallery_labels(self) -> List[str]:
+        """Every gallery with at least one cached answer (sorted)."""
+        return sorted({key[0] for key in self._entries})
+
+    def export_gallery(
+        self, gallery_label: str, limit: Optional[int] = None
+    ) -> List[Tuple[CacheKey, Dict[str, object]]]:
+        """One gallery's entries as portable ``(key, payload)`` pairs.
+
+        Most-recently-used entries first, so a bounded hand-off ships
+        the answers most likely to be asked again.  Export does not
+        touch LRU order — a resharding sweep must not look like a
+        client storm to the eviction policy.
+        """
+        pairs = [
+            (key, value)
+            for key, value in reversed(self._entries.items())
+            if key[0] == gallery_label
+        ]
+        return pairs if limit is None else pairs[:limit]
+
+    def import_entries(
+        self, entries: "Sequence[Tuple[CacheKey, Dict[str, object]]]"
+    ) -> int:
+        """Install exported entries (hand-off or replication target).
+
+        Returns how many were stored; a disabled cache
+        (``max_entries=0``) imports nothing and reports zero, so the
+        caller can tell a hand-off landed on a cache-less shard.
+        """
+        stored = 0
+        for key, payload in entries:
+            if self.max_entries == 0:
+                break
+            self.put(tuple(key), dict(payload))
+            stored += 1
+        self.stats.imports += stored
+        self._metric_imports.inc(stored)
+        return stored
+
     def snapshot(self) -> Dict[str, object]:
         return {
             "entries": len(self._entries),
             "max_entries": self.max_entries,
+            "galleries": self.gallery_labels(),
             "hits": self.stats.hits,
             "misses": self.stats.misses,
             "evictions": self.stats.evictions,
             "invalidations": self.stats.invalidations,
+            "imports": self.stats.imports,
         }

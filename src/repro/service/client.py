@@ -173,6 +173,66 @@ class ServiceClient:
             payload["trace"] = trace
         return await self._call(payload)
 
+    async def estimate_batch(
+        self,
+        use_cases: Sequence[Sequence[str]],
+        gallery: Optional[Dict[str, object]] = None,
+        model: str = "second_order",
+        method: str = "mcr",
+        trace: Optional[str] = None,
+    ) -> Dict[str, object]:
+        """Ask one gallery several use-case questions in one framed
+        message; the result's ``results`` list answers them in order
+        (failed members carry ``{"error": ...}`` in their slot).
+
+        This is the shard hop of the router's micro-batcher — one
+        message per batch instead of one per question.
+        """
+        payload: Dict[str, object] = {
+            "op": "estimate_batch",
+            "gallery": dict(gallery) if gallery else {},
+            "use_cases": [list(use_case) for use_case in use_cases],
+            "model": model,
+            "method": method,
+        }
+        if trace is not None:
+            payload["trace"] = trace
+        return await self._call(payload)
+
+    async def cache_export(
+        self,
+        galleries: Optional[Sequence[str]] = None,
+        limit: Optional[int] = None,
+    ) -> Dict[str, object]:
+        """The server's portable cached answers: every cached gallery
+        label plus ``entries`` for the requested galleries (``None``
+        exports everything, ``limit`` bounds entries per gallery)."""
+        payload: Dict[str, object] = {"op": "cache_export"}
+        if galleries is not None:
+            payload["galleries"] = list(galleries)
+        if limit is not None:
+            payload["limit"] = limit
+        return await self._call(payload)
+
+    async def cache_import(
+        self, entries: Sequence[object]
+    ) -> Dict[str, object]:
+        """Install exported ``[key, payload]`` entries into the
+        server's result cache (hand-off / replication target side)."""
+        return await self._call(
+            {"op": "cache_import", "entries": list(entries)}
+        )
+
+    async def join(self, shard: str) -> Dict[str, object]:
+        """Router admin: add a shard (``host:port``) to the live ring,
+        warmed by a hand-off of the key space it now owns."""
+        return await self._call({"op": "join", "shard": shard})
+
+    async def leave(self, shard: str) -> Dict[str, object]:
+        """Router admin: gracefully retire a shard — its cached
+        answers hand off to the survivors before it leaves the ring."""
+        return await self._call({"op": "leave", "shard": shard})
+
     async def stats(self) -> Dict[str, object]:
         return await self._call({"op": "stats"})
 

@@ -93,6 +93,21 @@ class HashRing:
             index = bisect.bisect_left(self._points, point)
             del self._points[index]
 
+    def with_node(self, node: str) -> "HashRing":
+        """A *preview* ring: this ring's nodes plus ``node``.
+
+        The join protocol plans its hand-off against the preview —
+        the keys the joiner will own are exactly those whose
+        ``node_for`` answer changes between ``self`` and the preview —
+        without mutating the live ring the router is still serving
+        lookups from.
+        """
+        preview = HashRing(replicas=self.replicas)
+        for existing in self._nodes:
+            preview.add(existing)
+        preview.add(node)
+        return preview
+
     def node_for(self, key: str) -> str:
         """The node owning ``key`` — stable until that node leaves."""
         if not self._points:

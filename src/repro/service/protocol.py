@@ -22,6 +22,22 @@ Requests::
     {"id": 7, "op": "place", "gallery": {...}, "strategy": "greedy",
      "model": "wrr", "objective": "total_period", "seed": 0,
      "slack": 4.5}
+    {"id": 8, "op": "estimate_batch", "gallery": {...},
+     "use_cases": [["A0"], ["A0", "A3"]], "model": "second_order",
+     "method": "mcr"}
+    {"id": 9, "op": "cache_export", "galleries": ["paper:2007:8"],
+     "limit": 256}
+    {"id": 10, "op": "cache_import", "entries": [[[...key...],
+     {...payload...}], ...]}
+
+``estimate_batch`` asks one gallery several use-case questions in a
+single framed message — the router's micro-batcher coalesces same-
+gallery queries from many client connections into one of these per
+shard hop.  ``cache_export``/``cache_import`` move warm cached answers
+between shards: the resharding hand-off that warms a joining shard and
+the ring-neighbour replication that survives a shard death both ride
+on them.  The router additionally understands ``join``/``leave`` admin
+verbs (``{"op": "join", "shard": "host:port"}``) for live resharding.
 
 Requests may carry an optional ``trace`` field (an opaque string or
 integer): the server stamps it on every span the request produces and
@@ -38,7 +54,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.registry import validate_model_spec
 from repro.exceptions import ServiceError
@@ -48,7 +64,9 @@ from repro.runtime.service import GallerySpec, ResultStore
 from repro.sdf.analysis import AnalysisMethod
 
 #: Protocol revision, reported by ``ping`` and ``stats``.
-PROTOCOL_VERSION = 1
+#: 2: ``estimate_batch``, ``cache_export``/``cache_import`` and the
+#: router's ``join``/``leave`` elasticity verbs.
+PROTOCOL_VERSION = 2
 
 #: Upper bound on one encoded message; a malformed client that streams
 #: an unterminated line must not grow the server's buffer unboundedly.
@@ -58,12 +76,22 @@ MAX_MESSAGE_BYTES = 1 << 20
 OPERATIONS: Tuple[str, ...] = (
     "ping",
     "estimate",
+    "estimate_batch",
     "place",
     "stats",
     "metrics",
     "invalidate",
+    "cache_export",
+    "cache_import",
     "shutdown",
 )
+
+#: Router-only admin verbs (live resharding), on top of OPERATIONS.
+ROUTER_OPERATIONS: Tuple[str, ...] = ("join", "leave")
+
+#: Upper bound on use-cases one ``estimate_batch`` message may carry —
+#: a framed batch must stay well inside ``MAX_MESSAGE_BYTES``.
+MAX_BATCH_USE_CASES = 1024
 
 #: Bound on the optional request-scoped ``trace`` id; it travels through
 #: span records and exporter output, so a hostile client must not be able
@@ -155,10 +183,9 @@ class Query:
         )
 
 
-def parse_estimate(payload: Dict[str, object]) -> Query:
-    """Validate an ``estimate`` payload into a :class:`Query`."""
-    gallery = parse_gallery(payload.get("gallery"))
-    raw_use_case = payload.get("use_case")
+def _parse_use_case(raw_use_case: object, gallery: GallerySpec) -> UseCase:
+    """One validated use-case of ``gallery`` (shared by both estimate
+    spellings, so single and batched queries reject identically)."""
     if not isinstance(raw_use_case, (list, tuple)) or not raw_use_case:
         raise ServiceError(
             "estimate needs a non-empty 'use_case' list of "
@@ -172,6 +199,15 @@ def parse_estimate(payload: Dict[str, object]) -> Query:
             f"use-case references applications {unknown!r} outside "
             f"gallery {gallery.label()!r}"
         )
+    try:
+        return UseCase(names)
+    except Exception as error:
+        raise ServiceError(f"bad use-case: {error}") from None
+
+
+def _parse_model_and_method(
+    payload: Dict[str, object], gallery: GallerySpec
+) -> Tuple[str, AnalysisMethod]:
     model = str(payload.get("model", "second_order"))
     try:
         # One registry round-trip covers unknown names (the error
@@ -191,11 +227,105 @@ def parse_estimate(payload: Dict[str, object]) -> Query:
             f"unknown analysis method {method_value!r} "
             f"(choose from {choices})"
         ) from None
-    try:
-        use_case = UseCase(names)
-    except Exception as error:
-        raise ServiceError(f"bad use-case: {error}") from None
+    return model, method
+
+
+def parse_estimate(payload: Dict[str, object]) -> Query:
+    """Validate an ``estimate`` payload into a :class:`Query`."""
+    gallery = parse_gallery(payload.get("gallery"))
+    use_case = _parse_use_case(payload.get("use_case"), gallery)
+    model, method = _parse_model_and_method(payload, gallery)
     return Query(gallery=gallery, use_case=use_case, model=model, method=method)
+
+
+def parse_estimate_batch(payload: Dict[str, object]) -> List[Query]:
+    """Validate an ``estimate_batch`` payload into its queries.
+
+    One gallery, model and method; several use-cases, answered in
+    request order.  This is the router micro-batcher's framing: many
+    client questions, one message per shard hop.
+    """
+    gallery = parse_gallery(payload.get("gallery"))
+    raw_use_cases = payload.get("use_cases")
+    if not isinstance(raw_use_cases, (list, tuple)) or not raw_use_cases:
+        raise ServiceError(
+            "estimate_batch needs a non-empty 'use_cases' list of "
+            "use-case lists"
+        )
+    if len(raw_use_cases) > MAX_BATCH_USE_CASES:
+        raise ServiceError(
+            f"estimate_batch carries {len(raw_use_cases)} use-cases, "
+            f"more than the protocol bound of {MAX_BATCH_USE_CASES}"
+        )
+    model, method = _parse_model_and_method(payload, gallery)
+    return [
+        Query(
+            gallery=gallery,
+            use_case=_parse_use_case(raw, gallery),
+            model=model,
+            method=method,
+        )
+        for raw in raw_use_cases
+    ]
+
+
+def parse_cache_entries(
+    payload: Dict[str, object],
+) -> List[Tuple[Tuple[str, str, str, str], Dict[str, object]]]:
+    """Validate a ``cache_import`` payload's ``entries`` list.
+
+    Each entry is ``[key, payload]`` with a 4-element string key (the
+    :class:`~repro.runtime.service.ResultStore` convention) and a JSON
+    object payload — exactly what ``cache_export`` emits.
+    """
+    raw_entries = payload.get("entries")
+    if not isinstance(raw_entries, (list, tuple)):
+        raise ServiceError(
+            "cache_import needs an 'entries' list of [key, payload] "
+            "pairs"
+        )
+    entries: List[Tuple[Tuple[str, str, str, str], Dict[str, object]]] = []
+    for raw in raw_entries:
+        if (
+            not isinstance(raw, (list, tuple))
+            or len(raw) != 2
+            or not isinstance(raw[0], (list, tuple))
+            or len(raw[0]) != 4
+            or not isinstance(raw[1], dict)
+        ):
+            raise ServiceError(
+                "cache entry must be [key, payload] with a 4-element "
+                "key and an object payload"
+            )
+        key = tuple(str(part) for part in raw[0])
+        entries.append((key, dict(raw[1])))  # type: ignore[arg-type]
+    return entries
+
+
+def parse_cache_export(payload: Dict[str, object]) -> Tuple[
+    Optional[List[str]], Optional[int]
+]:
+    """Validate a ``cache_export`` payload: which galleries (``None``
+    means every cached gallery) and the per-gallery entry ``limit``."""
+    raw_galleries = payload.get("galleries")
+    galleries: Optional[List[str]] = None
+    if raw_galleries is not None:
+        if not isinstance(raw_galleries, (list, tuple)):
+            raise ServiceError(
+                "cache_export 'galleries' must be a list of gallery "
+                "labels or null"
+            )
+        galleries = [str(label) for label in raw_galleries]
+    raw_limit = payload.get("limit")
+    limit: Optional[int] = None
+    if raw_limit is not None:
+        try:
+            limit = int(raw_limit)  # type: ignore[arg-type]
+        except (TypeError, ValueError) as error:
+            raise ServiceError(f"bad cache_export limit: {error}") from None
+        if limit < 0:
+            raise ServiceError(f"limit must be >= 0, got {limit}")
+    return galleries, limit
 
 
 @dataclass(frozen=True)

@@ -21,31 +21,70 @@ and one engine pool.  The fleet layer runs N server processes
   that dies (connection refused/reset/EOF) leaves the ring, its
   galleries re-home to the surviving shards, and the estimate that
   observed the death is **retried** there — estimates are idempotent
-  queries, so failover is invisible to clients beyond latency.  A
-  resurrected shard re-joins the ring at the next health tick.
+  queries, so failover is invisible to clients beyond latency.
+  Failover candidates are recomputed from the live ring *per attempt*
+  (a preference list captured before a concurrent ``_mark_down`` would
+  waste retries on shards the router already knows are dead).  A
+  resurrected shard re-joins the ring at the next health tick — after
+  every gallery invalidation it missed while down has been **replayed**
+  to it, so a shard that slept through an ``invalidate`` broadcast can
+  never serve its stale cache to the fleet.
+
+The fleet is **elastic** (PR 10):
+
+* ``join``/``leave`` admin verbs reshape the ring at runtime.  A
+  joining shard is *warmed before it serves*: the router plans the
+  ~1/N key space the joiner will own on a preview ring, exports those
+  galleries' cached answers from the survivors (bounded by
+  ``handoff_limit`` entries per gallery) and imports them into the
+  joiner — only then does the shard enter the ring.  A leaving shard
+  hands its cached answers to each gallery's new owner before it is
+  dropped.
+* every freshly solved estimate is **asynchronously replicated** to
+  the next ``replication`` shards in ring order, so a shard death no
+  longer cold-starts its key space: the failover read hits the
+  replica in the neighbour's result cache instead of re-solving.
+* with ``batch_window > 0`` the router **micro-batches**: estimate
+  queries arriving across client connections within the window are
+  grouped by ``(gallery, model, method)``, deduplicated by query key
+  and forwarded as one framed ``estimate_batch`` message per shard
+  hop — N concurrent questions cost one round-trip of framing instead
+  of N (the same grouping/dedup discipline as the server's batcher).
 
 ``stats``/``metrics`` aggregate the router's own counters with every
 live shard's; ``invalidate`` broadcasts (any shard may have served the
-gallery before a ring change); ``shutdown`` stops the router — shards
-are separate processes with their own lifecycles.
+gallery before a ring change) and *queues* an invalidation epoch for
+down shards; ``shutdown`` stops the router — shards are separate
+processes with their own lifecycles.
 """
 
 from __future__ import annotations
 
 import asyncio
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Awaitable,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
 
 from repro.exceptions import ServiceConnectionError, ServiceError
 from repro.service.client import ServiceClient
 from repro.service.hashring import HashRing
 from repro.service.protocol import (
     PROTOCOL_VERSION,
+    Query,
     decode_message,
     encode_message,
     error_response,
     ok_response,
     parse_estimate,
+    parse_estimate_batch,
     parse_gallery,
     parse_place,
     resolve_request_id,
@@ -58,6 +97,13 @@ from repro.telemetry import (
     render_merged,
     snapshot_merged,
 )
+
+_T = TypeVar("_T")
+
+#: Cached-answer entries handed off per gallery on join/leave.  The
+#: hand-off is a warm-up, not a guarantee — bounding it keeps ring
+#: changes O(cache) cheap and the admin verbs fast.
+DEFAULT_HANDOFF_LIMIT = 256
 
 
 def parse_shard_address(value: str) -> Tuple[str, int]:
@@ -86,6 +132,20 @@ class _Shard:
     failures: int = 0
     forwarded: int = 0
     lock: asyncio.Lock = field(default_factory=asyncio.Lock)
+    #: Per-gallery invalidation epoch this shard has acknowledged.  A
+    #: shard whose ack lags the router's epoch for a gallery holds a
+    #: potentially stale cache for it — it must not serve that gallery
+    #: until the invalidation is replayed (the stale-rejoin fix).
+    acked: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class _RoutedQuery:
+    """One client estimate waiting inside the router's micro-batcher."""
+
+    query: Query
+    trace_id: Optional[str]
+    future: "asyncio.Future[Dict[str, object]]"
 
 
 class ShardRouter:
@@ -97,10 +157,25 @@ class ShardRouter:
         Backend addresses as ``(host, port)`` tuples.
     health_interval:
         Seconds between background ``ping`` sweeps (0 disables the
-        loop; death is then only detected by failing forwards).
+        loop; death is then only detected by failing forwards, and a
+        down shard can only return via an admin ``join``).
     max_retries:
         How many *additional* shards a failed-over estimate may try
         before reporting failure (bounded by the live shard count).
+    batch_window:
+        Seconds the router's micro-batcher lingers so same-gallery
+        estimates from different client connections coalesce into one
+        framed ``estimate_batch`` per shard hop.  ``0`` (default)
+        forwards estimate-by-estimate — the pre-elasticity behaviour.
+    max_batch:
+        Most queries one framed shard hop may carry.
+    replication:
+        How many ring-successor shards each freshly solved answer is
+        asynchronously replicated to (0 disables; 1 — the default —
+        survives any single shard death warm).
+    handoff_limit:
+        Cached entries exported per gallery during join/leave
+        hand-offs.
     """
 
     def __init__(
@@ -108,6 +183,10 @@ class ShardRouter:
         shards: Sequence[Tuple[str, int]],
         health_interval: float = 1.0,
         max_retries: int = 2,
+        batch_window: float = 0.0,
+        max_batch: int = 128,
+        replication: int = 1,
+        handoff_limit: int = DEFAULT_HANDOFF_LIMIT,
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
     ) -> None:
@@ -117,12 +196,30 @@ class ShardRouter:
             raise ServiceError(
                 f"health_interval must be >= 0, got {health_interval}"
             )
+        if batch_window < 0:
+            raise ServiceError(
+                f"batch_window must be >= 0, got {batch_window}"
+            )
+        if max_batch < 1:
+            raise ServiceError(f"max_batch must be >= 1, got {max_batch}")
+        if replication < 0:
+            raise ServiceError(
+                f"replication must be >= 0, got {replication}"
+            )
+        if handoff_limit < 0:
+            raise ServiceError(
+                f"handoff_limit must be >= 0, got {handoff_limit}"
+            )
         self.registry = (
             registry if registry is not None else MetricsRegistry(enabled=True)
         )
         self.tracer = tracer if tracer is not None else Tracer()
         self.health_interval = health_interval
         self.max_retries = max_retries
+        self.batch_window = batch_window
+        self.max_batch = max_batch
+        self.replication = replication
+        self.handoff_limit = handoff_limit
         self._shards: Dict[str, _Shard] = {}
         for host, port in shards:
             name = f"{host}:{port}"
@@ -161,6 +258,61 @@ class ShardRouter:
             "Requests answered with an error response by the router",
             always=True,
         )
+        self._metric_batches = counter(
+            "repro_router_batches_total",
+            "Micro-batched estimate groups forwarded as one shard hop",
+            always=True,
+        )
+        self._metric_batched_queries = counter(
+            "repro_router_batched_queries_total",
+            "Client estimates coalesced by the router micro-batcher",
+            always=True,
+        )
+        self._metric_replications = counter(
+            "repro_router_replications_total",
+            "Cached answers replicated to a ring-successor shard",
+            always=True,
+        )
+        self._metric_joins = counter(
+            "repro_router_joins_total",
+            "Shards added to the ring by the join verb",
+            always=True,
+        )
+        self._metric_leaves = counter(
+            "repro_router_leaves_total",
+            "Shards retired from the fleet by the leave verb",
+            always=True,
+        )
+        self._metric_handoff_entries = counter(
+            "repro_router_handoff_entries_total",
+            "Cached answers moved between shards by join/leave hand-offs",
+            always=True,
+        )
+        self._metric_replayed = counter(
+            "repro_router_invalidations_replayed_total",
+            "Queued gallery invalidations replayed to rejoining shards",
+            always=True,
+        )
+        self._metric_stale_risk = counter(
+            "repro_router_stale_risk_total",
+            "Forwards to a shard lagging a gallery's invalidation epoch "
+            "(0 when the rejoin-replay protocol holds)",
+            always=True,
+        )
+        #: Per-gallery invalidation epoch + the wire recipe to replay.
+        self._gallery_epochs: Dict[str, int] = {}
+        self._gallery_recipes: Dict[str, Dict[str, object]] = {}
+        #: Labels whose broadcast is mid-flight — forwards during the
+        #: broadcast race it benignly and are not a protocol violation.
+        self._invalidating: "set[str]" = set()
+        #: Micro-batcher state (active only when ``batch_window > 0``).
+        self._pending: Dict[
+            Tuple[str, str, str], List[_RoutedQuery]
+        ] = {}
+        self._arrival: Optional[asyncio.Event] = None
+        self._batcher: Optional["asyncio.Task[None]"] = None
+        self._group_tasks: "set[asyncio.Task[None]]" = set()
+        self._replica_tasks: "set[asyncio.Task[None]]" = set()
         self._server: Optional[asyncio.AbstractServer] = None
         self._health_task: Optional["asyncio.Task[None]"] = None
         self._writers: "set[asyncio.StreamWriter]" = set()
@@ -185,10 +337,12 @@ class ShardRouter:
         )
         bound = self._server.sockets[0].getsockname()
         self.address = (bound[0], bound[1])
+        loop = asyncio.get_running_loop()
         if self.health_interval > 0:
-            self._health_task = asyncio.get_running_loop().create_task(
-                self._health_loop()
-            )
+            self._health_task = loop.create_task(self._health_loop())
+        if self.batch_window > 0:
+            self._arrival = asyncio.Event()
+            self._batcher = loop.create_task(self._batch_loop())
         return self.address
 
     async def wait_shutdown(self) -> None:
@@ -206,6 +360,23 @@ class ShardRouter:
             except asyncio.CancelledError:
                 pass
             self._health_task = None
+        if self._batcher is not None:
+            # Drain the micro-batcher to real answers (or errors) —
+            # enqueued clients are still awaiting their futures.
+            assert self._arrival is not None
+            self._arrival.set()
+            while any(self._pending.values()) or self._group_tasks:
+                await asyncio.sleep(0.005)
+            self._batcher.cancel()
+            try:
+                await self._batcher
+            except asyncio.CancelledError:
+                pass
+            self._batcher = None
+        if self._replica_tasks:
+            await asyncio.gather(
+                *list(self._replica_tasks), return_exceptions=True
+            )
         if self._server is not None:
             self._server.close()
         for writer in list(self._writers):
@@ -262,12 +433,42 @@ class ShardRouter:
         if shard.name not in self._ring:
             self._ring.add(shard.name)
 
+    async def _replay_invalidations(self, shard: _Shard) -> int:
+        """Bring a rejoining shard's caches up to the fleet's epochs.
+
+        A shard that was down during an ``invalidate`` broadcast kept
+        its stale :class:`~repro.service.cache.ResultCache` and warm
+        engines; replaying every missed gallery invalidation *before*
+        the shard re-enters the ring is what makes resurrection safe.
+        Raises on failure — the caller must then leave the shard down.
+        """
+        replayed = 0
+        client = await self._client(shard)
+        for label, epoch in list(self._gallery_epochs.items()):
+            if shard.acked.get(label, 0) >= epoch:
+                continue
+            await client.invalidate(self._gallery_recipes[label])
+            shard.acked[label] = epoch
+            replayed += 1
+            self._metric_replayed.inc()
+        return replayed
+
     async def _probe(self, shard: _Shard) -> bool:
-        """One health ping; flips the shard up or down accordingly."""
+        """One health ping; flips the shard up or down accordingly.
+
+        A down shard only comes back up once every gallery invalidation
+        it slept through has been replayed — an unreplayable shard
+        stays off the ring (the stale-rejoin fix)."""
         try:
             await (await self._client(shard)).ping()
+            if not shard.healthy:
+                await self._replay_invalidations(shard)
         except (ServiceConnectionError, ConnectionError, OSError):
             self._mark_down(shard)
+            return False
+        except ServiceError:
+            # The shard is reachable but refused an invalidation
+            # replay: it must not serve until a later probe succeeds.
             return False
         self._mark_up(shard)
         return True
@@ -276,18 +477,236 @@ class ShardRouter:
         while True:
             await asyncio.sleep(self.health_interval)
             await asyncio.gather(
-                *[self._probe(shard) for shard in self._shards.values()]
+                *[self._probe(shard) for shard in list(self._shards.values())]
             )
 
-    def _shards_for(self, gallery_label: str) -> List[_Shard]:
-        """Live shards in failover order for one gallery key."""
+    def _next_candidate(
+        self, label: str, tried: "set[str]"
+    ) -> Optional[_Shard]:
+        """The best untried healthy shard for ``label`` *right now*.
+
+        Recomputed from the live ring on every call: a concurrent
+        ``_mark_down`` (another request's failure, a health probe)
+        immediately disqualifies a shard, so a retry never burns an
+        attempt on a shard the router already knows is dead.
+        """
         if len(self._ring) == 0:
+            return None
+        for name in self._ring.nodes_for(label):
+            if name in tried:
+                continue
+            shard = self._shards.get(name)
+            if shard is not None and shard.healthy:
+                return shard
+        return None
+
+    async def _failover(
+        self,
+        label: str,
+        attempt: Callable[[_Shard, int], Awaitable[_T]],
+    ) -> Tuple[_Shard, _T]:
+        """Run ``attempt`` against healthy shards in preference order.
+
+        At most ``max_retries + 1`` attempts; transport-level failures
+        mark the shard down and move on (estimates and placements are
+        idempotent, re-asking is safe).  Candidates are recomputed per
+        attempt — see :meth:`_next_candidate`.
+        """
+        tried: "set[str]" = set()
+        attempts = 0
+        last_error: Optional[str] = None
+        while attempts < self.max_retries + 1:
+            shard = self._next_candidate(label, tried)
+            if shard is None:
+                break
+            if attempts:
+                self._metric_retries.inc()
+            attempts += 1
+            tried.add(shard.name)
+            epoch = self._gallery_epochs.get(label, 0)
+            if (
+                epoch
+                and label not in self._invalidating
+                and shard.acked.get(label, 0) < epoch
+            ):
+                # Should be impossible: healthy shards ack at broadcast
+                # time, rejoiners replay before re-entering the ring and
+                # joiners ack on entry.  Counted, not raised — serving a
+                # possibly-stale answer beats serving none.
+                self._metric_stale_risk.inc()
+            try:
+                return shard, await attempt(shard, attempts)
+            except (ServiceConnectionError, ConnectionError) as error:
+                last_error = str(error)
+                self._mark_down(shard)
+                continue
+        if attempts == 0 and last_error is None:
             raise ServiceError(
                 "no healthy shard is available for the query"
             )
-        names = self._ring.nodes_for(gallery_label)
-        limit = min(len(names), self.max_retries + 1)
-        return [self._shards[name] for name in names[:limit]]
+        raise ServiceError(
+            f"no shard could answer after {attempts} attempt(s): "
+            f"{last_error or 'no healthy shard available'}"
+        )
+
+    # ------------------------------------------------------------------
+    # Live resharding: join / leave
+    # ------------------------------------------------------------------
+    async def join(self, address: Tuple[str, int]) -> Dict[str, object]:
+        """Add a shard to the live ring, warmed before it serves.
+
+        The hand-off is planned on a *preview* ring (current nodes plus
+        the joiner): every cached gallery a survivor holds whose owner
+        flips to the joiner re-homes, so the joiner receives exactly
+        the ~1/N key space it is about to own, bounded by
+        ``handoff_limit`` entries per gallery.  Only after the import
+        completes does the shard enter the ring — its first queries
+        land on a warm cache, not a cold start.
+        """
+        if self._closing:
+            raise ServiceError("router is shutting down")
+        name = f"{address[0]}:{address[1]}"
+        known = self._shards.get(name)
+        if known is not None and known.healthy:
+            raise ServiceError(
+                f"shard {name!r} is already part of the fleet"
+            )
+        if known is not None:
+            # A known-but-down shard: admin-driven resurrection walks
+            # the same replay-then-rejoin path as the health loop.
+            if not await self._probe(known):
+                raise ServiceError(
+                    f"shard {name!r} is unreachable or refused the "
+                    f"invalidation replay"
+                )
+            self._metric_joins.inc()
+            return {
+                "shard": name,
+                "rejoined": True,
+                "live_shards": len(self._ring),
+            }
+        shard = _Shard(name=name, address=address)
+        try:
+            await (await self._client(shard)).ping()
+        except (ServiceConnectionError, ConnectionError, OSError) as error:
+            raise ServiceError(
+                f"cannot join unreachable shard {name!r}: {error}"
+            ) from None
+        # Plan the hand-off on the preview ring, against the galleries
+        # the survivors actually hold warm answers for.
+        preview = self._ring.with_node(name)
+        moved_galleries: List[str] = []
+        entries_moved = 0
+        for survivor in list(self._shards.values()):
+            if not survivor.healthy:
+                continue
+            try:
+                survivor_client = await self._client(survivor)
+                listing = await survivor_client.cache_export(galleries=[])
+                labels = [
+                    label
+                    for label in listing.get("galleries", [])
+                    if preview.node_for(str(label)) == name
+                    and self._ring.node_for(str(label)) == survivor.name
+                ]
+                if not labels:
+                    continue
+                export = await survivor_client.cache_export(
+                    galleries=labels, limit=self.handoff_limit
+                )
+                entries = export.get("entries", [])
+                if entries:
+                    imported = await (await self._client(shard)).cache_import(
+                        entries
+                    )
+                    entries_moved += int(imported.get("imported", 0))
+                    self._metric_handoff_entries.inc(
+                        int(imported.get("imported", 0))
+                    )
+                moved_galleries.extend(str(label) for label in labels)
+            except (ServiceConnectionError, ConnectionError):
+                self._mark_down(survivor)
+        # The joiner's cache holds only entries exported from healthy
+        # (fully acked) survivors: it starts current on every epoch.
+        shard.acked = dict(self._gallery_epochs)
+        self._shards[name] = shard
+        self._ring.add(name)
+        self._metric_joins.inc()
+        return {
+            "shard": name,
+            "rejoined": False,
+            "handoff": {
+                "galleries": sorted(moved_galleries),
+                "entries": entries_moved,
+            },
+            "live_shards": len(self._ring),
+        }
+
+    async def leave(self, name: str) -> Dict[str, object]:
+        """Gracefully retire a shard from the fleet.
+
+        The shard leaves the ring first (no new queries land on it),
+        its cached answers hand off to each gallery's new owner, and
+        only then is it forgotten — the health loop will not resurrect
+        a shard that *left*, unlike one that *died*.
+        """
+        shard = self._shards.get(name)
+        if shard is None:
+            raise ServiceError(f"shard {name!r} is not part of the fleet")
+        survivors = [
+            s for s in self._shards.values() if s.healthy and s.name != name
+        ]
+        if shard.healthy and not survivors:
+            raise ServiceError(
+                f"cannot retire {name!r}: it is the last healthy shard"
+            )
+        was_healthy = shard.healthy
+        if shard.name in self._ring:
+            self._ring.remove(shard.name)
+        shard.healthy = False  # the health loop must not re-add it
+        entries_moved = 0
+        handoff_galleries: List[str] = []
+        if was_healthy:
+            try:
+                export = await (await self._client(shard)).cache_export(
+                    limit=self.handoff_limit
+                )
+                by_owner: Dict[str, List[object]] = {}
+                for entry in export.get("entries", []):
+                    label = str(entry[0][0])
+                    owner = self._ring.node_for(label)
+                    by_owner.setdefault(owner, []).append(entry)
+                handoff_galleries = [
+                    str(label) for label in export.get("galleries", [])
+                ]
+                for owner, entries in by_owner.items():
+                    target = self._shards.get(owner)
+                    if target is None or not target.healthy:
+                        continue
+                    try:
+                        imported = await (
+                            await self._client(target)
+                        ).cache_import(entries)
+                        moved = int(imported.get("imported", 0))
+                        entries_moved += moved
+                        self._metric_handoff_entries.inc(moved)
+                    except (ServiceConnectionError, ConnectionError):
+                        self._mark_down(target)
+            except (ServiceConnectionError, ConnectionError):
+                pass  # the leaver died mid-goodbye: nothing to hand off
+        del self._shards[name]
+        client, shard.client = shard.client, None
+        if client is not None:
+            await client.aclose()
+        self._metric_leaves.inc()
+        return {
+            "shard": name,
+            "handoff": {
+                "galleries": handoff_galleries,
+                "entries": entries_moved,
+            },
+            "live_shards": len(self._ring),
+        }
 
     # ------------------------------------------------------------------
     # Front-end protocol
@@ -384,6 +803,11 @@ class ShardRouter:
                     response = ok_response(
                         request_id, await self._forward_estimate(payload)
                     )
+                elif op == "estimate_batch":
+                    response = ok_response(
+                        request_id,
+                        await self._forward_estimate_batch(payload),
+                    )
                 elif op == "place":
                     response = ok_response(
                         request_id, await self._forward_place(payload)
@@ -403,13 +827,29 @@ class ShardRouter:
                         request_id,
                         await self._broadcast_invalidate(payload),
                     )
+                elif op == "join":
+                    response = ok_response(
+                        request_id,
+                        await self.join(
+                            parse_shard_address(
+                                str(payload.get("shard", ""))
+                            )
+                        ),
+                    )
+                elif op == "leave":
+                    host, port = parse_shard_address(
+                        str(payload.get("shard", ""))
+                    )
+                    response = ok_response(
+                        request_id, await self.leave(f"{host}:{port}")
+                    )
                 elif op == "shutdown":
                     response = ok_response(request_id, {"stopping": True})
                 else:
                     raise ServiceError(
                         f"unknown op {op!r} (expected ping, estimate, "
-                        f"place, stats, metrics, invalidate or "
-                        f"shutdown)"
+                        f"estimate_batch, place, stats, metrics, "
+                        f"invalidate, join, leave or shutdown)"
                     )
         except Exception as error:
             self._metric_errors.inc()
@@ -423,6 +863,14 @@ class ShardRouter:
     # ------------------------------------------------------------------
     # Forwarding
     # ------------------------------------------------------------------
+    @staticmethod
+    def _wire_gallery(query: Query) -> Dict[str, object]:
+        return {
+            "kind": query.gallery.kind,
+            "seed": query.gallery.seed,
+            "applications": query.gallery.application_count,
+        }
+
     async def _forward_estimate(
         self, payload: Dict[str, object]
     ) -> Dict[str, object]:
@@ -432,48 +880,259 @@ class ShardRouter:
         # parse yields the gallery label the ring hashes on.
         query = parse_estimate(payload)
         trace_id = resolve_trace_id(payload)
+        if self._batcher is not None:
+            return await self._submit_batched(query, trace_id)
         label = query.gallery.label()
-        attempts = 0
-        last_error: Optional[str] = None
-        for shard in self._shards_for(label):
-            if attempts:
-                self._metric_retries.inc()
-            attempts += 1
+
+        async def attempt(shard: _Shard, attempts: int) -> Dict[str, object]:
+            with self.tracer.span(
+                "router.forward",
+                trace_id=trace_id,
+                shard=shard.name,
+                gallery=label,
+                attempt=attempts,
+            ):
+                client = await self._client(shard)
+                return await client.estimate(
+                    list(query.use_case.applications),
+                    gallery=self._wire_gallery(query),
+                    model=query.model,
+                    method=query.method.value,
+                    trace=trace_id,
+                )
+
+        shard, result = await self._failover(label, attempt)
+        shard.forwarded += 1
+        self._metric_forwarded.inc()
+        self._replicate(label, query.key, result, exclude=shard.name)
+        result["shard"] = shard.name
+        return result
+
+    async def _forward_estimate_batch(
+        self, payload: Dict[str, object]
+    ) -> Dict[str, object]:
+        """A client-side ``estimate_batch`` through the router.
+
+        With the micro-batcher on, members join the shared pending
+        pool (coalescing with other connections' queries); otherwise
+        the group forwards as one framed hop directly.
+        """
+        if self._closing:
+            raise ServiceError("router is shutting down")
+        queries = parse_estimate_batch(payload)
+        trace_id = resolve_trace_id(payload)
+        loop = asyncio.get_running_loop()
+        members = [
+            _RoutedQuery(
+                query=query, trace_id=trace_id, future=loop.create_future()
+            )
+            for query in queries
+        ]
+        if self._batcher is not None:
+            group = members[0].query.group
+            self._pending.setdefault(group, []).extend(members)
+            assert self._arrival is not None
+            self._arrival.set()
+        else:
+            await self._forward_group(members)
+        results: List[Dict[str, object]] = []
+        for member in members:
             try:
-                with self.tracer.span(
-                    "router.forward",
-                    trace_id=trace_id,
-                    shard=shard.name,
-                    gallery=label,
-                    attempt=attempts,
-                ):
-                    client = await self._client(shard)
-                    result = await client.estimate(
-                        list(query.use_case.applications),
-                        gallery={
-                            "kind": query.gallery.kind,
-                            "seed": query.gallery.seed,
-                            "applications": query.gallery.application_count,
-                        },
-                        model=str(payload.get("model", query.model)),
-                        method=query.method.value,
-                        trace=trace_id,
-                    )
-            except (ServiceConnectionError, ConnectionError) as error:
-                # The shard died under this query: take it off the
-                # ring and retry on the next shard in preference
-                # order — estimates are idempotent, re-asking is safe.
-                last_error = str(error)
-                self._mark_down(shard)
-                continue
-            shard.forwarded += 1
-            self._metric_forwarded.inc()
-            result["shard"] = shard.name
-            return result
-        raise ServiceError(
-            f"no shard could answer after {attempts} attempt(s): "
-            f"{last_error or 'no healthy shard available'}"
+                results.append(await member.future)
+            except ServiceError as error:
+                results.append({"error": str(error)})
+        return {"results": results}
+
+    async def _submit_batched(
+        self, query: Query, trace_id: Optional[str]
+    ) -> Dict[str, object]:
+        """Enqueue one estimate into the micro-batcher and await it."""
+        member = _RoutedQuery(
+            query=query,
+            trace_id=trace_id,
+            future=asyncio.get_running_loop().create_future(),
         )
+        self._pending.setdefault(query.group, []).append(member)
+        assert self._arrival is not None
+        self._arrival.set()
+        return await member.future
+
+    async def _batch_loop(self) -> None:
+        assert self._arrival is not None
+        while True:
+            if not any(self._pending.values()):
+                self._arrival.clear()
+                await self._arrival.wait()
+            if self.batch_window > 0 and not self._closing:
+                # Linger: same-gallery queries from other connections
+                # land in this hop, not the next.
+                await asyncio.sleep(self.batch_window)
+            groups = [
+                members for members in self._pending.values() if members
+            ]
+            self._pending = {}
+            loop = asyncio.get_running_loop()
+            for members in groups:
+                # One framed hop per max_batch chunk per group; groups
+                # fly concurrently — shard affinity spreads them.
+                for start in range(0, len(members), self.max_batch):
+                    chunk = members[start : start + self.max_batch]
+                    task = loop.create_task(self._forward_group(chunk))
+                    self._group_tasks.add(task)
+                    task.add_done_callback(self._group_tasks.discard)
+
+    async def _forward_group(self, members: List[_RoutedQuery]) -> None:
+        """Forward one ``(gallery, model, method)`` group as a single
+        framed ``estimate_batch`` hop and resolve its members."""
+        first = members[0].query
+        label = first.gallery.label()
+        # Same dedup discipline as the server batcher: N clients asking
+        # the same question inside one window cost one forwarded query.
+        unique: Dict[Tuple[str, str, str, str], Query] = {}
+        for member in members:
+            unique.setdefault(member.query.key, member.query)
+        queries = list(unique.values())
+        trace_ids = tuple(
+            dict.fromkeys(
+                member.trace_id
+                for member in members
+                if member.trace_id is not None
+            )
+        )
+        hop_trace = trace_ids[0] if len(trace_ids) == 1 else None
+
+        async def attempt(shard: _Shard, attempts: int) -> Dict[str, object]:
+            with self.tracer.span(
+                "router.forward_batch",
+                trace_id=hop_trace,
+                shard=shard.name,
+                gallery=label,
+                queries=len(queries),
+                attempt=attempts,
+            ):
+                client = await self._client(shard)
+                return await client.estimate_batch(
+                    [list(q.use_case.applications) for q in queries],
+                    gallery=self._wire_gallery(first),
+                    model=first.model,
+                    method=first.method.value,
+                    trace=hop_trace,
+                )
+
+        try:
+            shard, result = await self._failover(label, attempt)
+        except Exception as error:
+            message = str(error)
+            for member in members:
+                if not member.future.done():
+                    member.future.set_exception(ServiceError(message))
+            return
+        shard.forwarded += 1
+        self._metric_forwarded.inc(len(queries))
+        self._metric_batches.inc()
+        self._metric_batched_queries.inc(len(members))
+        raw = result.get("results")
+        payloads = raw if isinstance(raw, list) else []
+        if len(payloads) != len(queries):
+            message = (
+                f"shard {shard.name} answered {len(payloads)} results "
+                f"for a batch of {len(queries)}"
+            )
+            for member in members:
+                if not member.future.done():
+                    member.future.set_exception(ServiceError(message))
+            return
+        by_key = dict(zip(unique.keys(), payloads))
+        for key, payload in by_key.items():
+            if "error" not in payload:
+                self._replicate(label, key, payload, exclude=shard.name)
+        for member in members:
+            if member.future.done():
+                continue
+            payload = by_key[member.query.key]
+            if set(payload) == {"error"}:
+                member.future.set_exception(
+                    ServiceError(str(payload["error"]))
+                )
+                continue
+            answer = dict(payload, shard=shard.name)
+            if member.trace_id is not None:
+                answer["trace"] = member.trace_id
+            else:
+                answer.pop("trace", None)
+            member.future.set_result(answer)
+
+    # ------------------------------------------------------------------
+    # Replication
+    # ------------------------------------------------------------------
+    def _replicate(
+        self,
+        label: str,
+        key: Tuple[str, str, str, str],
+        payload: Dict[str, object],
+        exclude: str,
+    ) -> None:
+        """Asynchronously copy a fresh answer to ring-successor shards.
+
+        Cache hits are skipped (the serving shard already holds the
+        entry it just read) and so are answers for galleries whose
+        epoch moved — a replica of a pre-invalidation answer must never
+        land after the invalidation.
+        """
+        if (
+            self.replication < 1
+            or self._closing
+            or payload.get("cached") is True
+        ):
+            return
+        try:
+            order = self._ring.nodes_for(label)
+        except ServiceError:
+            return
+        targets: List[_Shard] = []
+        for name in order:
+            if name == exclude:
+                continue
+            shard = self._shards.get(name)
+            if shard is None or not shard.healthy:
+                continue
+            targets.append(shard)
+            if len(targets) >= self.replication:
+                break
+        if not targets:
+            return
+        epoch = self._gallery_epochs.get(label, 0)
+        entry = [
+            list(key),
+            {
+                k: v
+                for k, v in payload.items()
+                if k not in ("cached", "degraded", "shard", "trace")
+            },
+        ]
+        task = asyncio.get_running_loop().create_task(
+            self._send_replica(targets, label, epoch, entry)
+        )
+        self._replica_tasks.add(task)
+        task.add_done_callback(self._replica_tasks.discard)
+
+    async def _send_replica(
+        self,
+        targets: List[_Shard],
+        label: str,
+        epoch: int,
+        entry: List[object],
+    ) -> None:
+        for shard in targets:
+            if self._gallery_epochs.get(label, 0) != epoch:
+                return  # invalidated since the solve: drop the replica
+            try:
+                await (await self._client(shard)).cache_import([entry])
+                self._metric_replications.inc()
+            except (ServiceConnectionError, ConnectionError):
+                self._mark_down(shard)
+            except ServiceError:
+                pass  # the target refused the import; not a death
 
     async def _forward_place(
         self, payload: Dict[str, object]
@@ -492,86 +1151,93 @@ class ShardRouter:
         query = parse_place(payload)
         trace_id = resolve_trace_id(payload)
         label = query.gallery.label()
-        attempts = 0
-        last_error: Optional[str] = None
-        for shard in self._shards_for(label):
-            if attempts:
-                self._metric_retries.inc()
-            attempts += 1
-            try:
-                with self.tracer.span(
-                    "router.forward_place",
-                    trace_id=trace_id,
-                    shard=shard.name,
-                    gallery=label,
-                    attempt=attempts,
-                ):
-                    client = await self._client(shard)
-                    result = await client.place(
-                        gallery={
-                            "kind": query.gallery.kind,
-                            "seed": query.gallery.seed,
-                            "applications": query.gallery.application_count,
-                        },
-                        strategy=query.strategy,
-                        model=query.model,
-                        objective=query.objective,
-                        seed=query.seed,
-                        slack=query.slack,
-                        targets=query.targets,
-                        mappings=list(query.mappings),
-                        weights=(
-                            list(query.weights)
-                            if query.weights is not None
-                            else None
-                        ),
-                        priority_levels=(
-                            list(query.priority_levels)
-                            if query.priority_levels is not None
-                            else None
-                        ),
-                        method=query.method.value,
-                        trace=trace_id,
-                    )
-            except (ServiceConnectionError, ConnectionError) as error:
-                last_error = str(error)
-                self._mark_down(shard)
-                continue
-            shard.forwarded += 1
-            self._metric_forwarded.inc()
-            result["shard"] = shard.name
-            return result
-        raise ServiceError(
-            f"no shard could answer after {attempts} attempt(s): "
-            f"{last_error or 'no healthy shard available'}"
-        )
+
+        async def attempt(shard: _Shard, attempts: int) -> Dict[str, object]:
+            with self.tracer.span(
+                "router.forward_place",
+                trace_id=trace_id,
+                shard=shard.name,
+                gallery=label,
+                attempt=attempts,
+            ):
+                client = await self._client(shard)
+                return await client.place(
+                    gallery={
+                        "kind": query.gallery.kind,
+                        "seed": query.gallery.seed,
+                        "applications": query.gallery.application_count,
+                    },
+                    strategy=query.strategy,
+                    model=query.model,
+                    objective=query.objective,
+                    seed=query.seed,
+                    slack=query.slack,
+                    targets=query.targets,
+                    mappings=list(query.mappings),
+                    weights=(
+                        list(query.weights)
+                        if query.weights is not None
+                        else None
+                    ),
+                    priority_levels=(
+                        list(query.priority_levels)
+                        if query.priority_levels is not None
+                        else None
+                    ),
+                    method=query.method.value,
+                    trace=trace_id,
+                )
+
+        shard, result = await self._failover(label, attempt)
+        shard.forwarded += 1
+        self._metric_forwarded.inc()
+        result["shard"] = shard.name
+        return result
 
     async def _broadcast_invalidate(
         self, payload: Dict[str, object]
     ) -> Dict[str, object]:
         spec = parse_gallery(payload.get("gallery"))
+        label = spec.label()
         gallery = {
             "kind": spec.kind,
             "seed": spec.seed,
             "applications": spec.application_count,
         }
+        # The epoch bump is the fence: a down shard keeps its stale
+        # cache, but its ack now lags, so it cannot rejoin the ring
+        # until the invalidation is replayed to it.
+        epoch = self._gallery_epochs.get(label, 0) + 1
+        self._gallery_epochs[label] = epoch
+        self._gallery_recipes[label] = gallery
+        self._invalidating.add(label)
         results: Dict[str, object] = {}
-        for shard in self._shards.values():
-            if not shard.healthy:
-                results[shard.name] = {"skipped": "shard down"}
-                continue
-            try:
-                results[shard.name] = await (
-                    await self._client(shard)
-                ).invalidate(gallery)
-            except (ServiceConnectionError, ConnectionError) as error:
-                self._mark_down(shard)
-                results[shard.name] = {"skipped": str(error)}
-        return {"gallery": spec.label(), "shards": results}
+        try:
+            for shard in list(self._shards.values()):
+                if not shard.healthy:
+                    results[shard.name] = {
+                        "skipped": "shard down",
+                        "queued": True,
+                    }
+                    continue
+                try:
+                    results[shard.name] = await (
+                        await self._client(shard)
+                    ).invalidate(gallery)
+                    shard.acked[label] = epoch
+                except (ServiceConnectionError, ConnectionError) as error:
+                    self._mark_down(shard)
+                    results[shard.name] = {
+                        "skipped": str(error),
+                        "queued": True,
+                    }
+        finally:
+            self._invalidating.discard(label)
+        return {"gallery": label, "epoch": epoch, "shards": results}
 
     async def _stats(self) -> Dict[str, object]:
         shards: Dict[str, object] = {}
-        for shard in self._shards.values():
+        for shard in list(self._shards.values()):
             if not shard.healthy:
                 shards[shard.name] = None
                 continue
@@ -603,6 +1269,16 @@ class ShardRouter:
             "shard_down": int(self._metric_failovers.value),
             "shard_up": int(self._metric_rejoins.value),
             "errors": int(self._metric_errors.value),
+            "batch_window": self.batch_window,
+            "batches": int(self._metric_batches.value),
+            "batched_queries": int(self._metric_batched_queries.value),
+            "replication": self.replication,
+            "replications": int(self._metric_replications.value),
+            "joins": int(self._metric_joins.value),
+            "leaves": int(self._metric_leaves.value),
+            "handoff_entries": int(self._metric_handoff_entries.value),
+            "invalidations_replayed": int(self._metric_replayed.value),
+            "stale_risk": int(self._metric_stale_risk.value),
             "per_shard_forwarded": {
                 shard.name: shard.forwarded
                 for shard in self._shards.values()

@@ -56,6 +56,7 @@ from repro.service.cache import ResultCache
 from repro.service.pool import EnginePool
 from repro.service.workers import DEFAULT_SPLIT_THRESHOLD, SolverPool
 from repro.service.protocol import (
+    OPERATIONS,
     PROTOCOL_VERSION,
     PlaceQuery,
     Query,
@@ -63,7 +64,10 @@ from repro.service.protocol import (
     encode_message,
     error_response,
     ok_response,
+    parse_cache_entries,
+    parse_cache_export,
     parse_estimate,
+    parse_estimate_batch,
     parse_gallery,
     parse_place,
     resolve_request_id,
@@ -652,6 +656,26 @@ class EstimationServer:
                         # and the server-side spans carrying the id.
                         result["trace"] = trace_id
                     response = ok_response(request_id, result)
+                elif op == "estimate_batch":
+                    result = await self._submit_batch(
+                        parse_estimate_batch(payload), trace_id, conn
+                    )
+                    if trace_id is not None:
+                        result["trace"] = trace_id
+                    response = ok_response(request_id, result)
+                elif op == "cache_export":
+                    response = ok_response(
+                        request_id, self._cache_export(payload)
+                    )
+                elif op == "cache_import":
+                    response = ok_response(
+                        request_id,
+                        {
+                            "imported": self.cache.import_entries(
+                                parse_cache_entries(payload)
+                            )
+                        },
+                    )
                 elif op == "place":
                     result = await self._place(
                         parse_place(payload), trace_id
@@ -680,9 +704,8 @@ class EstimationServer:
                     response = ok_response(request_id, {"stopping": True})
                 else:
                     raise ServiceError(
-                        f"unknown op {op!r} (expected ping, estimate, "
-                        f"place, stats, metrics, invalidate or "
-                        f"shutdown)"
+                        f"unknown op {op!r} "
+                        f"(expected one of {', '.join(OPERATIONS)})"
                     )
         except Exception as error:
             # Every request gets *an* answer — an unexpected exception
@@ -741,6 +764,52 @@ class EstimationServer:
         assert self._arrival is not None
         self._arrival.set()
         return await pending.future
+
+    async def _submit_batch(
+        self,
+        queries: List[Query],
+        trace_id: Optional[str] = None,
+        conn: Optional[object] = None,
+    ) -> Dict[str, object]:
+        """The ``estimate_batch`` op: N same-gallery questions in one
+        framed message (the router micro-batcher's shard hop).
+
+        Each question goes through the ordinary :meth:`_submit` intake
+        — cache fast path, shedding, pending queue — so a batch member
+        is indistinguishable from a single estimate once enqueued, and
+        they all coalesce into the same micro-batch.  Failures are
+        per-member (``{"error": ...}`` in that member's slot): one shed
+        or failed question must not poison its batch-mates' answers.
+        """
+
+        async def one(query: Query) -> Dict[str, object]:
+            try:
+                return await self._submit(query, trace_id, conn)
+            except asyncio.CancelledError:
+                raise
+            except Exception as error:
+                return {"error": str(error)}
+
+        results = await asyncio.gather(*[one(query) for query in queries])
+        return {"results": list(results)}
+
+    def _cache_export(self, payload: Dict[str, object]) -> Dict[str, object]:
+        """The ``cache_export`` op: portable warm answers per gallery.
+
+        The response always names every cached gallery, so a router
+        planning a hand-off can learn what this shard holds and fetch
+        the moving galleries' entries in the same round-trip.
+        """
+        galleries, limit = parse_cache_export(payload)
+        cached = self.cache.gallery_labels()
+        wanted = cached if galleries is None else [
+            label for label in galleries if label in set(cached)
+        ]
+        entries = []
+        for label in wanted:
+            for key, value in self.cache.export_gallery(label, limit=limit):
+                entries.append([list(key), value])
+        return {"galleries": cached, "entries": entries}
 
     def _shed(self, query: Query) -> Query:
         """Apply the overload policy; returns the (possibly degraded)

@@ -57,6 +57,10 @@ MAX_REDRIVES = 2
 # ----------------------------------------------------------------------
 _WORKER_POOL = None
 _WORKER_INDEX: int = -1
+#: Gallery labels whose invalidation was replayed into this process at
+#: spawn time (see :meth:`SolverPool._executor`) — surfaced by
+#: :func:`_worker_snapshot` so tests can assert the replay happened.
+_WORKER_REPLAYED: List[str] = []
 
 
 def _init_worker(
@@ -109,10 +113,33 @@ def _worker_invalidate(gallery: GallerySpec) -> bool:
     return _WORKER_POOL.invalidate(gallery)
 
 
+def _worker_replay_invalidations(
+    galleries: Sequence[GallerySpec],
+) -> int:
+    """Replay the pool's invalidation history into a fresh process.
+
+    Submitted as the very first job of every newly spawned slot (the
+    single-worker executor is FIFO, so it runs before any solve), this
+    guarantees a slot spawned *after* an ``invalidate`` can never serve
+    a pre-invalidate warm engine — however the process came to exist.
+    """
+    assert _WORKER_POOL is not None, "worker used before initialization"
+    dropped = 0
+    for gallery in galleries:
+        if _WORKER_POOL.invalidate(gallery):
+            dropped += 1
+        _WORKER_REPLAYED.append(gallery.label())
+    return dropped
+
+
 def _worker_snapshot() -> Dict[str, object]:
     """This worker's pool counters, for the ``stats`` op."""
     assert _WORKER_POOL is not None, "worker used before initialization"
-    return dict(_WORKER_POOL.snapshot(), worker=_WORKER_INDEX)
+    return dict(
+        _WORKER_POOL.snapshot(),
+        worker=_WORKER_INDEX,
+        replayed_invalidations=list(_WORKER_REPLAYED),
+    )
 
 
 # ----------------------------------------------------------------------
@@ -182,6 +209,11 @@ class SolverPool:
             "In-flight batches re-driven after a worker crash",
             always=True,
         )
+        self._metric_invalidation_replays = registry.counter(
+            "repro_service_worker_invalidation_replays_total",
+            "Invalidation histories replayed into freshly spawned slots",
+            always=True,
+        )
         # Ring nodes are worker *slots*; a respawned slot keeps its
         # name, so affinity survives crashes.
         self._ring = HashRing([f"worker-{i}" for i in range(self.workers)])
@@ -190,6 +222,12 @@ class SolverPool:
         ]
         self._generations: List[int] = [0 for _ in range(self.workers)]
         self._batch_counts: List[int] = [0 for _ in range(self.workers)]
+        #: Every gallery ever invalidated on this pool, by label.  A
+        #: slot that spawns (or respawns) later replays this history
+        #: before its first solve — ``invalidate`` awaiting only the
+        #: already-spawned slots must not leave future slots a way to
+        #: serve pre-invalidate warm state.
+        self._invalidated: Dict[str, GallerySpec] = {}
         self._closed = False
 
     # -- slot management ------------------------------------------------
@@ -204,6 +242,14 @@ class SolverPool:
                 initargs=(slot, self.backend, self.max_galleries),
             )
             self._executors[slot] = executor
+            if self._invalidated:
+                # First job on the fresh slot: replay the invalidation
+                # history (FIFO beats any solve submitted afterwards).
+                executor.submit(
+                    _worker_replay_invalidations,
+                    list(self._invalidated.values()),
+                )
+                self._metric_invalidation_replays.inc()
         return executor
 
     def _respawn(self, slot: int, observed_generation: int) -> None:
@@ -321,7 +367,12 @@ class SolverPool:
     # -- maintenance ----------------------------------------------------
     async def invalidate(self, gallery: GallerySpec) -> int:
         """Drop a gallery's warm engines in *every* live worker;
-        returns how many workers actually held it."""
+        returns how many workers actually held it.
+
+        The gallery is also recorded so slots spawned *after* this call
+        replay the invalidation before their first solve — never-spawned
+        slots are skipped below, which would otherwise be a hole."""
+        self._invalidated[gallery.label()] = gallery
         loop = asyncio.get_running_loop()
         dropped = 0
         for slot in range(self.workers):
@@ -345,6 +396,10 @@ class SolverPool:
             "split_threshold": self.split_threshold,
             "respawns": int(self._metric_respawns.value),
             "redrives": int(self._metric_redrives.value),
+            "invalidation_replays": int(
+                self._metric_invalidation_replays.value
+            ),
+            "invalidated_galleries": sorted(self._invalidated),
             "per_worker": [
                 {
                     "worker": slot,

@@ -184,6 +184,64 @@ class TestSolverPool:
 
         asyncio.run(scenario())
 
+    def test_invalidate_reaches_slots_spawned_later(self, many_cpus):
+        """``invalidate`` can only await slots that already exist; a
+        slot spawned lazily afterwards (or respawned after a crash)
+        must replay the invalidation history before its first solve,
+        so no slot can ever serve pre-invalidate warm state."""
+
+        async def scenario():
+            from repro.runtime.service import GallerySpec
+
+            pool = SolverPool(
+                2,
+                split_threshold=1,
+                registry=MetricsRegistry(enabled=True),
+            )
+            try:
+                spec = GallerySpec(
+                    kind="paper", seed=2007, application_count=4
+                )
+                # Invalidate before ANY slot exists: there is nothing
+                # to await, only history to record.
+                assert await pool.invalidate(spec) == 0
+                # The first solve lazily spawns the home slot — the
+                # replay must already be queued ahead of the solve.
+                await pool.solve(all_single_queries()[:1])
+                snapshot = await pool.snapshot()
+                spawned = [
+                    entry
+                    for entry in snapshot["per_worker"]
+                    if entry["spawned"]
+                ]
+                assert len(spawned) == 1
+                assert spawned[0]["replayed_invalidations"] == [
+                    "paper:2007:4"
+                ]
+                local = pool.local_snapshot()
+                assert local["invalidation_replays"] == 1
+                assert local["invalidated_galleries"] == ["paper:2007:4"]
+                # Crash the slot: the respawned process must replay the
+                # history too, not just freshly spawned ones.
+                slot = spawned[0]["worker"]
+                with contextlib.suppress(Exception):
+                    pool._executors[slot].submit(os._exit, 1).result()
+                await pool.solve(all_single_queries()[:1])
+                snapshot = await pool.snapshot()
+                respawned = next(
+                    entry
+                    for entry in snapshot["per_worker"]
+                    if entry["worker"] == slot
+                )
+                assert respawned["replayed_invalidations"] == [
+                    "paper:2007:4"
+                ]
+                assert pool.local_snapshot()["invalidation_replays"] == 2
+            finally:
+                pool.shutdown()
+
+        asyncio.run(scenario())
+
     def test_shutdown_joins_all_worker_processes(self):
         async def scenario():
             pool = SolverPool(1, registry=MetricsRegistry(enabled=True))
